@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: what the is_spinning throttle buys (DESIGN.md section 6.1).
+ * Sweeps the thread count on the new microbenchmark and reports *global*
+ * transactions per lock acquisition for HBO (ungated remote spinning),
+ * HBO_GT (one remote spinner per node), and HBO_GT_SD. The gap between HBO
+ * and HBO_GT is exactly the traffic the gate removes.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/newbench.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Ablation: global-traffic throttle (is_spinning gate)",
+                  "Global coherence transactions per acquisition vs cpu "
+                  "count, new\nmicrobenchmark at critical_work=1500.");
+
+    const std::vector<int> cpu_counts = {4, 8, 12, 16, 20, 24, 28};
+    const std::vector<LockKind> kinds = {LockKind::Hbo, LockKind::HboGt,
+                                         LockKind::HboGtSd};
+
+    std::vector<std::string> headers = {"Lock Type"};
+    for (int n : cpu_counts)
+        headers.push_back("g/acq@" + std::to_string(n));
+    stats::Table table(headers);
+
+    for (LockKind kind : kinds) {
+        table.row().cell(lock_name(kind));
+        for (int n : cpu_counts) {
+            NewBenchConfig config;
+            config.threads = n;
+            config.critical_work = 1500;
+            config.iterations_per_thread =
+                static_cast<std::uint32_t>(scaled_iters(60, 10));
+            const BenchResult r = run_newbench(kind, config);
+            table.cell(static_cast<double>(r.traffic.global_tx) /
+                           static_cast<double>(r.total_acquires),
+                       1);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: paper-style headers and the
+ * run-length scaling knob (NUCALOCK_BENCH_SCALE).
+ */
+#ifndef NUCALOCK_BENCH_COMMON_HPP
+#define NUCALOCK_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace nucalock::bench {
+
+/** Print the standard banner naming the paper artifact being regenerated. */
+inline void
+banner(const char* artifact, const char* description)
+{
+    std::printf("== %s ==\n%s\n", artifact, description);
+    const double scale = nucalock::bench_scale();
+    if (scale != 1.0)
+        std::printf("(NUCALOCK_BENCH_SCALE=%.3g)\n", scale);
+    std::printf("\n");
+}
+
+} // namespace nucalock::bench
+
+#endif // NUCALOCK_BENCH_COMMON_HPP

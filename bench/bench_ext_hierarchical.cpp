@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extension study: the paper's proposed hierarchical expansion of HBO
+ * (section 4.1) on a two-level NUCA — nodes of CMP chips (the "future"
+ * row of the paper's NUCA-ratio table). Compares HBO_HIER (three backoff
+ * levels) with the two-level locks and reports chip-level handover
+ * affinity.
+ */
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "locks/any_lock.hpp"
+#include "sim/engine.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::locks;
+    using namespace nucalock::sim;
+
+    bench::banner("Extension: hierarchical NUCA (CMP cluster)",
+                  "2 nodes x 4 chips x 4 cpus, cheap on-chip transfers "
+                  "(cmp_cluster latency\nmodel). Contended counter "
+                  "increments; lower time and higher same-chip\nhandover "
+                  "fraction are better. HBO_HIER adds a chip-level backoff "
+                  "tier.");
+
+    const std::vector<LockKind> kinds = {LockKind::TatasExp, LockKind::Clh,
+                                         LockKind::HboGt, LockKind::HboGtSd,
+                                         LockKind::HboHier};
+    const auto iters = static_cast<std::uint32_t>(scaled_iters(100, 20));
+
+    stats::Table table({"Lock Type", "Time (us/acq)", "Same-chip handover",
+                        "Same-node handover", "Global tx/acq"});
+    for (LockKind kind : kinds) {
+        SimMachine machine(Topology::hierarchical(2, 4, 4),
+                           LatencyModel::cmp_cluster());
+        AnyLock<SimContext> lock(machine, kind);
+        const MemRef data = machine.alloc_array(32, 0, 0);
+
+        std::uint64_t acquires = 0;
+        std::uint64_t same_chip = 0;
+        std::uint64_t same_node = 0;
+        int prev_chip = -1;
+        int prev_node = -1;
+
+        machine.add_threads(32, Placement::RoundRobinNodes,
+                            [&](SimContext& ctx, int) {
+                                for (std::uint32_t i = 0; i < iters; ++i) {
+                                    lock.acquire(ctx);
+                                    if (prev_chip == ctx.chip())
+                                        ++same_chip;
+                                    else if (prev_node == ctx.node())
+                                        ++same_node;
+                                    prev_chip = ctx.chip();
+                                    prev_node = ctx.node();
+                                    ++acquires;
+                                    ctx.touch_array(data, 32, true);
+                                    lock.release(ctx);
+                                    ctx.delay(2000);
+                                }
+                            });
+        machine.run();
+
+        const auto acq = static_cast<double>(acquires);
+        table.row()
+            .cell(lock_name(kind))
+            .cell(static_cast<double>(machine.now()) / acq / 1000.0, 2)
+            .cell(static_cast<double>(same_chip) / acq, 3)
+            .cell(static_cast<double>(same_node) / acq, 3)
+            .cell(static_cast<double>(machine.traffic().global_tx) / acq, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Extension study: where does the NUCA-aware win come from? Sweeps the
+ * machine's NUCA ratio (remote/local cache-to-cache latency) and reports
+ * new-microbenchmark run time of HBO_GT and RH normalized to CLH. At ratio
+ * 1 (flat SMP, SunFire-15k-like) node affinity buys nothing; the paper's
+ * section 2 argues the win should grow with the ratio (DASH 4.5, WildFire
+ * 6, NUMA-Q 10).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/newbench.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Extension: NUCA-ratio sweep",
+                  "Run time normalized to CLH vs machine NUCA ratio, new "
+                  "microbenchmark,\n28 cpus, critical_work=1500. Expect "
+                  "ratio ~1 => no NUCA-lock advantage;\nadvantage grows "
+                  "with the ratio.");
+
+    const std::vector<double> ratios = {1.0, 2.0, 3.5, 6.0, 10.0};
+    const std::vector<LockKind> kinds = {LockKind::TatasExp, LockKind::Rh,
+                                         LockKind::HboGt, LockKind::HboGtSd};
+
+    std::vector<std::string> headers = {"Lock Type"};
+    for (double r : ratios)
+        headers.push_back("ratio " + stats::format_double(r, 1));
+    stats::Table table(headers);
+
+    std::vector<std::vector<double>> times(kinds.size());
+    std::vector<double> clh_times;
+    for (double ratio : ratios) {
+        NewBenchConfig config;
+        config.latency = sim::LatencyModel::scaled(ratio);
+        config.threads = 28;
+        config.critical_work = 1500;
+        config.iterations_per_thread =
+            static_cast<std::uint32_t>(scaled_iters(60, 10));
+        clh_times.push_back(static_cast<double>(
+            run_newbench(LockKind::Clh, config).total_time));
+        for (std::size_t k = 0; k < kinds.size(); ++k)
+            times[k].push_back(static_cast<double>(
+                run_newbench(kinds[k], config).total_time));
+    }
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        table.row().cell(lock_name(kinds[k]));
+        for (std::size_t r = 0; r < ratios.size(); ++r)
+            table.cell(times[k][r] / clh_times[r], 2);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Extension study: HBO against its intellectual descendants and the
+ * array-lock baseline it skipped — COHORT (deterministic lock cohorting,
+ * Dice/Marathe/Shavit 2012 lineage) and ANDERSON (the paper's reference
+ * [1]) on the new microbenchmark. The question: how much of the cohort
+ * lock's benefit did the 2003 backoff-probabilistic approach already
+ * capture?
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/newbench.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Extension: successors and array-lock baseline",
+                  "New microbenchmark, 28 cpus, critical work sweep. COHORT "
+                  "= deterministic\nnode affinity with a fairness budget; "
+                  "HBO_GT = this paper's probabilistic\naffinity; ANDERSON "
+                  "= FIFO array lock.");
+
+    const std::vector<std::uint32_t> critical_work = {250, 1000, 2000};
+    const std::vector<LockKind> kinds = {LockKind::Anderson, LockKind::Clh,
+                                         LockKind::HboGt, LockKind::HboGtSd,
+                                         LockKind::Cohort, LockKind::Reactive};
+
+    std::vector<std::string> headers = {"Lock Type"};
+    for (auto cw : critical_work) {
+        headers.push_back("t@" + std::to_string(cw));
+        headers.push_back("g/acq@" + std::to_string(cw));
+        headers.push_back("fair%@" + std::to_string(cw));
+    }
+    stats::Table table(headers);
+
+    for (LockKind kind : kinds) {
+        table.row().cell(lock_name(kind));
+        for (std::uint32_t cw : critical_work) {
+            NewBenchConfig config;
+            config.threads = 28;
+            config.critical_work = cw;
+            config.iterations_per_thread =
+                static_cast<std::uint32_t>(scaled_iters(60, 10));
+            const BenchResult r = run_newbench(kind, config);
+            table.cell(r.avg_iteration_ns, 0);
+            table.cell(static_cast<double>(r.traffic.global_tx) /
+                           static_cast<double>(r.total_acquires),
+                       1);
+            table.cell(r.fairness_spread_pct, 1);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 10: sensitivity of HBO_GT_SD to the
+ * GET_ANGRY_LIMIT parameter (26-cpu new-microbenchmark runs, normalized to
+ * HBO_GT under the same configuration). Large limits converge to HBO_GT
+ * (the starvation-detection ablation).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/sensitivity.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Figure 10",
+                  "Sensitivity of HBO_GT_SD to GET_ANGRY_LIMIT, 26 cpus, new "
+                  "microbenchmark,\nnormalized to HBO_GT. Small limits pay "
+                  "for fairness with extra handovers;\nlarge limits converge "
+                  "to HBO_GT (ratio -> 1).");
+
+    NewBenchConfig config;
+    config.threads = 26;
+    config.critical_work = 1500;
+    config.iterations_per_thread =
+        static_cast<std::uint32_t>(scaled_iters(60, 10));
+
+    const std::vector<std::uint32_t> limits = {1,  2,   4,   8,    16,  32,
+                                               64, 128, 512, 2048, 8192};
+    const auto points = sweep_get_angry_limit(config, limits);
+
+    stats::Table table({"GET_ANGRY_LIMIT", "Time vs HBO_GT"});
+    for (const SensitivityPoint& p : points)
+        table.row().cell(p.value).cell(p.normalized_time, 3);
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 3: the traditional microbenchmark on the
+ * simulated 2-node WildFire. Left series: iteration time vs processor
+ * count; right series: node-handoff ratio vs processor count. Threads are
+ * bound round-robin across the two nodes, as in the paper.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/traditional.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Figure 3",
+                  "Traditional microbenchmark, 2-node WildFire, round-robin "
+                  "thread binding.\nLeft: avg iteration time (ns/acquire); "
+                  "right: node handoff ratio.\nPaper shape: NUCA-aware locks "
+                  "~2x faster than queue locks at 8-10 cpus,\nwith "
+                  "consistently low node handoffs; queue locks near "
+                  "(N/2)/(N-1).");
+
+    const std::vector<int> cpu_counts = {2, 4, 8, 12, 16, 20, 24, 28};
+    const auto iters = static_cast<std::uint32_t>(scaled_iters(200, 20));
+
+    stats::Table time_table([&] {
+        std::vector<std::string> headers = {"Lock Type"};
+        for (int n : cpu_counts)
+            headers.push_back("t@" + std::to_string(n));
+        return headers;
+    }());
+    stats::Table handoff_table([&] {
+        std::vector<std::string> headers = {"Lock Type"};
+        for (int n : cpu_counts)
+            headers.push_back("h@" + std::to_string(n));
+        return headers;
+    }());
+
+    for (LockKind kind : paper_lock_kinds()) {
+        time_table.row().cell(lock_name(kind));
+        handoff_table.row().cell(lock_name(kind));
+        for (int n : cpu_counts) {
+            TraditionalConfig config;
+            config.threads = n;
+            config.iterations_per_thread = iters;
+            const BenchResult r = run_traditional(kind, config);
+            time_table.cell(r.avg_iteration_ns, 0);
+            handoff_table.cell(r.node_handoff_ratio, 3);
+        }
+    }
+
+    std::cout << "Iteration time (ns per acquire-release):\n";
+    time_table.print(std::cout);
+    std::cout << "\nNode handoff ratio (handoffs per acquire):\n";
+    handoff_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 8: fairness study on the new
+ * microbenchmark — per-thread finish times and the percentage difference
+ * between the first and last processor to complete.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/fairness.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Figure 8",
+                  "Fairness study: finish-time spread between first and last "
+                  "thread, new\nmicrobenchmark, 28 cpus. Paper: queue locks "
+                  "2.1%, TATAS_EXP 28.9%, HBO_GT_SD 5.6%.");
+
+    NewBenchConfig config;
+    config.threads = 28;
+    config.critical_work = 1500;
+    config.iterations_per_thread =
+        static_cast<std::uint32_t>(scaled_iters(60, 10));
+
+    stats::Table table({"Lock Type", "First Finish (ms)", "Last Finish (ms)",
+                        "Spread (%)"});
+    for (LockKind kind : paper_lock_kinds()) {
+        const FairnessResult r = run_fairness(kind, config);
+        const auto [lo, hi] = std::minmax_element(r.finish_times.begin(),
+                                                  r.finish_times.end());
+        table.row()
+            .cell(lock_name(kind))
+            .cell(static_cast<double>(*lo) / 1e6, 2)
+            .cell(static_cast<double>(*hi) / 1e6, 2)
+            .cell(r.spread_pct, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}

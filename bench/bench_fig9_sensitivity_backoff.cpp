@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 9: sensitivity of HBO_GT_SD to the
+ * REMOTE_BACKOFF_CAP parameter (26-cpu new-microbenchmark runs, normalized
+ * to MCS under the same configuration).
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/sensitivity.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Figure 9",
+                  "Sensitivity of HBO_GT_SD to REMOTE_BACKOFF_CAP "
+                  "(delay-loop iterations),\n26 cpus, new microbenchmark, "
+                  "normalized to MCS (values < 1 mean faster than\nMCS). "
+                  "Paper shape: flat optimum over a wide cap range, "
+                  "degrading at the\nextremes.");
+
+    NewBenchConfig config;
+    config.threads = 26;
+    config.critical_work = 1500;
+    config.iterations_per_thread =
+        static_cast<std::uint32_t>(scaled_iters(60, 10));
+
+    const std::vector<std::uint32_t> caps = {512,   1024,  2048,  4096,
+                                             8192,  16384, 32768, 65536,
+                                             131072};
+    const auto points = sweep_remote_backoff_cap(config, caps);
+
+    stats::Table table({"REMOTE_BACKOFF_CAP", "Time vs MCS"});
+    for (const SensitivityPoint& p : points)
+        table.row().cell(p.value).cell(p.normalized_time, 3);
+    table.print(std::cout);
+    return 0;
+}

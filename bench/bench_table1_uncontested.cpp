@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates the paper's Table 1: uncontested acquire-release latency for
+ * the three previous-owner scenarios (same processor / same node / remote
+ * node) on the simulated 2-node WildFire, for all lock algorithms.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/uncontested.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner("Table 1",
+                  "Uncontested performance for a single acquire-release "
+                  "operation (ns),\nsimulated 2-node WildFire. Paper values: "
+                  "TATAS 150/660/2050, RH remote 4480.");
+
+    UncontestedConfig config;
+    config.iterations =
+        static_cast<std::uint32_t>(scaled_iters(1000, 50));
+
+    stats::Table table({"Lock Type", "Same Processor (ns)", "Same Node (ns)",
+                        "Remote Node (ns)"});
+    for (LockKind kind : all_lock_kinds()) {
+        const UncontestedResult r = run_uncontested(kind, config);
+        table.row()
+            .cell(lock_name(kind))
+            .cell(r.same_processor_ns, 0)
+            .cell(r.same_node_ns, 0)
+            .cell(r.remote_node_ns, 0);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates the paper's Table 5 and Figure 6: execution time (and
+ * variance over seeds) of the seven studied application models for all
+ * eight locking algorithms, 28-cpu runs on the simulated WildFire, plus
+ * speedup normalized to TATAS_EXP (Figure 6's metric, inverted from time).
+ */
+#include <iostream>
+#include <map>
+
+#include "apps/app_runner.hpp"
+#include "bench_common.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace nucalock;
+    using namespace nucalock::apps;
+    using namespace nucalock::locks;
+
+    bench::banner("Table 5 + Figure 6",
+                  "Application models, 28 cpus (14 per WildFire node), "
+                  "execution time in\nsimulated milliseconds (variance over "
+                  "seeds in parentheses). Paper shape: all\nlocks within "
+                  "~10% except Raytrace, where NUCA-aware locks are ~2-4x "
+                  "faster.");
+
+    AppRunConfig config;
+    config.threads = 28;
+    config.call_scale = 0.02 * bench_scale();
+    const int runs = 3;
+
+    const auto locks = paper_lock_kinds();
+    std::vector<std::string> headers = {"Program"};
+    for (LockKind kind : locks)
+        headers.push_back(lock_name(kind));
+    stats::Table table(headers);
+
+    std::map<LockKind, double> time_sum;
+    std::map<LockKind, double> speedup_sum;
+    std::map<LockKind, double> tatas_exp_time;
+
+    for (const AppWorkload& app : studied_apps()) {
+        table.row().cell(app.name);
+        std::vector<AppAggregate> row;
+        for (LockKind kind : locks)
+            row.push_back(run_app(app, kind, config, runs));
+        const double base =
+            row[1].mean_time_s; // TATAS_EXP is second in paper order
+        for (std::size_t i = 0; i < locks.size(); ++i) {
+            table.cell(stats::format_double(row[i].mean_time_s * 1e3, 1) +
+                       " (" + stats::format_double(row[i].time_variance * 1e6, 1) +
+                       ")");
+            time_sum[locks[i]] += row[i].mean_time_s;
+            speedup_sum[locks[i]] += base / row[i].mean_time_s;
+        }
+        (void)tatas_exp_time;
+    }
+
+    table.row().cell("Average");
+    for (LockKind kind : locks)
+        table.cell(time_sum[kind] / 7.0 * 1e3, 1);
+    table.print(std::cout);
+
+    std::cout << "\nFigure 6: speedup normalized to TATAS_EXP "
+                 "(mean over the seven apps;\nhigher is better):\n";
+    stats::Table fig6({"Lock Type", "Normalized Speedup"});
+    for (LockKind kind : locks)
+        fig6.row().cell(lock_name(kind)).cell(speedup_sum[kind] / 7.0, 3);
+    fig6.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Generic application-model runner (paper section 5.4, Tables 3-6 and
+ * Figs 6-7): executes an AppWorkload descriptor on the simulated machine
+ * with a chosen lock algorithm, and aggregates repeated runs into the
+ * mean/variance form the paper reports.
+ */
+#ifndef NUCALOCK_APPS_APP_RUNNER_HPP
+#define NUCALOCK_APPS_APP_RUNNER_HPP
+
+#include <cstdint>
+
+#include "apps/raytrace.hpp"
+#include "apps/workload.hpp"
+#include "locks/any_lock.hpp"
+#include "sim/engine.hpp"
+#include "topology/mapping.hpp"
+
+namespace nucalock::apps {
+
+struct AppRunConfig
+{
+    Topology topology = Topology::wildfire();
+    sim::LatencyModel latency = sim::LatencyModel::wildfire();
+    locks::LockParams params;
+    int threads = 28;
+    Placement placement = Placement::RoundRobinNodes;
+    /** Fraction of the paper's Table 3 lock-call volume to execute. */
+    double call_scale = 0.05;
+    std::uint64_t seed = 1;
+    bool preemption = false;
+    sim::SimTime preempt_mean_interval = 40'000'000;
+    sim::SimTime preempt_duration = 10'000'000;
+    /** Raytrace model: compute per ray task (delay iterations). */
+    std::uint32_t raytrace_task_work = 12'000;
+};
+
+/** Mean/variance aggregate over repeated seeded runs (paper table format). */
+struct AppAggregate
+{
+    double mean_time_s = 0.0;
+    double time_variance = 0.0;
+    double mean_local_tx = 0.0;
+    double mean_global_tx = 0.0;
+    std::uint64_t lock_calls = 0;
+};
+
+/** One run of @p app under @p kind. */
+AppOutcome run_app_once(const AppWorkload& app, locks::LockKind kind,
+                        const AppRunConfig& config);
+
+/** @p runs seeded runs aggregated into mean and variance. */
+AppAggregate run_app(const AppWorkload& app, locks::LockKind kind,
+                     const AppRunConfig& config, int runs);
+
+} // namespace nucalock::apps
+
+#endif // NUCALOCK_APPS_APP_RUNNER_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Structural model of SPLASH-2 Raytrace (the paper's section 5.4 deep
+ * dive): per-thread task queues with work stealing, each task doing a large
+ * chunk of compute and then updating global statistics counters behind a
+ * small set of hot locks. This is what makes Raytrace the one application
+ * whose lock behaviour dominates runtime — and what the NUCA-aware locks
+ * fix (paper Table 4, Fig 7).
+ */
+#ifndef NUCALOCK_APPS_RAYTRACE_HPP
+#define NUCALOCK_APPS_RAYTRACE_HPP
+
+#include <cstdint>
+
+#include "locks/any_lock.hpp"
+#include "locks/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/traffic.hpp"
+#include "topology/mapping.hpp"
+
+namespace nucalock::apps {
+
+/** Result of one simulated application run. */
+struct AppOutcome
+{
+    sim::SimTime time = 0;
+    sim::TrafficStats traffic;
+    std::uint64_t lock_calls = 0;
+};
+
+struct RaytraceConfig
+{
+    Topology topology = Topology::wildfire();
+    sim::LatencyModel latency = sim::LatencyModel::wildfire();
+    locks::LockParams params;
+    int threads = 28;
+    Placement placement = Placement::RoundRobinNodes;
+    /** Total ray tasks across all threads. */
+    std::uint32_t total_tasks = 9000;
+    /** Compute per task, in delay iterations (+/-50% jitter). */
+    std::uint32_t task_work_iters = 12'000;
+    /** Hot statistics locks (paper: "some global variables"). */
+    int stats_locks = 2;
+    /** Ints modified per statistics update. */
+    std::uint32_t stats_ints = 64;
+    std::uint64_t seed = 1;
+    /** OS-preemption injection (the 30-cpu multiprogrammed runs). */
+    bool preemption = false;
+    sim::SimTime preempt_mean_interval = 40'000'000;
+    sim::SimTime preempt_duration = 10'000'000;
+};
+
+/** Run the Raytrace model once with @p kind for every lock in the app. */
+AppOutcome run_raytrace_once(locks::LockKind kind, const RaytraceConfig& config);
+
+} // namespace nucalock::apps
+
+#endif // NUCALOCK_APPS_RAYTRACE_HPP

@@ -1,0 +1,102 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nucalock::apps {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    NUCA_ASSERT(n > 0);
+    NUCA_ASSERT(s >= 0.0);
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf_[r] = acc;
+    }
+    for (double& c : cdf_)
+        c /= acc;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+std::size_t
+ZipfSampler::sample(Xoshiro256& rng) const
+{
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<AppWorkload>
+splash2_suite()
+{
+    // Lock populations and call counts are the paper's Table 3 (32-cpu
+    // runs); the behavioural parameters are our calibration of each
+    // application's known synchronization character (see the SPLASH-2
+    // characterization literature cited by the paper):
+    //  - Barnes: tree-node locks, moderately skewed, small critical
+    //    sections, heavy compute between calls.
+    //  - Cholesky/FMM: task/column locks, mild skew.
+    //  - Radiosity: many task-queue locks, high call volume.
+    //  - Raytrace: few hot task-queue + statistics locks => the only
+    //    heavily contended program (modelled structurally, see raytrace.*).
+    //  - Volrend: work-queue counters, skewed.
+    //  - Water-Nsq: per-molecule accumulator locks, near-uniform.
+    std::vector<AppWorkload> suite;
+
+    suite.push_back({"Barnes", "29k particles", 130, 69'193, true,
+                     0.7, 32, 42000, 6, false});
+    suite.push_back({"Cholesky", "tk29.O", 67, 74'284, true,
+                     0.5, 48, 37000, 4, false});
+    suite.push_back({"FFT", "1M points", 1, 32, false,
+                     0.0, 16, 4000, 2, false});
+    suite.push_back({"FMM", "32k particles", 2'052, 80'528, true,
+                     0.4, 48, 88000, 5, false});
+    suite.push_back({"LU-c", "1024x1024 matrices, 16x16 blocks", 1, 32, false,
+                     0.0, 16, 4000, 2, false});
+    suite.push_back({"LU-nc", "1024x1024 matrices, 16x16 blocks", 1, 32, false,
+                     0.0, 16, 4000, 2, false});
+    suite.push_back({"Ocean-c", "514x514", 6, 6'304, false,
+                     0.3, 24, 6000, 4, false});
+    suite.push_back({"Ocean-nc", "258x258", 6, 6'656, false,
+                     0.3, 24, 6000, 4, false});
+    suite.push_back({"Radiosity", "room, -ae 5000.0 -en 0.050 -bf 0.10",
+                     3'975, 295'627, true, 0.8, 24, 10500, 5, false});
+    suite.push_back({"Radix", "4M integers, radix 1024", 1, 32, false,
+                     0.0, 16, 4000, 2, false});
+    suite.push_back({"Raytrace", "car", 35, 366'450, true,
+                     1.1, 16, 3400, 1, true});
+    suite.push_back({"Volrend", "head", 67, 38'456, true,
+                     0.9, 16, 72000, 6, false});
+    suite.push_back({"Water-Nsq", "2197 molecules", 2'206, 112'415, true,
+                     0.2, 24, 38000, 6, false});
+    suite.push_back({"Water-Sp", "2197 molecules", 222, 510, false,
+                     0.2, 24, 38000, 6, false});
+    return suite;
+}
+
+std::vector<AppWorkload>
+studied_apps()
+{
+    std::vector<AppWorkload> studied;
+    for (const AppWorkload& app : splash2_suite())
+        if (app.studied)
+            studied.push_back(app);
+    NUCA_ASSERT(studied.size() == 7, "expected the paper's seven studied apps");
+    return studied;
+}
+
+const AppWorkload&
+app_by_name(const std::string& name)
+{
+    static const std::vector<AppWorkload> suite = splash2_suite();
+    for (const AppWorkload& app : suite)
+        if (app.name == name)
+            return app;
+    NUCA_FATAL("unknown application '", name, "'");
+}
+
+} // namespace nucalock::apps

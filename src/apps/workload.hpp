@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic application workload models (substitution for SPLASH-2; see
+ * DESIGN.md section 2).
+ *
+ * Each paper application is reduced to the parameters that drive its lock
+ * behaviour: the lock population and call volume of the paper's Table 3, a
+ * Zipf skew describing how concentrated the calls are on hot locks, the
+ * critical-section size, the noncritical compute between calls, and the
+ * number of barrier-delimited phases (which synchronize arrivals and create
+ * contention bursts).
+ */
+#ifndef NUCALOCK_APPS_WORKLOAD_HPP
+#define NUCALOCK_APPS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nucalock::apps {
+
+/** One application of the paper's Table 3. */
+struct AppWorkload
+{
+    std::string name;
+    std::string problem_size;
+    /** Table 3 "Total Locks": allocated lock objects. */
+    int total_locks = 1;
+    /** Table 3 "Lock Calls": acquire-release pairs (32-processor run). */
+    std::uint64_t lock_calls = 0;
+    /** Marked with a black triangle in Table 3 (> 10,000 lock calls). */
+    bool studied = false;
+
+    // --- behavioural model parameters (our synthesis) ---
+    /** Zipf exponent for lock selection (0 = uniform; ~1 = few hot locks). */
+    double zipf_skew = 0.6;
+    /** Ints modified per critical section (shared data walked). */
+    std::uint32_t cs_ints = 48;
+    /** Mean noncritical delay iterations between lock calls (+/-50%). */
+    std::uint32_t noncs_iters = 3000;
+    /** Barrier-delimited phases (bursty arrivals at phase starts). */
+    int phases = 4;
+    /** Modelled structurally as task queues + stats locks (Raytrace). */
+    bool task_queue_model = false;
+};
+
+/** All fourteen Table 3 rows, in the paper's order. */
+std::vector<AppWorkload> splash2_suite();
+
+/** The seven studied applications (Table 3's emphasized rows). */
+std::vector<AppWorkload> studied_apps();
+
+/** Look up one application by (case-sensitive) name; fatal if unknown. */
+const AppWorkload& app_by_name(const std::string& name);
+
+/**
+ * Zipf-distributed sampler over {0, ..., n-1} with exponent @p s
+ * (probability of rank r proportional to 1/(r+1)^s). Precomputes the CDF.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one index using @p rng. */
+    std::size_t sample(Xoshiro256& rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace nucalock::apps
+
+#endif // NUCALOCK_APPS_WORKLOAD_HPP

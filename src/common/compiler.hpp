@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small portability helpers: cache-line size, cpu-relax hint, no-opt sinks.
+ */
+#ifndef NUCALOCK_COMMON_COMPILER_HPP
+#define NUCALOCK_COMMON_COMPILER_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nucalock {
+
+/**
+ * Cache-line size assumed for padding shared variables. 64 bytes covers all
+ * mainstream x86/ARM parts; over-aligning is harmless for correctness.
+ */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Hint to the CPU that we are in a spin-wait loop. */
+inline void
+cpu_relax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    asm volatile("" ::: "memory");
+#endif
+}
+
+/**
+ * Keep a value alive so a calibration/delay loop is not optimised away.
+ */
+template <typename T>
+inline void
+do_not_optimize(T& value)
+{
+    asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+/** Burn roughly @p iterations trivial loop iterations of CPU time. */
+inline void
+spin_cycles(std::uint64_t iterations)
+{
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        std::uint64_t sink = i;
+        do_not_optimize(sink);
+    }
+}
+
+} // namespace nucalock
+
+#endif // NUCALOCK_COMMON_COMPILER_HPP

@@ -1,0 +1,55 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace nucalock {
+
+std::uint64_t
+env_u64(const std::string& name, std::uint64_t fallback)
+{
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        NUCA_FATAL("environment variable ", name, " is not an integer: '", raw, "'");
+    return static_cast<std::uint64_t>(value);
+}
+
+double
+env_double(const std::string& name, double fallback)
+{
+    const char* raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(raw, &end);
+    if (end == raw || *end != '\0')
+        NUCA_FATAL("environment variable ", name, " is not a number: '", raw, "'");
+    return value;
+}
+
+double
+bench_scale()
+{
+    static const double scale = [] {
+        const double s = env_double("NUCALOCK_BENCH_SCALE", 1.0);
+        if (s <= 0.0)
+            NUCA_FATAL("NUCALOCK_BENCH_SCALE must be positive, got ", s);
+        return s;
+    }();
+    return scale;
+}
+
+std::uint64_t
+scaled_iters(std::uint64_t n, std::uint64_t floor)
+{
+    const double scaled = static_cast<double>(n) * bench_scale();
+    auto result = static_cast<std::uint64_t>(scaled);
+    return result < floor ? floor : result;
+}
+
+} // namespace nucalock

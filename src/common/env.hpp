@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Environment-variable knobs, used by the benchmark harness to scale run
+ * lengths (e.g. NUCALOCK_BENCH_SCALE=0.1 for a quick smoke run).
+ */
+#ifndef NUCALOCK_COMMON_ENV_HPP
+#define NUCALOCK_COMMON_ENV_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nucalock {
+
+/** Read an unsigned integer from the environment, or return @p fallback. */
+std::uint64_t env_u64(const std::string& name, std::uint64_t fallback);
+
+/** Read a double from the environment, or return @p fallback. */
+double env_double(const std::string& name, double fallback);
+
+/**
+ * Global benchmark scale factor (NUCALOCK_BENCH_SCALE, default 1.0).
+ * Benchmarks multiply their iteration counts by this.
+ */
+double bench_scale();
+
+/** Scale @p n by bench_scale(), never returning less than @p floor. */
+std::uint64_t scaled_iters(std::uint64_t n, std::uint64_t floor = 1);
+
+} // namespace nucalock
+
+#endif // NUCALOCK_COMMON_ENV_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * `fatal()` is for user errors (bad configuration, invalid arguments): it
+ * prints a message and exits with status 1. `panic()` is for internal
+ * invariant violations (library bugs): it prints and aborts. `warn()` and
+ * `inform()` report conditions without stopping execution.
+ */
+#ifndef NUCALOCK_COMMON_LOGGING_HPP
+#define NUCALOCK_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace nucalock {
+
+/** Terminate with exit(1); use for conditions that are the caller's fault. */
+[[noreturn]] void fatal_impl(const char* file, int line, const std::string& msg);
+
+/** Terminate with abort(); use for conditions that are a library bug. */
+[[noreturn]] void panic_impl(const char* file, int line, const std::string& msg);
+
+/** Print a warning to stderr and continue. */
+void warn_impl(const char* file, int line, const std::string& msg);
+
+/** Print an informational message to stderr and continue. */
+void inform_impl(const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace nucalock
+
+#define NUCA_FATAL(...) \
+    ::nucalock::fatal_impl(__FILE__, __LINE__, ::nucalock::detail::concat(__VA_ARGS__))
+
+#define NUCA_PANIC(...) \
+    ::nucalock::panic_impl(__FILE__, __LINE__, ::nucalock::detail::concat(__VA_ARGS__))
+
+#define NUCA_WARN(...) \
+    ::nucalock::warn_impl(__FILE__, __LINE__, ::nucalock::detail::concat(__VA_ARGS__))
+
+#define NUCA_INFORM(...) \
+    ::nucalock::inform_impl(::nucalock::detail::concat(__VA_ARGS__))
+
+/** Assertion that stays enabled in release builds; panics on failure. */
+#define NUCA_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::nucalock::panic_impl(__FILE__, __LINE__,                    \
+                ::nucalock::detail::concat("assertion failed: " #cond " " \
+                                           __VA_ARGS__));                 \
+        }                                                                 \
+    } while (0)
+
+#endif // NUCALOCK_COMMON_LOGGING_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sense-reversing centralized barrier over the lock-context API (runs on
+ * both the simulator and real threads).
+ */
+#ifndef NUCALOCK_HARNESS_BARRIER_HPP
+#define NUCALOCK_HARNESS_BARRIER_HPP
+
+#include <cstdint>
+
+#include "locks/context.hpp"
+
+namespace nucalock::harness {
+
+/**
+ * Classic sense-reversing barrier. Each participating thread keeps its own
+ * sense flag (initially false) and passes it to every wait() call.
+ */
+template <locks::LockContext Ctx>
+class SenseBarrier
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    SenseBarrier(Machine& machine, int participants, int home_node = 0)
+        : count_(machine.alloc(static_cast<std::uint64_t>(participants), home_node)),
+          sense_(machine.alloc(0, home_node)),
+          participants_(static_cast<std::uint64_t>(participants))
+    {
+    }
+
+    /** Block until all participants arrive. Flips *@p sense on exit. */
+    void
+    wait(Ctx& ctx, bool* sense)
+    {
+        const std::uint64_t old = *sense ? 1 : 0;
+        std::uint64_t c;
+        while (true) {
+            c = ctx.load(count_);
+            if (ctx.cas(count_, c, c - 1) == c)
+                break;
+        }
+        if (c == 1) {
+            // Last arriver: reset and release everyone.
+            ctx.store(count_, participants_);
+            ctx.store(sense_, old ^ 1);
+        } else {
+            ctx.spin_while_equal(sense_, old);
+        }
+        *sense = !*sense;
+    }
+
+  private:
+    Ref count_;
+    Ref sense_;
+    std::uint64_t participants_;
+};
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_BARRIER_HPP

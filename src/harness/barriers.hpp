@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Scalable barrier algorithms beyond the centralized sense-reversing one
+ * (harness/barrier.hpp): a combining-tree barrier and a dissemination
+ * barrier, both from the classic Mellor-Crummey & Scott toolbox the paper
+ * builds on. The SPLASH-2 application models are barrier-phased, so the
+ * barrier itself must not become the bottleneck on wide machines.
+ */
+#ifndef NUCALOCK_HARNESS_BARRIERS_HPP
+#define NUCALOCK_HARNESS_BARRIERS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/context.hpp"
+
+namespace nucalock::harness {
+
+/**
+ * Combining-tree barrier: threads decrement per-group counters arranged in
+ * a tree of arity @p kArity; the last arriver at each level proceeds
+ * upward, and the thread that closes the root flips a global sense word
+ * everyone spins on. Contention per word is bounded by the arity instead
+ * of the thread count.
+ */
+template <locks::LockContext Ctx>
+class TreeBarrier
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr std::uint64_t kArity = 4;
+
+    TreeBarrier(Machine& machine, int participants, int home_node = 0)
+        : participants_(static_cast<std::uint64_t>(participants)),
+          sense_(machine.alloc(0, home_node))
+    {
+        NUCA_ASSERT(participants > 0);
+        // Build counter levels bottom-up until one group remains.
+        std::uint64_t width = participants_;
+        while (width > 1) {
+            const std::uint64_t groups = (width + kArity - 1) / kArity;
+            Level level;
+            level.width = width;
+            level.first = machine.alloc_array(
+                static_cast<std::uint32_t>(groups), 0, home_node);
+            // Group g expects min(kArity, width - g*kArity) arrivals.
+            levels_.push_back(level);
+            width = groups;
+        }
+    }
+
+    /** Block until all participants arrive. Flips *@p sense on exit. */
+    void
+    wait(Ctx& ctx, bool* sense)
+    {
+        const std::uint64_t old = *sense ? 1 : 0;
+        std::uint64_t index = static_cast<std::uint64_t>(ctx.thread_id());
+        bool winner = true;
+        for (Level& level : levels_) {
+            const std::uint64_t group = index / kArity;
+            const std::uint64_t expected =
+                std::min(kArity, level.width - group * kArity);
+            // fetch-increment the group's arrival count (cas loop).
+            const Ref counter = level.first.at(static_cast<std::uint32_t>(group));
+            std::uint64_t seen;
+            while (true) {
+                seen = ctx.load(counter);
+                if (ctx.cas(counter, seen, seen + 1) == seen)
+                    break;
+            }
+            if (seen + 1 < expected) {
+                winner = false; // someone else carries this group upward
+                break;
+            }
+            // Last arriver of the group: reset for reuse and move up.
+            ctx.store(counter, 0);
+            index = group;
+        }
+        if (winner)
+            ctx.store(sense_, old ^ 1); // root closed: release everyone
+        else
+            ctx.spin_while_equal(sense_, old);
+        *sense = !*sense;
+    }
+
+  private:
+    struct Level
+    {
+        Ref first;
+        std::uint64_t width = 0;
+    };
+
+    std::uint64_t participants_;
+    Ref sense_;
+    std::vector<Level> levels_;
+};
+
+/**
+ * Dissemination barrier: ceil(log2(P)) rounds; in round r, thread i
+ * signals thread (i + 2^r) mod P and waits for the signal from
+ * (i - 2^r) mod P. No single hot word at all; reuse is epoch-numbered so
+ * no reinitialization is needed between phases.
+ */
+template <locks::LockContext Ctx>
+class DisseminationBarrier
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    DisseminationBarrier(Machine& machine, int participants, int home_node = 0)
+        : participants_(static_cast<std::uint64_t>(participants)),
+          epochs_(static_cast<std::size_t>(participants), 0)
+    {
+        NUCA_ASSERT(participants > 0);
+        rounds_ = 0;
+        while ((std::uint64_t{1} << rounds_) < participants_)
+            ++rounds_;
+        if (rounds_ == 0)
+            rounds_ = participants_ == 1 ? 0 : 1;
+        for (std::uint64_t r = 0; r < rounds_; ++r)
+            flags_.push_back(machine.alloc_array(
+                static_cast<std::uint32_t>(participants_), 0, home_node));
+    }
+
+    /** Block until all participants arrive. */
+    void
+    wait(Ctx& ctx)
+    {
+        const auto me = static_cast<std::uint64_t>(ctx.thread_id());
+        NUCA_ASSERT(me < participants_, "thread id outside barrier");
+        const std::uint64_t epoch = ++epochs_[static_cast<std::size_t>(me)];
+        for (std::uint64_t r = 0; r < rounds_; ++r) {
+            const std::uint64_t stride = std::uint64_t{1} << r;
+            const auto to = static_cast<std::uint32_t>((me + stride) %
+                                                       participants_);
+            // Signal our downstream partner's slot; our upstream partner
+            // ((me - stride) mod P) signals *our* slot.
+            ctx.store(flags_[static_cast<std::size_t>(r)].at(to), epoch);
+            const Ref inbound =
+                flags_[static_cast<std::size_t>(r)].at(static_cast<std::uint32_t>(me));
+            while (ctx.load(inbound) < epoch)
+                ctx.spin_while_equal(inbound, epoch - 1);
+        }
+    }
+
+  private:
+    std::uint64_t participants_;
+    std::uint64_t rounds_ = 0;
+    std::vector<Ref> flags_;        // flags_[round].at(thread)
+    std::vector<std::uint64_t> epochs_; // host-side, one writer each
+};
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_BARRIERS_HPP

@@ -1,0 +1,15 @@
+#include "harness/fairness.hpp"
+
+namespace nucalock::harness {
+
+FairnessResult
+run_fairness(locks::LockKind kind, const NewBenchConfig& config)
+{
+    const BenchResult bench = run_newbench(kind, config);
+    FairnessResult result;
+    result.finish_times = bench.finish_times;
+    result.spread_pct = bench.fairness_spread_pct;
+    return result;
+}
+
+} // namespace nucalock::harness

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fairness study (paper section 6, Fig 8): per-thread finish-time spread of
+ * the new microbenchmark.
+ */
+#ifndef NUCALOCK_HARNESS_FAIRNESS_HPP
+#define NUCALOCK_HARNESS_FAIRNESS_HPP
+
+#include "harness/newbench.hpp"
+
+namespace nucalock::harness {
+
+/** Per-thread finish times and the paper's spread metric. */
+struct FairnessResult
+{
+    std::vector<sim::SimTime> finish_times;
+    double spread_pct = 0.0;
+};
+
+/** Run the fairness study for @p kind on the new microbenchmark. */
+FairnessResult run_fairness(locks::LockKind kind, const NewBenchConfig& config);
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_FAIRNESS_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's "new microbenchmark" (section 5.3, Fig 4/5, Table 2): a fixed
+ * number of threads alternating between noncritical private work (a static
+ * delay plus a random delay of similar size) and a critical section that
+ * modifies `critical_work` elements of a shared vector. Contention is
+ * raised by growing the critical work, exactly as in the paper.
+ */
+#ifndef NUCALOCK_HARNESS_NEWBENCH_HPP
+#define NUCALOCK_HARNESS_NEWBENCH_HPP
+
+#include <cstdint>
+
+#include "harness/results.hpp"
+#include "locks/any_lock.hpp"
+#include "locks/params.hpp"
+#include "sim/engine.hpp"
+#include "topology/mapping.hpp"
+
+namespace nucalock::harness {
+
+struct NewBenchConfig
+{
+    Topology topology = Topology::wildfire();
+    sim::LatencyModel latency = sim::LatencyModel::wildfire();
+    locks::LockParams params;
+    int threads = 28;
+    Placement placement = Placement::RoundRobinNodes;
+    std::uint32_t iterations_per_thread = 60;
+    /** Shared-vector elements (4-byte ints) modified in the CS. */
+    std::uint32_t critical_work = 1500;
+    /** Static noncritical delay, in empty loop iterations; a random delay
+     *  in [0, private_work) is added on top (Fig 4 lines 12-17). */
+    std::uint32_t private_work = 4000;
+    /** Ints per cache line: 64-byte lines of 4-byte ints. */
+    std::uint32_t ints_per_line = 16;
+    std::uint64_t seed = 1;
+    /** Use preemption injection (Table 4's 30-cpu multiprogramming runs). */
+    bool preemption = false;
+    sim::SimTime preempt_mean_interval = 40'000'000;
+    sim::SimTime preempt_duration = 10'000'000;
+};
+
+/** Run the new microbenchmark for @p kind. */
+BenchResult run_newbench(locks::LockKind kind, const NewBenchConfig& config);
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_NEWBENCH_HPP

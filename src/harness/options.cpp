@@ -1,0 +1,142 @@
+#include "harness/options.hpp"
+
+#include <charconv>
+
+#include "locks/any_lock.hpp"
+
+namespace nucalock::harness {
+namespace {
+
+bool
+split_arg(const std::string& arg, std::string* key, std::string* value)
+{
+    if (arg.rfind("--", 0) != 0)
+        return false;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+        *key = arg.substr(2);
+        value->clear();
+        return true;
+    }
+    *key = arg.substr(2, eq - 2);
+    *value = arg.substr(eq + 1);
+    return true;
+}
+
+template <typename T>
+bool
+parse_number(const std::string& text, T* out)
+{
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, *out);
+    return ec == std::errc() && ptr == last;
+}
+
+bool
+parse_double(const std::string& text, double* out)
+{
+    try {
+        std::size_t used = 0;
+        *out = std::stod(text, &used);
+        return used == text.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+CliParse
+fail(const std::string& message)
+{
+    return CliParse{std::nullopt, message};
+}
+
+} // namespace
+
+std::string
+cli_usage()
+{
+    return "nucabench — run the paper's lock microbenchmarks on the NUCA "
+           "simulator\n"
+           "\n"
+           "usage: nucabench [--bench=new|traditional|uncontested]\n"
+           "                 [--lock=NAME|ALL] [--nodes=N] [--cpus-per-node=N]\n"
+           "                 [--threads=N] [--critical-work=INTS]\n"
+           "                 [--private-work=ITERS] [--iterations=N]\n"
+           "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
+           "                 [--csv] [--help]\n"
+           "\n"
+           "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
+           "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n";
+}
+
+CliParse
+parse_cli(const std::vector<std::string>& args)
+{
+    CliOptions opts;
+    for (const std::string& arg : args) {
+        std::string key;
+        std::string value;
+        if (!split_arg(arg, &key, &value))
+            return fail("arguments must look like --key=value, got '" + arg +
+                        "'");
+
+        if (key == "help") {
+            opts.help = true;
+        } else if (key == "bench") {
+            if (value == "new")
+                opts.bench = CliBench::New;
+            else if (value == "traditional")
+                opts.bench = CliBench::Traditional;
+            else if (value == "uncontested")
+                opts.bench = CliBench::Uncontested;
+            else
+                return fail("unknown bench '" + value + "'");
+        } else if (key == "lock") {
+            if (value != "ALL" && !locks::parse_lock_name(value))
+                return fail("unknown lock '" + value + "'");
+            opts.lock = value;
+        } else if (key == "nodes") {
+            if (!parse_number(value, &opts.nodes) || opts.nodes < 1)
+                return fail("bad --nodes '" + value + "'");
+        } else if (key == "cpus-per-node") {
+            if (!parse_number(value, &opts.cpus_per_node) ||
+                opts.cpus_per_node < 1)
+                return fail("bad --cpus-per-node '" + value + "'");
+        } else if (key == "threads") {
+            if (!parse_number(value, &opts.threads) || opts.threads < 1)
+                return fail("bad --threads '" + value + "'");
+        } else if (key == "critical-work") {
+            if (!parse_number(value, &opts.critical_work))
+                return fail("bad --critical-work '" + value + "'");
+        } else if (key == "private-work") {
+            if (!parse_number(value, &opts.private_work))
+                return fail("bad --private-work '" + value + "'");
+        } else if (key == "iterations") {
+            if (!parse_number(value, &opts.iterations) || opts.iterations == 0)
+                return fail("bad --iterations '" + value + "'");
+        } else if (key == "nuca-ratio") {
+            if (!parse_double(value, &opts.nuca_ratio) || opts.nuca_ratio < 0.0)
+                return fail("bad --nuca-ratio '" + value + "'");
+            if (opts.nuca_ratio != 0.0 && opts.nuca_ratio < 1.0)
+                return fail("--nuca-ratio must be >= 1 (or 0 for default)");
+        } else if (key == "seed") {
+            if (!parse_number(value, &opts.seed))
+                return fail("bad --seed '" + value + "'");
+        } else if (key == "preemption") {
+            opts.preemption = true;
+        } else if (key == "csv") {
+            opts.csv = true;
+        } else {
+            return fail("unknown option '--" + key + "'");
+        }
+    }
+
+    if (opts.threads > opts.nodes * opts.cpus_per_node)
+        return fail("--threads exceeds nodes*cpus-per-node");
+    if (opts.lock == "RH" && opts.nodes > 2)
+        return fail("RH supports at most two nodes");
+    return CliParse{opts, ""};
+}
+
+} // namespace nucalock::harness

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Command-line options for the nucabench tool (tools/nucabench.cpp):
+ * parsing is kept in the library so it is unit-testable.
+ */
+#ifndef NUCALOCK_HARNESS_OPTIONS_HPP
+#define NUCALOCK_HARNESS_OPTIONS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nucalock::harness {
+
+/** Which benchmark nucabench runs. */
+enum class CliBench
+{
+    New,         // the paper's new microbenchmark (default)
+    Traditional, // the traditional microbenchmark
+    Uncontested, // Table 1 style latency probes
+};
+
+/** Parsed command line. */
+struct CliOptions
+{
+    CliBench bench = CliBench::New;
+    /** Lock name as in locks::lock_name(), or "ALL". */
+    std::string lock = "ALL";
+    int nodes = 2;
+    int cpus_per_node = 14;
+    int threads = 28;
+    std::uint32_t critical_work = 1500;
+    std::uint32_t private_work = 4000;
+    std::uint32_t iterations = 60;
+    /** 0 = calibrated WildFire model; otherwise LatencyModel::scaled(). */
+    double nuca_ratio = 0.0;
+    std::uint64_t seed = 1;
+    bool preemption = false;
+    bool csv = false;
+    bool help = false;
+};
+
+/** Result of parsing: options, or an error message. */
+struct CliParse
+{
+    std::optional<CliOptions> options;
+    std::string error;
+};
+
+/**
+ * Parse `--key=value` style arguments (and `--help`). Unknown keys, bad
+ * values, or out-of-range combinations produce an error message.
+ */
+CliParse parse_cli(const std::vector<std::string>& args);
+
+/** The --help text. */
+std::string cli_usage();
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_OPTIONS_HPP

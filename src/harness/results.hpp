@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Result records shared by the microbenchmark harness.
+ */
+#ifndef NUCALOCK_HARNESS_RESULTS_HPP
+#define NUCALOCK_HARNESS_RESULTS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/traffic.hpp"
+
+namespace nucalock::harness {
+
+/** Outcome of one contended-lock benchmark run. */
+struct BenchResult
+{
+    /** Simulated wall time of the whole run. */
+    sim::SimTime total_time = 0;
+    /** Total critical-section entries across all threads. */
+    std::uint64_t total_acquires = 0;
+    /** total_time / total_acquires. */
+    double avg_iteration_ns = 0.0;
+    /** Fraction of acquisitions whose previous holder was in another node. */
+    double node_handoff_ratio = 0.0;
+    /** Coherence traffic generated during the run. */
+    sim::TrafficStats traffic;
+    /** Per-thread completion times (fairness study). */
+    std::vector<sim::SimTime> finish_times;
+    /** (last - first finisher) / last, in percent (paper's Fig. 8 metric). */
+    double fairness_spread_pct = 0.0;
+};
+
+/** The paper's fairness metric over a set of finish times. */
+inline double
+fairness_spread_pct(const std::vector<sim::SimTime>& finish_times)
+{
+    if (finish_times.size() < 2)
+        return 0.0;
+    const auto [lo, hi] =
+        std::minmax_element(finish_times.begin(), finish_times.end());
+    if (*hi == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(*hi - *lo) / static_cast<double>(*hi);
+}
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_RESULTS_HPP

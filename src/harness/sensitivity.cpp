@@ -1,0 +1,49 @@
+#include "harness/sensitivity.hpp"
+
+#include "common/logging.hpp"
+
+namespace nucalock::harness {
+
+using locks::LockKind;
+
+std::vector<SensitivityPoint>
+sweep_remote_backoff_cap(const NewBenchConfig& config,
+                         const std::vector<std::uint32_t>& caps)
+{
+    const BenchResult reference = run_newbench(LockKind::Mcs, config);
+    NUCA_ASSERT(reference.total_time > 0);
+
+    std::vector<SensitivityPoint> points;
+    points.reserve(caps.size());
+    for (std::uint32_t cap : caps) {
+        NewBenchConfig swept = config;
+        swept.params.hbo_remote_cap = cap;
+        const BenchResult run = run_newbench(LockKind::HboGtSd, swept);
+        points.push_back(
+            {cap, static_cast<double>(run.total_time) /
+                      static_cast<double>(reference.total_time)});
+    }
+    return points;
+}
+
+std::vector<SensitivityPoint>
+sweep_get_angry_limit(const NewBenchConfig& config,
+                      const std::vector<std::uint32_t>& limits)
+{
+    const BenchResult reference = run_newbench(LockKind::HboGt, config);
+    NUCA_ASSERT(reference.total_time > 0);
+
+    std::vector<SensitivityPoint> points;
+    points.reserve(limits.size());
+    for (std::uint32_t limit : limits) {
+        NewBenchConfig swept = config;
+        swept.params.get_angry_limit = limit;
+        const BenchResult run = run_newbench(LockKind::HboGtSd, swept);
+        points.push_back(
+            {limit, static_cast<double>(run.total_time) /
+                        static_cast<double>(reference.total_time)});
+    }
+    return points;
+}
+
+} // namespace nucalock::harness

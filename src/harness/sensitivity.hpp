@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Sensitivity studies (paper section 6, Figs 9 and 10): sweep
+ * REMOTE_BACKOFF_CAP and GET_ANGRY_LIMIT for HBO_GT_SD on the new
+ * microbenchmark and report run time normalized to a reference lock.
+ */
+#ifndef NUCALOCK_HARNESS_SENSITIVITY_HPP
+#define NUCALOCK_HARNESS_SENSITIVITY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/newbench.hpp"
+
+namespace nucalock::harness {
+
+/** One sweep point: parameter value and run time / reference run time. */
+struct SensitivityPoint
+{
+    std::uint64_t value = 0;
+    double normalized_time = 0.0;
+};
+
+/**
+ * Fig 9: sweep HBO_GT_SD's REMOTE_BACKOFF_CAP over @p caps; times are
+ * normalized to MCS under the same configuration.
+ */
+std::vector<SensitivityPoint>
+sweep_remote_backoff_cap(const NewBenchConfig& config,
+                         const std::vector<std::uint32_t>& caps);
+
+/**
+ * Fig 10: sweep HBO_GT_SD's GET_ANGRY_LIMIT over @p limits; times are
+ * normalized to HBO_GT under the same configuration.
+ */
+std::vector<SensitivityPoint>
+sweep_get_angry_limit(const NewBenchConfig& config,
+                      const std::vector<std::uint32_t>& limits);
+
+} // namespace nucalock::harness
+
+#endif // NUCALOCK_HARNESS_SENSITIVITY_HPP

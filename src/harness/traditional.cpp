@@ -1,0 +1,81 @@
+#include "harness/traditional.hpp"
+
+#include "common/logging.hpp"
+
+namespace nucalock::harness {
+
+using locks::AnyLock;
+using locks::LockKind;
+using sim::MemRef;
+using sim::SimContext;
+using sim::SimMachine;
+
+namespace {
+/** `owner` value before anyone has held the lock (thread ids are id+1). */
+constexpr std::uint64_t kNobody = 0;
+} // namespace
+
+BenchResult
+run_traditional(LockKind kind, const TraditionalConfig& config)
+{
+    SimMachine machine(config.topology, config.latency,
+                       sim::SimConfig{.seed = config.seed});
+    AnyLock<SimContext> lock(machine, kind, config.params);
+
+    // Shared benchmark state. `owner` and `active` live in simulated memory
+    // because observing them is part of the benchmark; the handoff counters
+    // are host-side bookkeeping guarded by the lock (no simulated traffic).
+    const MemRef owner = machine.alloc(kNobody, 0);
+    const MemRef active =
+        machine.alloc(static_cast<std::uint64_t>(config.threads), 0);
+
+    std::uint64_t handoffs = 0;
+    std::uint64_t acquires = 0;
+    int prev_node = -1;
+
+    machine.add_threads(
+        config.threads, config.placement, [&](SimContext& ctx, int) {
+            const auto me = static_cast<std::uint64_t>(ctx.thread_id()) + 1;
+            for (std::uint32_t i = 0; i < config.iterations_per_thread; ++i) {
+                // Wait to observe a new owner (unless we are the last
+                // thread still running).
+                while (ctx.load(owner) == me && ctx.load(active) > 1)
+                    ctx.delay(32);
+
+                lock.acquire(ctx);
+                ctx.store(owner, me);
+                if (prev_node >= 0 && prev_node != ctx.node())
+                    ++handoffs;
+                prev_node = ctx.node();
+                ++acquires;
+                lock.release(ctx);
+            }
+            // Retire from the benchmark.
+            while (true) {
+                const std::uint64_t a = ctx.load(active);
+                if (ctx.cas(active, a, a - 1) == a)
+                    break;
+            }
+        });
+    machine.run();
+
+    BenchResult result;
+    result.total_time = machine.now();
+    result.total_acquires = acquires;
+    result.avg_iteration_ns =
+        static_cast<double>(machine.now()) / static_cast<double>(acquires);
+    result.node_handoff_ratio =
+        acquires > 1 ? static_cast<double>(handoffs) /
+                           static_cast<double>(acquires - 1)
+                     : 0.0;
+    result.traffic = machine.traffic();
+    result.finish_times.reserve(static_cast<std::size_t>(config.threads));
+    for (int t = 0; t < config.threads; ++t)
+        result.finish_times.push_back(machine.finish_time(t));
+    result.fairness_spread_pct = fairness_spread_pct(result.finish_times);
+    NUCA_ASSERT(acquires == static_cast<std::uint64_t>(config.threads) *
+                                config.iterations_per_thread);
+    return result;
+}
+
+} // namespace nucalock::harness

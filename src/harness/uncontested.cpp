@@ -1,0 +1,86 @@
+#include "harness/uncontested.hpp"
+
+#include "common/logging.hpp"
+
+namespace nucalock::harness {
+
+using locks::AnyLock;
+using locks::LockKind;
+using sim::MemRef;
+using sim::SimContext;
+using sim::SimMachine;
+using sim::SimTime;
+
+double
+measure_handover_ns(LockKind kind, const UncontestedConfig& config, int cpu_a,
+                    int cpu_b)
+{
+    SimMachine machine(config.topology, config.latency,
+                       sim::SimConfig{.seed = config.seed});
+    AnyLock<SimContext> lock(machine, kind, config.params);
+
+    SimTime measured = 0;
+    std::uint64_t counted = 0;
+    const std::uint32_t warmup = config.warmup;
+    const std::uint32_t iterations = config.iterations + warmup;
+
+    if (cpu_a == cpu_b) {
+        machine.add_thread(cpu_a, [&](SimContext& ctx) {
+            for (std::uint32_t k = 0; k < iterations; ++k) {
+                const SimTime t0 = ctx.now();
+                lock.acquire(ctx);
+                lock.release(ctx);
+                if (k >= warmup) {
+                    measured += ctx.now() - t0;
+                    ++counted;
+                }
+            }
+        });
+        machine.run();
+        return static_cast<double>(measured) / static_cast<double>(counted);
+    }
+
+    // Two threads alternating through a turn word; only the acquire-release
+    // interval is measured, not the turn handshake.
+    const MemRef turn = machine.alloc(0, 0);
+    auto worker = [&, iterations, warmup](SimContext& ctx, std::uint64_t other) {
+        for (std::uint32_t k = 0; k < iterations; ++k) {
+            ctx.spin_while_equal(turn, other); // wait for our turn
+            const SimTime t0 = ctx.now();
+            lock.acquire(ctx);
+            lock.release(ctx);
+            if (k >= warmup) {
+                measured += ctx.now() - t0;
+                ++counted;
+            }
+            ctx.store(turn, other);
+        }
+    };
+    machine.add_thread(cpu_a, [&worker](SimContext& ctx) { worker(ctx, 1); });
+    machine.add_thread(cpu_b, [&worker](SimContext& ctx) { worker(ctx, 0); });
+    machine.run();
+    NUCA_ASSERT(counted > 0);
+    return static_cast<double>(measured) / static_cast<double>(counted);
+}
+
+UncontestedResult
+run_uncontested(LockKind kind, const UncontestedConfig& config)
+{
+    const Topology& topo = config.topology;
+    UncontestedResult result;
+
+    const int cpu0 = topo.first_cpu_of_node(0);
+    result.same_processor_ns = measure_handover_ns(kind, config, cpu0, cpu0);
+
+    NUCA_ASSERT(topo.cpus_in_node(0) >= 2,
+                "same-node scenario needs two cpus in node 0");
+    result.same_node_ns = measure_handover_ns(kind, config, cpu0, cpu0 + 1);
+
+    if (topo.num_nodes() >= 2) {
+        const int remote = topo.first_cpu_of_node(1);
+        result.remote_node_ns = measure_handover_ns(kind, config, cpu0, remote);
+    }
+    return result;
+}
+
+} // namespace nucalock::harness

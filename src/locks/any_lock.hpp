@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Runtime-selectable locks: a LockKind enumeration covering every algorithm
+ * in the library, and a type-erased AnyLock wrapper so the benchmark
+ * harness can iterate over lock implementations.
+ */
+#ifndef NUCALOCK_LOCKS_ANY_LOCK_HPP
+#define NUCALOCK_LOCKS_ANY_LOCK_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/clh_try.hpp"
+#include "locks/cohort.hpp"
+#include "locks/context.hpp"
+#include "locks/hbo.hpp"
+#include "locks/hbo_gt.hpp"
+#include "locks/hbo_gt_sd.hpp"
+#include "locks/hbo_hier.hpp"
+#include "locks/mcs.hpp"
+#include "locks/params.hpp"
+#include "locks/reactive.hpp"
+#include "locks/rh.hpp"
+#include "locks/tatas.hpp"
+#include "locks/tatas_exp.hpp"
+#include "locks/ticket.hpp"
+
+namespace nucalock::locks {
+
+/** Every lock algorithm in the library. */
+enum class LockKind
+{
+    Tatas,
+    TatasExp,
+    Ticket,
+    Mcs,
+    Clh,
+    Rh,
+    Hbo,
+    HboGt,
+    HboGtSd,
+    HboHier,
+    Reactive,
+    Anderson,
+    Cohort,
+    ClhTry,
+};
+
+/** Display name matching the paper's tables (e.g. "HBO_GT_SD"). */
+inline const char*
+lock_name(LockKind kind)
+{
+    switch (kind) {
+      case LockKind::Tatas: return "TATAS";
+      case LockKind::TatasExp: return "TATAS_EXP";
+      case LockKind::Ticket: return "TICKET";
+      case LockKind::Mcs: return "MCS";
+      case LockKind::Clh: return "CLH";
+      case LockKind::Rh: return "RH";
+      case LockKind::Hbo: return "HBO";
+      case LockKind::HboGt: return "HBO_GT";
+      case LockKind::HboGtSd: return "HBO_GT_SD";
+      case LockKind::HboHier: return "HBO_HIER";
+      case LockKind::Reactive: return "REACTIVE";
+      case LockKind::Anderson: return "ANDERSON";
+      case LockKind::Cohort: return "COHORT";
+      case LockKind::ClhTry: return "CLH_TRY";
+    }
+    NUCA_PANIC("unknown LockKind");
+}
+
+/** Parse a lock name (as printed by lock_name); case-sensitive. */
+inline std::optional<LockKind>
+parse_lock_name(std::string_view name)
+{
+    for (LockKind kind :
+         {LockKind::Tatas, LockKind::TatasExp, LockKind::Ticket, LockKind::Mcs,
+          LockKind::Clh, LockKind::Rh, LockKind::Hbo, LockKind::HboGt,
+          LockKind::HboGtSd, LockKind::HboHier, LockKind::Reactive,
+          LockKind::Anderson, LockKind::Cohort, LockKind::ClhTry}) {
+        if (name == lock_name(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+/** The paper's eight algorithms, in its table order. */
+inline std::vector<LockKind>
+paper_lock_kinds()
+{
+    return {LockKind::Tatas, LockKind::TatasExp, LockKind::Mcs, LockKind::Clh,
+            LockKind::Rh,    LockKind::Hbo,      LockKind::HboGt,
+            LockKind::HboGtSd};
+}
+
+/** All algorithms, including the extra baselines and extensions. */
+inline std::vector<LockKind>
+all_lock_kinds()
+{
+    return {LockKind::Tatas,    LockKind::TatasExp, LockKind::Ticket,
+            LockKind::Anderson, LockKind::Mcs,      LockKind::Clh,
+            LockKind::Rh,       LockKind::Hbo,      LockKind::HboGt,
+            LockKind::HboGtSd,  LockKind::HboHier,  LockKind::Reactive,
+            LockKind::Cohort,   LockKind::ClhTry};
+}
+
+/** True for the NUCA-aware algorithms (RH and the HBO family). */
+inline bool
+is_nuca_aware(LockKind kind)
+{
+    return kind == LockKind::Rh || kind == LockKind::Hbo ||
+           kind == LockKind::HboGt || kind == LockKind::HboGtSd ||
+           kind == LockKind::HboHier || kind == LockKind::Cohort;
+}
+
+/**
+ * Type-erased lock over a given context type. Virtual dispatch per
+ * operation — fine for the harness; performance-sensitive users
+ * instantiate the concrete templates directly.
+ */
+template <LockContext Ctx>
+class AnyLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+
+    AnyLock(Machine& machine, LockKind kind,
+            const LockParams& params = LockParams{}, int home_node = 0)
+        : kind_(kind), impl_(make_impl(machine, kind, params, home_node))
+    {
+    }
+
+    void acquire(Ctx& ctx) { impl_->acquire(ctx); }
+    void release(Ctx& ctx) { impl_->release(ctx); }
+
+    LockKind kind() const { return kind_; }
+    const char* name() const { return lock_name(kind_); }
+
+  private:
+    struct Base
+    {
+        virtual ~Base() = default;
+        virtual void acquire(Ctx&) = 0;
+        virtual void release(Ctx&) = 0;
+    };
+
+    template <typename L>
+    struct Impl final : Base
+    {
+        Impl(Machine& machine, const LockParams& params, int home_node)
+            : lock(machine, params, home_node)
+        {
+        }
+
+        void acquire(Ctx& ctx) override { lock.acquire(ctx); }
+        void release(Ctx& ctx) override { lock.release(ctx); }
+
+        L lock;
+    };
+
+    static std::unique_ptr<Base>
+    make_impl(Machine& machine, LockKind kind, const LockParams& params,
+              int home_node)
+    {
+        switch (kind) {
+          case LockKind::Tatas:
+            return std::make_unique<Impl<TatasLock<Ctx>>>(machine, params,
+                                                          home_node);
+          case LockKind::TatasExp:
+            return std::make_unique<Impl<TatasExpLock<Ctx>>>(machine, params,
+                                                             home_node);
+          case LockKind::Ticket:
+            return std::make_unique<Impl<TicketLock<Ctx>>>(machine, params,
+                                                           home_node);
+          case LockKind::Mcs:
+            return std::make_unique<Impl<McsLock<Ctx>>>(machine, params,
+                                                        home_node);
+          case LockKind::Clh:
+            return std::make_unique<Impl<ClhLock<Ctx>>>(machine, params,
+                                                        home_node);
+          case LockKind::Rh:
+            return std::make_unique<Impl<RhLock<Ctx>>>(machine, params,
+                                                       home_node);
+          case LockKind::Hbo:
+            return std::make_unique<Impl<HboLock<Ctx>>>(machine, params,
+                                                        home_node);
+          case LockKind::HboGt:
+            return std::make_unique<Impl<HboGtLock<Ctx>>>(machine, params,
+                                                          home_node);
+          case LockKind::HboGtSd:
+            return std::make_unique<Impl<HboGtSdLock<Ctx>>>(machine, params,
+                                                            home_node);
+          case LockKind::HboHier:
+            return std::make_unique<Impl<HboHierLock<Ctx>>>(machine, params,
+                                                            home_node);
+          case LockKind::Reactive:
+            return std::make_unique<Impl<ReactiveLock<Ctx>>>(machine, params,
+                                                             home_node);
+          case LockKind::Anderson:
+            return std::make_unique<Impl<AndersonLock<Ctx>>>(machine, params,
+                                                             home_node);
+          case LockKind::Cohort:
+            return std::make_unique<Impl<CohortLock<Ctx>>>(machine, params,
+                                                           home_node);
+          case LockKind::ClhTry:
+            return std::make_unique<Impl<ClhTryLock<Ctx>>>(machine, params,
+                                                           home_node);
+        }
+        NUCA_PANIC("unknown LockKind");
+    }
+
+    LockKind kind_;
+    std::unique_ptr<Base> impl_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_ANY_LOCK_HPP

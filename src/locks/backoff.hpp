@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The paper's backoff() helper (Fig. 1, lines 11-16), shared by all
+ * backoff-based locks, with optional deterministic jitter.
+ */
+#ifndef NUCALOCK_LOCKS_BACKOFF_HPP
+#define NUCALOCK_LOCKS_BACKOFF_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+/**
+ * Delay for *b iterations (+/-25% jitter when enabled), then grow
+ * *b geometrically up to @p cap — exactly Fig. 1's backoff(&b, cap).
+ */
+template <LockContext Ctx>
+void
+backoff(Ctx& ctx, std::uint32_t* b, std::uint32_t factor, std::uint32_t cap,
+        bool jitter)
+{
+    std::uint64_t d = *b;
+    if (jitter && d >= 4) {
+        // d * [0.75, 1.25): subtract a quarter, add back up to a half.
+        const std::uint64_t quarter = d / 4;
+        d = d - quarter + ctx.rng().next_below(2 * quarter);
+    }
+    ctx.delay(d);
+    *b = std::min(*b * factor, cap);
+}
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_BACKOFF_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CLH queue lock (Craig; Landin and Hagersten).
+ *
+ * A waiter enqueues its own node (value BUSY) with a swap on the tail and
+ * spins on its *predecessor's* node until that goes FREE; releasing sets
+ * the own node FREE and recycles the predecessor's node for the next
+ * acquire. One word per waiter, implicit queue, FIFO order.
+ */
+#ifndef NUCALOCK_LOCKS_CLH_HPP
+#define NUCALOCK_LOCKS_CLH_HPP
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class ClhLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "CLH";
+
+    explicit ClhLock(Machine& machine, const LockParams& = LockParams{},
+                     int home_node = 0)
+        : machine_(&machine),
+          slots_(static_cast<std::size_t>(machine.max_threads()))
+    {
+        const Ref dummy = machine.alloc(kFree, home_node);
+        tail_ = machine.alloc(dummy.token(), home_node);
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        Slot& slot = my_slot(ctx);
+        ctx.store(slot.mine, kBusy);
+        const std::uint64_t pred_token = ctx.swap(tail_, slot.mine.token());
+        slot.pred = Machine::ref_from_token(pred_token);
+        ctx.spin_while_equal(slot.pred, kBusy);
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        Slot& slot = slots_[static_cast<std::size_t>(ctx.thread_id())];
+        ctx.store(slot.mine, kFree);
+        // Standard CLH recycling: the predecessor's node is now ours.
+        slot.mine = slot.pred;
+    }
+
+  private:
+    static constexpr std::uint64_t kFree = 0;
+    static constexpr std::uint64_t kBusy = 1;
+
+    struct Slot
+    {
+        Ref mine; // node we will enqueue next
+        Ref pred; // node we acquired through (becomes `mine` on release)
+    };
+
+    Slot&
+    my_slot(Ctx& ctx)
+    {
+        Slot& slot = slots_[static_cast<std::size_t>(ctx.thread_id())];
+        if (!slot.mine.valid())
+            slot.mine = machine_->alloc(kFree, ctx.node());
+        return slot;
+    }
+
+    Machine* machine_;
+    Ref tail_; // token of the most recently enqueued node
+    std::vector<Slot> slots_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_CLH_HPP

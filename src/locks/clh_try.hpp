@@ -1,0 +1,123 @@
+/**
+ * @file
+ * CLH_TRY: a CLH queue lock with timeout (in the spirit of Scott &
+ * Scherer, PPoPP 2001, and Scott, PODC 2002 — the paper's references
+ * [22, 23], its own pointer for fixing queue locks' multiprogramming
+ * fragility).
+ *
+ * A waiter that gives up marks its own node with a *redirect* to its
+ * predecessor; its successor follows the redirect chain and inherits the
+ * predecessor, so departures never break the queue. The published
+ * protocols need several handshake states because nodes are recycled; we
+ * allocate a fresh node per acquisition from the machine's arena (nothing
+ * is ever freed), which removes reclamation races entirely at the cost of
+ * one word per acquisition — a deliberate simplification, documented in
+ * docs/locks.md.
+ *
+ * Node word values: kAvailable (grant), kWaiting, or kPtrBase + token
+ * (redirect to the node with that token).
+ */
+#ifndef NUCALOCK_LOCKS_CLH_TRY_HPP
+#define NUCALOCK_LOCKS_CLH_TRY_HPP
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/context.hpp"
+#include "locks/instrumented.hpp" // detail::lock_clock_ns
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class ClhTryLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "CLH_TRY";
+
+    explicit ClhTryLock(Machine& machine, const LockParams& = LockParams{},
+                        int home_node = 0)
+        : machine_(&machine),
+          held_(static_cast<std::size_t>(machine.max_threads()))
+    {
+        const Ref dummy = machine.alloc(kAvailable, home_node);
+        tail_ = machine.alloc(dummy.token(), home_node);
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        const bool ok = acquire_deadline(ctx, /*has_deadline=*/false, 0);
+        NUCA_ASSERT(ok, "untimed acquire cannot fail");
+    }
+
+    /**
+     * Acquire with a bounded wait.
+     * @return true when the lock is held (release() required), false when
+     *         the wait timed out (the queue slot was abandoned safely).
+     */
+    bool
+    try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        return acquire_deadline(ctx, /*has_deadline=*/true,
+                                detail::lock_clock_ns(ctx) + timeout_ns);
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        const Ref mine = held_[static_cast<std::size_t>(ctx.thread_id())];
+        NUCA_ASSERT(mine.valid(), "release without acquire");
+        held_[static_cast<std::size_t>(ctx.thread_id())] = Ref{};
+        ctx.store(mine, kAvailable);
+    }
+
+  private:
+    static constexpr std::uint64_t kAvailable = 1;
+    static constexpr std::uint64_t kWaiting = 2;
+    /** Values >= kPtrBase encode a redirect to node (value - kPtrBase). */
+    static constexpr std::uint64_t kPtrBase = 16;
+
+    bool
+    acquire_deadline(Ctx& ctx, bool has_deadline, std::uint64_t deadline)
+    {
+        // Fresh node every time: no recycling, no reclamation races.
+        const Ref mine = machine_->alloc(kWaiting, ctx.node());
+        Ref pred = Machine::ref_from_token(ctx.swap(tail_, mine.token()));
+
+        while (true) {
+            const std::uint64_t v = ctx.load(pred);
+            if (v == kAvailable) {
+                held_[static_cast<std::size_t>(ctx.thread_id())] = mine;
+                return true;
+            }
+            if (v >= kPtrBase) {
+                // Predecessor abandoned its slot; inherit its predecessor.
+                pred = Machine::ref_from_token(v - kPtrBase);
+                continue;
+            }
+            if (has_deadline && detail::lock_clock_ns(ctx) >= deadline) {
+                // Leave: redirect our successor (present or future) past
+                // us. A grant that lands in pred afterwards is picked up
+                // by whoever inherits pred through this redirect.
+                ctx.store(mine, kPtrBase + pred.token());
+                return false;
+            }
+            if (has_deadline)
+                ctx.delay(64); // bounded poll so the deadline is honored
+            else
+                ctx.spin_while_equal(pred, kWaiting);
+        }
+    }
+
+    Machine* machine_;
+    Ref tail_;
+    std::vector<Ref> held_; // node to mark available at release, per thread
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_CLH_TRY_HPP

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * COHORT: a cohort lock in the taxonomy of Dice, Marathe & Shavit (PPoPP
+ * 2012) — the mainstream descendant of this paper's idea, included as a
+ * forward-looking comparison point. This is the C-TKT-BO flavour: a FIFO
+ * ticket lock globally, backoff locks per node.
+ *
+ * Structure: one global ticket lock plus one local TATAS word per node. A
+ * thread first acquires its node's local lock, then (if the node does not
+ * already own it) the global lock. Release prefers a *cohort detour*:
+ * while node-local waiters exist and the handoff budget is not exhausted,
+ * only the local lock is released and the global lock stays owned by the
+ * node — a *deterministic* version of the node affinity HBO gets
+ * probabilistically from asymmetric backoff. The FIFO global tier makes
+ * the budget a hard bound on node capture whenever another node waits
+ * (its ticket is already in line), the property HBO_GT_SD only
+ * approximates with anger.
+ */
+#ifndef NUCALOCK_LOCKS_COHORT_HPP
+#define NUCALOCK_LOCKS_COHORT_HPP
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/backoff.hpp"
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+#include "locks/ticket.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class CohortLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "COHORT";
+
+    /** Consecutive in-node handoffs before the node must go global. */
+    static constexpr std::uint64_t kDefaultBudget = 32;
+
+    explicit CohortLock(Machine& machine,
+                        const LockParams& params = LockParams{},
+                        int home_node = 0)
+        : params_(params), global_(machine, params, home_node)
+    {
+        const int nodes = machine.topology().num_nodes();
+        local_.reserve(static_cast<std::size_t>(nodes));
+        // One local lock word per node, homed in that node.
+        for (int n = 0; n < nodes; ++n)
+            local_.push_back(NodeState{machine.alloc(kFree, n), 0});
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
+
+        // 1. Local lock (TATAS_EXP on the node's word): cheap, node-local.
+        spin_lock(ctx, node.word, params_.hbo_local);
+
+        // 2. Global lock, unless our cohort predecessor passed it to us.
+        if (node.global_owned) {
+            ++node.streak;
+            return;
+        }
+        global_.acquire(ctx);
+        node.global_owned = true;
+        node.streak = 0;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
+        NUCA_ASSERT(node.global_owned, "release without acquire");
+
+        // Cohort detour: hand over inside the node while someone is
+        // waiting locally and the fairness budget allows it.
+        const bool waiters = ctx.load(node.word) == kLockedContended;
+        if (waiters && node.streak < kDefaultBudget) {
+            ctx.store(node.word, kFree); // local handoff, global stays ours
+            return;
+        }
+        node.global_owned = false;
+        node.streak = 0;
+        global_.release(ctx);
+        ctx.store(node.word, kFree);
+    }
+
+  private:
+    static constexpr std::uint64_t kFree = 0;
+    static constexpr std::uint64_t kLocked = 1;
+    static constexpr std::uint64_t kLockedContended = 2;
+
+    struct NodeState
+    {
+        Ref word;
+        std::uint64_t streak = 0;
+        // Written only by the node's current holder (serialized by the
+        // local lock), so plain storage is safe.
+        bool global_owned = false;
+
+        NodeState(Ref w, std::uint64_t s) : word(w), streak(s) {}
+    };
+
+    /**
+     * TATAS with exponential backoff on @p word, marking the word
+     * "contended" while waiting so the releaser can detect local waiters
+     * (the detour condition).
+     */
+    void
+    spin_lock(Ctx& ctx, Ref word, const BackoffParams& bp)
+    {
+        if (ctx.cas(word, kFree, kLocked) == kFree)
+            return;
+        std::uint32_t b = bp.base;
+        while (true) {
+            // Advertise our presence: FREE->locked wins; locked->contended
+            // keeps the waiter count visible at release time.
+            const std::uint64_t v = ctx.load(word);
+            if (v == kFree) {
+                if (ctx.cas(word, kFree, kLocked) == kFree) {
+                    // Normalize: the contended marker we (or others who
+                    // since acquired elsewhere) left must not linger, or a
+                    // release with no real waiters would detour the global
+                    // lock to nobody and strand the other nodes. A racing
+                    // waiter's fresh marker may be overwritten — that only
+                    // costs one detour opportunity, never correctness.
+                    return;
+                }
+                continue;
+            }
+            if (v == kLocked)
+                ctx.cas(word, kLocked, kLockedContended);
+            backoff(ctx, &b, bp.factor, bp.cap, params_.jitter);
+        }
+    }
+
+    LockParams params_;
+    TicketLock<Ctx> global_; // FIFO between node winners
+    std::vector<NodeState> local_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_COHORT_HPP

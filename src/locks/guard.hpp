@@ -1,0 +1,38 @@
+/**
+ * @file
+ * RAII scope guard for any lock + context pair.
+ */
+#ifndef NUCALOCK_LOCKS_GUARD_HPP
+#define NUCALOCK_LOCKS_GUARD_HPP
+
+namespace nucalock::locks {
+
+/**
+ * Acquires @p lock on construction and releases it on destruction.
+ * Works with every lock in the library and with AnyLock:
+ *
+ *     LockGuard guard(lock, ctx);
+ *     // ... critical section ...
+ */
+template <typename Lock, typename Ctx>
+class LockGuard
+{
+  public:
+    LockGuard(Lock& lock, Ctx& ctx) : lock_(lock), ctx_(ctx)
+    {
+        lock_.acquire(ctx_);
+    }
+
+    ~LockGuard() { lock_.release(ctx_); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    Lock& lock_;
+    Ctx& ctx_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_GUARD_HPP

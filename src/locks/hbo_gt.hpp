@@ -1,0 +1,137 @@
+/**
+ * @file
+ * HBO_GT: HBO with global traffic throttling (paper section 4.2, the
+ * emphasized lines of Figure 1).
+ *
+ * Each node has one `is_spinning` gate word. A thread that must spin on a
+ * lock held in a *remote* node first publishes the lock's identity in its
+ * own node's gate; other threads in that node poll the gate before even
+ * attempting a cas, so normally only one thread per node generates
+ * cross-node lock traffic. The winner clears the gate (the paper's "dummy
+ * value") as soon as the lock arrives.
+ */
+#ifndef NUCALOCK_LOCKS_HBO_GT_HPP
+#define NUCALOCK_LOCKS_HBO_GT_HPP
+
+#include <vector>
+
+#include "locks/backoff.hpp"
+#include "locks/context.hpp"
+#include "locks/hbo.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class HboGtLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "HBO_GT";
+
+    explicit HboGtLock(Machine& machine, const LockParams& params = LockParams{},
+                       int home_node = 0)
+        : word_(machine.alloc(kHboFree, home_node)), params_(params)
+    {
+        const int nodes = machine.topology().num_nodes();
+        gates_.reserve(static_cast<std::size_t>(nodes));
+        for (int n = 0; n < nodes; ++n)
+            gates_.push_back(machine.node_gate(n));
+        gate_token_ = word_.token();
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        // Figure 1 line 5: wait while our node's gate names this lock.
+        ctx.spin_while_equal(my_gate(ctx), gate_token_);
+        const std::uint64_t tmp =
+            ctx.cas(word_, kHboFree, hbo_node_token(ctx.node()));
+        if (tmp == kHboFree)
+            return;
+        acquire_slowpath(ctx, tmp);
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        if (ctx.load(my_gate(ctx)) == gate_token_)
+            return false;
+        return ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) == kHboFree;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, kHboFree);
+    }
+
+  private:
+    Ref
+    my_gate(Ctx& ctx) const
+    {
+        return gates_[static_cast<std::size_t>(ctx.node())];
+    }
+
+    void
+    acquire_slowpath(Ctx& ctx, std::uint64_t tmp)
+    {
+        const std::uint64_t mine = hbo_node_token(ctx.node());
+        while (true) {
+            if (tmp == mine) {
+                // Local holder: small backoff (Figure 1 lines 23-35).
+                std::uint32_t b = params_.hbo_local.base;
+                bool migrated = false;
+                while (!migrated) {
+                    backoff(ctx, &b, params_.hbo_local.factor,
+                            params_.hbo_local.cap, params_.jitter);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree)
+                        return;
+                    if (tmp != mine) {
+                        backoff(ctx, &b, params_.hbo_local.factor,
+                                params_.hbo_local.cap, params_.jitter);
+                        migrated = true;
+                    }
+                }
+            } else {
+                // Remote holder: publish the gate and back off hard
+                // (Figure 1 lines 37-52).
+                std::uint32_t b = params_.hbo_remote_base;
+                ctx.store(my_gate(ctx), gate_token_);
+                while (true) {
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree) {
+                        ctx.store(my_gate(ctx), kGateDummyValue);
+                        return;
+                    }
+                    if (tmp == mine) {
+                        ctx.store(my_gate(ctx), kGateDummyValue);
+                        break;
+                    }
+                }
+            }
+            // Figure 1 lines 55-60 ("restart"): re-gate, retry, re-dispatch.
+            ctx.spin_while_equal(my_gate(ctx), gate_token_);
+            tmp = hbo_poll(ctx, word_, mine);
+            if (tmp == kHboFree)
+                return;
+        }
+    }
+
+    Ref word_;
+    std::vector<Ref> gates_;
+    std::uint64_t gate_token_ = 0;
+    LockParams params_;
+
+  public:
+    /** The paper's "dummy value": the gate is open. */
+    static constexpr std::uint64_t kGateDummyValue = 0;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_HBO_GT_HPP

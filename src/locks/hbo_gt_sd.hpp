@@ -1,0 +1,191 @@
+/**
+ * @file
+ * HBO_GT_SD: HBO_GT with node-centric starvation detection (paper section
+ * 4.3, Figure 2).
+ *
+ * A node winner that keeps losing remote handovers "gets angry" after
+ * GET_ANGRY_LIMIT failures: it (1) spins more frequently (drops back to the
+ * local backoff constants) and (2) writes the lock's identity into the
+ * *winning* nodes' is_spinning gates, stopping new threads there from even
+ * attempting the lock. Once the angry winner finally acquires (or the lock
+ * migrates home), it re-opens every gate it closed.
+ *
+ * Figure 2 stops the single node observed at the limit; we generalize
+ * slightly: past the limit, any newly observed holding node is stopped too
+ * (the lock may migrate between third-party nodes on >2-node machines).
+ */
+#ifndef NUCALOCK_LOCKS_HBO_GT_SD_HPP
+#define NUCALOCK_LOCKS_HBO_GT_SD_HPP
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/backoff.hpp"
+#include "locks/context.hpp"
+#include "locks/hbo.hpp"
+#include "locks/hbo_gt.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class HboGtSdLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "HBO_GT_SD";
+    static constexpr int kMaxNodes = 64;
+
+    explicit HboGtSdLock(Machine& machine, const LockParams& params = LockParams{},
+                         int home_node = 0)
+        : word_(machine.alloc(kHboFree, home_node)), params_(params)
+    {
+        const int nodes = machine.topology().num_nodes();
+        NUCA_ASSERT(nodes <= kMaxNodes);
+        gates_.reserve(static_cast<std::size_t>(nodes));
+        for (int n = 0; n < nodes; ++n)
+            gates_.push_back(machine.node_gate(n));
+        gate_token_ = word_.token();
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        ctx.spin_while_equal(gates_[static_cast<std::size_t>(ctx.node())],
+                             gate_token_);
+        const std::uint64_t tmp =
+            ctx.cas(word_, kHboFree, hbo_node_token(ctx.node()));
+        if (tmp == kHboFree)
+            return;
+        acquire_slowpath(ctx, tmp);
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        if (ctx.load(gates_[static_cast<std::size_t>(ctx.node())]) == gate_token_)
+            return false;
+        return ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) == kHboFree;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, kHboFree);
+    }
+
+  private:
+    Ref
+    my_gate(Ctx& ctx) const
+    {
+        return gates_[static_cast<std::size_t>(ctx.node())];
+    }
+
+    void
+    acquire_slowpath(Ctx& ctx, std::uint64_t tmp)
+    {
+        const std::uint64_t mine = hbo_node_token(ctx.node());
+        while (true) {
+            if (tmp == mine) {
+                std::uint32_t b = params_.hbo_local.base;
+                bool migrated = false;
+                while (!migrated) {
+                    backoff(ctx, &b, params_.hbo_local.factor,
+                            params_.hbo_local.cap, params_.jitter);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree)
+                        return;
+                    if (tmp != mine) {
+                        backoff(ctx, &b, params_.hbo_local.factor,
+                                params_.hbo_local.cap, params_.jitter);
+                        migrated = true;
+                    }
+                }
+            } else {
+                if (remote_spin(ctx, mine))
+                    return;
+            }
+            ctx.spin_while_equal(my_gate(ctx), gate_token_);
+            tmp = hbo_poll(ctx, word_, mine);
+            if (tmp == kHboFree)
+                return;
+        }
+    }
+
+    /**
+     * Remote spinning with starvation detection (Figure 2).
+     * @return true when the lock was acquired; false when it migrated to
+     *         our node (caller re-dispatches through "restart").
+     */
+    bool
+    remote_spin(Ctx& ctx, std::uint64_t mine)
+    {
+        std::uint32_t b = params_.hbo_remote_base;
+        std::uint32_t get_angry = 0;
+        bool angry = false;
+        std::array<bool, kMaxNodes> stopped{};
+        int stopped_count = 0;
+
+        ctx.store(my_gate(ctx), gate_token_);
+        while (true) {
+            if (angry) {
+                // Measure (1): spin more frequently.
+                std::uint32_t fast = params_.hbo_local.base;
+                backoff(ctx, &fast, params_.hbo_local.factor,
+                        params_.hbo_local.cap, params_.jitter);
+            } else {
+                backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+            }
+
+            const std::uint64_t tmp = hbo_poll(ctx, word_, mine);
+            if (tmp == kHboFree) {
+                open_gates(ctx, stopped, stopped_count);
+                return true;
+            }
+            if (tmp == mine) {
+                open_gates(ctx, stopped, stopped_count);
+                return false;
+            }
+
+            // The lock is still in some remote node.
+            ++get_angry;
+            if (get_angry >= params_.get_angry_limit) {
+                angry = true;
+                // Measure (2): stop the holding node's threads.
+                const int holder = static_cast<int>(tmp) - 1;
+                if (holder >= 0 && holder < static_cast<int>(gates_.size()) &&
+                    !stopped[static_cast<std::size_t>(holder)]) {
+                    stopped[static_cast<std::size_t>(holder)] = true;
+                    ++stopped_count;
+                    ctx.store(gates_[static_cast<std::size_t>(holder)],
+                              gate_token_);
+                }
+            }
+        }
+    }
+
+    /** Release our own node's gate and every gate we closed in anger. */
+    void
+    open_gates(Ctx& ctx, const std::array<bool, kMaxNodes>& stopped,
+               int stopped_count)
+    {
+        ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
+        if (stopped_count == 0)
+            return;
+        for (std::size_t n = 0; n < gates_.size(); ++n)
+            if (stopped[n])
+                ctx.store(gates_[n], HboGtLock<Ctx>::kGateDummyValue);
+    }
+
+    Ref word_;
+    std::vector<Ref> gates_;
+    std::uint64_t gate_token_ = 0;
+    LockParams params_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_HBO_GT_SD_HPP

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * HBO_HIER: the paper's proposed extension of HBO to hierarchical NUCAs
+ * (section 4.1: "This scheme can be expanded in a hierarchical way, using
+ * more than two sets of constants").
+ *
+ * The cas-ed token identifies the holder's *chip*; a loser picks one of
+ * three backoff sets depending on whether the holder shares its chip, its
+ * node, or neither. Remote-node spinning is gated per node like HBO_GT.
+ * On a flat (one chip per node) topology this degenerates to HBO_GT.
+ */
+#ifndef NUCALOCK_LOCKS_HBO_HIER_HPP
+#define NUCALOCK_LOCKS_HBO_HIER_HPP
+
+#include <vector>
+
+#include "locks/backoff.hpp"
+#include "locks/context.hpp"
+#include "locks/hbo.hpp"
+#include "locks/hbo_gt.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class HboHierLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "HBO_HIER";
+
+    explicit HboHierLock(Machine& machine, const LockParams& params = LockParams{},
+                         int home_node = 0)
+        : machine_(&machine), word_(machine.alloc(kHboFree, home_node)),
+          params_(params)
+    {
+        const int nodes = machine.topology().num_nodes();
+        gates_.reserve(static_cast<std::size_t>(nodes));
+        for (int n = 0; n < nodes; ++n)
+            gates_.push_back(machine.node_gate(n));
+        gate_token_ = word_.token();
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        ctx.spin_while_equal(my_gate(ctx), gate_token_);
+        const std::uint64_t tmp = ctx.cas(word_, kHboFree, chip_token(ctx));
+        if (tmp == kHboFree)
+            return;
+        acquire_slowpath(ctx, tmp);
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        if (ctx.load(my_gate(ctx)) == gate_token_)
+            return false;
+        return ctx.cas(word_, kHboFree, chip_token(ctx)) == kHboFree;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, kHboFree);
+    }
+
+  private:
+    enum class Level
+    {
+        SameChip,
+        SameNode,
+        Remote,
+    };
+
+    static std::uint64_t
+    chip_token(Ctx& ctx)
+    {
+        return static_cast<std::uint64_t>(ctx.chip()) + 1;
+    }
+
+    Ref
+    my_gate(Ctx& ctx) const
+    {
+        return gates_[static_cast<std::size_t>(ctx.node())];
+    }
+
+    Level
+    level_of(Ctx& ctx, std::uint64_t tmp) const
+    {
+        const int holder_chip = static_cast<int>(tmp) - 1;
+        if (holder_chip == ctx.chip())
+            return Level::SameChip;
+        if (machine_->topology().node_of_chip(holder_chip) == ctx.node())
+            return Level::SameNode;
+        return Level::Remote;
+    }
+
+    void
+    acquire_slowpath(Ctx& ctx, std::uint64_t tmp)
+    {
+        const std::uint64_t mine = chip_token(ctx);
+        while (true) {
+            const Level level = level_of(ctx, tmp);
+            if (level == Level::Remote) {
+                // Gated remote spinning, exactly as HBO_GT.
+                std::uint32_t b = params_.hbo_remote_base;
+                ctx.store(my_gate(ctx), gate_token_);
+                while (true) {
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree) {
+                        ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
+                        return;
+                    }
+                    if (level_of(ctx, tmp) != Level::Remote) {
+                        ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
+                        break;
+                    }
+                }
+            } else {
+                const BackoffParams& bp = level == Level::SameChip
+                                              ? params_.hier_chip
+                                              : params_.hbo_local;
+                std::uint32_t b = bp.base;
+                bool moved = false;
+                while (!moved) {
+                    backoff(ctx, &b, bp.factor, bp.cap, params_.jitter);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree)
+                        return;
+                    if (level_of(ctx, tmp) != level)
+                        moved = true; // holder distance changed; re-dispatch
+                }
+            }
+            ctx.spin_while_equal(my_gate(ctx), gate_token_);
+            tmp = hbo_poll(ctx, word_, mine);
+            if (tmp == kHboFree)
+                return;
+        }
+    }
+
+    Machine* machine_;
+    Ref word_;
+    std::vector<Ref> gates_;
+    std::uint64_t gate_token_ = 0;
+    LockParams params_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_HBO_HIER_HPP

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * InstrumentedLock: a transparent wrapper that records per-lock statistics
+ * (acquisitions, wait and hold time histograms, node-handoff counts)
+ * without changing the wrapped algorithm. Works on both backends; time is
+ * simulated ns under sim and steady-clock ns natively.
+ */
+#ifndef NUCALOCK_LOCKS_INSTRUMENTED_HPP
+#define NUCALOCK_LOCKS_INSTRUMENTED_HPP
+
+#include <chrono>
+#include <cstdint>
+
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+#include "stats/histogram.hpp"
+
+namespace nucalock::locks {
+
+namespace detail {
+
+/** Timestamp source: ctx.now() when the context provides it (simulator),
+ *  std::chrono::steady_clock otherwise (native). */
+template <typename Ctx>
+std::uint64_t
+lock_clock_ns(Ctx& ctx)
+{
+    if constexpr (requires { ctx.now(); }) {
+        return static_cast<std::uint64_t>(ctx.now());
+    } else {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+}
+
+} // namespace detail
+
+/** Statistics gathered by InstrumentedLock. All guarded by the lock. */
+struct LockStats
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t node_handoffs = 0;
+    std::uint64_t contended_acquisitions = 0;
+    stats::LogHistogram wait_ns;
+    stats::LogHistogram hold_ns;
+
+    double
+    handoff_ratio() const
+    {
+        return acquisitions <= 1
+                   ? 0.0
+                   : static_cast<double>(node_handoffs) /
+                         static_cast<double>(acquisitions - 1);
+    }
+};
+
+/**
+ * Wraps any lock of this library. Statistics are mutated only while the
+ * lock is held, so no extra synchronization is needed — the wrapped lock
+ * itself serializes them (wait-time measurement brackets the acquire).
+ */
+template <typename Lock, LockContext Ctx>
+class InstrumentedLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+
+    explicit InstrumentedLock(Machine& machine,
+                              const LockParams& params = LockParams{},
+                              int home_node = 0)
+        : lock_(machine, params, home_node)
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        const std::uint64_t t0 = detail::lock_clock_ns(ctx);
+        lock_.acquire(ctx);
+        const std::uint64_t t1 = detail::lock_clock_ns(ctx);
+
+        ++stats_.acquisitions;
+        const std::uint64_t waited = t1 - t0;
+        stats_.wait_ns.add(waited);
+        if (waited > kContendedThresholdNs)
+            ++stats_.contended_acquisitions;
+        if (last_node_ >= 0 && last_node_ != ctx.node())
+            ++stats_.node_handoffs;
+        last_node_ = ctx.node();
+        hold_start_ = t1;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        stats_.hold_ns.add(detail::lock_clock_ns(ctx) - hold_start_);
+        lock_.release(ctx);
+    }
+
+    /** Snapshot; call while no thread is inside acquire/release. */
+    const LockStats& stats() const { return stats_; }
+
+    Lock& underlying() { return lock_; }
+
+    /** Waits longer than this count as contended (rough, both backends). */
+    static constexpr std::uint64_t kContendedThresholdNs = 2'000;
+
+  private:
+    Lock lock_;
+    LockStats stats_;
+    int last_node_ = -1;
+    std::uint64_t hold_start_ = 0;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_INSTRUMENTED_HPP

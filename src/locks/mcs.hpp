@@ -1,0 +1,136 @@
+/**
+ * @file
+ * MCS queue lock (Mellor-Crummey and Scott, 1991).
+ *
+ * Each waiter spins on its own flag, allocated in its node (local-memory
+ * spinning), and the releaser hands the lock to its queue successor: FIFO
+ * order, one transaction per handover, but no node affinity — the successor
+ * is whoever arrived next, wherever it lives.
+ *
+ * Queue nodes are kept per (lock, thread) and allocated lazily in the
+ * thread's node, which is the standard implementation strategy and matches
+ * what the machine-level concept can portably promise.
+ */
+#ifndef NUCALOCK_LOCKS_MCS_HPP
+#define NUCALOCK_LOCKS_MCS_HPP
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class McsLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "MCS";
+
+    explicit McsLock(Machine& machine, const LockParams& = LockParams{},
+                     int home_node = 0)
+        : machine_(&machine),
+          tail_(machine.alloc(kEmpty, home_node)),
+          qnodes_(static_cast<std::size_t>(machine.max_threads()))
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        (void)acquire_reporting(ctx);
+    }
+
+    /**
+     * Acquire and report whether we had to queue behind a predecessor
+     * (used by ReactiveLock's contention estimator).
+     */
+    bool
+    acquire_reporting(Ctx& ctx)
+    {
+        QNode& q = qnode(ctx);
+        ctx.store(q.next, kEmpty);
+        const std::uint64_t pred = ctx.swap(tail_, id_of(ctx));
+        if (pred == kEmpty)
+            return false; // lock was free
+        // Prepare our flag before making ourselves visible to the
+        // predecessor, then link in and spin locally.
+        ctx.store(q.locked, 1);
+        QNode& pq = qnode_of(pred);
+        ctx.store(pq.next, id_of(ctx));
+        ctx.spin_while_equal(q.locked, 1);
+        return true;
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        QNode& q = qnode(ctx);
+        ctx.store(q.next, kEmpty);
+        return ctx.cas(tail_, kEmpty, id_of(ctx)) == kEmpty;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        QNode& q = qnode(ctx);
+        if (ctx.load(q.next) == kEmpty) {
+            // No visible successor: try to close the queue.
+            if (ctx.cas(tail_, id_of(ctx), kEmpty) == id_of(ctx))
+                return;
+            // Someone is between swap and link; wait for the link.
+            ctx.spin_while_equal(q.next, kEmpty);
+        }
+        const std::uint64_t succ = ctx.load(q.next);
+        ctx.store(qnode_of(succ).locked, 0);
+    }
+
+  private:
+    static constexpr std::uint64_t kEmpty = 0;
+
+    struct QNode
+    {
+        Ref next;   // successor thread id (+1), or kEmpty
+        Ref locked; // 1 while the owner must keep waiting
+        bool valid = false;
+    };
+
+    static std::uint64_t
+    id_of(Ctx& ctx)
+    {
+        return static_cast<std::uint64_t>(ctx.thread_id()) + 1;
+    }
+
+    QNode&
+    qnode(Ctx& ctx)
+    {
+        auto& q = qnodes_[static_cast<std::size_t>(ctx.thread_id())];
+        if (!q.valid) {
+            q.next = machine_->alloc(kEmpty, ctx.node());
+            q.locked = machine_->alloc(0, ctx.node());
+            q.valid = true;
+        }
+        return q;
+    }
+
+    QNode&
+    qnode_of(std::uint64_t id)
+    {
+        NUCA_ASSERT(id != kEmpty && id <= qnodes_.size(), "bad queue id ", id);
+        QNode& q = qnodes_[static_cast<std::size_t>(id - 1)];
+        NUCA_ASSERT(q.valid, "queue id ", id, " has no node");
+        return q;
+    }
+
+    Machine* machine_;
+    Ref tail_; // thread id (+1) of the last queued thread, or kEmpty
+    std::vector<QNode> qnodes_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_MCS_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tunable parameters for all lock algorithms.
+ *
+ * The paper tunes backoff constants "by trial and error for each individual
+ * architecture"; the defaults here are tuned for the simulated WildFire
+ * latency model (4 ns per delay iteration). All values are in empty
+ * delay-loop iterations, exactly as in the paper's pseudo-code.
+ */
+#ifndef NUCALOCK_LOCKS_PARAMS_HPP
+#define NUCALOCK_LOCKS_PARAMS_HPP
+
+#include <cstdint>
+
+namespace nucalock::locks {
+
+/** Exponential backoff constants (base/factor/cap of Fig. 1's backoff()). */
+struct BackoffParams
+{
+    std::uint32_t base = 64;
+    std::uint32_t factor = 2;
+    std::uint32_t cap = 4096;
+};
+
+/** All knobs in one place so benches can sweep them. */
+struct LockParams
+{
+    /** TATAS_EXP backoff (Ethernet-style). */
+    BackoffParams tatas{64, 2, 8192};
+
+    /** HBO backoff when the lock is held in the local node. */
+    BackoffParams hbo_local{64, 2, 1024};
+    /** HBO backoff when the lock is held in a remote node. */
+    std::uint32_t hbo_remote_base = 768;
+    std::uint32_t hbo_remote_cap = 8192;
+    /** HBO_HIER backoff when the holder shares the requester's chip. */
+    BackoffParams hier_chip{32, 2, 512};
+
+    /** HBO_GT_SD: remote failures before a node winner gets angry. */
+    std::uint32_t get_angry_limit = 16;
+
+    /** RH: remote (node-winner) backoff. */
+    std::uint32_t rh_remote_base = 256;
+    std::uint32_t rh_remote_cap = 8192;
+    /** RH: consecutive L_FREE sightings tolerated before stealing a local
+     *  release (local waiters get a head start on locally-freed locks). */
+    std::uint32_t rh_patience = 1;
+    /** RH: every Nth release is global (FREE) instead of local (L_FREE). */
+    std::uint32_t rh_global_release_period = 8;
+
+    /** Ticket lock: delay per waiter ahead (proportional backoff). */
+    std::uint32_t ticket_delay_per_waiter = 96;
+
+    /**
+     * Add +/-25% deterministic jitter to backoff delays. On by default:
+     * real machines dephase spinners naturally; a deterministic simulator
+     * needs explicit jitter to avoid artificial phase lock.
+     */
+    bool jitter = true;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_PARAMS_HPP

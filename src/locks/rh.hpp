@@ -1,0 +1,150 @@
+/**
+ * @file
+ * RH lock: the authors' earlier proof-of-concept NUCA-aware lock for two
+ * nodes (Radović & Hagersten, SC 2002), reconstructed from this paper's
+ * section 3 description — see DESIGN.md section 4 for the reconstruction
+ * notes and the invariant it maintains.
+ *
+ * Each node holds one copy of the lock word (homed in that node). Word
+ * values: FREE (globally free), L_FREE (freed with local preference),
+ * REMOTE (the lock currently lives in the other node), or a thread id.
+ * Invariant: exactly one of the two words differs from REMOTE.
+ *
+ * The lock is deliberately starvation-vulnerable (as the paper notes);
+ * a periodic global release (FREE every Nth) is the only relief valve.
+ */
+#ifndef NUCALOCK_LOCKS_RH_HPP
+#define NUCALOCK_LOCKS_RH_HPP
+
+#include <array>
+
+#include "common/logging.hpp"
+#include "locks/backoff.hpp"
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class RhLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "RH";
+
+    explicit RhLock(Machine& machine, const LockParams& params = LockParams{},
+                    int home_node = 0)
+        : params_(params)
+    {
+        const int nodes = machine.topology().num_nodes();
+        NUCA_ASSERT(nodes <= 2, "the RH lock supports at most two nodes, got ",
+                    nodes);
+        two_nodes_ = nodes == 2;
+        flag_[0] = machine.alloc(kFreeValue, home_node);
+        if (two_nodes_)
+            flag_[1] = machine.alloc(kRemote, 1);
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        const int n = my_word(ctx);
+        const std::uint64_t me = tid_value(ctx);
+        std::uint32_t b = params_.hbo_local.base;
+
+        while (true) {
+            const std::uint64_t v = ctx.load(flag_[static_cast<std::size_t>(n)]);
+            if (v == kFreeValue || v == kLocalFree) {
+                if (ctx.cas(flag_[static_cast<std::size_t>(n)], v, me) == v)
+                    return; // lock obtained through the local word
+                continue;   // raced; re-read immediately
+            }
+            if (v == kRemote && two_nodes_) {
+                if (ctx.cas(flag_[static_cast<std::size_t>(n)], kRemote, me) ==
+                    kRemote) {
+                    remote_spin(ctx, 1 - n); // we are the node winner
+                    return;
+                }
+                continue;
+            }
+            // Held by (or promised to) a local thread: poll with backoff.
+            backoff(ctx, &b, params_.hbo_local.factor, params_.hbo_local.cap,
+                    params_.jitter);
+        }
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        const int n = my_word(ctx);
+        ++release_count_;
+        const bool global =
+            !two_nodes_ ||
+            (params_.rh_global_release_period != 0 &&
+             release_count_ % params_.rh_global_release_period == 0);
+        ctx.store(flag_[static_cast<std::size_t>(n)],
+                  global ? kFreeValue : kLocalFree);
+    }
+
+  private:
+    static constexpr std::uint64_t kFreeValue = 0;
+    static constexpr std::uint64_t kLocalFree = 1;
+    static constexpr std::uint64_t kRemote = 2;
+
+    static std::uint64_t
+    tid_value(Ctx& ctx)
+    {
+        return static_cast<std::uint64_t>(ctx.thread_id()) + 3;
+    }
+
+    int
+    my_word(Ctx& ctx) const
+    {
+        return two_nodes_ ? ctx.node() : 0;
+    }
+
+    /**
+     * Node-winner loop: our own word already carries our id; spin on the
+     * other node's word with a large backoff until we can move the lock
+     * over (marking the other word REMOTE).
+     */
+    void
+    remote_spin(Ctx& ctx, int other)
+    {
+        const Ref word = flag_[static_cast<std::size_t>(other)];
+        std::uint32_t b = params_.rh_remote_base;
+        std::uint32_t lfree_seen = 0;
+        while (true) {
+            // Read first so a hopeless cas does not bounce the line.
+            const std::uint64_t w = ctx.load(word);
+            if (w == kFreeValue) {
+                if (ctx.cas(word, kFreeValue, kRemote) == kFreeValue)
+                    return; // global release claimed
+                continue;
+            }
+            if (w == kLocalFree) {
+                // The other node prefers a neighbor; steal only after
+                // showing some patience (this is where RH trades fairness
+                // for locality).
+                if (++lfree_seen > params_.rh_patience &&
+                    ctx.cas(word, kLocalFree, kRemote) == kLocalFree)
+                    return;
+            } else {
+                lfree_seen = 0;
+            }
+            backoff(ctx, &b, 2, params_.rh_remote_cap, params_.jitter);
+        }
+    }
+
+    std::array<Ref, 2> flag_{};
+    LockParams params_;
+    bool two_nodes_ = false;
+    // Guarded by the lock itself (only the holder releases).
+    std::uint64_t release_count_ = 0;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_RH_HPP

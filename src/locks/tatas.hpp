@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TATAS: the traditional test-and-test&set lock.
+ *
+ * Acquire attempts a tas; on failure it polls with plain loads (so spinning
+ * stays in the local cache) and re-attempts tas when the lock looks free.
+ * No backoff — at high contention every release triggers a refill-and-tas
+ * storm, which is exactly the pathology the paper's Table 2 quantifies.
+ */
+#ifndef NUCALOCK_LOCKS_TATAS_HPP
+#define NUCALOCK_LOCKS_TATAS_HPP
+
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class TatasLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "TATAS";
+
+    explicit TatasLock(Machine& machine, const LockParams& = LockParams{},
+                       int home_node = 0)
+        : word_(machine.alloc(0, home_node))
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        if (ctx.tas(word_) == 0)
+            return;
+        acquire_slowpath(ctx);
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        return ctx.tas(word_) == 0;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, 0);
+    }
+
+  private:
+    void
+    acquire_slowpath(Ctx& ctx)
+    {
+        do {
+            ctx.spin_while_equal(word_, 1);
+        } while (ctx.tas(word_) != 0);
+    }
+
+    Ref word_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_TATAS_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TATAS_EXP: test-and-test&set with Ethernet-style exponential backoff,
+ * following the paper's section 3 pseudo-code line by line.
+ */
+#ifndef NUCALOCK_LOCKS_TATAS_EXP_HPP
+#define NUCALOCK_LOCKS_TATAS_EXP_HPP
+
+#include "locks/backoff.hpp"
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class TatasExpLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "TATAS_EXP";
+
+    explicit TatasExpLock(Machine& machine, const LockParams& params = LockParams{},
+                          int home_node = 0)
+        : word_(machine.alloc(0, home_node)), params_(params)
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        if (ctx.tas(word_) == 0)
+            return;
+        acquire_slowpath(ctx);
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        return ctx.tas(word_) == 0;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, 0);
+    }
+
+  private:
+    // Paper section 3: delay, grow the backoff, re-test with a load, and
+    // only attempt tas when the lock looked free.
+    void
+    acquire_slowpath(Ctx& ctx)
+    {
+        std::uint32_t b = params_.tatas.base;
+        while (true) {
+            backoff(ctx, &b, params_.tatas.factor, params_.tatas.cap,
+                    params_.jitter);
+            if (ctx.load(word_) != 0)
+                continue; // still looks held: back off again without a tas
+            if (ctx.tas(word_) == 0)
+                return;
+        }
+    }
+
+    Ref word_;
+    LockParams params_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_TATAS_EXP_HPP

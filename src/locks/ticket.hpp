@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ticket lock with proportional backoff — an extra FIFO baseline beyond the
+ * paper's set (useful to separate "FIFO order" from "local spinning" when
+ * interpreting the queue-lock results).
+ */
+#ifndef NUCALOCK_LOCKS_TICKET_HPP
+#define NUCALOCK_LOCKS_TICKET_HPP
+
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+template <LockContext Ctx>
+class TicketLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "TICKET";
+
+    explicit TicketLock(Machine& machine, const LockParams& params = LockParams{},
+                        int home_node = 0)
+        : next_(machine.alloc(0, home_node)),
+          serving_(machine.alloc(0, home_node)),
+          delay_per_waiter_(params.ticket_delay_per_waiter)
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        // fetch-and-increment built from cas (the paper's primitive set).
+        std::uint64_t my;
+        while (true) {
+            my = ctx.load(next_);
+            if (ctx.cas(next_, my, my + 1) == my)
+                break;
+        }
+        while (true) {
+            const std::uint64_t serving = ctx.load(serving_);
+            if (serving == my)
+                return;
+            // Proportional backoff: the further back in line, the longer
+            // the wait before polling again.
+            ctx.delay((my - serving) * delay_per_waiter_);
+        }
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        const std::uint64_t serving = ctx.load(serving_);
+        const std::uint64_t next = ctx.load(next_);
+        if (serving != next)
+            return false;
+        return ctx.cas(next_, next, next + 1) == next;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        // Only the holder writes serving_, so load+store is safe.
+        ctx.store(serving_, ctx.load(serving_) + 1);
+    }
+
+  private:
+    Ref next_;
+    Ref serving_;
+    std::uint32_t delay_per_waiter_;
+};
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_TICKET_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Timed acquisition on top of any lock with try_acquire(): bounded-wait
+ * locking with exponential backoff between attempts. (Full non-blocking
+ * timeout for queue locks is a research topic of its own — Scott, PODC
+ * 2002, cited by the paper; this helper covers the backoff-based locks,
+ * which is what the HBO family is.)
+ */
+#ifndef NUCALOCK_LOCKS_TIMED_HPP
+#define NUCALOCK_LOCKS_TIMED_HPP
+
+#include <cstdint>
+
+#include "locks/context.hpp"
+#include "locks/instrumented.hpp" // detail::lock_clock_ns
+#include "locks/params.hpp"
+
+namespace nucalock::locks {
+
+/**
+ * Try to acquire @p lock within roughly @p timeout_ns.
+ * @return true when acquired (caller must release), false on timeout.
+ *
+ * Requires `lock.try_acquire(ctx)`. The deadline is checked between
+ * attempts, so the overshoot is bounded by one backoff period plus one
+ * attempt.
+ */
+template <typename Lock, LockContext Ctx>
+bool
+acquire_for(Lock& lock, Ctx& ctx, std::uint64_t timeout_ns,
+            const BackoffParams& backoff_params = BackoffParams{})
+{
+    const std::uint64_t deadline =
+        detail::lock_clock_ns(ctx) + timeout_ns;
+    std::uint32_t b = backoff_params.base;
+    while (true) {
+        if (lock.try_acquire(ctx))
+            return true;
+        if (detail::lock_clock_ns(ctx) >= deadline)
+            return false;
+        ctx.delay(b);
+        b = std::min(b * backoff_params.factor, backoff_params.cap);
+    }
+}
+
+} // namespace nucalock::locks
+
+#endif // NUCALOCK_LOCKS_TIMED_HPP

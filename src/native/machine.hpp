@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Native (real-thread) backend: the same context interface the simulator
+ * provides, implemented over std::atomic and OS threads, so every lock
+ * algorithm in src/locks/ runs unmodified on real hardware.
+ */
+#ifndef NUCALOCK_NATIVE_MACHINE_HPP
+#define NUCALOCK_NATIVE_MACHINE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/compiler.hpp"
+#include "common/rng.hpp"
+#include "topology/mapping.hpp"
+#include "topology/topology.hpp"
+
+namespace nucalock::native {
+
+class NativeMachine;
+
+/** Words per cache line; shared words are spaced one line apart. */
+inline constexpr std::uint32_t kWordsPerLine =
+    kCacheLineBytes / sizeof(std::uint64_t);
+
+/** Handle to one shared word (cache-line spaced std::atomic). */
+struct NativeRef
+{
+    std::atomic<std::uint64_t>* word = nullptr;
+
+    bool valid() const { return word != nullptr; }
+
+    /** Nonzero identity (the address), used as an is_spinning gate value. */
+    std::uint64_t token() const { return reinterpret_cast<std::uintptr_t>(word); }
+
+    /** The @p i-th word of an array allocated with alloc_array(). */
+    NativeRef at(std::uint32_t i) const { return NativeRef{word + kWordsPerLine * i}; }
+
+    friend bool operator==(const NativeRef&, const NativeRef&) = default;
+};
+
+/** Native machine configuration. */
+struct NativeConfig
+{
+    std::uint64_t seed = 1;
+    /** Pin threads to OS cpus (needs os_cpu_of from topology/host.hpp). */
+    bool pin = false;
+    /** os_cpu_of[dense_cpu] = OS cpu id; required when pin is true. */
+    std::vector<int> os_cpu_of;
+    /**
+     * In spin loops, call std::this_thread::yield() every this many polls —
+     * required for forward progress on oversubscribed hosts.
+     */
+    std::uint32_t yield_every = 64;
+};
+
+/** Per-thread execution context over real hardware. */
+class NativeContext
+{
+  public:
+    using Machine = NativeMachine;
+    using Ref = NativeRef;
+
+    int thread_id() const { return tid_; }
+    int cpu() const { return cpu_; }
+    int node() const { return node_; }
+    int chip() const { return chip_; }
+    int num_nodes() const;
+
+    Machine& machine() { return *machine_; }
+    Xoshiro256& rng() { return rng_; }
+
+    std::uint64_t
+    load(Ref ref)
+    {
+        return ref.word->load(std::memory_order_acquire);
+    }
+
+    void
+    store(Ref ref, std::uint64_t value)
+    {
+        ref.word->store(value, std::memory_order_release);
+    }
+
+    std::uint64_t
+    cas(Ref ref, std::uint64_t expected, std::uint64_t desired)
+    {
+        std::uint64_t old = expected;
+        ref.word->compare_exchange_strong(old, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+        return old; // previous value on failure, `expected` on success
+    }
+
+    std::uint64_t
+    swap(Ref ref, std::uint64_t value)
+    {
+        return ref.word->exchange(value, std::memory_order_acq_rel);
+    }
+
+    std::uint64_t
+    tas(Ref ref)
+    {
+        return swap(ref, 1);
+    }
+
+    /** Poll until the word differs from @p value; returns what it saw. */
+    std::uint64_t spin_while_equal(Ref ref, std::uint64_t value);
+
+    /** Busy-wait @p iterations empty loop iterations (backoff delay). */
+    void
+    delay(std::uint64_t iterations)
+    {
+        spin_cycles(iterations);
+    }
+
+    /** Busy-wait approximately @p ns nanoseconds. */
+    void delay_ns(std::uint64_t ns);
+
+    /** Read (and when @p write, increment) @p count array words. */
+    void touch_array(Ref first, std::uint32_t count, bool write);
+
+  private:
+    friend class NativeMachine;
+
+    NativeMachine* machine_ = nullptr;
+    int tid_ = -1;
+    int cpu_ = -1;
+    int node_ = -1;
+    int chip_ = -1;
+    std::uint32_t yield_every_ = 64;
+    Xoshiro256 rng_{0};
+};
+
+/**
+ * The native machine: a logical NUCA topology laid over the host, shared
+ * word allocation, per-node gates, and a thread runner that binds threads
+ * to (logical) cpus.
+ */
+class NativeMachine
+{
+  public:
+    explicit NativeMachine(Topology topo, NativeConfig cfg = NativeConfig{});
+
+    NativeMachine(const NativeMachine&) = delete;
+    NativeMachine& operator=(const NativeMachine&) = delete;
+
+    const Topology& topology() const { return topo_; }
+    const NativeConfig& config() const { return cfg_; }
+    int max_threads() const { return topo_.num_cpus(); }
+
+    /**
+     * Allocate one shared word. @p home_node is advisory only: first-touch
+     * NUMA placement is left to the OS (documented substitution — the
+     * paper's CMR placement needs platform support we cannot assume).
+     */
+    NativeRef alloc(std::uint64_t init, int home_node = 0);
+
+    /** Allocate @p count words on consecutive cache lines. */
+    NativeRef alloc_array(std::uint32_t count, std::uint64_t init,
+                          int home_node = 0);
+
+    /** The per-node is_spinning gate word (see HBO_GT). */
+    NativeRef node_gate(int node);
+
+    /** Rebuild a Ref from a token produced by NativeRef::token(). */
+    static NativeRef
+    ref_from_token(std::uint64_t token)
+    {
+        return NativeRef{reinterpret_cast<std::atomic<std::uint64_t>*>(
+            static_cast<std::uintptr_t>(token))};
+    }
+
+    /**
+     * Run @p count OS threads placed per @p policy; each executes
+     * @p body(ctx, index) once all threads have been created. Joins all.
+     */
+    void run_threads(int count, Placement policy,
+                     const std::function<void(NativeContext&, int)>& body);
+
+    /**
+     * Make a context for an externally managed thread occupying dense cpu
+     * @p cpu (used by examples and the google-benchmark integration).
+     */
+    NativeContext make_context(int tid, int cpu);
+
+  private:
+    using Chunk = std::unique_ptr<std::atomic<std::uint64_t>[]>;
+
+    Topology topo_;
+    NativeConfig cfg_;
+    std::mutex alloc_mutex_;
+    std::vector<Chunk> chunks_;
+    std::vector<NativeRef> node_gates_;
+};
+
+} // namespace nucalock::native
+
+#endif // NUCALOCK_NATIVE_MACHINE_HPP

@@ -1,0 +1,339 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nucalock::sim {
+
+// ---------------------------------------------------------------------------
+// SimContext
+// ---------------------------------------------------------------------------
+
+int
+SimContext::num_nodes() const
+{
+    return machine_->topology().num_nodes();
+}
+
+SimTime
+SimContext::now() const
+{
+    return machine_->now();
+}
+
+std::uint64_t
+SimContext::load(Ref ref)
+{
+    return machine_->do_access(*this, MemOp::Load, ref, 0, 0).old_value;
+}
+
+void
+SimContext::store(Ref ref, std::uint64_t value)
+{
+    machine_->do_access(*this, MemOp::Store, ref, value, 0);
+}
+
+std::uint64_t
+SimContext::cas(Ref ref, std::uint64_t expected, std::uint64_t desired)
+{
+    return machine_->do_access(*this, MemOp::Cas, ref, expected, desired).old_value;
+}
+
+std::uint64_t
+SimContext::swap(Ref ref, std::uint64_t value)
+{
+    return machine_->do_access(*this, MemOp::Swap, ref, value, 0).old_value;
+}
+
+std::uint64_t
+SimContext::tas(Ref ref)
+{
+    return machine_->do_access(*this, MemOp::Tas, ref, 0, 0).old_value;
+}
+
+std::uint64_t
+SimContext::spin_while_equal(Ref ref, std::uint64_t value)
+{
+    while (true) {
+        const std::uint64_t observed = load(ref);
+        if (observed != value)
+            return observed;
+        machine_->wait_on(*this, ref, value);
+    }
+}
+
+void
+SimContext::delay(std::uint64_t iterations)
+{
+    delay_ns(iterations * machine_->latency().ns_per_delay_iteration);
+}
+
+void
+SimContext::delay_ns(SimTime ns)
+{
+    machine_->block_until(*this, machine_->now() + ns);
+}
+
+void
+SimContext::touch_array(Ref first, std::uint32_t count, bool write)
+{
+    // One engine event per access: batching a whole array walk into a
+    // single step would call Resource::serve() for future arrival times up
+    // front, making later-issued (but earlier-arriving) transactions queue
+    // behind the entire walk — a FIFO violation that distorts handover
+    // latency under contention.
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const Ref ref = first.at(i);
+        const std::uint64_t v = load(ref);
+        if (write)
+            store(ref, v + 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimMachine
+// ---------------------------------------------------------------------------
+
+SimMachine::SimMachine(Topology topo, LatencyModel lat, SimConfig cfg)
+    : topo_(std::move(topo)), lat_(lat), cfg_(cfg), memory_(topo_, lat_),
+      node_gates_(static_cast<std::size_t>(topo_.num_nodes())),
+      cpu_used_(static_cast<std::size_t>(topo_.num_cpus()), false)
+{
+}
+
+SimMachine::~SimMachine() = default;
+
+MemRef
+SimMachine::alloc(std::uint64_t init, int home_node)
+{
+    return memory_.alloc(init, home_node);
+}
+
+MemRef
+SimMachine::alloc_array(std::uint32_t count, std::uint64_t init, int home_node)
+{
+    return memory_.alloc_array(count, init, home_node);
+}
+
+MemRef
+SimMachine::node_gate(int node)
+{
+    NUCA_ASSERT(node >= 0 && node < topo_.num_nodes(), "node=", node);
+    auto& gate = node_gates_[static_cast<std::size_t>(node)];
+    if (!gate.valid())
+        gate = memory_.alloc(kGateDummy, node);
+    return gate;
+}
+
+int
+SimMachine::add_thread(int cpu, std::function<void(SimContext&)> body)
+{
+    NUCA_ASSERT(!running_ && !ran_, "add_thread after run()");
+    NUCA_ASSERT(cpu >= 0 && cpu < topo_.num_cpus(), "cpu=", cpu);
+    NUCA_ASSERT(!cpu_used_[static_cast<std::size_t>(cpu)],
+                "cpu ", cpu, " already has a thread");
+    cpu_used_[static_cast<std::size_t>(cpu)] = true;
+
+    auto thr = std::make_unique<SimThread>();
+    const int tid = static_cast<int>(threads_.size());
+    thr->tid = tid;
+    thr->cpu = cpu;
+    thr->body = std::move(body);
+    thr->ctx.machine_ = this;
+    thr->ctx.tid_ = tid;
+    thr->ctx.cpu_ = cpu;
+    thr->ctx.node_ = topo_.node_of_cpu(cpu);
+    thr->ctx.chip_ = topo_.chip_of_cpu(cpu);
+    thr->ctx.rng_ = Xoshiro256(cfg_.seed * std::uint64_t{0x9e3779b97f4a7c15} +
+                               static_cast<std::uint64_t>(tid));
+
+    if (cfg_.preemption) {
+        // First preemption point, exponentially distributed.
+        const double u = thr->ctx.rng_.next_double();
+        thr->next_preempt = static_cast<SimTime>(
+            -std::log(1.0 - u) * static_cast<double>(cfg_.preempt_mean_interval));
+    }
+
+    SimThread* raw = thr.get();
+    thr->fiber = std::make_unique<Fiber>([raw] { raw->body(raw->ctx); },
+                                         cfg_.fiber_stack_bytes);
+    threads_.push_back(std::move(thr));
+    return tid;
+}
+
+void
+SimMachine::add_threads(int count, Placement policy,
+                        std::function<void(SimContext&, int)> body)
+{
+    const std::vector<int> cpus = map_threads(topo_, count, policy);
+    for (int i = 0; i < count; ++i) {
+        add_thread(cpus[static_cast<std::size_t>(i)],
+                   [body, i](SimContext& ctx) { body(ctx, i); });
+    }
+}
+
+SimMachine::SimThread&
+SimMachine::current()
+{
+    NUCA_ASSERT(current_tid_ >= 0, "no current thread");
+    return *threads_[static_cast<std::size_t>(current_tid_)];
+}
+
+SimTime
+SimMachine::apply_preemption(SimThread& thr, SimTime wake)
+{
+    if (!cfg_.preemption)
+        return wake;
+    if (wake < thr.next_preempt)
+        return wake;
+    wake += cfg_.preempt_duration;
+    const double u = thr.ctx.rng_.next_double();
+    thr.next_preempt =
+        wake + static_cast<SimTime>(
+                   -std::log(1.0 - u) *
+                   static_cast<double>(cfg_.preempt_mean_interval));
+    return wake;
+}
+
+void
+SimMachine::block_until(SimContext& ctx, SimTime t)
+{
+    SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
+    NUCA_ASSERT(thr.tid == current_tid_, "block from non-current thread");
+    thr.wake = apply_preemption(thr, t);
+    thr.state = ThreadState::Runnable;
+    thr.fiber->yield();
+}
+
+void
+SimMachine::wait_on(SimContext& ctx, MemRef ref, std::uint64_t v)
+{
+    SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
+    NUCA_ASSERT(thr.tid == current_tid_, "wait from non-current thread");
+    if (!memory_.watch(ref, thr.tid, v))
+        return; // value already changed; caller re-loads
+    thr.state = ThreadState::Waiting;
+    thr.wake = kTimeInfinity;
+    thr.fiber->yield();
+}
+
+void
+SimMachine::wake_watchers(MemRef ref, SimTime t)
+{
+    for (int tid : memory_.take_watchers(ref)) {
+        SimThread& thr = *threads_[static_cast<std::size_t>(tid)];
+        NUCA_ASSERT(thr.state == ThreadState::Waiting, "woken thread not waiting");
+        thr.state = ThreadState::Runnable;
+        thr.wake = apply_preemption(thr, t);
+    }
+}
+
+AccessOutcome
+SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
+                      std::uint64_t b)
+{
+    const AccessOutcome out = memory_.access(op, ctx.cpu_, now_, ref, a, b);
+    if (out.wakes_watchers)
+        wake_watchers(ref, out.complete);
+    block_until(ctx, out.complete);
+    return out;
+}
+
+void
+SimMachine::run()
+{
+    NUCA_ASSERT(!ran_, "run() may only be called once");
+    NUCA_ASSERT(!threads_.empty(), "no threads to run");
+    running_ = true;
+
+    std::size_t done = 0;
+    while (done < threads_.size()) {
+        // Pick the runnable thread with the earliest wake time
+        // (ties broken by thread id — determinism).
+        SimThread* next = nullptr;
+        for (auto& thr : threads_) {
+            if (thr->state == ThreadState::Done || thr->wake == kTimeInfinity)
+                continue;
+            if (next == nullptr || thr->wake < next->wake)
+                next = thr.get();
+        }
+        if (next == nullptr) {
+            std::ostringstream oss;
+            oss << "deadlock: no runnable thread;";
+            for (const auto& thr : threads_)
+                if (thr->state == ThreadState::Waiting)
+                    oss << " t" << thr->tid << " waiting;";
+            NUCA_PANIC(oss.str());
+        }
+        NUCA_ASSERT(next->wake >= now_, "time went backwards");
+        now_ = next->wake;
+        if (now_ > cfg_.max_sim_time)
+            NUCA_PANIC("simulated time exceeded max_sim_time (livelock?) at ",
+                       now_, " ns");
+
+        current_tid_ = next->tid;
+        ++fiber_switches_;
+        next->fiber->resume();
+        current_tid_ = -1;
+
+        if (next->fiber->finished()) {
+            next->state = ThreadState::Done;
+            next->finish = now_;
+            ++done;
+        }
+    }
+
+    running_ = false;
+    ran_ = true;
+}
+
+void
+SimMachine::print_stats(std::ostream& os) const
+{
+    os << "simulated time: " << static_cast<double>(now_) / 1e6 << " ms, "
+       << num_threads() << " threads, " << fiber_switches_
+       << " scheduling events, " << memory_.num_accesses()
+       << " memory accesses\n";
+    const TrafficStats t = memory_.traffic();
+    os << "traffic: " << t.local_tx << " local / " << t.global_tx
+       << " global transactions (" << t.data_fetch_tx << " fetches, "
+       << t.invalidation_tx << " invalidations, " << t.atomic_tx
+       << " atomics)\n";
+
+    auto utilization = [this](const Resource& r) {
+        return now_ == 0 ? 0.0
+                         : 100.0 * static_cast<double>(r.busy_time()) /
+                               static_cast<double>(now_);
+    };
+    for (int n = 0; n < topo_.num_nodes(); ++n) {
+        const Resource& bus = memory_.node_bus(n);
+        os << "  " << bus.name() << ": " << bus.transactions() << " tx, "
+           << utilization(bus) << "% busy, "
+           << (bus.transactions() == 0
+                   ? 0.0
+                   : static_cast<double>(bus.queue_time()) /
+                         static_cast<double>(bus.transactions()))
+           << " ns avg queue\n";
+    }
+    const Resource& link = memory_.global_link();
+    os << "  " << link.name() << ": " << link.transactions() << " tx, "
+       << utilization(link) << "% busy, "
+       << (link.transactions() == 0
+               ? 0.0
+               : static_cast<double>(link.queue_time()) /
+                     static_cast<double>(link.transactions()))
+       << " ns avg queue\n";
+}
+
+SimTime
+SimMachine::finish_time(int tid) const
+{
+    NUCA_ASSERT(tid >= 0 && tid < num_threads(), "tid=", tid);
+    const SimThread& thr = *threads_[static_cast<std::size_t>(tid)];
+    NUCA_ASSERT(thr.state == ThreadState::Done, "thread ", tid, " not finished");
+    return thr.finish;
+}
+
+} // namespace nucalock::sim

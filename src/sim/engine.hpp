@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The discrete-event simulation engine: simulated threads on fibers, a
+ * deterministic scheduler, and the per-thread SimContext through which lock
+ * algorithms issue memory operations.
+ */
+#ifndef NUCALOCK_SIM_ENGINE_HPP
+#define NUCALOCK_SIM_ENGINE_HPP
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/fiber.hpp"
+#include "sim/latency.hpp"
+#include "sim/memory.hpp"
+#include "sim/time.hpp"
+#include "topology/mapping.hpp"
+#include "topology/topology.hpp"
+
+namespace nucalock::sim {
+
+class SimMachine;
+
+/** Engine-level configuration. */
+struct SimConfig
+{
+    /** Seed for every per-thread generator; same seed => same run. */
+    std::uint64_t seed = 1;
+
+    /**
+     * OS-preemption injection (off by default). When enabled, each thread
+     * is descheduled for @ref preempt_duration roughly every
+     * @ref preempt_mean_interval of its own progress (exponentially
+     * distributed). This models the multiprogramming noise behind the
+     * paper's Table 4 queue-lock collapse at 30 cpus.
+     */
+    bool preemption = false;
+    SimTime preempt_mean_interval = 40'000'000; // 40 ms
+    SimTime preempt_duration = 10'000'000;      // 10 ms
+
+    /** Guard against livelock: run() panics past this simulated time. */
+    SimTime max_sim_time = 500ULL * 1000 * 1000 * 1000; // 500 simulated s
+
+    std::size_t fiber_stack_bytes = Fiber::kDefaultStackBytes;
+};
+
+/**
+ * Per-thread handle the lock algorithms are written against. Models the
+ * LockContext concept (see locks/context.hpp); the native backend provides
+ * the same interface over std::atomic.
+ */
+class SimContext
+{
+  public:
+    using Machine = SimMachine;
+    using Ref = MemRef;
+
+    int thread_id() const { return tid_; }
+    int cpu() const { return cpu_; }
+    int node() const { return node_; }
+    int chip() const { return chip_; }
+    int num_nodes() const;
+
+    Machine& machine() { return *machine_; }
+    Xoshiro256& rng() { return rng_; }
+    SimTime now() const;
+
+    std::uint64_t load(Ref ref);
+    void store(Ref ref, std::uint64_t value);
+    /** Compare-and-swap; returns the previous value (paper semantics). */
+    std::uint64_t cas(Ref ref, std::uint64_t expected, std::uint64_t desired);
+    std::uint64_t swap(Ref ref, std::uint64_t value);
+    /** test&set: writes nonzero, returns previous value. */
+    std::uint64_t tas(Ref ref);
+
+    /**
+     * Spin while the word equals @p value; returns the first differing
+     * value observed. Equivalent to a polling load loop, but the simulator
+     * blocks the thread and wakes it when another cpu writes the line.
+     */
+    std::uint64_t spin_while_equal(Ref ref, std::uint64_t value);
+
+    /** Busy-wait for @p iterations empty loop iterations (backoff delay). */
+    void delay(std::uint64_t iterations);
+    /** Busy-wait for @p ns nanoseconds of private work. */
+    void delay_ns(SimTime ns);
+
+    /**
+     * Read (and, when @p write, also increment) @p count consecutive words
+     * starting at @p first — the critical-section data access of the
+     * microbenchmarks, batched into one engine event for speed.
+     */
+    void touch_array(Ref first, std::uint32_t count, bool write);
+
+  private:
+    friend class SimMachine;
+
+    SimMachine* machine_ = nullptr;
+    int tid_ = -1;
+    int cpu_ = -1;
+    int node_ = -1;
+    int chip_ = -1;
+    Xoshiro256 rng_{0};
+};
+
+/**
+ * A complete simulated NUCA machine: topology, coherent memory, and
+ * simulated threads. Single-host-threaded and fully deterministic.
+ */
+class SimMachine
+{
+  public:
+    explicit SimMachine(Topology topo,
+                        LatencyModel lat = LatencyModel::wildfire(),
+                        SimConfig cfg = SimConfig{});
+    ~SimMachine();
+
+    SimMachine(const SimMachine&) = delete;
+    SimMachine& operator=(const SimMachine&) = delete;
+
+    const Topology& topology() const { return topo_; }
+    const LatencyModel& latency() const { return lat_; }
+    const SimConfig& config() const { return cfg_; }
+
+    /** Allocate one shared word homed in @p home_node. */
+    MemRef alloc(std::uint64_t init, int home_node = 0);
+    MemRef alloc_array(std::uint32_t count, std::uint64_t init, int home_node = 0);
+
+    /**
+     * The per-node `is_spinning` gate word of the HBO_GT/SD algorithms
+     * (one word per node, homed in that node, initially kGateDummy).
+     */
+    MemRef node_gate(int node);
+
+    /** Upper bound on thread ids (one thread per cpu). */
+    int max_threads() const { return topo_.num_cpus(); }
+
+    /** Rebuild a Ref from a token produced by MemRef::token(). */
+    static MemRef
+    ref_from_token(std::uint64_t token)
+    {
+        NUCA_ASSERT(token != 0 && token <= MemRef::kInvalid, "bad token ", token);
+        return MemRef{static_cast<std::uint32_t>(token - 1)};
+    }
+
+    /**
+     * Add a simulated thread bound to @p cpu (at most one per cpu).
+     * @return its thread id (dense, in creation order).
+     */
+    int add_thread(int cpu, std::function<void(SimContext&)> body);
+
+    /**
+     * Convenience: add @p count threads placed per @p policy; @p body
+     * receives the context and the thread index.
+     */
+    void add_threads(int count, Placement policy,
+                     std::function<void(SimContext&, int)> body);
+
+    /** Run until every thread finishes. Panics on deadlock. */
+    void run();
+
+    SimTime now() const { return now_; }
+    /** Simulated time at which thread @p tid finished. */
+    SimTime finish_time(int tid) const;
+
+    int num_threads() const { return static_cast<int>(threads_.size()); }
+
+    TrafficStats traffic() const { return memory_.traffic(); }
+    SimMemory& memory() { return memory_; }
+    const SimMemory& memory() const { return memory_; }
+
+    std::uint64_t fiber_switches() const { return fiber_switches_; }
+
+    /**
+     * Human-readable end-of-run report: simulated time, traffic totals,
+     * and per-resource utilization/queueing (gem5-style stats dump).
+     */
+    void print_stats(std::ostream& os) const;
+
+  private:
+    friend class SimContext;
+
+    enum class ThreadState
+    {
+        Runnable,
+        Waiting, // blocked on a line watcher
+        Done,
+    };
+
+    struct SimThread
+    {
+        int tid = -1;
+        int cpu = -1;
+        std::unique_ptr<Fiber> fiber;
+        ThreadState state = ThreadState::Runnable;
+        SimTime wake = 0;
+        SimTime finish = 0;
+        SimTime next_preempt = kTimeInfinity;
+        std::function<void(SimContext&)> body;
+        SimContext ctx;
+    };
+
+    /** Issue a memory op for the current thread and handle wakeups. */
+    AccessOutcome do_access(SimContext& ctx, MemOp op, MemRef ref,
+                            std::uint64_t a, std::uint64_t b);
+
+    /** Block the current thread until simulated time @p t. */
+    void block_until(SimContext& ctx, SimTime t);
+
+    /** Block the current thread on a watcher for @p ref (value @p v). */
+    void wait_on(SimContext& ctx, MemRef ref, std::uint64_t v);
+
+    /** Wake the watchers of @p ref at time @p t. */
+    void wake_watchers(MemRef ref, SimTime t);
+
+    /** Apply preemption injection to a wake time. */
+    SimTime apply_preemption(SimThread& thr, SimTime wake);
+
+    SimThread& current();
+
+    Topology topo_;
+    LatencyModel lat_;
+    SimConfig cfg_;
+    SimMemory memory_;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    std::vector<MemRef> node_gates_;
+    std::vector<bool> cpu_used_;
+    SimTime now_ = 0;
+    int current_tid_ = -1;
+    bool running_ = false;
+    bool ran_ = false;
+    std::uint64_t fiber_switches_ = 0;
+};
+
+/** Value of an idle is_spinning gate (the paper's "dummy value"). */
+inline constexpr std::uint64_t kGateDummy = 0;
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_ENGINE_HPP

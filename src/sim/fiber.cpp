@@ -1,0 +1,65 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace nucalock::sim {
+
+Fiber::Fiber(Entry entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)), stack_(new char[stack_bytes])
+{
+    NUCA_ASSERT(entry_ != nullptr);
+    NUCA_ASSERT(stack_bytes >= 16 * 1024, "fiber stack too small");
+
+    if (getcontext(&context_) != 0)
+        NUCA_PANIC("getcontext failed");
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes;
+    context_.uc_link = &caller_;
+
+    // makecontext only passes ints, so split `this` across two of them.
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    const auto hi = static_cast<unsigned int>(self >> 32);
+    const auto lo = static_cast<unsigned int>(self & 0xffffffffu);
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                hi, lo);
+}
+
+void
+Fiber::trampoline(unsigned int hi, unsigned int lo)
+{
+    const auto self = (static_cast<std::uintptr_t>(hi) << 32) |
+                      static_cast<std::uintptr_t>(lo);
+    reinterpret_cast<Fiber*>(self)->run();
+}
+
+void
+Fiber::run()
+{
+    entry_();
+    finished_ = true;
+    // Falling off the end returns to uc_link (== caller_).
+}
+
+void
+Fiber::resume()
+{
+    NUCA_ASSERT(!finished_, "resume of finished fiber");
+    NUCA_ASSERT(!inside_, "recursive resume");
+    started_ = true;
+    inside_ = true;
+    if (swapcontext(&caller_, &context_) != 0)
+        NUCA_PANIC("swapcontext into fiber failed");
+    inside_ = false;
+}
+
+void
+Fiber::yield()
+{
+    NUCA_ASSERT(inside_, "yield outside of fiber");
+    if (swapcontext(&context_, &caller_) != 0)
+        NUCA_PANIC("swapcontext out of fiber failed");
+}
+
+} // namespace nucalock::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cooperative fibers (ucontext-based) for simulated threads.
+ *
+ * Each simulated thread runs its program on a fiber; blocking simulator
+ * operations (memory accesses, delays) switch back to the scheduler, so the
+ * same straight-line lock code runs unmodified under simulation.
+ */
+#ifndef NUCALOCK_SIM_FIBER_HPP
+#define NUCALOCK_SIM_FIBER_HPP
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace nucalock::sim {
+
+/**
+ * A single cooperative fiber. Not thread-safe: resume() and yield() must be
+ * called from one host thread (the simulator is single-threaded by design —
+ * that is what makes runs deterministic).
+ */
+class Fiber
+{
+  public:
+    using Entry = std::function<void()>;
+
+    /** Create a fiber that will run @p entry when first resumed. */
+    explicit Fiber(Entry entry, std::size_t stack_bytes = kDefaultStackBytes);
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+    ~Fiber() = default;
+
+    /**
+     * Switch into the fiber; returns when the fiber calls yield() or its
+     * entry function returns. Must not be called on a finished fiber.
+     */
+    void resume();
+
+    /** Called from inside the fiber: switch back to the resumer. */
+    void yield();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+    static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  private:
+    static void trampoline(unsigned int hi, unsigned int lo);
+    void run();
+
+    Entry entry_;
+    std::unique_ptr<char[]> stack_;
+    ucontext_t context_{};
+    ucontext_t caller_{};
+    bool started_ = false;
+    bool finished_ = false;
+    bool inside_ = false;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_FIBER_HPP

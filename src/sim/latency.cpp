@@ -1,0 +1,77 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nucalock::sim {
+
+double
+LatencyModel::nuca_ratio() const
+{
+    return static_cast<double>(remote_c2c) / static_cast<double>(same_node_c2c);
+}
+
+LatencyModel
+LatencyModel::wildfire()
+{
+    return LatencyModel{}; // defaults are the calibrated WildFire values
+}
+
+LatencyModel
+LatencyModel::flat_smp()
+{
+    LatencyModel m;
+    m.remote_c2c = m.same_node_c2c;
+    m.remote_mem = m.local_mem;
+    m.inval_remote = m.inval_local;
+    m.global_link_occupancy = m.node_bus_occupancy;
+    return m;
+}
+
+LatencyModel
+LatencyModel::dash()
+{
+    LatencyModel m;
+    m.remote_c2c = static_cast<SimTime>(4.5 * static_cast<double>(m.same_node_c2c));
+    m.remote_mem = static_cast<SimTime>(4.5 * static_cast<double>(m.local_mem));
+    return m;
+}
+
+LatencyModel
+LatencyModel::numaq()
+{
+    LatencyModel m;
+    m.remote_c2c = 10 * m.same_node_c2c;
+    m.remote_mem = 10 * m.local_mem;
+    m.inval_remote = 2 * m.inval_remote;
+    return m;
+}
+
+LatencyModel
+LatencyModel::cmp_cluster()
+{
+    LatencyModel m;
+    m.same_chip_c2c = 40;   // on-die shared cache
+    m.same_node_c2c = 220;  // off-die, same board
+    m.remote_c2c = 1760;    // ratio 8 vs same-node
+    m.local_mem = 200;
+    m.remote_mem = 1500;
+    return m;
+}
+
+LatencyModel
+LatencyModel::scaled(double ratio)
+{
+    NUCA_ASSERT(ratio >= 1.0, "NUCA ratio must be >= 1, got ", ratio);
+    LatencyModel m;
+    m.remote_c2c =
+        static_cast<SimTime>(std::llround(ratio * static_cast<double>(m.same_node_c2c)));
+    m.remote_mem =
+        static_cast<SimTime>(std::llround(ratio * static_cast<double>(m.local_mem)));
+    m.inval_remote = static_cast<SimTime>(
+        std::llround(ratio * static_cast<double>(m.inval_local)));
+    return m;
+}
+
+} // namespace nucalock::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NUCA latency models.
+ *
+ * Parameters are calibrated so that the simulated Table 1 of the paper
+ * (uncontested acquire-release latencies on a 2-node Sun WildFire) lands
+ * near the published numbers; presets cover the other machines from the
+ * paper's section 2 NUCA-ratio table.
+ */
+#ifndef NUCALOCK_SIM_LATENCY_HPP
+#define NUCALOCK_SIM_LATENCY_HPP
+
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+/** All fixed latencies and occupancies of the simulated memory system (ns). */
+struct LatencyModel
+{
+    /** Fixed pipeline cost of issuing any memory operation. */
+    SimTime issue = 6;
+    /** Load hit in the cpu's own cache. */
+    SimTime cache_hit = 15;
+    /** Atomic RMW on a line this cpu already owns exclusively. */
+    SimTime own_atomic = 110;
+    /** Plain store to a line this cpu already owns exclusively. */
+    SimTime own_store = 25;
+    /** Cache-to-cache transfer from another cpu in the same chip. */
+    SimTime same_chip_c2c = 120;
+    /** Cache-to-cache transfer from another cpu in the same node. */
+    SimTime same_node_c2c = 520;
+    /** Cache-to-cache transfer from a cpu in a remote node. */
+    SimTime remote_c2c = 1820;
+    /** Fetch from node-local memory (line cached nowhere). */
+    SimTime local_mem = 330;
+    /** Fetch from a remote node's memory. */
+    SimTime remote_mem = 1700;
+    /** Added latency to invalidate sharers within the requester's node. */
+    SimTime inval_local = 60;
+    /** Added latency to invalidate sharers in a remote node. */
+    SimTime inval_remote = 300;
+    /** Bus occupancy of one intra-node transaction. */
+    SimTime node_bus_occupancy = 45;
+    /** Link occupancy of one inter-node transaction. */
+    SimTime global_link_occupancy = 110;
+    /** ns per empty backoff-loop iteration (250 MHz-ish core). */
+    SimTime ns_per_delay_iteration = 4;
+
+    /** Effective NUCA ratio (remote vs same-node cache-to-cache). */
+    double nuca_ratio() const;
+
+    /** 2-node Sun WildFire with CMR, NUCA ratio ~ 6 on memory, ~3.5 c2c. */
+    static LatencyModel wildfire();
+    /** Flat SMP (Sun E6000 / SunFire-15k-like): NUCA ratio ~ 1. */
+    static LatencyModel flat_smp();
+    /** Stanford DASH: NUCA ratio ~ 4.5. */
+    static LatencyModel dash();
+    /** Sequent NUMA-Q: NUCA ratio ~ 10. */
+    static LatencyModel numaq();
+    /** Future CMP cluster: cheap same-chip transfers, ratio 6-10. */
+    static LatencyModel cmp_cluster();
+
+    /**
+     * WildFire model rescaled so remote_c2c / same_node_c2c == @p ratio
+     * (>= 1), for NUCA-ratio sweeps. Remote memory scales alongside.
+     */
+    static LatencyModel scaled(double ratio);
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_LATENCY_HPP

@@ -1,0 +1,292 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "sim/trace.hpp"
+
+namespace nucalock::sim {
+namespace {
+
+bool
+is_atomic(MemOp op)
+{
+    return op == MemOp::Cas || op == MemOp::Swap || op == MemOp::Tas;
+}
+
+} // namespace
+
+SimMemory::SimMemory(const Topology& topo, const LatencyModel& lat)
+    : topo_(topo), lat_(lat), global_link_("global-link")
+{
+    NUCA_ASSERT(topo_.num_cpus() <= kMaxCpus, "simulator supports at most ",
+                kMaxCpus, " cpus, topology has ", topo_.num_cpus());
+    node_buses_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
+    for (int n = 0; n < topo_.num_nodes(); ++n)
+        node_buses_.emplace_back("node-bus-" + std::to_string(n));
+}
+
+MemRef
+SimMemory::alloc(std::uint64_t init, int home_node)
+{
+    return alloc_array(1, init, home_node);
+}
+
+MemRef
+SimMemory::alloc_array(std::uint32_t count, std::uint64_t init, int home_node)
+{
+    NUCA_ASSERT(count > 0);
+    NUCA_ASSERT(home_node >= 0 && home_node < topo_.num_nodes(),
+                "home_node=", home_node);
+    const auto first = static_cast<std::uint32_t>(lines_.size());
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Line line;
+        line.value = init;
+        line.home_node = static_cast<std::int16_t>(home_node);
+        lines_.push_back(std::move(line));
+    }
+    return MemRef{first};
+}
+
+SimMemory::Line&
+SimMemory::line_of(MemRef ref)
+{
+    NUCA_ASSERT(ref.valid() && ref.line < lines_.size(), "bad MemRef ", ref.line);
+    return lines_[ref.line];
+}
+
+const SimMemory::Line&
+SimMemory::line_of(MemRef ref) const
+{
+    NUCA_ASSERT(ref.valid() && ref.line < lines_.size(), "bad MemRef ", ref.line);
+    return lines_[ref.line];
+}
+
+Resource&
+SimMemory::node_bus(int node)
+{
+    NUCA_ASSERT(node >= 0 && node < topo_.num_nodes());
+    return node_buses_[static_cast<std::size_t>(node)];
+}
+
+const Resource&
+SimMemory::node_bus(int node) const
+{
+    NUCA_ASSERT(node >= 0 && node < topo_.num_nodes());
+    return node_buses_[static_cast<std::size_t>(node)];
+}
+
+void
+SimMemory::count_tx(bool global, std::uint64_t TrafficStats::* kind)
+{
+    if (global)
+        ++traffic_.global_tx;
+    else
+        ++traffic_.local_tx;
+    ++(traffic_.*kind);
+}
+
+SimTime
+SimMemory::route(SimTime t, int from_node, int to_node)
+{
+    t = node_bus(from_node).serve(t, lat_.node_bus_occupancy);
+    if (from_node != to_node) {
+        t = global_link_.serve(t, lat_.global_link_occupancy);
+        t = node_bus(to_node).serve(t, lat_.node_bus_occupancy);
+    }
+    return t;
+}
+
+SimTime
+SimMemory::fetch(const Line& line, int cpu, SimTime t)
+{
+    const int rnode = topo_.node_of_cpu(cpu);
+    SimTime wire = 0;
+    int source_node = 0;
+    if (line.owner_cpu >= 0) {
+        // Cache-to-cache transfer from the current owner.
+        const int onode = topo_.node_of_cpu(line.owner_cpu);
+        source_node = onode;
+        if (onode != rnode) {
+            wire = lat_.remote_c2c;
+        } else if (topo_.chip_of_cpu(line.owner_cpu) == topo_.chip_of_cpu(cpu) &&
+                   !topo_.flat_chips()) {
+            wire = lat_.same_chip_c2c;
+        } else {
+            wire = lat_.same_node_c2c;
+        }
+    } else {
+        // Fetch from the home node's memory.
+        source_node = line.home_node;
+        wire = source_node == rnode ? lat_.local_mem : lat_.remote_mem;
+    }
+    count_tx(source_node != rnode, &TrafficStats::data_fetch_tx);
+    t = route(t, rnode, source_node);
+    return t + wire;
+}
+
+SimTime
+SimMemory::invalidate_others(Line& line, int cpu, SimTime t)
+{
+    const int rnode = topo_.node_of_cpu(cpu);
+    const std::uint64_t self_bit = std::uint64_t{1} << cpu;
+    std::uint64_t holders = line.sharers;
+    if (line.owner_cpu >= 0)
+        holders |= std::uint64_t{1} << line.owner_cpu;
+    holders &= ~self_bit;
+    if (holders == 0)
+        return t;
+
+    // One invalidation transaction per node holding a copy; the requester
+    // waits for the farthest acknowledgement, the buses see each one.
+    SimTime done = t;
+    for (int n = 0; n < topo_.num_nodes(); ++n) {
+        std::uint64_t node_mask = 0;
+        const int first = topo_.first_cpu_of_node(n);
+        for (int c = first; c < first + topo_.cpus_in_node(n); ++c)
+            node_mask |= std::uint64_t{1} << c;
+        if ((holders & node_mask) == 0)
+            continue;
+        const bool global = n != rnode;
+        count_tx(global, &TrafficStats::invalidation_tx);
+        const SimTime arrive = route(t, rnode, n);
+        done = std::max(done, arrive + (global ? lat_.inval_remote : lat_.inval_local));
+    }
+    return done;
+}
+
+AccessOutcome
+SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
+                  std::uint64_t b)
+{
+    NUCA_ASSERT(cpu >= 0 && cpu < topo_.num_cpus(), "cpu=", cpu);
+    Line& line = line_of(ref);
+    ++accesses_;
+
+    const std::uint64_t self_bit = std::uint64_t{1} << cpu;
+    const bool holds_copy = line.owner_cpu == cpu || (line.sharers & self_bit) != 0;
+
+    AccessOutcome out;
+    out.old_value = line.value;
+    SimTime t = now + lat_.issue;
+
+    if (op == MemOp::Load) {
+        if (!holds_copy) {
+            t = fetch(line, cpu, t);
+            line.sharers |= self_bit;
+        } else {
+            t += lat_.cache_hit;
+        }
+        out.complete = t;
+        if (trace_hook_) {
+            trace_hook_(TraceEvent{now, out.complete, cpu, op, ref.line,
+                                   out.old_value, line.value});
+        }
+        return out;
+    }
+
+    // Writes and atomics need the line exclusively.
+    const bool exclusive_already =
+        line.owner_cpu == cpu && (line.sharers & ~self_bit) == 0;
+    if (exclusive_already) {
+        t += is_atomic(op) ? lat_.own_atomic : lat_.own_store;
+    } else {
+        if (!holds_copy)
+            t = fetch(line, cpu, t);
+        t = invalidate_others(line, cpu, t);
+        if (is_atomic(op))
+            ++traffic_.atomic_tx;
+        if (holds_copy && line.owner_cpu != cpu) {
+            // Upgrade of a shared copy: ownership request, no data moved.
+            count_tx(line.owner_cpu >= 0 &&
+                         topo_.node_of_cpu(line.owner_cpu) != topo_.node_of_cpu(cpu),
+                     &TrafficStats::data_fetch_tx);
+        }
+        line.owner_cpu = static_cast<std::int16_t>(cpu);
+        line.sharers = self_bit;
+    }
+
+    switch (op) {
+      case MemOp::Store:
+        line.value = a;
+        break;
+      case MemOp::Swap:
+        line.value = a;
+        break;
+      case MemOp::Tas:
+        line.value = 1;
+        break;
+      case MemOp::Cas:
+        if (line.value == a)
+            line.value = b;
+        break;
+      case MemOp::Load:
+        NUCA_PANIC("unreachable");
+    }
+
+    // Any write/atomic by this cpu invalidated every other spinner's copy;
+    // they must be woken to re-fetch (models the refill burst).
+    out.wakes_watchers = !line.watchers.empty();
+    out.complete = t;
+    if (trace_hook_) {
+        trace_hook_(TraceEvent{now, out.complete, cpu, op, ref.line,
+                               out.old_value, line.value});
+    }
+    return out;
+}
+
+std::uint64_t
+SimMemory::peek(MemRef ref) const
+{
+    return line_of(ref).value;
+}
+
+void
+SimMemory::poke(MemRef ref, std::uint64_t value)
+{
+    line_of(ref).value = value;
+}
+
+bool
+SimMemory::watch(MemRef ref, int tid, std::uint64_t watched)
+{
+    Line& line = line_of(ref);
+    if (line.value != watched)
+        return false;
+    NUCA_ASSERT(std::find(line.watchers.begin(), line.watchers.end(), tid) ==
+                    line.watchers.end(),
+                "thread ", tid, " already watching line ", ref.line);
+    line.watchers.push_back(tid);
+    return true;
+}
+
+std::vector<int>
+SimMemory::take_watchers(MemRef ref)
+{
+    Line& line = line_of(ref);
+    std::vector<int> out;
+    out.swap(line.watchers);
+    return out;
+}
+
+int
+SimMemory::home_node(MemRef ref) const
+{
+    return line_of(ref).home_node;
+}
+
+int
+SimMemory::owner_cpu(MemRef ref) const
+{
+    return line_of(ref).owner_cpu;
+}
+
+bool
+SimMemory::caches(MemRef ref, int cpu) const
+{
+    const Line& line = line_of(ref);
+    return line.owner_cpu == cpu ||
+           (line.sharers & (std::uint64_t{1} << cpu)) != 0;
+}
+
+} // namespace nucalock::sim

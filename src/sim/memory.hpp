@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Simulated cache-coherent memory with a NUCA timing model.
+ *
+ * Memory is modelled at lock-word granularity: every allocated word is its
+ * own cache line with a directory entry (owner cpu + sharer set + home
+ * node). Accesses return both the old value and a completion time computed
+ * from the latency model plus FIFO queuing on the node buses and the global
+ * link. Local and global coherence transactions are counted exactly the way
+ * the paper's Tables 2 and 6 count them.
+ *
+ * Key modelling choices (see DESIGN.md):
+ *  - A failed cas still acquires the line exclusively, as on SPARC/x86;
+ *    this is what makes remote spinning with cas expensive and what the
+ *    HBO_GT throttle exists to avoid.
+ *  - Threads spin-waiting on a line register as watchers; any write or
+ *    atomic by another cpu wakes them (their cached copy was invalidated),
+ *    and the re-fetch they then perform models the refill burst after a
+ *    lock release.
+ */
+#ifndef NUCALOCK_SIM_MEMORY_HPP
+#define NUCALOCK_SIM_MEMORY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/latency.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+#include "sim/traffic.hpp"
+#include "topology/topology.hpp"
+
+namespace nucalock::sim {
+
+/** Handle to one simulated memory word (== one cache line). */
+struct MemRef
+{
+    static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+    std::uint32_t line = kInvalid;
+
+    bool valid() const { return line != kInvalid; }
+
+    /** Nonzero identity of this word, used as an is_spinning gate value. */
+    std::uint64_t token() const { return static_cast<std::uint64_t>(line) + 1; }
+
+    /** The @p i-th word of an array allocated with alloc_array(). */
+    MemRef at(std::uint32_t i) const { return MemRef{line + i}; }
+
+    friend bool operator==(const MemRef&, const MemRef&) = default;
+};
+
+/** Memory operation kinds. Cas/Swap/Tas are atomic read-modify-writes. */
+enum class MemOp
+{
+    Load,
+    Store,
+    Cas,
+    Swap,
+    Tas,
+};
+
+/** Result of one simulated access. */
+struct AccessOutcome
+{
+    /** Value of the word before the operation. */
+    std::uint64_t old_value = 0;
+    /** Time the operation completes (requester may proceed). */
+    SimTime complete = 0;
+    /** Whether watchers of the line must be woken (any write by another). */
+    bool wakes_watchers = false;
+};
+
+/** The simulated coherent memory. At most 64 cpus (sharer set is a word). */
+class SimMemory
+{
+  public:
+    static constexpr int kMaxCpus = 64;
+
+    SimMemory(const Topology& topo, const LatencyModel& lat);
+
+    SimMemory(const SimMemory&) = delete;
+    SimMemory& operator=(const SimMemory&) = delete;
+
+    /** Allocate one word, value @p init, homed in @p home_node. */
+    MemRef alloc(std::uint64_t init, int home_node);
+
+    /** Allocate @p count contiguous words; returns the first. */
+    MemRef alloc_array(std::uint32_t count, std::uint64_t init, int home_node);
+
+    /**
+     * Perform @p op by @p cpu starting at @p now.
+     * Cas: @p a = expected, @p b = desired. Store/Swap: @p a = new value.
+     */
+    AccessOutcome access(MemOp op, int cpu, SimTime now, MemRef ref,
+                         std::uint64_t a = 0, std::uint64_t b = 0);
+
+    /** Current value, without traffic or state change (tests/diagnostics). */
+    std::uint64_t peek(MemRef ref) const;
+
+    /** Set a value directly, bypassing coherence (setup only). */
+    void poke(MemRef ref, std::uint64_t value);
+
+    /**
+     * Register @p tid as a spin-waiter on @p ref.
+     * @return false if registration is refused because the current value
+     *         already differs from @p watched (caller should not block).
+     */
+    bool watch(MemRef ref, int tid, std::uint64_t watched);
+
+    /** Remove and return the watcher tids of @p ref (wake processing). */
+    std::vector<int> take_watchers(MemRef ref);
+
+    std::uint32_t num_lines() const { return static_cast<std::uint32_t>(lines_.size()); }
+    std::uint64_t num_accesses() const { return accesses_; }
+
+    /**
+     * Install a per-access trace hook (see sim/trace.hpp). Pass an empty
+     * function to disable. The hook runs synchronously inside access().
+     */
+    void
+    set_trace_hook(std::function<void(const struct TraceEvent&)> hook)
+    {
+        trace_hook_ = std::move(hook);
+    }
+
+    const TrafficStats& traffic() const { return traffic_; }
+
+    Resource& node_bus(int node);
+    const Resource& node_bus(int node) const;
+    Resource& global_link() { return global_link_; }
+    const Resource& global_link() const { return global_link_; }
+
+    /** Home node of a line (diagnostics). */
+    int home_node(MemRef ref) const;
+    /** Owner cpu of a line, or -1 when memory owns it (diagnostics). */
+    int owner_cpu(MemRef ref) const;
+    /** Whether @p cpu holds a valid copy of the line (diagnostics). */
+    bool caches(MemRef ref, int cpu) const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t value = 0;
+        std::uint64_t sharers = 0; // bit per cpu, includes owner when cached
+        std::int16_t owner_cpu = -1;
+        std::int16_t home_node = 0;
+        std::vector<int> watchers;
+    };
+
+    Line& line_of(MemRef ref);
+    const Line& line_of(MemRef ref) const;
+
+    /** Queue one transaction from @p from_node to @p to_node at @p t. */
+    SimTime route(SimTime t, int from_node, int to_node);
+
+    /** Count one transaction (local or global) of the given kind. */
+    void count_tx(bool global, std::uint64_t TrafficStats::* kind);
+
+    /** Fetch latency+queuing for @p cpu reading the line; counts traffic. */
+    SimTime fetch(const Line& line, int cpu, SimTime t);
+
+    /** Invalidate all other holders; returns completion; counts traffic. */
+    SimTime invalidate_others(Line& line, int cpu, SimTime t);
+
+    const Topology& topo_;
+    LatencyModel lat_;
+    std::vector<Line> lines_;
+    std::vector<Resource> node_buses_;
+    Resource global_link_;
+    TrafficStats traffic_;
+    std::uint64_t accesses_ = 0;
+    std::function<void(const struct TraceEvent&)> trace_hook_;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_MEMORY_HPP

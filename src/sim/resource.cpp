@@ -1,0 +1,33 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nucalock::sim {
+
+Resource::Resource(std::string name) : name_(std::move(name))
+{
+    NUCA_ASSERT(!name_.empty());
+}
+
+SimTime
+Resource::serve(SimTime arrival, SimTime occupancy)
+{
+    const SimTime start = std::max(arrival, next_free_);
+    queued_ += start - arrival;
+    next_free_ = start + occupancy;
+    busy_ += occupancy;
+    ++transactions_;
+    return next_free_;
+}
+
+void
+Resource::reset_stats()
+{
+    busy_ = 0;
+    queued_ = 0;
+    transactions_ = 0;
+}
+
+} // namespace nucalock::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FIFO-queued shared resources (node buses, the global interconnect link).
+ *
+ * Every coherence transaction occupies the resources it traverses for a
+ * fixed occupancy. Under contention, transactions queue, which is the
+ * mechanism that makes TATAS handover time grow with the number of spinners
+ * and is the core of the paper's traffic argument.
+ */
+#ifndef NUCALOCK_SIM_RESOURCE_HPP
+#define NUCALOCK_SIM_RESOURCE_HPP
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+/** A single-server FIFO queue with deterministic service. */
+class Resource
+{
+  public:
+    explicit Resource(std::string name);
+
+    /**
+     * Serve a transaction arriving at @p arrival that holds the resource
+     * for @p occupancy ns.
+     * @return the time service completes (>= arrival + occupancy).
+     */
+    SimTime serve(SimTime arrival, SimTime occupancy);
+
+    const std::string& name() const { return name_; }
+    std::uint64_t transactions() const { return transactions_; }
+    SimTime busy_time() const { return busy_; }
+    /** Total time transactions spent waiting before service. */
+    SimTime queue_time() const { return queued_; }
+    SimTime next_free() const { return next_free_; }
+
+    void reset_stats();
+
+  private:
+    std::string name_;
+    SimTime next_free_ = 0;
+    SimTime busy_ = 0;
+    SimTime queued_ = 0;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_RESOURCE_HPP

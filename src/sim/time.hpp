@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Simulated time base.
+ */
+#ifndef NUCALOCK_SIM_TIME_HPP
+#define NUCALOCK_SIM_TIME_HPP
+
+#include <cstdint>
+
+namespace nucalock::sim {
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+/** "Never" sentinel for blocked threads. */
+inline constexpr SimTime kTimeInfinity = ~SimTime{0};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_TIME_HPP

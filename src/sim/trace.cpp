@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+#include "stats/csv.hpp"
+
+namespace nucalock::sim {
+
+const char*
+mem_op_name(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load: return "load";
+      case MemOp::Store: return "store";
+      case MemOp::Cas: return "cas";
+      case MemOp::Swap: return "swap";
+      case MemOp::Tas: return "tas";
+    }
+    return "?";
+}
+
+void
+TraceRecorder::dump_csv(std::ostream& os) const
+{
+    stats::CsvWriter csv(
+        os, {"start_ns", "complete_ns", "cpu", "op", "line", "old", "new"});
+    for (const TraceEvent& e : events_) {
+        csv.cell(e.start)
+            .cell(e.complete)
+            .cell(e.cpu)
+            .cell(mem_op_name(e.op))
+            .cell(static_cast<std::uint64_t>(e.line))
+            .cell(e.old_value)
+            .cell(e.new_value);
+        csv.end_row();
+    }
+}
+
+} // namespace nucalock::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory-access tracing for the simulator: an optional per-access hook on
+ * SimMemory plus a recorder with line filtering and CSV export. Used for
+ * debugging lock dynamics (e.g. watching node ownership batches under
+ * HBO_GT_SD) and for the trace_locks example.
+ */
+#ifndef NUCALOCK_SIM_TRACE_HPP
+#define NUCALOCK_SIM_TRACE_HPP
+
+#include <functional>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+/** One traced memory access. */
+struct TraceEvent
+{
+    SimTime start = 0;
+    SimTime complete = 0;
+    int cpu = -1;
+    MemOp op = MemOp::Load;
+    std::uint32_t line = 0;
+    std::uint64_t old_value = 0;
+    std::uint64_t new_value = 0;
+};
+
+/** Hook type installed on SimMemory. */
+using TraceHook = std::function<void(const TraceEvent&)>;
+
+/** Printable op mnemonic. */
+const char* mem_op_name(MemOp op);
+
+/**
+ * Collects TraceEvents, optionally restricted to a set of lines. Keep the
+ * filter tight: an unfiltered trace of a contended run is large.
+ */
+class TraceRecorder
+{
+  public:
+    TraceRecorder() = default;
+
+    /** Restrict recording to @p refs (call before installing). */
+    void
+    watch_only(const std::vector<MemRef>& refs)
+    {
+        for (const MemRef& ref : refs)
+            filter_.insert(ref.line);
+    }
+
+    /** The hook to install via SimMemory::set_trace_hook. */
+    TraceHook
+    hook()
+    {
+        return [this](const TraceEvent& event) {
+            if (filter_.empty() || filter_.contains(event.line))
+                events_.push_back(event);
+        };
+    }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /** Dump as CSV (start,complete,cpu,op,line,old,new). */
+    void dump_csv(std::ostream& os) const;
+
+  private:
+    std::unordered_set<std::uint32_t> filter_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_TRACE_HPP

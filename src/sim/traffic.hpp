@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Coherence traffic accounting, matching the paper's local / global
+ * transaction counts (Tables 2 and 6).
+ */
+#ifndef NUCALOCK_SIM_TRAFFIC_HPP
+#define NUCALOCK_SIM_TRAFFIC_HPP
+
+#include <cstdint>
+
+namespace nucalock::sim {
+
+/**
+ * Transaction counters. A transaction that crosses the inter-node link is
+ * global; one contained within a node (node-local cache-to-cache transfer,
+ * local memory fetch, intra-node invalidation) is local. Cache hits are not
+ * transactions.
+ */
+struct TrafficStats
+{
+    std::uint64_t local_tx = 0;
+    std::uint64_t global_tx = 0;
+
+    // Breakdown by cause, for diagnostics and the ablation benches.
+    std::uint64_t data_fetch_tx = 0;
+    std::uint64_t invalidation_tx = 0;
+    std::uint64_t atomic_tx = 0;
+
+    std::uint64_t total() const { return local_tx + global_tx; }
+
+    TrafficStats
+    operator-(const TrafficStats& rhs) const
+    {
+        TrafficStats d;
+        d.local_tx = local_tx - rhs.local_tx;
+        d.global_tx = global_tx - rhs.global_tx;
+        d.data_fetch_tx = data_fetch_tx - rhs.data_fetch_tx;
+        d.invalidation_tx = invalidation_tx - rhs.invalidation_tx;
+        d.atomic_tx = atomic_tx - rhs.atomic_tx;
+        return d;
+    }
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_TRAFFIC_HPP

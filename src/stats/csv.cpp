@@ -1,0 +1,87 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace nucalock::stats {
+namespace {
+
+bool
+needs_quoting(const std::string& s)
+{
+    return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string
+quote(const std::string& s)
+{
+    if (!needs_quoting(s))
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& headers)
+    : os_(os), columns_(headers.size())
+{
+    NUCA_ASSERT(columns_ > 0);
+    write_row(headers);
+}
+
+CsvWriter&
+CsvWriter::cell(const std::string& text)
+{
+    pending_.push_back(text);
+    return *this;
+}
+
+CsvWriter&
+CsvWriter::cell(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return cell(std::string(buf));
+}
+
+CsvWriter&
+CsvWriter::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+CsvWriter&
+CsvWriter::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+CsvWriter::end_row()
+{
+    NUCA_ASSERT(pending_.size() == columns_, "row has ", pending_.size(),
+                " cells, expected ", columns_);
+    write_row(pending_);
+    pending_.clear();
+}
+
+void
+CsvWriter::write_row(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0)
+            os_ << ',';
+        os_ << quote(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace nucalock::stats

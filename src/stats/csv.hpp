@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark output can be re-plotted outside C++.
+ */
+#ifndef NUCALOCK_STATS_CSV_HPP
+#define NUCALOCK_STATS_CSV_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nucalock::stats {
+
+/**
+ * Streams rows of cells in RFC-4180-ish CSV (quotes cells containing commas,
+ * quotes, or newlines). The header row is written on construction.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter(std::ostream& os, const std::vector<std::string>& headers);
+
+    CsvWriter& cell(const std::string& text);
+    CsvWriter& cell(double value);
+    CsvWriter& cell(std::uint64_t value);
+    CsvWriter& cell(int value);
+
+    /** Terminate the current row. Panics if the column count is wrong. */
+    void end_row();
+
+  private:
+    void write_row(const std::vector<std::string>& cells);
+
+    std::ostream& os_;
+    std::size_t columns_;
+    std::vector<std::string> pending_;
+};
+
+} // namespace nucalock::stats
+
+#endif // NUCALOCK_STATS_CSV_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford's online algorithm).
+ */
+#ifndef NUCALOCK_STATS_SUMMARY_HPP
+#define NUCALOCK_STATS_SUMMARY_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace nucalock::stats {
+
+/**
+ * Accumulates count / mean / variance / min / max of a stream of doubles
+ * without storing the samples. Numerically stable (Welford).
+ */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    double
+    min() const
+    {
+        return count_ == 0 ? 0.0 : min_;
+    }
+
+    double
+    max() const
+    {
+        return count_ == 0 ? 0.0 : max_;
+    }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double
+    variance() const
+    {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+    }
+
+    /** Sample (Bessel-corrected) variance; 0 for fewer than two samples. */
+    double
+    sample_variance() const
+    {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Merge another summary into this one (parallel Welford merge). */
+    void
+    merge(const Summary& other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const auto na = static_cast<double>(count_);
+        const auto nb = static_cast<double>(other.count_);
+        const double delta = other.mean_ - mean_;
+        const double n = na + nb;
+        mean_ += delta * nb / n;
+        m2_ += other.m2_ + delta * delta * na * nb / n;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace nucalock::stats
+
+#endif // NUCALOCK_STATS_SUMMARY_HPP

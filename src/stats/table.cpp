@@ -1,0 +1,93 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace nucalock::stats {
+
+std::string
+format_double(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    NUCA_ASSERT(!headers_.empty());
+}
+
+Table&
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table&
+Table::cell(const std::string& text)
+{
+    NUCA_ASSERT(!rows_.empty(), "cell() before row()");
+    NUCA_ASSERT(rows_.back().size() < headers_.size(), "too many cells in row");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table&
+Table::cell(const char* text)
+{
+    return cell(std::string(text));
+}
+
+Table&
+Table::cell(double value, int decimals)
+{
+    return cell(format_double(value, decimals));
+}
+
+Table&
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table&
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& text = c < cells.size() ? cells[c] : std::string();
+            os << (c == 0 ? "" : "  ");
+            os << text;
+            for (std::size_t pad = text.size(); pad < widths[c]; ++pad)
+                os << ' ';
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+} // namespace nucalock::stats

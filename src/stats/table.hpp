@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatting for paper-style result output.
+ */
+#ifndef NUCALOCK_STATS_TABLE_HPP
+#define NUCALOCK_STATS_TABLE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nucalock::stats {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned columns.
+ * Numeric cell helpers format with a fixed number of decimals.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new row; subsequent cell() calls append to it. */
+    Table& row();
+
+    Table& cell(const std::string& text);
+    Table& cell(const char* text);
+    Table& cell(double value, int decimals = 2);
+    Table& cell(std::uint64_t value);
+    Table& cell(int value);
+
+    /** Render the table (header, rule, rows) to @p os. */
+    void print(std::ostream& os) const;
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p decimals decimal places. */
+std::string format_double(double value, int decimals);
+
+} // namespace nucalock::stats
+
+#endif // NUCALOCK_STATS_TABLE_HPP

@@ -1,0 +1,38 @@
+#include "topology/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstddef>
+#endif
+
+namespace nucalock {
+
+bool
+pin_current_thread(int os_cpu)
+{
+#if defined(__linux__)
+    if (os_cpu < 0 || os_cpu >= CPU_SETSIZE)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<std::size_t>(os_cpu), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)os_cpu;
+    return false;
+#endif
+}
+
+int
+current_os_cpu()
+{
+#if defined(__linux__)
+    return sched_getcpu();
+#else
+    return -1;
+#endif
+}
+
+} // namespace nucalock

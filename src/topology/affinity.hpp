@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Thread-to-cpu affinity pinning (Linux pthread_setaffinity_np).
+ */
+#ifndef NUCALOCK_TOPOLOGY_AFFINITY_HPP
+#define NUCALOCK_TOPOLOGY_AFFINITY_HPP
+
+namespace nucalock {
+
+/**
+ * Pin the calling thread to OS cpu @p os_cpu.
+ * @return true on success; false when unsupported or the cpu is offline.
+ */
+bool pin_current_thread(int os_cpu);
+
+/** OS cpu the calling thread last ran on, or -1 if unknown. */
+int current_os_cpu();
+
+} // namespace nucalock
+
+#endif // NUCALOCK_TOPOLOGY_AFFINITY_HPP

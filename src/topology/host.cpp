@@ -1,0 +1,158 @@
+#include "topology/host.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace nucalock {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::vector<int>>
+read_sysfs_nodes(const std::string& root)
+{
+    std::vector<std::vector<int>> nodes;
+    std::error_code ec;
+    if (!fs::is_directory(root, ec))
+        return nodes;
+
+    // Collect node directories in numeric order (node0, node1, ...).
+    std::vector<std::pair<int, fs::path>> dirs;
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("node", 0) != 0)
+            continue;
+        const std::string digits = name.substr(4);
+        if (digits.empty() ||
+            !std::all_of(digits.begin(), digits.end(),
+                         [](unsigned char c) { return std::isdigit(c); }))
+            continue;
+        dirs.emplace_back(std::stoi(digits), entry.path());
+    }
+    std::sort(dirs.begin(), dirs.end());
+
+    for (const auto& [id, path] : dirs) {
+        std::ifstream in(path / "cpulist");
+        if (!in)
+            continue;
+        std::string line;
+        std::getline(in, line);
+        if (line.empty())
+            continue; // memory-only node
+        nodes.push_back(parse_cpulist(line));
+    }
+    return nodes;
+}
+
+HostLayout
+layout_from_groups(const std::vector<std::vector<int>>& groups)
+{
+    std::vector<int> counts;
+    std::vector<int> os_cpu_of;
+    for (const auto& group : groups) {
+        counts.push_back(static_cast<int>(group.size()));
+        os_cpu_of.insert(os_cpu_of.end(), group.begin(), group.end());
+    }
+    return HostLayout{Topology::uneven(counts), std::move(os_cpu_of)};
+}
+
+std::vector<int>
+all_host_cpus(const std::string& root)
+{
+    std::vector<int> cpus;
+    for (const auto& group : read_sysfs_nodes(root))
+        cpus.insert(cpus.end(), group.begin(), group.end());
+    std::sort(cpus.begin(), cpus.end());
+    if (cpus.empty()) {
+        const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+        for (unsigned c = 0; c < hw; ++c)
+            cpus.push_back(static_cast<int>(c));
+    }
+    return cpus;
+}
+
+} // namespace
+
+std::vector<int>
+parse_cpulist(const std::string& text)
+{
+    std::vector<int> cpus;
+    std::size_t pos = 0;
+    const auto parse_int = [&]() -> int {
+        const std::size_t start = pos;
+        while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos == start)
+            NUCA_FATAL("malformed cpulist '", text, "' at offset ", start);
+        return std::stoi(text.substr(start, pos - start));
+    };
+
+    while (pos < text.size()) {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos >= text.size())
+            break;
+        const int first = parse_int();
+        int last = first;
+        if (pos < text.size() && text[pos] == '-') {
+            ++pos;
+            last = parse_int();
+            if (last < first)
+                NUCA_FATAL("descending range in cpulist '", text, "'");
+        }
+        for (int c = first; c <= last; ++c)
+            cpus.push_back(c);
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos < text.size()) {
+            if (text[pos] != ',')
+                NUCA_FATAL("unexpected character '", text[pos], "' in cpulist '",
+                           text, "'");
+            ++pos;
+        }
+    }
+    if (cpus.empty())
+        NUCA_FATAL("empty cpulist '", text, "'");
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+HostLayout
+discover_host(const std::string& root)
+{
+    const auto groups = read_sysfs_nodes(root);
+    if (!groups.empty())
+        return layout_from_groups(groups);
+    return layout_from_groups({all_host_cpus(root)});
+}
+
+HostLayout
+logical_host(int logical_nodes, const std::string& root)
+{
+    NUCA_ASSERT(logical_nodes > 0);
+    const std::vector<int> cpus = all_host_cpus(root);
+    const auto total = static_cast<int>(cpus.size());
+    if (logical_nodes > total)
+        NUCA_FATAL("cannot split ", total, " cpus into ", logical_nodes,
+                   " logical nodes");
+    std::vector<std::vector<int>> groups(static_cast<std::size_t>(logical_nodes));
+    const int base = total / logical_nodes;
+    int next = 0;
+    for (int n = 0; n < logical_nodes; ++n) {
+        const int take = n == logical_nodes - 1 ? total - next : base;
+        for (int i = 0; i < take; ++i)
+            groups[static_cast<std::size_t>(n)].push_back(
+                cpus[static_cast<std::size_t>(next++)]);
+    }
+    return layout_from_groups(groups);
+}
+
+} // namespace nucalock

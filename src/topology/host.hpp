@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Host topology discovery (Linux sysfs) for the native backend.
+ */
+#ifndef NUCALOCK_TOPOLOGY_HOST_HPP
+#define NUCALOCK_TOPOLOGY_HOST_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace nucalock {
+
+/**
+ * Parse a Linux cpulist string ("0-3,8,10-11") into ascending cpu ids.
+ * Fatal on malformed input.
+ */
+std::vector<int> parse_cpulist(const std::string& text);
+
+/**
+ * Per-NUMA-node cpu lists of the host plus the mapping from our dense cpu
+ * ids back to OS cpu ids (needed for affinity pinning).
+ */
+struct HostLayout
+{
+    Topology topology;
+    /** os_cpu_of[dense_cpu] = OS cpu number to pin to. */
+    std::vector<int> os_cpu_of;
+};
+
+/**
+ * Discover the host NUMA layout from /sys/devices/system/node. Falls back
+ * to a single node with std::thread::hardware_concurrency() cpus when sysfs
+ * is unavailable. @p root overrides the sysfs path for testing.
+ */
+HostLayout discover_host(const std::string& root = "/sys/devices/system/node");
+
+/**
+ * Split the host's cpus into @p logical_nodes equal groups, for running
+ * NUCA-aware locks on a flat host (the node ids are then logical, typically
+ * matching shared-L3 groups). Remainder cpus go to the last node.
+ */
+HostLayout logical_host(int logical_nodes,
+                        const std::string& root = "/sys/devices/system/node");
+
+} // namespace nucalock
+
+#endif // NUCALOCK_TOPOLOGY_HOST_HPP

@@ -1,0 +1,47 @@
+#include "topology/mapping.hpp"
+
+#include "common/logging.hpp"
+
+namespace nucalock {
+
+std::vector<int>
+map_threads(const Topology& topo, int num_threads, Placement policy)
+{
+    NUCA_ASSERT(num_threads > 0);
+    if (num_threads > topo.num_cpus())
+        NUCA_FATAL("cannot place ", num_threads, " threads on ", topo.num_cpus(),
+                   " cpus (", topo.describe(), ")");
+
+    std::vector<int> assignment;
+    assignment.reserve(static_cast<std::size_t>(num_threads));
+
+    switch (policy) {
+      case Placement::Packed:
+        for (int t = 0; t < num_threads; ++t)
+            assignment.push_back(t);
+        break;
+
+      case Placement::RoundRobinNodes: {
+        // next_in_node[n] = offset of the next unused cpu within node n.
+        std::vector<int> next_in_node(static_cast<std::size_t>(topo.num_nodes()), 0);
+        int node = 0;
+        for (int t = 0; t < num_threads; ++t) {
+            // Find the next node (starting at `node`) with a free cpu.
+            int tried = 0;
+            while (next_in_node[static_cast<std::size_t>(node)] >=
+                   topo.cpus_in_node(node)) {
+                node = (node + 1) % topo.num_nodes();
+                NUCA_ASSERT(++tried <= topo.num_nodes(), "no free cpu found");
+            }
+            const auto n = static_cast<std::size_t>(node);
+            assignment.push_back(topo.first_cpu_of_node(node) + next_in_node[n]);
+            ++next_in_node[n];
+            node = (node + 1) % topo.num_nodes();
+        }
+        break;
+      }
+    }
+    return assignment;
+}
+
+} // namespace nucalock

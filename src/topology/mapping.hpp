@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Thread-to-cpu placement policies.
+ *
+ * The paper binds threads round-robin across cabinets for the traditional
+ * microbenchmark and 14-per-node for the application runs; these policies
+ * reproduce both.
+ */
+#ifndef NUCALOCK_TOPOLOGY_MAPPING_HPP
+#define NUCALOCK_TOPOLOGY_MAPPING_HPP
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace nucalock {
+
+/** How to spread threads over the topology's cpus. */
+enum class Placement
+{
+    /** Thread i goes to node i % nodes, next free cpu there. */
+    RoundRobinNodes,
+    /** Fill node 0 completely, then node 1, ... */
+    Packed,
+};
+
+/**
+ * Assign @p num_threads threads to cpus of @p topo under @p policy.
+ * @return cpu id per thread. Fatal if more threads than cpus.
+ */
+std::vector<int> map_threads(const Topology& topo, int num_threads, Placement policy);
+
+} // namespace nucalock
+
+#endif // NUCALOCK_TOPOLOGY_MAPPING_HPP

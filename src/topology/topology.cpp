@@ -1,0 +1,178 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nucalock {
+
+Topology::Topology(std::vector<int> node_first_chip, std::vector<int> chip_first_cpu)
+    : node_first_chip_(std::move(node_first_chip)),
+      chip_first_cpu_(std::move(chip_first_cpu))
+{
+    NUCA_ASSERT(node_first_chip_.size() >= 2);
+    NUCA_ASSERT(chip_first_cpu_.size() >= 2);
+    NUCA_ASSERT(node_first_chip_.front() == 0 && chip_first_cpu_.front() == 0);
+    NUCA_ASSERT(node_first_chip_.back() ==
+                static_cast<int>(chip_first_cpu_.size()) - 1);
+    NUCA_ASSERT(std::is_sorted(node_first_chip_.begin(), node_first_chip_.end()));
+    NUCA_ASSERT(std::is_sorted(chip_first_cpu_.begin(), chip_first_cpu_.end()));
+    NUCA_ASSERT(num_cpus() > 0, "topology has no cpus");
+}
+
+Topology
+Topology::symmetric(int nodes, int cpus_per_node)
+{
+    NUCA_ASSERT(nodes > 0 && cpus_per_node > 0);
+    return hierarchical(nodes, 1, cpus_per_node);
+}
+
+Topology
+Topology::uneven(const std::vector<int>& cpus_per_node)
+{
+    NUCA_ASSERT(!cpus_per_node.empty());
+    std::vector<int> node_first_chip;
+    std::vector<int> chip_first_cpu;
+    node_first_chip.push_back(0);
+    chip_first_cpu.push_back(0);
+    for (int count : cpus_per_node) {
+        NUCA_ASSERT(count > 0, "node with no cpus");
+        node_first_chip.push_back(node_first_chip.back() + 1);
+        chip_first_cpu.push_back(chip_first_cpu.back() + count);
+    }
+    return Topology(std::move(node_first_chip), std::move(chip_first_cpu));
+}
+
+Topology
+Topology::hierarchical(int nodes, int chips_per_node, int cpus_per_chip)
+{
+    NUCA_ASSERT(nodes > 0 && chips_per_node > 0 && cpus_per_chip > 0);
+    std::vector<int> node_first_chip;
+    std::vector<int> chip_first_cpu;
+    node_first_chip.push_back(0);
+    chip_first_cpu.push_back(0);
+    for (int n = 0; n < nodes; ++n) {
+        node_first_chip.push_back(node_first_chip.back() + chips_per_node);
+        for (int c = 0; c < chips_per_node; ++c)
+            chip_first_cpu.push_back(chip_first_cpu.back() + cpus_per_chip);
+    }
+    return Topology(std::move(node_first_chip), std::move(chip_first_cpu));
+}
+
+Topology
+Topology::wildfire(int cpus_per_node)
+{
+    return symmetric(2, cpus_per_node);
+}
+
+Topology
+Topology::e6000()
+{
+    return symmetric(1, 16);
+}
+
+Topology
+Topology::dash()
+{
+    return symmetric(4, 4);
+}
+
+int
+Topology::chip_of_cpu(int cpu) const
+{
+    NUCA_ASSERT(cpu >= 0 && cpu < num_cpus(), "cpu=", cpu);
+    const auto it = std::upper_bound(chip_first_cpu_.begin(), chip_first_cpu_.end(), cpu);
+    return static_cast<int>(it - chip_first_cpu_.begin()) - 1;
+}
+
+int
+Topology::node_of_chip(int chip) const
+{
+    NUCA_ASSERT(chip >= 0 && chip < num_chips(), "chip=", chip);
+    const auto it =
+        std::upper_bound(node_first_chip_.begin(), node_first_chip_.end(), chip);
+    return static_cast<int>(it - node_first_chip_.begin()) - 1;
+}
+
+int
+Topology::node_of_cpu(int cpu) const
+{
+    return node_of_chip(chip_of_cpu(cpu));
+}
+
+int
+Topology::first_cpu_of_chip(int chip) const
+{
+    NUCA_ASSERT(chip >= 0 && chip < num_chips());
+    return chip_first_cpu_[static_cast<std::size_t>(chip)];
+}
+
+int
+Topology::first_cpu_of_node(int node) const
+{
+    NUCA_ASSERT(node >= 0 && node < num_nodes());
+    return first_cpu_of_chip(node_first_chip_[static_cast<std::size_t>(node)]);
+}
+
+int
+Topology::chips_in_node(int node) const
+{
+    NUCA_ASSERT(node >= 0 && node < num_nodes());
+    const auto n = static_cast<std::size_t>(node);
+    return node_first_chip_[n + 1] - node_first_chip_[n];
+}
+
+int
+Topology::cpus_in_chip(int chip) const
+{
+    NUCA_ASSERT(chip >= 0 && chip < num_chips());
+    const auto c = static_cast<std::size_t>(chip);
+    return chip_first_cpu_[c + 1] - chip_first_cpu_[c];
+}
+
+int
+Topology::cpus_in_node(int node) const
+{
+    NUCA_ASSERT(node >= 0 && node < num_nodes());
+    const auto n = static_cast<std::size_t>(node);
+    const int first_chip = node_first_chip_[n];
+    const int last_chip = node_first_chip_[n + 1];
+    return chip_first_cpu_[static_cast<std::size_t>(last_chip)] -
+           chip_first_cpu_[static_cast<std::size_t>(first_chip)];
+}
+
+std::vector<int>
+Topology::cpus_of_node(int node) const
+{
+    std::vector<int> cpus;
+    const int first = first_cpu_of_node(node);
+    const int count = cpus_in_node(node);
+    cpus.reserve(static_cast<std::size_t>(count));
+    for (int c = first; c < first + count; ++c)
+        cpus.push_back(c);
+    return cpus;
+}
+
+std::string
+Topology::describe() const
+{
+    std::ostringstream oss;
+    oss << num_nodes() << " node" << (num_nodes() == 1 ? "" : "s");
+    if (!flat_chips())
+        oss << " x " << chips_in_node(0) << " chips";
+    bool even = true;
+    for (int n = 1; n < num_nodes(); ++n)
+        even = even && cpus_in_node(n) == cpus_in_node(0);
+    if (even) {
+        oss << " x " << cpus_in_node(0) << " cpus";
+    } else {
+        oss << " (";
+        for (int n = 0; n < num_nodes(); ++n)
+            oss << (n == 0 ? "" : "+") << cpus_in_node(n);
+        oss << " cpus)";
+    }
+    return oss.str();
+}
+
+} // namespace nucalock

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * NUCA machine topology description.
+ *
+ * A topology is a three-level tree: NUCA nodes contain chips, chips contain
+ * cpus. Classic node-based NUMAs (DASH, WildFire) have one chip per node;
+ * the chip level models CMP/SMT clusters for hierarchical NUCAs (paper
+ * section 2, "several levels of non-uniformity"). Cpu, chip, and node ids
+ * are dense global indices.
+ */
+#ifndef NUCALOCK_TOPOLOGY_TOPOLOGY_HPP
+#define NUCALOCK_TOPOLOGY_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+namespace nucalock {
+
+/** Immutable description of the node/chip/cpu structure of a machine. */
+class Topology
+{
+  public:
+    /** @p nodes NUCA nodes, each with @p cpus_per_node cpus (one chip). */
+    static Topology symmetric(int nodes, int cpus_per_node);
+
+    /** One chip per node, possibly uneven cpu counts (e.g. WildFire 16+14). */
+    static Topology uneven(const std::vector<int>& cpus_per_node);
+
+    /** Two-level NUCA: nodes of CMP chips (paper's "hierarchical" case). */
+    static Topology hierarchical(int nodes, int chips_per_node, int cpus_per_chip);
+
+    /** 2-node Sun WildFire as used in the paper (14 cpus per node). */
+    static Topology wildfire(int cpus_per_node = 14);
+
+    /** Single-node 16-cpu Sun E6000 (flat SMP). */
+    static Topology e6000();
+
+    /** 4-node, 4-cpu Stanford DASH. */
+    static Topology dash();
+
+    int num_nodes() const { return static_cast<int>(node_first_chip_.size()) - 1; }
+    int num_chips() const { return static_cast<int>(chip_first_cpu_.size()) - 1; }
+    int num_cpus() const { return chip_first_cpu_.back(); }
+
+    int node_of_cpu(int cpu) const;
+    int chip_of_cpu(int cpu) const;
+    int node_of_chip(int chip) const;
+
+    int cpus_in_node(int node) const;
+    int cpus_in_chip(int chip) const;
+    int chips_in_node(int node) const;
+
+    /** First (lowest-id) cpu of @p node; cpus of a node are contiguous. */
+    int first_cpu_of_node(int node) const;
+    int first_cpu_of_chip(int chip) const;
+
+    /** All cpu ids belonging to @p node, ascending. */
+    std::vector<int> cpus_of_node(int node) const;
+
+    /** True when every node has exactly one chip (classic NUCA). */
+    bool flat_chips() const { return num_chips() == num_nodes(); }
+
+    /** Human-readable summary, e.g. "2 nodes x 14 cpus". */
+    std::string describe() const;
+
+  private:
+    Topology(std::vector<int> node_first_chip, std::vector<int> chip_first_cpu);
+
+    // node_first_chip_[n] = global id of node n's first chip; sentinel at end.
+    std::vector<int> node_first_chip_;
+    // chip_first_cpu_[c] = global id of chip c's first cpu; sentinel at end.
+    std::vector<int> chip_first_cpu_;
+};
+
+} // namespace nucalock
+
+#endif // NUCALOCK_TOPOLOGY_TOPOLOGY_HPP

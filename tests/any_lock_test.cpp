@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the LockKind registry and the type-erased AnyLock wrapper.
+ */
+#include <gtest/gtest.h>
+
+#include "locks/any_lock.hpp"
+#include "native/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+
+TEST(LockKinds, NamesRoundTrip)
+{
+    for (LockKind kind : all_lock_kinds()) {
+        const auto parsed = parse_lock_name(lock_name(kind));
+        ASSERT_TRUE(parsed.has_value()) << lock_name(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+}
+
+TEST(LockKinds, ParseRejectsUnknown)
+{
+    EXPECT_FALSE(parse_lock_name("HBO_XXL").has_value());
+    EXPECT_FALSE(parse_lock_name("").has_value());
+    EXPECT_FALSE(parse_lock_name("tatas").has_value()); // case-sensitive
+}
+
+TEST(LockKinds, PaperSetMatchesTableOrder)
+{
+    const auto kinds = paper_lock_kinds();
+    ASSERT_EQ(kinds.size(), 8u);
+    EXPECT_STREQ(lock_name(kinds[0]), "TATAS");
+    EXPECT_STREQ(lock_name(kinds[1]), "TATAS_EXP");
+    EXPECT_STREQ(lock_name(kinds[2]), "MCS");
+    EXPECT_STREQ(lock_name(kinds[3]), "CLH");
+    EXPECT_STREQ(lock_name(kinds[4]), "RH");
+    EXPECT_STREQ(lock_name(kinds[5]), "HBO");
+    EXPECT_STREQ(lock_name(kinds[6]), "HBO_GT");
+    EXPECT_STREQ(lock_name(kinds[7]), "HBO_GT_SD");
+}
+
+TEST(LockKinds, AllSetIsSupersetOfPaperSet)
+{
+    const auto all = all_lock_kinds();
+    for (LockKind kind : paper_lock_kinds())
+        EXPECT_NE(std::find(all.begin(), all.end(), kind), all.end());
+    EXPECT_EQ(all.size(), 14u);
+}
+
+TEST(LockKinds, NucaAwareClassification)
+{
+    EXPECT_TRUE(is_nuca_aware(LockKind::Rh));
+    EXPECT_TRUE(is_nuca_aware(LockKind::Hbo));
+    EXPECT_TRUE(is_nuca_aware(LockKind::HboGt));
+    EXPECT_TRUE(is_nuca_aware(LockKind::HboGtSd));
+    EXPECT_TRUE(is_nuca_aware(LockKind::HboHier));
+    EXPECT_FALSE(is_nuca_aware(LockKind::Tatas));
+    EXPECT_FALSE(is_nuca_aware(LockKind::TatasExp));
+    EXPECT_FALSE(is_nuca_aware(LockKind::Mcs));
+    EXPECT_FALSE(is_nuca_aware(LockKind::Clh));
+    EXPECT_FALSE(is_nuca_aware(LockKind::Ticket));
+    EXPECT_FALSE(is_nuca_aware(LockKind::Reactive));
+    EXPECT_FALSE(is_nuca_aware(LockKind::Anderson));
+    EXPECT_TRUE(is_nuca_aware(LockKind::Cohort));
+    EXPECT_FALSE(is_nuca_aware(LockKind::ClhTry));
+}
+
+TEST(AnyLock, ConstructsEveryKindOnBothBackends)
+{
+    sim::SimMachine sim_machine(Topology::wildfire(2));
+    native::NativeMachine native_machine(Topology::symmetric(2, 2));
+    for (LockKind kind : all_lock_kinds()) {
+        AnyLock<sim::SimContext> sim_lock(sim_machine, kind);
+        AnyLock<native::NativeContext> native_lock(native_machine, kind);
+        EXPECT_EQ(sim_lock.kind(), kind);
+        EXPECT_STREQ(native_lock.name(), lock_name(kind));
+    }
+}
+
+TEST(AnyLock, HonorsHomeNodePlacement)
+{
+    sim::SimMachine m(Topology::wildfire(2));
+    // The lock word is the next line allocated; verify its home node.
+    const std::uint32_t next_line = m.memory().num_lines();
+    AnyLock<sim::SimContext> lock(m, LockKind::Tatas, LockParams{}, 1);
+    EXPECT_EQ(m.memory().home_node(sim::MemRef{next_line}), 1);
+}
+
+TEST(AnyLock, AcquireReleaseThroughErasure)
+{
+    sim::SimMachine m(Topology::wildfire(2));
+    AnyLock<sim::SimContext> lock(m, LockKind::HboGtSd);
+    const sim::MemRef counter = m.alloc(0, 0);
+    m.add_threads(4, Placement::RoundRobinNodes,
+                  [&](sim::SimContext& ctx, int) {
+                      for (int i = 0; i < 50; ++i) {
+                          lock.acquire(ctx);
+                          ctx.store(counter, ctx.load(counter) + 1);
+                          lock.release(ctx);
+                      }
+                  });
+    m.run();
+    EXPECT_EQ(m.memory().peek(counter), 200u);
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the application models: the Table 3 workload suite, the Zipf
+ * sampler, the generic app runner, and the Raytrace task-queue model.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/app_runner.hpp"
+#include "apps/raytrace.hpp"
+#include "apps/workload.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::apps;
+using namespace nucalock::locks;
+
+TEST(Suite, MatchesPaperTable3)
+{
+    const auto suite = splash2_suite();
+    ASSERT_EQ(suite.size(), 14u);
+
+    // Spot-check the paper's exact lock statistics.
+    std::map<std::string, std::pair<int, std::uint64_t>> expected = {
+        {"Barnes", {130, 69'193}},      {"Cholesky", {67, 74'284}},
+        {"FFT", {1, 32}},               {"FMM", {2'052, 80'528}},
+        {"Radiosity", {3'975, 295'627}}, {"Raytrace", {35, 366'450}},
+        {"Volrend", {67, 38'456}},      {"Water-Nsq", {2'206, 112'415}},
+        {"Water-Sp", {222, 510}},
+    };
+    for (const auto& app : suite) {
+        auto it = expected.find(app.name);
+        if (it == expected.end())
+            continue;
+        EXPECT_EQ(app.total_locks, it->second.first) << app.name;
+        EXPECT_EQ(app.lock_calls, it->second.second) << app.name;
+    }
+}
+
+TEST(Suite, StudiedAppsAreTheSevenAbove10kCalls)
+{
+    const auto studied = studied_apps();
+    ASSERT_EQ(studied.size(), 7u);
+    for (const auto& app : studied) {
+        EXPECT_GT(app.lock_calls, 10'000u) << app.name;
+        EXPECT_TRUE(app.studied);
+    }
+    for (const auto& app : splash2_suite()) {
+        if (!app.studied) {
+            EXPECT_LE(app.lock_calls, 10'000u) << app.name;
+        }
+    }
+}
+
+TEST(Suite, OnlyRaytraceUsesTaskQueueModel)
+{
+    for (const auto& app : splash2_suite())
+        EXPECT_EQ(app.task_queue_model, app.name == "Raytrace") << app.name;
+}
+
+TEST(Suite, LookupByName)
+{
+    EXPECT_EQ(app_by_name("Raytrace").total_locks, 35);
+    EXPECT_EXIT(app_by_name("NotAnApp"), testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(Zipf, HighSkewConcentratesOnRankZero)
+{
+    ZipfSampler zipf(100, 1.2);
+    Xoshiro256 rng(5);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10] * 2);
+    EXPECT_GT(counts[0], 1000);
+}
+
+TEST(Zipf, ZeroSkewIsRoughlyUniform)
+{
+    ZipfSampler zipf(10, 0.0);
+    Xoshiro256 rng(6);
+    std::map<std::size_t, int> counts;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t r = 0; r < 10; ++r) {
+        EXPECT_GT(counts[r], kSamples / 10 * 0.9);
+        EXPECT_LT(counts[r], kSamples / 10 * 1.1);
+    }
+}
+
+TEST(Zipf, StaysInRange)
+{
+    ZipfSampler zipf(7, 0.8);
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(Zipf, SingleElement)
+{
+    ZipfSampler zipf(1, 1.0);
+    Xoshiro256 rng(8);
+    EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+AppRunConfig
+small_config()
+{
+    AppRunConfig config;
+    config.threads = 8;
+    config.topology = Topology::wildfire(4);
+    config.call_scale = 0.005;
+    return config;
+}
+
+TEST(AppRunner, ExecutesScaledCallVolume)
+{
+    const AppWorkload& app = app_by_name("Barnes");
+    const AppOutcome outcome =
+        run_app_once(app, LockKind::TatasExp, small_config());
+    // calls_per_thread * threads, rounded by the phase split.
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(app.lock_calls) * 0.005);
+    EXPECT_GT(outcome.lock_calls, scaled / 2);
+    EXPECT_LT(outcome.lock_calls, scaled * 2);
+    EXPECT_GT(outcome.time, 0u);
+    EXPECT_GT(outcome.traffic.total(), 0u);
+}
+
+TEST(AppRunner, DeterministicPerSeed)
+{
+    const AppWorkload& app = app_by_name("Volrend");
+    const AppOutcome a = run_app_once(app, LockKind::HboGt, small_config());
+    const AppOutcome b = run_app_once(app, LockKind::HboGt, small_config());
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.lock_calls, b.lock_calls);
+}
+
+TEST(AppRunner, AggregateStatistics)
+{
+    const AppWorkload& app = app_by_name("Cholesky");
+    const AppAggregate agg = run_app(app, LockKind::Clh, small_config(), 3);
+    EXPECT_GT(agg.mean_time_s, 0.0);
+    EXPECT_GE(agg.time_variance, 0.0);
+    EXPECT_GT(agg.mean_local_tx + agg.mean_global_tx, 0.0);
+}
+
+TEST(AppRunner, AllStudiedAppsRunWithAllPaperLocks)
+{
+    AppRunConfig config = small_config();
+    config.call_scale = 0.002;
+    for (const AppWorkload& app : studied_apps())
+        for (LockKind kind : paper_lock_kinds()) {
+            const AppOutcome outcome = run_app_once(app, kind, config);
+            EXPECT_GT(outcome.time, 0u)
+                << app.name << " / " << lock_name(kind);
+        }
+}
+
+RaytraceConfig
+small_raytrace()
+{
+    RaytraceConfig config;
+    config.topology = Topology::wildfire(4);
+    config.threads = 8;
+    config.total_tasks = 400;
+    config.task_work_iters = 2000;
+    return config;
+}
+
+TEST(Raytrace, ExecutesEveryTaskExactlyOnce)
+{
+    const AppOutcome outcome =
+        run_raytrace_once(LockKind::TatasExp, small_raytrace());
+    // Two "useful" lock calls per task (pop + stats update); extra probe
+    // acquisitions near the end add a bit on top.
+    EXPECT_GE(outcome.lock_calls, 2u * 400u);
+    EXPECT_LT(outcome.lock_calls, 4u * 400u);
+}
+
+TEST(Raytrace, SingleThreadRuns)
+{
+    RaytraceConfig config = small_raytrace();
+    config.threads = 1;
+    const AppOutcome outcome = run_raytrace_once(LockKind::Hbo, config);
+    EXPECT_GE(outcome.lock_calls, 2u * 400u);
+}
+
+TEST(Raytrace, MoreThreadsFinishFaster)
+{
+    RaytraceConfig config = small_raytrace();
+    config.task_work_iters = 20'000; // compute-bound regime scales well
+    config.threads = 1;
+    const auto t1 = run_raytrace_once(LockKind::HboGt, config).time;
+    config.threads = 8;
+    const auto t8 = run_raytrace_once(LockKind::HboGt, config).time;
+    EXPECT_LT(t8, t1 / 3);
+}
+
+TEST(Raytrace, PreemptionBreaksQueueLocks)
+{
+    RaytraceConfig config = small_raytrace();
+    config.preemption = true;
+    config.preempt_mean_interval = 400'000;
+    config.preempt_duration = 200'000;
+    const auto mcs = run_raytrace_once(LockKind::Mcs, config).time;
+    const auto hbo = run_raytrace_once(LockKind::HboGtSd, config).time;
+    // The paper's Table 4 effect: a preempted waiter stalls the whole
+    // queue, while backoff locks just lose one contender for a while.
+    EXPECT_GT(mcs, 2 * hbo);
+}
+
+TEST(Raytrace, WorkStealingDrainsImbalancedLoad)
+{
+    // All tasks start on one queue; the run only terminates if other
+    // threads steal, and it must finish much faster than serial execution.
+    RaytraceConfig config = small_raytrace();
+    config.threads = 8;
+    config.total_tasks = 7; // fewer tasks than threads: forced stealing
+    const AppOutcome outcome = run_raytrace_once(LockKind::Clh, config);
+    EXPECT_GE(outcome.lock_calls, 14u);
+}
+
+
+TEST(AppRunner, AllFourteenSuiteEntriesAreRunnable)
+{
+    // The non-studied programs are not benchmarked (too few lock calls,
+    // as in the paper), but the generic model must still run them.
+    AppRunConfig config;
+    config.threads = 4;
+    config.topology = Topology::wildfire(2);
+    config.call_scale = 1.0; // tiny call counts anyway
+    for (const AppWorkload& app : splash2_suite()) {
+        const AppOutcome outcome =
+            run_app_once(app, LockKind::HboGt, config);
+        EXPECT_GT(outcome.time, 0u) << app.name;
+        EXPECT_GT(outcome.lock_calls, 0u) << app.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the CLH_TRY timeout queue lock: timeout semantics, queue
+ * integrity across abandonments, and FIFO behaviour without timeouts.
+ */
+#include <gtest/gtest.h>
+
+#include "locks/clh_try.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using namespace nucalock::sim;
+
+TEST(ClhTry, TimesOutWhileHeldThenSucceeds)
+{
+    SimMachine m(Topology::wildfire(2));
+    ClhTryLock<SimContext> lock(m);
+    const MemRef phase = m.alloc(0, 0);
+    bool timed_out = false;
+    bool later = false;
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.store(phase, 1);
+        ctx.delay_ns(500'000);
+        lock.release(ctx);
+    });
+    m.add_thread(1, [&](SimContext& ctx) {
+        ctx.spin_while_equal(phase, 0);
+        timed_out = !lock.try_acquire_for(ctx, 50'000);
+        ctx.delay_ns(600'000); // holder released by now
+        later = lock.try_acquire_for(ctx, 50'000);
+        if (later)
+            lock.release(ctx);
+    });
+    m.run();
+    EXPECT_TRUE(timed_out);
+    EXPECT_TRUE(later);
+}
+
+TEST(ClhTry, AbandonedMiddleWaiterDoesNotBreakTheChain)
+{
+    // Queue: holder <- A (times out) <- B (patient). When the holder
+    // releases, B must inherit the grant through A's redirect.
+    SimMachine m(Topology::wildfire(3));
+    ClhTryLock<SimContext> lock(m);
+    std::vector<int> order;
+    bool a_timed_out = false;
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.delay_ns(1'000'000);
+        lock.release(ctx);
+    });
+    m.add_thread(1, [&](SimContext& ctx) { // A: impatient
+        ctx.delay_ns(50'000);
+        a_timed_out = !lock.try_acquire_for(ctx, 100'000);
+    });
+    m.add_thread(2, [&](SimContext& ctx) { // B: patient
+        ctx.delay_ns(100'000);
+        lock.acquire(ctx);
+        order.push_back(2);
+        lock.release(ctx);
+    });
+    m.run();
+    EXPECT_TRUE(a_timed_out);
+    EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(ClhTry, AbandonedTailIsRecoveredByNextArrival)
+{
+    // A times out as the queue tail; a later arriver must chain through
+    // its abandoned node and still get the lock.
+    SimMachine m(Topology::wildfire(3));
+    ClhTryLock<SimContext> lock(m);
+    bool late_got_it = false;
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.delay_ns(800'000);
+        lock.release(ctx);
+    });
+    m.add_thread(1, [&](SimContext& ctx) { // times out, tail position
+        ctx.delay_ns(50'000);
+        EXPECT_FALSE(lock.try_acquire_for(ctx, 100'000));
+    });
+    m.add_thread(2, [&](SimContext& ctx) { // arrives after the abandonment
+        ctx.delay_ns(400'000);
+        lock.acquire(ctx);
+        late_got_it = true;
+        lock.release(ctx);
+    });
+    m.run();
+    EXPECT_TRUE(late_got_it);
+}
+
+TEST(ClhTry, ManyChainedAbandonments)
+{
+    SimMachine m(Topology::wildfire(6));
+    ClhTryLock<SimContext> lock(m);
+    int impatient_failures = 0;
+    bool patient_ok = false;
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.delay_ns(2'000'000);
+        lock.release(ctx);
+    });
+    for (int t = 1; t <= 5; ++t) { // five impatient waiters in a row
+        m.add_thread(t, [&, t](SimContext& ctx) {
+            ctx.delay_ns(static_cast<SimTime>(t) * 20'000);
+            if (!lock.try_acquire_for(ctx, 150'000))
+                ++impatient_failures;
+            else
+                lock.release(ctx);
+        });
+    }
+    m.add_thread(6, [&](SimContext& ctx) { // patient, enqueued last
+        ctx.delay_ns(150'000);
+        lock.acquire(ctx);
+        patient_ok = true;
+        lock.release(ctx);
+    });
+    m.run();
+    EXPECT_EQ(impatient_failures, 5);
+    EXPECT_TRUE(patient_ok);
+}
+
+TEST(ClhTry, FifoWithoutTimeouts)
+{
+    SimMachine m(Topology::symmetric(2, 4));
+    ClhTryLock<SimContext> lock(m);
+    std::vector<int> order;
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.delay_ns(1'000'000);
+        lock.release(ctx);
+    });
+    for (int i = 1; i < 8; ++i) {
+        m.add_thread(i, [&, i](SimContext& ctx) {
+            ctx.delay_ns(static_cast<SimTime>(i) * 50'000);
+            lock.acquire(ctx);
+            order.push_back(i);
+            lock.release(ctx);
+        });
+    }
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ClhTry, ZeroTimeoutIsAPoliteTrylock)
+{
+    SimMachine m(Topology::wildfire(2));
+    ClhTryLock<SimContext> lock(m);
+    bool first = false;
+    bool second = true;
+    m.add_thread(0, [&](SimContext& ctx) {
+        first = lock.try_acquire_for(ctx, 0); // free: should succeed
+        ctx.delay_ns(100'000);
+        lock.release(ctx);
+    });
+    m.add_thread(1, [&](SimContext& ctx) {
+        ctx.delay_ns(20'000);
+        second = lock.try_acquire_for(ctx, 0); // held: immediate timeout
+        if (second)
+            lock.release(ctx);
+    });
+    m.run();
+    EXPECT_TRUE(first);
+    EXPECT_FALSE(second);
+}
+
+} // namespace

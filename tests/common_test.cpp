@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG determinism and distribution sanity,
+ * environment knobs, compiler helpers, and the logging/assert macros.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/compiler.hpp"
+#include "common/env.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace nucalock;
+
+TEST(SplitMix64, DeterministicFromSeed)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, KnownFirstOutputIsStable)
+{
+    // Regression anchor: seeded sequences must never change between
+    // releases or every simulation result shifts.
+    SplitMix64 sm(0);
+    const std::uint64_t first = sm.next();
+    SplitMix64 sm2(0);
+    EXPECT_EQ(first, sm2.next());
+    EXPECT_NE(first, 0u);
+}
+
+TEST(Xoshiro256, DeterministicFromSeed)
+{
+    Xoshiro256 a(7);
+    Xoshiro256 b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowStaysInRange)
+{
+    Xoshiro256 rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero)
+{
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval)
+{
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Xoshiro256, RoughlyUniform)
+{
+    Xoshiro256 rng(13);
+    constexpr int kBuckets = 10;
+    constexpr int kSamples = 100000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.next_below(kBuckets)];
+    for (int b = 0; b < kBuckets; ++b) {
+        EXPECT_GT(counts[b], kSamples / kBuckets * 0.9);
+        EXPECT_LT(counts[b], kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Xoshiro256, CoversDistinctValues)
+{
+    Xoshiro256 rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.next());
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Env, U64FallbackWhenUnset)
+{
+    unsetenv("NUCALOCK_TEST_ENV_U64");
+    EXPECT_EQ(env_u64("NUCALOCK_TEST_ENV_U64", 17), 17u);
+}
+
+TEST(Env, U64ReadsValue)
+{
+    setenv("NUCALOCK_TEST_ENV_U64", "12345", 1);
+    EXPECT_EQ(env_u64("NUCALOCK_TEST_ENV_U64", 17), 12345u);
+    unsetenv("NUCALOCK_TEST_ENV_U64");
+}
+
+TEST(Env, U64RejectsGarbage)
+{
+    setenv("NUCALOCK_TEST_ENV_U64", "12x", 1);
+    EXPECT_EXIT(env_u64("NUCALOCK_TEST_ENV_U64", 17),
+                testing::ExitedWithCode(1), "not an integer");
+    unsetenv("NUCALOCK_TEST_ENV_U64");
+}
+
+TEST(Env, DoubleReadsValue)
+{
+    setenv("NUCALOCK_TEST_ENV_D", "0.25", 1);
+    EXPECT_DOUBLE_EQ(env_double("NUCALOCK_TEST_ENV_D", 1.0), 0.25);
+    unsetenv("NUCALOCK_TEST_ENV_D");
+}
+
+TEST(Env, DoubleFallback)
+{
+    unsetenv("NUCALOCK_TEST_ENV_D");
+    EXPECT_DOUBLE_EQ(env_double("NUCALOCK_TEST_ENV_D", 1.5), 1.5);
+}
+
+TEST(Env, ScaledItersRespectsFloor)
+{
+    // bench_scale() is cached; only exercise the floor logic here.
+    EXPECT_GE(scaled_iters(0, 5), 5u);
+    EXPECT_GE(scaled_iters(100, 1), 1u);
+}
+
+TEST(Compiler, SpinCyclesRuns)
+{
+    spin_cycles(1000); // must not be optimized into an infinite loop / crash
+    SUCCEED();
+}
+
+TEST(Compiler, CacheLineIsPowerOfTwo)
+{
+    EXPECT_EQ(kCacheLineBytes & (kCacheLineBytes - 1), 0u);
+    EXPECT_GE(kCacheLineBytes, 32u);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    NUCA_ASSERT(1 + 1 == 2);
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(NUCA_ASSERT(false, "context ", 42), "assertion failed");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(NUCA_PANIC("boom ", 1), "boom 1");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(NUCA_FATAL("bad input"), testing::ExitedWithCode(1),
+                "bad input");
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for the simulation engine: scheduling, time, spin-wait
+ * wakeups, preemption injection, gates, and failure diagnostics.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::sim;
+
+TEST(Engine, SingleThreadDelayAdvancesTime)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    m.add_thread(0, [](SimContext& ctx) { ctx.delay_ns(1234); });
+    m.run();
+    EXPECT_EQ(m.now(), 1234u);
+}
+
+TEST(Engine, DelayConvertsIterations)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    m.add_thread(0, [&](SimContext& ctx) { ctx.delay(100); });
+    m.run();
+    EXPECT_EQ(m.now(), 100 * m.latency().ns_per_delay_iteration);
+}
+
+TEST(Engine, LoadStoreRoundTrip)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef ref = m.alloc(5, 0);
+    std::uint64_t seen = 0;
+    m.add_thread(0, [&](SimContext& ctx) {
+        seen = ctx.load(ref);
+        ctx.store(ref, 9);
+    });
+    m.run();
+    EXPECT_EQ(seen, 5u);
+    EXPECT_EQ(m.memory().peek(ref), 9u);
+}
+
+TEST(Engine, ContextIdentity)
+{
+    SimMachine m(Topology::hierarchical(2, 2, 2));
+    int node = -1, chip = -1, cpu = -1, tid = -1, nodes = 0;
+    m.add_thread(5, [&](SimContext& ctx) {
+        tid = ctx.thread_id();
+        cpu = ctx.cpu();
+        node = ctx.node();
+        chip = ctx.chip();
+        nodes = ctx.num_nodes();
+    });
+    m.run();
+    EXPECT_EQ(tid, 0);
+    EXPECT_EQ(cpu, 5);
+    EXPECT_EQ(node, 1);
+    EXPECT_EQ(chip, 2);
+    EXPECT_EQ(nodes, 2);
+}
+
+TEST(Engine, SpinWhileEqualWakesOnStore)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef flag = m.alloc(0, 0);
+    std::uint64_t observed = 0;
+    SimTime woke_at = 0;
+    m.add_thread(0, [&](SimContext& ctx) {
+        observed = ctx.spin_while_equal(flag, 0);
+        woke_at = ctx.now();
+    });
+    m.add_thread(1, [&](SimContext& ctx) {
+        ctx.delay_ns(50000);
+        ctx.store(flag, 42);
+    });
+    m.run();
+    EXPECT_EQ(observed, 42u);
+    EXPECT_GE(woke_at, 50000u);
+    EXPECT_LT(woke_at, 60000u); // woken promptly, not by polling luck
+}
+
+TEST(Engine, SpinWhileEqualReturnsImmediatelyWhenDifferent)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef flag = m.alloc(7, 0);
+    std::uint64_t observed = 0;
+    m.add_thread(0, [&](SimContext& ctx) {
+        observed = ctx.spin_while_equal(flag, 0);
+    });
+    m.run();
+    EXPECT_EQ(observed, 7u);
+}
+
+TEST(Engine, TouchArrayIncrementsEveryWord)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef arr = m.alloc_array(5, 10, 0);
+    m.add_thread(0, [&](SimContext& ctx) {
+        ctx.touch_array(arr, 5, true);
+        ctx.touch_array(arr, 5, false); // read-only pass changes nothing
+    });
+    m.run();
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(m.memory().peek(arr.at(i)), 11u);
+}
+
+TEST(Engine, FinishTimesPerThread)
+{
+    SimMachine m(Topology::symmetric(1, 3));
+    m.add_thread(0, [](SimContext& ctx) { ctx.delay_ns(100); });
+    m.add_thread(1, [](SimContext& ctx) { ctx.delay_ns(300); });
+    m.add_thread(2, [](SimContext& ctx) { ctx.delay_ns(200); });
+    m.run();
+    EXPECT_EQ(m.finish_time(0), 100u);
+    EXPECT_EQ(m.finish_time(1), 300u);
+    EXPECT_EQ(m.finish_time(2), 200u);
+    EXPECT_EQ(m.now(), 300u);
+}
+
+TEST(Engine, NodeGateIsPerNodeAndStable)
+{
+    SimMachine m(Topology::symmetric(2, 2));
+    const MemRef g0 = m.node_gate(0);
+    const MemRef g1 = m.node_gate(1);
+    EXPECT_NE(g0, g1);
+    EXPECT_EQ(m.node_gate(0), g0);
+    EXPECT_EQ(m.memory().peek(g0), kGateDummy);
+    EXPECT_EQ(m.memory().home_node(g1), 1);
+}
+
+TEST(Engine, RefFromTokenRoundTrip)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef ref = m.alloc(0, 0);
+    EXPECT_EQ(SimMachine::ref_from_token(ref.token()), ref);
+}
+
+TEST(Engine, AddThreadsPlacesRoundRobin)
+{
+    SimMachine m(Topology::symmetric(2, 2));
+    std::vector<int> nodes(4, -1);
+    m.add_threads(4, Placement::RoundRobinNodes, [&](SimContext& ctx, int i) {
+        nodes[static_cast<std::size_t>(i)] = ctx.node();
+    });
+    m.run();
+    EXPECT_EQ(nodes, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        SimMachine m(Topology::wildfire(4), LatencyModel::wildfire(),
+                     SimConfig{.seed = 99});
+        const MemRef word = m.alloc(0, 0);
+        m.add_threads(8, Placement::RoundRobinNodes,
+                      [&](SimContext& ctx, int) {
+                          for (int i = 0; i < 50; ++i) {
+                              ctx.swap(word, ctx.rng().next());
+                              ctx.delay(ctx.rng().next_below(100));
+                          }
+                      });
+        m.run();
+        return std::tuple(m.now(), m.memory().peek(word),
+                          m.traffic().local_tx, m.traffic().global_tx);
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(Engine, PreemptionStretchesRuntime)
+{
+    auto runtime = [](bool preempt) {
+        SimConfig cfg;
+        cfg.preemption = preempt;
+        cfg.preempt_mean_interval = 1'000'000; // 1 ms
+        cfg.preempt_duration = 500'000;        // 0.5 ms
+        SimMachine m(Topology::symmetric(1, 2), LatencyModel::wildfire(), cfg);
+        m.add_thread(0, [](SimContext& ctx) {
+            for (int i = 0; i < 100; ++i)
+                ctx.delay_ns(100'000);
+        });
+        m.run();
+        return m.now();
+    };
+    EXPECT_EQ(runtime(false), 10'000'000u);
+    EXPECT_GT(runtime(true), 11'000'000u);
+}
+
+TEST(Engine, FiberSwitchesCounted)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    m.add_thread(0, [](SimContext& ctx) {
+        ctx.delay_ns(1);
+        ctx.delay_ns(1);
+    });
+    m.run();
+    EXPECT_GE(m.fiber_switches(), 3u); // two yields plus completion
+}
+
+TEST(EngineDeathTest, DeadlockIsDiagnosed)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef flag = m.alloc(0, 0);
+    m.add_thread(0, [&](SimContext& ctx) {
+        ctx.spin_while_equal(flag, 0); // nobody will ever write
+    });
+    EXPECT_DEATH(m.run(), "deadlock");
+}
+
+TEST(EngineDeathTest, TwoThreadsPerCpuRejected)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    m.add_thread(0, [](SimContext&) {});
+    EXPECT_DEATH(m.add_thread(0, [](SimContext&) {}), "already has a thread");
+}
+
+TEST(EngineDeathTest, RunTwiceRejected)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    m.add_thread(0, [](SimContext&) {});
+    m.run();
+    EXPECT_DEATH(m.run(), "run\\(\\) may only be called once");
+}
+
+TEST(EngineDeathTest, RunWithoutThreadsRejected)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    EXPECT_DEATH(m.run(), "no threads");
+}
+
+TEST(EngineDeathTest, LivelockGuardFires)
+{
+    SimConfig cfg;
+    cfg.max_sim_time = 1000;
+    SimMachine m(Topology::symmetric(1, 2), LatencyModel::wildfire(), cfg);
+    m.add_thread(0, [](SimContext& ctx) {
+        while (true)
+            ctx.delay_ns(100);
+    });
+    EXPECT_DEATH(m.run(), "max_sim_time");
+}
+
+
+TEST(Engine, PrintStatsReportsResources)
+{
+    SimMachine m(Topology::wildfire(2));
+    const MemRef word = m.alloc(0, 0);
+    m.add_threads(4, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 20; ++i)
+            ctx.swap(word, ctx.rng().next());
+    });
+    m.run();
+    std::ostringstream oss;
+    m.print_stats(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("simulated time"), std::string::npos);
+    EXPECT_NE(out.find("node-bus-0"), std::string::npos);
+    EXPECT_NE(out.find("node-bus-1"), std::string::npos);
+    EXPECT_NE(out.find("global-link"), std::string::npos);
+    EXPECT_NE(out.find("transactions"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the ucontext fiber layer.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace {
+
+using nucalock::sim::Fiber;
+
+TEST(Fiber, RunsToCompletionOnFirstResume)
+{
+    int ran = 0;
+    Fiber f([&] { ran = 1; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes)
+{
+    std::vector<int> order;
+    Fiber* self = nullptr;
+    Fiber f([&] {
+        order.push_back(1);
+        self->yield();
+        order.push_back(3);
+        self->yield();
+        order.push_back(5);
+    });
+    self = &f;
+
+    f.resume();
+    order.push_back(2);
+    f.resume();
+    order.push_back(4);
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, LocalsSurviveAcrossYields)
+{
+    Fiber* self = nullptr;
+    long captured = 0;
+    Fiber f([&] {
+        long local = 42;
+        self->yield();
+        local *= 2;
+        self->yield();
+        captured = local;
+    });
+    self = &f;
+    f.resume();
+    f.resume();
+    f.resume();
+    EXPECT_EQ(captured, 84);
+}
+
+TEST(Fiber, ManyFibersInterleave)
+{
+    constexpr int kFibers = 50;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    std::vector<int> counts(kFibers, 0);
+    for (int i = 0; i < kFibers; ++i) {
+        fibers.push_back(std::make_unique<Fiber>(
+            [&, i] {
+                for (int round = 0; round < 3; ++round) {
+                    ++counts[static_cast<std::size_t>(i)];
+                    fibers[static_cast<std::size_t>(i)]->yield();
+                }
+            },
+            64 * 1024));
+    }
+    for (int round = 0; round < 4; ++round)
+        for (auto& f : fibers)
+            if (!f->finished())
+                f->resume();
+    for (int c : counts)
+        EXPECT_EQ(c, 3);
+    for (auto& f : fibers)
+        EXPECT_TRUE(f->finished());
+}
+
+TEST(Fiber, DeepStackUsage)
+{
+    // Recursion touching ~100 KiB of stack must fit in the default stack.
+    std::function<int(int)> burn = [&](int depth) -> int {
+        volatile char pad[1024] = {};
+        pad[0] = static_cast<char>(depth);
+        return depth == 0 ? pad[0] : burn(depth - 1) + 1;
+    };
+    int result = -1;
+    Fiber f([&] { result = burn(100); });
+    f.resume();
+    EXPECT_EQ(result, 100);
+}
+
+TEST(FiberDeathTest, ResumeAfterFinishPanics)
+{
+    Fiber f([] {});
+    f.resume();
+    EXPECT_DEATH(f.resume(), "resume of finished fiber");
+}
+
+TEST(FiberDeathTest, TinyStackRejected)
+{
+    EXPECT_DEATH(Fiber([] {}, 1024), "fiber stack too small");
+}
+
+} // namespace

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Algorithm-specific behavioural properties: FIFO order of the queue
+ * locks, node affinity of the NUCA-aware locks, gate hygiene of HBO_GT,
+ * starvation detection of HBO_GT_SD, and the RH two-node invariants.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "locks/any_lock.hpp"
+#include "locks/reactive.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using namespace nucalock::sim;
+
+/** Acquisition order under staggered arrivals (no contention at enqueue). */
+std::vector<int>
+staggered_acquisition_order(LockKind kind)
+{
+    SimMachine m(Topology::symmetric(2, 4));
+    AnyLock<SimContext> lock(m, kind);
+    std::vector<int> order;
+    // Thread i arrives at a distinct, well-separated time while the lock
+    // is held by a long-running holder; FIFO locks must grant in arrival
+    // order once the holder releases.
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.delay_ns(2'000'000); // hold 2 ms while everyone queues up
+        lock.release(ctx);
+    });
+    for (int i = 1; i < 8; ++i) {
+        m.add_thread(i, [&, i](SimContext& ctx) {
+            ctx.delay_ns(static_cast<SimTime>(i) * 100'000);
+            lock.acquire(ctx);
+            order.push_back(i);
+            lock.release(ctx);
+        });
+    }
+    m.run();
+    return order;
+}
+
+TEST(QueueLockOrder, McsIsFifo)
+{
+    EXPECT_EQ(staggered_acquisition_order(LockKind::Mcs),
+              (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(QueueLockOrder, ClhIsFifo)
+{
+    EXPECT_EQ(staggered_acquisition_order(LockKind::Clh),
+              (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(QueueLockOrder, TicketIsFifo)
+{
+    EXPECT_EQ(staggered_acquisition_order(LockKind::Ticket),
+              (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+/** Contended node-handoff ratio of @p kind on a 2-node machine. */
+double
+contended_handoff_ratio(LockKind kind, std::uint32_t iters = 80)
+{
+    SimMachine m(Topology::wildfire(6));
+    AnyLock<SimContext> lock(m, kind);
+    const MemRef data = m.alloc_array(40, 0, 0);
+    int prev_node = -1;
+    std::uint64_t handoffs = 0;
+    std::uint64_t acquires = 0;
+    m.add_threads(12, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        ctx.delay(ctx.rng().next_below(4000));
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            lock.acquire(ctx);
+            if (prev_node >= 0 && prev_node != ctx.node())
+                ++handoffs;
+            prev_node = ctx.node();
+            ++acquires;
+            ctx.touch_array(data, 40, true);
+            lock.release(ctx);
+            ctx.delay(2000);
+        }
+    });
+    m.run();
+    return static_cast<double>(handoffs) / static_cast<double>(acquires - 1);
+}
+
+TEST(NodeAffinity, HboKeepsLockInNode)
+{
+    EXPECT_LT(contended_handoff_ratio(LockKind::Hbo), 0.10);
+}
+
+TEST(NodeAffinity, HboGtKeepsLockInNode)
+{
+    EXPECT_LT(contended_handoff_ratio(LockKind::HboGt), 0.10);
+}
+
+TEST(NodeAffinity, RhKeepsLockInNode)
+{
+    EXPECT_LT(contended_handoff_ratio(LockKind::Rh), 0.15);
+}
+
+TEST(NodeAffinity, QueueLocksDoNot)
+{
+    EXPECT_GT(contended_handoff_ratio(LockKind::Clh), 0.30);
+    EXPECT_GT(contended_handoff_ratio(LockKind::Mcs), 0.30);
+}
+
+TEST(NodeAffinity, SdTradesAffinityForFairness)
+{
+    const double gt = contended_handoff_ratio(LockKind::HboGt);
+    const double sd = contended_handoff_ratio(LockKind::HboGtSd);
+    EXPECT_GT(sd, gt); // starvation detection forces extra migrations
+    EXPECT_LT(sd, 0.5);
+}
+
+/** Traffic comparison: the GT gate must cut global transactions vs HBO. */
+TEST(GlobalThrottle, GateReducesGlobalTraffic)
+{
+    auto global_tx = [](LockKind kind) {
+        SimMachine m(Topology::wildfire(8));
+        AnyLock<SimContext> lock(m, kind);
+        const MemRef data = m.alloc_array(94, 0, 0);
+        m.add_threads(16, Placement::RoundRobinNodes,
+                      [&](SimContext& ctx, int) {
+                          ctx.delay(ctx.rng().next_below(8000));
+                          for (int i = 0; i < 60; ++i) {
+                              lock.acquire(ctx);
+                              ctx.touch_array(data, 94, true);
+                              lock.release(ctx);
+                              ctx.delay(4000);
+                              ctx.delay(ctx.rng().next_below(4000));
+                          }
+                      });
+        m.run();
+        return m.traffic().global_tx;
+    };
+    EXPECT_LT(static_cast<double>(global_tx(LockKind::HboGt)),
+              0.8 * static_cast<double>(global_tx(LockKind::Hbo)));
+}
+
+TEST(GateHygiene, GatesAreDummyAfterRun)
+{
+    for (LockKind kind : {LockKind::HboGt, LockKind::HboGtSd, LockKind::HboHier}) {
+        SimMachine m(Topology::wildfire(4));
+        AnyLock<SimContext> lock(m, kind);
+        m.add_threads(8, Placement::RoundRobinNodes,
+                      [&](SimContext& ctx, int) {
+                          for (int i = 0; i < 50; ++i) {
+                              lock.acquire(ctx);
+                              ctx.delay(50);
+                              lock.release(ctx);
+                              ctx.delay(ctx.rng().next_below(500));
+                          }
+                      });
+        m.run();
+        EXPECT_EQ(m.memory().peek(m.node_gate(0)), kGateDummy)
+            << lock_name(kind);
+        EXPECT_EQ(m.memory().peek(m.node_gate(1)), kGateDummy)
+            << lock_name(kind);
+    }
+}
+
+TEST(StarvationDetection, RemoteNodeMakesProgressAgainstHammering)
+{
+    // 13 node-0 threads hammer the lock with a large critical section; one
+    // node-1 thread needs 20 acquisitions. With plain HBO_GT the node
+    // affinity starves it until the hammering ends; starvation detection
+    // must let it finish while the hammering is still going strong.
+    auto remote_done_fraction = [](LockKind kind) {
+        SimMachine m(Topology::wildfire(14));
+        LockParams params;
+        params.get_angry_limit = 8;
+        AnyLock<SimContext> lock(m, kind, params);
+        const MemRef data = m.alloc_array(94, 0, 0);
+        SimTime remote_done = 0;
+        for (int t = 0; t < 13; ++t) {
+            m.add_thread(t, [&](SimContext& ctx) {
+                for (int i = 0; i < 300; ++i) {
+                    lock.acquire(ctx);
+                    ctx.touch_array(data, 94, true);
+                    lock.release(ctx);
+                    ctx.delay(1000);
+                }
+            });
+        }
+        m.add_thread(14, [&](SimContext& ctx) { // first cpu of node 1
+            for (int i = 0; i < 20; ++i) {
+                lock.acquire(ctx);
+                ctx.touch_array(data, 94, true);
+                lock.release(ctx);
+            }
+            remote_done = ctx.now();
+        });
+        m.run();
+        return static_cast<double>(remote_done) /
+               static_cast<double>(m.now());
+    };
+    const double sd = remote_done_fraction(LockKind::HboGtSd);
+    const double gt = remote_done_fraction(LockKind::HboGt);
+    EXPECT_LT(sd, 0.5);
+    EXPECT_GT(gt, 0.9);
+}
+
+TEST(Rh, SingleNodeTopologyWorks)
+{
+    SimMachine m(Topology::e6000());
+    AnyLock<SimContext> lock(m, LockKind::Rh);
+    const MemRef counter = m.alloc(0, 0);
+    m.add_threads(6, Placement::Packed, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 100; ++i) {
+            lock.acquire(ctx);
+            ctx.store(counter, ctx.load(counter) + 1);
+            lock.release(ctx);
+        }
+    });
+    m.run();
+    EXPECT_EQ(m.memory().peek(counter), 600u);
+}
+
+TEST(RhDeathTest, RejectsMoreThanTwoNodes)
+{
+    SimMachine m(Topology::dash());
+    EXPECT_DEATH(AnyLock<SimContext>(m, LockKind::Rh), "at most two nodes");
+}
+
+TEST(Rh, FlagInvariantHoldsAtQuiescence)
+{
+    // DESIGN.md section 4: at rest, exactly one of the two per-node lock
+    // words differs from REMOTE, and that word is FREE or L_FREE.
+    SimMachine m(Topology::wildfire(4));
+    const std::uint32_t first_line = m.memory().num_lines();
+    RhLock<SimContext> lock(m);
+    const MemRef flag0{first_line};
+    const MemRef flag1{first_line + 1};
+
+    m.add_threads(8, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 120; ++i) {
+            lock.acquire(ctx);
+            ctx.delay(100);
+            lock.release(ctx);
+            ctx.delay(ctx.rng().next_below(800));
+        }
+    });
+    m.run();
+
+    constexpr std::uint64_t kRemote = 2;
+    const std::uint64_t v0 = m.memory().peek(flag0);
+    const std::uint64_t v1 = m.memory().peek(flag1);
+    EXPECT_NE(v0 == kRemote, v1 == kRemote)
+        << "flags: " << v0 << ", " << v1;
+    const std::uint64_t live = v0 == kRemote ? v1 : v0;
+    EXPECT_LE(live, 1u); // FREE (0) or L_FREE (1), never a stuck holder
+}
+
+TEST(Rh, MigratesUnderTwoNodeContention)
+{
+    SimMachine m(Topology::wildfire(4));
+    AnyLock<SimContext> lock(m, LockKind::Rh);
+    int prev = -1;
+    std::uint64_t handoffs = 0;
+    m.add_threads(8, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 100; ++i) {
+            lock.acquire(ctx);
+            if (prev >= 0 && prev != ctx.node())
+                ++handoffs;
+            prev = ctx.node();
+            ctx.delay(100);
+            lock.release(ctx);
+            ctx.delay(500);
+        }
+    });
+    m.run();
+    // Starvation-vulnerable but not absolute: both nodes get the lock.
+    EXPECT_GT(handoffs, 0u);
+}
+
+TEST(TryAcquire, SucceedsWhenFreeFailsWhenHeld)
+{
+    for (LockKind kind :
+         {LockKind::Tatas, LockKind::TatasExp, LockKind::Ticket, LockKind::Mcs,
+          LockKind::Hbo, LockKind::HboGt, LockKind::HboGtSd, LockKind::HboHier}) {
+        SimMachine m(Topology::wildfire(2));
+        SimMachine* mp = &m;
+        bool first = false;
+        bool second = true;
+        bool third = false;
+        const MemRef phase = m.alloc(0, 0);
+        // Concrete-type dispatch: try_acquire is not part of AnyLock.
+        auto body = [&](auto& lock) {
+            mp->add_thread(0, [&](SimContext& ctx) {
+                first = lock.try_acquire(ctx);
+                ctx.store(phase, 1);
+                ctx.spin_while_equal(phase, 1); // wait for the other probe
+                lock.release(ctx);
+                ctx.store(phase, 3);
+            });
+            mp->add_thread(1, [&](SimContext& ctx) {
+                ctx.spin_while_equal(phase, 0);
+                second = lock.try_acquire(ctx); // held: must fail
+                ctx.store(phase, 2);
+                ctx.spin_while_equal(phase, 2);
+                third = lock.try_acquire(ctx); // free again: must succeed
+                lock.release(ctx);
+            });
+            mp->run();
+        };
+        switch (kind) {
+          case LockKind::Tatas: { TatasLock<SimContext> l(m); body(l); break; }
+          case LockKind::TatasExp: { TatasExpLock<SimContext> l(m); body(l); break; }
+          case LockKind::Ticket: { TicketLock<SimContext> l(m); body(l); break; }
+          case LockKind::Mcs: { McsLock<SimContext> l(m); body(l); break; }
+          case LockKind::Hbo: { HboLock<SimContext> l(m); body(l); break; }
+          case LockKind::HboGt: { HboGtLock<SimContext> l(m); body(l); break; }
+          case LockKind::HboGtSd: { HboGtSdLock<SimContext> l(m); body(l); break; }
+          case LockKind::HboHier: { HboHierLock<SimContext> l(m); body(l); break; }
+          default: continue;
+        }
+        EXPECT_TRUE(first) << lock_name(kind);
+        EXPECT_FALSE(second) << lock_name(kind);
+        EXPECT_TRUE(third) << lock_name(kind);
+    }
+}
+
+TEST(HboHier, PrefersSameChipHandover)
+{
+    SimMachine m(Topology::hierarchical(2, 2, 4), LatencyModel::cmp_cluster());
+    AnyLock<SimContext> lock(m, LockKind::HboHier);
+    const MemRef data = m.alloc_array(20, 0, 0);
+    int prev_chip = -1;
+    std::uint64_t same_chip = 0;
+    std::uint64_t acquires = 0;
+    m.add_threads(16, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 60; ++i) {
+            lock.acquire(ctx);
+            if (prev_chip == ctx.chip())
+                ++same_chip;
+            prev_chip = ctx.chip();
+            ++acquires;
+            ctx.touch_array(data, 20, true);
+            lock.release(ctx);
+            ctx.delay(1500);
+        }
+    });
+    m.run();
+    EXPECT_GT(static_cast<double>(same_chip) / static_cast<double>(acquires),
+              0.4);
+}
+
+
+TEST(Reactive, SwitchesToQueueModeUnderContention)
+{
+    SimMachine m(Topology::wildfire(4));
+    const std::uint32_t first_line = m.memory().num_lines();
+    ReactiveLock<SimContext> lock(m);
+    const MemRef mode{first_line + 1}; // word_, then mode_
+    EXPECT_EQ(m.memory().peek(mode), 0u); // starts in spin mode
+
+    const MemRef data = m.alloc_array(40, 0, 0);
+    m.add_threads(8, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 100; ++i) {
+            lock.acquire(ctx);
+            ctx.touch_array(data, 40, true);
+            lock.release(ctx);
+            ctx.delay(500); // keep the lock saturated
+        }
+    });
+    m.run();
+    EXPECT_EQ(m.memory().peek(mode), 1u); // ended up in queue mode
+}
+
+TEST(Reactive, StaysInSpinModeWhenUncontended)
+{
+    SimMachine m(Topology::wildfire(4));
+    const std::uint32_t first_line = m.memory().num_lines();
+    ReactiveLock<SimContext> lock(m);
+    const MemRef mode{first_line + 1};
+    m.add_thread(0, [&](SimContext& ctx) {
+        for (int i = 0; i < 200; ++i) {
+            lock.acquire(ctx);
+            ctx.delay(50);
+            lock.release(ctx);
+            ctx.delay(200);
+        }
+    });
+    m.run();
+    EXPECT_EQ(m.memory().peek(mode), 0u);
+}
+
+} // namespace

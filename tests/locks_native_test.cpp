@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Native-backend tests: the same lock algorithms on real std::thread,
+ * including mutual exclusion under oversubscription (this CI box may have
+ * a single core — the yield in the spin loops is what keeps this live).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "locks/any_lock.hpp"
+#include "locks/guard.hpp"
+#include "native/machine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using namespace nucalock::native;
+
+class NativeLockTest : public testing::TestWithParam<LockKind>
+{
+};
+
+TEST_P(NativeLockTest, MutualExclusionOnRealThreads)
+{
+    NativeMachine machine(Topology::symmetric(2, 2));
+    AnyLock<NativeContext> lock(machine, GetParam());
+    const NativeRef counter = machine.alloc(0);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 2000;
+
+    machine.run_threads(kThreads, Placement::RoundRobinNodes,
+                        [&](NativeContext& ctx, int) {
+                            for (int i = 0; i < kIters; ++i) {
+                                lock.acquire(ctx);
+                                const std::uint64_t v = ctx.load(counter);
+                                ctx.store(counter, v + 1);
+                                lock.release(ctx);
+                            }
+                        });
+
+    NativeContext ctx = machine.make_context(0, 0);
+    EXPECT_EQ(ctx.load(counter),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_P(NativeLockTest, SingleThreadReacquire)
+{
+    NativeMachine machine(Topology::symmetric(2, 2));
+    AnyLock<NativeContext> lock(machine, GetParam());
+    NativeContext ctx = machine.make_context(0, 0);
+    const NativeRef counter = machine.alloc(0);
+    for (int i = 0; i < 1000; ++i) {
+        LockGuard guard(lock, ctx);
+        ctx.store(counter, ctx.load(counter) + 1);
+    }
+    EXPECT_EQ(ctx.load(counter), 1000u);
+}
+
+std::string
+native_kind_name(const testing::TestParamInfo<LockKind>& param_info)
+{
+    return lock_name(param_info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, NativeLockTest,
+                         testing::ValuesIn(all_lock_kinds()),
+                         native_kind_name);
+
+TEST(NativeMachine, AllocArraySpacing)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    const NativeRef arr = machine.alloc_array(4, 9);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(arr.at(i).word->load(), 9u);
+        // One full cache line apart, and line-aligned.
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.at(i).word) %
+                      kCacheLineBytes,
+                  0u);
+    }
+    EXPECT_EQ(reinterpret_cast<char*>(arr.at(1).word) -
+                  reinterpret_cast<char*>(arr.at(0).word),
+              static_cast<std::ptrdiff_t>(kCacheLineBytes));
+}
+
+TEST(NativeMachine, RefTokenRoundTrip)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    const NativeRef ref = machine.alloc(5);
+    EXPECT_EQ(NativeMachine::ref_from_token(ref.token()), ref);
+    EXPECT_NE(ref.token(), 0u);
+}
+
+TEST(NativeMachine, NodeGatesDistinctAndStable)
+{
+    NativeMachine machine(Topology::symmetric(2, 2));
+    const NativeRef g0 = machine.node_gate(0);
+    const NativeRef g1 = machine.node_gate(1);
+    EXPECT_NE(g0, g1);
+    EXPECT_EQ(machine.node_gate(0), g0);
+    EXPECT_EQ(g0.word->load(), 0u);
+}
+
+TEST(NativeMachine, ContextIdentity)
+{
+    NativeMachine machine(Topology::hierarchical(2, 2, 2));
+    NativeContext ctx = machine.make_context(3, 6);
+    EXPECT_EQ(ctx.thread_id(), 3);
+    EXPECT_EQ(ctx.cpu(), 6);
+    EXPECT_EQ(ctx.node(), 1);
+    EXPECT_EQ(ctx.chip(), 3);
+    EXPECT_EQ(ctx.num_nodes(), 2);
+}
+
+TEST(NativeMachine, RunThreadsAssignsDistinctIds)
+{
+    NativeMachine machine(Topology::symmetric(2, 4));
+    std::atomic<std::uint64_t> tid_mask{0};
+    std::atomic<int> count{0};
+    machine.run_threads(6, Placement::RoundRobinNodes,
+                        [&](NativeContext& ctx, int idx) {
+                            EXPECT_EQ(ctx.thread_id(), idx);
+                            tid_mask.fetch_or(1ull << ctx.thread_id());
+                            count.fetch_add(1);
+                        });
+    EXPECT_EQ(count.load(), 6);
+    EXPECT_EQ(tid_mask.load(), 0b111111u);
+}
+
+TEST(NativeContext, AtomicPrimitives)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    NativeContext ctx = machine.make_context(0, 0);
+    const NativeRef w = machine.alloc(10);
+
+    EXPECT_EQ(ctx.load(w), 10u);
+    EXPECT_EQ(ctx.cas(w, 10, 20), 10u); // success returns old (== expected)
+    EXPECT_EQ(ctx.load(w), 20u);
+    EXPECT_EQ(ctx.cas(w, 10, 30), 20u); // failure returns current
+    EXPECT_EQ(ctx.load(w), 20u);
+    EXPECT_EQ(ctx.swap(w, 40), 20u);
+    EXPECT_EQ(ctx.tas(w), 40u);
+    EXPECT_EQ(ctx.load(w), 1u);
+    ctx.store(w, 0);
+    EXPECT_EQ(ctx.tas(w), 0u);
+}
+
+TEST(NativeContext, SpinWhileEqualSeesWriterUpdate)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    const NativeRef flag = machine.alloc(0);
+    std::uint64_t observed = 0;
+    machine.run_threads(2, Placement::Packed, [&](NativeContext& ctx, int i) {
+        if (i == 0) {
+            observed = ctx.spin_while_equal(flag, 0);
+        } else {
+            ctx.delay_ns(200'000);
+            ctx.store(flag, 77);
+        }
+    });
+    EXPECT_EQ(observed, 77u);
+}
+
+TEST(NativeContext, TouchArrayIncrements)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    NativeContext ctx = machine.make_context(0, 0);
+    const NativeRef arr = machine.alloc_array(3, 1);
+    ctx.touch_array(arr, 3, true);
+    ctx.touch_array(arr, 3, false);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(arr.at(i).word->load(), 2u);
+}
+
+TEST(NativeContext, RngSeededPerThread)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    NativeContext a = machine.make_context(0, 0);
+    NativeContext b = machine.make_context(1, 1);
+    EXPECT_NE(a.rng().next(), b.rng().next());
+    NativeContext a2 = machine.make_context(0, 0);
+    EXPECT_EQ(a2.rng().next(), machine.make_context(0, 0).rng().next());
+}
+
+TEST(NativeGuard, ReleasesOnScopeExit)
+{
+    NativeMachine machine(Topology::symmetric(1, 2));
+    TatasLock<NativeContext> lock(machine);
+    NativeContext ctx = machine.make_context(0, 0);
+    {
+        LockGuard guard(lock, ctx);
+        EXPECT_FALSE(lock.try_acquire(ctx));
+    }
+    EXPECT_TRUE(lock.try_acquire(ctx));
+    lock.release(ctx);
+}
+
+} // namespace

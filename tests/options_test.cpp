@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the nucabench command-line parser.
+ */
+#include <gtest/gtest.h>
+
+#include "harness/options.hpp"
+#include "locks/any_lock.hpp"
+
+namespace {
+
+using namespace nucalock::harness;
+
+TEST(Options, DefaultsWhenEmpty)
+{
+    const CliParse parsed = parse_cli({});
+    ASSERT_TRUE(parsed.options.has_value());
+    const CliOptions& o = *parsed.options;
+    EXPECT_EQ(o.bench, CliBench::New);
+    EXPECT_EQ(o.lock, "ALL");
+    EXPECT_EQ(o.nodes, 2);
+    EXPECT_EQ(o.cpus_per_node, 14);
+    EXPECT_EQ(o.threads, 28);
+    EXPECT_EQ(o.critical_work, 1500u);
+    EXPECT_FALSE(o.preemption);
+    EXPECT_FALSE(o.csv);
+    EXPECT_FALSE(o.help);
+}
+
+TEST(Options, ParsesEveryKey)
+{
+    const CliParse parsed = parse_cli(
+        {"--bench=traditional", "--lock=HBO_GT", "--nodes=4",
+         "--cpus-per-node=8", "--threads=16", "--critical-work=500",
+         "--private-work=1000", "--iterations=10", "--nuca-ratio=6.5",
+         "--seed=42", "--preemption", "--csv"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    const CliOptions& o = *parsed.options;
+    EXPECT_EQ(o.bench, CliBench::Traditional);
+    EXPECT_EQ(o.lock, "HBO_GT");
+    EXPECT_EQ(o.nodes, 4);
+    EXPECT_EQ(o.cpus_per_node, 8);
+    EXPECT_EQ(o.threads, 16);
+    EXPECT_EQ(o.critical_work, 500u);
+    EXPECT_EQ(o.private_work, 1000u);
+    EXPECT_EQ(o.iterations, 10u);
+    EXPECT_DOUBLE_EQ(o.nuca_ratio, 6.5);
+    EXPECT_EQ(o.seed, 42u);
+    EXPECT_TRUE(o.preemption);
+    EXPECT_TRUE(o.csv);
+}
+
+TEST(Options, BenchVariants)
+{
+    EXPECT_EQ(parse_cli({"--bench=new"}).options->bench, CliBench::New);
+    EXPECT_EQ(parse_cli({"--bench=uncontested"}).options->bench,
+              CliBench::Uncontested);
+    EXPECT_FALSE(parse_cli({"--bench=warp"}).options.has_value());
+}
+
+TEST(Options, HelpFlag)
+{
+    EXPECT_TRUE(parse_cli({"--help"}).options->help);
+    EXPECT_NE(cli_usage().find("nucabench"), std::string::npos);
+}
+
+TEST(Options, RejectsUnknownKey)
+{
+    const CliParse parsed = parse_cli({"--frobnicate=1"});
+    EXPECT_FALSE(parsed.options.has_value());
+    EXPECT_NE(parsed.error.find("unknown option"), std::string::npos);
+}
+
+TEST(Options, RejectsNonDashArguments)
+{
+    EXPECT_FALSE(parse_cli({"threads=4"}).options.has_value());
+}
+
+TEST(Options, RejectsBadNumbers)
+{
+    EXPECT_FALSE(parse_cli({"--threads=zero"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--threads=0"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--nodes=-2"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--seed=9x"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--iterations=0"}).options.has_value());
+}
+
+TEST(Options, RejectsUnknownLock)
+{
+    const CliParse parsed = parse_cli({"--lock=SPINLOCK3000"});
+    EXPECT_FALSE(parsed.options.has_value());
+    EXPECT_NE(parsed.error.find("unknown lock"), std::string::npos);
+}
+
+TEST(Options, AcceptsEveryRealLockName)
+{
+    for (auto kind : nucalock::locks::all_lock_kinds()) {
+        const std::string name = nucalock::locks::lock_name(kind);
+        const CliParse parsed = parse_cli({"--lock=" + name});
+        EXPECT_TRUE(parsed.options.has_value()) << name;
+    }
+}
+
+TEST(Options, CrossChecksThreadsAgainstTopology)
+{
+    EXPECT_FALSE(
+        parse_cli({"--nodes=2", "--cpus-per-node=2", "--threads=5"})
+            .options.has_value());
+    EXPECT_TRUE(
+        parse_cli({"--nodes=2", "--cpus-per-node=2", "--threads=4"})
+            .options.has_value());
+}
+
+TEST(Options, RhNodeLimitEnforced)
+{
+    EXPECT_FALSE(parse_cli({"--lock=RH", "--nodes=4", "--threads=4"})
+                     .options.has_value());
+    EXPECT_TRUE(parse_cli({"--lock=RH", "--nodes=2", "--threads=4"})
+                    .options.has_value());
+}
+
+TEST(Options, NucaRatioValidation)
+{
+    EXPECT_FALSE(parse_cli({"--nuca-ratio=0.5"}).options.has_value());
+    EXPECT_TRUE(parse_cli({"--nuca-ratio=1"}).options.has_value());
+    EXPECT_TRUE(parse_cli({"--nuca-ratio=0"}).options.has_value());
+}
+
+} // namespace

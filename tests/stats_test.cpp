@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for src/stats: Welford summaries, log histograms, table
+ * rendering, and CSV output.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/csv.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nucalock::stats;
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+    Summary s;
+    double sum = 0.0;
+    for (double x : xs) {
+        s.add(x);
+        sum += x;
+    }
+    const double mean = sum / static_cast<double>(xs.size());
+    double m2 = 0.0;
+    for (double x : xs)
+        m2 += (x - mean) * (x - mean);
+
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), m2 / static_cast<double>(xs.size()), 1e-12);
+    EXPECT_NEAR(s.sample_variance(), m2 / static_cast<double>(xs.size() - 1),
+                1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 16.0);
+    EXPECT_NEAR(s.sum(), sum, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(s.variance()), 1e-12);
+}
+
+TEST(Summary, MergeEqualsSequential)
+{
+    Summary all;
+    Summary a;
+    Summary b;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37 - 5.0;
+        all.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    Summary a;
+    a.add(1.0);
+    a.add(2.0);
+    Summary empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(LogHistogram, BucketOfBoundaries)
+{
+    EXPECT_EQ(LogHistogram::bucket_of(0), 0);
+    EXPECT_EQ(LogHistogram::bucket_of(1), 1);
+    EXPECT_EQ(LogHistogram::bucket_of(2), 2);
+    EXPECT_EQ(LogHistogram::bucket_of(3), 2);
+    EXPECT_EQ(LogHistogram::bucket_of(4), 3);
+    EXPECT_EQ(LogHistogram::bucket_of(1023), 10);
+    EXPECT_EQ(LogHistogram::bucket_of(1024), 11);
+}
+
+TEST(LogHistogram, CountAndMean)
+{
+    LogHistogram h;
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, PercentileOrdering)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    const double p10 = h.percentile(10);
+    const double p50 = h.percentile(50);
+    const double p99 = h.percentile(99);
+    EXPECT_LT(p10, p50);
+    EXPECT_LT(p50, p99);
+    // Log buckets: only order-of-magnitude accuracy is promised.
+    EXPECT_GT(p50, 100.0);
+    EXPECT_LT(p50, 1100.0);
+}
+
+TEST(LogHistogram, EmptyPercentileIsZero)
+{
+    LogHistogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LogHistogram, MergeAddsCounts)
+{
+    LogHistogram a;
+    LogHistogram b;
+    a.add(5);
+    b.add(500);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 252.5);
+}
+
+TEST(LogHistogramDeathTest, PercentileRangeChecked)
+{
+    LogHistogram h;
+    EXPECT_DEATH(h.percentile(101), "assertion failed");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"A", "Bee"});
+    t.row().cell("x").cell(std::uint64_t{12});
+    t.row().cell("longer").cell(3.5, 1);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("A       Bee"), std::string::npos);
+    EXPECT_NE(out.find("x       12"), std::string::npos);
+    EXPECT_NE(out.find("longer  3.5"), std::string::npos);
+}
+
+TEST(Table, NumRows)
+{
+    Table t({"h"});
+    EXPECT_EQ(t.num_rows(), 0u);
+    t.row().cell(1);
+    t.row().cell(2);
+    EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDeathTest, CellBeforeRowPanics)
+{
+    Table t({"h"});
+    EXPECT_DEATH(t.cell("oops"), "cell\\(\\) before row\\(\\)");
+}
+
+TEST(TableDeathTest, TooManyCellsPanics)
+{
+    Table t({"only"});
+    t.row().cell("ok");
+    EXPECT_DEATH(t.cell("overflow"), "too many cells");
+}
+
+TEST(FormatDouble, Decimals)
+{
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(2.0, 0), "2");
+    EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"a", "b"});
+    csv.cell("x").cell(1.5);
+    csv.end_row();
+    csv.cell(std::uint64_t{7}).cell(-2);
+    csv.end_row();
+    EXPECT_EQ(oss.str(), "a,b\nx,1.5\n7,-2\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"v"});
+    csv.cell("has,comma").end_row();
+    csv.cell("has\"quote").end_row();
+    EXPECT_EQ(oss.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvDeathTest, ColumnCountEnforced)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"a", "b"});
+    csv.cell("only-one");
+    EXPECT_DEATH(csv.end_row(), "row has");
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Stress and multi-lock property tests: seed sweeps of randomized
+ * workloads (mutual exclusion + conservation invariants) and a bank
+ * transfer scenario that holds two locks at once with deadlock-free
+ * ordering.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "locks/any_lock.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using namespace nucalock::sim;
+
+struct StressCase
+{
+    LockKind kind;
+    std::uint64_t seed;
+};
+
+std::string
+stress_name(const testing::TestParamInfo<StressCase>& info)
+{
+    return std::string(lock_name(info.param.kind)) + "_seed" +
+           std::to_string(info.param.seed);
+}
+
+class RandomizedWorkloadTest : public testing::TestWithParam<StressCase>
+{
+};
+
+/**
+ * Threads perform randomized sequences of critical sections with random
+ * critical/noncritical lengths; the unprotected counter must come out
+ * exact regardless of interleaving or seed.
+ */
+TEST_P(RandomizedWorkloadTest, MutualExclusionUnderRandomizedTiming)
+{
+    const StressCase& c = GetParam();
+    SimMachine m(Topology::wildfire(5), LatencyModel::wildfire(),
+                 SimConfig{.seed = c.seed});
+    AnyLock<SimContext> lock(m, c.kind);
+    const MemRef counter = m.alloc(0, 0);
+    const MemRef scratch = m.alloc_array(8, 0, 0);
+    constexpr int kIters = 120;
+
+    m.add_threads(10, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        ctx.delay(ctx.rng().next_below(5000));
+        for (int i = 0; i < kIters; ++i) {
+            lock.acquire(ctx);
+            const std::uint64_t v = ctx.load(counter);
+            if (ctx.rng().next_below(2) == 0)
+                ctx.touch_array(scratch, 1 + static_cast<std::uint32_t>(
+                                                 ctx.rng().next_below(8)),
+                                true);
+            else
+                ctx.delay(ctx.rng().next_below(400));
+            ctx.store(counter, v + 1);
+            lock.release(ctx);
+            ctx.delay(ctx.rng().next_below(2500));
+        }
+    });
+    m.run();
+    EXPECT_EQ(m.memory().peek(counter), 10u * kIters);
+}
+
+std::vector<StressCase>
+stress_cases()
+{
+    std::vector<StressCase> cases;
+    for (LockKind kind : all_lock_kinds())
+        for (std::uint64_t seed : {1ull, 1337ull, 987654321ull})
+            cases.push_back({kind, seed});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedWorkloadTest,
+                         testing::ValuesIn(stress_cases()), stress_name);
+
+/**
+ * Bank-transfer property: threads move money between accounts, taking the
+ * two account locks in index order (deadlock freedom); the total balance
+ * is conserved and the run terminates.
+ */
+class BankTransferTest : public testing::TestWithParam<LockKind>
+{
+};
+
+TEST_P(BankTransferTest, BalanceConservedWithTwoLocksHeld)
+{
+    SimMachine m(Topology::wildfire(5));
+    constexpr int kAccounts = 6;
+    constexpr std::uint64_t kInitial = 1000;
+
+    std::vector<std::unique_ptr<AnyLock<SimContext>>> locks;
+    std::vector<MemRef> balance;
+    for (int a = 0; a < kAccounts; ++a) {
+        locks.push_back(std::make_unique<AnyLock<SimContext>>(
+            m, GetParam(), LockParams{}, a % 2));
+        balance.push_back(m.alloc(kInitial, a % 2));
+    }
+
+    m.add_threads(10, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 60; ++i) {
+            auto from = static_cast<std::size_t>(
+                ctx.rng().next_below(kAccounts));
+            auto to = static_cast<std::size_t>(
+                ctx.rng().next_below(kAccounts - 1));
+            if (to >= from)
+                ++to;
+            // Lock ordering by index prevents deadlock.
+            const std::size_t lo = std::min(from, to);
+            const std::size_t hi = std::max(from, to);
+            locks[lo]->acquire(ctx);
+            locks[hi]->acquire(ctx);
+            const std::uint64_t avail = ctx.load(balance[from]);
+            const std::uint64_t amount =
+                avail == 0 ? 0 : ctx.rng().next_below(avail + 1);
+            ctx.store(balance[from], avail - amount);
+            ctx.store(balance[to], ctx.load(balance[to]) + amount);
+            locks[hi]->release(ctx);
+            locks[lo]->release(ctx);
+            ctx.delay(ctx.rng().next_below(1500));
+        }
+    });
+    m.run();
+
+    std::uint64_t total = 0;
+    for (int a = 0; a < kAccounts; ++a)
+        total += m.memory().peek(balance[static_cast<std::size_t>(a)]);
+    EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+std::string
+bank_name(const testing::TestParamInfo<LockKind>& info)
+{
+    return lock_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, BankTransferTest,
+                         testing::ValuesIn(all_lock_kinds()), bank_name);
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Behavioural tests for the extra locks beyond the paper's set: Anderson's
+ * array lock (paper reference [1]) and the cohort lock (the HBO idea's
+ * mainstream descendant).
+ */
+#include <gtest/gtest.h>
+
+#include "locks/anderson.hpp"
+#include "locks/any_lock.hpp"
+#include "locks/cohort.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using namespace nucalock::sim;
+
+TEST(Anderson, FifoUnderStaggeredArrivals)
+{
+    SimMachine m(Topology::symmetric(2, 4));
+    AndersonLock<SimContext> lock(m);
+    std::vector<int> order;
+    m.add_thread(0, [&](SimContext& ctx) {
+        lock.acquire(ctx);
+        ctx.delay_ns(2'000'000);
+        lock.release(ctx);
+    });
+    for (int i = 1; i < 8; ++i) {
+        m.add_thread(i, [&, i](SimContext& ctx) {
+            ctx.delay_ns(static_cast<SimTime>(i) * 100'000);
+            lock.acquire(ctx);
+            order.push_back(i);
+            lock.release(ctx);
+        });
+    }
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Anderson, SlotRingSurvivesManyLaps)
+{
+    // More acquisitions than slots forces the ring to wrap many times.
+    SimMachine m(Topology::symmetric(1, 4));
+    AndersonLock<SimContext> lock(m);
+    const MemRef counter = m.alloc(0, 0);
+    m.add_threads(4, Placement::Packed, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 250; ++i) {
+            lock.acquire(ctx);
+            ctx.store(counter, ctx.load(counter) + 1);
+            lock.release(ctx);
+            ctx.delay(ctx.rng().next_below(300));
+        }
+    });
+    m.run();
+    EXPECT_EQ(m.memory().peek(counter), 1000u);
+}
+
+TEST(Cohort, KeepsLockInNodeLikeHbo)
+{
+    SimMachine m(Topology::wildfire(6));
+    AnyLock<SimContext> lock(m, LockKind::Cohort);
+    const MemRef data = m.alloc_array(40, 0, 0);
+    int prev_node = -1;
+    std::uint64_t handoffs = 0;
+    std::uint64_t acquires = 0;
+    m.add_threads(12, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        ctx.delay(ctx.rng().next_below(4000));
+        for (int i = 0; i < 80; ++i) {
+            lock.acquire(ctx);
+            if (prev_node >= 0 && prev_node != ctx.node())
+                ++handoffs;
+            prev_node = ctx.node();
+            ++acquires;
+            ctx.touch_array(data, 40, true);
+            lock.release(ctx);
+            ctx.delay(2000);
+        }
+    });
+    m.run();
+    const double ratio =
+        static_cast<double>(handoffs) / static_cast<double>(acquires - 1);
+    EXPECT_LT(ratio, 0.15);
+    EXPECT_GT(ratio, 0.0); // but the budget forces periodic migration
+}
+
+TEST(Cohort, BudgetBoundsNodeCapture)
+{
+    // Count the longest single-node run of acquisitions: it must not
+    // exceed the cohort budget by more than the races around a handoff.
+    SimMachine m(Topology::wildfire(6));
+    CohortLock<SimContext> lock(m);
+    int prev_node = -1;
+    std::uint64_t run = 0;
+    std::uint64_t longest_run = 0;
+    m.add_threads(12, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 100; ++i) {
+            lock.acquire(ctx);
+            if (ctx.node() == prev_node) {
+                ++run;
+            } else {
+                longest_run = std::max(longest_run, run);
+                run = 1;
+            }
+            prev_node = ctx.node();
+            ctx.delay(200);
+            lock.release(ctx);
+            ctx.delay(1000);
+        }
+    });
+    m.run();
+    longest_run = std::max(longest_run, run);
+    EXPECT_LE(longest_run, CohortLock<SimContext>::kDefaultBudget + 4);
+    EXPECT_GT(longest_run, 4u); // and cohorting really batches
+}
+
+TEST(Cohort, GlobalHandoffWhenNodeGoesIdle)
+{
+    // A node with no waiters must release the global lock immediately so
+    // the other node can proceed (no detour deadlock).
+    SimMachine m(Topology::wildfire(2));
+    CohortLock<SimContext> lock(m);
+    const MemRef counter = m.alloc(0, 0);
+    m.add_thread(0, [&](SimContext& ctx) { // node 0, alone
+        lock.acquire(ctx);
+        ctx.store(counter, ctx.load(counter) + 1);
+        lock.release(ctx);
+    });
+    m.add_thread(2, [&](SimContext& ctx) { // node 1
+        ctx.delay_ns(100'000);
+        lock.acquire(ctx);
+        ctx.store(counter, ctx.load(counter) + 1);
+        lock.release(ctx);
+    });
+    m.run();
+    EXPECT_EQ(m.memory().peek(counter), 2u);
+}
+
+TEST(Cohort, CutsGlobalTrafficVersusAnderson)
+{
+    auto global_tx = [](LockKind kind) {
+        SimMachine m(Topology::wildfire(6));
+        AnyLock<SimContext> lock(m, kind);
+        const MemRef data = m.alloc_array(50, 0, 0);
+        m.add_threads(12, Placement::RoundRobinNodes,
+                      [&](SimContext& ctx, int) {
+                          for (int i = 0; i < 60; ++i) {
+                              lock.acquire(ctx);
+                              ctx.touch_array(data, 50, true);
+                              lock.release(ctx);
+                              ctx.delay(2000);
+                          }
+                      });
+        m.run();
+        return m.traffic().global_tx;
+    };
+    EXPECT_LT(2 * global_tx(LockKind::Cohort), global_tx(LockKind::Anderson));
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for src/topology: topology construction and lookups, cpulist
+ * parsing, host discovery against a fake sysfs tree, and thread placement.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "topology/host.hpp"
+#include "topology/mapping.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace nucalock;
+namespace fs = std::filesystem;
+
+TEST(Topology, SymmetricBasics)
+{
+    const Topology t = Topology::symmetric(2, 14);
+    EXPECT_EQ(t.num_nodes(), 2);
+    EXPECT_EQ(t.num_chips(), 2);
+    EXPECT_EQ(t.num_cpus(), 28);
+    EXPECT_TRUE(t.flat_chips());
+    EXPECT_EQ(t.node_of_cpu(0), 0);
+    EXPECT_EQ(t.node_of_cpu(13), 0);
+    EXPECT_EQ(t.node_of_cpu(14), 1);
+    EXPECT_EQ(t.node_of_cpu(27), 1);
+    EXPECT_EQ(t.first_cpu_of_node(1), 14);
+    EXPECT_EQ(t.cpus_in_node(0), 14);
+}
+
+TEST(Topology, UnevenNodes)
+{
+    const Topology t = Topology::uneven({16, 14});
+    EXPECT_EQ(t.num_cpus(), 30);
+    EXPECT_EQ(t.cpus_in_node(0), 16);
+    EXPECT_EQ(t.cpus_in_node(1), 14);
+    EXPECT_EQ(t.node_of_cpu(15), 0);
+    EXPECT_EQ(t.node_of_cpu(16), 1);
+    EXPECT_NE(t.describe().find("16+14"), std::string::npos);
+}
+
+TEST(Topology, HierarchicalChips)
+{
+    const Topology t = Topology::hierarchical(2, 4, 8);
+    EXPECT_EQ(t.num_nodes(), 2);
+    EXPECT_EQ(t.num_chips(), 8);
+    EXPECT_EQ(t.num_cpus(), 64);
+    EXPECT_FALSE(t.flat_chips());
+    EXPECT_EQ(t.chip_of_cpu(0), 0);
+    EXPECT_EQ(t.chip_of_cpu(7), 0);
+    EXPECT_EQ(t.chip_of_cpu(8), 1);
+    EXPECT_EQ(t.node_of_chip(3), 0);
+    EXPECT_EQ(t.node_of_chip(4), 1);
+    EXPECT_EQ(t.node_of_cpu(32), 1);
+    EXPECT_EQ(t.chips_in_node(0), 4);
+    EXPECT_EQ(t.cpus_in_chip(5), 8);
+    EXPECT_EQ(t.first_cpu_of_chip(2), 16);
+}
+
+TEST(Topology, CpusOfNodeAscending)
+{
+    const Topology t = Topology::symmetric(3, 4);
+    const std::vector<int> cpus = t.cpus_of_node(1);
+    ASSERT_EQ(cpus.size(), 4u);
+    EXPECT_EQ(cpus.front(), 4);
+    EXPECT_EQ(cpus.back(), 7);
+}
+
+TEST(Topology, Presets)
+{
+    EXPECT_EQ(Topology::wildfire().num_cpus(), 28);
+    EXPECT_EQ(Topology::wildfire(15).num_cpus(), 30);
+    EXPECT_EQ(Topology::e6000().num_nodes(), 1);
+    EXPECT_EQ(Topology::dash().num_nodes(), 4);
+    EXPECT_EQ(Topology::dash().num_cpus(), 16);
+}
+
+TEST(Topology, DescribeMentionsShape)
+{
+    EXPECT_EQ(Topology::symmetric(2, 14).describe(), "2 nodes x 14 cpus");
+    EXPECT_EQ(Topology::symmetric(1, 16).describe(), "1 node x 16 cpus");
+}
+
+TEST(TopologyDeathTest, RejectsBadLookups)
+{
+    const Topology t = Topology::symmetric(2, 2);
+    EXPECT_DEATH(t.node_of_cpu(4), "assertion failed");
+    EXPECT_DEATH(t.node_of_cpu(-1), "assertion failed");
+    EXPECT_DEATH(t.cpus_in_node(2), "assertion failed");
+}
+
+TEST(ParseCpulist, SingleValues)
+{
+    EXPECT_EQ(parse_cpulist("0"), (std::vector<int>{0}));
+    EXPECT_EQ(parse_cpulist("3,5,7"), (std::vector<int>{3, 5, 7}));
+}
+
+TEST(ParseCpulist, Ranges)
+{
+    EXPECT_EQ(parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(parse_cpulist("0-1,4-5"), (std::vector<int>{0, 1, 4, 5}));
+}
+
+TEST(ParseCpulist, MixedAndUnordered)
+{
+    EXPECT_EQ(parse_cpulist("8,0-2"), (std::vector<int>{0, 1, 2, 8}));
+    EXPECT_EQ(parse_cpulist(" 1 , 2 "), (std::vector<int>{1, 2}));
+}
+
+TEST(ParseCpulist, DeduplicatesOverlap)
+{
+    EXPECT_EQ(parse_cpulist("0-2,1-3"), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParseCpulistDeathTest, RejectsMalformed)
+{
+    EXPECT_EXIT(parse_cpulist("a-b"), testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(parse_cpulist("3-1"), testing::ExitedWithCode(1), "descending");
+    EXPECT_EXIT(parse_cpulist(""), testing::ExitedWithCode(1), "");
+}
+
+class FakeSysfs : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() /
+                ("nucalock_sysfs_" + std::to_string(::getpid()));
+        fs::create_directories(root_ / "node0");
+        fs::create_directories(root_ / "node1");
+        write_file(root_ / "node0" / "cpulist", "0-3\n");
+        write_file(root_ / "node1" / "cpulist", "4-7\n");
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    static void
+    write_file(const fs::path& path, const std::string& content)
+    {
+        std::ofstream out(path);
+        out << content;
+    }
+
+    fs::path root_;
+};
+
+TEST_F(FakeSysfs, DiscoverReadsNodes)
+{
+    const HostLayout layout = discover_host(root_.string());
+    EXPECT_EQ(layout.topology.num_nodes(), 2);
+    EXPECT_EQ(layout.topology.num_cpus(), 8);
+    EXPECT_EQ(layout.os_cpu_of, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(FakeSysfs, MemoryOnlyNodeIsSkipped)
+{
+    fs::create_directories(root_ / "node2");
+    write_file(root_ / "node2" / "cpulist", "\n");
+    const HostLayout layout = discover_host(root_.string());
+    EXPECT_EQ(layout.topology.num_nodes(), 2);
+}
+
+TEST_F(FakeSysfs, LogicalSplit)
+{
+    const HostLayout layout = logical_host(4, root_.string());
+    EXPECT_EQ(layout.topology.num_nodes(), 4);
+    EXPECT_EQ(layout.topology.num_cpus(), 8);
+    EXPECT_EQ(layout.topology.cpus_in_node(0), 2);
+}
+
+TEST_F(FakeSysfs, LogicalSplitUnevenRemainder)
+{
+    const HostLayout layout = logical_host(3, root_.string());
+    EXPECT_EQ(layout.topology.num_nodes(), 3);
+    EXPECT_EQ(layout.topology.cpus_in_node(0), 2);
+    EXPECT_EQ(layout.topology.cpus_in_node(2), 4); // remainder goes last
+}
+
+TEST(HostDiscovery, MissingSysfsFallsBackToOneNode)
+{
+    const HostLayout layout = discover_host("/nonexistent/nucalock/path");
+    EXPECT_EQ(layout.topology.num_nodes(), 1);
+    EXPECT_GE(layout.topology.num_cpus(), 1);
+}
+
+TEST(MapThreads, PackedFillsInOrder)
+{
+    const Topology t = Topology::symmetric(2, 4);
+    EXPECT_EQ(map_threads(t, 5, Placement::Packed),
+              (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MapThreads, RoundRobinAlternatesNodes)
+{
+    const Topology t = Topology::symmetric(2, 4);
+    EXPECT_EQ(map_threads(t, 6, Placement::RoundRobinNodes),
+              (std::vector<int>{0, 4, 1, 5, 2, 6}));
+}
+
+TEST(MapThreads, RoundRobinSpillsWhenNodeFull)
+{
+    const Topology t = Topology::uneven({2, 4});
+    // node 0 only has cpus 0,1; later threads all land in node 1.
+    EXPECT_EQ(map_threads(t, 6, Placement::RoundRobinNodes),
+              (std::vector<int>{0, 2, 1, 3, 4, 5}));
+}
+
+TEST(MapThreads, ExactCapacity)
+{
+    const Topology t = Topology::symmetric(2, 2);
+    const auto cpus = map_threads(t, 4, Placement::RoundRobinNodes);
+    std::set<int> unique(cpus.begin(), cpus.end());
+    EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(MapThreadsDeathTest, TooManyThreadsIsFatal)
+{
+    const Topology t = Topology::symmetric(2, 2);
+    EXPECT_EXIT(map_threads(t, 5, Placement::Packed),
+                testing::ExitedWithCode(1), "cannot place");
+}
+
+} // namespace

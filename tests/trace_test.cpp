@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the simulator's memory-access tracing.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "locks/tatas.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::sim;
+
+TEST(Trace, RecordsAccessesInOrder)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef word = m.alloc(5, 0);
+    TraceRecorder recorder;
+    m.memory().set_trace_hook(recorder.hook());
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        ctx.load(word);
+        ctx.store(word, 7);
+        ctx.cas(word, 7, 9);
+        ctx.swap(word, 11);
+        ctx.tas(word);
+    });
+    m.run();
+
+    const auto& events = recorder.events();
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[0].op, MemOp::Load);
+    EXPECT_EQ(events[0].old_value, 5u);
+    EXPECT_EQ(events[1].op, MemOp::Store);
+    EXPECT_EQ(events[1].new_value, 7u);
+    EXPECT_EQ(events[2].op, MemOp::Cas);
+    EXPECT_EQ(events[2].new_value, 9u);
+    EXPECT_EQ(events[3].op, MemOp::Swap);
+    EXPECT_EQ(events[3].old_value, 9u);
+    EXPECT_EQ(events[4].op, MemOp::Tas);
+    EXPECT_EQ(events[4].new_value, 1u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].start, events[i - 1].start);
+}
+
+TEST(Trace, FilterRestrictsToWatchedLines)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef interesting = m.alloc(0, 0);
+    const MemRef noise = m.alloc(0, 0);
+    TraceRecorder recorder;
+    recorder.watch_only({interesting});
+    m.memory().set_trace_hook(recorder.hook());
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        ctx.store(noise, 1);
+        ctx.store(interesting, 2);
+        ctx.store(noise, 3);
+    });
+    m.run();
+
+    ASSERT_EQ(recorder.events().size(), 1u);
+    EXPECT_EQ(recorder.events()[0].line, interesting.line);
+}
+
+TEST(Trace, LockHandoverVisibleInTrace)
+{
+    SimMachine m(Topology::wildfire(2));
+    const std::uint32_t lock_line = m.memory().num_lines();
+    locks::TatasLock<SimContext> lock(m);
+    TraceRecorder recorder;
+    recorder.watch_only({MemRef{lock_line}});
+    m.memory().set_trace_hook(recorder.hook());
+
+    m.add_threads(4, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+        for (int i = 0; i < 5; ++i) {
+            lock.acquire(ctx);
+            ctx.delay(200);
+            lock.release(ctx);
+            ctx.delay(500);
+        }
+    });
+    m.run();
+
+    // 20 successful tas transitions 0->1 and 20 releases 1->0.
+    int acquires = 0;
+    int releases = 0;
+    for (const TraceEvent& e : recorder.events()) {
+        if (e.op == MemOp::Tas && e.old_value == 0)
+            ++acquires;
+        if (e.op == MemOp::Store && e.new_value == 0)
+            ++releases;
+    }
+    EXPECT_EQ(acquires, 20);
+    EXPECT_EQ(releases, 20);
+}
+
+TEST(Trace, CsvDumpWellFormed)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef word = m.alloc(0, 0);
+    TraceRecorder recorder;
+    m.memory().set_trace_hook(recorder.hook());
+    m.add_thread(0, [&](SimContext& ctx) { ctx.store(word, 42); });
+    m.run();
+
+    std::ostringstream oss;
+    recorder.dump_csv(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("start_ns,complete_ns,cpu,op,line,old,new"),
+              std::string::npos);
+    EXPECT_NE(out.find("store"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Trace, DisabledHookCostsNothingObservable)
+{
+    auto run_once = [](bool traced) {
+        SimMachine m(Topology::symmetric(1, 2));
+        const MemRef word = m.alloc(0, 0);
+        TraceRecorder recorder;
+        if (traced)
+            m.memory().set_trace_hook(recorder.hook());
+        m.add_thread(0, [&](SimContext& ctx) {
+            for (int i = 0; i < 100; ++i)
+                ctx.store(word, static_cast<std::uint64_t>(i));
+        });
+        m.run();
+        return m.now();
+    };
+    EXPECT_EQ(run_once(false), run_once(true)); // no simulated-time impact
+}
+
+} // namespace

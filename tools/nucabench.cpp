@@ -1,0 +1,162 @@
+/**
+ * @file
+ * nucabench: a command-line front end to the microbenchmark harness.
+ * Pick a benchmark, a (simulated) machine shape, and one lock or ALL;
+ * results print as a table or CSV. Everything is deterministic per --seed.
+ *
+ * Examples:
+ *   nucabench --bench=new --threads=28 --critical-work=1500
+ *   nucabench --bench=uncontested --lock=HBO_GT
+ *   nucabench --nodes=4 --cpus-per-node=8 --nuca-ratio=10 --csv
+ */
+#include <iostream>
+#include <vector>
+
+#include "harness/newbench.hpp"
+#include "harness/options.hpp"
+#include "harness/traditional.hpp"
+#include "harness/uncontested.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::harness;
+using namespace nucalock::locks;
+
+std::vector<LockKind>
+selected_locks(const CliOptions& opts)
+{
+    if (opts.lock != "ALL")
+        return {*parse_lock_name(opts.lock)};
+    std::vector<LockKind> kinds;
+    for (LockKind kind : all_lock_kinds()) {
+        if (kind == LockKind::Rh && opts.nodes > 2)
+            continue;
+        kinds.push_back(kind);
+    }
+    return kinds;
+}
+
+sim::LatencyModel
+latency_of(const CliOptions& opts)
+{
+    return opts.nuca_ratio == 0.0 ? sim::LatencyModel::wildfire()
+                                  : sim::LatencyModel::scaled(opts.nuca_ratio);
+}
+
+int
+run_contended(const CliOptions& opts)
+{
+    const Topology topo = Topology::symmetric(opts.nodes, opts.cpus_per_node);
+    std::vector<std::string> headers = {"Lock",          "ns/acquire",
+                                        "handoff ratio", "local tx",
+                                        "global tx",     "fairness %"};
+    stats::Table table(headers);
+    std::unique_ptr<stats::CsvWriter> csv;
+    if (opts.csv)
+        csv = std::make_unique<stats::CsvWriter>(std::cout, headers);
+
+    for (LockKind kind : selected_locks(opts)) {
+        BenchResult r;
+        if (opts.bench == CliBench::New) {
+            NewBenchConfig config;
+            config.topology = topo;
+            config.latency = latency_of(opts);
+            config.threads = opts.threads;
+            config.critical_work = opts.critical_work;
+            config.private_work = opts.private_work;
+            config.iterations_per_thread = opts.iterations;
+            config.seed = opts.seed;
+            config.preemption = opts.preemption;
+            r = run_newbench(kind, config);
+        } else {
+            TraditionalConfig config;
+            config.topology = topo;
+            config.latency = latency_of(opts);
+            config.threads = opts.threads;
+            config.iterations_per_thread = opts.iterations;
+            config.seed = opts.seed;
+            r = run_traditional(kind, config);
+        }
+        if (csv) {
+            csv->cell(lock_name(kind))
+                .cell(r.avg_iteration_ns)
+                .cell(r.node_handoff_ratio)
+                .cell(r.traffic.local_tx)
+                .cell(r.traffic.global_tx)
+                .cell(r.fairness_spread_pct);
+            csv->end_row();
+        } else {
+            table.row()
+                .cell(lock_name(kind))
+                .cell(r.avg_iteration_ns, 0)
+                .cell(r.node_handoff_ratio, 3)
+                .cell(r.traffic.local_tx)
+                .cell(r.traffic.global_tx)
+                .cell(r.fairness_spread_pct, 1);
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+    return 0;
+}
+
+int
+run_uncontested_cli(const CliOptions& opts)
+{
+    std::vector<std::string> headers = {"Lock", "same processor ns",
+                                        "same node ns", "remote node ns"};
+    stats::Table table(headers);
+    std::unique_ptr<stats::CsvWriter> csv;
+    if (opts.csv)
+        csv = std::make_unique<stats::CsvWriter>(std::cout, headers);
+
+    UncontestedConfig config;
+    config.topology = Topology::symmetric(opts.nodes, opts.cpus_per_node);
+    config.latency = latency_of(opts);
+    config.iterations = opts.iterations;
+    config.seed = opts.seed;
+
+    for (LockKind kind : selected_locks(opts)) {
+        const UncontestedResult r = run_uncontested(kind, config);
+        if (csv) {
+            csv->cell(lock_name(kind))
+                .cell(r.same_processor_ns)
+                .cell(r.same_node_ns)
+                .cell(r.remote_node_ns);
+            csv->end_row();
+        } else {
+            table.row()
+                .cell(lock_name(kind))
+                .cell(r.same_processor_ns, 0)
+                .cell(r.same_node_ns, 0)
+                .cell(r.remote_node_ns, 0);
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    const CliParse parsed = parse_cli(args);
+    if (!parsed.options) {
+        std::cerr << "error: " << parsed.error << "\n\n" << cli_usage();
+        return 2;
+    }
+    const CliOptions& opts = *parsed.options;
+    if (opts.help) {
+        std::cout << cli_usage();
+        return 0;
+    }
+    if (opts.bench == CliBench::Uncontested)
+        return run_uncontested_cli(opts);
+    return run_contended(opts);
+}
