@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gt_throttle.dir/bench/bench_ablation_gt_throttle.cpp.o"
+  "CMakeFiles/bench_ablation_gt_throttle.dir/bench/bench_ablation_gt_throttle.cpp.o.d"
+  "bench/bench_ablation_gt_throttle"
+  "bench/bench_ablation_gt_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gt_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hierarchical.dir/bench/bench_ext_hierarchical.cpp.o"
+  "CMakeFiles/bench_ext_hierarchical.dir/bench/bench_ext_hierarchical.cpp.o.d"
+  "bench/bench_ext_hierarchical"
+  "bench/bench_ext_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_nuca_ratio.dir/bench/bench_ext_nuca_ratio.cpp.o"
+  "CMakeFiles/bench_ext_nuca_ratio.dir/bench/bench_ext_nuca_ratio.cpp.o.d"
+  "bench/bench_ext_nuca_ratio"
+  "bench/bench_ext_nuca_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nuca_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_successors.dir/bench/bench_ext_successors.cpp.o"
+  "CMakeFiles/bench_ext_successors.dir/bench/bench_ext_successors.cpp.o.d"
+  "bench/bench_ext_successors"
+  "bench/bench_ext_successors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_successors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

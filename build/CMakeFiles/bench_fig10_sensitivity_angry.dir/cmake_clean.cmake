@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sensitivity_angry.dir/bench/bench_fig10_sensitivity_angry.cpp.o"
+  "CMakeFiles/bench_fig10_sensitivity_angry.dir/bench/bench_fig10_sensitivity_angry.cpp.o.d"
+  "bench/bench_fig10_sensitivity_angry"
+  "bench/bench_fig10_sensitivity_angry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sensitivity_angry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

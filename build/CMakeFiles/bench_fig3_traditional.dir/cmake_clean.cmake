@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_traditional.dir/bench/bench_fig3_traditional.cpp.o"
+  "CMakeFiles/bench_fig3_traditional.dir/bench/bench_fig3_traditional.cpp.o.d"
+  "bench/bench_fig3_traditional"
+  "bench/bench_fig3_traditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

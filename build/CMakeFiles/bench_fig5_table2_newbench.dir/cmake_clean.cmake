@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_table2_newbench.dir/bench/bench_fig5_table2_newbench.cpp.o"
+  "CMakeFiles/bench_fig5_table2_newbench.dir/bench/bench_fig5_table2_newbench.cpp.o.d"
+  "bench/bench_fig5_table2_newbench"
+  "bench/bench_fig5_table2_newbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_table2_newbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fairness.dir/bench/bench_fig8_fairness.cpp.o"
+  "CMakeFiles/bench_fig8_fairness.dir/bench/bench_fig8_fairness.cpp.o.d"
+  "bench/bench_fig8_fairness"
+  "bench/bench_fig8_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sensitivity_backoff.dir/bench/bench_fig9_sensitivity_backoff.cpp.o"
+  "CMakeFiles/bench_fig9_sensitivity_backoff.dir/bench/bench_fig9_sensitivity_backoff.cpp.o.d"
+  "bench/bench_fig9_sensitivity_backoff"
+  "bench/bench_fig9_sensitivity_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sensitivity_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_locks.dir/bench/bench_native_locks.cpp.o"
+  "CMakeFiles/bench_native_locks.dir/bench/bench_native_locks.cpp.o.d"
+  "bench/bench_native_locks"
+  "bench/bench_native_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

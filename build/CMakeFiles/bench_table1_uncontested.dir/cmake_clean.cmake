@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_uncontested.dir/bench/bench_table1_uncontested.cpp.o"
+  "CMakeFiles/bench_table1_uncontested.dir/bench/bench_table1_uncontested.cpp.o.d"
+  "bench/bench_table1_uncontested"
+  "bench/bench_table1_uncontested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_uncontested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

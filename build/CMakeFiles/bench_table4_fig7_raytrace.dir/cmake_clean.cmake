@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fig7_raytrace.dir/bench/bench_table4_fig7_raytrace.cpp.o"
+  "CMakeFiles/bench_table4_fig7_raytrace.dir/bench/bench_table4_fig7_raytrace.cpp.o.d"
+  "bench/bench_table4_fig7_raytrace"
+  "bench/bench_table4_fig7_raytrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fig7_raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig6_apps.dir/bench/bench_table5_fig6_apps.cpp.o"
+  "CMakeFiles/bench_table5_fig6_apps.dir/bench/bench_table5_fig6_apps.cpp.o.d"
+  "bench/bench_table5_fig6_apps"
+  "bench/bench_table5_fig6_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig6_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_apptraffic.cpp" "CMakeFiles/bench_table6_apptraffic.dir/bench/bench_table6_apptraffic.cpp.o" "gcc" "CMakeFiles/bench_table6_apptraffic.dir/bench/bench_table6_apptraffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nucalock_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_apptraffic.dir/bench/bench_table6_apptraffic.cpp.o"
+  "CMakeFiles/bench_table6_apptraffic.dir/bench/bench_table6_apptraffic.cpp.o.d"
+  "bench/bench_table6_apptraffic"
+  "bench/bench_table6_apptraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_apptraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

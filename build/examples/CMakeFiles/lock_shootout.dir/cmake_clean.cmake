@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_shootout.dir/lock_shootout.cpp.o"
+  "CMakeFiles/lock_shootout.dir/lock_shootout.cpp.o.d"
+  "lock_shootout"
+  "lock_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

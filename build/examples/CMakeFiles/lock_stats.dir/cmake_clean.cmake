@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_stats.dir/lock_stats.cpp.o"
+  "CMakeFiles/lock_stats.dir/lock_stats.cpp.o.d"
+  "lock_stats"
+  "lock_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_explore.dir/sim_explore.cpp.o"
+  "CMakeFiles/sim_explore.dir/sim_explore.cpp.o.d"
+  "sim_explore"
+  "sim_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_queue.dir/task_queue.cpp.o"
+  "CMakeFiles/task_queue.dir/task_queue.cpp.o.d"
+  "task_queue"
+  "task_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

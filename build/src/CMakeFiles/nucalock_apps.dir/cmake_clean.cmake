@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_apps.dir/apps/app_runner.cpp.o"
+  "CMakeFiles/nucalock_apps.dir/apps/app_runner.cpp.o.d"
+  "CMakeFiles/nucalock_apps.dir/apps/raytrace.cpp.o"
+  "CMakeFiles/nucalock_apps.dir/apps/raytrace.cpp.o.d"
+  "CMakeFiles/nucalock_apps.dir/apps/workload.cpp.o"
+  "CMakeFiles/nucalock_apps.dir/apps/workload.cpp.o.d"
+  "libnucalock_apps.a"
+  "libnucalock_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

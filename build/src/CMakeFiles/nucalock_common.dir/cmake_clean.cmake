@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_common.dir/common/env.cpp.o"
+  "CMakeFiles/nucalock_common.dir/common/env.cpp.o.d"
+  "CMakeFiles/nucalock_common.dir/common/logging.cpp.o"
+  "CMakeFiles/nucalock_common.dir/common/logging.cpp.o.d"
+  "libnucalock_common.a"
+  "libnucalock_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/fairness.cpp" "src/CMakeFiles/nucalock_harness.dir/harness/fairness.cpp.o" "gcc" "src/CMakeFiles/nucalock_harness.dir/harness/fairness.cpp.o.d"
+  "/root/repo/src/harness/newbench.cpp" "src/CMakeFiles/nucalock_harness.dir/harness/newbench.cpp.o" "gcc" "src/CMakeFiles/nucalock_harness.dir/harness/newbench.cpp.o.d"
+  "/root/repo/src/harness/options.cpp" "src/CMakeFiles/nucalock_harness.dir/harness/options.cpp.o" "gcc" "src/CMakeFiles/nucalock_harness.dir/harness/options.cpp.o.d"
+  "/root/repo/src/harness/sensitivity.cpp" "src/CMakeFiles/nucalock_harness.dir/harness/sensitivity.cpp.o" "gcc" "src/CMakeFiles/nucalock_harness.dir/harness/sensitivity.cpp.o.d"
+  "/root/repo/src/harness/traditional.cpp" "src/CMakeFiles/nucalock_harness.dir/harness/traditional.cpp.o" "gcc" "src/CMakeFiles/nucalock_harness.dir/harness/traditional.cpp.o.d"
+  "/root/repo/src/harness/uncontested.cpp" "src/CMakeFiles/nucalock_harness.dir/harness/uncontested.cpp.o" "gcc" "src/CMakeFiles/nucalock_harness.dir/harness/uncontested.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nucalock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_harness.dir/harness/fairness.cpp.o"
+  "CMakeFiles/nucalock_harness.dir/harness/fairness.cpp.o.d"
+  "CMakeFiles/nucalock_harness.dir/harness/newbench.cpp.o"
+  "CMakeFiles/nucalock_harness.dir/harness/newbench.cpp.o.d"
+  "CMakeFiles/nucalock_harness.dir/harness/options.cpp.o"
+  "CMakeFiles/nucalock_harness.dir/harness/options.cpp.o.d"
+  "CMakeFiles/nucalock_harness.dir/harness/sensitivity.cpp.o"
+  "CMakeFiles/nucalock_harness.dir/harness/sensitivity.cpp.o.d"
+  "CMakeFiles/nucalock_harness.dir/harness/traditional.cpp.o"
+  "CMakeFiles/nucalock_harness.dir/harness/traditional.cpp.o.d"
+  "CMakeFiles/nucalock_harness.dir/harness/uncontested.cpp.o"
+  "CMakeFiles/nucalock_harness.dir/harness/uncontested.cpp.o.d"
+  "libnucalock_harness.a"
+  "libnucalock_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

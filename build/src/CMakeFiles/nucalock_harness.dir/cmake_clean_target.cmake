@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnucalock_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_native.dir/native/machine.cpp.o"
+  "CMakeFiles/nucalock_native.dir/native/machine.cpp.o.d"
+  "libnucalock_native.a"
+  "libnucalock_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nucalock_native.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/nucalock_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/nucalock_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/nucalock_sim.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/nucalock_sim.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "src/CMakeFiles/nucalock_sim.dir/sim/latency.cpp.o" "gcc" "src/CMakeFiles/nucalock_sim.dir/sim/latency.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/nucalock_sim.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/nucalock_sim.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/nucalock_sim.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/nucalock_sim.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/nucalock_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/nucalock_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nucalock_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nucalock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

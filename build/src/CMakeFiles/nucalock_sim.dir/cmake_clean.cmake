@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/nucalock_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/nucalock_sim.dir/sim/fiber.cpp.o"
+  "CMakeFiles/nucalock_sim.dir/sim/fiber.cpp.o.d"
+  "CMakeFiles/nucalock_sim.dir/sim/latency.cpp.o"
+  "CMakeFiles/nucalock_sim.dir/sim/latency.cpp.o.d"
+  "CMakeFiles/nucalock_sim.dir/sim/memory.cpp.o"
+  "CMakeFiles/nucalock_sim.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/nucalock_sim.dir/sim/resource.cpp.o"
+  "CMakeFiles/nucalock_sim.dir/sim/resource.cpp.o.d"
+  "CMakeFiles/nucalock_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/nucalock_sim.dir/sim/trace.cpp.o.d"
+  "libnucalock_sim.a"
+  "libnucalock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_stats.dir/stats/csv.cpp.o"
+  "CMakeFiles/nucalock_stats.dir/stats/csv.cpp.o.d"
+  "CMakeFiles/nucalock_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/nucalock_stats.dir/stats/table.cpp.o.d"
+  "libnucalock_stats.a"
+  "libnucalock_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/affinity.cpp" "src/CMakeFiles/nucalock_topology.dir/topology/affinity.cpp.o" "gcc" "src/CMakeFiles/nucalock_topology.dir/topology/affinity.cpp.o.d"
+  "/root/repo/src/topology/host.cpp" "src/CMakeFiles/nucalock_topology.dir/topology/host.cpp.o" "gcc" "src/CMakeFiles/nucalock_topology.dir/topology/host.cpp.o.d"
+  "/root/repo/src/topology/mapping.cpp" "src/CMakeFiles/nucalock_topology.dir/topology/mapping.cpp.o" "gcc" "src/CMakeFiles/nucalock_topology.dir/topology/mapping.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/nucalock_topology.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/nucalock_topology.dir/topology/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nucalock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

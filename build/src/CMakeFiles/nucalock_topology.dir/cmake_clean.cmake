@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucalock_topology.dir/topology/affinity.cpp.o"
+  "CMakeFiles/nucalock_topology.dir/topology/affinity.cpp.o.d"
+  "CMakeFiles/nucalock_topology.dir/topology/host.cpp.o"
+  "CMakeFiles/nucalock_topology.dir/topology/host.cpp.o.d"
+  "CMakeFiles/nucalock_topology.dir/topology/mapping.cpp.o"
+  "CMakeFiles/nucalock_topology.dir/topology/mapping.cpp.o.d"
+  "CMakeFiles/nucalock_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/nucalock_topology.dir/topology/topology.cpp.o.d"
+  "libnucalock_topology.a"
+  "libnucalock_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucalock_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/any_lock_test.dir/any_lock_test.cpp.o"
+  "CMakeFiles/any_lock_test.dir/any_lock_test.cpp.o.d"
+  "any_lock_test"
+  "any_lock_test.pdb"
+  "any_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/any_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_test.dir/barrier_test.cpp.o"
+  "CMakeFiles/barrier_test.dir/barrier_test.cpp.o.d"
+  "barrier_test"
+  "barrier_test.pdb"
+  "barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clh_try_test.dir/clh_try_test.cpp.o"
+  "CMakeFiles/clh_try_test.dir/clh_try_test.cpp.o.d"
+  "clh_try_test"
+  "clh_try_test.pdb"
+  "clh_try_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clh_try_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

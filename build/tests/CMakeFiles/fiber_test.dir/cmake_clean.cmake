@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_test.dir/fiber_test.cpp.o"
+  "CMakeFiles/fiber_test.dir/fiber_test.cpp.o.d"
+  "fiber_test"
+  "fiber_test.pdb"
+  "fiber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

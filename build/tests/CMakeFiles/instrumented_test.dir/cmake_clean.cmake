@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumented_test.dir/instrumented_test.cpp.o"
+  "CMakeFiles/instrumented_test.dir/instrumented_test.cpp.o.d"
+  "instrumented_test"
+  "instrumented_test.pdb"
+  "instrumented_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumented_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_behavior_test.dir/lock_behavior_test.cpp.o"
+  "CMakeFiles/lock_behavior_test.dir/lock_behavior_test.cpp.o.d"
+  "lock_behavior_test"
+  "lock_behavior_test.pdb"
+  "lock_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

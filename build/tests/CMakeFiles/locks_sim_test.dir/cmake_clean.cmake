@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks_sim_test.dir/locks_sim_test.cpp.o"
+  "CMakeFiles/locks_sim_test.dir/locks_sim_test.cpp.o.d"
+  "locks_sim_test"
+  "locks_sim_test.pdb"
+  "locks_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

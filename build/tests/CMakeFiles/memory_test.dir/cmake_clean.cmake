@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_test.dir/memory_test.cpp.o"
+  "CMakeFiles/memory_test.dir/memory_test.cpp.o.d"
+  "memory_test"
+  "memory_test.pdb"
+  "memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

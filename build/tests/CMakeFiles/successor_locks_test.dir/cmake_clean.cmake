@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/successor_locks_test.dir/successor_locks_test.cpp.o"
+  "CMakeFiles/successor_locks_test.dir/successor_locks_test.cpp.o.d"
+  "successor_locks_test"
+  "successor_locks_test.pdb"
+  "successor_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/successor_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitebox_test.dir/whitebox_test.cpp.o"
+  "CMakeFiles/whitebox_test.dir/whitebox_test.cpp.o.d"
+  "whitebox_test"
+  "whitebox_test.pdb"
+  "whitebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

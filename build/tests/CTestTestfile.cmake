@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/fiber_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/locks_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/locks_native_test[1]_include.cmake")
+include("/root/repo/build/tests/barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/any_lock_test[1]_include.cmake")
+include("/root/repo/build/tests/options_test[1]_include.cmake")
+include("/root/repo/build/tests/instrumented_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/successor_locks_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/whitebox_test[1]_include.cmake")
+include("/root/repo/build/tests/clh_try_test[1]_include.cmake")

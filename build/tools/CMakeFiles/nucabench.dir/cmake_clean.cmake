@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nucabench.dir/nucabench.cpp.o"
+  "CMakeFiles/nucabench.dir/nucabench.cpp.o.d"
+  "nucabench"
+  "nucabench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nucabench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
