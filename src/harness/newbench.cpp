@@ -22,6 +22,15 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     SimMachine machine(config.topology, config.latency, sim_cfg);
     AnyLock<SimContext> lock(machine, kind, config.params);
 
+    sim::FaultInjector injector(config.fault_plan);
+    if (!config.fault_plan.empty())
+        machine.install_faults(&injector);
+    sim::InvariantConfig inv_cfg;
+    inv_cfg.watchdog_window_ns = config.watchdog_window_ns;
+    inv_cfg.fairness_window = config.fairness_window;
+    sim::InvariantChecker checker(inv_cfg);
+    machine.install_invariants(&checker);
+
     // The shared vector the critical section walks (Fig 4's cs_work[]),
     // one simulated line per `ints_per_line` ints, homed in node 0.
     const std::uint32_t cs_lines =
@@ -35,7 +44,12 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     // Host-side bookkeeping guarded by the lock (no simulated traffic).
     std::uint64_t handoffs = 0;
     std::uint64_t acquires = 0;
+    std::uint64_t timeouts = 0;
     int prev_node = -1;
+
+    // A plan with thread death can abandon a held lock; survivors then use
+    // bounded waits and stop iterating on a timeout so the run terminates.
+    const bool deaths = config.fault_plan.has(sim::FaultKind::ThreadDeath);
 
     machine.add_threads(
         config.threads, config.placement, [&](SimContext& ctx, int) {
@@ -45,13 +59,24 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
             // instead of the expected ~(N/2)/(N-1).
             ctx.delay(ctx.rng().next_below(2 * config.private_work + 1));
             for (std::uint32_t i = 0; i < config.iterations_per_thread; ++i) {
-                lock.acquire(ctx);
+                ctx.cs_wait_begin();
+                if (deaths) {
+                    if (!lock.acquire_for(ctx, config.recovery_timeout_ns)) {
+                        ctx.cs_wait_abort();
+                        ++timeouts;
+                        break;
+                    }
+                } else {
+                    lock.acquire(ctx);
+                }
+                ctx.cs_enter();
                 if (prev_node >= 0 && prev_node != ctx.node())
                     ++handoffs;
                 prev_node = ctx.node();
                 ++acquires;
                 if (cs_lines > 0)
                     ctx.touch_array(cs_work, cs_lines, /*write=*/true);
+                ctx.cs_exit();
                 lock.release(ctx);
 
                 // Noncritical work: one static and one random delay of
@@ -77,8 +102,23 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     for (int t = 0; t < config.threads; ++t)
         result.finish_times.push_back(machine.finish_time(t));
     result.fairness_spread_pct = fairness_spread_pct(result.finish_times);
-    NUCA_ASSERT(acquires == static_cast<std::uint64_t>(config.threads) *
-                                config.iterations_per_thread);
+    result.faults_injected = injector.injected();
+    result.fault_log = injector.log();
+    result.mutex_violations = checker.mutual_exclusion_violations();
+    result.max_bypasses = checker.max_bypasses();
+    result.max_node_streak = checker.max_node_streak();
+    result.lock_timeouts = timeouts;
+
+    const auto expected = static_cast<std::uint64_t>(config.threads) *
+                          config.iterations_per_thread;
+    // Injected deaths/timeouts legitimately lose iterations; everything
+    // else must still complete the exact count.
+    if (config.fault_plan.has(sim::FaultKind::ThreadDeath))
+        NUCA_ASSERT(acquires <= expected);
+    else
+        NUCA_ASSERT(acquires == expected);
+    NUCA_ASSERT(acquires == checker.acquisitions(),
+                "checker disagrees with the workload count");
     return result;
 }
 

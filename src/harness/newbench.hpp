@@ -15,6 +15,8 @@
 #include "locks/any_lock.hpp"
 #include "locks/params.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/invariants.hpp"
 #include "topology/mapping.hpp"
 
 namespace nucalock::harness {
@@ -39,6 +41,19 @@ struct NewBenchConfig
     bool preemption = false;
     sim::SimTime preempt_mean_interval = 40'000'000;
     sim::SimTime preempt_duration = 10'000'000;
+
+    /** Deterministic fault plan executed against the run (sim/faults.hpp). */
+    sim::FaultPlan fault_plan;
+    /** Invariant-checker progress watchdog window; 0 = disabled. */
+    sim::SimTime watchdog_window_ns = 0;
+    /** Fairness window for the checker's bypass accounting; 0 = record only. */
+    std::uint64_t fairness_window = 0;
+    /**
+     * Bounded-wait timeout survivors use when the plan kills threads; a
+     * thread whose acquire_for() times out stops iterating (the lock was
+     * abandoned), keeping the run terminating instead of deadlocking.
+     */
+    sim::SimTime recovery_timeout_ns = 20'000'000;
 };
 
 /** Run the new microbenchmark for @p kind. */

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "locks/any_lock.hpp"
+#include "sim/faults.hpp"
 
 namespace nucalock::harness {
 namespace {
@@ -64,10 +65,14 @@ cli_usage()
            "                 [--threads=N] [--critical-work=INTS]\n"
            "                 [--private-work=ITERS] [--iterations=N]\n"
            "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
-           "                 [--csv] [--help]\n"
+           "                 [--faults=SPEC] [--csv] [--help]\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
-           "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n";
+           "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n"
+           "\n"
+           "--faults takes '+'-separated presets (new bench only): holder,\n"
+           "publish, spinner, spike, stall, death, chaos, none. Victims and\n"
+           "times derive deterministically from --seed.\n";
 }
 
 CliParse
@@ -125,6 +130,8 @@ parse_cli(const std::vector<std::string>& args)
                 return fail("bad --seed '" + value + "'");
         } else if (key == "preemption") {
             opts.preemption = true;
+        } else if (key == "faults") {
+            opts.faults = value;
         } else if (key == "csv") {
             opts.csv = true;
         } else {
@@ -136,6 +143,12 @@ parse_cli(const std::vector<std::string>& args)
         return fail("--threads exceeds nodes*cpus-per-node");
     if (opts.lock == "RH" && opts.nodes > 2)
         return fail("RH supports at most two nodes");
+    if (!opts.faults.empty()) {
+        if (opts.bench != CliBench::New)
+            return fail("--faults is only supported with --bench=new");
+        if (!sim::FaultPlan::parse(opts.faults, opts.seed, opts.threads))
+            return fail("bad --faults spec '" + opts.faults + "'");
+    }
     return CliParse{opts, ""};
 }
 

@@ -37,6 +37,12 @@ struct CliOptions
     double nuca_ratio = 0.0;
     std::uint64_t seed = 1;
     bool preemption = false;
+    /**
+     * Fault-plan spec for sim::FaultPlan::parse(): '+'-separated presets
+     * out of {none, holder, publish, spinner, spike, stall, death, chaos}.
+     * Empty = no fault injection. Only valid with --bench=new.
+     */
+    std::string faults;
     bool csv = false;
     bool help = false;
 };

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -31,6 +32,21 @@ struct BenchResult
     std::vector<sim::SimTime> finish_times;
     /** (last - first finisher) / last, in percent (paper's Fig. 8 metric). */
     double fairness_spread_pct = 0.0;
+
+    // ----- robustness subsystem (zero unless a fault plan ran) ------------
+
+    /** Faults actually applied by the injector. */
+    std::uint64_t faults_injected = 0;
+    /** One line per applied fault (byte-identical across same-seed runs). */
+    std::string fault_log;
+    /** Mutual-exclusion violations observed by the invariant checker. */
+    std::uint64_t mutex_violations = 0;
+    /** Worst "other threads entered while I waited" count over the run. */
+    std::uint64_t max_bypasses = 0;
+    /** Longest same-node handover streak while a remote thread waited. */
+    std::uint64_t max_node_streak = 0;
+    /** Bounded-wait acquisitions that timed out (lock abandonment). */
+    std::uint64_t lock_timeouts = 0;
 };
 
 /** The paper's fairness metric over a set of finish times. */

@@ -32,6 +32,7 @@ class AndersonLock
                           int home_node = 0)
         : slots_(static_cast<std::uint64_t>(machine.max_threads())),
           ticket_(machine.alloc(0, home_node)),
+          grants_(machine.alloc(0, home_node)),
           flags_(machine.alloc_array(static_cast<std::uint32_t>(slots_),
                                      kMustWait, home_node)),
           holder_slot_(static_cast<std::size_t>(machine.max_threads()), slots_)
@@ -60,6 +61,32 @@ class AndersonLock
         holder_slot_[static_cast<std::size_t>(ctx.thread_id())] = slot;
     }
 
+    /**
+     * Non-blocking try: succeed only when the lock is free and the grant
+     * for the next ticket is already posted. `grants_` counts completed
+     * releases (single writer — the serialized holder), so observing
+     * grants == ticket and then winning the ticket cas proves no acquire
+     * intervened: the grant for our slot is posted and consuming it cannot
+     * block.
+     */
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        const std::uint64_t t = ctx.load(ticket_);
+        if (ctx.load(grants_) != t)
+            return false; // held, or a handover is still in flight
+        if (ctx.cas(ticket_, t, t + 1) != t)
+            return false; // lost the race for ticket t
+        const std::uint64_t slot = t % slots_;
+        if (t != 0) {
+            const Ref flag = flags_.at(static_cast<std::uint32_t>(slot));
+            ctx.spin_while_equal(flag, kMustWait); // grant posted: no wait
+            ctx.store(flag, kMustWait);
+        }
+        holder_slot_[static_cast<std::size_t>(ctx.thread_id())] = slot;
+        return true;
+    }
+
     void
     release(Ctx& ctx)
     {
@@ -69,6 +96,9 @@ class AndersonLock
         holder_slot_[tid] = slots_;
         const auto next = static_cast<std::uint32_t>((slot + 1) % slots_);
         ctx.store(flags_.at(next), kHasLock);
+        // Grant count after the grant itself: a try_acquire that sees the
+        // new count is guaranteed to find its grant flag already set.
+        ctx.store(grants_, ++grants_value_);
     }
 
   private:
@@ -77,8 +107,10 @@ class AndersonLock
 
     std::uint64_t slots_;
     Ref ticket_;
+    Ref grants_; // completed releases; == ticket when free and settled
     Ref flags_;
     std::vector<std::uint64_t> holder_slot_; // per-thread, lock-protected
+    std::uint64_t grants_value_ = 0;         // shadow of grants_ (holder-only)
 };
 
 } // namespace nucalock::locks

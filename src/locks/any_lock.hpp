@@ -30,6 +30,7 @@
 #include "locks/tatas.hpp"
 #include "locks/tatas_exp.hpp"
 #include "locks/ticket.hpp"
+#include "locks/timed.hpp"
 
 namespace nucalock::locks {
 
@@ -139,6 +140,23 @@ class AnyLock
     void acquire(Ctx& ctx) { impl_->acquire(ctx); }
     void release(Ctx& ctx) { impl_->release(ctx); }
 
+    /**
+     * Non-blocking (for the queue locks: bounded-abort, see each header's
+     * try_acquire notes) attempt. Every LockKind supports it.
+     */
+    bool try_acquire(Ctx& ctx) { return impl_->try_acquire(ctx); }
+
+    /**
+     * Bounded-wait acquisition: native try_acquire_for when the algorithm
+     * has one (CLH_TRY), otherwise the generic try/backoff loop of
+     * locks::acquire_for.
+     */
+    bool
+    acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        return impl_->acquire_for(ctx, timeout_ns);
+    }
+
     LockKind kind() const { return kind_; }
     const char* name() const { return lock_name(kind_); }
 
@@ -148,6 +166,8 @@ class AnyLock
         virtual ~Base() = default;
         virtual void acquire(Ctx&) = 0;
         virtual void release(Ctx&) = 0;
+        virtual bool try_acquire(Ctx&) = 0;
+        virtual bool acquire_for(Ctx&, std::uint64_t timeout_ns) = 0;
     };
 
     template <typename L>
@@ -160,6 +180,16 @@ class AnyLock
 
         void acquire(Ctx& ctx) override { lock.acquire(ctx); }
         void release(Ctx& ctx) override { lock.release(ctx); }
+        bool try_acquire(Ctx& ctx) override { return lock.try_acquire(ctx); }
+
+        bool
+        acquire_for(Ctx& ctx, std::uint64_t timeout_ns) override
+        {
+            if constexpr (requires { lock.try_acquire_for(ctx, timeout_ns); })
+                return lock.try_acquire_for(ctx, timeout_ns);
+            else
+                return locks::acquire_for(lock, ctx, timeout_ns);
+        }
 
         L lock;
     };

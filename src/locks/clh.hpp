@@ -46,6 +46,31 @@ class ClhLock
         ctx.spin_while_equal(slot.pred, kBusy);
     }
 
+    /**
+     * Opportunistic try: succeed only when the queue looks empty (the tail
+     * node is FREE). Winning the tail cas commits us to the queue, and
+     * between the FREE check and the cas the tail node can be recycled and
+     * re-enqueued BUSY by another thread (ABA on the tail token); in that
+     * rare window this degrades to a bounded wait on the predecessor — the
+     * successor already spins on our node, so aborting is impossible. CLH
+     * therefore offers bounded-abort try semantics, not a wait-free try.
+     */
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        Slot& slot = my_slot(ctx);
+        const std::uint64_t tail_token = ctx.load(tail_);
+        const Ref pred = Machine::ref_from_token(tail_token);
+        if (ctx.load(pred) != kFree)
+            return false; // queue non-empty or handover in flight
+        ctx.store(slot.mine, kBusy);
+        if (ctx.cas(tail_, tail_token, slot.mine.token()) != tail_token)
+            return false; // someone enqueued first; we never joined
+        slot.pred = pred;
+        ctx.spin_while_equal(slot.pred, kBusy); // almost always immediate
+        return true;
+    }
+
     void
     release(Ctx& ctx)
     {

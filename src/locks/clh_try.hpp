@@ -66,6 +66,19 @@ class ClhTryLock
                                 detail::lock_clock_ns(ctx) + timeout_ns);
     }
 
+    /**
+     * Bounded-abort try: enqueue, poll the predecessor once (following any
+     * redirect chain), and abandon the slot via a redirect on a miss. Not
+     * wait-free — enqueueing is mandatory in CLH — but the abort path is a
+     * constant number of memory operations.
+     */
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        return acquire_deadline(ctx, /*has_deadline=*/true,
+                                detail::lock_clock_ns(ctx));
+    }
+
     void
     release(Ctx& ctx)
     {

@@ -71,6 +71,31 @@ class CohortLock
         node.streak = 0;
     }
 
+    /**
+     * Non-blocking try: take the local word only if free, then either
+     * inherit a node-owned global lock (counting against the detour
+     * budget, same as acquire) or try the global ticket tier; on a global
+     * miss the local word is released again and the call fails.
+     */
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
+        if (ctx.cas(node.word, kFree, kLocked) != kFree)
+            return false;
+        if (node.global_owned) {
+            ++node.streak;
+            return true;
+        }
+        if (global_.try_acquire(ctx)) {
+            node.global_owned = true;
+            node.streak = 0;
+            return true;
+        }
+        ctx.store(node.word, kFree); // undo the local tier
+        return false;
+    }
+
     void
     release(Ctx& ctx)
     {

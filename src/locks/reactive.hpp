@@ -77,6 +77,21 @@ class ReactiveLock
         queued_ = true;
     }
 
+    /**
+     * Non-blocking try: one tas on the word. Mutual exclusion is always
+     * provided by the word alone (queue mode merely routes arrivals), so
+     * bypassing the queue is safe in either mode; release sees
+     * queued_ == false and skips the queue handoff.
+     */
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        if (ctx.tas(word_) != 0)
+            return false;
+        queued_ = false;
+        return true;
+    }
+
     void
     release(Ctx& ctx)
     {

@@ -75,6 +75,24 @@ class RhLock
         }
     }
 
+    /**
+     * Non-blocking try through the local word only: succeed when it reads
+     * FREE or L_FREE and the cas wins. A REMOTE word means the lock lives
+     * in the other node; claiming it requires the blocking node-winner
+     * migration (remote_spin), so the try fails instead — the try path is
+     * deliberately asymmetric, it never starts a cross-node migration.
+     */
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        const int n = my_word(ctx);
+        const std::uint64_t v = ctx.load(flag_[static_cast<std::size_t>(n)]);
+        if (v != kFreeValue && v != kLocalFree)
+            return false;
+        return ctx.cas(flag_[static_cast<std::size_t>(n)], v, tid_value(ctx)) ==
+               v;
+    }
+
     void
     release(Ctx& ctx)
     {

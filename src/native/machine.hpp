@@ -124,6 +124,16 @@ class NativeContext
     /** Read (and when @p write, increment) @p count array words. */
     void touch_array(Ref first, std::uint32_t count, bool write);
 
+    /**
+     * Critical-section markers (see sim::SimContext): no-ops here — the
+     * fault-injection/invariant subsystem is simulator-only, the markers
+     * exist so workload code compiles against either backend.
+     */
+    void cs_wait_begin() {}
+    void cs_wait_abort() {}
+    void cs_enter() {}
+    void cs_exit() {}
+
   private:
     friend class NativeMachine;
 

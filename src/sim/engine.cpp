@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "sim/faults.hpp"
+#include "sim/invariants.hpp"
 
 namespace nucalock::sim {
 
@@ -90,6 +92,39 @@ SimContext::touch_array(Ref first, std::uint32_t count, bool write)
         if (write)
             store(ref, v + 1);
     }
+}
+
+void
+SimContext::cs_wait_begin()
+{
+    if (machine_->checker_ != nullptr)
+        machine_->checker_->on_wait_begin(tid_, node_, machine_->now_);
+}
+
+void
+SimContext::cs_wait_abort()
+{
+    if (machine_->checker_ != nullptr)
+        machine_->checker_->on_wait_abort(tid_, node_, machine_->now_);
+}
+
+void
+SimContext::cs_enter()
+{
+    if (machine_->checker_ != nullptr)
+        machine_->checker_->on_enter(tid_, node_, machine_->now_);
+    if (machine_->injector_ != nullptr) {
+        const SimTime p = machine_->injector_->on_cs_enter(tid_, machine_->now_);
+        if (p != 0)
+            machine_->block_until(*this, machine_->now_ + p);
+    }
+}
+
+void
+SimContext::cs_exit()
+{
+    if (machine_->checker_ != nullptr)
+        machine_->checker_->on_exit(tid_, node_, machine_->now_);
 }
 
 // ---------------------------------------------------------------------------
@@ -197,12 +232,21 @@ SimMachine::apply_preemption(SimThread& thr, SimTime wake)
     return wake;
 }
 
+SimTime
+SimMachine::disturb_wake(SimThread& thr, SimTime wake)
+{
+    wake = apply_preemption(thr, wake);
+    if (injector_ != nullptr)
+        wake = injector_->adjust_wake(thr.tid, wake);
+    return wake;
+}
+
 void
 SimMachine::block_until(SimContext& ctx, SimTime t)
 {
     SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
     NUCA_ASSERT(thr.tid == current_tid_, "block from non-current thread");
-    thr.wake = apply_preemption(thr, t);
+    thr.wake = disturb_wake(thr, t);
     thr.state = ThreadState::Runnable;
     thr.fiber->yield();
 }
@@ -216,6 +260,7 @@ SimMachine::wait_on(SimContext& ctx, MemRef ref, std::uint64_t v)
         return; // value already changed; caller re-loads
     thr.state = ThreadState::Waiting;
     thr.wake = kTimeInfinity;
+    thr.waiting_line = ref.line;
     thr.fiber->yield();
 }
 
@@ -224,9 +269,12 @@ SimMachine::wake_watchers(MemRef ref, SimTime t)
 {
     for (int tid : memory_.take_watchers(ref)) {
         SimThread& thr = *threads_[static_cast<std::size_t>(tid)];
+        if (thr.state == ThreadState::Done)
+            continue; // died (injected fault) while spin-waiting
         NUCA_ASSERT(thr.state == ThreadState::Waiting, "woken thread not waiting");
         thr.state = ThreadState::Runnable;
-        thr.wake = apply_preemption(thr, t);
+        thr.wake = disturb_wake(thr, t);
+        thr.waiting_line = MemRef::kInvalid;
     }
 }
 
@@ -237,8 +285,70 @@ SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
     const AccessOutcome out = memory_.access(op, ctx.cpu_, now_, ref, a, b);
     if (out.wakes_watchers)
         wake_watchers(ref, out.complete);
-    block_until(ctx, out.complete);
+    SimTime resume = out.complete;
+    if (injector_ != nullptr) {
+        // Structural fault points: a swap is a queue lock's tail enqueue
+        // (the window before the node publish), a nonzero store to a node
+        // gate is an is_spinning registration. The write itself completes —
+        // watchers woke above — only the issuing thread is descheduled
+        // inside the vulnerable window.
+        const bool publish_window = op == MemOp::Swap;
+        const bool gate_closed =
+            op == MemOp::Store && a != kGateDummy && is_node_gate(ref);
+        if (publish_window || gate_closed)
+            resume += injector_->on_access(ctx.tid_, now_, publish_window,
+                                           gate_closed);
+    }
+    block_until(ctx, resume);
     return out;
+}
+
+void
+SimMachine::install_faults(FaultInjector* injector)
+{
+    NUCA_ASSERT(!running_ && !ran_, "install_faults after run()");
+    injector_ = injector;
+    if (injector_ != nullptr)
+        memory_.set_link_hook(
+            [this](SimTime t) { return injector_->link_penalty(t); });
+    else
+        memory_.set_link_hook({});
+}
+
+void
+SimMachine::install_invariants(InvariantChecker* checker)
+{
+    NUCA_ASSERT(!running_ && !ran_, "install_invariants after run()");
+    checker_ = checker;
+}
+
+bool
+SimMachine::is_node_gate(MemRef ref) const
+{
+    for (const MemRef& gate : node_gates_)
+        if (gate.valid() && gate == ref)
+            return true;
+    return false;
+}
+
+void
+SimMachine::sweep_deaths(std::size_t& done)
+{
+    for (auto& thr : threads_) {
+        if (thr->state == ThreadState::Done)
+            continue;
+        // Earliest time the thread could possibly run again: its wake time
+        // when scheduled, or "now" when blocked on a line watcher.
+        const SimTime next_run =
+            thr->state == ThreadState::Waiting ? now_ : thr->wake;
+        if (!injector_->should_die(thr->tid, next_run))
+            continue;
+        thr->state = ThreadState::Done;
+        thr->finish = next_run == kTimeInfinity ? now_ : next_run;
+        ++done;
+        if (checker_ != nullptr)
+            checker_->on_thread_death(thr->tid, now_);
+    }
 }
 
 void
@@ -250,6 +360,10 @@ SimMachine::run()
 
     std::size_t done = 0;
     while (done < threads_.size()) {
+        if (injector_ != nullptr)
+            sweep_deaths(done);
+        if (done >= threads_.size())
+            break;
         // Pick the runnable thread with the earliest wake time
         // (ties broken by thread id — determinism).
         SimThread* next = nullptr;
@@ -259,19 +373,18 @@ SimMachine::run()
             if (next == nullptr || thr->wake < next->wake)
                 next = thr.get();
         }
-        if (next == nullptr) {
-            std::ostringstream oss;
-            oss << "deadlock: no runnable thread;";
-            for (const auto& thr : threads_)
-                if (thr->state == ThreadState::Waiting)
-                    oss << " t" << thr->tid << " waiting;";
-            NUCA_PANIC(oss.str());
-        }
+        if (next == nullptr)
+            panic_with_diagnosis("deadlock: no runnable thread");
         NUCA_ASSERT(next->wake >= now_, "time went backwards");
         now_ = next->wake;
+        if (checker_ != nullptr && checker_->watchdog_expired(now_))
+            panic_with_diagnosis(
+                "progress watchdog expired: threads are waiting but no "
+                "critical-section activity for " +
+                std::to_string(checker_->config().watchdog_window_ns) + " ns");
         if (now_ > cfg_.max_sim_time)
-            NUCA_PANIC("simulated time exceeded max_sim_time (livelock?) at ",
-                       now_, " ns");
+            panic_with_diagnosis(
+                "simulated time exceeded max_sim_time (livelock?)");
 
         current_tid_ = next->tid;
         ++fiber_switches_;
@@ -287,6 +400,34 @@ SimMachine::run()
 
     running_ = false;
     ran_ = true;
+}
+
+void
+SimMachine::panic_with_diagnosis(const std::string& what) const
+{
+    std::ostringstream oss;
+    oss << what << " at t=" << now_ << " ns\n";
+    for (const auto& thr : threads_) {
+        oss << "  t" << thr->tid << " cpu=" << thr->cpu << " ";
+        switch (thr->state) {
+          case ThreadState::Runnable:
+            oss << "runnable, wake=" << thr->wake << " ns";
+            break;
+          case ThreadState::Waiting:
+            oss << "waiting on line " << thr->waiting_line;
+            break;
+          case ThreadState::Done:
+            oss << "done at " << thr->finish << " ns";
+            break;
+        }
+        oss << "\n";
+    }
+    if (checker_ != nullptr)
+        oss << checker_->report();
+    if (injector_ != nullptr && injector_->injected() != 0)
+        oss << "applied faults (" << injector_->injected() << "):\n"
+            << injector_->log();
+    NUCA_PANIC(oss.str());
 }
 
 void

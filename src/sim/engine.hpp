@@ -23,6 +23,8 @@
 namespace nucalock::sim {
 
 class SimMachine;
+class FaultInjector;
+class InvariantChecker;
 
 /** Engine-level configuration. */
 struct SimConfig
@@ -94,6 +96,20 @@ class SimContext
      * microbenchmarks, batched into one engine event for speed.
      */
     void touch_array(Ref first, std::uint32_t count, bool write);
+
+    /**
+     * Critical-section markers for the robustness subsystem (all no-ops
+     * unless an InvariantChecker or FaultInjector is installed; they never
+     * consume simulated time by themselves). Call cs_wait_begin() before
+     * starting an acquire, cs_enter() once the lock is held, cs_exit()
+     * before releasing. cs_enter() is also the holder-preemption injection
+     * point, so an injected holder fault deschedules the thread here.
+     */
+    void cs_wait_begin();
+    /** A bounded wait gave up (acquire_for timeout) without entering. */
+    void cs_wait_abort();
+    void cs_enter();
+    void cs_exit();
 
   private:
     friend class SimMachine;
@@ -175,6 +191,21 @@ class SimMachine
     std::uint64_t fiber_switches() const { return fiber_switches_; }
 
     /**
+     * Install a fault injector (non-owning; nullptr uninstalls). Must be
+     * set before run(). Also routes the injector's link-spike penalty into
+     * the memory system's global link.
+     */
+    void install_faults(FaultInjector* injector);
+    FaultInjector* faults() { return injector_; }
+
+    /** Install an invariant checker (non-owning; nullptr uninstalls). */
+    void install_invariants(InvariantChecker* checker);
+    InvariantChecker* invariants() { return checker_; }
+
+    /** Whether @p ref is one of the per-node is_spinning gate words. */
+    bool is_node_gate(MemRef ref) const;
+
+    /**
      * Human-readable end-of-run report: simulated time, traffic totals,
      * and per-resource utilization/queueing (gem5-style stats dump).
      */
@@ -199,6 +230,7 @@ class SimMachine
         SimTime wake = 0;
         SimTime finish = 0;
         SimTime next_preempt = kTimeInfinity;
+        std::uint32_t waiting_line = MemRef::kInvalid; // diagnostics only
         std::function<void(SimContext&)> body;
         SimContext ctx;
     };
@@ -219,6 +251,19 @@ class SimMachine
     /** Apply preemption injection to a wake time. */
     SimTime apply_preemption(SimThread& thr, SimTime wake);
 
+    /** Apply configured preemption plus injected stalls to a wake time. */
+    SimTime disturb_wake(SimThread& thr, SimTime wake);
+
+    /** Retire threads whose injected death time has arrived. */
+    void sweep_deaths(std::size_t& done);
+
+    /**
+     * Abort with a full diagnosis: per-thread scheduler state, the invariant
+     * checker's report (holder, waits, recent CS events) and the applied
+     * fault log — instead of a bare one-line panic.
+     */
+    [[noreturn]] void panic_with_diagnosis(const std::string& what) const;
+
     SimThread& current();
 
     Topology topo_;
@@ -233,6 +278,8 @@ class SimMachine
     bool running_ = false;
     bool ran_ = false;
     std::uint64_t fiber_switches_ = 0;
+    FaultInjector* injector_ = nullptr;   // non-owning
+    InvariantChecker* checker_ = nullptr; // non-owning
 };
 
 /** Value of an idle is_spinning gate (the paper's "dummy value"). */

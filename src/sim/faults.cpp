@@ -1,0 +1,302 @@
+#include "sim/faults.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace nucalock::sim {
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::HolderPreempt: return "holder";
+      case FaultKind::PublishPreempt: return "publish";
+      case FaultKind::SpinnerPreempt: return "spinner";
+      case FaultKind::LinkSpike: return "spike";
+      case FaultKind::ThreadStall: return "stall";
+      case FaultKind::ThreadDeath: return "death";
+    }
+    NUCA_PANIC("unknown FaultKind");
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+FaultPlan
+FaultPlan::none()
+{
+    return FaultPlan{};
+}
+
+namespace {
+
+FaultPlan
+one_event(std::string name, FaultEvent event)
+{
+    FaultPlan plan;
+    plan.name = std::move(name);
+    plan.events.push_back(event);
+    return plan;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::holder_preempt(SimTime duration, std::uint64_t every, SimTime from,
+                          int tid)
+{
+    return one_event("holder", FaultEvent{FaultKind::HolderPreempt, tid, from,
+                                          duration, every, 0});
+}
+
+FaultPlan
+FaultPlan::publish_preempt(SimTime duration, std::uint64_t every, SimTime from,
+                           int tid)
+{
+    return one_event("publish", FaultEvent{FaultKind::PublishPreempt, tid,
+                                           from, duration, every, 0});
+}
+
+FaultPlan
+FaultPlan::spinner_preempt(SimTime duration, std::uint64_t every, SimTime from,
+                           int tid)
+{
+    return one_event("spinner", FaultEvent{FaultKind::SpinnerPreempt, tid,
+                                           from, duration, every, 0});
+}
+
+FaultPlan
+FaultPlan::link_spike(SimTime from, SimTime duration, SimTime extra_ns)
+{
+    return one_event("spike", FaultEvent{FaultKind::LinkSpike, -1, from,
+                                         duration, 1, extra_ns});
+}
+
+FaultPlan
+FaultPlan::thread_stall(int tid, SimTime at, SimTime duration)
+{
+    return one_event("stall",
+                     FaultEvent{FaultKind::ThreadStall, tid, at, duration, 1, 0});
+}
+
+FaultPlan
+FaultPlan::thread_death(int tid, SimTime at)
+{
+    return one_event("death",
+                     FaultEvent{FaultKind::ThreadDeath, tid, at, 0, 1, 0});
+}
+
+FaultPlan&
+FaultPlan::operator+=(const FaultPlan& other)
+{
+    if (empty())
+        name = other.name;
+    else if (!other.empty())
+        name += "+" + other.name;
+    events.insert(events.end(), other.events.begin(), other.events.end());
+    return *this;
+}
+
+std::optional<FaultPlan>
+FaultPlan::parse(std::string_view spec, std::uint64_t seed, int threads)
+{
+    NUCA_ASSERT(threads > 0, "threads=", threads);
+    // All derived parameters come from one SplitMix64 stream keyed on the
+    // seed only, so the same (spec, seed, threads) triple always expands to
+    // the same plan regardless of preset order or repetition.
+    SplitMix64 rng(seed ^ 0xfa0175eedULL);
+    const auto pick_tid = [&] {
+        return static_cast<int>(rng.next() % static_cast<std::uint64_t>(threads));
+    };
+
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t plus = spec.find('+', pos);
+        const std::string_view part =
+            spec.substr(pos, plus == std::string_view::npos ? spec.size() - pos
+                                                            : plus - pos);
+        pos = plus == std::string_view::npos ? spec.size() + 1 : plus + 1;
+        if (part.empty() || part == "none") {
+            continue;
+        } else if (part == "holder") {
+            plan += holder_preempt(2'000'000, 7, 0);
+        } else if (part == "publish") {
+            plan += publish_preempt(2'000'000, 5, 0);
+        } else if (part == "spinner") {
+            plan += spinner_preempt(2'000'000, 3, 0);
+        } else if (part == "spike") {
+            const SimTime from = 200'000 + rng.next() % 800'000;
+            plan += link_spike(from, 5'000'000, 2'000);
+        } else if (part == "stall") {
+            const int tid = pick_tid();
+            const SimTime at = 100'000 + rng.next() % 900'000;
+            plan += thread_stall(tid, at, 8'000'000);
+        } else if (part == "death") {
+            const int tid = pick_tid();
+            const SimTime at = 100'000 + rng.next() % 900'000;
+            plan += thread_death(tid, at);
+        } else if (part == "chaos") {
+            plan += holder_preempt(1'000'000, 11, 0);
+            plan += publish_preempt(1'000'000, 13, 0);
+            plan += spinner_preempt(1'000'000, 7, 0);
+            plan += link_spike(rng.next() % 1'000'000, 4'000'000, 1'500);
+            plan += thread_stall(pick_tid(), rng.next() % 1'000'000,
+                                 4'000'000);
+            plan.name = "chaos";
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (plan.empty())
+        plan.name = "none";
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream oss;
+    oss << "plan " << name << " (" << events.size() << " events)";
+    for (const FaultEvent& e : events) {
+        oss << "\n  " << fault_kind_name(e.kind) << " tid=" << e.tid
+            << " at=" << e.at << "ns dur=" << e.duration << "ns";
+        if (e.kind == FaultKind::HolderPreempt ||
+            e.kind == FaultKind::PublishPreempt ||
+            e.kind == FaultKind::SpinnerPreempt)
+            oss << " every=" << e.every;
+        if (e.kind == FaultKind::LinkSpike)
+            oss << " extra=" << e.extra_link_ns << "ns";
+    }
+    return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), state_(plan_.events.size())
+{
+}
+
+void
+FaultInjector::record(SimTime now, const char* what, int tid, SimTime duration)
+{
+    ++injected_;
+    std::ostringstream oss;
+    oss << "t=" << now << " " << what << " tid=" << tid << " dur=" << duration
+        << "\n";
+    log_ += oss.str();
+}
+
+SimTime
+FaultInjector::structural_penalty(FaultKind kind, int tid, SimTime now,
+                                  const char* what)
+{
+    SimTime penalty = 0;
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent& e = plan_.events[i];
+        if (e.kind != kind || e.every == 0 || now < e.at)
+            continue;
+        if (e.tid != -1 && e.tid != tid)
+            continue;
+        EventState& s = state_[i];
+        if (++s.triggers % e.every != 0)
+            continue;
+        record(now, what, tid, e.duration);
+        penalty += e.duration;
+    }
+    return penalty;
+}
+
+SimTime
+FaultInjector::on_cs_enter(int tid, SimTime now)
+{
+    return structural_penalty(FaultKind::HolderPreempt, tid, now,
+                              "holder-preempt");
+}
+
+SimTime
+FaultInjector::on_access(int tid, SimTime now, bool publish_window,
+                         bool gate_closed)
+{
+    SimTime penalty = 0;
+    if (publish_window)
+        penalty += structural_penalty(FaultKind::PublishPreempt, tid, now,
+                                      "publish-preempt");
+    if (gate_closed)
+        penalty += structural_penalty(FaultKind::SpinnerPreempt, tid, now,
+                                      "spinner-preempt");
+    return penalty;
+}
+
+SimTime
+FaultInjector::adjust_wake(int tid, SimTime wake)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent& e = plan_.events[i];
+        if (e.kind != FaultKind::ThreadStall)
+            continue;
+        if (e.tid != -1 && e.tid != tid)
+            continue;
+        EventState& s = state_[i];
+        if (s.fired || wake < e.at)
+            continue;
+        // Per-thread one-shot only when targeted; an "everyone" stall uses
+        // the trigger counter as a bitmap of already-stalled threads.
+        if (e.tid == -1) {
+            const std::uint64_t bit = std::uint64_t{1}
+                                      << (static_cast<unsigned>(tid) % 64);
+            if (s.triggers & bit)
+                continue;
+            s.triggers |= bit;
+        } else {
+            s.fired = true;
+        }
+        record(wake, "stall", tid, e.duration);
+        wake += e.duration;
+    }
+    return wake;
+}
+
+bool
+FaultInjector::should_die(int tid, SimTime next_run)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent& e = plan_.events[i];
+        if (e.kind != FaultKind::ThreadDeath || e.tid != tid)
+            continue;
+        EventState& s = state_[i];
+        if (s.fired || next_run < e.at)
+            continue;
+        s.fired = true;
+        record(next_run, "death", tid, 0);
+        return true;
+    }
+    return false;
+}
+
+SimTime
+FaultInjector::link_penalty(SimTime now)
+{
+    SimTime extra = 0;
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent& e = plan_.events[i];
+        if (e.kind != FaultKind::LinkSpike)
+            continue;
+        if (now >= e.at && now < e.at + e.duration) {
+            extra += e.extra_link_ns;
+            if (!state_[i].fired) {
+                state_[i].fired = true;
+                record(now, "spike", -1, e.duration);
+            }
+        }
+    }
+    return extra;
+}
+
+} // namespace nucalock::sim

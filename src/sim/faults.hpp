@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Deterministic fault injection for the NUCA simulator.
+ *
+ * A FaultPlan is pure data: a list of FaultEvents, each describing one
+ * adversarial disturbance (who, when, how long, how often). A FaultInjector
+ * executes a plan against a SimMachine through narrow hooks the engine
+ * calls at structural points of lock execution:
+ *
+ *  - HolderPreempt:  deschedule a thread right as it enters the critical
+ *    section — the Table 4 pathology, but aimed exactly at the holder
+ *    instead of falling uniformly at random.
+ *  - PublishPreempt: deschedule a thread right after a swap on a lock word,
+ *    i.e. inside the window between a queue lock's tail swap and the
+ *    store that publishes its queue node (MCS's "timely linking" window).
+ *  - SpinnerPreempt: deschedule a thread right after it closes a node's
+ *    is_spinning gate — the HBO_GT/SD node winner is knocked out while the
+ *    whole node is parked behind its gate.
+ *  - LinkSpike:      add fixed latency to every global-link transaction
+ *    inside a time window (congestion / link fault).
+ *  - ThreadStall:    freeze one thread (or all) for a duration starting at
+ *    a given time (multiprogramming, page fault, SMI).
+ *  - ThreadDeath:    a thread never runs again past a given time; if it
+ *    held a lock, the lock is abandoned and survivors must recover through
+ *    try_acquire / acquire_for.
+ *
+ * Everything is deterministic: the same plan against the same machine and
+ * seed produces a byte-identical applied-fault log (see log()), which the
+ * fault-injection tests assert.
+ */
+#ifndef NUCALOCK_SIM_FAULTS_HPP
+#define NUCALOCK_SIM_FAULTS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+/** Kinds of injectable faults (see the file comment for semantics). */
+enum class FaultKind
+{
+    HolderPreempt,
+    PublishPreempt,
+    SpinnerPreempt,
+    LinkSpike,
+    ThreadStall,
+    ThreadDeath,
+};
+
+/** Printable name ("holder", "publish", ...), matching the CLI spec. */
+const char* fault_kind_name(FaultKind kind);
+
+/** One scheduled disturbance. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::HolderPreempt;
+    /** Victim thread id, or -1 for "any thread". */
+    int tid = -1;
+    /** Earliest simulated time (ns) at which the fault may fire. */
+    SimTime at = 0;
+    /** Deschedule/stall/spike length in ns (unused for ThreadDeath). */
+    SimTime duration = 0;
+    /**
+     * Structural faults (Holder/Publish/SpinnerPreempt): fire on every
+     * Nth trigger-point hit after @ref at. 0 disables the event.
+     */
+    std::uint64_t every = 1;
+    /** LinkSpike: latency added to each global-link transaction (ns). */
+    SimTime extra_link_ns = 0;
+};
+
+/**
+ * A deterministic schedule of faults. Build one from the factories, or
+ * parse a CLI spec (see parse()).
+ */
+struct FaultPlan
+{
+    std::string name = "none";
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+    bool
+    has(FaultKind kind) const
+    {
+        for (const FaultEvent& e : events)
+            if (e.kind == kind)
+                return true;
+        return false;
+    }
+
+    /** No faults (the default). */
+    static FaultPlan none();
+    /** Preempt the holder for @p duration at every @p every CS entry. */
+    static FaultPlan holder_preempt(SimTime duration, std::uint64_t every,
+                                    SimTime from = 0, int tid = -1);
+    /** Preempt after every @p every lock-word swap (queue publish window). */
+    static FaultPlan publish_preempt(SimTime duration, std::uint64_t every,
+                                     SimTime from = 0, int tid = -1);
+    /** Preempt after every @p every is_spinning gate registration. */
+    static FaultPlan spinner_preempt(SimTime duration, std::uint64_t every,
+                                     SimTime from = 0, int tid = -1);
+    /** Add @p extra_ns to global-link transactions in [from, from+duration). */
+    static FaultPlan link_spike(SimTime from, SimTime duration,
+                                SimTime extra_ns);
+    /** Freeze @p tid (-1: everyone) for @p duration at @p at. */
+    static FaultPlan thread_stall(int tid, SimTime at, SimTime duration);
+    /** Kill @p tid at its first scheduling point at or after @p at. */
+    static FaultPlan thread_death(int tid, SimTime at);
+
+    /** Concatenate another plan's events (builds combined plans). */
+    FaultPlan& operator+=(const FaultPlan& other);
+
+    /**
+     * Parse a CLI spec: '+'-separated preset names out of {none, holder,
+     * publish, spinner, spike, stall, death, chaos}. Event parameters
+     * (victims, times, durations) are derived deterministically from
+     * @p seed and @p threads, so the same spec/seed/thread-count always
+     * yields the same plan. Returns nullopt on an unknown name.
+     */
+    static std::optional<FaultPlan> parse(std::string_view spec,
+                                          std::uint64_t seed, int threads);
+
+    /** Human-readable one-line-per-event description. */
+    std::string describe() const;
+};
+
+/**
+ * Executes a FaultPlan. Install on a SimMachine with
+ * machine.install_faults(&injector) before run(); the engine then consults
+ * the hooks below. All hook decisions depend only on the plan and the
+ * deterministic simulation state, and every applied fault is appended to
+ * log() — so identical runs produce identical logs.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan);
+
+    const FaultPlan& plan() const { return plan_; }
+
+    // ----- hooks called by SimMachine / SimMemory ------------------------
+
+    /** CS entry by @p tid: extra deschedule time for the holder (0 = none). */
+    SimTime on_cs_enter(int tid, SimTime now);
+
+    /**
+     * Post-access classification hook. @p publish_window is true for a
+     * swap (queue-lock enqueue); @p gate_closed is true for a store that
+     * closes an is_spinning gate. Returns extra deschedule time.
+     */
+    SimTime on_access(int tid, SimTime now, bool publish_window,
+                      bool gate_closed);
+
+    /** Adjust a computed wake time for pending ThreadStall events. */
+    SimTime adjust_wake(int tid, SimTime wake);
+
+    /**
+     * True when @p tid must die instead of running again.
+     * @p next_run is the earliest time it could possibly run next.
+     */
+    bool should_die(int tid, SimTime next_run);
+
+    /**
+     * Extra global-link latency at time @p now (LinkSpike windows). Each
+     * spike counts as one injected fault the first time a transaction
+     * actually pays it, not once per slowed transaction.
+     */
+    SimTime link_penalty(SimTime now);
+
+    // ----- results -------------------------------------------------------
+
+    /** Number of faults actually applied. */
+    std::uint64_t injected() const { return injected_; }
+
+    /** One line per applied fault, in application order (determinism). */
+    const std::string& log() const { return log_; }
+
+  private:
+    struct EventState
+    {
+        std::uint64_t triggers = 0; // structural trigger points seen
+        bool fired = false;         // one-shot events (stall, death)
+    };
+
+    SimTime structural_penalty(FaultKind kind, int tid, SimTime now,
+                               const char* what);
+    void record(SimTime now, const char* what, int tid, SimTime duration);
+
+    FaultPlan plan_;
+    std::vector<EventState> state_;
+    std::uint64_t injected_ = 0;
+    std::string log_;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_FAULTS_HPP

@@ -1,0 +1,263 @@
+#include "sim/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nucalock::sim {
+
+InvariantChecker::InvariantChecker(InvariantConfig cfg) : cfg_(cfg)
+{
+    ring_.reserve(cfg_.trace_ring_capacity);
+}
+
+InvariantChecker::ThreadState&
+InvariantChecker::state_of(int tid)
+{
+    NUCA_ASSERT(tid >= 0, "tid=", tid);
+    if (static_cast<std::size_t>(tid) >= threads_.size())
+        threads_.resize(static_cast<std::size_t>(tid) + 1);
+    return threads_[static_cast<std::size_t>(tid)];
+}
+
+void
+InvariantChecker::push_event(SimTime at, int tid, int node, CsEventKind kind)
+{
+    if (cfg_.trace_ring_capacity == 0)
+        return;
+    if (ring_.size() < cfg_.trace_ring_capacity) {
+        ring_.push_back(CsEvent{at, tid, node, kind});
+    } else {
+        ring_[ring_next_] = CsEvent{at, tid, node, kind};
+        ring_next_ = (ring_next_ + 1) % cfg_.trace_ring_capacity;
+    }
+}
+
+void
+InvariantChecker::violation(SimTime now, const std::string& what)
+{
+    ++me_violations_;
+    if (violation_log_.size() < 16) {
+        std::ostringstream oss;
+        oss << "t=" << now << ": " << what;
+        violation_log_.push_back(oss.str());
+    }
+    if (cfg_.panic_on_violation)
+        NUCA_PANIC("invariant violation: ", violation_log_.back());
+}
+
+void
+InvariantChecker::on_wait_begin(int tid, int node, SimTime now)
+{
+    ThreadState& t = state_of(tid);
+    t.node = node;
+    if (!t.waiting) {
+        t.waiting = true;
+        t.wait_since = now;
+        t.bypasses = 0;
+        ++waiting_count_;
+    }
+    last_activity_ = now;
+    armed_ = true;
+    push_event(now, tid, node, CsEventKind::WaitBegin);
+}
+
+void
+InvariantChecker::on_wait_abort(int tid, int node, SimTime now)
+{
+    ThreadState& t = state_of(tid);
+    if (t.waiting) {
+        t.waiting = false;
+        --waiting_count_;
+    }
+    last_activity_ = now;
+    push_event(now, tid, node, CsEventKind::WaitAbort);
+}
+
+void
+InvariantChecker::on_enter(int tid, int node, SimTime now)
+{
+    ThreadState& t = state_of(tid);
+    t.node = node;
+
+    if (!holders_.empty()) {
+        std::ostringstream oss;
+        oss << "mutual exclusion violated: t" << tid
+            << " entered the critical section while held by";
+        for (int h : holders_)
+            oss << " t" << h;
+        violation(now, oss.str());
+    }
+    holders_.push_back(tid);
+
+    // Everyone still waiting was bypassed by this acquisition.
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        ThreadState& w = threads_[i];
+        if (static_cast<int>(i) == tid || !w.waiting)
+            continue;
+        ++w.bypasses;
+        w.max_bypasses = std::max(w.max_bypasses, w.bypasses);
+        if (cfg_.fairness_window != 0 && w.bypasses == cfg_.fairness_window + 1)
+            ++fairness_violations_;
+    }
+
+    // Same-node handover streak, counted only while a thread of another
+    // node is waiting (an uncontested phase is not unfair).
+    bool remote_waiter = false;
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        if (threads_[i].waiting && static_cast<int>(i) != tid &&
+            threads_[i].node != node)
+            remote_waiter = true;
+    if (node == last_holder_node_ && remote_waiter)
+        ++node_streak_;
+    else
+        node_streak_ = 1;
+    max_node_streak_ = std::max(max_node_streak_, node_streak_);
+    last_holder_node_ = node;
+
+    if (t.waiting) {
+        t.waiting = false;
+        --waiting_count_;
+    }
+    t.in_cs = true;
+    ++t.acquisitions;
+    ++acquisitions_;
+    last_activity_ = now;
+    armed_ = true;
+    push_event(now, tid, node, CsEventKind::Enter);
+}
+
+void
+InvariantChecker::on_exit(int tid, int node, SimTime now)
+{
+    ThreadState& t = state_of(tid);
+    const auto it = std::find(holders_.begin(), holders_.end(), tid);
+    if (it == holders_.end()) {
+        std::ostringstream oss;
+        oss << "t" << tid << " exited a critical section it never entered";
+        violation(now, oss.str());
+    } else {
+        holders_.erase(it);
+    }
+    t.in_cs = false;
+    last_activity_ = now;
+    push_event(now, tid, node, CsEventKind::Exit);
+}
+
+void
+InvariantChecker::on_thread_death(int tid, SimTime now)
+{
+    ThreadState& t = state_of(tid);
+    t.dead = true;
+    if (t.waiting) {
+        t.waiting = false;
+        --waiting_count_;
+    }
+    push_event(now, tid, t.node, CsEventKind::Died);
+    // A dead holder stays in holders_ on purpose: report() names it as the
+    // abandonment diagnosis, and survivors entering the CS would be real
+    // mutual-exclusion violations unless they recovered the lock first.
+}
+
+bool
+InvariantChecker::watchdog_expired(SimTime now) const
+{
+    return cfg_.watchdog_window_ns != 0 && armed_ && waiting_count_ > 0 &&
+           now > last_activity_ &&
+           now - last_activity_ > cfg_.watchdog_window_ns;
+}
+
+int
+InvariantChecker::current_holder() const
+{
+    return holders_.empty() ? -1 : holders_.front();
+}
+
+std::uint64_t
+InvariantChecker::max_bypasses(int tid) const
+{
+    if (tid < 0 || static_cast<std::size_t>(tid) >= threads_.size())
+        return 0;
+    const ThreadState& t = threads_[static_cast<std::size_t>(tid)];
+    return std::max(t.max_bypasses, t.bypasses);
+}
+
+std::uint64_t
+InvariantChecker::max_bypasses() const
+{
+    std::uint64_t worst = 0;
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        worst = std::max(worst, max_bypasses(static_cast<int>(i)));
+    return worst;
+}
+
+namespace {
+
+const char*
+cs_event_name(CsEventKind kind)
+{
+    switch (kind) {
+      case CsEventKind::WaitBegin: return "wait";
+      case CsEventKind::WaitAbort: return "abort";
+      case CsEventKind::Enter: return "enter";
+      case CsEventKind::Exit: return "exit";
+      case CsEventKind::Died: return "died";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+InvariantChecker::dump(std::ostream& os) const
+{
+    os << "invariant checker: " << acquisitions_ << " acquisitions, "
+       << me_violations_ << " mutual-exclusion violations, "
+       << fairness_violations_ << " fairness violations, max node streak "
+       << max_node_streak_ << ", max bypasses " << max_bypasses() << "\n";
+    if (holders_.empty()) {
+        os << "  critical section: free\n";
+    } else {
+        os << "  critical section held by:";
+        for (int h : holders_) {
+            os << " t" << h;
+            if (static_cast<std::size_t>(h) < threads_.size() &&
+                threads_[static_cast<std::size_t>(h)].dead)
+                os << " (DEAD - lock abandoned)";
+        }
+        os << "\n";
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        const ThreadState& t = threads_[i];
+        os << "  t" << i << " node=" << t.node << " acqs=" << t.acquisitions
+           << (t.dead ? " dead" : t.in_cs ? " in-cs" : t.waiting ? " waiting"
+                                                                 : " running");
+        if (t.waiting)
+            os << " since=" << t.wait_since << "ns bypassed=" << t.bypasses;
+        os << "\n";
+    }
+    for (const std::string& v : violation_log_)
+        os << "  violation: " << v << "\n";
+    if (!ring_.empty()) {
+        os << "  last " << ring_.size() << " CS events:\n";
+        // The ring starts at ring_next_ when full, at 0 while filling.
+        const std::size_t n = ring_.size();
+        const std::size_t start = n < cfg_.trace_ring_capacity ? 0 : ring_next_;
+        for (std::size_t i = 0; i < n; ++i) {
+            const CsEvent& e = ring_[(start + i) % n];
+            os << "    t=" << e.at << " t" << e.tid << " node=" << e.node
+               << " " << cs_event_name(e.kind) << "\n";
+        }
+    }
+}
+
+std::string
+InvariantChecker::report() const
+{
+    std::ostringstream oss;
+    dump(oss);
+    return oss.str();
+}
+
+} // namespace nucalock::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Online invariant checking for simulated lock workloads.
+ *
+ * An InvariantChecker installed on a SimMachine receives critical-section
+ * markers (SimContext::cs_wait_begin / cs_enter / cs_exit) and thread-death
+ * notifications, and maintains three enforced properties:
+ *
+ *  - Mutual exclusion: a cs_enter while another thread is inside the
+ *    critical section is recorded as a violation (and optionally panics).
+ *  - Progress: a watchdog fires when no CS activity happens for a
+ *    configurable window while threads are waiting — the engine then dumps
+ *    a bounded ring of recent CS events plus per-thread state instead of
+ *    the old bare "max_sim_time exceeded" panic.
+ *  - Bounded starvation: per-thread bypass counts (how many times other
+ *    threads entered the CS while this thread was waiting) and same-node
+ *    handover streaks quantify fairness, so HBO_GT_SD's starvation bound
+ *    is an assertion, not an assumption.
+ *
+ * The checker is passive bookkeeping: it adds no simulated time and does
+ * not perturb lock behavior, so instrumented runs remain byte-identical to
+ * uninstrumented ones.
+ */
+#ifndef NUCALOCK_SIM_INVARIANTS_HPP
+#define NUCALOCK_SIM_INVARIANTS_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+/** Checker configuration. */
+struct InvariantConfig
+{
+    /**
+     * Progress watchdog: fire when no CS marker arrives for this long
+     * (simulated ns) while at least one thread waits. 0 disables.
+     */
+    SimTime watchdog_window_ns = 0;
+
+    /** Bounded ring of recent CS events kept for diagnostics. */
+    std::size_t trace_ring_capacity = 256;
+
+    /** Panic immediately on a mutual-exclusion violation (tests prefer
+     *  collecting and asserting). */
+    bool panic_on_violation = false;
+
+    /**
+     * Fairness window: a thread bypassed more than this many times during
+     * one wait counts as a fairness violation. 0 = record only.
+     */
+    std::uint64_t fairness_window = 0;
+};
+
+/** Kinds of recorded CS events. */
+enum class CsEventKind
+{
+    WaitBegin,
+    WaitAbort,
+    Enter,
+    Exit,
+    Died,
+};
+
+/** One entry of the diagnostic trace ring. */
+struct CsEvent
+{
+    SimTime at = 0;
+    int tid = -1;
+    int node = -1;
+    CsEventKind kind = CsEventKind::Enter;
+};
+
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(InvariantConfig cfg = InvariantConfig{});
+
+    const InvariantConfig& config() const { return cfg_; }
+
+    // ----- hooks (called by the engine via SimContext markers) -----------
+
+    void on_wait_begin(int tid, int node, SimTime now);
+    void on_wait_abort(int tid, int node, SimTime now);
+    void on_enter(int tid, int node, SimTime now);
+    void on_exit(int tid, int node, SimTime now);
+    void on_thread_death(int tid, SimTime now);
+
+    /** Engine scheduler: should the progress watchdog fire at @p now? */
+    bool watchdog_expired(SimTime now) const;
+
+    // ----- results -------------------------------------------------------
+
+    /** Total successful CS entries. */
+    std::uint64_t acquisitions() const { return acquisitions_; }
+
+    /** Mutual-exclusion violations seen (0 is the only acceptable value). */
+    std::uint64_t mutual_exclusion_violations() const { return me_violations_; }
+
+    /** Bounded list of violation descriptions (first few only). */
+    const std::vector<std::string>& violations() const { return violation_log_; }
+
+    /** Thread currently inside the CS, or -1. */
+    int current_holder() const;
+
+    /** Worst bypass count any single wait of @p tid experienced. */
+    std::uint64_t max_bypasses(int tid) const;
+    /** Worst bypass count over all threads. */
+    std::uint64_t max_bypasses() const;
+
+    /** Number of waits that exceeded the fairness window. */
+    std::uint64_t fairness_violations() const { return fairness_violations_; }
+
+    /** Longest run of consecutive same-node acquisitions made while a
+     *  thread of another node was waiting. */
+    std::uint64_t max_node_streak() const { return max_node_streak_; }
+
+    /** Threads currently marked waiting. */
+    int waiting_count() const { return waiting_count_; }
+
+    /**
+     * Diagnosis: current holder, per-thread wait/bypass state, and the
+     * last trace_ring_capacity CS events. This is what the engine appends
+     * to its livelock/deadlock panic.
+     */
+    std::string report() const;
+    void dump(std::ostream& os) const;
+
+  private:
+    struct ThreadState
+    {
+        bool waiting = false;
+        bool in_cs = false;
+        bool dead = false;
+        SimTime wait_since = 0;
+        std::uint64_t bypasses = 0;     // during the current wait
+        std::uint64_t max_bypasses = 0; // worst wait ever
+        std::uint64_t acquisitions = 0;
+        int node = -1;
+    };
+
+    ThreadState& state_of(int tid);
+    void push_event(SimTime at, int tid, int node, CsEventKind kind);
+    void violation(SimTime now, const std::string& what);
+
+    InvariantConfig cfg_;
+    std::vector<ThreadState> threads_;
+    std::vector<CsEvent> ring_;
+    std::size_t ring_next_ = 0;
+    std::vector<int> holders_; // tids inside the CS (size > 1 = violation)
+    std::uint64_t acquisitions_ = 0;
+    std::uint64_t me_violations_ = 0;
+    std::uint64_t fairness_violations_ = 0;
+    std::vector<std::string> violation_log_;
+    int waiting_count_ = 0;
+    int last_holder_node_ = -1;
+    std::uint64_t node_streak_ = 0;
+    std::uint64_t max_node_streak_ = 0;
+    SimTime last_activity_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_INVARIANTS_HPP

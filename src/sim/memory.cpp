@@ -91,7 +91,10 @@ SimMemory::route(SimTime t, int from_node, int to_node)
 {
     t = node_bus(from_node).serve(t, lat_.node_bus_occupancy);
     if (from_node != to_node) {
-        t = global_link_.serve(t, lat_.global_link_occupancy);
+        // A fault-injected link spike lengthens the service time, so the
+        // spike also queues every later transaction behind it (congestion).
+        const SimTime extra = link_hook_ ? link_hook_(t) : 0;
+        t = global_link_.serve(t, lat_.global_link_occupancy + extra);
         t = node_bus(to_node).serve(t, lat_.node_bus_occupancy);
     }
     return t;

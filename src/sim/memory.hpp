@@ -125,6 +125,17 @@ class SimMemory
         trace_hook_ = std::move(hook);
     }
 
+    /**
+     * Install a global-link latency hook (fault injection): called with the
+     * transaction start time, returns extra service time (ns) added to that
+     * global-link crossing. Pass an empty function to disable.
+     */
+    void
+    set_link_hook(std::function<SimTime(SimTime)> hook)
+    {
+        link_hook_ = std::move(hook);
+    }
+
     const TrafficStats& traffic() const { return traffic_; }
 
     Resource& node_bus(int node);
@@ -172,6 +183,7 @@ class SimMemory
     TrafficStats traffic_;
     std::uint64_t accesses_ = 0;
     std::function<void(const struct TraceEvent&)> trace_hook_;
+    std::function<SimTime(SimTime)> link_hook_;
 };
 
 } // namespace nucalock::sim

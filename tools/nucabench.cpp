@@ -50,9 +50,15 @@ int
 run_contended(const CliOptions& opts)
 {
     const Topology topo = Topology::symmetric(opts.nodes, opts.cpus_per_node);
+    const bool faulty = !opts.faults.empty();
     std::vector<std::string> headers = {"Lock",          "ns/acquire",
                                         "handoff ratio", "local tx",
                                         "global tx",     "fairness %"};
+    if (faulty) {
+        headers.push_back("faults");
+        headers.push_back("mutex viol");
+        headers.push_back("timeouts");
+    }
     stats::Table table(headers);
     std::unique_ptr<stats::CsvWriter> csv;
     if (opts.csv)
@@ -70,6 +76,11 @@ run_contended(const CliOptions& opts)
             config.iterations_per_thread = opts.iterations;
             config.seed = opts.seed;
             config.preemption = opts.preemption;
+            if (faulty) {
+                // Spec already validated by parse_cli.
+                config.fault_plan = *sim::FaultPlan::parse(
+                    opts.faults, opts.seed, opts.threads);
+            }
             r = run_newbench(kind, config);
         } else {
             TraditionalConfig config;
@@ -87,15 +98,23 @@ run_contended(const CliOptions& opts)
                 .cell(r.traffic.local_tx)
                 .cell(r.traffic.global_tx)
                 .cell(r.fairness_spread_pct);
+            if (faulty)
+                csv->cell(r.faults_injected)
+                    .cell(r.mutex_violations)
+                    .cell(r.lock_timeouts);
             csv->end_row();
         } else {
-            table.row()
-                .cell(lock_name(kind))
-                .cell(r.avg_iteration_ns, 0)
-                .cell(r.node_handoff_ratio, 3)
-                .cell(r.traffic.local_tx)
-                .cell(r.traffic.global_tx)
-                .cell(r.fairness_spread_pct, 1);
+            auto& row = table.row()
+                            .cell(lock_name(kind))
+                            .cell(r.avg_iteration_ns, 0)
+                            .cell(r.node_handoff_ratio, 3)
+                            .cell(r.traffic.local_tx)
+                            .cell(r.traffic.global_tx)
+                            .cell(r.fairness_spread_pct, 1);
+            if (faulty)
+                row.cell(r.faults_injected)
+                    .cell(r.mutex_violations)
+                    .cell(r.lock_timeouts);
         }
     }
     if (!csv)
