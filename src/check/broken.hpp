@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deliberately broken lock variants — seeded bugs the checker must catch.
+ *
+ * These exist to validate the checker, not the locks: a systematic
+ * concurrency checker that has never caught a planted bug proves nothing.
+ * They are kept out of LockKind so no benchmark or harness can pick one up
+ * by accident; nucacheck exposes BrokenTatasLock as "TATAS_BROKEN" only
+ * when built with NUCALOCK_BROKEN_LOCKS=ON (the default for developer and
+ * CI builds).
+ */
+#ifndef NUCALOCK_CHECK_BROKEN_HPP
+#define NUCALOCK_CHECK_BROKEN_HPP
+
+#include "locks/context.hpp"
+#include "locks/params.hpp"
+
+namespace nucalock::check {
+
+/** Trace/CLI name of BrokenTatasLock (deliberately not a LockKind). */
+inline constexpr const char* kBrokenTatasName = "TATAS_BROKEN";
+
+/**
+ * TATAS with the classic test-THEN-set race: acquire checks the word with a
+ * plain load and claims it with a plain store instead of an atomic tas.
+ * Two threads that both observe 0 before either stores both enter the
+ * critical section. The window is exactly two scheduling decisions wide
+ * (interleave a load between another thread's load and store), so bounded
+ * exhaustive search finds it with a preemption bound of 1 and PCT with
+ * depth 2, and the minimized repro stays a handful of decisions long.
+ */
+template <locks::LockContext Ctx>
+class BrokenTatasLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "TATAS_BROKEN";
+
+    explicit BrokenTatasLock(Machine& machine,
+                             const locks::LockParams& = locks::LockParams{},
+                             int home_node = 0)
+        : word_(machine.alloc(0, home_node))
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        while (true) {
+            if (ctx.load(word_) == 0) {
+                ctx.store(word_, 1); // BUG: load+store is not atomic
+                return;
+            }
+            ctx.spin_while_equal(word_, 1);
+        }
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        if (ctx.load(word_) != 0)
+            return false;
+        ctx.store(word_, 1); // BUG: same non-atomic claim
+        return true;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, 0);
+    }
+
+  private:
+    Ref word_;
+};
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_BROKEN_HPP

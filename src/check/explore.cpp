@@ -1,0 +1,245 @@
+#include "check/explore.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nucalock::check {
+
+namespace {
+
+/** One schedulable thread at a DFS node, with its exploration flags. */
+struct Candidate
+{
+    int tid = -1;
+    sim::PendingOp op;
+    bool explored = false; // subtree fully explored
+    bool sleep = false;    // covered by a sibling: skip unless woken
+};
+
+/** One decision point along the current DFS path. */
+struct Node
+{
+    std::vector<Candidate> cands; // sorted by tid (engine offer order)
+    int chosen = -1;              // index into cands
+    int prev_tid = -1;            // tid executed at the parent node
+    int preemptions = 0;          // involuntary switches before this node
+};
+
+int
+find_cand(const Node& n, int tid)
+{
+    for (std::size_t i = 0; i < n.cands.size(); ++i)
+        if (n.cands[i].tid == tid)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Does picking @p idx at @p n preempt the previously running thread? */
+bool
+choice_is_preemption(const Node& n, int idx)
+{
+    const int tid = n.cands[static_cast<std::size_t>(idx)].tid;
+    if (n.prev_tid < 0 || tid == n.prev_tid)
+        return false;
+    const int prev = find_cand(n, n.prev_tid);
+    if (prev < 0)
+        return false; // previous thread blocked or finished: free switch
+    return !sim::sched_op_is_yield(
+        n.cands[static_cast<std::size_t>(prev)].op.op);
+}
+
+bool
+eligible(const Node& n, int idx, int bound)
+{
+    const Candidate& c = n.cands[static_cast<std::size_t>(idx)];
+    if (c.explored || c.sleep)
+        return false;
+    return bound < 0 ||
+           n.preemptions + (choice_is_preemption(n, idx) ? 1 : 0) <= bound;
+}
+
+/**
+ * First eligible choice in default-policy order: continue the previous
+ * thread while it has not yielded, else rotate through tids cyclically
+ * starting after it (the previous thread itself comes last). This makes
+ * the first execution of every subtree the default-policy run, so failures
+ * surface at the lowest preemption counts first.
+ */
+int
+pick_choice(const Node& n, int bound)
+{
+    const int prev = find_cand(n, n.prev_tid);
+    if (prev >= 0 &&
+        !sim::sched_op_is_yield(
+            n.cands[static_cast<std::size_t>(prev)].op.op) &&
+        eligible(n, prev, bound))
+        return prev;
+    for (std::size_t i = 0; i < n.cands.size(); ++i)
+        if (n.cands[i].tid > n.prev_tid && eligible(n, static_cast<int>(i), bound))
+            return static_cast<int>(i);
+    for (std::size_t i = 0; i < n.cands.size(); ++i)
+        if (n.cands[i].tid <= n.prev_tid && eligible(n, static_cast<int>(i), bound))
+            return static_cast<int>(i);
+    return -1;
+}
+
+/**
+ * Replays the DFS stack's chosen prefix, then extends the stack with fresh
+ * nodes (first choice per pick_choice) until the run ends or the step
+ * budget is gone. Stateless-search style: a fresh instance drives each
+ * execution; the shared stack carries the search state between them.
+ */
+class DfsScheduler final : public sim::Scheduler
+{
+  public:
+    DfsScheduler(std::vector<Node>& stack, const ExploreConfig& cfg)
+        : stack_(stack), cfg_(cfg)
+    {
+    }
+
+    int
+    pick(sim::SimTime, const std::vector<sim::SchedChoice>& runnable) override
+    {
+        if (step_ >= cfg_.max_steps) {
+            out_of_steps_ = true;
+            return sim::kStopRun;
+        }
+        if (step_ < stack_.size()) {
+            // Replay: the engine is deterministic, so the offered candidates
+            // must match what this node saw when it was created.
+            const Node& n = stack_[step_];
+            NUCA_ASSERT(n.cands.size() == runnable.size(),
+                        "DFS prefix replay diverged at step ", step_);
+            ++step_;
+            return n.cands[static_cast<std::size_t>(n.chosen)].tid;
+        }
+
+        Node n;
+        if (!stack_.empty()) {
+            const Node& p = stack_.back();
+            n.prev_tid = p.cands[static_cast<std::size_t>(p.chosen)].tid;
+            n.preemptions =
+                p.preemptions + (choice_is_preemption(p, p.chosen) ? 1 : 0);
+        }
+        n.cands.reserve(runnable.size());
+        for (const sim::SchedChoice& c : runnable)
+            n.cands.push_back(Candidate{c.tid, c.op, false, false});
+        if (!stack_.empty()) {
+            // Sleep-set inheritance: a thread sleeping (or already fully
+            // explored) at the parent stays asleep unless the operation just
+            // executed is dependent on its pending one.
+            const Node& p = stack_.back();
+            const sim::PendingOp executed =
+                p.cands[static_cast<std::size_t>(p.chosen)].op;
+            for (Candidate& c : n.cands) {
+                const int pi = find_cand(p, c.tid);
+                if (pi < 0 || pi == p.chosen)
+                    continue;
+                const Candidate& pc = p.cands[static_cast<std::size_t>(pi)];
+                if ((pc.sleep || pc.explored) &&
+                    !sim::sched_ops_dependent(pc.op, executed))
+                    c.sleep = true;
+            }
+        }
+        const int idx = pick_choice(n, cfg_.preemption_bound);
+        if (idx < 0) {
+            // Everything is asleep or over the preemption budget: this
+            // continuation is covered elsewhere (or out of bounds) — prune.
+            pruned_ = true;
+            return sim::kStopRun;
+        }
+        n.chosen = idx;
+        stack_.push_back(std::move(n));
+        ++step_;
+        const Node& back = stack_.back();
+        return back.cands[static_cast<std::size_t>(back.chosen)].tid;
+    }
+
+    bool out_of_steps() const { return out_of_steps_; }
+    bool pruned() const { return pruned_; }
+
+  private:
+    std::vector<Node>& stack_;
+    const ExploreConfig& cfg_;
+    std::size_t step_ = 0;
+    bool out_of_steps_ = false;
+    bool pruned_ = false;
+};
+
+} // namespace
+
+ExploreResult
+explore(const CheckSetup& setup, const ExploreConfig& cfg)
+{
+    ExploreResult res;
+    std::vector<Node> stack;
+    while (res.executions < cfg.max_schedules) {
+        DfsScheduler sched(stack, cfg);
+        const RunReport rep = run_one(setup, sched);
+        if (sched.pruned()) {
+            // The run added nothing beyond an already-explored prefix;
+            // do not count it as a distinct interleaving.
+            ++res.pruned;
+        } else {
+            ++res.executions;
+            if (sched.out_of_steps())
+                ++res.truncated;
+            res.max_steps_seen = std::max(res.max_steps_seen, rep.steps);
+            res.max_bypasses = std::max(res.max_bypasses, rep.max_bypasses);
+            res.max_node_streak =
+                std::max(res.max_node_streak, rep.max_node_streak);
+            if (rep.failed) {
+                ++res.failures;
+                if (res.failures == 1)
+                    res.first_failure = rep;
+                if (cfg.stop_on_failure)
+                    return res;
+            }
+        }
+
+        // Deepest-first backtrack: mark the executed choice explored and
+        // advance the deepest node that still has an eligible alternative.
+        bool advanced = false;
+        while (!stack.empty()) {
+            Node& n = stack.back();
+            n.cands[static_cast<std::size_t>(n.chosen)].explored = true;
+            const int next = pick_choice(n, cfg.preemption_bound);
+            if (next >= 0) {
+                n.chosen = next;
+                advanced = true;
+                break;
+            }
+            stack.pop_back();
+        }
+        if (!advanced) {
+            res.exhausted = true;
+            break;
+        }
+    }
+    return res;
+}
+
+std::optional<RunReport>
+find_short_failure(const CheckSetup& setup, ExploreConfig cfg,
+                   std::uint64_t start_cap)
+{
+    const std::uint64_t cap_limit = cfg.max_steps;
+    cfg.stop_on_failure = true;
+    // Short trees are cheap to exhaust; give each round a generous
+    // schedule budget so the deepening is not starved by the caller's
+    // full-search setting.
+    cfg.max_schedules = std::max<std::uint64_t>(cfg.max_schedules, 20000);
+    for (std::uint64_t cap = std::max<std::uint64_t>(start_cap, 2);
+         cap <= cap_limit; cap += std::max<std::uint64_t>(cap / 2, 2)) {
+        cfg.max_steps = cap;
+        const ExploreResult r = explore(setup, cfg);
+        if (r.failures != 0)
+            return r.first_failure;
+        if (r.exhausted && r.truncated == 0)
+            return std::nullopt; // whole space fits under the cap: no bug
+    }
+    return std::nullopt;
+}
+
+} // namespace nucalock::check

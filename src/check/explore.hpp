@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bounded exhaustive exploration: stateless DFS over scheduling choices
+ * with sleep-set pruning and a preemption bound.
+ *
+ * Each execution replays the current DFS prefix on a fresh SimMachine (the
+ * engine is deterministic, so re-execution reaches the identical state),
+ * extends it with first-unexplored choices to completion, then backtracks
+ * deepest-first. Two prunes keep the tree tractable:
+ *
+ *  - Sleep sets (Godefroid): after a choice is fully explored at a node, it
+ *    joins the node's sleep set; a sleeping thread is re-offered in child
+ *    nodes only once an executed operation is *dependent* on its pending
+ *    one (same line with a write, or both cs markers — see
+ *    sched_ops_dependent). This removes commuting permutations without
+ *    missing any distinguishable interleaving.
+ *  - Preemption bound (CHESS-style): switching away from a thread whose
+ *    pending operation is not a voluntary yield counts as a preemption, and
+ *    schedules using more than the bound are skipped. Most realistic lock
+ *    bugs need only 1-2 preemptions.
+ *
+ * Combining the two bounds is a deliberate heuristic: a sleep set may
+ * defer an interleaving to a sibling that the preemption bound then
+ * rejects, so bounded search is a bug-finder, not a proof — "exhausted"
+ * means exhausted *within the bound*.
+ */
+#ifndef NUCALOCK_CHECK_EXPLORE_HPP
+#define NUCALOCK_CHECK_EXPLORE_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "check/harness.hpp"
+
+namespace nucalock::check {
+
+struct ExploreConfig
+{
+    /** Stop after this many executions (distinct schedules). */
+    std::uint64_t max_schedules = 1000;
+
+    /** Per-execution decision budget; longer runs are truncated (recorded
+     *  as such, not as failures). */
+    std::uint64_t max_steps = 5000;
+
+    /** Maximum involuntary context switches per schedule; < 0 = unbounded. */
+    int preemption_bound = 2;
+
+    /** Return on the first failing schedule (the common CLI mode). */
+    bool stop_on_failure = true;
+};
+
+struct ExploreResult
+{
+    std::uint64_t executions = 0; // distinct schedules run
+    std::uint64_t truncated = 0;  // hit the step budget (no verdict)
+    std::uint64_t pruned = 0;     // re-runs cut short by sleep/bound pruning
+    std::uint64_t failures = 0;
+
+    /** DFS ran out of unexplored choices within the bounds. */
+    bool exhausted = false;
+
+    std::uint64_t max_steps_seen = 0;
+    std::uint64_t max_bypasses = 0;
+    std::uint64_t max_node_streak = 0;
+
+    /** Valid when failures != 0. */
+    RunReport first_failure;
+};
+
+/** Run bounded exhaustive DFS over @p setup's schedule space. */
+ExploreResult explore(const CheckSetup& setup, const ExploreConfig& cfg);
+
+/**
+ * Search for a *short* failing schedule by iterative deepening: run the
+ * bounded DFS with a step cap of start_cap, then grow the cap (~1.5x per
+ * round) up to cfg.max_steps until some capped execution fails. Because a
+ * capped run cannot get past its cap, the first failure found needs at
+ * most that many decisions — unlike plain explore(), whose deepest-first
+ * backtracking tends to surface the *latest* race first. Use after
+ * explore() reported a failure, to seed minimize_schedule with a repro
+ * that is already near-minimal. Returns nullopt when no failure shows up
+ * within cfg.max_steps (e.g. the bug needs more schedules than
+ * cfg.max_schedules allows at some cap).
+ */
+std::optional<RunReport> find_short_failure(const CheckSetup& setup,
+                                            ExploreConfig cfg,
+                                            std::uint64_t start_cap = 4);
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_EXPLORE_HPP

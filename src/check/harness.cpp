@@ -1,0 +1,163 @@
+#include "check/harness.hpp"
+
+#include <functional>
+
+#include "check/broken.hpp"
+#include "common/logging.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+
+namespace nucalock::check {
+
+using locks::AnyLock;
+using sim::SimContext;
+using sim::SimMachine;
+
+RunReport
+run_one(const CheckSetup& setup, sim::Scheduler& scheduler)
+{
+    NUCA_ASSERT(setup.nodes > 0 && setup.cpus_per_node > 0);
+    NUCA_ASSERT(setup.iterations > 0);
+
+    sim::SimConfig cfg;
+    cfg.seed = setup.seed;
+    SimMachine machine(Topology::symmetric(setup.nodes, setup.cpus_per_node),
+                       sim::LatencyModel::wildfire(), cfg);
+
+    // Either the real algorithm or the planted-bug variant, behind the same
+    // three calls the workload makes.
+    std::optional<AnyLock<SimContext>> real;
+    std::optional<BrokenTatasLock<SimContext>> broken;
+    std::function<bool(SimContext&)> acquire_ok;
+    std::function<void(SimContext&)> release;
+    if (setup.use_broken_tatas) {
+        broken.emplace(machine);
+        if (setup.bounded)
+            acquire_ok = [&](SimContext& ctx) {
+                return locks::acquire_for(*broken, ctx, setup.timeout_ns);
+            };
+        else
+            acquire_ok = [&](SimContext& ctx) {
+                broken->acquire(ctx);
+                return true;
+            };
+        release = [&](SimContext& ctx) { broken->release(ctx); };
+    } else {
+        real.emplace(machine, setup.kind);
+        if (setup.bounded)
+            acquire_ok = [&](SimContext& ctx) {
+                return real->acquire_for(ctx, setup.timeout_ns);
+            };
+        else
+            acquire_ok = [&](SimContext& ctx) {
+                real->acquire(ctx);
+                return true;
+            };
+        release = [&](SimContext& ctx) { real->release(ctx); };
+    }
+
+    sim::InvariantChecker checker;
+    machine.install_invariants(&checker);
+    RecordingScheduler recorder(scheduler);
+    machine.install_scheduler(&recorder);
+
+    const sim::MemRef counter = machine.alloc(0, 0);
+    std::uint64_t timeouts = 0;
+
+    machine.add_threads(threads_of(setup), Placement::RoundRobinNodes,
+                        [&](SimContext& ctx, int) {
+                            for (std::uint32_t i = 0; i < setup.iterations;
+                                 ++i) {
+                                ctx.cs_wait_begin();
+                                if (!acquire_ok(ctx)) {
+                                    ctx.cs_wait_abort();
+                                    ++timeouts;
+                                    continue;
+                                }
+                                ctx.cs_enter();
+                                const std::uint64_t v = ctx.load(counter);
+                                ctx.store(counter, v + 1);
+                                ctx.cs_exit();
+                                release(ctx);
+                            }
+                        });
+    machine.run();
+
+    RunReport report;
+    report.stop = machine.stop_reason();
+    report.steps = machine.sched_steps();
+    report.schedule = recorder.taken();
+    report.acquisitions = checker.acquisitions();
+    report.mutex_violations = checker.mutual_exclusion_violations();
+    report.max_bypasses = checker.max_bypasses();
+    report.max_node_streak = checker.max_node_streak();
+    report.counter = machine.memory().peek(counter);
+    report.timeouts = timeouts;
+
+    if (report.mutex_violations != 0) {
+        report.failed = true;
+        report.what = "mutual exclusion violated (" +
+                      std::to_string(report.mutex_violations) + "x): " +
+                      (checker.violations().empty()
+                           ? std::string("?")
+                           : checker.violations().front());
+    } else if (report.stop == sim::StopReason::Deadlock) {
+        report.failed = true;
+        report.what = "deadlock: every remaining thread is parked";
+    } else if (report.stop == sim::StopReason::TimeLimit) {
+        report.failed = true;
+        report.what = "livelock: simulated time limit exceeded";
+    } else if (setup.bypass_bound != 0 &&
+               checker.max_bypasses() > setup.bypass_bound) {
+        report.failed = true;
+        report.what = "starvation bound exceeded: a wait was bypassed " +
+                      std::to_string(checker.max_bypasses()) + " times (bound " +
+                      std::to_string(setup.bypass_bound) + ")";
+    } else if (report.stop == sim::StopReason::Completed &&
+               report.counter != report.acquisitions) {
+        // Belt and braces: the checker flags the double-entry itself, but a
+        // lost update on the protected counter is the user-visible symptom.
+        report.failed = true;
+        report.what = "lost update: counter=" + std::to_string(report.counter) +
+                      " after " + std::to_string(report.acquisitions) +
+                      " acquisitions";
+    }
+    return report;
+}
+
+Trace
+make_trace(const CheckSetup& setup, const Schedule& schedule)
+{
+    Trace trace;
+    trace.lock =
+        setup.use_broken_tatas ? kBrokenTatasName : locks::lock_name(setup.kind);
+    trace.nodes = setup.nodes;
+    trace.cpus_per_node = setup.cpus_per_node;
+    trace.iterations = setup.iterations;
+    trace.seed = setup.seed;
+    trace.bounded = setup.bounded;
+    trace.schedule = schedule;
+    return trace;
+}
+
+std::optional<CheckSetup>
+setup_from_trace(const Trace& trace)
+{
+    CheckSetup setup;
+    if (trace.lock == kBrokenTatasName) {
+        setup.use_broken_tatas = true;
+    } else {
+        const auto kind = locks::parse_lock_name(trace.lock);
+        if (!kind)
+            return std::nullopt;
+        setup.kind = *kind;
+    }
+    setup.nodes = trace.nodes;
+    setup.cpus_per_node = trace.cpus_per_node;
+    setup.iterations = trace.iterations;
+    setup.seed = trace.seed;
+    setup.bounded = trace.bounded;
+    return setup;
+}
+
+} // namespace nucalock::check

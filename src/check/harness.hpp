@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The checker's workload harness: one controlled run of a canonical
+ * lock-protected counter workload, reported as a verdict.
+ *
+ * Every checking strategy (exhaustive DFS, PCT, replay) drives the same
+ * workload through run_one with a different Scheduler, so a schedule
+ * recorded by one strategy replays under another. The workload is the
+ * smallest one that can witness every checked property: each thread loops
+ * `iterations` times around acquire -> read-modify-write a shared counter
+ * -> release, with cs markers feeding the InvariantChecker. A mutual
+ * exclusion bug additionally shows up as a lost counter update, deadlock
+ * and livelock show up as StopReason verdicts, and the checker's bypass /
+ * node-streak accounting bounds starvation.
+ */
+#ifndef NUCALOCK_CHECK_HARNESS_HPP
+#define NUCALOCK_CHECK_HARNESS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/schedule.hpp"
+#include "locks/any_lock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace nucalock::check {
+
+/** The machine + workload a checking run is built from. */
+struct CheckSetup
+{
+    locks::LockKind kind = locks::LockKind::Tatas;
+
+    /** Substitute BrokenTatasLock (check/broken.hpp) for the lock. */
+    bool use_broken_tatas = false;
+
+    int nodes = 2;
+    int cpus_per_node = 2;
+
+    /** Lock acquisitions per thread. */
+    std::uint32_t iterations = 2;
+
+    std::uint64_t seed = 1;
+
+    /** Use acquire_for(timeout_ns) instead of acquire: exercises the
+     *  timeout/abort paths; a timed-out iteration is skipped, not retried. */
+    bool bounded = false;
+    sim::SimTime timeout_ns = 2'000'000'000;
+
+    /**
+     * Starvation bound: fail the run when any single wait is bypassed more
+     * than this many times (HBO_GT_SD's get-angry guarantee). 0 disables.
+     */
+    std::uint64_t bypass_bound = 0;
+};
+
+inline int
+threads_of(const CheckSetup& setup)
+{
+    return setup.nodes * setup.cpus_per_node;
+}
+
+/** Verdict of one controlled run. */
+struct RunReport
+{
+    bool failed = false;
+    std::string what; // human-readable failure description
+
+    sim::StopReason stop = sim::StopReason::Completed;
+    std::uint64_t steps = 0;
+    Schedule schedule; // choices actually taken (recorded)
+
+    std::uint64_t acquisitions = 0;
+    std::uint64_t mutex_violations = 0;
+    std::uint64_t max_bypasses = 0;
+    std::uint64_t max_node_streak = 0;
+    std::uint64_t counter = 0;  // final shared-counter value
+    std::uint64_t timeouts = 0; // bounded-mode acquire_for expiries
+
+    /** Truncated by the scheduler's step budget: no verdict either way. */
+    bool
+    truncated() const
+    {
+        return stop == sim::StopReason::SchedulerStop;
+    }
+};
+
+/**
+ * Build the machine and workload described by @p setup and run it under
+ * @p scheduler (wrapped in a RecordingScheduler, so the report carries the
+ * schedule as actually taken).
+ */
+RunReport run_one(const CheckSetup& setup, sim::Scheduler& scheduler);
+
+/** Package a recorded failing schedule as a replayable trace. */
+Trace make_trace(const CheckSetup& setup, const Schedule& schedule);
+
+/** Rebuild the setup a trace describes; nullopt for an unknown lock name.
+ *  (bypass_bound and timeout_ns take their defaults: they are checker
+ *  parameters, not machine shape, and default replay re-judges everything
+ *  the trace could have failed on.) */
+std::optional<CheckSetup> setup_from_trace(const Trace& trace);
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_HARNESS_HPP

@@ -1,0 +1,119 @@
+#include "check/pct.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace nucalock::check {
+
+namespace {
+
+class PctScheduler final : public sim::Scheduler
+{
+  public:
+    PctScheduler(int num_threads, int depth, std::uint64_t max_steps,
+                 std::uint64_t est_length, Xoshiro256 rng)
+        : max_steps_(max_steps)
+    {
+        NUCA_ASSERT(num_threads > 0 && depth >= 1);
+        // Random distinct priorities depth..depth+n-1 (higher runs first);
+        // change points later reassign priorities below everything, so the
+        // initial band sits above 0.
+        priorities_.resize(static_cast<std::size_t>(num_threads));
+        for (int i = 0; i < num_threads; ++i)
+            priorities_[static_cast<std::size_t>(i)] = depth + i;
+        for (std::size_t i = priorities_.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.next_below(i));
+            std::swap(priorities_[i - 1], priorities_[j]);
+        }
+        // d-1 change points, uniform over the (estimated) run length.
+        change_points_.reserve(static_cast<std::size_t>(depth - 1));
+        for (int i = 0; i < depth - 1; ++i)
+            change_points_.push_back(1 + rng.next_below(est_length));
+        std::sort(change_points_.begin(), change_points_.end());
+    }
+
+    int
+    pick(sim::SimTime, const std::vector<sim::SchedChoice>& runnable) override
+    {
+        if (steps_ >= max_steps_)
+            return sim::kStopRun;
+        ++steps_;
+
+        const sim::SchedChoice* best = nullptr;
+        for (const sim::SchedChoice& c : runnable)
+            if (best == nullptr || priority(c.tid) > priority(best->tid))
+                best = &c;
+
+        while (next_change_ < change_points_.size() &&
+               change_points_[next_change_] <= steps_) {
+            // Priority-change point: the running thread falls below every
+            // other priority, live or already lowered.
+            ++next_change_;
+            priority(best->tid) = --low_;
+        }
+        if (best->op.op == sim::SchedOp::Delay)
+            // Backoff adaptation: a delaying thread hands the cpu over for
+            // good until the others have had their turn, else a
+            // high-priority backoff loop starves the lock holder forever.
+            priority(best->tid) = --low_;
+        return best->tid;
+    }
+
+  private:
+    std::int64_t&
+    priority(int tid)
+    {
+        return priorities_[static_cast<std::size_t>(tid)];
+    }
+
+    std::vector<std::int64_t> priorities_;
+    std::vector<std::uint64_t> change_points_;
+    std::size_t next_change_ = 0;
+    std::int64_t low_ = 0;
+    std::uint64_t max_steps_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace
+
+PctResult
+pct_check(const CheckSetup& setup, const PctConfig& cfg)
+{
+    NUCA_ASSERT(cfg.depth >= 1);
+    PctResult res;
+    std::uint64_t est_length = 0;
+    for (std::uint64_t i = 0; i < cfg.executions; ++i) {
+        RunReport rep;
+        if (i == 0) {
+            // Execution 0 is the default-policy run: a valid schedule in its
+            // own right, and it calibrates the run-length estimate the
+            // change-point draws need.
+            DefaultScheduler sched(cfg.max_steps);
+            rep = run_one(setup, sched);
+        } else {
+            Xoshiro256 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + i);
+            PctScheduler sched(threads_of(setup), cfg.depth, cfg.max_steps,
+                               std::max<std::uint64_t>(est_length, 1),
+                               std::move(rng));
+            rep = run_one(setup, sched);
+        }
+        ++res.executions;
+        if (rep.truncated())
+            ++res.truncated;
+        est_length = std::max(est_length, rep.steps);
+        res.max_steps_seen = std::max(res.max_steps_seen, rep.steps);
+        res.max_bypasses = std::max(res.max_bypasses, rep.max_bypasses);
+        res.max_node_streak = std::max(res.max_node_streak, rep.max_node_streak);
+        if (rep.failed) {
+            ++res.failures;
+            res.first_failure = rep;
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace nucalock::check

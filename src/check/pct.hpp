@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PCT: probabilistic concurrency testing (Burckhardt et al., ASPLOS'10)
+ * for configurations too large to explore exhaustively.
+ *
+ * Each execution draws random distinct priorities for the threads and d-1
+ * random priority-change points over the run length; scheduling always
+ * runs the highest-priority runnable thread. For a bug of depth d (one
+ * needing d ordering constraints), a single execution finds it with
+ * probability >= 1/(n * k^(d-1)) — n threads, k steps — so failure
+ * probability decays exponentially in the number of executions.
+ *
+ * One adaptation for lock workloads: a thread that executes a backoff
+ * delay (a voluntary yield) drops below the lowest live priority. Without
+ * this, a high-priority thread in a backoff loop monopolizes the schedule
+ * and the run livelocks — the same reason the preemption bound in
+ * explore.hpp does not count yields.
+ */
+#ifndef NUCALOCK_CHECK_PCT_HPP
+#define NUCALOCK_CHECK_PCT_HPP
+
+#include <cstdint>
+
+#include "check/harness.hpp"
+
+namespace nucalock::check {
+
+struct PctConfig
+{
+    /** Independent randomized executions. */
+    std::uint64_t executions = 50;
+
+    /** Target bug depth d (d-1 priority-change points per execution). */
+    int depth = 3;
+
+    /** Per-execution decision budget (truncation, not failure). */
+    std::uint64_t max_steps = 20000;
+
+    std::uint64_t seed = 1;
+};
+
+struct PctResult
+{
+    std::uint64_t executions = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t failures = 0;
+
+    std::uint64_t max_steps_seen = 0;
+    std::uint64_t max_bypasses = 0;
+    std::uint64_t max_node_streak = 0;
+
+    /** Valid when failures != 0. */
+    RunReport first_failure;
+};
+
+/**
+ * Run @p cfg.executions PCT runs of @p setup (stopping at the first
+ * failure). Fully deterministic in (setup.seed, cfg.seed): execution i
+ * derives its priorities and change points from them alone, so a failing
+ * PCT run is reproducible — and its recorded schedule replays exactly.
+ */
+PctResult pct_check(const CheckSetup& setup, const PctConfig& cfg);
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_PCT_HPP

@@ -1,0 +1,289 @@
+#include "check/schedule.hpp"
+
+#include <charconv>
+
+#include "common/logging.hpp"
+
+namespace nucalock::check {
+
+namespace {
+
+/** Sane upper bounds so a corrupt trace cannot allocate unbounded memory. */
+constexpr std::size_t kMaxSegmentCount = 1u << 20;
+constexpr std::size_t kMaxDecodedChoices = 1u << 24;
+
+struct Seg
+{
+    int tid = -1;
+    std::size_t count = 0;
+};
+
+std::vector<Seg>
+to_segments(const std::vector<int>& choices)
+{
+    std::vector<Seg> segs;
+    for (int tid : choices) {
+        if (!segs.empty() && segs.back().tid == tid)
+            ++segs.back().count;
+        else
+            segs.push_back(Seg{tid, 1});
+    }
+    return segs;
+}
+
+std::vector<int>
+flatten(const std::vector<Seg>& segs)
+{
+    std::vector<int> choices;
+    for (const Seg& seg : segs)
+        choices.insert(choices.end(), seg.count, seg.tid);
+    return choices;
+}
+
+template <typename T>
+bool
+parse_number(std::string_view text, T& out)
+{
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last && !text.empty();
+}
+
+/** Split @p text on @p sep (keeps empty pieces). */
+std::vector<std::string_view>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+} // namespace
+
+std::string
+encode_choices(const std::vector<int>& choices)
+{
+    std::string out;
+    for (const Seg& seg : to_segments(choices)) {
+        if (!out.empty())
+            out += ',';
+        out += std::to_string(seg.tid);
+        out += 'x';
+        out += std::to_string(seg.count);
+    }
+    return out;
+}
+
+std::optional<std::vector<int>>
+decode_choices(std::string_view text)
+{
+    std::vector<int> choices;
+    if (text.empty())
+        return choices;
+    for (std::string_view piece : split(text, ',')) {
+        const std::size_t x = piece.find('x');
+        if (x == std::string_view::npos)
+            return std::nullopt;
+        int tid = -1;
+        std::size_t count = 0;
+        if (!parse_number(piece.substr(0, x), tid) ||
+            !parse_number(piece.substr(x + 1), count))
+            return std::nullopt;
+        if (tid < 0 || count == 0 || count > kMaxSegmentCount ||
+            choices.size() + count > kMaxDecodedChoices)
+            return std::nullopt;
+        choices.insert(choices.end(), count, tid);
+    }
+    return choices;
+}
+
+std::string
+encode_trace(const Trace& trace)
+{
+    std::string out = "nc1";
+    out += ";lock=" + trace.lock;
+    out += ";nodes=" + std::to_string(trace.nodes);
+    out += ";cpus=" + std::to_string(trace.cpus_per_node);
+    out += ";iters=" + std::to_string(trace.iterations);
+    out += ";seed=" + std::to_string(trace.seed);
+    out += ";bounded=" + std::to_string(trace.bounded ? 1 : 0);
+    out += ";sched=" + encode_choices(trace.schedule.choices);
+    return out;
+}
+
+std::optional<Trace>
+decode_trace(std::string_view text)
+{
+    const std::vector<std::string_view> pieces = split(text, ';');
+    if (pieces.empty() || pieces.front() != "nc1")
+        return std::nullopt;
+    Trace trace;
+    bool have_lock = false;
+    bool have_sched = false;
+    for (std::size_t i = 1; i < pieces.size(); ++i) {
+        const std::string_view piece = pieces[i];
+        const std::size_t eq = piece.find('=');
+        if (eq == std::string_view::npos)
+            return std::nullopt;
+        const std::string_view key = piece.substr(0, eq);
+        const std::string_view value = piece.substr(eq + 1);
+        if (key == "lock") {
+            trace.lock = std::string(value);
+            have_lock = !trace.lock.empty();
+        } else if (key == "nodes") {
+            if (!parse_number(value, trace.nodes) || trace.nodes <= 0)
+                return std::nullopt;
+        } else if (key == "cpus") {
+            if (!parse_number(value, trace.cpus_per_node) ||
+                trace.cpus_per_node <= 0)
+                return std::nullopt;
+        } else if (key == "iters") {
+            if (!parse_number(value, trace.iterations) ||
+                trace.iterations == 0)
+                return std::nullopt;
+        } else if (key == "seed") {
+            if (!parse_number(value, trace.seed))
+                return std::nullopt;
+        } else if (key == "bounded") {
+            int flag = 0;
+            if (!parse_number(value, flag) || (flag != 0 && flag != 1))
+                return std::nullopt;
+            trace.bounded = flag == 1;
+        } else if (key == "sched") {
+            auto choices = decode_choices(value);
+            if (!choices)
+                return std::nullopt;
+            trace.schedule.choices = std::move(*choices);
+            have_sched = true;
+        } else {
+            return std::nullopt; // unknown key: refuse, don't guess
+        }
+    }
+    if (!have_lock || !have_sched)
+        return std::nullopt;
+    return trace;
+}
+
+int
+DefaultPolicy::pick(const std::vector<sim::SchedChoice>& runnable)
+{
+    NUCA_ASSERT(!runnable.empty(), "pick from empty candidate set");
+    // Keep running the current thread until it voluntarily yields.
+    for (const sim::SchedChoice& c : runnable)
+        if (c.tid == last_ && !sim::sched_op_is_yield(c.op.op))
+            return last_;
+    // Rotate: smallest tid greater than the last one, wrapping around.
+    // runnable is sorted by tid, so the first greater entry is the target.
+    for (const sim::SchedChoice& c : runnable) {
+        if (c.tid > last_) {
+            last_ = c.tid;
+            return last_;
+        }
+    }
+    last_ = runnable.front().tid;
+    return last_;
+}
+
+ReplayScheduler::ReplayScheduler(Schedule schedule, std::uint64_t max_steps)
+    : schedule_(std::move(schedule)), max_steps_(max_steps)
+{
+}
+
+int
+ReplayScheduler::pick(sim::SimTime,
+                      const std::vector<sim::SchedChoice>& runnable)
+{
+    if (max_steps_ != 0 && steps_ >= max_steps_)
+        return sim::kStopRun;
+    ++steps_;
+    if (next_ < schedule_.choices.size()) {
+        const int want = schedule_.choices[next_];
+        ++next_;
+        for (const sim::SchedChoice& c : runnable) {
+            if (c.tid == want) {
+                fallback_.note(want);
+                return want;
+            }
+        }
+        diverged_ = true; // edited trace: recorded thread is not runnable
+    }
+    return fallback_.pick(runnable);
+}
+
+Schedule
+minimize_schedule(const Schedule& failing, const ScheduleOracle& oracle)
+{
+    const auto fails = [&oracle](const std::vector<int>& choices) {
+        return oracle(Schedule{choices});
+    };
+
+    // Phase 1: shortest failing prefix. Replays continue past the prefix
+    // under DefaultPolicy, so "prefix of length L fails" is (in practice)
+    // monotone in L; the bisection result is re-validated regardless.
+    std::vector<int> best = failing.choices;
+    {
+        std::size_t lo = 0;
+        std::size_t hi = best.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (fails(std::vector<int>(best.begin(),
+                                       best.begin() +
+                                           static_cast<std::ptrdiff_t>(mid))))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        std::vector<int> prefix(best.begin(),
+                                best.begin() + static_cast<std::ptrdiff_t>(hi));
+        if (fails(prefix))
+            best = std::move(prefix);
+    }
+
+    // Phase 2: ddmin-style passes over the run-length segments — drop whole
+    // segments, then shrink segment counts — restarting after every
+    // successful reduction until a fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const std::vector<Seg> segs = to_segments(best);
+        for (std::size_t i = segs.size(); i-- > 0 && !changed;) {
+            std::vector<Seg> trial = segs;
+            trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+            std::vector<int> flat = flatten(trial);
+            if (fails(flat)) {
+                best = std::move(flat);
+                changed = true;
+            }
+        }
+        if (changed)
+            continue;
+        for (std::size_t i = segs.size(); i-- > 0 && !changed;) {
+            if (segs[i].count <= 1)
+                continue;
+            for (const std::size_t count : {std::size_t{1}, segs[i].count - 1}) {
+                std::vector<Seg> trial = segs;
+                trial[i].count = count;
+                std::vector<int> flat = flatten(trial);
+                if (fails(flat)) {
+                    best = std::move(flat);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    NUCA_ASSERT(fails(best), "minimized schedule no longer reproduces");
+    return Schedule{best};
+}
+
+} // namespace nucalock::check

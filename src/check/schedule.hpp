@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Schedules as data: recording, replay, trace strings, and minimization.
+ *
+ * A controlled run (see sim/scheduler.hpp) is fully determined by the
+ * sequence of tids picked at its decision points, so a failing interleaving
+ * serializes to a compact run-length-encoded trace string that replays
+ * bit-identically on the same CheckSetup and shrinks mechanically to a
+ * minimal repro (see minimize_schedule).
+ */
+#ifndef NUCALOCK_CHECK_SCHEDULE_HPP
+#define NUCALOCK_CHECK_SCHEDULE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace nucalock::check {
+
+/** The sequence of tids a controlled run picked, one per decision point. */
+struct Schedule
+{
+    std::vector<int> choices;
+
+    bool operator==(const Schedule&) const = default;
+    std::size_t size() const { return choices.size(); }
+};
+
+/** Run-length encode choices as "0x3,1x5" (tid x count). Empty -> "". */
+std::string encode_choices(const std::vector<int>& choices);
+
+/** Inverse of encode_choices; nullopt on malformed input. */
+std::optional<std::vector<int>> decode_choices(std::string_view text);
+
+/**
+ * A self-contained failing-run descriptor: everything needed to rebuild the
+ * machine and replay the schedule. Serialized as
+ *
+ *   nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x3,1x5
+ *
+ * where `cpus` is cpus per node and `sched` is the run-length-encoded tid
+ * sequence ("nc1" names version 1 of the format).
+ */
+struct Trace
+{
+    std::string lock;       // lock_name(), or "TATAS_BROKEN"
+    int nodes = 2;
+    int cpus_per_node = 2;
+    std::uint32_t iterations = 2;
+    std::uint64_t seed = 1;
+    bool bounded = false;   // workload used acquire_for instead of acquire
+    Schedule schedule;
+};
+
+std::string encode_trace(const Trace& trace);
+std::optional<Trace> decode_trace(std::string_view text);
+
+/**
+ * The baseline policy every checker falls back to: keep running the current
+ * thread until it voluntarily yields (delay / watcher wakeup / start), then
+ * rotate round-robin to the next runnable tid. Deterministic, fair on
+ * yields — so backoff loops always hand the cpu over and a correct lock
+ * terminates under it.
+ */
+class DefaultPolicy
+{
+  public:
+    int pick(const std::vector<sim::SchedChoice>& runnable);
+
+    /** Seed the rotation as if @p tid had just been picked. */
+    void note(int tid) { last_ = tid; }
+
+  private:
+    int last_ = -1;
+};
+
+/** DefaultPolicy as an installable Scheduler, with an optional step cap
+ *  (0 = unlimited) after which it stops the run. */
+class DefaultScheduler final : public sim::Scheduler
+{
+  public:
+    explicit DefaultScheduler(std::uint64_t max_steps = 0)
+        : max_steps_(max_steps)
+    {
+    }
+
+    int
+    pick(sim::SimTime, const std::vector<sim::SchedChoice>& runnable) override
+    {
+        if (max_steps_ != 0 && steps_ >= max_steps_)
+            return sim::kStopRun;
+        ++steps_;
+        return policy_.pick(runnable);
+    }
+
+  private:
+    DefaultPolicy policy_;
+    std::uint64_t max_steps_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+/**
+ * Replays a recorded schedule choice by choice. A recorded choice naming a
+ * thread that is not currently runnable marks the replay as diverged and
+ * falls back to DefaultPolicy (this cannot happen when replaying on the
+ * setup the schedule was recorded from — the engine is deterministic — but
+ * guards against edited traces). Past the end of the schedule the run
+ * continues under DefaultPolicy so partial prefixes still terminate, which
+ * is what makes prefix minimization work.
+ */
+class ReplayScheduler final : public sim::Scheduler
+{
+  public:
+    explicit ReplayScheduler(Schedule schedule, std::uint64_t max_steps = 0);
+
+    int pick(sim::SimTime now,
+             const std::vector<sim::SchedChoice>& runnable) override;
+
+    bool diverged() const { return diverged_; }
+
+  private:
+    Schedule schedule_;
+    DefaultPolicy fallback_;
+    std::size_t next_ = 0;
+    std::uint64_t max_steps_ = 0;
+    std::uint64_t steps_ = 0;
+    bool diverged_ = false;
+};
+
+/** Wraps any scheduler and records the choices it actually made. */
+class RecordingScheduler final : public sim::Scheduler
+{
+  public:
+    explicit RecordingScheduler(sim::Scheduler& inner) : inner_(inner) {}
+
+    int
+    pick(sim::SimTime now,
+         const std::vector<sim::SchedChoice>& runnable) override
+    {
+        const int tid = inner_.pick(now, runnable);
+        if (tid != sim::kStopRun)
+            taken_.choices.push_back(tid);
+        return tid;
+    }
+
+    const Schedule& taken() const { return taken_; }
+
+  private:
+    sim::Scheduler& inner_;
+    Schedule taken_;
+};
+
+/** Re-runs a candidate schedule; returns true when it still fails. */
+using ScheduleOracle = std::function<bool(const Schedule&)>;
+
+/**
+ * Delta-debugging style shrink of a failing schedule: first a binary search
+ * for the shortest failing prefix (the suffix is replaced by DefaultPolicy
+ * continuation during replay), then repeated removal and trimming of
+ * run-length segments while the oracle keeps failing. The result is
+ * guaranteed to satisfy oracle(result) — callers can trust it reproduces.
+ */
+Schedule minimize_schedule(const Schedule& failing, const ScheduleOracle& oracle);
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_SCHEDULE_HPP

@@ -16,6 +16,14 @@
  *
  * Node word values: kAvailable (grant), kWaiting, or kPtrBase + token
  * (redirect to the node with that token).
+ *
+ * Checker view (sim/scheduler.hpp): the timeout path makes this the most
+ * schedule-sensitive lock in the suite — a waiter's redirect store races
+ * with its successor's chain-following loads, and the bounded checker
+ * (check/) explores both orders. The bounded-abort caveat: try_acquire
+ * still executes the enqueue swap (a visible decision point) before
+ * giving up, so a "failed" try is not a no-op in the schedule — replayed
+ * traces include those aborted enqueues.
  */
 #ifndef NUCALOCK_LOCKS_CLH_TRY_HPP
 #define NUCALOCK_LOCKS_CLH_TRY_HPP

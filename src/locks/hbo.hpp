@@ -11,6 +11,14 @@
  * critical-section data in the node.
  *
  * Values: kFree (0) when free, otherwise node id + 1.
+ *
+ * Checker view (sim/scheduler.hpp): the cas is the only decision point
+ * that can change ownership, so mutual exclusion is schedule-independent;
+ * what the backoff asymmetry changes is *which* thread reaches its next
+ * cas first. The backoff delays are voluntary yields — the controlled
+ * schedulers (and the preemption bound in check/explore.hpp) treat
+ * switching away during backoff as free, which is what keeps exploring
+ * this lock's schedule space tractable.
  */
 #ifndef NUCALOCK_LOCKS_HBO_HPP
 #define NUCALOCK_LOCKS_HBO_HPP

@@ -10,6 +10,15 @@
  * Queue nodes are kept per (lock, thread) and allocated lazily in the
  * thread's node, which is the standard implementation strategy and matches
  * what the machine-level concept can portably promise.
+ *
+ * Checker view (sim/scheduler.hpp): the enqueue swap and the
+ * successor-link store are separate decision points, so a schedule *can*
+ * run the releaser between them — the releaser then spins on the
+ * successor link, and the checker relies on the waiter's pending store
+ * being dependent on that spin to wake it (the classic MCS handover
+ * window; see sched_ops_dependent). Waiters spinning on their own flag
+ * are parked, not busy — deadlock in an explored schedule is reported as
+ * a StopReason verdict, not a hang.
  */
 #ifndef NUCALOCK_LOCKS_MCS_HPP
 #define NUCALOCK_LOCKS_MCS_HPP

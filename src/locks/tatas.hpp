@@ -6,6 +6,14 @@
  * stays in the local cache) and re-attempts tas when the lock looks free.
  * No backoff — at high contention every release triggers a refill-and-tas
  * storm, which is exactly the pathology the paper's Table 2 quantifies.
+ *
+ * Checker view (sim/scheduler.hpp): each tas/store is its own scheduling
+ * decision point, and the tas makes test-and-set atomic — no schedule can
+ * interleave between its load and store halves. spin_while_equal parks the
+ * thread (a voluntary yield); it is re-offered to the scheduler only after
+ * a conflicting write. BrokenTatasLock (check/broken.hpp) is this lock
+ * with the tas split into a load and a store, which is exactly the window
+ * the checker's planted-bug tests preempt in.
  */
 #ifndef NUCALOCK_LOCKS_TATAS_HPP
 #define NUCALOCK_LOCKS_TATAS_HPP

@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -8,6 +11,23 @@
 #include "sim/invariants.hpp"
 
 namespace nucalock::sim {
+
+namespace {
+
+SchedOp
+sched_op_of(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load: return SchedOp::Load;
+      case MemOp::Store: return SchedOp::Store;
+      case MemOp::Cas: return SchedOp::Cas;
+      case MemOp::Swap: return SchedOp::Swap;
+      case MemOp::Tas: return SchedOp::Tas;
+    }
+    return SchedOp::Load;
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------------
 // SimContext
@@ -97,6 +117,9 @@ SimContext::touch_array(Ref first, std::uint32_t count, bool write)
 void
 SimContext::cs_wait_begin()
 {
+    if (machine_->scheduler_ != nullptr)
+        machine_->decision_point(*this, PendingOp{SchedOp::CsWaitBegin,
+                                                  MemRef::kInvalid});
     if (machine_->checker_ != nullptr)
         machine_->checker_->on_wait_begin(tid_, node_, machine_->now_);
 }
@@ -104,6 +127,9 @@ SimContext::cs_wait_begin()
 void
 SimContext::cs_wait_abort()
 {
+    if (machine_->scheduler_ != nullptr)
+        machine_->decision_point(*this, PendingOp{SchedOp::CsWaitAbort,
+                                                  MemRef::kInvalid});
     if (machine_->checker_ != nullptr)
         machine_->checker_->on_wait_abort(tid_, node_, machine_->now_);
 }
@@ -111,6 +137,9 @@ SimContext::cs_wait_abort()
 void
 SimContext::cs_enter()
 {
+    if (machine_->scheduler_ != nullptr)
+        machine_->decision_point(*this, PendingOp{SchedOp::CsEnter,
+                                                  MemRef::kInvalid});
     if (machine_->checker_ != nullptr)
         machine_->checker_->on_enter(tid_, node_, machine_->now_);
     if (machine_->injector_ != nullptr) {
@@ -123,6 +152,9 @@ SimContext::cs_enter()
 void
 SimContext::cs_exit()
 {
+    if (machine_->scheduler_ != nullptr)
+        machine_->decision_point(*this, PendingOp{SchedOp::CsExit,
+                                                  MemRef::kInvalid});
     if (machine_->checker_ != nullptr)
         machine_->checker_->on_exit(tid_, node_, machine_->now_);
 }
@@ -244,6 +276,14 @@ SimMachine::disturb_wake(SimThread& thr, SimTime wake)
 void
 SimMachine::block_until(SimContext& ctx, SimTime t)
 {
+    if (scheduler_ != nullptr) {
+        // Controlled mode: a delay is a voluntary yield point. The clock
+        // still advances (deadlines depend on it) but does not decide who
+        // runs next.
+        decision_point(ctx, PendingOp{SchedOp::Delay, MemRef::kInvalid});
+        now_ = std::max(now_, t);
+        return;
+    }
     SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
     NUCA_ASSERT(thr.tid == current_tid_, "block from non-current thread");
     thr.wake = disturb_wake(thr, t);
@@ -275,6 +315,10 @@ SimMachine::wake_watchers(MemRef ref, SimTime t)
         thr.state = ThreadState::Runnable;
         thr.wake = disturb_wake(thr, t);
         thr.waiting_line = MemRef::kInvalid;
+        // The wakeup itself is a local step: when scheduled, the thread
+        // returns from wait_on and advertises its re-poll as the next
+        // decision point.
+        thr.pending = PendingOp{SchedOp::Wakeup, ref.line};
     }
 }
 
@@ -282,6 +326,8 @@ AccessOutcome
 SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
                       std::uint64_t b)
 {
+    if (scheduler_ != nullptr)
+        decision_point(ctx, PendingOp{sched_op_of(op), ref.line});
     const AccessOutcome out = memory_.access(op, ctx.cpu_, now_, ref, a, b);
     if (out.wakes_watchers)
         wake_watchers(ref, out.complete);
@@ -299,8 +345,25 @@ SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
             resume += injector_->on_access(ctx.tid_, now_, publish_window,
                                            gate_closed);
     }
+    if (scheduler_ != nullptr) {
+        // The decision point already happened before the access; the
+        // thread keeps running until its next one.
+        now_ = std::max(now_, resume);
+        return out;
+    }
     block_until(ctx, resume);
     return out;
+}
+
+void
+SimMachine::decision_point(SimContext& ctx, PendingOp op)
+{
+    SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
+    NUCA_ASSERT(thr.tid == current_tid_, "decision from non-current thread");
+    thr.pending = op;
+    thr.state = ThreadState::Runnable;
+    thr.wake = now_;
+    thr.fiber->yield();
 }
 
 void
@@ -320,6 +383,13 @@ SimMachine::install_invariants(InvariantChecker* checker)
 {
     NUCA_ASSERT(!running_ && !ran_, "install_invariants after run()");
     checker_ = checker;
+}
+
+void
+SimMachine::install_scheduler(Scheduler* scheduler)
+{
+    NUCA_ASSERT(!running_ && !ran_, "install_scheduler after run()");
+    scheduler_ = scheduler;
 }
 
 bool
@@ -357,7 +427,17 @@ SimMachine::run()
     NUCA_ASSERT(!ran_, "run() may only be called once");
     NUCA_ASSERT(!threads_.empty(), "no threads to run");
     running_ = true;
+    if (scheduler_ != nullptr)
+        run_controlled();
+    else
+        run_timed();
+    running_ = false;
+    ran_ = true;
+}
 
+void
+SimMachine::run_timed()
+{
     std::size_t done = 0;
     while (done < threads_.size()) {
         if (injector_ != nullptr)
@@ -397,10 +477,84 @@ SimMachine::run()
             ++done;
         }
     }
-
-    running_ = false;
-    ran_ = true;
 }
+
+void
+SimMachine::run_controlled()
+{
+    std::size_t done = 0;
+    std::vector<SchedChoice> runnable;
+    stop_ = StopReason::Completed;
+    while (done < threads_.size()) {
+        if (injector_ != nullptr)
+            sweep_deaths(done);
+        if (done >= threads_.size())
+            break;
+        runnable.clear();
+        for (auto& thr : threads_)
+            if (thr->state == ThreadState::Runnable)
+                runnable.push_back(SchedChoice{thr->tid, thr->pending});
+        if (runnable.empty()) {
+            // Every remaining thread is parked on a line watcher: a real
+            // deadlock under this schedule. A verdict, not a crash.
+            stop_ = StopReason::Deadlock;
+            return;
+        }
+        if (now_ > cfg_.max_sim_time) {
+            stop_ = StopReason::TimeLimit;
+            return;
+        }
+        const int tid = scheduler_->pick(now_, runnable);
+        if (tid == kStopRun) {
+            stop_ = StopReason::SchedulerStop;
+            return;
+        }
+        SimThread& next = *threads_[static_cast<std::size_t>(tid)];
+        NUCA_ASSERT(next.state == ThreadState::Runnable,
+                    "scheduler picked non-runnable thread ", tid);
+        ++sched_steps_;
+        current_tid_ = tid;
+        ++fiber_switches_;
+        next.fiber->resume();
+        current_tid_ = -1;
+
+        if (next.fiber->finished()) {
+            next.state = ThreadState::Done;
+            next.finish = now_;
+            ++done;
+        }
+    }
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 void
 SimMachine::panic_with_diagnosis(const std::string& what) const
@@ -427,7 +581,47 @@ SimMachine::panic_with_diagnosis(const std::string& what) const
     if (injector_ != nullptr && injector_->injected() != 0)
         oss << "applied faults (" << injector_->injected() << "):\n"
             << injector_->log();
-    NUCA_PANIC(oss.str());
+
+    // CI-friendly death: a diagnosed failure is a *verdict* (a checked
+    // property did not hold under this schedule), not a simulator crash, so
+    // it exits with kDiagnosisExitCode instead of abort()ing — CI can tell
+    // the two apart by wait status. NUCALOCK_DIAG_JSON=<path> additionally
+    // writes the diagnosis as a machine-readable report.
+    if (const char* path = std::getenv("NUCALOCK_DIAG_JSON");
+        path != nullptr && *path != '\0') {
+        std::ofstream json(path);
+        json << "{\n  \"error\": \"" << json_escape(what) << "\",\n"
+             << "  \"time_ns\": " << now_ << ",\n"
+             << "  \"exit_code\": " << kDiagnosisExitCode << ",\n";
+        if (checker_ != nullptr) {
+            json << "  \"acquisitions\": " << checker_->acquisitions() << ",\n"
+                 << "  \"mutual_exclusion_violations\": "
+                 << checker_->mutual_exclusion_violations() << ",\n"
+                 << "  \"violations\": [";
+            for (std::size_t i = 0; i < checker_->violations().size(); ++i)
+                json << (i == 0 ? "" : ", ") << "\""
+                     << json_escape(checker_->violations()[i]) << "\"";
+            json << "],\n";
+        }
+        if (injector_ != nullptr)
+            json << "  \"faults_injected\": " << injector_->injected()
+                 << ",\n  \"fault_log\": \"" << json_escape(injector_->log())
+                 << "\",\n";
+        json << "  \"threads\": [\n";
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+            const SimThread& thr = *threads_[i];
+            const char* state = thr.state == ThreadState::Runnable ? "runnable"
+                                : thr.state == ThreadState::Waiting
+                                    ? "waiting"
+                                    : "done";
+            json << "    {\"tid\": " << thr.tid << ", \"cpu\": " << thr.cpu
+                 << ", \"state\": \"" << state << "\"}"
+                 << (i + 1 < threads_.size() ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+    }
+    std::fprintf(stderr, "diagnosed failure: %s\n", oss.str().c_str());
+    std::exit(kDiagnosisExitCode);
 }
 
 void

@@ -16,6 +16,7 @@
 #include "sim/fiber.hpp"
 #include "sim/latency.hpp"
 #include "sim/memory.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 #include "topology/mapping.hpp"
 #include "topology/topology.hpp"
@@ -25,6 +26,16 @@ namespace nucalock::sim {
 class SimMachine;
 class FaultInjector;
 class InvariantChecker;
+
+/**
+ * Exit status used by panic_with_diagnosis (deadlock, livelock watchdog,
+ * invariant violation with a full diagnosis attached). Distinct from the
+ * bare panic() abort (SIGABRT) and from fatal()'s exit(1), so CI can tell
+ * "a checked property failed" from "the simulator itself crashed". When the
+ * NUCALOCK_DIAG_JSON environment variable names a file, the diagnosis is
+ * also written there as a machine-readable JSON report.
+ */
+inline constexpr int kDiagnosisExitCode = 86;
 
 /** Engine-level configuration. */
 struct SimConfig
@@ -154,12 +165,30 @@ class SimMachine
     /** Upper bound on thread ids (one thread per cpu). */
     int max_threads() const { return topo_.num_cpus(); }
 
-    /** Rebuild a Ref from a token produced by MemRef::token(). */
+    /**
+     * Rebuild a Ref from a token produced by MemRef::token(). The static
+     * assert is exact on the representable range (tokens are line+1, so
+     * [1, kInvalid] are the only values a valid() ref can produce); it
+     * cannot know how many lines exist — use checked_ref_from_token when a
+     * machine is at hand to also reject tokens beyond the allocated lines.
+     */
     static MemRef
     ref_from_token(std::uint64_t token)
     {
         NUCA_ASSERT(token != 0 && token <= MemRef::kInvalid, "bad token ", token);
         return MemRef{static_cast<std::uint32_t>(token - 1)};
+    }
+
+    /** ref_from_token, additionally rejecting tokens past the last line
+     *  actually allocated in this machine. */
+    MemRef
+    checked_ref_from_token(std::uint64_t token) const
+    {
+        const MemRef ref = ref_from_token(token);
+        NUCA_ASSERT(ref.line < memory_.num_lines(),
+                    "token ", token, " beyond ", memory_.num_lines(),
+                    " allocated lines");
+        return ref;
     }
 
     /**
@@ -202,6 +231,23 @@ class SimMachine
     void install_invariants(InvariantChecker* checker);
     InvariantChecker* invariants() { return checker_; }
 
+    /**
+     * Install a controlled scheduler (non-owning; nullptr uninstalls). Must
+     * be set before run(). With a scheduler installed, run() asks it to
+     * pick a runnable thread at every decision point (memory op, delay,
+     * cs marker) instead of following wake times, and ends gracefully with
+     * a StopReason instead of panicking on deadlock or the time limit —
+     * systematic checkers treat those as verdicts, not crashes.
+     */
+    void install_scheduler(Scheduler* scheduler);
+    Scheduler* scheduler() { return scheduler_; }
+
+    /** Why the (controlled) run ended. Completed for timed runs. */
+    StopReason stop_reason() const { return stop_; }
+
+    /** Scheduling decisions taken during a controlled run. */
+    std::uint64_t sched_steps() const { return sched_steps_; }
+
     /** Whether @p ref is one of the per-node is_spinning gate words. */
     bool is_node_gate(MemRef ref) const;
 
@@ -231,6 +277,7 @@ class SimMachine
         SimTime finish = 0;
         SimTime next_preempt = kTimeInfinity;
         std::uint32_t waiting_line = MemRef::kInvalid; // diagnostics only
+        PendingOp pending;                             // controlled mode only
         std::function<void(SimContext&)> body;
         SimContext ctx;
     };
@@ -238,6 +285,18 @@ class SimMachine
     /** Issue a memory op for the current thread and handle wakeups. */
     AccessOutcome do_access(SimContext& ctx, MemOp op, MemRef ref,
                             std::uint64_t a, std::uint64_t b);
+
+    /**
+     * Controlled mode: advertise the thread's next operation and yield to
+     * the scheduler; returns when the scheduler picks this thread again.
+     */
+    void decision_point(SimContext& ctx, PendingOp op);
+
+    /** The timing-driven scheduling loop (no Scheduler installed). */
+    void run_timed();
+
+    /** The controlled scheduling loop (Scheduler installed). */
+    void run_controlled();
 
     /** Block the current thread until simulated time @p t. */
     void block_until(SimContext& ctx, SimTime t);
@@ -278,8 +337,11 @@ class SimMachine
     bool running_ = false;
     bool ran_ = false;
     std::uint64_t fiber_switches_ = 0;
+    std::uint64_t sched_steps_ = 0;
+    StopReason stop_ = StopReason::Completed;
     FaultInjector* injector_ = nullptr;   // non-owning
     InvariantChecker* checker_ = nullptr; // non-owning
+    Scheduler* scheduler_ = nullptr;      // non-owning
 };
 
 /** Value of an idle is_spinning gate (the paper's "dummy value"). */

@@ -1,0 +1,37 @@
+#include "sim/scheduler.hpp"
+
+namespace nucalock::sim {
+
+const char*
+sched_op_name(SchedOp op)
+{
+    switch (op) {
+      case SchedOp::ThreadStart: return "start";
+      case SchedOp::Load: return "load";
+      case SchedOp::Store: return "store";
+      case SchedOp::Cas: return "cas";
+      case SchedOp::Swap: return "swap";
+      case SchedOp::Tas: return "tas";
+      case SchedOp::Delay: return "delay";
+      case SchedOp::Wakeup: return "wakeup";
+      case SchedOp::CsWaitBegin: return "cs-wait";
+      case SchedOp::CsWaitAbort: return "cs-abort";
+      case SchedOp::CsEnter: return "cs-enter";
+      case SchedOp::CsExit: return "cs-exit";
+    }
+    return "?";
+}
+
+const char*
+stop_reason_name(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Completed: return "completed";
+      case StopReason::Deadlock: return "deadlock";
+      case StopReason::SchedulerStop: return "scheduler-stop";
+      case StopReason::TimeLimit: return "time-limit";
+    }
+    return "?";
+}
+
+} // namespace nucalock::sim

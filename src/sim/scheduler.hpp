@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Controlled-scheduler hook for systematic concurrency checking.
+ *
+ * Installing a Scheduler on a SimMachine replaces the engine's timing-driven
+ * min-wake-time policy with explicit scheduling decisions: every memory
+ * operation, backoff delay, and critical-section marker becomes a decision
+ * point where the scheduler picks which runnable thread performs its pending
+ * operation next. The simulated clock still advances (so acquire_for
+ * deadlines stay meaningful), but it no longer decides the interleaving —
+ * the scheduler does, which is what makes bounded exhaustive exploration,
+ * PCT-style randomized priority scheduling, and bit-identical replay of a
+ * recorded schedule possible (see src/check/).
+ *
+ * Semantics of a decision point: a thread yields *before* performing its
+ * next visible operation and advertises that operation (a PendingOp), so
+ * the scheduler sees, for every runnable thread, what it would do if picked.
+ * Picking a thread executes exactly that one operation plus any invisible
+ * host-side code up to the thread's next decision point. Threads parked on
+ * a line watcher (spin_while_equal) are not runnable and are therefore not
+ * offered; they rejoin the candidate set when a write wakes them.
+ */
+#ifndef NUCALOCK_SIM_SCHEDULER_HPP
+#define NUCALOCK_SIM_SCHEDULER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+/**
+ * The operation a thread will perform when scheduled next. Load..Tas mirror
+ * MemOp; the rest are the non-memory decision points.
+ */
+enum class SchedOp : std::uint8_t
+{
+    ThreadStart, // fiber not yet started; first pick runs it to its first op
+    Load,
+    Store,
+    Cas,
+    Swap,
+    Tas,
+    Delay,     // backoff / private work: a *voluntary* yield point
+    Wakeup,    // woken from a line watcher; next pick re-polls the line
+    CsWaitBegin,
+    CsWaitAbort,
+    CsEnter,
+    CsExit,
+};
+
+/** Printable name ("load", "cas", "delay", ...). */
+const char* sched_op_name(SchedOp op);
+
+/** Pending operation of a runnable thread: kind plus the line it touches
+ *  (MemRef::kInvalid for non-memory operations). */
+struct PendingOp
+{
+    SchedOp op = SchedOp::ThreadStart;
+    std::uint32_t line = MemRef::kInvalid;
+};
+
+/** True for operations that write (or may write) the line: any of these by
+ *  one thread does not commute with any same-line access by another. */
+inline bool
+sched_op_writes(SchedOp op)
+{
+    // A failed cas still takes the line exclusively (see sim/memory.hpp),
+    // so for dependence purposes every RMW counts as a write.
+    return op == SchedOp::Store || op == SchedOp::Cas || op == SchedOp::Swap ||
+           op == SchedOp::Tas;
+}
+
+/** True for memory operations (the ones carrying a meaningful line). */
+inline bool
+sched_op_is_mem(SchedOp op)
+{
+    return op == SchedOp::Load || sched_op_writes(op);
+}
+
+/** True for critical-section markers (they mutate the invariant checker's
+ *  global holder/wait state, so their mutual order is observable). */
+inline bool
+sched_op_is_cs_marker(SchedOp op)
+{
+    return op == SchedOp::CsWaitBegin || op == SchedOp::CsWaitAbort ||
+           op == SchedOp::CsEnter || op == SchedOp::CsExit;
+}
+
+/** True when the thread *chose* to give up the cpu (backoff delay, watcher
+ *  wakeup): switching away here is not a preemption, and a controlled
+ *  scheduler must switch away from a delaying thread eventually or a
+ *  backoff spin loop livelocks the schedule. */
+inline bool
+sched_op_is_yield(SchedOp op)
+{
+    return op == SchedOp::Delay || op == SchedOp::Wakeup ||
+           op == SchedOp::ThreadStart;
+}
+
+/**
+ * Conservative dependence (non-commutativity) relation used for sleep-set
+ * pruning: two pending operations are dependent iff reordering them could
+ * change any observable outcome. Memory ops conflict on the same line when
+ * at least one writes; CS markers conflict with each other (the checker's
+ * verdict depends on their order); everything else is local.
+ */
+inline bool
+sched_ops_dependent(const PendingOp& a, const PendingOp& b)
+{
+    if (sched_op_is_mem(a.op) && sched_op_is_mem(b.op))
+        return a.line == b.line && (sched_op_writes(a.op) || sched_op_writes(b.op));
+    if (sched_op_is_cs_marker(a.op) && sched_op_is_cs_marker(b.op))
+        return true;
+    return false;
+}
+
+/** One schedulable candidate offered to the scheduler. */
+struct SchedChoice
+{
+    int tid = -1;
+    PendingOp op;
+};
+
+/** Why a controlled run() returned (timed runs still panic instead). */
+enum class StopReason
+{
+    Completed,     // every thread finished
+    Deadlock,      // threads remain but none is runnable
+    SchedulerStop, // the scheduler returned kStopRun (step budget, etc.)
+    TimeLimit,     // simulated time exceeded SimConfig::max_sim_time
+};
+
+/** Printable name ("completed", "deadlock", ...). */
+const char* stop_reason_name(StopReason reason);
+
+/** Sentinel a Scheduler returns from pick() to abort the run gracefully. */
+inline constexpr int kStopRun = -1;
+
+/**
+ * Scheduling strategy interface. Implementations (src/check/) must be
+ * deterministic functions of their own state and the offered candidates —
+ * that is what makes recorded schedules replay bit-identically.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose the next thread to run. @p runnable is nonempty and sorted by
+     * tid; return one of its tids, or kStopRun to end the run (the engine
+     * then reports StopReason::SchedulerStop).
+     */
+    virtual int pick(SimTime now, const std::vector<SchedChoice>& runnable) = 0;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_SCHEDULER_HPP

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the systematic concurrency checker: trace strings, the default
+ * policy, bounded exhaustive exploration, PCT, and replay/minimization of
+ * failing schedules — including catching the planted BrokenTatasLock bug.
+ */
+#include <gtest/gtest.h>
+
+#include "check/explore.hpp"
+#include "check/harness.hpp"
+#include "check/pct.hpp"
+#include "check/schedule.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::check;
+
+// -------------------------------------------------------------------------
+// Trace strings
+
+TEST(Schedule, ChoicesRoundTrip)
+{
+    const std::vector<int> choices{0, 0, 0, 1, 1, 2, 0, 0};
+    const std::string text = encode_choices(choices);
+    EXPECT_EQ(text, "0x3,1x2,2x1,0x2");
+    const auto back = decode_choices(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, choices);
+}
+
+TEST(Schedule, EmptyChoicesRoundTrip)
+{
+    EXPECT_EQ(encode_choices({}), "");
+    const auto back = decode_choices("");
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(Schedule, MalformedChoicesRejected)
+{
+    EXPECT_FALSE(decode_choices("0x").has_value());
+    EXPECT_FALSE(decode_choices("x3").has_value());
+    EXPECT_FALSE(decode_choices("0x3,").has_value());
+    EXPECT_FALSE(decode_choices("0x0").has_value()); // zero-length run
+    EXPECT_FALSE(decode_choices("abc").has_value());
+    EXPECT_FALSE(decode_choices("1x2;3x4").has_value());
+}
+
+TEST(Schedule, TraceRoundTrip)
+{
+    Trace t;
+    t.lock = "HBO_GT_SD";
+    t.nodes = 4;
+    t.cpus_per_node = 3;
+    t.iterations = 7;
+    t.seed = 99;
+    t.bounded = true;
+    t.schedule.choices = {0, 1, 1, 1, 0, 2};
+    const std::string text = encode_trace(t);
+    EXPECT_EQ(text.rfind("nc1;", 0), 0u) << text;
+    const auto back = decode_trace(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->lock, t.lock);
+    EXPECT_EQ(back->nodes, t.nodes);
+    EXPECT_EQ(back->cpus_per_node, t.cpus_per_node);
+    EXPECT_EQ(back->iterations, t.iterations);
+    EXPECT_EQ(back->seed, t.seed);
+    EXPECT_EQ(back->bounded, t.bounded);
+    EXPECT_EQ(back->schedule, t.schedule);
+}
+
+TEST(Schedule, MalformedTraceRejected)
+{
+    EXPECT_FALSE(decode_trace("").has_value());
+    EXPECT_FALSE(decode_trace("nc2;lock=TATAS;sched=0x1").has_value());
+    EXPECT_FALSE(decode_trace("nc1;sched=0x1").has_value());  // no lock
+    EXPECT_FALSE(decode_trace("nc1;lock=TATAS").has_value()); // no sched
+    EXPECT_FALSE(
+        decode_trace("nc1;lock=TATAS;bogus=7;sched=0x1").has_value());
+    EXPECT_FALSE(
+        decode_trace("nc1;lock=TATAS;nodes=zz;sched=0x1").has_value());
+    EXPECT_FALSE(decode_trace("nc1;lock=TATAS;sched=0x").has_value());
+}
+
+TEST(Schedule, SetupFromTraceMapsLockNames)
+{
+    Trace t;
+    t.lock = "MCS";
+    t.schedule.choices = {0};
+    const auto mcs = setup_from_trace(t);
+    ASSERT_TRUE(mcs.has_value());
+    EXPECT_EQ(mcs->kind, locks::LockKind::Mcs);
+    EXPECT_FALSE(mcs->use_broken_tatas);
+
+    t.lock = "TATAS_BROKEN";
+    const auto broken = setup_from_trace(t);
+    ASSERT_TRUE(broken.has_value());
+    EXPECT_TRUE(broken->use_broken_tatas);
+
+    t.lock = "NOT_A_LOCK";
+    EXPECT_FALSE(setup_from_trace(t).has_value());
+}
+
+// -------------------------------------------------------------------------
+// Harness + default policy
+
+TEST(Harness, DefaultSchedulerPassesEveryLock)
+{
+    for (locks::LockKind kind : locks::all_lock_kinds()) {
+        CheckSetup setup;
+        setup.kind = kind;
+        setup.nodes = 2;
+        setup.cpus_per_node = 1;
+        setup.iterations = 2;
+        DefaultScheduler sched;
+        const RunReport rep = run_one(setup, sched);
+        EXPECT_FALSE(rep.failed)
+            << locks::lock_name(kind) << ": " << rep.what;
+        EXPECT_EQ(rep.stop, sim::StopReason::Completed)
+            << locks::lock_name(kind);
+        const std::uint64_t expected =
+            static_cast<std::uint64_t>(threads_of(setup)) * setup.iterations;
+        EXPECT_EQ(rep.acquisitions, expected) << locks::lock_name(kind);
+        EXPECT_EQ(rep.counter, expected) << locks::lock_name(kind);
+        EXPECT_EQ(rep.mutex_violations, 0u) << locks::lock_name(kind);
+        EXPECT_GT(rep.steps, 0u) << locks::lock_name(kind);
+        EXPECT_EQ(rep.schedule.size(), rep.steps) << locks::lock_name(kind);
+    }
+}
+
+TEST(Harness, BoundedModeCompletesOnCorrectLock)
+{
+    CheckSetup setup;
+    setup.kind = locks::LockKind::ClhTry;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 2;
+    setup.bounded = true;
+    DefaultScheduler sched;
+    const RunReport rep = run_one(setup, sched);
+    EXPECT_FALSE(rep.failed) << rep.what;
+    // Every non-timed-out iteration must still be counted consistently.
+    EXPECT_EQ(rep.counter, rep.acquisitions);
+}
+
+TEST(Harness, RecordedScheduleReplaysIdentically)
+{
+    CheckSetup setup;
+    setup.kind = locks::LockKind::Tatas;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    DefaultScheduler sched;
+    const RunReport first = run_one(setup, sched);
+    ASSERT_FALSE(first.failed);
+
+    ReplayScheduler replay(first.schedule);
+    const RunReport second = run_one(setup, replay);
+    EXPECT_FALSE(replay.diverged());
+    EXPECT_EQ(second.schedule, first.schedule);
+    EXPECT_EQ(second.steps, first.steps);
+    EXPECT_EQ(second.counter, first.counter);
+}
+
+// -------------------------------------------------------------------------
+// Bounded exhaustive exploration
+
+TEST(Explore, CorrectLockExhaustsWithoutFailures)
+{
+    CheckSetup setup;
+    setup.kind = locks::LockKind::Tatas;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 1;
+    ExploreConfig cfg;
+    cfg.max_schedules = 50000;
+    cfg.preemption_bound = 2;
+    const ExploreResult res = explore(setup, cfg);
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_EQ(res.failures, 0u);
+    EXPECT_GT(res.executions, 1u);
+    EXPECT_EQ(res.truncated, 0u);
+}
+
+TEST(Explore, FindsPlantedMutualExclusionBug)
+{
+    CheckSetup setup;
+    setup.use_broken_tatas = true;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 2;
+    ExploreConfig cfg;
+    cfg.max_schedules = 50000;
+    cfg.preemption_bound = 2;
+    const ExploreResult res = explore(setup, cfg);
+    ASSERT_EQ(res.failures, 1u) << "planted bug not found";
+    const RunReport& failure = res.first_failure;
+    EXPECT_TRUE(failure.failed);
+    // The race shows up as a checker-detected overlap or a lost update.
+    EXPECT_TRUE(failure.mutex_violations > 0 ||
+                failure.counter != failure.acquisitions)
+        << failure.what;
+
+    // The recorded schedule must replay bit-identically.
+    ReplayScheduler replay(failure.schedule);
+    const RunReport again = run_one(setup, replay);
+    EXPECT_FALSE(replay.diverged());
+    EXPECT_TRUE(again.failed);
+    EXPECT_EQ(again.what, failure.what);
+    EXPECT_EQ(again.schedule, failure.schedule);
+}
+
+TEST(Explore, ShortFailureMinimizesToFewDecisions)
+{
+    CheckSetup setup;
+    setup.use_broken_tatas = true;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 2;
+    ExploreConfig cfg;
+    cfg.max_schedules = 50000;
+    cfg.preemption_bound = 2;
+    const auto seeded = find_short_failure(setup, cfg);
+    ASSERT_TRUE(seeded.has_value());
+
+    const std::uint64_t cap = seeded->steps * 4 + 1000;
+    const ScheduleOracle oracle = [&](const Schedule& s) {
+        ReplayScheduler replay(s, cap);
+        return run_one(setup, replay).failed;
+    };
+    const Schedule minimal = minimize_schedule(seeded->schedule, oracle);
+    EXPECT_LE(minimal.size(), 10u)
+        << "minimized repro too long: " << encode_choices(minimal.choices);
+    EXPECT_TRUE(oracle(minimal));
+}
+
+TEST(Explore, PreemptionBoundZeroMissesTheBug)
+{
+    // The planted race needs one preemption (switch between the racy load
+    // and store), so a zero bound must exhaust cleanly without finding it.
+    CheckSetup setup;
+    setup.use_broken_tatas = true;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 1;
+    ExploreConfig cfg;
+    cfg.max_schedules = 50000;
+    cfg.preemption_bound = 0;
+    const ExploreResult res = explore(setup, cfg);
+    EXPECT_TRUE(res.exhausted);
+    EXPECT_EQ(res.failures, 0u);
+}
+
+TEST(Explore, StarvationBoundVerdictOnHboGtSd)
+{
+    // HBO_GT_SD's get-angry mechanism bounds how often a waiter is bypassed;
+    // a generous bound must hold across every explored interleaving.
+    CheckSetup setup;
+    setup.kind = locks::LockKind::HboGtSd;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 2;
+    setup.bypass_bound = 64;
+    ExploreConfig cfg;
+    cfg.max_schedules = 300;
+    cfg.preemption_bound = 2;
+    cfg.stop_on_failure = true;
+    const ExploreResult res = explore(setup, cfg);
+    EXPECT_EQ(res.failures, 0u)
+        << (res.failures ? res.first_failure.what : "");
+    EXPECT_LE(res.max_bypasses, 64u);
+    EXPECT_GT(res.executions, 1u);
+}
+
+// -------------------------------------------------------------------------
+// PCT
+
+TEST(Pct, FindsPlantedBugWithinBudget)
+{
+    CheckSetup setup;
+    setup.use_broken_tatas = true;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 2;
+    PctConfig cfg;
+    cfg.executions = 50;
+    cfg.depth = 3;
+    const PctResult res = pct_check(setup, cfg);
+    ASSERT_EQ(res.failures, 1u) << "PCT missed the planted bug in "
+                                << res.executions << " runs";
+    // PCT failures replay like any other recorded schedule.
+    ReplayScheduler replay(res.first_failure.schedule);
+    const RunReport again = run_one(setup, replay);
+    EXPECT_FALSE(replay.diverged());
+    EXPECT_TRUE(again.failed);
+    EXPECT_EQ(again.what, res.first_failure.what);
+}
+
+TEST(Pct, CorrectLockSurvivesRandomizedPriorities)
+{
+    CheckSetup setup;
+    setup.kind = locks::LockKind::Hbo;
+    setup.nodes = 2;
+    setup.cpus_per_node = 2;
+    setup.iterations = 2;
+    PctConfig cfg;
+    cfg.executions = 25;
+    const PctResult res = pct_check(setup, cfg);
+    EXPECT_EQ(res.failures, 0u)
+        << (res.failures ? res.first_failure.what : "");
+    EXPECT_EQ(res.executions, 25u);
+}
+
+TEST(Pct, DeterministicInSeeds)
+{
+    CheckSetup setup;
+    setup.use_broken_tatas = true;
+    setup.nodes = 2;
+    setup.cpus_per_node = 1;
+    setup.iterations = 2;
+    PctConfig cfg;
+    cfg.executions = 50;
+    const PctResult a = pct_check(setup, cfg);
+    const PctResult b = pct_check(setup, cfg);
+    EXPECT_EQ(a.executions, b.executions);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.first_failure.schedule, b.first_failure.schedule);
+}
+
+// -------------------------------------------------------------------------
+// Minimization on a synthetic oracle (independent of the simulator)
+
+TEST(Minimize, ShrinksAgainstSyntheticOracle)
+{
+    // "Fails" whenever thread 1 is picked at least twice — a stand-in for
+    // the two ordering constraints of a depth-2 race.
+    const ScheduleOracle oracle = [](const Schedule& s) {
+        int ones = 0;
+        for (int c : s.choices)
+            ones += (c == 1) ? 1 : 0;
+        return ones >= 2;
+    };
+    Schedule noisy;
+    noisy.choices = {0, 0, 0, 1, 0, 0, 2, 2, 1, 0, 0, 3, 1, 1, 0};
+    ASSERT_TRUE(oracle(noisy));
+    const Schedule minimal = minimize_schedule(noisy, oracle);
+    EXPECT_TRUE(oracle(minimal));
+    EXPECT_LE(minimal.size(), 2u)
+        << encode_choices(minimal.choices);
+}
+
+} // namespace

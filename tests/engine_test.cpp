@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "sim/engine.hpp"
@@ -139,6 +142,50 @@ TEST(Engine, RefFromTokenRoundTrip)
     EXPECT_EQ(SimMachine::ref_from_token(ref.token()), ref);
 }
 
+TEST(Engine, TokenRoundTripForAllAllocationKinds)
+{
+    SimMachine m(Topology::symmetric(2, 2));
+    const MemRef word = m.alloc(7, 1);
+    const MemRef arr = m.alloc_array(3, 0, 0);
+    const MemRef gate = m.node_gate(1);
+    for (const MemRef ref : {word, arr, arr.at(1), arr.at(2), gate}) {
+        EXPECT_EQ(SimMachine::ref_from_token(ref.token()), ref);
+        EXPECT_EQ(m.checked_ref_from_token(ref.token()), ref);
+    }
+}
+
+TEST(Engine, TokenRangeIsExact)
+{
+    // Tokens are line+1, so the largest token a valid() ref can produce is
+    // exactly kInvalid — and it must map back to the last representable
+    // line. One past it (an invalid ref's token) is rejected below.
+    const MemRef last{MemRef::kInvalid - 1};
+    EXPECT_EQ(last.token(), static_cast<std::uint64_t>(MemRef::kInvalid));
+    EXPECT_EQ(SimMachine::ref_from_token(last.token()), last);
+}
+
+TEST(EngineDeathTest, TokenZeroRejected)
+{
+    EXPECT_DEATH(SimMachine::ref_from_token(0), "bad token");
+}
+
+TEST(EngineDeathTest, InvalidRefTokenRejected)
+{
+    // A default (invalid) ref encodes to kInvalid + 1, one past the
+    // representable range.
+    EXPECT_DEATH(SimMachine::ref_from_token(MemRef{}.token()), "bad token");
+}
+
+TEST(EngineDeathTest, CheckedTokenBeyondAllocationRejected)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef ref = m.alloc(0, 0);
+    EXPECT_EQ(m.checked_ref_from_token(ref.token()), ref);
+    // Statically fine (within the representable range), but past the last
+    // allocated line of *this* machine.
+    EXPECT_DEATH(m.checked_ref_from_token(ref.token() + 1), "beyond");
+}
+
 TEST(Engine, AddThreadsPlacesRoundRobin)
 {
     SimMachine m(Topology::symmetric(2, 2));
@@ -241,6 +288,124 @@ TEST(EngineDeathTest, LivelockGuardFires)
             ctx.delay_ns(100);
     });
     EXPECT_DEATH(m.run(), "max_sim_time");
+}
+
+TEST(EngineDeathTest, DiagnosedFailureUsesDistinctExitCode)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef flag = m.alloc(0, 0);
+    m.add_thread(0, [&](SimContext& ctx) { ctx.spin_while_equal(flag, 0); });
+    EXPECT_EXIT(m.run(), ::testing::ExitedWithCode(kDiagnosisExitCode),
+                "deadlock");
+}
+
+TEST(EngineDeathTest, DiagnosisJsonReportWritten)
+{
+    const std::string path = ::testing::TempDir() + "nucalock_diag_test.json";
+    std::remove(path.c_str());
+    ::setenv("NUCALOCK_DIAG_JSON", path.c_str(), 1);
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef flag = m.alloc(0, 0);
+    m.add_thread(0, [&](SimContext& ctx) { ctx.spin_while_equal(flag, 0); });
+    // The death-test child inherits the env var and writes the report
+    // before exiting; the parent then validates it.
+    EXPECT_EXIT(m.run(), ::testing::ExitedWithCode(kDiagnosisExitCode),
+                "deadlock");
+    ::unsetenv("NUCALOCK_DIAG_JSON");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "diagnosis JSON not written to " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    EXPECT_NE(json.find("\"error\""), std::string::npos) << json;
+    EXPECT_NE(json.find("deadlock"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"exit_code\": 86"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"threads\""), std::string::npos) << json;
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------------------
+// Controlled scheduling: with a Scheduler installed, every visible
+// operation is an explicit decision point and terminal conditions become
+// verdicts instead of diagnosed panics.
+
+/** Always picks the lowest-tid runnable thread. */
+class FifoScheduler final : public Scheduler
+{
+  public:
+    int
+    pick(SimTime, const std::vector<SchedChoice>& runnable) override
+    {
+        seen_ops.push_back(runnable.front().op.op);
+        return runnable.front().tid;
+    }
+
+    std::vector<SchedOp> seen_ops;
+};
+
+TEST(Engine, ControlledSchedulerDrivesEveryOp)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef word = m.alloc(0, 0);
+    FifoScheduler sched;
+    m.install_scheduler(&sched);
+    m.add_thread(0, [&](SimContext& ctx) {
+        ctx.store(word, 1);
+        ctx.load(word);
+    });
+    m.add_thread(1, [&](SimContext& ctx) { ctx.delay_ns(5); });
+    m.run();
+    EXPECT_EQ(m.stop_reason(), StopReason::Completed);
+    // Thread 0: start, store, load. Thread 1: start, delay.
+    EXPECT_EQ(m.sched_steps(), 5u);
+    EXPECT_EQ(sched.seen_ops,
+              (std::vector<SchedOp>{SchedOp::ThreadStart, SchedOp::Store,
+                                    SchedOp::Load, SchedOp::ThreadStart,
+                                    SchedOp::Delay}));
+    EXPECT_EQ(m.memory().peek(word), 1u);
+}
+
+TEST(Engine, ControlledDeadlockIsVerdictNotPanic)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef flag = m.alloc(0, 0);
+    FifoScheduler sched;
+    m.install_scheduler(&sched);
+    m.add_thread(0, [&](SimContext& ctx) { ctx.spin_while_equal(flag, 0); });
+    m.run(); // must return, not exit(86)
+    EXPECT_EQ(m.stop_reason(), StopReason::Deadlock);
+}
+
+TEST(Engine, ControlledSchedulerCanStopTheRun)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    struct StopAtOnce final : public Scheduler {
+        int
+        pick(SimTime, const std::vector<SchedChoice>&) override
+        {
+            return kStopRun;
+        }
+    } sched;
+    m.install_scheduler(&sched);
+    m.add_thread(0, [](SimContext& ctx) { ctx.delay_ns(1); });
+    m.run();
+    EXPECT_EQ(m.stop_reason(), StopReason::SchedulerStop);
+    EXPECT_EQ(m.sched_steps(), 0u);
+}
+
+TEST(Engine, ControlledTimeLimitIsVerdictNotPanic)
+{
+    SimConfig cfg;
+    cfg.max_sim_time = 1000;
+    SimMachine m(Topology::symmetric(1, 2), LatencyModel::wildfire(), cfg);
+    FifoScheduler sched;
+    m.install_scheduler(&sched);
+    m.add_thread(0, [](SimContext& ctx) {
+        while (true)
+            ctx.delay_ns(100);
+    });
+    m.run();
+    EXPECT_EQ(m.stop_reason(), StopReason::TimeLimit);
 }
 
 

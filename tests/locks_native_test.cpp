@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "locks/any_lock.hpp"
 #include "locks/guard.hpp"
@@ -56,6 +57,80 @@ TEST_P(NativeLockTest, SingleThreadReacquire)
         ctx.store(counter, ctx.load(counter) + 1);
     }
     EXPECT_EQ(ctx.load(counter), 1000u);
+}
+
+TEST_P(NativeLockTest, ContendedTryAcquireFailsWhileHeld)
+{
+    NativeMachine machine(Topology::symmetric(2, 2));
+    AnyLock<NativeContext> lock(machine, GetParam());
+    std::atomic<bool> held{false};
+    std::atomic<bool> tried{false};
+    std::atomic<bool> got_it{true};
+
+    machine.run_threads(2, Placement::RoundRobinNodes,
+                        [&](NativeContext& ctx, int i) {
+                            if (i == 0) {
+                                lock.acquire(ctx);
+                                held.store(true);
+                                while (!tried.load())
+                                    std::this_thread::yield();
+                                lock.release(ctx);
+                                // For the queue locks the failed attempt is a
+                                // bounded abort that leaves a marker node
+                                // behind; the lock must stay fully usable.
+                                lock.acquire(ctx);
+                                lock.release(ctx);
+                            } else {
+                                while (!held.load())
+                                    std::this_thread::yield();
+                                got_it.store(lock.try_acquire(ctx));
+                                tried.store(true);
+                            }
+                        });
+    EXPECT_FALSE(got_it.load());
+}
+
+TEST_P(NativeLockTest, AcquireForExpiresWhileHeld)
+{
+    NativeMachine machine(Topology::symmetric(2, 2));
+    AnyLock<NativeContext> lock(machine, GetParam());
+    std::atomic<bool> held{false};
+    std::atomic<bool> expired{false};
+    std::atomic<bool> got_it{true};
+
+    machine.run_threads(2, Placement::RoundRobinNodes,
+                        [&](NativeContext& ctx, int i) {
+                            if (i == 0) {
+                                lock.acquire(ctx);
+                                held.store(true);
+                                while (!expired.load())
+                                    std::this_thread::yield();
+                                lock.release(ctx);
+                                // Usable again after the timed-out waiter's
+                                // bounded abort.
+                                lock.acquire(ctx);
+                                lock.release(ctx);
+                            } else {
+                                while (!held.load())
+                                    std::this_thread::yield();
+                                got_it.store(
+                                    lock.acquire_for(ctx, 5'000'000)); // 5 ms
+                                expired.store(true);
+                            }
+                        });
+    EXPECT_FALSE(got_it.load());
+}
+
+TEST_P(NativeLockTest, AcquireForSucceedsUncontended)
+{
+    NativeMachine machine(Topology::symmetric(2, 2));
+    AnyLock<NativeContext> lock(machine, GetParam());
+    NativeContext ctx = machine.make_context(0, 0);
+    ASSERT_TRUE(lock.acquire_for(ctx, 1'000'000'000));
+    EXPECT_FALSE(lock.try_acquire(ctx));
+    lock.release(ctx);
+    EXPECT_TRUE(lock.try_acquire(ctx));
+    lock.release(ctx);
 }
 
 std::string

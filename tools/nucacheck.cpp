@@ -1,0 +1,408 @@
+/**
+ * @file
+ * nucacheck: systematic concurrency checking for the lock library.
+ *
+ * Runs every lock (or one) through a checking strategy on a small simulated
+ * machine and prints a per-lock verdict table. Any failing schedule is
+ * recorded as a compact trace string, replayed to prove it reproduces
+ * bit-identically, and delta-debugged down to a minimal repro.
+ *
+ * Modes:
+ *   --mode=exhaustive  bounded DFS with sleep sets + preemption bound
+ *   --mode=pct         randomized priority scheduling (PCT)
+ *   --replay=TRACE     re-run one recorded trace string
+ *
+ * Examples:
+ *   nucacheck --mode=exhaustive --cpus=4
+ *   nucacheck --mode=pct --cpus=2x4 --pct-runs=100 --pct-depth=3
+ *   nucacheck --lock=TATAS_BROKEN --expect-fail
+ *   nucacheck --replay='nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x12,1x3' --expect-fail
+ *
+ * Exit status: 0 = expectation met (all pass, or --expect-fail and the bug
+ * was caught, replayed, and minimized), 1 = expectation not met, 2 = usage.
+ */
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/broken.hpp"
+#include "check/explore.hpp"
+#include "check/harness.hpp"
+#include "check/pct.hpp"
+#include "check/schedule.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::check;
+using locks::LockKind;
+
+struct Options
+{
+    std::string mode = "exhaustive";
+    std::string lock = "ALL";
+    int nodes = 2;
+    int cpus_per_node = 2;
+    std::uint32_t iterations = 2;
+    std::uint64_t seed = 1;
+    std::uint64_t schedules = 1000;
+    std::uint64_t steps = 0; // 0 = per-mode default
+    int preemptions = 3;
+    std::uint64_t pct_runs = 50;
+    int pct_depth = 3;
+    bool bounded = false;
+    std::uint64_t timeout_ns = 2'000'000'000;
+    std::uint64_t bypass_bound = 0;
+    bool expect_fail = false;
+    bool minimize = true;
+    std::string replay;
+};
+
+int
+usage(std::ostream& os)
+{
+    os << "usage: nucacheck [--mode=exhaustive|pct] [--lock=ALL|NAME]\n"
+          "                 [--cpus=NxM|TOTAL] [--iters=K] [--seed=S]\n"
+          "                 [--schedules=N] [--steps=N] [--preemptions=P]\n"
+          "                 [--pct-runs=N] [--pct-depth=D] [--bounded]\n"
+          "                 [--timeout-ns=T] [--bypass-bound=B]\n"
+          "                 [--replay=TRACE] [--expect-fail] [--no-minimize]\n";
+    return 2;
+}
+
+bool
+parse_u64(std::string_view text, std::uint64_t& out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = value;
+    return true;
+}
+
+bool
+parse_int(std::string_view text, int& out)
+{
+    std::uint64_t v = 0;
+    if (!parse_u64(text, v) || v > 1'000'000)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+/** "--cpus=NxM" (nodes x cpus per node) or "--cpus=TOTAL" (split 2 ways). */
+bool
+parse_cpus(std::string_view text, Options& opts)
+{
+    const std::size_t x = text.find('x');
+    if (x != std::string_view::npos)
+        return parse_int(text.substr(0, x), opts.nodes) &&
+               parse_int(text.substr(x + 1), opts.cpus_per_node) &&
+               opts.nodes > 0 && opts.cpus_per_node > 0;
+    int total = 0;
+    if (!parse_int(text, total) || total < 2 || total % 2 != 0)
+        return false;
+    opts.nodes = 2;
+    opts.cpus_per_node = total / 2;
+    return true;
+}
+
+bool
+parse_args(int argc, char** argv, Options& opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const std::size_t eq = arg.find('=');
+        const std::string_view key =
+            eq == std::string_view::npos ? arg : arg.substr(0, eq);
+        const std::string_view value =
+            eq == std::string_view::npos ? std::string_view{}
+                                         : arg.substr(eq + 1);
+        if (key == "--mode") {
+            opts.mode = std::string(value);
+            if (opts.mode != "exhaustive" && opts.mode != "pct")
+                return false;
+        } else if (key == "--lock") {
+            opts.lock = std::string(value);
+        } else if (key == "--cpus") {
+            if (!parse_cpus(value, opts))
+                return false;
+        } else if (key == "--iters") {
+            std::uint64_t v = 0;
+            if (!parse_u64(value, v) || v == 0 || v > 1'000'000)
+                return false;
+            opts.iterations = static_cast<std::uint32_t>(v);
+        } else if (key == "--seed") {
+            if (!parse_u64(value, opts.seed))
+                return false;
+        } else if (key == "--schedules") {
+            if (!parse_u64(value, opts.schedules) || opts.schedules == 0)
+                return false;
+        } else if (key == "--steps") {
+            if (!parse_u64(value, opts.steps))
+                return false;
+        } else if (key == "--preemptions") {
+            if (!parse_int(value, opts.preemptions))
+                return false;
+        } else if (key == "--pct-runs") {
+            if (!parse_u64(value, opts.pct_runs) || opts.pct_runs == 0)
+                return false;
+        } else if (key == "--pct-depth") {
+            if (!parse_int(value, opts.pct_depth) || opts.pct_depth < 1)
+                return false;
+        } else if (key == "--bounded") {
+            opts.bounded = true;
+        } else if (key == "--timeout-ns") {
+            if (!parse_u64(value, opts.timeout_ns) || opts.timeout_ns == 0)
+                return false;
+        } else if (key == "--bypass-bound") {
+            if (!parse_u64(value, opts.bypass_bound))
+                return false;
+        } else if (key == "--replay") {
+            opts.replay = std::string(value);
+            if (opts.replay.empty())
+                return false;
+        } else if (key == "--expect-fail") {
+            opts.expect_fail = true;
+        } else if (key == "--no-minimize") {
+            opts.minimize = false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** The lock selection: every LockKind, or one name (possibly a broken
+ *  variant); empty on an unknown name. */
+struct Selection
+{
+    std::vector<CheckSetup> setups;
+    bool ok = false;
+};
+
+Selection
+select_locks(const Options& opts)
+{
+    Selection sel;
+    CheckSetup base;
+    base.nodes = opts.nodes;
+    base.cpus_per_node = opts.cpus_per_node;
+    base.iterations = opts.iterations;
+    base.seed = opts.seed;
+    base.bounded = opts.bounded;
+    base.timeout_ns = opts.timeout_ns;
+    base.bypass_bound = opts.bypass_bound;
+
+    if (opts.lock == "ALL") {
+        for (LockKind kind : locks::all_lock_kinds()) {
+            if (kind == LockKind::Rh && opts.nodes > 2)
+                continue; // RH is a two-node algorithm (as in nucabench)
+            CheckSetup setup = base;
+            setup.kind = kind;
+            sel.setups.push_back(setup);
+        }
+        sel.ok = true;
+        return sel;
+    }
+#ifdef NUCALOCK_ENABLE_BROKEN_LOCKS
+    if (opts.lock == kBrokenTatasName) {
+        CheckSetup setup = base;
+        setup.use_broken_tatas = true;
+        sel.setups.push_back(setup);
+        sel.ok = true;
+        return sel;
+    }
+#endif
+    const auto kind = locks::parse_lock_name(opts.lock);
+    if (!kind)
+        return sel;
+    CheckSetup setup = base;
+    setup.kind = *kind;
+    sel.setups.push_back(setup);
+    sel.ok = true;
+    return sel;
+}
+
+const char*
+setup_name(const CheckSetup& setup)
+{
+    return setup.use_broken_tatas ? kBrokenTatasName
+                                  : locks::lock_name(setup.kind);
+}
+
+/**
+ * Record -> replay -> minimize for one failing run. Returns true when the
+ * trace replayed bit-identically and the minimized schedule still fails.
+ */
+bool
+handle_failure(const CheckSetup& setup, const RunReport& failure,
+               bool minimize)
+{
+    const Trace trace = make_trace(setup, failure.schedule);
+    std::cout << "  failure: " << failure.what << "\n"
+              << "  trace:   " << encode_trace(trace) << "\n";
+
+    ReplayScheduler replayer(failure.schedule);
+    const RunReport replayed = run_one(setup, replayer);
+    const bool identical = replayed.failed && !replayer.diverged() &&
+                           replayed.schedule == failure.schedule &&
+                           replayed.what == failure.what;
+    std::cout << "  replay:  "
+              << (identical ? "reproduced bit-identically"
+                            : "DID NOT reproduce")
+              << " (" << sim::stop_reason_name(replayed.stop) << ", "
+              << replayed.steps << " steps)\n";
+    if (!identical)
+        return false;
+    if (!minimize)
+        return true;
+
+    const std::uint64_t step_cap = failure.steps * 4 + 1000;
+    const ScheduleOracle oracle = [&setup, step_cap](const Schedule& s) {
+        ReplayScheduler candidate(s, step_cap);
+        return run_one(setup, candidate).failed;
+    };
+    // Deepest-first DFS tends to surface the latest race; hunt for the
+    // earliest one before shrinking, so the repro is as short as possible.
+    ExploreConfig short_cfg;
+    short_cfg.max_steps = failure.steps;
+    const auto short_failure = find_short_failure(setup, short_cfg);
+    const Schedule minimal = minimize_schedule(
+        short_failure ? short_failure->schedule : failure.schedule, oracle);
+    Trace min_trace = trace;
+    min_trace.schedule = minimal;
+    std::cout << "  minimal: " << minimal.size() << " forced decision"
+              << (minimal.size() == 1 ? "" : "s") << " (from "
+              << failure.schedule.size() << ")\n"
+              << "  trace:   " << encode_trace(min_trace) << "\n";
+    return true;
+}
+
+int
+run_replay(const Options& opts)
+{
+    const auto trace = decode_trace(opts.replay);
+    if (!trace) {
+        std::cerr << "nucacheck: malformed trace string\n";
+        return 2;
+    }
+#ifndef NUCALOCK_ENABLE_BROKEN_LOCKS
+    if (trace->lock == kBrokenTatasName) {
+        std::cerr << "nucacheck: built without NUCALOCK_BROKEN_LOCKS\n";
+        return 2;
+    }
+#endif
+    const auto setup = setup_from_trace(*trace);
+    if (!setup) {
+        std::cerr << "nucacheck: unknown lock \"" << trace->lock
+                  << "\" in trace\n";
+        return 2;
+    }
+    ReplayScheduler replayer(trace->schedule);
+    const RunReport report = run_one(*setup, replayer);
+    std::cout << "replay " << trace->lock << ": "
+              << (report.failed ? "FAIL" : "ok") << " ("
+              << sim::stop_reason_name(report.stop) << ", " << report.steps
+              << " steps" << (replayer.diverged() ? ", DIVERGED" : "") << ")\n";
+    if (report.failed)
+        std::cout << "  " << report.what << "\n";
+    const bool expectation_met = report.failed == opts.expect_fail;
+    return expectation_met ? 0 : 1;
+}
+
+int
+run_check(const Options& opts)
+{
+    const Selection sel = select_locks(opts);
+    if (!sel.ok) {
+        std::cerr << "nucacheck: unknown lock \"" << opts.lock << "\"\n";
+        return 2;
+    }
+
+    const bool exhaustive = opts.mode == "exhaustive";
+    std::vector<std::string> headers =
+        exhaustive ? std::vector<std::string>{"Lock", "runs", "pruned",
+                                              "truncated", "exhausted",
+                                              "max steps", "bypasses",
+                                              "streak", "verdict"}
+                   : std::vector<std::string>{"Lock", "runs", "truncated",
+                                              "max steps", "bypasses",
+                                              "streak", "verdict"};
+    stats::Table table(headers);
+
+    std::uint64_t failing_locks = 0;
+    bool failure_handling_ok = true;
+    for (const CheckSetup& setup : sel.setups) {
+        std::uint64_t failures = 0;
+        RunReport first_failure;
+        if (exhaustive) {
+            ExploreConfig cfg;
+            cfg.max_schedules = opts.schedules;
+            cfg.max_steps = opts.steps != 0 ? opts.steps : 5000;
+            cfg.preemption_bound = opts.preemptions;
+            const ExploreResult r = explore(setup, cfg);
+            failures = r.failures;
+            first_failure = r.first_failure;
+            table.row()
+                .cell(setup_name(setup))
+                .cell(r.executions)
+                .cell(r.pruned)
+                .cell(r.truncated)
+                .cell(r.exhausted ? "yes" : "no")
+                .cell(r.max_steps_seen)
+                .cell(r.max_bypasses)
+                .cell(r.max_node_streak)
+                .cell(failures != 0 ? "FAIL" : "ok");
+        } else {
+            PctConfig cfg;
+            cfg.executions = opts.pct_runs;
+            cfg.depth = opts.pct_depth;
+            cfg.max_steps = opts.steps != 0 ? opts.steps : 20000;
+            cfg.seed = opts.seed;
+            const PctResult r = pct_check(setup, cfg);
+            failures = r.failures;
+            first_failure = r.first_failure;
+            table.row()
+                .cell(setup_name(setup))
+                .cell(r.executions)
+                .cell(r.truncated)
+                .cell(r.max_steps_seen)
+                .cell(r.max_bypasses)
+                .cell(r.max_node_streak)
+                .cell(failures != 0 ? "FAIL" : "ok");
+        }
+        if (failures != 0) {
+            ++failing_locks;
+            std::cout << setup_name(setup) << ":\n";
+            if (!handle_failure(setup, first_failure, opts.minimize))
+                failure_handling_ok = false;
+        }
+    }
+    table.print(std::cout);
+
+    if (opts.expect_fail)
+        return failing_locks != 0 && failure_handling_ok ? 0 : 1;
+    return failing_locks == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opts;
+    if (!parse_args(argc, argv, opts))
+        return usage(std::cerr);
+    if (!opts.replay.empty())
+        return run_replay(opts);
+    return run_check(opts);
+}
