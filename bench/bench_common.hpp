@@ -7,9 +7,13 @@
 #define NUCALOCK_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/env.hpp"
+#include "obs/report.hpp"
 
 namespace nucalock::bench {
 
@@ -22,6 +26,29 @@ banner(const char* artifact, const char* description)
     if (scale != 1.0)
         std::printf("(NUCALOCK_BENCH_SCALE=%.3g)\n", scale);
     std::printf("\n");
+}
+
+/**
+ * When NUCALOCK_BENCH_JSON names a path, write the binary's headline runs
+ * there as a nucalock-bench-report document (obs/report.hpp) for trajectory
+ * tracking; otherwise do nothing. Returns whether a file was written.
+ */
+inline bool
+maybe_write_json(const obs::ReportConfig& config,
+                 const std::vector<obs::ReportRun>& runs)
+{
+    const char* path = std::getenv("NUCALOCK_BENCH_JSON");
+    if (path == nullptr || *path == '\0')
+        return false;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write NUCALOCK_BENCH_JSON=%s\n",
+                     path);
+        return false;
+    }
+    obs::write_report(out, config, runs);
+    std::printf("(wrote %s)\n", path);
+    return true;
 }
 
 } // namespace nucalock::bench

@@ -44,8 +44,9 @@ main()
         return headers;
     }());
 
-    // Traffic at critical_work = 1500 for Table 2.
-    std::map<LockKind, sim::TrafficStats> traffic_at_1500;
+    // Full results at critical_work = 1500: Table 2's traffic, and the
+    // headline runs for the optional NUCALOCK_BENCH_JSON report.
+    std::map<LockKind, BenchResult> result_at_1500;
 
     for (LockKind kind : paper_lock_kinds()) {
         time_table.row().cell(lock_name(kind));
@@ -61,7 +62,7 @@ main()
             time_table.cell(r.avg_iteration_ns, 0);
             handoff_table.cell(r.node_handoff_ratio, 3);
             if (cw == 1500)
-                traffic_at_1500[kind] = r.traffic;
+                result_at_1500[kind] = r;
         }
     }
 
@@ -70,11 +71,11 @@ main()
     std::cout << "\nNode handoff ratio:\n";
     handoff_table.print(std::cout);
 
-    const sim::TrafficStats& base = traffic_at_1500.at(LockKind::TatasExp);
+    const sim::TrafficStats& base = result_at_1500.at(LockKind::TatasExp).traffic;
     stats::Table traffic_table(
         {"Lock Type", "Local Transactions", "Global Transactions"});
     for (LockKind kind : paper_lock_kinds()) {
-        const sim::TrafficStats& t = traffic_at_1500.at(kind);
+        const sim::TrafficStats& t = result_at_1500.at(kind).traffic;
         traffic_table.row()
             .cell(lock_name(kind))
             .cell(static_cast<double>(t.local_tx) /
@@ -88,5 +89,21 @@ main()
                  "TATAS_EXP\n(TATAS_EXP absolute: local="
               << base.local_tx << " global=" << base.global_tx << "):\n";
     traffic_table.print(std::cout);
+
+    obs::ReportConfig rc;
+    rc.tool = "bench_fig5_table2_newbench";
+    rc.bench = "new";
+    rc.nodes = 2;
+    rc.cpus_per_node = 14;
+    rc.threads = 28;
+    rc.critical_work = 1500;
+    rc.private_work = 4000;
+    rc.iterations = iters;
+    rc.seed = 1;
+    std::vector<obs::ReportRun> runs;
+    for (LockKind kind : paper_lock_kinds())
+        runs.push_back(
+            obs::ReportRun{lock_name(kind), result_at_1500.at(kind), nullptr});
+    bench::maybe_write_json(rc, runs);
     return 0;
 }

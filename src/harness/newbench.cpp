@@ -30,6 +30,7 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     inv_cfg.fairness_window = config.fairness_window;
     sim::InvariantChecker checker(inv_cfg);
     machine.install_invariants(&checker);
+    machine.install_probe(config.probe);
 
     // The shared vector the critical section walks (Fig 4's cs_work[]),
     // one simulated line per `ints_per_line` ints, homed in node 0.
@@ -46,6 +47,9 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     std::uint64_t acquires = 0;
     std::uint64_t timeouts = 0;
     int prev_node = -1;
+    // FNV-1a over the sequence of acquiring thread ids: a probe-independent
+    // fingerprint of the acquisition order (see BenchResult).
+    std::uint64_t order_hash = 0xcbf29ce484222325ULL;
 
     // A plan with thread death can abandon a held lock; survivors then use
     // bounded waits and stop iterating on a timeout so the run terminates.
@@ -74,6 +78,8 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
                     ++handoffs;
                 prev_node = ctx.node();
                 ++acquires;
+                order_hash ^= static_cast<std::uint64_t>(ctx.thread_id());
+                order_hash *= 0x100000001b3ULL;
                 if (cs_lines > 0)
                     ctx.touch_array(cs_work, cs_lines, /*write=*/true);
                 ctx.cs_exit();
@@ -102,6 +108,7 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     for (int t = 0; t < config.threads; ++t)
         result.finish_times.push_back(machine.finish_time(t));
     result.fairness_spread_pct = fairness_spread_pct(result.finish_times);
+    result.acquisition_order_hash = order_hash;
     result.faults_injected = injector.injected();
     result.fault_log = injector.log();
     result.mutex_violations = checker.mutual_exclusion_violations();

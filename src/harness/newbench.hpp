@@ -14,6 +14,7 @@
 #include "harness/results.hpp"
 #include "locks/any_lock.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
@@ -54,6 +55,14 @@ struct NewBenchConfig
      * abandoned), keeping the run terminating instead of deadlocking.
      */
     sim::SimTime recovery_timeout_ns = 20'000'000;
+
+    /**
+     * Lock-event probe sink installed on the machine for the run (see
+     * src/obs/). Non-owning; nullptr = observability off. Installing a
+     * sink must not change the simulated run — the result's
+     * acquisition_order_hash is bit-identical either way.
+     */
+    obs::ProbeSink* probe = nullptr;
 };
 
 /** Run the new microbenchmark for @p kind. */

@@ -65,7 +65,7 @@ cli_usage()
            "                 [--threads=N] [--critical-work=INTS]\n"
            "                 [--private-work=ITERS] [--iterations=N]\n"
            "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
-           "                 [--faults=SPEC] [--csv] [--help]\n"
+           "                 [--faults=SPEC] [--csv] [--json=PATH] [--help]\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n"
@@ -79,6 +79,7 @@ CliParse
 parse_cli(const std::vector<std::string>& args)
 {
     CliOptions opts;
+    bool threads_given = false;
     for (const std::string& arg : args) {
         std::string key;
         std::string value;
@@ -111,6 +112,7 @@ parse_cli(const std::vector<std::string>& args)
         } else if (key == "threads") {
             if (!parse_number(value, &opts.threads) || opts.threads < 1)
                 return fail("bad --threads '" + value + "'");
+            threads_given = true;
         } else if (key == "critical-work") {
             if (!parse_number(value, &opts.critical_work))
                 return fail("bad --critical-work '" + value + "'");
@@ -134,11 +136,27 @@ parse_cli(const std::vector<std::string>& args)
             opts.faults = value;
         } else if (key == "csv") {
             opts.csv = true;
+        } else if (key == "json") {
+            if (value.empty())
+                return fail("--json needs a path (use - for stdout)");
+            opts.json = value;
+        } else if (key == "trace") {
+            if (value.empty())
+                return fail("--trace needs a path");
+            opts.trace = value;
+        } else if (key == "check-schema") {
+            if (value.empty())
+                return fail("--check-schema needs a report file");
+            opts.check_schema = value;
         } else {
             return fail("unknown option '--" + key + "'");
         }
     }
 
+    if (!opts.trace.empty() && opts.lock == "ALL")
+        return fail("--trace needs a single --lock (not ALL)");
+    if (!threads_given)
+        opts.threads = opts.nodes * opts.cpus_per_node; // full machine
     if (opts.threads > opts.nodes * opts.cpus_per_node)
         return fail("--threads exceeds nodes*cpus-per-node");
     if (opts.lock == "RH" && opts.nodes > 2)

@@ -29,6 +29,8 @@ struct CliOptions
     std::string lock = "ALL";
     int nodes = 2;
     int cpus_per_node = 14;
+    /** Defaults to the full machine (nodes * cpus_per_node) when not
+     *  given on the command line. */
     int threads = 28;
     std::uint32_t critical_work = 1500;
     std::uint32_t private_work = 4000;
@@ -44,6 +46,15 @@ struct CliOptions
      */
     std::string faults;
     bool csv = false;
+    /** Write a machine-readable report (obs/report.hpp) to this path;
+     *  "-" = stdout. Empty = off. */
+    std::string json;
+    /** nucaprof only: write a Chrome/Perfetto trace to this path (requires
+     *  a single --lock, not ALL). Empty = off. */
+    std::string trace;
+    /** nucaprof only: validate an existing report file against the schema
+     *  and exit; no benchmark runs. */
+    std::string check_schema;
     bool help = false;
 };
 

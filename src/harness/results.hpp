@@ -32,6 +32,14 @@ struct BenchResult
     std::vector<sim::SimTime> finish_times;
     /** (last - first finisher) / last, in percent (paper's Fig. 8 metric). */
     double fairness_spread_pct = 0.0;
+    /**
+     * FNV-1a hash of the global acquisition order (the sequence of thread
+     * ids entering the critical section). Computed by the harness itself —
+     * never by probes — so it is a probe-independent fingerprint: for a
+     * given seed it must be bit-identical with observability on or off
+     * (pinned by tests/obs_test.cpp).
+     */
+    std::uint64_t acquisition_order_hash = 0;
 
     // ----- robustness subsystem (zero unless a fault plan ran) ------------
 

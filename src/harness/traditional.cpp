@@ -21,6 +21,7 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
     SimMachine machine(config.topology, config.latency,
                        sim::SimConfig{.seed = config.seed});
     AnyLock<SimContext> lock(machine, kind, config.params);
+    machine.install_probe(config.probe);
 
     // Shared benchmark state. `owner` and `active` live in simulated memory
     // because observing them is part of the benchmark; the handoff counters
@@ -32,6 +33,8 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
     std::uint64_t handoffs = 0;
     std::uint64_t acquires = 0;
     int prev_node = -1;
+    // FNV-1a over the acquiring thread ids (see BenchResult).
+    std::uint64_t order_hash = 0xcbf29ce484222325ULL;
 
     machine.add_threads(
         config.threads, config.placement, [&](SimContext& ctx, int) {
@@ -48,6 +51,8 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
                     ++handoffs;
                 prev_node = ctx.node();
                 ++acquires;
+                order_hash ^= static_cast<std::uint64_t>(ctx.thread_id());
+                order_hash *= 0x100000001b3ULL;
                 lock.release(ctx);
             }
             // Retire from the benchmark.
@@ -73,6 +78,7 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
     for (int t = 0; t < config.threads; ++t)
         result.finish_times.push_back(machine.finish_time(t));
     result.fairness_spread_pct = fairness_spread_pct(result.finish_times);
+    result.acquisition_order_hash = order_hash;
     NUCA_ASSERT(acquires == static_cast<std::uint64_t>(config.threads) *
                                 config.iterations_per_thread);
     return result;

@@ -13,6 +13,7 @@
 #include "harness/results.hpp"
 #include "locks/any_lock.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 #include "sim/engine.hpp"
 #include "topology/mapping.hpp"
 
@@ -27,6 +28,8 @@ struct TraditionalConfig
     Placement placement = Placement::RoundRobinNodes;
     std::uint32_t iterations_per_thread = 200;
     std::uint64_t seed = 1;
+    /** Lock-event probe sink (src/obs/); non-owning, nullptr = off. */
+    obs::ProbeSink* probe = nullptr;
 };
 
 /** Run the traditional microbenchmark for @p kind. */

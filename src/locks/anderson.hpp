@@ -16,6 +16,7 @@
 #include "common/logging.hpp"
 #include "locks/context.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -45,6 +46,7 @@ class AndersonLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, ticket_.token());
         // fetch-and-increment built from cas (the paper's primitive set).
         std::uint64_t t;
         while (true) {
@@ -59,6 +61,7 @@ class AndersonLock
             ctx.store(flag, kMustWait); // consume the grant for the next lap
         }
         holder_slot_[static_cast<std::size_t>(ctx.thread_id())] = slot;
+        obs::probe(ctx, obs::LockEvent::Acquired, ticket_.token());
     }
 
     /**
@@ -72,6 +75,7 @@ class AndersonLock
     bool
     try_acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, ticket_.token(), 1);
         const std::uint64_t t = ctx.load(ticket_);
         if (ctx.load(grants_) != t)
             return false; // held, or a handover is still in flight
@@ -84,12 +88,14 @@ class AndersonLock
             ctx.store(flag, kMustWait);
         }
         holder_slot_[static_cast<std::size_t>(ctx.thread_id())] = slot;
+        obs::probe(ctx, obs::LockEvent::Acquired, ticket_.token(), 1);
         return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, ticket_.token());
         const auto tid = static_cast<std::size_t>(ctx.thread_id());
         const std::uint64_t slot = holder_slot_[tid];
         NUCA_ASSERT(slot < slots_, "release without acquire");

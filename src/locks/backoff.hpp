@@ -11,17 +11,21 @@
 
 #include "locks/context.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
 /**
  * Delay for *b iterations (+/-25% jitter when enabled), then grow
  * *b geometrically up to @p cap — exactly Fig. 1's backoff(&b, cap).
+ *
+ * @p cls labels the episode for observability only (which constants this
+ * site uses — local vs remote holder); it never changes the delay.
  */
 template <LockContext Ctx>
 void
 backoff(Ctx& ctx, std::uint32_t* b, std::uint32_t factor, std::uint32_t cap,
-        bool jitter)
+        bool jitter, obs::BackoffClass cls = obs::BackoffClass::Generic)
 {
     std::uint64_t d = *b;
     if (jitter && d >= 4) {
@@ -29,7 +33,10 @@ backoff(Ctx& ctx, std::uint32_t* b, std::uint32_t factor, std::uint32_t cap,
         const std::uint64_t quarter = d / 4;
         d = d - quarter + ctx.rng().next_below(2 * quarter);
     }
+    obs::probe(ctx, obs::LockEvent::BackoffBegin, 0, d,
+               static_cast<std::uint64_t>(cls));
     ctx.delay(d);
+    obs::probe(ctx, obs::LockEvent::BackoffEnd, 0);
     *b = std::min(*b * factor, cap);
 }
 

@@ -15,6 +15,7 @@
 #include "common/logging.hpp"
 #include "locks/context.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -39,11 +40,13 @@ class ClhLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token());
         Slot& slot = my_slot(ctx);
         ctx.store(slot.mine, kBusy);
         const std::uint64_t pred_token = ctx.swap(tail_, slot.mine.token());
         slot.pred = Machine::ref_from_token(pred_token);
         ctx.spin_while_equal(slot.pred, kBusy);
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token());
     }
 
     /**
@@ -58,6 +61,7 @@ class ClhLock
     bool
     try_acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token(), 1);
         Slot& slot = my_slot(ctx);
         const std::uint64_t tail_token = ctx.load(tail_);
         const Ref pred = Machine::ref_from_token(tail_token);
@@ -68,12 +72,14 @@ class ClhLock
             return false; // someone enqueued first; we never joined
         slot.pred = pred;
         ctx.spin_while_equal(slot.pred, kBusy); // almost always immediate
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token(), 1);
         return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, tail_.token());
         Slot& slot = slots_[static_cast<std::size_t>(ctx.thread_id())];
         ctx.store(slot.mine, kFree);
         // Standard CLH recycling: the predecessor's node is now ours.

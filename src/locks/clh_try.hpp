@@ -34,6 +34,7 @@
 #include "locks/context.hpp"
 #include "locks/instrumented.hpp" // detail::lock_clock_ns
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -58,8 +59,10 @@ class ClhTryLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token());
         const bool ok = acquire_deadline(ctx, /*has_deadline=*/false, 0);
         NUCA_ASSERT(ok, "untimed acquire cannot fail");
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token());
     }
 
     /**
@@ -70,8 +73,12 @@ class ClhTryLock
     bool
     try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
     {
-        return acquire_deadline(ctx, /*has_deadline=*/true,
-                                detail::lock_clock_ns(ctx) + timeout_ns);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token(), 1);
+        if (!acquire_deadline(ctx, /*has_deadline=*/true,
+                              detail::lock_clock_ns(ctx) + timeout_ns))
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token(), 1);
+        return true;
     }
 
     /**
@@ -83,13 +90,18 @@ class ClhTryLock
     bool
     try_acquire(Ctx& ctx)
     {
-        return acquire_deadline(ctx, /*has_deadline=*/true,
-                                detail::lock_clock_ns(ctx));
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token(), 1);
+        if (!acquire_deadline(ctx, /*has_deadline=*/true,
+                              detail::lock_clock_ns(ctx)))
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, tail_.token());
         const Ref mine = held_[static_cast<std::size_t>(ctx.thread_id())];
         NUCA_ASSERT(mine.valid(), "release without acquire");
         held_[static_cast<std::size_t>(ctx.thread_id())] = Ref{};

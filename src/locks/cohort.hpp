@@ -26,6 +26,7 @@
 #include "locks/context.hpp"
 #include "locks/params.hpp"
 #include "locks/ticket.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -56,6 +57,7 @@ class CohortLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, lock_id());
         NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
 
         // 1. Local lock (TATAS_EXP on the node's word): cheap, node-local.
@@ -64,11 +66,13 @@ class CohortLock
         // 2. Global lock, unless our cohort predecessor passed it to us.
         if (node.global_owned) {
             ++node.streak;
+            obs::probe(ctx, obs::LockEvent::Acquired, lock_id());
             return;
         }
         global_.acquire(ctx);
         node.global_owned = true;
         node.streak = 0;
+        obs::probe(ctx, obs::LockEvent::Acquired, lock_id());
     }
 
     /**
@@ -80,16 +84,19 @@ class CohortLock
     bool
     try_acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, lock_id(), 1);
         NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
         if (ctx.cas(node.word, kFree, kLocked) != kFree)
             return false;
         if (node.global_owned) {
             ++node.streak;
+            obs::probe(ctx, obs::LockEvent::Acquired, lock_id(), 1);
             return true;
         }
         if (global_.try_acquire(ctx)) {
             node.global_owned = true;
             node.streak = 0;
+            obs::probe(ctx, obs::LockEvent::Acquired, lock_id(), 1);
             return true;
         }
         ctx.store(node.word, kFree); // undo the local tier
@@ -99,6 +106,7 @@ class CohortLock
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, lock_id());
         NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
         NUCA_ASSERT(node.global_owned, "release without acquire");
 
@@ -119,6 +127,9 @@ class CohortLock
     static constexpr std::uint64_t kFree = 0;
     static constexpr std::uint64_t kLocked = 1;
     static constexpr std::uint64_t kLockedContended = 2;
+
+    /** Identity for probes: node 0's local word (stable for the lock's life). */
+    std::uint64_t lock_id() const { return local_[0].word.token(); }
 
     struct NodeState
     {
@@ -160,7 +171,8 @@ class CohortLock
             }
             if (v == kLocked)
                 ctx.cas(word, kLocked, kLockedContended);
-            backoff(ctx, &b, bp.factor, bp.cap, params_.jitter);
+            backoff(ctx, &b, bp.factor, bp.cap, params_.jitter,
+                    obs::BackoffClass::Local);
         }
     }
 

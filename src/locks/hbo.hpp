@@ -78,22 +78,28 @@ class HboLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token());
         // Figure 1 lines 6-9: the uncontested path is one cas.
         const std::uint64_t tmp = ctx.cas(word_, kHboFree, hbo_node_token(ctx.node()));
-        if (tmp == kHboFree)
-            return;
-        acquire_slowpath(ctx, tmp);
+        if (tmp != kHboFree)
+            acquire_slowpath(ctx, tmp);
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token());
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
-        return ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) == kHboFree;
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) != kHboFree)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, word_.token());
         ctx.store(word_, kHboFree);
     }
 
@@ -108,14 +114,16 @@ class HboLock
                 std::uint32_t b = params_.hbo_local.base;
                 while (true) {
                     backoff(ctx, &b, params_.hbo_local.factor,
-                            params_.hbo_local.cap, params_.jitter);
+                            params_.hbo_local.cap, params_.jitter,
+                            obs::BackoffClass::Local);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree)
                         return;
                     if (tmp != mine) {
                         // The lock migrated away; re-dispatch.
                         backoff(ctx, &b, params_.hbo_local.factor,
-                                params_.hbo_local.cap, params_.jitter);
+                                params_.hbo_local.cap, params_.jitter,
+                                obs::BackoffClass::Local);
                         break;
                     }
                 }
@@ -123,7 +131,8 @@ class HboLock
                 // Lock is in a remote node: back off hard.
                 std::uint32_t b = params_.hbo_remote_base;
                 while (true) {
-                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                            obs::BackoffClass::Remote);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree)
                         return;

@@ -19,6 +19,7 @@
 #include "locks/context.hpp"
 #include "locks/hbo.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -45,26 +46,35 @@ class HboGtLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token());
         // Figure 1 line 5: wait while our node's gate names this lock.
+        obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
         ctx.spin_while_equal(my_gate(ctx), gate_token_);
         const std::uint64_t tmp =
             ctx.cas(word_, kHboFree, hbo_node_token(ctx.node()));
-        if (tmp == kHboFree)
-            return;
-        acquire_slowpath(ctx, tmp);
+        if (tmp != kHboFree)
+            acquire_slowpath(ctx, tmp);
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token());
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
-        if (ctx.load(my_gate(ctx)) == gate_token_)
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.load(my_gate(ctx)) == gate_token_) {
+            obs::probe(ctx, obs::LockEvent::GateBlocked, word_.token());
             return false;
-        return ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) == kHboFree;
+        }
+        if (ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) != kHboFree)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, word_.token());
         ctx.store(word_, kHboFree);
     }
 
@@ -86,13 +96,15 @@ class HboGtLock
                 bool migrated = false;
                 while (!migrated) {
                     backoff(ctx, &b, params_.hbo_local.factor,
-                            params_.hbo_local.cap, params_.jitter);
+                            params_.hbo_local.cap, params_.jitter,
+                            obs::BackoffClass::Local);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree)
                         return;
                     if (tmp != mine) {
                         backoff(ctx, &b, params_.hbo_local.factor,
-                                params_.hbo_local.cap, params_.jitter);
+                                params_.hbo_local.cap, params_.jitter,
+                                obs::BackoffClass::Local);
                         migrated = true;
                     }
                 }
@@ -100,21 +112,27 @@ class HboGtLock
                 // Remote holder: publish the gate and back off hard
                 // (Figure 1 lines 37-52).
                 std::uint32_t b = params_.hbo_remote_base;
+                obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                           static_cast<std::uint64_t>(ctx.node()));
                 ctx.store(my_gate(ctx), gate_token_);
                 while (true) {
-                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                            obs::BackoffClass::Remote);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree) {
+                        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(), 1);
                         ctx.store(my_gate(ctx), kGateDummyValue);
                         return;
                     }
                     if (tmp == mine) {
+                        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(), 1);
                         ctx.store(my_gate(ctx), kGateDummyValue);
                         break;
                     }
                 }
             }
             // Figure 1 lines 55-60 ("restart"): re-gate, retry, re-dispatch.
+            obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
             ctx.spin_while_equal(my_gate(ctx), gate_token_);
             tmp = hbo_poll(ctx, word_, mine);
             if (tmp == kHboFree)

@@ -26,6 +26,7 @@
 #include "locks/hbo.hpp"
 #include "locks/hbo_gt.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -54,26 +55,35 @@ class HboGtSdLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token());
+        obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
         ctx.spin_while_equal(gates_[static_cast<std::size_t>(ctx.node())],
                              gate_token_);
         const std::uint64_t tmp =
             ctx.cas(word_, kHboFree, hbo_node_token(ctx.node()));
-        if (tmp == kHboFree)
-            return;
-        acquire_slowpath(ctx, tmp);
+        if (tmp != kHboFree)
+            acquire_slowpath(ctx, tmp);
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token());
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
-        if (ctx.load(gates_[static_cast<std::size_t>(ctx.node())]) == gate_token_)
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.load(gates_[static_cast<std::size_t>(ctx.node())]) == gate_token_) {
+            obs::probe(ctx, obs::LockEvent::GateBlocked, word_.token());
             return false;
-        return ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) == kHboFree;
+        }
+        if (ctx.cas(word_, kHboFree, hbo_node_token(ctx.node())) != kHboFree)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, word_.token());
         ctx.store(word_, kHboFree);
     }
 
@@ -94,13 +104,15 @@ class HboGtSdLock
                 bool migrated = false;
                 while (!migrated) {
                     backoff(ctx, &b, params_.hbo_local.factor,
-                            params_.hbo_local.cap, params_.jitter);
+                            params_.hbo_local.cap, params_.jitter,
+                            obs::BackoffClass::Local);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree)
                         return;
                     if (tmp != mine) {
                         backoff(ctx, &b, params_.hbo_local.factor,
-                                params_.hbo_local.cap, params_.jitter);
+                                params_.hbo_local.cap, params_.jitter,
+                                obs::BackoffClass::Local);
                         migrated = true;
                     }
                 }
@@ -108,6 +120,7 @@ class HboGtSdLock
                 if (remote_spin(ctx, mine))
                     return;
             }
+            obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
             ctx.spin_while_equal(my_gate(ctx), gate_token_);
             tmp = hbo_poll(ctx, word_, mine);
             if (tmp == kHboFree)
@@ -129,23 +142,31 @@ class HboGtSdLock
         std::array<bool, kMaxNodes> stopped{};
         int stopped_count = 0;
 
+        obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                   static_cast<std::uint64_t>(ctx.node()));
         ctx.store(my_gate(ctx), gate_token_);
         while (true) {
             if (angry) {
                 // Measure (1): spin more frequently.
                 std::uint32_t fast = params_.hbo_local.base;
                 backoff(ctx, &fast, params_.hbo_local.factor,
-                        params_.hbo_local.cap, params_.jitter);
+                        params_.hbo_local.cap, params_.jitter,
+                        obs::BackoffClass::Local);
             } else {
-                backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+                backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                        obs::BackoffClass::Remote);
             }
 
             const std::uint64_t tmp = hbo_poll(ctx, word_, mine);
             if (tmp == kHboFree) {
+                if (angry)
+                    obs::probe(ctx, obs::LockEvent::AngryExit, word_.token());
                 open_gates(ctx, stopped, stopped_count);
                 return true;
             }
             if (tmp == mine) {
+                if (angry)
+                    obs::probe(ctx, obs::LockEvent::AngryExit, word_.token());
                 open_gates(ctx, stopped, stopped_count);
                 return false;
             }
@@ -153,6 +174,9 @@ class HboGtSdLock
             // The lock is still in some remote node.
             ++get_angry;
             if (get_angry >= params_.get_angry_limit) {
+                if (!angry)
+                    obs::probe(ctx, obs::LockEvent::AngryEnter, word_.token(),
+                               tmp - 1);
                 angry = true;
                 // Measure (2): stop the holding node's threads.
                 const int holder = static_cast<int>(tmp) - 1;
@@ -160,6 +184,8 @@ class HboGtSdLock
                     !stopped[static_cast<std::size_t>(holder)]) {
                     stopped[static_cast<std::size_t>(holder)] = true;
                     ++stopped_count;
+                    obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                               static_cast<std::uint64_t>(holder), 1);
                     ctx.store(gates_[static_cast<std::size_t>(holder)],
                               gate_token_);
                 }
@@ -172,6 +198,8 @@ class HboGtSdLock
     open_gates(Ctx& ctx, const std::array<bool, kMaxNodes>& stopped,
                int stopped_count)
     {
+        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(),
+                   static_cast<std::uint64_t>(stopped_count) + 1);
         ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
         if (stopped_count == 0)
             return;

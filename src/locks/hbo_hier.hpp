@@ -19,6 +19,7 @@
 #include "locks/hbo.hpp"
 #include "locks/hbo_gt.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -46,24 +47,33 @@ class HboHierLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token());
+        obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
         ctx.spin_while_equal(my_gate(ctx), gate_token_);
         const std::uint64_t tmp = ctx.cas(word_, kHboFree, chip_token(ctx));
-        if (tmp == kHboFree)
-            return;
-        acquire_slowpath(ctx, tmp);
+        if (tmp != kHboFree)
+            acquire_slowpath(ctx, tmp);
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token());
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
-        if (ctx.load(my_gate(ctx)) == gate_token_)
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.load(my_gate(ctx)) == gate_token_) {
+            obs::probe(ctx, obs::LockEvent::GateBlocked, word_.token());
             return false;
-        return ctx.cas(word_, kHboFree, chip_token(ctx)) == kHboFree;
+        }
+        if (ctx.cas(word_, kHboFree, chip_token(ctx)) != kHboFree)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, word_.token());
         ctx.store(word_, kHboFree);
     }
 
@@ -107,15 +117,20 @@ class HboHierLock
             if (level == Level::Remote) {
                 // Gated remote spinning, exactly as HBO_GT.
                 std::uint32_t b = params_.hbo_remote_base;
+                obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                           static_cast<std::uint64_t>(ctx.node()));
                 ctx.store(my_gate(ctx), gate_token_);
                 while (true) {
-                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter);
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                            obs::BackoffClass::Remote);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree) {
+                        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(), 1);
                         ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
                         return;
                     }
                     if (level_of(ctx, tmp) != Level::Remote) {
+                        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(), 1);
                         ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
                         break;
                     }
@@ -127,7 +142,8 @@ class HboHierLock
                 std::uint32_t b = bp.base;
                 bool moved = false;
                 while (!moved) {
-                    backoff(ctx, &b, bp.factor, bp.cap, params_.jitter);
+                    backoff(ctx, &b, bp.factor, bp.cap, params_.jitter,
+                            obs::BackoffClass::Local);
                     tmp = hbo_poll(ctx, word_, mine);
                     if (tmp == kHboFree)
                         return;
@@ -135,6 +151,7 @@ class HboHierLock
                         moved = true; // holder distance changed; re-dispatch
                 }
             }
+            obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
             ctx.spin_while_equal(my_gate(ctx), gate_token_);
             tmp = hbo_poll(ctx, word_, mine);
             if (tmp == kHboFree)

@@ -28,6 +28,7 @@
 #include "common/logging.hpp"
 #include "locks/context.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -61,31 +62,40 @@ class McsLock
     bool
     acquire_reporting(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token());
         QNode& q = qnode(ctx);
         ctx.store(q.next, kEmpty);
         const std::uint64_t pred = ctx.swap(tail_, id_of(ctx));
-        if (pred == kEmpty)
+        if (pred == kEmpty) {
+            obs::probe(ctx, obs::LockEvent::Acquired, tail_.token());
             return false; // lock was free
+        }
         // Prepare our flag before making ourselves visible to the
         // predecessor, then link in and spin locally.
         ctx.store(q.locked, 1);
         QNode& pq = qnode_of(pred);
         ctx.store(pq.next, id_of(ctx));
         ctx.spin_while_equal(q.locked, 1);
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token());
         return true;
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token(), 1);
         QNode& q = qnode(ctx);
         ctx.store(q.next, kEmpty);
-        return ctx.cas(tail_, kEmpty, id_of(ctx)) == kEmpty;
+        if (ctx.cas(tail_, kEmpty, id_of(ctx)) != kEmpty)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, tail_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, tail_.token());
         QNode& q = qnode(ctx);
         if (ctx.load(q.next) == kEmpty) {
             // No visible successor: try to close the queue.

@@ -20,6 +20,7 @@
 #include "locks/context.hpp"
 #include "locks/mcs.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -49,6 +50,36 @@ class ReactiveLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token());
+        acquire_impl(ctx);
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token());
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.tas(word_) != 0)
+            return false;
+        queued_ = false;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        obs::probe(ctx, obs::LockEvent::Released, word_.token());
+        const bool was_queued = queued_;
+        ctx.store(word_, 0);
+        if (was_queued)
+            queue_.release(ctx);
+    }
+
+  private:
+    void
+    acquire_impl(Ctx& ctx)
+    {
         if (ctx.load(mode_) == kSpinMode) {
             const std::uint64_t attempts = spin_acquire(ctx);
             // Holder-side adaptation: repeated contended acquires flip the
@@ -77,31 +108,6 @@ class ReactiveLock
         queued_ = true;
     }
 
-    /**
-     * Non-blocking try: one tas on the word. Mutual exclusion is always
-     * provided by the word alone (queue mode merely routes arrivals), so
-     * bypassing the queue is safe in either mode; release sees
-     * queued_ == false and skips the queue handoff.
-     */
-    bool
-    try_acquire(Ctx& ctx)
-    {
-        if (ctx.tas(word_) != 0)
-            return false;
-        queued_ = false;
-        return true;
-    }
-
-    void
-    release(Ctx& ctx)
-    {
-        const bool was_queued = queued_;
-        ctx.store(word_, 0);
-        if (was_queued)
-            queue_.release(ctx);
-    }
-
-  private:
     static constexpr std::uint64_t kSpinMode = 0;
     static constexpr std::uint64_t kQueueMode = 1;
 
@@ -115,7 +121,7 @@ class ReactiveLock
         std::uint32_t b = params_.tatas.base;
         while (true) {
             backoff(ctx, &b, params_.tatas.factor, params_.tatas.cap,
-                    params_.jitter);
+                    params_.jitter, obs::BackoffClass::Generic);
             if (ctx.load(word_) != 0)
                 continue;
             ++attempts;

@@ -22,6 +22,7 @@
 #include "locks/backoff.hpp"
 #include "locks/context.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -50,6 +51,7 @@ class RhLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, flag_[0].token());
         const int n = my_word(ctx);
         const std::uint64_t me = tid_value(ctx);
         std::uint32_t b = params_.hbo_local.base;
@@ -57,21 +59,24 @@ class RhLock
         while (true) {
             const std::uint64_t v = ctx.load(flag_[static_cast<std::size_t>(n)]);
             if (v == kFreeValue || v == kLocalFree) {
-                if (ctx.cas(flag_[static_cast<std::size_t>(n)], v, me) == v)
+                if (ctx.cas(flag_[static_cast<std::size_t>(n)], v, me) == v) {
+                    obs::probe(ctx, obs::LockEvent::Acquired, flag_[0].token());
                     return; // lock obtained through the local word
+                }
                 continue;   // raced; re-read immediately
             }
             if (v == kRemote && two_nodes_) {
                 if (ctx.cas(flag_[static_cast<std::size_t>(n)], kRemote, me) ==
                     kRemote) {
                     remote_spin(ctx, 1 - n); // we are the node winner
+                    obs::probe(ctx, obs::LockEvent::Acquired, flag_[0].token());
                     return;
                 }
                 continue;
             }
             // Held by (or promised to) a local thread: poll with backoff.
             backoff(ctx, &b, params_.hbo_local.factor, params_.hbo_local.cap,
-                    params_.jitter);
+                    params_.jitter, obs::BackoffClass::Local);
         }
     }
 
@@ -85,17 +90,21 @@ class RhLock
     bool
     try_acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, flag_[0].token(), 1);
         const int n = my_word(ctx);
         const std::uint64_t v = ctx.load(flag_[static_cast<std::size_t>(n)]);
         if (v != kFreeValue && v != kLocalFree)
             return false;
-        return ctx.cas(flag_[static_cast<std::size_t>(n)], v, tid_value(ctx)) ==
-               v;
+        if (ctx.cas(flag_[static_cast<std::size_t>(n)], v, tid_value(ctx)) != v)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, flag_[0].token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, flag_[0].token());
         const int n = my_word(ctx);
         ++release_count_;
         const bool global =
@@ -152,7 +161,8 @@ class RhLock
             } else {
                 lfree_seen = 0;
             }
-            backoff(ctx, &b, 2, params_.rh_remote_cap, params_.jitter);
+            backoff(ctx, &b, 2, params_.rh_remote_cap, params_.jitter,
+                    obs::BackoffClass::Remote);
         }
     }
 

@@ -30,20 +30,26 @@ class TatasExpLock
     void
     acquire(Ctx& ctx)
     {
-        if (ctx.tas(word_) == 0)
-            return;
-        acquire_slowpath(ctx);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token());
+        if (ctx.tas(word_) != 0)
+            acquire_slowpath(ctx);
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token());
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
-        return ctx.tas(word_) == 0;
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.tas(word_) != 0)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, word_.token());
         ctx.store(word_, 0);
     }
 

@@ -9,6 +9,7 @@
 
 #include "locks/context.hpp"
 #include "locks/params.hpp"
+#include "obs/probe.hpp"
 
 namespace nucalock::locks {
 
@@ -32,6 +33,7 @@ class TicketLock
     void
     acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, next_.token());
         // fetch-and-increment built from cas (the paper's primitive set).
         std::uint64_t my;
         while (true) {
@@ -41,27 +43,38 @@ class TicketLock
         }
         while (true) {
             const std::uint64_t serving = ctx.load(serving_);
-            if (serving == my)
+            if (serving == my) {
+                obs::probe(ctx, obs::LockEvent::Acquired, next_.token());
                 return;
+            }
             // Proportional backoff: the further back in line, the longer
             // the wait before polling again.
-            ctx.delay((my - serving) * delay_per_waiter_);
+            const std::uint64_t d = (my - serving) * delay_per_waiter_;
+            obs::probe(ctx, obs::LockEvent::BackoffBegin, next_.token(), d,
+                       static_cast<std::uint64_t>(obs::BackoffClass::Generic));
+            ctx.delay(d);
+            obs::probe(ctx, obs::LockEvent::BackoffEnd, next_.token());
         }
     }
 
     bool
     try_acquire(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, next_.token(), 1);
         const std::uint64_t serving = ctx.load(serving_);
         const std::uint64_t next = ctx.load(next_);
         if (serving != next)
             return false;
-        return ctx.cas(next_, next, next + 1) == next;
+        if (ctx.cas(next_, next, next + 1) != next)
+            return false;
+        obs::probe(ctx, obs::LockEvent::Acquired, next_.token(), 1);
+        return true;
     }
 
     void
     release(Ctx& ctx)
     {
+        obs::probe(ctx, obs::LockEvent::Released, next_.token());
         // Only the holder writes serving_, so load+store is safe.
         ctx.store(serving_, ctx.load(serving_) + 1);
     }

@@ -19,6 +19,10 @@
 #include "topology/mapping.hpp"
 #include "topology/topology.hpp"
 
+namespace nucalock::obs {
+class ProbeSink;
+}
+
 namespace nucalock::native {
 
 class NativeMachine;
@@ -108,6 +112,22 @@ class NativeContext
         return swap(ref, 1);
     }
 
+    /**
+     * Observability-only read (see sim::SimContext::peek): a relaxed load
+     * with no ordering obligations. Only for probes, never for locks.
+     */
+    std::uint64_t
+    peek(Ref ref) const
+    {
+        return ref.word->load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The machine's installed probe sink (nullptr = observability off).
+     * Native probes fire concurrently — install a ThreadSafeSink.
+     */
+    obs::ProbeSink* probe_sink() const { return probe_; }
+
     /** Poll until the word differs from @p value; returns what it saw. */
     std::uint64_t spin_while_equal(Ref ref, std::uint64_t value);
 
@@ -143,6 +163,7 @@ class NativeContext
     int node_ = -1;
     int chip_ = -1;
     std::uint32_t yield_every_ = 64;
+    obs::ProbeSink* probe_ = nullptr; // non-owning, copied from the machine
     Xoshiro256 rng_{0};
 };
 
@@ -198,6 +219,14 @@ class NativeMachine
      */
     NativeContext make_context(int tid, int cpu);
 
+    /**
+     * Install a lock-event probe sink (non-owning; nullptr uninstalls).
+     * Must be thread-safe (obs::ThreadSafeSink) — contexts created after
+     * this call emit to it from their own OS threads.
+     */
+    void install_probe(obs::ProbeSink* sink) { probe_ = sink; }
+    obs::ProbeSink* probe() const { return probe_; }
+
   private:
     using Chunk = std::unique_ptr<std::atomic<std::uint64_t>[]>;
 
@@ -206,6 +235,8 @@ class NativeMachine
     std::mutex alloc_mutex_;
     std::vector<Chunk> chunks_;
     std::vector<NativeRef> node_gates_;
+    obs::ProbeSink* probe_ = nullptr; // non-owning
+
 };
 
 } // namespace nucalock::native

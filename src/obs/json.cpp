@@ -1,0 +1,499 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace nucalock::obs {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string
+json_escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty) : os_(os), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::newline_indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::before_value()
+{
+    if (key_pending_) {
+        key_pending_ = false;
+        return; // the key already positioned us
+    }
+    if (stack_.empty())
+        return; // top-level value
+    NUCA_ASSERT(!stack_.back(), "value inside an object requires a key");
+    if (!first_in_container_)
+        os_ << ',';
+    first_in_container_ = false;
+    newline_indent();
+}
+
+JsonWriter&
+JsonWriter::begin_object()
+{
+    before_value();
+    os_ << '{';
+    stack_.push_back(true);
+    first_in_container_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::end_object()
+{
+    NUCA_ASSERT(!stack_.empty() && stack_.back(), "unbalanced end_object");
+    const bool was_empty = first_in_container_;
+    stack_.pop_back();
+    if (!was_empty)
+        newline_indent();
+    os_ << '}';
+    first_in_container_ = false;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::begin_array()
+{
+    before_value();
+    os_ << '[';
+    stack_.push_back(false);
+    first_in_container_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::end_array()
+{
+    NUCA_ASSERT(!stack_.empty() && !stack_.back(), "unbalanced end_array");
+    const bool was_empty = first_in_container_;
+    stack_.pop_back();
+    if (!was_empty)
+        newline_indent();
+    os_ << ']';
+    first_in_container_ = false;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view name)
+{
+    NUCA_ASSERT(!stack_.empty() && stack_.back(), "key outside an object");
+    NUCA_ASSERT(!key_pending_, "two keys in a row");
+    if (!first_in_container_)
+        os_ << ',';
+    first_in_container_ = false;
+    newline_indent();
+    os_ << '"' << json_escape(name) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view text)
+{
+    before_value();
+    os_ << '"' << json_escape(text) << '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter&
+JsonWriter::value(double number)
+{
+    before_value();
+    if (!std::isfinite(number)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", number);
+    // Trim to the shortest representation that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof shorter, "%.*g", precision, number);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == number) {
+            os_ << shorter;
+            return *this;
+        }
+    }
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t number)
+{
+    before_value();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::int64_t number)
+{
+    before_value();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    before_value();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    before_value();
+    os_ << "null";
+    return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string* error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    run()
+    {
+        skip_ws();
+        JsonValue v;
+        if (!parse_value(&v))
+            return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    std::optional<JsonValue>
+    fail(const std::string& message)
+    {
+        if (error_ != nullptr && error_->empty())
+            *error_ = message + " (at offset " + std::to_string(pos_) + ")";
+        ok_ = false;
+        return std::nullopt;
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parse_value(JsonValue* out)
+    {
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parse_object(out);
+          case '[': return parse_array(out);
+          case '"': out->type = JsonValue::Type::String;
+                    return parse_string(&out->string);
+          case 't':
+          case 'f': return parse_literal(out);
+          case 'n': return parse_null(out);
+          default: return parse_number(out);
+        }
+    }
+
+    bool
+    parse_object(JsonValue* out)
+    {
+        consume('{');
+        out->type = JsonValue::Type::Object;
+        skip_ws();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skip_ws();
+            std::string name;
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            if (!parse_string(&name))
+                return false;
+            skip_ws();
+            if (!consume(':')) {
+                fail("expected ':' after key");
+                return false;
+            }
+            skip_ws();
+            JsonValue member;
+            if (!parse_value(&member))
+                return false;
+            out->object.emplace(std::move(name), std::move(member));
+            skip_ws();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    parse_array(JsonValue* out)
+    {
+        consume('[');
+        out->type = JsonValue::Type::Array;
+        skip_ws();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skip_ws();
+            JsonValue element;
+            if (!parse_value(&element))
+                return false;
+            out->array.push_back(std::move(element));
+            skip_ws();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool
+    parse_string(std::string* out)
+    {
+        consume('"');
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size()) {
+                      fail("truncated \\u escape");
+                      return false;
+                  }
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = text_[pos_++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          code |= static_cast<unsigned>(h - 'A' + 10);
+                      else {
+                          fail("bad \\u escape");
+                          return false;
+                      }
+                  }
+                  // UTF-8 encode the BMP code point (surrogate pairs are
+                  // not needed by our own writer, which never emits them).
+                  if (code < 0x80) {
+                      *out += static_cast<char>(code);
+                  } else if (code < 0x800) {
+                      *out += static_cast<char>(0xc0 | (code >> 6));
+                      *out += static_cast<char>(0x80 | (code & 0x3f));
+                  } else {
+                      *out += static_cast<char>(0xe0 | (code >> 12));
+                      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                      *out += static_cast<char>(0x80 | (code & 0x3f));
+                  }
+                  break;
+              }
+              default:
+                fail("unknown escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parse_literal(JsonValue* out)
+    {
+        if (text_.substr(pos_, 4) == "true") {
+            pos_ += 4;
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            return true;
+        }
+        if (text_.substr(pos_, 5) == "false") {
+            pos_ += 5;
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            return true;
+        }
+        fail("bad literal");
+        return false;
+    }
+
+    bool
+    parse_null(JsonValue* out)
+    {
+        if (text_.substr(pos_, 4) == "null") {
+            pos_ += 4;
+            out->type = JsonValue::Type::Null;
+            return true;
+        }
+        fail("bad literal");
+        return false;
+    }
+
+    bool
+    parse_number(JsonValue* out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        const std::string token(text_.substr(start, pos_ - start));
+        if (token.empty()) {
+            fail("expected a value");
+            return false;
+        }
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            fail("bad number '" + token + "'");
+            return false;
+        }
+        out->type = JsonValue::Type::Number;
+        out->number = v;
+        return true;
+    }
+
+    std::string_view text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace
+
+const JsonValue*
+JsonValue::find(std::string_view name) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(std::string(name));
+    return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<JsonValue>
+json_parse(std::string_view text, std::string* error)
+{
+    return Parser(text, error).run();
+}
+
+} // namespace nucalock::obs

@@ -1,0 +1,219 @@
+#include "obs/metrics.hpp"
+
+#include <iterator>
+
+namespace nucalock::obs {
+
+LockMetrics&
+MetricsRegistry::lock_mut(std::uint64_t lock_id)
+{
+    LockMetrics& lm = locks_[lock_id];
+    lm.lock_id = lock_id;
+    return lm;
+}
+
+const LockMetrics&
+MetricsRegistry::lock(std::uint64_t lock_id) const
+{
+    static const LockMetrics empty{};
+    const auto it = locks_.find(lock_id);
+    return it == locks_.end() ? empty : it->second;
+}
+
+const LockMetrics*
+MetricsRegistry::primary() const
+{
+    const auto it = locks_.find(primary_lock_id_);
+    return it == locks_.end() ? nullptr : &it->second;
+}
+
+NodeMetrics&
+MetricsRegistry::node_of(LockMetrics& lm, int node)
+{
+    const auto index = node < 0 ? 0U : static_cast<std::size_t>(node);
+    if (lm.per_node.size() <= index)
+        lm.per_node.resize(index + 1);
+    return lm.per_node[index];
+}
+
+CpuMetrics&
+MetricsRegistry::cpu_of(int cpu)
+{
+    const auto index = cpu < 0 ? 0U : static_cast<std::size_t>(cpu);
+    if (cpus_.size() <= index)
+        cpus_.resize(index + 1);
+    return cpus_[index];
+}
+
+MetricsRegistry::ThreadState&
+MetricsRegistry::thread_of(int tid)
+{
+    return threads_[tid];
+}
+
+void
+MetricsRegistry::close_batch(LockMetrics& lm, HolderState& hs)
+{
+    if (hs.batch_length == 0)
+        return;
+    const auto len = static_cast<double>(hs.batch_length);
+    lm.node_batch_lengths.add(len);
+    node_of(lm, hs.batch_node).batch_lengths.add(len);
+    hs.batch_length = 0;
+}
+
+void
+MetricsRegistry::on_event(const ProbeRecord& r)
+{
+    ++events_seen_;
+    if (primary_lock_id_ == 0 && r.lock_id != 0)
+        primary_lock_id_ = r.lock_id;
+    finalized_ = false;
+
+    ThreadState& ts = thread_of(r.thread);
+
+    switch (r.event) {
+      case LockEvent::AcquireAttempt: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          ++lm.attempts;
+          if (r.a0 != 0)
+              ++lm.try_attempts;
+          // A failed try_acquire leaves its attempt open (there is no
+          // failure event); a repeated attempt on the same lock replaces it
+          // so retry loops don't grow the stack.
+          bool replaced = false;
+          for (auto& [lock_id, since] : ts.attempt_stack) {
+              if (lock_id == r.lock_id) {
+                  since = r.time_ns;
+                  replaced = true;
+                  break;
+              }
+          }
+          if (!replaced)
+              ts.attempt_stack.emplace_back(r.lock_id, r.time_ns);
+          break;
+      }
+      case LockEvent::Acquired: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          ++lm.acquisitions;
+          node_of(lm, r.node).acquisitions += 1;
+          CpuMetrics& cm = cpu_of(r.cpu);
+          ++cm.acquisitions;
+
+          // Wait latency: from the matching open attempt of this thread.
+          for (auto it = ts.attempt_stack.rbegin();
+               it != ts.attempt_stack.rend(); ++it) {
+              if (it->first == r.lock_id) {
+                  const std::uint64_t wait =
+                      r.time_ns >= it->second ? r.time_ns - it->second : 0;
+                  lm.wait_ns.add(wait);
+                  cm.wait_ns.add(wait);
+                  ts.attempt_stack.erase(std::next(it).base());
+                  break;
+              }
+          }
+          ts.held_since[r.lock_id] = r.time_ns;
+
+          // Handover classification + node-batch bookkeeping.
+          HolderState& hs = holders_[r.lock_id];
+          if (hs.last_holder_thread >= 0) {
+              if (hs.last_holder_thread == r.thread)
+                  ++lm.repeats;
+              else if (hs.last_holder_node == r.node)
+                  ++lm.handovers_local;
+              else {
+                  ++lm.handovers_remote;
+                  node_of(lm, r.node).handovers_in += 1;
+              }
+          }
+          if (hs.batch_node != r.node) {
+              close_batch(lm, hs);
+              hs.batch_node = r.node;
+          }
+          ++hs.batch_length;
+          hs.last_holder_thread = r.thread;
+          hs.last_holder_node = r.node;
+          break;
+      }
+      case LockEvent::Released: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          ++lm.releases;
+          const auto held = ts.held_since.find(r.lock_id);
+          if (held != ts.held_since.end()) {
+              const std::uint64_t hold =
+                  r.time_ns >= held->second ? r.time_ns - held->second : 0;
+              lm.hold_ns.add(hold);
+              cpu_of(r.cpu).cs_ns += hold;
+              ts.held_since.erase(held);
+          }
+          break;
+      }
+      case LockEvent::BackoffBegin: {
+          ts.backoff_start_ns = r.time_ns;
+          ts.backoff_class = r.a1 <= 2 ? static_cast<BackoffClass>(r.a1)
+                                       : BackoffClass::Generic;
+          ts.backoff_open = true;
+          break;
+      }
+      case LockEvent::BackoffEnd: {
+          if (!ts.backoff_open)
+              break;
+          ts.backoff_open = false;
+          const std::uint64_t ns = r.time_ns >= ts.backoff_start_ns
+                                       ? r.time_ns - ts.backoff_start_ns
+                                       : 0;
+          // Backoff sites don't know their lock; attribute to the thread's
+          // innermost open acquire attempt (fall back to the primary lock).
+          const std::uint64_t owner = !ts.attempt_stack.empty()
+                                          ? ts.attempt_stack.back().first
+                                          : primary_lock_id_;
+          BackoffMetrics& bm =
+              lock_mut(owner).backoff[static_cast<int>(ts.backoff_class)];
+          ++bm.episodes;
+          bm.total_ns += ns;
+          CpuMetrics& cm = cpu_of(r.cpu);
+          ++cm.backoff_episodes;
+          cm.backoff_ns += ns;
+          break;
+      }
+      case LockEvent::GateBlocked: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          ++lm.gate_blocked;
+          node_of(lm, r.node).gate_blocked += 1;
+          break;
+      }
+      case LockEvent::GatePassed: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          ++lm.gate_passed;
+          node_of(lm, r.node).gate_passed += 1;
+          break;
+      }
+      case LockEvent::GatePublish: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          ++lm.gate_publishes;
+          if (r.a1 != 0)
+              ++lm.gates_closed_in_anger;
+          break;
+      }
+      case LockEvent::GateOpen:
+          lock_mut(r.lock_id).gate_opens += r.a0 == 0 ? 1 : r.a0;
+          break;
+      case LockEvent::AngryEnter:
+          ++lock_mut(r.lock_id).angry_transitions;
+          break;
+      case LockEvent::AngryExit:
+          break;
+    }
+}
+
+void
+MetricsRegistry::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    for (auto& [lock_id, hs] : holders_)
+        close_batch(lock_mut(lock_id), hs);
+}
+
+} // namespace nucalock::obs

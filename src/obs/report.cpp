@@ -1,0 +1,453 @@
+#include "obs/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace nucalock::obs {
+
+namespace {
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+    return buf;
+}
+
+void
+write_histogram(JsonWriter& w, const stats::LogHistogram& h)
+{
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("mean", h.mean());
+    w.kv("p50", h.percentile(50.0));
+    w.kv("p90", h.percentile(90.0));
+    w.kv("p99", h.percentile(99.0));
+    w.kv("max", h.percentile(100.0));
+    w.end_object();
+}
+
+void
+write_summary(JsonWriter& w, const stats::Summary& s)
+{
+    w.begin_object();
+    w.kv("count", s.count());
+    w.kv("mean", s.mean());
+    w.kv("min", s.min());
+    w.kv("max", s.max());
+    w.kv("stddev", s.stddev());
+    w.end_object();
+}
+
+void
+write_traffic(JsonWriter& w, const sim::TrafficStats& t)
+{
+    w.begin_object();
+    w.kv("local_tx", t.local_tx);
+    w.kv("global_tx", t.global_tx);
+    w.kv("data_fetch_tx", t.data_fetch_tx);
+    w.kv("invalidation_tx", t.invalidation_tx);
+    w.kv("atomic_tx", t.atomic_tx);
+    w.end_object();
+}
+
+void
+write_result(JsonWriter& w, const harness::BenchResult& r)
+{
+    w.begin_object();
+    w.kv("total_time_ns", static_cast<std::uint64_t>(r.total_time));
+    w.kv("total_acquires", r.total_acquires);
+    w.kv("avg_iteration_ns", r.avg_iteration_ns);
+    w.kv("node_handoff_ratio", r.node_handoff_ratio);
+    w.kv("fairness_spread_pct", r.fairness_spread_pct);
+    w.kv("acquisition_order_hash", hex64(r.acquisition_order_hash));
+    w.key("traffic");
+    write_traffic(w, r.traffic);
+    w.kv("faults_injected", r.faults_injected);
+    w.kv("mutex_violations", r.mutex_violations);
+    w.kv("lock_timeouts", r.lock_timeouts);
+    w.end_object();
+}
+
+void
+write_lock_metrics(JsonWriter& w, const LockMetrics& lm)
+{
+    w.begin_object();
+    w.kv("lock_id", hex64(lm.lock_id));
+    w.kv("attempts", lm.attempts);
+    w.kv("try_attempts", lm.try_attempts);
+    w.kv("acquisitions", lm.acquisitions);
+    w.kv("releases", lm.releases);
+    w.kv("handovers_local", lm.handovers_local);
+    w.kv("handovers_remote", lm.handovers_remote);
+    w.kv("repeats", lm.repeats);
+    w.kv("local_handover_fraction", lm.local_handover_fraction());
+    w.kv("remote_handover_fraction", lm.remote_handover_fraction());
+    w.key("node_batch_lengths");
+    write_summary(w, lm.node_batch_lengths);
+    w.key("wait_ns");
+    write_histogram(w, lm.wait_ns);
+    w.key("hold_ns");
+    write_histogram(w, lm.hold_ns);
+    w.key("backoff");
+    w.begin_object();
+    for (int cls = 0; cls < 3; ++cls) {
+        w.key(backoff_class_name(static_cast<BackoffClass>(cls)));
+        w.begin_object();
+        w.kv("episodes", lm.backoff[cls].episodes);
+        w.kv("total_ns", lm.backoff[cls].total_ns);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("gate");
+    w.begin_object();
+    w.kv("blocked", lm.gate_blocked);
+    w.kv("passed", lm.gate_passed);
+    w.kv("publishes", lm.gate_publishes);
+    w.kv("opens", lm.gate_opens);
+    w.kv("block_fraction", lm.gate_block_fraction());
+    w.end_object();
+    w.kv("angry_transitions", lm.angry_transitions);
+    w.kv("gates_closed_in_anger", lm.gates_closed_in_anger);
+    w.key("per_node");
+    w.begin_array();
+    for (std::size_t node = 0; node < lm.per_node.size(); ++node) {
+        const NodeMetrics& nm = lm.per_node[node];
+        w.begin_object();
+        w.kv("node", static_cast<std::uint64_t>(node));
+        w.kv("acquisitions", nm.acquisitions);
+        w.kv("handovers_in", nm.handovers_in);
+        w.key("batch_lengths");
+        write_summary(w, nm.batch_lengths);
+        w.kv("gate_blocked", nm.gate_blocked);
+        w.kv("gate_passed", nm.gate_passed);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+void
+write_metrics(JsonWriter& w, const MetricsRegistry& registry)
+{
+    w.begin_object();
+    w.kv("events_seen", registry.events_seen());
+    w.kv("primary_lock_id", hex64(registry.primary_lock_id()));
+    w.key("locks");
+    w.begin_array();
+    // Primary lock first, then any nested tiers in id order.
+    if (const LockMetrics* primary = registry.primary())
+        write_lock_metrics(w, *primary);
+    for (const auto& [lock_id, lm] : registry.locks())
+        if (lock_id != registry.primary_lock_id())
+            write_lock_metrics(w, lm);
+    w.end_array();
+    w.key("per_cpu");
+    w.begin_array();
+    for (std::size_t cpu = 0; cpu < registry.cpus().size(); ++cpu) {
+        const CpuMetrics& cm = registry.cpus()[cpu];
+        w.begin_object();
+        w.kv("cpu", static_cast<std::uint64_t>(cpu));
+        w.kv("acquisitions", cm.acquisitions);
+        w.kv("backoff_episodes", cm.backoff_episodes);
+        w.kv("backoff_ns", cm.backoff_ns);
+        w.kv("cs_ns", cm.cs_ns);
+        w.key("wait_ns");
+        write_histogram(w, cm.wait_ns);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+} // namespace
+
+void
+write_report(std::ostream& os, const ReportConfig& config,
+             const std::vector<ReportRun>& runs)
+{
+    JsonWriter w(os, /*pretty=*/true);
+    w.begin_object();
+    w.kv("schema", kReportSchemaName);
+    w.kv("schema_version", kReportSchemaVersion);
+    w.kv("tool", config.tool);
+    w.key("config");
+    w.begin_object();
+    w.kv("bench", config.bench);
+    w.kv("nodes", config.nodes);
+    w.kv("cpus_per_node", config.cpus_per_node);
+    w.kv("threads", config.threads);
+    w.kv("critical_work", static_cast<std::uint64_t>(config.critical_work));
+    w.kv("private_work", static_cast<std::uint64_t>(config.private_work));
+    w.kv("iterations", static_cast<std::uint64_t>(config.iterations));
+    w.kv("nuca_ratio", config.nuca_ratio);
+    w.kv("seed", config.seed);
+    w.end_object();
+    w.key("runs");
+    w.begin_array();
+    for (const ReportRun& run : runs) {
+        w.begin_object();
+        w.kv("lock", run.lock_name);
+        w.key("result");
+        write_result(w, run.result);
+        w.key("metrics");
+        if (run.metrics != nullptr)
+            write_metrics(w, *run.metrics);
+        else
+            w.null();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool
+fail(std::string* error, const std::string& message)
+{
+    if (error != nullptr && error->empty())
+        *error = message;
+    return false;
+}
+
+bool
+require_number(const JsonValue& parent, const char* name, std::string* error,
+               const std::string& where)
+{
+    const JsonValue* v = parent.find(name);
+    if (v == nullptr)
+        return fail(error, where + ": missing field '" + name + "'");
+    if (!v->is_number())
+        return fail(error, where + ": field '" + name + "' must be a number");
+    return true;
+}
+
+bool
+require_string(const JsonValue& parent, const char* name, std::string* error,
+               const std::string& where)
+{
+    const JsonValue* v = parent.find(name);
+    if (v == nullptr)
+        return fail(error, where + ": missing field '" + name + "'");
+    if (!v->is_string())
+        return fail(error, where + ": field '" + name + "' must be a string");
+    return true;
+}
+
+bool
+validate_histogram(const JsonValue& h, std::string* error,
+                   const std::string& where)
+{
+    if (!h.is_object())
+        return fail(error, where + " must be an object");
+    for (const char* field : {"count", "mean", "p50", "p90", "p99", "max"})
+        if (!require_number(h, field, error, where))
+            return false;
+    return true;
+}
+
+bool
+validate_summary(const JsonValue& s, std::string* error,
+                 const std::string& where)
+{
+    if (!s.is_object())
+        return fail(error, where + " must be an object");
+    for (const char* field : {"count", "mean", "min", "max", "stddev"})
+        if (!require_number(s, field, error, where))
+            return false;
+    return true;
+}
+
+bool
+validate_result(const JsonValue& r, std::string* error,
+                const std::string& where)
+{
+    if (!r.is_object())
+        return fail(error, where + " must be an object");
+    for (const char* field :
+         {"total_time_ns", "total_acquires", "avg_iteration_ns",
+          "node_handoff_ratio", "fairness_spread_pct"})
+        if (!require_number(r, field, error, where))
+            return false;
+    if (!require_string(r, "acquisition_order_hash", error, where))
+        return false;
+    const JsonValue* traffic = r.find("traffic");
+    if (traffic == nullptr || !traffic->is_object())
+        return fail(error, where + ": 'traffic' must be an object");
+    for (const char* field : {"local_tx", "global_tx", "data_fetch_tx",
+                              "invalidation_tx", "atomic_tx"})
+        if (!require_number(*traffic, field, error, where + ".traffic"))
+            return false;
+    return true;
+}
+
+bool
+validate_lock_metrics(const JsonValue& lm, std::string* error,
+                      const std::string& where)
+{
+    if (!lm.is_object())
+        return fail(error, where + " must be an object");
+    if (!require_string(lm, "lock_id", error, where))
+        return false;
+    for (const char* field :
+         {"attempts", "acquisitions", "releases", "handovers_local",
+          "handovers_remote", "repeats", "local_handover_fraction",
+          "remote_handover_fraction", "angry_transitions"})
+        if (!require_number(lm, field, error, where))
+            return false;
+    const JsonValue* batches = lm.find("node_batch_lengths");
+    if (batches == nullptr ||
+        !validate_summary(*batches, error, where + ".node_batch_lengths"))
+        return false;
+    for (const char* histogram : {"wait_ns", "hold_ns"}) {
+        const JsonValue* h = lm.find(histogram);
+        if (h == nullptr ||
+            !validate_histogram(*h, error, where + "." + histogram))
+            return false;
+    }
+    const JsonValue* backoff = lm.find("backoff");
+    if (backoff == nullptr || !backoff->is_object())
+        return fail(error, where + ": 'backoff' must be an object");
+    for (const char* cls : {"generic", "local", "remote"}) {
+        const JsonValue* b = backoff->find(cls);
+        if (b == nullptr || !b->is_object())
+            return fail(error,
+                        where + ".backoff: missing class '" + cls + "'");
+        for (const char* field : {"episodes", "total_ns"})
+            if (!require_number(*b, field, error,
+                                where + ".backoff." + cls))
+                return false;
+    }
+    const JsonValue* gate = lm.find("gate");
+    if (gate == nullptr || !gate->is_object())
+        return fail(error, where + ": 'gate' must be an object");
+    for (const char* field :
+         {"blocked", "passed", "publishes", "opens", "block_fraction"})
+        if (!require_number(*gate, field, error, where + ".gate"))
+            return false;
+    const JsonValue* per_node = lm.find("per_node");
+    if (per_node == nullptr || !per_node->is_array())
+        return fail(error, where + ": 'per_node' must be an array");
+    for (std::size_t i = 0; i < per_node->array.size(); ++i) {
+        const std::string nw = where + ".per_node[" + std::to_string(i) + "]";
+        const JsonValue& nm = per_node->array[i];
+        if (!nm.is_object())
+            return fail(error, nw + " must be an object");
+        for (const char* field : {"node", "acquisitions", "handovers_in",
+                                  "gate_blocked", "gate_passed"})
+            if (!require_number(nm, field, error, nw))
+                return false;
+    }
+    return true;
+}
+
+bool
+validate_metrics(const JsonValue& m, std::string* error,
+                 const std::string& where)
+{
+    if (!m.is_object())
+        return fail(error, where + " must be an object or null");
+    if (!require_number(m, "events_seen", error, where))
+        return false;
+    if (!require_string(m, "primary_lock_id", error, where))
+        return false;
+    const JsonValue* locks = m.find("locks");
+    if (locks == nullptr || !locks->is_array())
+        return fail(error, where + ": 'locks' must be an array");
+    for (std::size_t i = 0; i < locks->array.size(); ++i)
+        if (!validate_lock_metrics(locks->array[i], error,
+                                   where + ".locks[" + std::to_string(i) +
+                                       "]"))
+            return false;
+    const JsonValue* per_cpu = m.find("per_cpu");
+    if (per_cpu == nullptr || !per_cpu->is_array())
+        return fail(error, where + ": 'per_cpu' must be an array");
+    for (std::size_t i = 0; i < per_cpu->array.size(); ++i) {
+        const std::string cw = where + ".per_cpu[" + std::to_string(i) + "]";
+        const JsonValue& cm = per_cpu->array[i];
+        if (!cm.is_object())
+            return fail(error, cw + " must be an object");
+        for (const char* field : {"cpu", "acquisitions", "backoff_episodes",
+                                  "backoff_ns", "cs_ns"})
+            if (!require_number(cm, field, error, cw))
+                return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+validate_report(const JsonValue& document, std::string* error)
+{
+    if (!document.is_object())
+        return fail(error, "report root must be an object");
+    const JsonValue* schema = document.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string != kReportSchemaName)
+        return fail(error, std::string("'schema' must be \"") +
+                               kReportSchemaName + "\"");
+    const JsonValue* version = document.find("schema_version");
+    if (version == nullptr || !version->is_number())
+        return fail(error, "'schema_version' must be a number");
+    if (static_cast<int>(version->number) != kReportSchemaVersion)
+        return fail(error, "unsupported schema_version " +
+                               std::to_string(version->number) +
+                               " (expected " +
+                               std::to_string(kReportSchemaVersion) + ")");
+    if (!require_string(document, "tool", error, "report"))
+        return false;
+
+    const JsonValue* config = document.find("config");
+    if (config == nullptr || !config->is_object())
+        return fail(error, "'config' must be an object");
+    if (!require_string(*config, "bench", error, "config"))
+        return false;
+    for (const char* field :
+         {"nodes", "cpus_per_node", "threads", "critical_work",
+          "private_work", "iterations", "nuca_ratio", "seed"})
+        if (!require_number(*config, field, error, "config"))
+            return false;
+
+    const JsonValue* runs = document.find("runs");
+    if (runs == nullptr || !runs->is_array())
+        return fail(error, "'runs' must be an array");
+    for (std::size_t i = 0; i < runs->array.size(); ++i) {
+        const std::string where = "runs[" + std::to_string(i) + "]";
+        const JsonValue& run = runs->array[i];
+        if (!run.is_object())
+            return fail(error, where + " must be an object");
+        if (!require_string(run, "lock", error, where))
+            return false;
+        const JsonValue* result = run.find("result");
+        if (result == nullptr ||
+            !validate_result(*result, error, where + ".result"))
+            return false;
+        const JsonValue* metrics = run.find("metrics");
+        if (metrics == nullptr)
+            return fail(error, where + ": missing field 'metrics'");
+        if (metrics->type != JsonValue::Type::Null &&
+            !validate_metrics(*metrics, error, where + ".metrics"))
+            return false;
+    }
+    return true;
+}
+
+bool
+validate_report_text(std::string_view text, std::string* error)
+{
+    std::string parse_error;
+    const auto document = json_parse(text, &parse_error);
+    if (!document)
+        return fail(error, "JSON parse error: " + parse_error);
+    return validate_report(*document, error);
+}
+
+} // namespace nucalock::obs

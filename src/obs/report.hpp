@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Machine-readable benchmark report: schema "nucalock-bench-report" v1.
+ *
+ * Shared by tools/nucaprof (full metrics) and tools/nucabench --json
+ * (results only). The schema is documented in docs/observability.md; bump
+ * kReportSchemaVersion on any breaking change to the emitted shape.
+ * validate_report() checks a parsed document against the schema and is
+ * what `nucaprof --check-schema` (and the CI perf-smoke job) run.
+ */
+#ifndef NUCALOCK_OBS_REPORT_HPP
+#define NUCALOCK_OBS_REPORT_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/results.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace nucalock::obs {
+
+inline constexpr const char* kReportSchemaName = "nucalock-bench-report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/** Benchmark configuration echoed into the report. */
+struct ReportConfig
+{
+    std::string tool;  ///< "nucaprof" or "nucabench"
+    std::string bench; ///< "new", "traditional", "uncontested"
+    int nodes = 0;
+    int cpus_per_node = 0;
+    int threads = 0;
+    std::uint32_t critical_work = 0;
+    std::uint32_t private_work = 0;
+    std::uint32_t iterations = 0;
+    double nuca_ratio = 0.0;
+    std::uint64_t seed = 0;
+};
+
+/** One benchmark run (one lock) inside a report. */
+struct ReportRun
+{
+    std::string lock_name;
+    harness::BenchResult result;
+    /** Finalized registry for this run, or nullptr (nucabench --json). */
+    const MetricsRegistry* metrics = nullptr;
+};
+
+/** Write the whole report document to @p os (pretty-printed JSON). */
+void write_report(std::ostream& os, const ReportConfig& config,
+                  const std::vector<ReportRun>& runs);
+
+/**
+ * Validate a parsed report against the v1 schema. Returns true when the
+ * document conforms; otherwise false with a description in *error.
+ */
+bool validate_report(const JsonValue& document, std::string* error);
+
+/** Parse + validate a report file. */
+bool validate_report_text(std::string_view text, std::string* error);
+
+} // namespace nucalock::obs
+
+#endif // NUCALOCK_OBS_REPORT_HPP

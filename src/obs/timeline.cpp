@@ -1,0 +1,188 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace nucalock::obs {
+
+const char*
+cpu_state_name(CpuState state)
+{
+    switch (state) {
+      case CpuState::SpinningLocal: return "spinning_local";
+      case CpuState::SpinningRemote: return "spinning_remote";
+      case CpuState::Backoff: return "backoff";
+      case CpuState::Critical: return "critical_section";
+      case CpuState::Angry: return "angry";
+    }
+    return "?";
+}
+
+void
+TimelineBuilder::open_interval(CpuTrack& track, const ProbeRecord& r,
+                               CpuState state)
+{
+    track.open = true;
+    track.state = state;
+    track.since_ns = r.time_ns;
+    track.lock_id = r.lock_id != 0 ? r.lock_id : track.lock_id;
+    track.thread = r.thread;
+    track.node = r.node;
+}
+
+void
+TimelineBuilder::close_interval(CpuTrack& track, int cpu, std::uint64_t end_ns)
+{
+    if (!track.open)
+        return;
+    track.open = false;
+    if (end_ns <= track.since_ns)
+        return; // zero-width; nothing to draw
+    intervals_[cpu].push_back(Interval{track.state, track.since_ns, end_ns,
+                                       track.lock_id, track.thread,
+                                       track.node});
+}
+
+void
+TimelineBuilder::on_event(const ProbeRecord& r)
+{
+    if (!any_event_) {
+        any_event_ = true;
+        first_ns_ = r.time_ns;
+    }
+    last_ns_ = std::max(last_ns_, r.time_ns);
+
+    CpuTrack& track = tracks_[r.cpu];
+
+    // Who holds the lock right now (for local/remote spin classification).
+    const auto classify_wait = [&]() -> CpuState {
+        if (track.angry)
+            return CpuState::Angry;
+        const auto holder = holder_node_.find(
+            r.lock_id != 0 ? r.lock_id : track.lock_id);
+        if (holder != holder_node_.end() && holder->second == r.node)
+            return CpuState::SpinningLocal;
+        return CpuState::SpinningRemote;
+    };
+
+    switch (r.event) {
+      case LockEvent::AcquireAttempt: {
+          close_interval(track, r.cpu, r.time_ns);
+          track.waiting = true;
+          track.wait_state = classify_wait();
+          open_interval(track, r, track.wait_state);
+          break;
+      }
+      case LockEvent::Acquired: {
+          close_interval(track, r.cpu, r.time_ns);
+          track.waiting = false;
+          track.angry = false;
+          holder_node_[r.lock_id] = r.node;
+          open_interval(track, r, CpuState::Critical);
+          break;
+      }
+      case LockEvent::Released: {
+          close_interval(track, r.cpu, r.time_ns);
+          holder_node_.erase(r.lock_id);
+          break;
+      }
+      case LockEvent::BackoffBegin: {
+          close_interval(track, r.cpu, r.time_ns);
+          open_interval(track, r, CpuState::Backoff);
+          break;
+      }
+      case LockEvent::BackoffEnd: {
+          close_interval(track, r.cpu, r.time_ns);
+          if (track.waiting) {
+              track.wait_state = classify_wait();
+              open_interval(track, r, track.wait_state);
+          }
+          break;
+      }
+      case LockEvent::AngryEnter: {
+          track.angry = true;
+          if (track.waiting) {
+              close_interval(track, r.cpu, r.time_ns);
+              open_interval(track, r, CpuState::Angry);
+          }
+          break;
+      }
+      case LockEvent::AngryExit: {
+          track.angry = false;
+          if (track.waiting) {
+              close_interval(track, r.cpu, r.time_ns);
+              track.wait_state = classify_wait();
+              open_interval(track, r, track.wait_state);
+          }
+          break;
+      }
+      case LockEvent::GateBlocked:
+      case LockEvent::GatePassed:
+      case LockEvent::GatePublish:
+      case LockEvent::GateOpen:
+          break; // instantaneous; they don't change the CPU's state
+    }
+}
+
+void
+TimelineBuilder::finalize()
+{
+    for (auto& [cpu, track] : tracks_)
+        close_interval(track, cpu, last_ns_);
+}
+
+void
+TimelineBuilder::write_chrome_trace(std::ostream& os,
+                                    const std::string& process_name) const
+{
+    JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.kv("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.begin_array();
+
+    // Metadata: one process named after the run, one thread track per CPU.
+    w.begin_object();
+    w.kv("name", "process_name").kv("ph", "M").kv("pid", 1).kv("tid", 0);
+    w.key("args").begin_object().kv("name", process_name).end_object();
+    w.end_object();
+    for (const auto& [cpu, ivals] : intervals_) {
+        const int node = ivals.empty() ? -1 : ivals.front().node;
+        w.begin_object();
+        w.kv("name", "thread_name").kv("ph", "M").kv("pid", 1).kv("tid", cpu);
+        w.key("args").begin_object();
+        w.kv("name",
+             "cpu " + std::to_string(cpu) + " (node " + std::to_string(node) +
+                 ")");
+        w.end_object();
+        w.end_object();
+    }
+
+    // Complete ("X") events; trace_event ts/dur are in microseconds.
+    for (const auto& [cpu, ivals] : intervals_) {
+        for (const Interval& iv : ivals) {
+            w.begin_object();
+            w.kv("name", cpu_state_name(iv.state));
+            w.kv("cat", "lock");
+            w.kv("ph", "X");
+            w.kv("pid", 1);
+            w.kv("tid", cpu);
+            w.kv("ts", static_cast<double>(iv.begin_ns) / 1000.0);
+            w.kv("dur",
+                 static_cast<double>(iv.end_ns - iv.begin_ns) / 1000.0);
+            w.key("args").begin_object();
+            w.kv("lock_id", iv.lock_id);
+            w.kv("thread", static_cast<std::int64_t>(iv.thread));
+            w.kv("node", static_cast<std::int64_t>(iv.node));
+            w.end_object();
+            w.end_object();
+        }
+    }
+
+    w.end_array();
+    w.end_object();
+    os << '\n';
+}
+
+} // namespace nucalock::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Timeline capture: a ProbeSink that reconstructs, per CPU, the intervals a
+ * thread spent in each lock-interaction state — spinning on a local holder,
+ * spinning on a remote holder, backing off, or inside the critical section
+ * — and exports them as Chrome/Perfetto trace_event JSON ("X" complete
+ * events; load the file directly in ui.perfetto.dev or chrome://tracing).
+ */
+#ifndef NUCALOCK_OBS_TIMELINE_HPP
+#define NUCALOCK_OBS_TIMELINE_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace nucalock::obs {
+
+/** What a CPU was doing during an interval. */
+enum class CpuState : std::uint8_t
+{
+    SpinningLocal,  ///< waiting; last observed holder was in our node
+    SpinningRemote, ///< waiting; last observed holder was remote (or unknown)
+    Backoff,        ///< inside a backoff delay
+    Critical,       ///< holding the lock
+    Angry,          ///< SD starvation mode while waiting
+};
+
+const char* cpu_state_name(CpuState state);
+
+/** One reconstructed interval on one CPU. */
+struct Interval
+{
+    CpuState state = CpuState::SpinningRemote;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t lock_id = 0;
+    int thread = -1;
+    int node = -1;
+};
+
+/**
+ * Builds per-CPU interval lists from the probe stream. finalize() closes
+ * any interval still open at the last seen timestamp.
+ */
+class TimelineBuilder final : public ProbeSink
+{
+  public:
+    void on_event(const ProbeRecord& record) override;
+    void finalize();
+
+    /** cpu -> completed intervals, in emission order. */
+    const std::map<int, std::vector<Interval>>& intervals() const
+    {
+        return intervals_;
+    }
+
+    std::uint64_t first_time_ns() const { return first_ns_; }
+    std::uint64_t last_time_ns() const { return last_ns_; }
+
+    /**
+     * Write the Chrome trace_event JSON (ts/dur in microseconds as the
+     * format requires; sub-microsecond intervals keep fractional ts).
+     * @p process_name labels the single emitted pid (e.g. the lock name).
+     */
+    void write_chrome_trace(std::ostream& os,
+                            const std::string& process_name) const;
+
+  private:
+    struct CpuTrack
+    {
+        bool open = false;
+        CpuState state = CpuState::SpinningRemote;
+        std::uint64_t since_ns = 0;
+        std::uint64_t lock_id = 0;
+        int thread = -1;
+        int node = -1;
+        /** State to fall back to when a nested interval (backoff) closes. */
+        bool waiting = false;
+        CpuState wait_state = CpuState::SpinningRemote;
+        bool angry = false;
+    };
+
+    void open_interval(CpuTrack& track, const ProbeRecord& r, CpuState state);
+    void close_interval(CpuTrack& track, int cpu, std::uint64_t end_ns);
+
+    std::map<int, CpuTrack> tracks_;
+    std::map<int, std::vector<Interval>> intervals_;
+    /** lock_id -> node of the current holder (for spin classification). */
+    std::map<std::uint64_t, int> holder_node_;
+    std::uint64_t first_ns_ = 0;
+    std::uint64_t last_ns_ = 0;
+    bool any_event_ = false;
+};
+
+} // namespace nucalock::obs
+
+#endif // NUCALOCK_OBS_TIMELINE_HPP

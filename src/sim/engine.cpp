@@ -46,6 +46,18 @@ SimContext::now() const
 }
 
 std::uint64_t
+SimContext::peek(Ref ref) const
+{
+    return machine_->memory().peek(ref);
+}
+
+obs::ProbeSink*
+SimContext::probe_sink() const
+{
+    return machine_->probe();
+}
+
+std::uint64_t
 SimContext::load(Ref ref)
 {
     return machine_->do_access(*this, MemOp::Load, ref, 0, 0).old_value;

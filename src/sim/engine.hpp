@@ -21,6 +21,10 @@
 #include "topology/mapping.hpp"
 #include "topology/topology.hpp"
 
+namespace nucalock::obs {
+class ProbeSink;
+}
+
 namespace nucalock::sim {
 
 class SimMachine;
@@ -83,6 +87,17 @@ class SimContext
 
     std::uint64_t load(Ref ref);
     void store(Ref ref, std::uint64_t value);
+
+    /**
+     * Observability-only read: the word's current value without coherence
+     * traffic, latency, or any effect on the simulation. Never use from
+     * lock algorithms proper — only from probes (obs/probe.hpp), which
+     * must not perturb the run they observe.
+     */
+    std::uint64_t peek(Ref ref) const;
+
+    /** The machine's installed probe sink (nullptr = observability off). */
+    obs::ProbeSink* probe_sink() const;
     /** Compare-and-swap; returns the previous value (paper semantics). */
     std::uint64_t cas(Ref ref, std::uint64_t expected, std::uint64_t desired);
     std::uint64_t swap(Ref ref, std::uint64_t value);
@@ -232,6 +247,14 @@ class SimMachine
     InvariantChecker* invariants() { return checker_; }
 
     /**
+     * Install a lock-event probe sink (non-owning; nullptr uninstalls).
+     * Probes only read the clock and thread identity, so installing a sink
+     * must not change the simulated run (pinned by tests/obs_test.cpp).
+     */
+    void install_probe(obs::ProbeSink* sink) { probe_ = sink; }
+    obs::ProbeSink* probe() const { return probe_; }
+
+    /**
      * Install a controlled scheduler (non-owning; nullptr uninstalls). Must
      * be set before run(). With a scheduler installed, run() asks it to
      * pick a runnable thread at every decision point (memory op, delay,
@@ -342,6 +365,7 @@ class SimMachine
     FaultInjector* injector_ = nullptr;   // non-owning
     InvariantChecker* checker_ = nullptr; // non-owning
     Scheduler* scheduler_ = nullptr;      // non-owning
+    obs::ProbeSink* probe_ = nullptr;     // non-owning
 };
 
 /** Value of an idle is_spinning gate (the paper's "dummy value"). */

@@ -53,18 +53,39 @@ class TraceRecorder
             filter_.insert(ref.line);
     }
 
+    /**
+     * Cap the recording at @p max events; later matching events are
+     * dropped (and counted in dropped()) instead of growing the buffer
+     * without bound on a long contended run. 0 = unlimited (default).
+     */
+    void set_max_events(std::size_t max) { max_events_ = max; }
+
     /** The hook to install via SimMemory::set_trace_hook. */
     TraceHook
     hook()
     {
         return [this](const TraceEvent& event) {
-            if (filter_.empty() || filter_.contains(event.line))
-                events_.push_back(event);
+            if (!filter_.empty() && !filter_.contains(event.line))
+                return;
+            if (max_events_ != 0 && events_.size() >= max_events_) {
+                ++dropped_;
+                return;
+            }
+            events_.push_back(event);
         };
     }
 
     const std::vector<TraceEvent>& events() const { return events_; }
-    void clear() { events_.clear(); }
+
+    /** Matching events discarded because the cap was reached. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    void
+    clear()
+    {
+        events_.clear();
+        dropped_ = 0;
+    }
 
     /** Dump as CSV (start,complete,cpu,op,line,old,new). */
     void dump_csv(std::ostream& os) const;
@@ -72,6 +93,8 @@ class TraceRecorder
   private:
     std::unordered_set<std::uint32_t> filter_;
     std::vector<TraceEvent> events_;
+    std::size_t max_events_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace nucalock::sim

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs/): JSON writer/parser
+ * round trips, the metrics registry's event folding, timeline
+ * reconstruction and Chrome-trace export, report schema validation, and —
+ * the load-bearing guarantee — that installing probes does not change the
+ * simulated run (bit-identical acquisition order per seed).
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "harness/newbench.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/report.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::obs;
+using harness::BenchResult;
+using harness::NewBenchConfig;
+using locks::LockKind;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, WriterBasicShapes)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, /*pretty=*/false);
+    w.begin_object()
+        .kv("s", "hi")
+        .kv("n", 3.5)
+        .kv("i", std::uint64_t{7})
+        .kv("b", true)
+        .key("a")
+        .begin_array()
+        .value(1)
+        .value(2)
+        .end_array()
+        .key("z")
+        .null()
+        .end_object();
+    EXPECT_EQ(oss.str(),
+              R"({"s":"hi","n":3.5,"i":7,"b":true,"a":[1,2],"z":null})");
+}
+
+TEST(Json, EscapesControlAndQuotes)
+{
+    EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+    std::ostringstream oss;
+    JsonWriter w(oss, false);
+    w.begin_object().kv("k\"ey", "v\nal").end_object();
+    const auto parsed = json_parse(oss.str());
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue* v = parsed->find("k\"ey");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->string, "v\nal");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss, false);
+    w.begin_array()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .end_array();
+    EXPECT_EQ(oss.str(), "[null,null]");
+}
+
+TEST(Json, ParserRoundTrip)
+{
+    const std::string text =
+        R"({"a": [1, 2.5, -3e2], "b": {"c": "x", "d": null}, "e": false})";
+    const auto parsed = json_parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->is_object());
+    const JsonValue* a = parsed->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->is_array());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+    const JsonValue* d = parsed->find("b")->find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->type, JsonValue::Type::Null);
+}
+
+TEST(Json, ParserRejectsMalformed)
+{
+    std::string error;
+    EXPECT_FALSE(json_parse("{", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(json_parse("[1,]").has_value());
+    EXPECT_FALSE(json_parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(json_parse("[1] trailing").has_value());
+}
+
+TEST(Json, ParserDecodesUnicodeEscapes)
+{
+    const auto parsed = json_parse(R"(["Aé"])");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->array[0].string, "A\xc3\xa9");
+}
+
+// ---------------------------------------------------- metrics registry --
+
+ProbeRecord
+rec(LockEvent event, std::uint64_t t, std::uint64_t lock_id, int thread,
+    int cpu, int node, std::uint64_t a0 = 0, std::uint64_t a1 = 0)
+{
+    return ProbeRecord{event, t, lock_id, thread, cpu, node, a0, a1};
+}
+
+TEST(MetricsRegistry, ClassifiesHandovers)
+{
+    // Threads 0 (node 0), 1 (node 0), 2 (node 1) take the lock in turn:
+    // t0 -> t1 is a local handover, t1 -> t2 remote, t2 -> t2 a repeat.
+    MetricsRegistry reg;
+    const std::uint64_t L = 42;
+    std::uint64_t t = 0;
+    const auto acquire_release = [&](int thread, int cpu, int node) {
+        reg.on_event(rec(LockEvent::AcquireAttempt, ++t, L, thread, cpu, node));
+        reg.on_event(rec(LockEvent::Acquired, ++t, L, thread, cpu, node));
+        reg.on_event(rec(LockEvent::Released, ++t, L, thread, cpu, node));
+    };
+    acquire_release(0, 0, 0);
+    acquire_release(1, 1, 0);
+    acquire_release(2, 4, 1);
+    acquire_release(2, 4, 1);
+    reg.finalize();
+
+    const LockMetrics& m = reg.lock(L);
+    EXPECT_EQ(m.attempts, 4u);
+    EXPECT_EQ(m.acquisitions, 4u);
+    EXPECT_EQ(m.releases, 4u);
+    EXPECT_EQ(m.handovers_local, 1u);
+    EXPECT_EQ(m.handovers_remote, 1u);
+    EXPECT_EQ(m.repeats, 1u);
+    EXPECT_DOUBLE_EQ(m.local_handover_fraction(), 0.5);
+    EXPECT_DOUBLE_EQ(m.remote_handover_fraction(), 0.5);
+    // Node batches: node 0 held twice, then node 1 twice.
+    EXPECT_EQ(m.node_batch_lengths.count(), 2u);
+    EXPECT_DOUBLE_EQ(m.node_batch_lengths.mean(), 2.0);
+    ASSERT_GE(m.per_node.size(), 2u);
+    EXPECT_EQ(m.per_node[0].acquisitions, 2u);
+    EXPECT_EQ(m.per_node[1].acquisitions, 2u);
+    EXPECT_EQ(m.per_node[1].handovers_in, 1u);
+}
+
+TEST(MetricsRegistry, WaitAndHoldTimes)
+{
+    MetricsRegistry reg;
+    const std::uint64_t L = 9;
+    reg.on_event(rec(LockEvent::AcquireAttempt, 100, L, 0, 0, 0));
+    reg.on_event(rec(LockEvent::Acquired, 160, L, 0, 0, 0));
+    reg.on_event(rec(LockEvent::Released, 260, L, 0, 0, 0));
+    reg.finalize();
+
+    const LockMetrics& m = reg.lock(L);
+    EXPECT_EQ(m.wait_ns.count(), 1u);
+    EXPECT_DOUBLE_EQ(m.wait_ns.mean(), 60.0);
+    EXPECT_EQ(m.hold_ns.count(), 1u);
+    EXPECT_DOUBLE_EQ(m.hold_ns.mean(), 100.0);
+    ASSERT_GT(reg.cpus().size(), 0u);
+    EXPECT_EQ(reg.cpus()[0].cs_ns, 100u);
+}
+
+TEST(MetricsRegistry, BackoffAttributedToOpenAttempt)
+{
+    MetricsRegistry reg;
+    const std::uint64_t L = 7;
+    reg.on_event(rec(LockEvent::AcquireAttempt, 10, L, 3, 2, 1));
+    // Backoff events carry lock_id 0 (the shared helper has no lock);
+    // the registry attributes them to the thread's open attempt on L.
+    reg.on_event(rec(LockEvent::BackoffBegin, 20, 0, 3, 2, 1, /*a0=*/64,
+                     /*a1=*/static_cast<std::uint64_t>(BackoffClass::Remote)));
+    reg.on_event(rec(LockEvent::BackoffEnd, 84, 0, 3, 2, 1));
+    reg.on_event(rec(LockEvent::Acquired, 90, L, 3, 2, 1));
+    reg.on_event(rec(LockEvent::Released, 95, L, 3, 2, 1));
+    reg.finalize();
+
+    const LockMetrics& m = reg.lock(L);
+    const auto remote = static_cast<std::size_t>(BackoffClass::Remote);
+    EXPECT_EQ(m.backoff[remote].episodes, 1u);
+    EXPECT_EQ(m.backoff[remote].total_ns, 64u);
+    EXPECT_EQ(m.backoff_ns_total(), 64u);
+    EXPECT_EQ(reg.cpus()[2].backoff_episodes, 1u);
+    EXPECT_EQ(reg.cpus()[2].backoff_ns, 64u);
+}
+
+TEST(MetricsRegistry, GateAndAngryCounters)
+{
+    MetricsRegistry reg;
+    const std::uint64_t L = 5;
+    reg.on_event(rec(LockEvent::AcquireAttempt, 1, L, 0, 0, 1));
+    reg.on_event(rec(LockEvent::GateBlocked, 2, L, 0, 0, 1));
+    reg.on_event(rec(LockEvent::GatePassed, 3, L, 0, 0, 1));
+    reg.on_event(rec(LockEvent::GatePublish, 4, L, 0, 0, 1, /*node=*/1));
+    reg.on_event(
+        rec(LockEvent::GatePublish, 5, L, 0, 0, 1, /*node=*/1, /*anger=*/1));
+    reg.on_event(rec(LockEvent::AngryEnter, 6, L, 0, 0, 1, /*holder node=*/0));
+    reg.on_event(rec(LockEvent::AngryExit, 7, L, 0, 0, 1));
+    reg.on_event(rec(LockEvent::GateOpen, 8, L, 0, 0, 1, /*count=*/2));
+    reg.on_event(rec(LockEvent::Acquired, 9, L, 0, 0, 1));
+    reg.finalize();
+
+    const LockMetrics& m = reg.lock(L);
+    EXPECT_EQ(m.gate_blocked, 1u);
+    EXPECT_EQ(m.gate_passed, 1u);
+    EXPECT_DOUBLE_EQ(m.gate_block_fraction(), 0.5);
+    EXPECT_EQ(m.gate_publishes, 2u);
+    EXPECT_EQ(m.gates_closed_in_anger, 1u);
+    EXPECT_EQ(m.angry_transitions, 1u);
+    EXPECT_EQ(m.gate_opens, 2u);
+    ASSERT_GE(m.per_node.size(), 2u);
+    EXPECT_EQ(m.per_node[1].gate_blocked, 1u);
+    EXPECT_EQ(m.per_node[1].gate_passed, 1u);
+}
+
+TEST(MetricsRegistry, PrimaryLockIsFirstEvent)
+{
+    MetricsRegistry reg;
+    reg.on_event(rec(LockEvent::AcquireAttempt, 1, 11, 0, 0, 0));
+    reg.on_event(rec(LockEvent::AcquireAttempt, 2, 22, 0, 0, 0)); // nested
+    reg.on_event(rec(LockEvent::Acquired, 3, 22, 0, 0, 0));
+    reg.on_event(rec(LockEvent::Acquired, 4, 11, 0, 0, 0));
+    reg.finalize();
+    EXPECT_EQ(reg.primary_lock_id(), 11u);
+    ASSERT_NE(reg.primary(), nullptr);
+    EXPECT_EQ(reg.primary()->lock_id, 11u);
+    EXPECT_EQ(reg.locks().size(), 2u);
+}
+
+// ---------------------------------------------------------- timeline ----
+
+TEST(Timeline, ReconstructsWaitBackoffCritical)
+{
+    TimelineBuilder tb;
+    const std::uint64_t L = 3;
+    // Thread 1 on cpu 2/node 0 holds; thread 5 on cpu 9/node 1 waits with
+    // one backoff episode, then gets the lock.
+    tb.on_event(rec(LockEvent::AcquireAttempt, 0, L, 1, 2, 0));
+    tb.on_event(rec(LockEvent::Acquired, 10, L, 1, 2, 0));
+    tb.on_event(rec(LockEvent::AcquireAttempt, 20, L, 5, 9, 1));
+    tb.on_event(rec(LockEvent::BackoffBegin, 30, 0, 5, 9, 1, 40,
+                    static_cast<std::uint64_t>(BackoffClass::Remote)));
+    tb.on_event(rec(LockEvent::BackoffEnd, 70, 0, 5, 9, 1));
+    tb.on_event(rec(LockEvent::Released, 80, L, 1, 2, 0));
+    tb.on_event(rec(LockEvent::Acquired, 90, L, 5, 9, 1));
+    tb.on_event(rec(LockEvent::Released, 120, L, 5, 9, 1));
+    tb.finalize();
+
+    const auto& per_cpu = tb.intervals();
+    ASSERT_TRUE(per_cpu.contains(2));
+    ASSERT_TRUE(per_cpu.contains(9));
+    // CPU 2: wait [0,10), critical [10,80).
+    const auto& c2 = per_cpu.at(2);
+    ASSERT_EQ(c2.size(), 2u);
+    EXPECT_EQ(c2[1].state, CpuState::Critical);
+    EXPECT_EQ(c2[1].begin_ns, 10u);
+    EXPECT_EQ(c2[1].end_ns, 80u);
+    // CPU 9: remote spin [20,30), backoff [30,70), remote spin [70,90),
+    // critical [90,120). The holder (node 0) is remote to node 1.
+    const auto& c9 = per_cpu.at(9);
+    ASSERT_EQ(c9.size(), 4u);
+    EXPECT_EQ(c9[0].state, CpuState::SpinningRemote);
+    EXPECT_EQ(c9[1].state, CpuState::Backoff);
+    EXPECT_EQ(c9[1].begin_ns, 30u);
+    EXPECT_EQ(c9[1].end_ns, 70u);
+    EXPECT_EQ(c9[2].state, CpuState::SpinningRemote);
+    EXPECT_EQ(c9[3].state, CpuState::Critical);
+    EXPECT_EQ(c9[3].end_ns, 120u);
+}
+
+TEST(Timeline, LocalSpinClassification)
+{
+    TimelineBuilder tb;
+    const std::uint64_t L = 3;
+    tb.on_event(rec(LockEvent::AcquireAttempt, 0, L, 0, 0, 0));
+    tb.on_event(rec(LockEvent::Acquired, 5, L, 0, 0, 0));
+    // Same-node waiter: spin classified local.
+    tb.on_event(rec(LockEvent::AcquireAttempt, 10, L, 1, 1, 0));
+    tb.on_event(rec(LockEvent::Released, 20, L, 0, 0, 0));
+    tb.on_event(rec(LockEvent::Acquired, 25, L, 1, 1, 0));
+    tb.on_event(rec(LockEvent::Released, 30, L, 1, 1, 0));
+    tb.finalize();
+    const auto& c1 = tb.intervals().at(1);
+    ASSERT_GE(c1.size(), 2u);
+    EXPECT_EQ(c1[0].state, CpuState::SpinningLocal);
+}
+
+TEST(Timeline, ChromeTraceIsValidJson)
+{
+    TimelineBuilder tb;
+    const std::uint64_t L = 1;
+    tb.on_event(rec(LockEvent::AcquireAttempt, 0, L, 0, 0, 0));
+    tb.on_event(rec(LockEvent::Acquired, 100, L, 0, 0, 0));
+    tb.on_event(rec(LockEvent::Released, 350, L, 0, 0, 0));
+    tb.finalize();
+
+    std::ostringstream oss;
+    tb.write_chrome_trace(oss, "TATAS");
+    std::string error;
+    const auto parsed = json_parse(oss.str(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    const JsonValue* events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->is_array());
+    // Metadata (process + one thread name) plus two "X" intervals.
+    bool saw_complete = false;
+    for (const JsonValue& e : events->array) {
+        const JsonValue* ph = e.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "X") {
+            saw_complete = true;
+            EXPECT_NE(e.find("ts"), nullptr);
+            EXPECT_NE(e.find("dur"), nullptr);
+            EXPECT_NE(e.find("name"), nullptr);
+        }
+    }
+    EXPECT_TRUE(saw_complete);
+}
+
+// ------------------------------------------------------------ reports ---
+
+TEST(Report, WriteThenValidate)
+{
+    MetricsRegistry reg;
+    reg.on_event(rec(LockEvent::AcquireAttempt, 1, 10, 0, 0, 0));
+    reg.on_event(rec(LockEvent::Acquired, 2, 10, 0, 0, 0));
+    reg.on_event(rec(LockEvent::Released, 3, 10, 0, 0, 0));
+    reg.finalize();
+
+    ReportConfig config;
+    config.tool = "nucaprof";
+    config.bench = "new";
+    config.nodes = 2;
+    config.cpus_per_node = 4;
+    config.threads = 8;
+    config.critical_work = 100;
+    config.private_work = 200;
+    config.iterations = 5;
+    config.seed = 1;
+
+    BenchResult result;
+    result.total_time = 1000;
+    result.total_acquires = 40;
+    result.avg_iteration_ns = 25.0;
+    result.node_handoff_ratio = 0.5;
+    result.acquisition_order_hash = 0xdeadbeefULL;
+
+    std::ostringstream oss;
+    write_report(oss, config,
+                 {ReportRun{"TATAS", result, &reg},
+                  ReportRun{"MCS", result, nullptr}});
+
+    std::string error;
+    EXPECT_TRUE(validate_report_text(oss.str(), &error)) << error;
+
+    // Spot-check content, not just validity.
+    const auto parsed = json_parse(oss.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("schema")->string, kReportSchemaName);
+    EXPECT_DOUBLE_EQ(parsed->find("schema_version")->number,
+                     kReportSchemaVersion);
+    const JsonValue* runs = parsed->find("runs");
+    ASSERT_EQ(runs->array.size(), 2u);
+    EXPECT_EQ(runs->array[0].find("lock")->string, "TATAS");
+    EXPECT_TRUE(runs->array[0].find("metrics")->is_object());
+    EXPECT_EQ(runs->array[1].find("metrics")->type, JsonValue::Type::Null);
+    const JsonValue* r0 = runs->array[0].find("result");
+    EXPECT_EQ(r0->find("acquisition_order_hash")->string,
+              "0x00000000deadbeef");
+}
+
+TEST(Report, ValidationCatchesCorruption)
+{
+    ReportConfig config;
+    config.tool = "nucaprof";
+    config.bench = "new";
+    std::ostringstream oss;
+    write_report(oss, config, {ReportRun{"TATAS", BenchResult{}, nullptr}});
+    std::string text = oss.str();
+    std::string error;
+    ASSERT_TRUE(validate_report_text(text, &error)) << error;
+
+    // Wrong schema name.
+    std::string bad = text;
+    bad.replace(bad.find("nucalock-bench-report"), 21, "some-other-schema!!!!");
+    EXPECT_FALSE(validate_report_text(bad, &error));
+
+    // Drop a required key.
+    bad = text;
+    bad.replace(bad.find("total_acquires"), 14, "total_admirers");
+    EXPECT_FALSE(validate_report_text(bad, &error));
+
+    // Not JSON at all.
+    EXPECT_FALSE(validate_report_text("not json", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// --------------------------------------- probes do not perturb the run --
+
+NewBenchConfig
+small_config(std::uint64_t seed)
+{
+    NewBenchConfig config;
+    config.topology = Topology::symmetric(2, 4);
+    config.threads = 8;
+    config.iterations_per_thread = 12;
+    config.critical_work = 300;
+    config.private_work = 800;
+    config.seed = seed;
+    return config;
+}
+
+/**
+ * The subsystem's core guarantee, pinned per lock family: enabling probes
+ * must not change the simulated run. Identical acquisition order hash,
+ * identical end time, identical coherence traffic.
+ */
+TEST(ProbeNeutrality, SimRunIsBitIdenticalWithProbesOn)
+{
+    for (LockKind kind :
+         {LockKind::Tatas, LockKind::TatasExp, LockKind::Ticket,
+          LockKind::Anderson, LockKind::Mcs, LockKind::Clh, LockKind::Rh,
+          LockKind::Hbo, LockKind::HboGt, LockKind::HboGtSd,
+          LockKind::HboHier, LockKind::Reactive, LockKind::Cohort,
+          LockKind::ClhTry}) {
+        const BenchResult bare = run_newbench(kind, small_config(7));
+
+        MetricsRegistry reg;
+        TimelineBuilder tb;
+        MultiSink sink;
+        sink.add(&reg);
+        sink.add(&tb);
+        NewBenchConfig probed = small_config(7);
+        probed.probe = &sink;
+        const BenchResult observed = run_newbench(kind, probed);
+
+        EXPECT_EQ(bare.acquisition_order_hash,
+                  observed.acquisition_order_hash)
+            << locks::lock_name(kind);
+        EXPECT_EQ(bare.total_time, observed.total_time)
+            << locks::lock_name(kind);
+        EXPECT_EQ(bare.traffic.local_tx, observed.traffic.local_tx)
+            << locks::lock_name(kind);
+        EXPECT_EQ(bare.traffic.global_tx, observed.traffic.global_tx)
+            << locks::lock_name(kind);
+        EXPECT_GT(reg.events_seen(), 0u) << locks::lock_name(kind);
+    }
+}
+
+TEST(ProbeNeutrality, HashIsSeedDeterministicAndSeedSensitive)
+{
+    const BenchResult a = run_newbench(LockKind::Mcs, small_config(3));
+    const BenchResult b = run_newbench(LockKind::Mcs, small_config(3));
+    const BenchResult c = run_newbench(LockKind::Mcs, small_config(4));
+    EXPECT_EQ(a.acquisition_order_hash, b.acquisition_order_hash);
+    EXPECT_NE(a.acquisition_order_hash, c.acquisition_order_hash);
+}
+
+// ------------------------------------------------- end-to-end metrics ---
+
+TEST(EndToEnd, RegistryMatchesBenchResult)
+{
+    MetricsRegistry reg;
+    NewBenchConfig config = small_config(1);
+    config.probe = &reg;
+    const BenchResult r = run_newbench(LockKind::Mcs, config);
+    reg.finalize();
+
+    const LockMetrics* m = reg.primary();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->acquisitions, r.total_acquires);
+    EXPECT_EQ(m->releases, r.total_acquires);
+    // Every acquisition after the first is a handover or a repeat.
+    EXPECT_EQ(m->handovers_local + m->handovers_remote + m->repeats,
+              m->acquisitions - 1);
+    // The registry's remote-handover count must agree with the harness's
+    // host-side node_handoff_ratio (same definition, independent plumbing).
+    const double ratio = static_cast<double>(m->handovers_remote) /
+                         static_cast<double>(m->acquisitions - 1);
+    EXPECT_NEAR(ratio, r.node_handoff_ratio, 1e-12);
+    EXPECT_EQ(m->wait_ns.count(), m->acquisitions);
+    EXPECT_EQ(m->hold_ns.count(), m->releases);
+}
+
+TEST(EndToEnd, GatedLockEmitsGateAndBackoffEvents)
+{
+    MetricsRegistry reg;
+    NewBenchConfig config = small_config(1);
+    config.probe = &reg;
+    run_newbench(LockKind::HboGtSd, config);
+    reg.finalize();
+
+    const LockMetrics* m = reg.primary();
+    ASSERT_NE(m, nullptr);
+    // Under contention the GT gate must have been consulted, and remote
+    // spinners must have recorded remote-class backoff.
+    EXPECT_GT(m->gate_blocked + m->gate_passed, 0u);
+    const auto remote = static_cast<std::size_t>(BackoffClass::Remote);
+    EXPECT_GT(m->backoff[remote].episodes, 0u);
+    EXPECT_GT(m->backoff_ns_total(), 0u);
+}
+
+TEST(EndToEnd, TimelineCoversRunAndNests)
+{
+    TimelineBuilder tb;
+    NewBenchConfig config = small_config(1);
+    config.probe = &tb;
+    const BenchResult r = run_newbench(LockKind::Hbo, config);
+    tb.finalize();
+
+    ASSERT_FALSE(tb.intervals().empty());
+    EXPECT_LE(tb.last_time_ns(), static_cast<std::uint64_t>(r.total_time));
+    for (const auto& [cpu, intervals] : tb.intervals()) {
+        std::uint64_t prev_end = 0;
+        std::uint64_t critical = 0;
+        for (const Interval& iv : intervals) {
+            EXPECT_LE(iv.begin_ns, iv.end_ns);
+            EXPECT_GE(iv.begin_ns, prev_end) << "overlap on cpu " << cpu;
+            prev_end = iv.end_ns;
+            if (iv.state == CpuState::Critical)
+                ++critical;
+        }
+        EXPECT_GT(critical, 0u) << "cpu " << cpu << " never held the lock";
+    }
+}
+
+} // namespace

@@ -126,4 +126,37 @@ TEST(Options, NucaRatioValidation)
     EXPECT_TRUE(parse_cli({"--nuca-ratio=0"}).options.has_value());
 }
 
+TEST(Options, ThreadsDefaultToFullMachine)
+{
+    // Without --threads the run uses every simulated cpu, so shrinking the
+    // machine shrinks the thread count instead of failing the cross-check.
+    const CliParse parsed = parse_cli({"--nodes=2", "--cpus-per-node=4"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.options->threads, 8);
+}
+
+TEST(Options, ObservabilityPaths)
+{
+    const CliParse parsed = parse_cli(
+        {"--lock=MCS", "--json=out.json", "--trace=out.trace.json",
+         "--check-schema=prior.json"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.options->json, "out.json");
+    EXPECT_EQ(parsed.options->trace, "out.trace.json");
+    EXPECT_EQ(parsed.options->check_schema, "prior.json");
+    // Empty paths are rejected rather than silently ignored.
+    EXPECT_FALSE(parse_cli({"--json="}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--trace="}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--check-schema="}).options.has_value());
+}
+
+TEST(Options, TraceRequiresSingleLock)
+{
+    EXPECT_FALSE(parse_cli({"--trace=t.json"}).options.has_value());
+    EXPECT_FALSE(
+        parse_cli({"--lock=ALL", "--trace=t.json"}).options.has_value());
+    EXPECT_TRUE(
+        parse_cli({"--lock=TATAS", "--trace=t.json"}).options.has_value());
+}
+
 } // namespace

@@ -135,6 +135,57 @@ TEST(LogHistogram, EmptyPercentileIsZero)
     EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
 }
 
+TEST(LogHistogram, PercentileEndpoints)
+{
+    // All samples land in bucket 4 = [8, 16): p=0 must return the bucket's
+    // low edge and p=100 its high edge (linear interpolation inside).
+    LogHistogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(10);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 16.0);
+}
+
+TEST(LogHistogram, PercentileSingleBucketInterpolates)
+{
+    LogHistogram h;
+    h.add(10);
+    h.add(12);
+    // One populated bucket [8, 16): p50 is the bucket midpoint.
+    EXPECT_DOUBLE_EQ(h.percentile(50), 12.0);
+    EXPECT_DOUBLE_EQ(h.percentile(25), 10.0);
+}
+
+TEST(LogHistogram, PercentileSingleSample)
+{
+    LogHistogram h;
+    h.add(0); // the zero bucket is [0, 1)
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1.0);
+}
+
+TEST(LogHistogram, PercentileSaturatesAtTopBucket)
+{
+    // The largest representable sample (2^63 - 1) lives in the last bucket;
+    // p=100 returns that bucket's high edge, 2^63, not infinity or garbage.
+    LogHistogram h;
+    h.add(~std::uint64_t{0} >> 1);
+    EXPECT_EQ(LogHistogram::bucket_of(~std::uint64_t{0} >> 1),
+              LogHistogram::kBuckets - 1);
+    EXPECT_DOUBLE_EQ(h.percentile(100), std::ldexp(1.0, 63));
+    EXPECT_DOUBLE_EQ(h.percentile(0), std::ldexp(1.0, 62));
+}
+
+TEST(LogHistogram, PercentileSkipsEmptyBuckets)
+{
+    LogHistogram h;
+    h.add(1);    // bucket 1 = [1, 2)
+    h.add(1000); // bucket 10 = [512, 1024); buckets 2..9 empty
+    EXPECT_DOUBLE_EQ(h.percentile(50), 2.0);     // high edge of bucket 1
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1024.0); // high edge of bucket 10
+}
+
 TEST(LogHistogram, MergeAddsCounts)
 {
     LogHistogram a;
@@ -212,6 +263,40 @@ TEST(Csv, QuotesSpecialCharacters)
     csv.cell("has,comma").end_row();
     csv.cell("has\"quote").end_row();
     EXPECT_EQ(oss.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Csv, QuotesNewlines)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"v"});
+    csv.cell("line1\nline2").end_row();
+    EXPECT_EQ(oss.str(), "v\n\"line1\nline2\"\n");
+}
+
+TEST(Csv, QuotesQuoteAndNewlineTogether)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"v"});
+    csv.cell("a\"b\nc").end_row();
+    EXPECT_EQ(oss.str(), "v\n\"a\"\"b\nc\"\n");
+}
+
+TEST(Csv, QuotesHeaders)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"plain", "odd,header"});
+    csv.cell("1").cell("2").end_row();
+    EXPECT_EQ(oss.str(), "plain,\"odd,header\"\n1,2\n");
+}
+
+TEST(Table, RendersQuotesVerbatim)
+{
+    // The human table does no CSV-style escaping — cells print as-is.
+    Table t({"v"});
+    t.row().cell("say \"hi\"");
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("say \"hi\""), std::string::npos);
 }
 
 TEST(CsvDeathTest, ColumnCountEnforced)

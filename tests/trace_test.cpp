@@ -67,6 +67,53 @@ TEST(Trace, FilterRestrictsToWatchedLines)
     EXPECT_EQ(recorder.events()[0].line, interesting.line);
 }
 
+TEST(Trace, MaxEventsCapDropsAndCounts)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef word = m.alloc(0, 0);
+    TraceRecorder recorder;
+    recorder.set_max_events(3);
+    m.memory().set_trace_hook(recorder.hook());
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        for (std::uint64_t i = 0; i < 10; ++i)
+            ctx.store(word, i);
+    });
+    m.run();
+
+    ASSERT_EQ(recorder.events().size(), 3u);
+    EXPECT_EQ(recorder.dropped(), 7u);
+    // The kept events are the first three, not an arbitrary sample.
+    EXPECT_EQ(recorder.events()[0].new_value, 0u);
+    EXPECT_EQ(recorder.events()[2].new_value, 2u);
+    recorder.clear();
+    EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Trace, MaxEventsCapCountsOnlyMatchingEvents)
+{
+    SimMachine m(Topology::symmetric(1, 2));
+    const MemRef interesting = m.alloc(0, 0);
+    const MemRef noise = m.alloc(0, 0);
+    TraceRecorder recorder;
+    recorder.watch_only({interesting});
+    recorder.set_max_events(1);
+    m.memory().set_trace_hook(recorder.hook());
+
+    m.add_thread(0, [&](SimContext& ctx) {
+        ctx.store(noise, 1);
+        ctx.store(interesting, 2);
+        ctx.store(noise, 3);
+        ctx.store(interesting, 4);
+    });
+    m.run();
+
+    ASSERT_EQ(recorder.events().size(), 1u);
+    EXPECT_EQ(recorder.events()[0].new_value, 2u);
+    // Filtered-out noise never counts as dropped; only the capped match does.
+    EXPECT_EQ(recorder.dropped(), 1u);
+}
+
 TEST(Trace, LockHandoverVisibleInTrace)
 {
     SimMachine m(Topology::wildfire(2));

@@ -9,6 +9,7 @@
  *   nucabench --bench=uncontested --lock=HBO_GT
  *   nucabench --nodes=4 --cpus-per-node=8 --nuca-ratio=10 --csv
  */
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "harness/options.hpp"
 #include "harness/traditional.hpp"
 #include "harness/uncontested.hpp"
+#include "obs/report.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
@@ -46,6 +48,35 @@ latency_of(const CliOptions& opts)
                                   : sim::LatencyModel::scaled(opts.nuca_ratio);
 }
 
+/** Write the machine-readable report to --json's path ("-" = stdout). */
+int
+write_json_report(const CliOptions& opts, const char* bench_name,
+                  const std::vector<obs::ReportRun>& runs)
+{
+    obs::ReportConfig rc;
+    rc.tool = "nucabench";
+    rc.bench = bench_name;
+    rc.nodes = opts.nodes;
+    rc.cpus_per_node = opts.cpus_per_node;
+    rc.threads = opts.threads;
+    rc.critical_work = opts.critical_work;
+    rc.private_work = opts.private_work;
+    rc.iterations = opts.iterations;
+    rc.nuca_ratio = opts.nuca_ratio;
+    rc.seed = opts.seed;
+    if (opts.json == "-") {
+        obs::write_report(std::cout, rc, runs);
+        return 0;
+    }
+    std::ofstream out(opts.json);
+    if (!out) {
+        std::cerr << "error: cannot write --json file '" << opts.json << "'\n";
+        return 1;
+    }
+    obs::write_report(out, rc, runs);
+    return 0;
+}
+
 int
 run_contended(const CliOptions& opts)
 {
@@ -63,6 +94,7 @@ run_contended(const CliOptions& opts)
     std::unique_ptr<stats::CsvWriter> csv;
     if (opts.csv)
         csv = std::make_unique<stats::CsvWriter>(std::cout, headers);
+    std::vector<obs::ReportRun> runs;
 
     for (LockKind kind : selected_locks(opts)) {
         BenchResult r;
@@ -91,6 +123,8 @@ run_contended(const CliOptions& opts)
             config.seed = opts.seed;
             r = run_traditional(kind, config);
         }
+        if (!opts.json.empty())
+            runs.push_back(obs::ReportRun{lock_name(kind), r, nullptr});
         if (csv) {
             csv->cell(lock_name(kind))
                 .cell(r.avg_iteration_ns)
@@ -119,6 +153,9 @@ run_contended(const CliOptions& opts)
     }
     if (!csv)
         table.print(std::cout);
+    if (!opts.json.empty())
+        return write_json_report(
+            opts, opts.bench == CliBench::New ? "new" : "traditional", runs);
     return 0;
 }
 
@@ -175,7 +212,17 @@ main(int argc, char** argv)
         std::cout << cli_usage();
         return 0;
     }
-    if (opts.bench == CliBench::Uncontested)
+    if (!opts.trace.empty() || !opts.check_schema.empty()) {
+        std::cerr << "error: --trace/--check-schema belong to nucaprof\n";
+        return 2;
+    }
+    if (opts.bench == CliBench::Uncontested) {
+        if (!opts.json.empty()) {
+            std::cerr << "error: --json is not supported with "
+                         "--bench=uncontested\n";
+            return 2;
+        }
         return run_uncontested_cli(opts);
+    }
     return run_contended(opts);
 }

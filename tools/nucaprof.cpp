@@ -1,0 +1,285 @@
+/**
+ * @file
+ * nucaprof: the observability front end (src/obs/). Runs a harness
+ * benchmark with the lock-event probes enabled, folds the event stream
+ * into per-lock / per-node / per-CPU metrics, and emits:
+ *
+ *  - a human-readable table (local vs remote handover split, node batch
+ *    lengths, backoff time breakdown, GT gate traffic, SD anger),
+ *  - `--json=PATH`: the versioned machine-readable report
+ *    (schema nucalock-bench-report v1, obs/report.hpp),
+ *  - `--trace=PATH`: a Chrome/Perfetto trace_event JSON of per-CPU lock
+ *    states (single --lock runs only; open in ui.perfetto.dev),
+ *  - `--check-schema=FILE`: validate an existing report and exit (what
+ *    the CI perf-smoke job runs on its own artifact).
+ *
+ * Everything is deterministic per --seed, and — pinned by a debug-build
+ * assertion here and by tests/obs_test.cpp — observing a run never
+ * changes it: the acquisition order is bit-identical with probes off.
+ *
+ * Examples:
+ *   nucaprof --bench=new --nodes=2 --cpus-per-node=4 --lock=ALL
+ *   nucaprof --lock=HBO_GT_SD --trace=hbo.trace.json --json=hbo.json
+ *   nucaprof --check-schema=hbo.json
+ */
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "harness/newbench.hpp"
+#include "harness/options.hpp"
+#include "harness/traditional.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/timeline.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::harness;
+using namespace nucalock::locks;
+
+std::string
+prof_usage()
+{
+    return "nucaprof — profile a lock microbenchmark run through the "
+           "observability probes\n"
+           "\n"
+           "usage: nucaprof [--bench=new|traditional] [--lock=NAME|ALL]\n"
+           "                [--nodes=N] [--cpus-per-node=N] [--threads=N]\n"
+           "                [--critical-work=INTS] [--private-work=ITERS]\n"
+           "                [--iterations=N] [--nuca-ratio=R] [--seed=S]\n"
+           "                [--json=PATH] [--trace=PATH]\n"
+           "       nucaprof --check-schema=REPORT.json\n"
+           "\n"
+           "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
+           "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: "
+           "--nodes<=2)\n"
+           "\n"
+           "--json writes the nucalock-bench-report v1 document (- = "
+           "stdout);\n"
+           "--trace needs a single --lock and writes Chrome trace_event "
+           "JSON.\n";
+}
+
+std::vector<LockKind>
+selected_locks(const CliOptions& opts)
+{
+    if (opts.lock != "ALL")
+        return {*parse_lock_name(opts.lock)};
+    std::vector<LockKind> kinds;
+    for (LockKind kind : all_lock_kinds()) {
+        if (kind == LockKind::Rh && opts.nodes > 2)
+            continue;
+        kinds.push_back(kind);
+    }
+    return kinds;
+}
+
+sim::LatencyModel
+latency_of(const CliOptions& opts)
+{
+    return opts.nuca_ratio == 0.0 ? sim::LatencyModel::wildfire()
+                                  : sim::LatencyModel::scaled(opts.nuca_ratio);
+}
+
+/** One profiled benchmark run: result plus its finalized registry. */
+struct ProfiledRun
+{
+    LockKind kind;
+    BenchResult result;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+BenchResult
+run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
+          obs::ProbeSink* probe)
+{
+    if (opts.bench == CliBench::Traditional) {
+        TraditionalConfig config;
+        config.topology = topo;
+        config.latency = latency_of(opts);
+        config.threads = opts.threads;
+        config.iterations_per_thread = opts.iterations;
+        config.seed = opts.seed;
+        config.probe = probe;
+        return run_traditional(kind, config);
+    }
+    NewBenchConfig config;
+    config.topology = topo;
+    config.latency = latency_of(opts);
+    config.threads = opts.threads;
+    config.critical_work = opts.critical_work;
+    config.private_work = opts.private_work;
+    config.iterations_per_thread = opts.iterations;
+    config.seed = opts.seed;
+    config.preemption = opts.preemption;
+    config.probe = probe;
+    return run_newbench(kind, config);
+}
+
+int
+check_schema(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot read '" << path << "'\n";
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!obs::validate_report_text(text.str(), &error)) {
+        std::cerr << path << ": schema validation FAILED: " << error << "\n";
+        return 1;
+    }
+    std::cout << path << ": valid " << obs::kReportSchemaName << " v"
+              << obs::kReportSchemaVersion << "\n";
+    return 0;
+}
+
+int
+write_trace(const ProfiledRun& run, const obs::TimelineBuilder& timeline,
+            const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "error: cannot write --trace file '" << path << "'\n";
+        return 1;
+    }
+    timeline.write_chrome_trace(out, lock_name(run.kind));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    const CliParse parsed = parse_cli(args);
+    if (!parsed.options) {
+        std::cerr << "error: " << parsed.error << "\n\n" << prof_usage();
+        return 2;
+    }
+    const CliOptions& opts = *parsed.options;
+    if (opts.help) {
+        std::cout << prof_usage();
+        return 0;
+    }
+    if (!opts.check_schema.empty())
+        return check_schema(opts.check_schema);
+    if (opts.bench == CliBench::Uncontested) {
+        std::cerr << "error: nucaprof profiles contended runs; use "
+                     "--bench=new or --bench=traditional\n";
+        return 2;
+    }
+    if (!opts.faults.empty()) {
+        std::cerr << "error: --faults profiling is not supported; use "
+                     "nucabench\n";
+        return 2;
+    }
+
+    const Topology topo = Topology::symmetric(opts.nodes, opts.cpus_per_node);
+    const std::vector<LockKind> kinds = selected_locks(opts);
+    const bool want_trace = !opts.trace.empty();
+
+    std::vector<ProfiledRun> runs;
+    obs::TimelineBuilder timeline; // only fed when --trace is set
+    for (LockKind kind : kinds) {
+        ProfiledRun run;
+        run.kind = kind;
+        run.metrics = std::make_unique<obs::MetricsRegistry>();
+        obs::MultiSink sink;
+        sink.add(run.metrics.get());
+        if (want_trace)
+            sink.add(&timeline); // single lock: parse_cli enforced it
+        run.result = run_bench(kind, opts, topo, &sink);
+        run.metrics->finalize();
+
+#ifndef NDEBUG
+        // Observer-effect tripwire (debug builds only, doubles the work):
+        // the identical run without a sink must produce the identical
+        // simulated history. tests/obs_test.cpp pins the same property.
+        const BenchResult bare = run_bench(kind, opts, topo, nullptr);
+        NUCA_ASSERT(bare.acquisition_order_hash ==
+                        run.result.acquisition_order_hash,
+                    "probes changed the acquisition order of ",
+                    lock_name(kind));
+        NUCA_ASSERT(bare.total_time == run.result.total_time,
+                    "probes changed the run time of ", lock_name(kind));
+#endif
+        runs.push_back(std::move(run));
+    }
+    if (want_trace)
+        timeline.finalize();
+
+    // Human-readable summary. "local ho %" is the paper's locality
+    // headline: handovers that stayed within a node.
+    stats::Table table({"Lock", "ns/acquire", "local ho %", "remote ho %",
+                        "node batch", "backoff us", "gate block %", "angry"});
+    for (const ProfiledRun& run : runs) {
+        const obs::LockMetrics* m = run.metrics->primary();
+        const double local_pct =
+            m == nullptr ? 0.0 : 100.0 * m->local_handover_fraction();
+        const double remote_pct =
+            m == nullptr ? 0.0 : 100.0 * m->remote_handover_fraction();
+        const double batch =
+            m == nullptr ? 0.0 : m->node_batch_lengths.mean();
+        const double backoff_us =
+            m == nullptr ? 0.0
+                         : static_cast<double>(m->backoff_ns_total()) / 1e3;
+        const double gate_pct =
+            m == nullptr ? 0.0 : 100.0 * m->gate_block_fraction();
+        const std::uint64_t angry = m == nullptr ? 0 : m->angry_transitions;
+        table.row()
+            .cell(lock_name(run.kind))
+            .cell(run.result.avg_iteration_ns, 0)
+            .cell(local_pct, 1)
+            .cell(remote_pct, 1)
+            .cell(batch, 2)
+            .cell(backoff_us, 1)
+            .cell(gate_pct, 1)
+            .cell(angry);
+    }
+    table.print(std::cout);
+
+    int rc = 0;
+    if (want_trace)
+        rc = write_trace(runs.front(), timeline, opts.trace);
+
+    if (!opts.json.empty()) {
+        obs::ReportConfig rc_cfg;
+        rc_cfg.tool = "nucaprof";
+        rc_cfg.bench = opts.bench == CliBench::New ? "new" : "traditional";
+        rc_cfg.nodes = opts.nodes;
+        rc_cfg.cpus_per_node = opts.cpus_per_node;
+        rc_cfg.threads = opts.threads;
+        rc_cfg.critical_work = opts.critical_work;
+        rc_cfg.private_work = opts.private_work;
+        rc_cfg.iterations = opts.iterations;
+        rc_cfg.nuca_ratio = opts.nuca_ratio;
+        rc_cfg.seed = opts.seed;
+        std::vector<obs::ReportRun> report_runs;
+        report_runs.reserve(runs.size());
+        for (const ProfiledRun& run : runs)
+            report_runs.push_back(obs::ReportRun{
+                lock_name(run.kind), run.result, run.metrics.get()});
+        if (opts.json == "-") {
+            obs::write_report(std::cout, rc_cfg, report_runs);
+        } else {
+            std::ofstream out(opts.json);
+            if (!out) {
+                std::cerr << "error: cannot write --json file '" << opts.json
+                          << "'\n";
+                return 1;
+            }
+            obs::write_report(out, rc_cfg, report_runs);
+        }
+    }
+    return rc;
+}
