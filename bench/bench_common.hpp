@@ -29,6 +29,28 @@ banner(const char* artifact, const char* description)
 }
 
 /**
+ * Parse an optional `--jobs=N` argument for the benchmark binaries that
+ * fan independent runs out over exec::Executor. Returns 0 (the executor
+ * default: NUCALOCK_JOBS, else hardware concurrency) when absent or
+ * malformed. The benches stay deterministic at every level; --jobs only
+ * changes host wall time.
+ */
+inline int
+bench_jobs(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) != 0)
+            continue;
+        const int jobs = std::atoi(arg.c_str() + 7);
+        if (jobs >= 1 && jobs <= 1024)
+            return jobs;
+        std::fprintf(stderr, "warning: ignoring bad %s\n", arg.c_str());
+    }
+    return 0;
+}
+
+/**
  * When NUCALOCK_BENCH_JSON names a path, write the binary's headline runs
  * there as a nucalock-bench-report document (obs/report.hpp) for trajectory
  * tracking; otherwise do nothing. Returns whether a file was written.

@@ -12,7 +12,7 @@
 #include "stats/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace nucalock;
     using namespace nucalock::harness;
@@ -32,7 +32,8 @@ main()
 
     const std::vector<std::uint32_t> limits = {1,  2,   4,   8,    16,  32,
                                                64, 128, 512, 2048, 8192};
-    const auto points = sweep_get_angry_limit(config, limits);
+    const auto points =
+        sweep_get_angry_limit(config, limits, bench::bench_jobs(argc, argv));
 
     stats::Table table({"GET_ANGRY_LIMIT", "Time vs HBO_GT"});
     for (const SensitivityPoint& p : points)

@@ -8,11 +8,12 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "exec/executor.hpp"
 #include "harness/traditional.hpp"
 #include "stats/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace nucalock;
     using namespace nucalock::harness;
@@ -42,14 +43,25 @@ main()
         return headers;
     }());
 
-    for (LockKind kind : paper_lock_kinds()) {
-        time_table.row().cell(lock_name(kind));
-        handoff_table.row().cell(lock_name(kind));
-        for (int n : cpu_counts) {
+    // Fan the independent lock x cpu-count grid out across host threads
+    // (--jobs=N, NUCALOCK_JOBS); fill tables sequentially in grid order so
+    // the output is byte-identical at every --jobs level.
+    const std::vector<LockKind> kinds = paper_lock_kinds();
+    const std::size_t ncpu = cpu_counts.size();
+    exec::Executor executor(bench::bench_jobs(argc, argv));
+    const std::vector<BenchResult> results =
+        executor.map<BenchResult>(kinds.size() * ncpu, [&](std::size_t idx) {
             TraditionalConfig config;
-            config.threads = n;
+            config.threads = cpu_counts[idx % ncpu];
             config.iterations_per_thread = iters;
-            const BenchResult r = run_traditional(kind, config);
+            return run_traditional(kinds[idx / ncpu], config);
+        });
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        time_table.row().cell(lock_name(kinds[k]));
+        handoff_table.row().cell(lock_name(kinds[k]));
+        for (std::size_t c = 0; c < ncpu; ++c) {
+            const BenchResult& r = results[k * ncpu + c];
             time_table.cell(r.avg_iteration_ns, 0);
             handoff_table.cell(r.node_handoff_ratio, 3);
         }

@@ -10,11 +10,12 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "exec/executor.hpp"
 #include "harness/newbench.hpp"
 #include "stats/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace nucalock;
     using namespace nucalock::harness;
@@ -48,21 +49,33 @@ main()
     // headline runs for the optional NUCALOCK_BENCH_JSON report.
     std::map<LockKind, BenchResult> result_at_1500;
 
-    for (LockKind kind : paper_lock_kinds()) {
-        time_table.row().cell(lock_name(kind));
-        handoff_table.row().cell(lock_name(kind));
-        for (std::uint32_t cw : critical_work) {
+    // The whole lock x critical-work grid is independent deterministic
+    // runs: fan it out across host threads (--jobs=N, NUCALOCK_JOBS) and
+    // fill the tables sequentially in grid order, so the output is
+    // byte-identical at every --jobs level.
+    const std::vector<LockKind> kinds = paper_lock_kinds();
+    const std::size_t ncw = critical_work.size();
+    exec::Executor executor(bench::bench_jobs(argc, argv));
+    const std::vector<BenchResult> results =
+        executor.map<BenchResult>(kinds.size() * ncw, [&](std::size_t idx) {
             // The paper only measures plain TATAS up to ~1300 because its
             // performance collapses; we run it everywhere but flag it.
             NewBenchConfig config;
             config.threads = 28;
             config.iterations_per_thread = iters;
-            config.critical_work = cw;
-            const BenchResult r = run_newbench(kind, config);
+            config.critical_work = critical_work[idx % ncw];
+            return run_newbench(kinds[idx / ncw], config);
+        });
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        time_table.row().cell(lock_name(kinds[k]));
+        handoff_table.row().cell(lock_name(kinds[k]));
+        for (std::size_t c = 0; c < ncw; ++c) {
+            const BenchResult& r = results[k * ncw + c];
             time_table.cell(r.avg_iteration_ns, 0);
             handoff_table.cell(r.node_handoff_ratio, 3);
-            if (cw == 1500)
-                result_at_1500[kind] = r;
+            if (critical_work[c] == 1500)
+                result_at_1500[kinds[k]] = r;
         }
     }
 

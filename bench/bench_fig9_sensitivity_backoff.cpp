@@ -11,7 +11,7 @@
 #include "stats/table.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace nucalock;
     using namespace nucalock::harness;
@@ -33,7 +33,8 @@ main()
     const std::vector<std::uint32_t> caps = {512,   1024,  2048,  4096,
                                              8192,  16384, 32768, 65536,
                                              131072};
-    const auto points = sweep_remote_backoff_cap(config, caps);
+    const auto points =
+        sweep_remote_backoff_cap(config, caps, bench::bench_jobs(argc, argv));
 
     stats::Table table({"REMOTE_BACKOFF_CAP", "Time vs MCS"});
     for (const SensitivityPoint& p : points)

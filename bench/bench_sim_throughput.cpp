@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tracked simulator-throughput benchmark: how fast the discrete-event
+ * engine itself runs on this host, independent of any paper figure.
+ *
+ * Three shapes, all on the 2-node 28-cpu WildFire:
+ *
+ *  - TATAS  — spin-heavy: dominated by memory-event processing and the
+ *             run_timed() ready queue (the hot paths of the engine
+ *             overhaul),
+ *  - MCS    — queue lock: dominated by watcher wakeups and fiber context
+ *             switches,
+ *  - SWEEP  — the Figure 5 lock x critical-work grid fanned out over
+ *             exec::Executor (--jobs=N / NUCALOCK_JOBS), the shape the
+ *             host-parallel executor exists for.
+ *
+ * Reported metrics are simulated memory operations and fiber switches per
+ * host second. The simulated results stay bit-identical run to run (the
+ * acquisition-order hashes are printed so a trajectory diff catches any
+ * drift); only the host wall-clock numbers vary. With NUCALOCK_BENCH_JSON
+ * set, writes a nucalock-bench-report v1 document whose per-run "host"
+ * object carries the throughput numbers (the only nondeterministic part of
+ * the report).
+ */
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exec/executor.hpp"
+#include "harness/newbench.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::harness;
+using namespace nucalock::locks;
+
+using Clock = std::chrono::steady_clock;
+
+/** One throughput measurement: the (deterministic) simulated result plus
+ *  the (host-dependent) wall-clock rates. */
+struct Measured
+{
+    BenchResult result;
+    obs::HostStats host;
+};
+
+obs::HostStats
+rates_of(const BenchResult& result, Clock::duration elapsed, int jobs)
+{
+    obs::HostStats host;
+    host.valid = true;
+    host.wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    const double secs = host.wall_ns / 1e9;
+    if (secs > 0.0) {
+        host.events_per_sec =
+            static_cast<double>(result.sim_memory_accesses) / secs;
+        host.switches_per_sec =
+            static_cast<double>(result.sim_fiber_switches) / secs;
+    }
+    host.jobs = jobs;
+    return host;
+}
+
+NewBenchConfig
+base_config(std::uint32_t critical_work, std::uint32_t iters)
+{
+    NewBenchConfig config;
+    config.threads = 28;
+    config.critical_work = critical_work;
+    config.iterations_per_thread = iters;
+    return config;
+}
+
+/** Single sequential engine run — the "is the engine itself fast" probe. */
+Measured
+measure_single(LockKind kind, std::uint32_t critical_work,
+               std::uint32_t iters)
+{
+    const NewBenchConfig config = base_config(critical_work, iters);
+    const Clock::time_point t0 = Clock::now();
+    Measured m;
+    m.result = run_newbench(kind, config);
+    m.host = rates_of(m.result, Clock::now() - t0, 1);
+    return m;
+}
+
+/** The Figure 5 grid through the executor — the "does --jobs scale" probe.
+ *  The aggregate result sums the per-run engine counters; the hash chains
+ *  the per-run hashes in grid order so drift in any cell shows up. */
+Measured
+measure_sweep(std::uint32_t iters, int jobs)
+{
+    const std::vector<LockKind> kinds = paper_lock_kinds();
+    const std::vector<std::uint32_t> critical_work = {0,    250,  500, 1000,
+                                                      1500, 2000, 2500};
+    const std::size_t ncw = critical_work.size();
+
+    exec::Executor executor(jobs);
+    const Clock::time_point t0 = Clock::now();
+    const std::vector<BenchResult> results =
+        executor.map<BenchResult>(kinds.size() * ncw, [&](std::size_t idx) {
+            return run_newbench(
+                kinds[idx / ncw],
+                base_config(critical_work[idx % ncw], iters));
+        });
+    const Clock::duration elapsed = Clock::now() - t0;
+
+    Measured m;
+    std::uint64_t hash = 1469598103934665603ULL; // FNV-1a offset basis
+    for (const BenchResult& r : results) {
+        m.result.total_time += r.total_time;
+        m.result.total_acquires += r.total_acquires;
+        m.result.sim_memory_accesses += r.sim_memory_accesses;
+        m.result.sim_fiber_switches += r.sim_fiber_switches;
+        for (int shift = 0; shift < 64; shift += 8) {
+            hash ^= (r.acquisition_order_hash >> shift) & 0xffu;
+            hash *= 1099511628211ULL;
+        }
+    }
+    m.result.acquisition_order_hash = hash;
+    m.result.avg_iteration_ns =
+        m.result.total_acquires == 0
+            ? 0.0
+            : static_cast<double>(m.result.total_time) /
+                  static_cast<double>(m.result.total_acquires);
+    m.host = rates_of(m.result, elapsed, executor.jobs());
+    return m;
+}
+
+void
+print_row(stats::Table& table, const char* name, const Measured& m)
+{
+    table.row()
+        .cell(name)
+        .cell(m.host.jobs)
+        .cell(m.host.wall_ns / 1e6, 1)
+        .cell(m.host.events_per_sec / 1e6, 2)
+        .cell(m.host.switches_per_sec / 1e6, 3)
+        .cell("0x" + [](std::uint64_t h) {
+            char buf[17];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          static_cast<unsigned long long>(h));
+            return std::string(buf);
+        }(m.result.acquisition_order_hash));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner(
+        "Simulator throughput",
+        "Engine events and fiber switches per host second (2-node, 28-cpu\n"
+        "WildFire). TATAS/MCS run sequentially and track the engine hot\n"
+        "paths; SWEEP fans the Figure 5 grid out over --jobs host threads\n"
+        "(default: NUCALOCK_JOBS, else hardware concurrency). Hashes are\n"
+        "bit-identical at every --jobs level.");
+
+    const auto iters = static_cast<std::uint32_t>(scaled_iters(60, 10));
+    const int jobs = bench::bench_jobs(argc, argv);
+
+    // TATAS at cw=0 maximizes spinning (ready-queue + memory-event load);
+    // MCS at cw=1500 maximizes blocking handovers (watcher + switch load).
+    const Measured tatas = measure_single(LockKind::Tatas, 0, iters);
+    const Measured mcs = measure_single(LockKind::Mcs, 1500, iters);
+    const Measured sweep = measure_sweep(iters, jobs);
+
+    stats::Table table({"Shape", "jobs", "wall ms", "Mevents/s",
+                        "Mswitches/s", "acq hash"});
+    print_row(table, "TATAS cw=0", tatas);
+    print_row(table, "MCS cw=1500", mcs);
+    print_row(table, "SWEEP fig5", sweep);
+    table.print(std::cout);
+
+    obs::ReportConfig rc;
+    rc.tool = "bench_sim_throughput";
+    rc.bench = "new";
+    rc.nodes = 2;
+    rc.cpus_per_node = 14;
+    rc.threads = 28;
+    rc.critical_work = 1500;
+    rc.private_work = 4000;
+    rc.iterations = iters;
+    rc.seed = 1;
+    std::vector<obs::ReportRun> runs;
+    runs.push_back(obs::ReportRun{"TATAS", tatas.result, nullptr});
+    runs.back().host = tatas.host;
+    runs.push_back(obs::ReportRun{"MCS", mcs.result, nullptr});
+    runs.back().host = mcs.host;
+    runs.push_back(obs::ReportRun{"SWEEP", sweep.result, nullptr});
+    runs.back().host = sweep.host;
+    bench::maybe_write_json(rc, runs);
+    return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "exec/executor.hpp"
 
 namespace nucalock::check {
 
@@ -77,6 +78,33 @@ class PctScheduler final : public sim::Scheduler
     std::uint64_t steps_ = 0;
 };
 
+/** Randomized execution i >= 1; pure in (setup, cfg, est_length, i). */
+RunReport
+pct_execution(const CheckSetup& setup, const PctConfig& cfg,
+              std::uint64_t est_length, std::uint64_t i)
+{
+    Xoshiro256 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + i);
+    PctScheduler sched(threads_of(setup), cfg.depth, cfg.max_steps, est_length,
+                       std::move(rng));
+    return run_one(setup, sched);
+}
+
+/** Fold one execution's report into the aggregate, in execution order. */
+void
+fold_report(PctResult* res, const RunReport& rep)
+{
+    ++res->executions;
+    if (rep.truncated())
+        ++res->truncated;
+    res->max_steps_seen = std::max(res->max_steps_seen, rep.steps);
+    res->max_bypasses = std::max(res->max_bypasses, rep.max_bypasses);
+    res->max_node_streak = std::max(res->max_node_streak, rep.max_node_streak);
+    if (rep.failed) {
+        ++res->failures;
+        res->first_failure = rep;
+    }
+}
+
 } // namespace
 
 PctResult
@@ -84,34 +112,43 @@ pct_check(const CheckSetup& setup, const PctConfig& cfg)
 {
     NUCA_ASSERT(cfg.depth >= 1);
     PctResult res;
-    std::uint64_t est_length = 0;
-    for (std::uint64_t i = 0; i < cfg.executions; ++i) {
-        RunReport rep;
-        if (i == 0) {
-            // Execution 0 is the default-policy run: a valid schedule in its
-            // own right, and it calibrates the run-length estimate the
-            // change-point draws need.
-            DefaultScheduler sched(cfg.max_steps);
-            rep = run_one(setup, sched);
-        } else {
-            Xoshiro256 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + i);
-            PctScheduler sched(threads_of(setup), cfg.depth, cfg.max_steps,
-                               std::max<std::uint64_t>(est_length, 1),
-                               std::move(rng));
-            rep = run_one(setup, sched);
+    if (cfg.executions == 0)
+        return res;
+
+    // Execution 0 is the default-policy run: a valid schedule in its own
+    // right, and it calibrates the run-length estimate the change-point
+    // draws need. The estimate comes from execution 0 *alone*, so every
+    // later execution is a pure function of (setup, cfg, i) — which is
+    // what lets cfg.jobs shard them and still reproduce the sequential
+    // verdict, statistics, and first failure bit for bit.
+    DefaultScheduler calibrate(cfg.max_steps);
+    const RunReport rep0 = run_one(setup, calibrate);
+    const std::uint64_t est_length = std::max<std::uint64_t>(rep0.steps, 1);
+    fold_report(&res, rep0);
+    if (rep0.failed)
+        return res;
+
+    // Chunked fan-out: fold each chunk in execution order and stop at the
+    // first failing one, so a parallel run does at most one chunk of work
+    // past the failure the sequential loop would have stopped at.
+    exec::Executor executor(cfg.jobs);
+    const std::uint64_t chunk_size =
+        static_cast<std::uint64_t>(std::max(16, executor.jobs() * 4));
+    std::uint64_t next = 1;
+    while (next < cfg.executions) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(cfg.executions - next, chunk_size));
+        const std::vector<RunReport> reps =
+            executor.map<RunReport>(chunk, [&](std::size_t j) {
+                return pct_execution(setup, cfg, est_length,
+                                     next + static_cast<std::uint64_t>(j));
+            });
+        for (const RunReport& rep : reps) {
+            fold_report(&res, rep);
+            if (rep.failed)
+                return res;
         }
-        ++res.executions;
-        if (rep.truncated())
-            ++res.truncated;
-        est_length = std::max(est_length, rep.steps);
-        res.max_steps_seen = std::max(res.max_steps_seen, rep.steps);
-        res.max_bypasses = std::max(res.max_bypasses, rep.max_bypasses);
-        res.max_node_streak = std::max(res.max_node_streak, rep.max_node_streak);
-        if (rep.failed) {
-            ++res.failures;
-            res.first_failure = rep;
-            return res;
-        }
+        next += chunk;
     }
     return res;
 }

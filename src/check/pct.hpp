@@ -37,6 +37,15 @@ struct PctConfig
     std::uint64_t max_steps = 20000;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Host worker threads for the randomized executions (exec::Executor).
+     * 1 = sequential; 0 = the executor default (NUCALOCK_JOBS, else
+     * hardware concurrency). The verdict, statistics, and first recorded
+     * failure are identical at every level: execution i's schedule depends
+     * only on (setup, cfg, i), and results fold in execution order.
+     */
+    int jobs = 1;
 };
 
 struct PctResult
@@ -56,8 +65,9 @@ struct PctResult
 /**
  * Run @p cfg.executions PCT runs of @p setup (stopping at the first
  * failure). Fully deterministic in (setup.seed, cfg.seed): execution i
- * derives its priorities and change points from them alone, so a failing
- * PCT run is reproducible — and its recorded schedule replays exactly.
+ * derives its priorities and change points from them and the execution-0
+ * calibration length alone, so a failing PCT run is reproducible — and its
+ * recorded schedule replays exactly — regardless of cfg.jobs.
  */
 PctResult pct_check(const CheckSetup& setup, const PctConfig& cfg);
 

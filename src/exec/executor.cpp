@@ -1,0 +1,145 @@
+#include "exec/executor.hpp"
+
+#include <limits>
+
+#include "common/env.hpp"
+#include "common/logging.hpp"
+
+namespace nucalock::exec {
+
+namespace {
+constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+} // namespace
+
+int
+hardware_jobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int
+default_jobs()
+{
+    const std::uint64_t env = env_u64("NUCALOCK_JOBS", 0);
+    if (env >= 1)
+        return static_cast<int>(env > 1024 ? 1024 : env);
+    return hardware_jobs();
+}
+
+Executor::Executor(int jobs) : jobs_(jobs <= 0 ? default_jobs() : jobs)
+{
+    // The calling thread is worker 0; spawn the other jobs_ - 1. jobs=1
+    // therefore runs everything inline with zero threading machinery.
+    workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+    for (int i = 1; i < jobs_; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_dispatch_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+void
+Executor::drain(Batch& batch)
+{
+    while (true) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.n)
+            return;
+        // Cancellation on first failure: skip jobs *behind* the lowest
+        // failing index. Lower-indexed jobs still run, so the failure that
+        // propagates is the one a sequential loop would have hit first.
+        if (batch.first_error.load(std::memory_order_acquire) > i) {
+            try {
+                (*batch.fn)(i);
+            } catch (...) {
+                batch.errors[i] = std::current_exception();
+                std::size_t cur =
+                    batch.first_error.load(std::memory_order_relaxed);
+                while (i < cur &&
+                       !batch.first_error.compare_exchange_weak(
+                           cur, i, std::memory_order_release,
+                           std::memory_order_relaxed)) {
+                }
+            }
+        }
+        if (batch.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            batch.n) {
+            std::lock_guard<std::mutex> lock(mu_);
+            cv_done_.notify_all();
+        }
+    }
+}
+
+void
+Executor::worker_loop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        cv_dispatch_.wait(
+            lock, [&] { return stopping_ || generation_ != seen; });
+        if (stopping_)
+            return;
+        seen = generation_;
+        const std::shared_ptr<Batch> batch = batch_;
+        if (batch == nullptr)
+            continue; // batch already retired; wait for the next one
+        lock.unlock();
+        drain(*batch);
+        lock.lock();
+    }
+}
+
+void
+Executor::run_batch(std::size_t n, const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    NUCA_ASSERT(!batch_active_, "Executor::run_batch is not reentrant");
+
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    batch->first_error.store(kNoError, std::memory_order_relaxed);
+    batch->errors.resize(n);
+
+    if (jobs_ > 1 && n > 1) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            batch_active_ = true;
+            batch_ = batch;
+            ++generation_;
+        }
+        cv_dispatch_.notify_all();
+        drain(*batch);
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_done_.wait(lock, [&] {
+                return batch->finished.load(std::memory_order_acquire) == n;
+            });
+            batch_ = nullptr;
+            batch_active_ = false;
+        }
+    } else {
+        batch_active_ = true;
+        drain(*batch);
+        batch_active_ = false;
+    }
+
+    const std::size_t failed =
+        batch->first_error.load(std::memory_order_acquire);
+    if (failed != kNoError)
+        std::rethrow_exception(batch->errors[failed]);
+}
+
+} // namespace nucalock::exec

@@ -109,6 +109,8 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
         result.finish_times.push_back(machine.finish_time(t));
     result.fairness_spread_pct = fairness_spread_pct(result.finish_times);
     result.acquisition_order_hash = order_hash;
+    result.sim_memory_accesses = machine.memory().num_accesses();
+    result.sim_fiber_switches = machine.fiber_switches();
     result.faults_injected = injector.injected();
     result.fault_log = injector.log();
     result.mutex_violations = checker.mutual_exclusion_violations();

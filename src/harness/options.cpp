@@ -65,7 +65,12 @@ cli_usage()
            "                 [--threads=N] [--critical-work=INTS]\n"
            "                 [--private-work=ITERS] [--iterations=N]\n"
            "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
-           "                 [--faults=SPEC] [--csv] [--json=PATH] [--help]\n"
+           "                 [--faults=SPEC] [--csv] [--json=PATH]\n"
+           "                 [--jobs=N] [--help]\n"
+           "\n"
+           "--jobs=N runs independent benchmark runs on N host threads\n"
+           "(default: $NUCALOCK_JOBS, else hardware concurrency). Results\n"
+           "and reports are bit-identical at every --jobs level.\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n"
@@ -148,6 +153,10 @@ parse_cli(const std::vector<std::string>& args)
             if (value.empty())
                 return fail("--check-schema needs a report file");
             opts.check_schema = value;
+        } else if (key == "jobs") {
+            if (!parse_number(value, &opts.jobs) || opts.jobs < 1 ||
+                opts.jobs > 1024)
+                return fail("bad --jobs '" + value + "' (want 1..1024)");
         } else {
             return fail("unknown option '--" + key + "'");
         }

@@ -55,6 +55,12 @@ struct CliOptions
     /** nucaprof only: validate an existing report file against the schema
      *  and exit; no benchmark runs. */
     std::string check_schema;
+    /**
+     * Host worker threads for independent runs (exec::Executor). 0 = the
+     * default: the NUCALOCK_JOBS environment variable when set, otherwise
+     * hardware concurrency. Results are bit-identical at every level.
+     */
+    int jobs = 0;
     bool help = false;
 };
 

@@ -41,6 +41,13 @@ struct BenchResult
      */
     std::uint64_t acquisition_order_hash = 0;
 
+    // ----- engine-side run cost (host-independent simulator counters) -----
+
+    /** Simulated memory operations the engine executed for this run. */
+    std::uint64_t sim_memory_accesses = 0;
+    /** Fiber context switches the engine performed for this run. */
+    std::uint64_t sim_fiber_switches = 0;
+
     // ----- robustness subsystem (zero unless a fault plan ran) ------------
 
     /** Faults actually applied by the injector. */

@@ -1,49 +1,66 @@
 #include "harness/sensitivity.hpp"
 
 #include "common/logging.hpp"
+#include "exec/executor.hpp"
 
 namespace nucalock::harness {
 
 using locks::LockKind;
 
+namespace {
+
+/**
+ * Shared sweep shape: slot 0 runs the reference lock, slot i+1 runs
+ * HBO_GT_SD with values[i] applied by @p apply. One flat batch so the
+ * reference run shares the worker pool with the sweep points.
+ */
+template <typename Apply>
 std::vector<SensitivityPoint>
-sweep_remote_backoff_cap(const NewBenchConfig& config,
-                         const std::vector<std::uint32_t>& caps)
+sweep_normalized(const NewBenchConfig& config, LockKind reference_kind,
+                 const std::vector<std::uint32_t>& values, int jobs,
+                 Apply apply)
 {
-    const BenchResult reference = run_newbench(LockKind::Mcs, config);
+    exec::Executor executor(jobs);
+    const std::vector<BenchResult> results =
+        executor.map<BenchResult>(values.size() + 1, [&](std::size_t i) {
+            if (i == 0)
+                return run_newbench(reference_kind, config);
+            NewBenchConfig swept = config;
+            apply(&swept, values[i - 1]);
+            return run_newbench(LockKind::HboGtSd, swept);
+        });
+    const BenchResult& reference = results[0];
     NUCA_ASSERT(reference.total_time > 0);
 
     std::vector<SensitivityPoint> points;
-    points.reserve(caps.size());
-    for (std::uint32_t cap : caps) {
-        NewBenchConfig swept = config;
-        swept.params.hbo_remote_cap = cap;
-        const BenchResult run = run_newbench(LockKind::HboGtSd, swept);
+    points.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
         points.push_back(
-            {cap, static_cast<double>(run.total_time) /
-                      static_cast<double>(reference.total_time)});
-    }
+            {values[i], static_cast<double>(results[i + 1].total_time) /
+                            static_cast<double>(reference.total_time)});
     return points;
+}
+
+} // namespace
+
+std::vector<SensitivityPoint>
+sweep_remote_backoff_cap(const NewBenchConfig& config,
+                         const std::vector<std::uint32_t>& caps, int jobs)
+{
+    return sweep_normalized(config, LockKind::Mcs, caps, jobs,
+                            [](NewBenchConfig* swept, std::uint32_t cap) {
+                                swept->params.hbo_remote_cap = cap;
+                            });
 }
 
 std::vector<SensitivityPoint>
 sweep_get_angry_limit(const NewBenchConfig& config,
-                      const std::vector<std::uint32_t>& limits)
+                      const std::vector<std::uint32_t>& limits, int jobs)
 {
-    const BenchResult reference = run_newbench(LockKind::HboGt, config);
-    NUCA_ASSERT(reference.total_time > 0);
-
-    std::vector<SensitivityPoint> points;
-    points.reserve(limits.size());
-    for (std::uint32_t limit : limits) {
-        NewBenchConfig swept = config;
-        swept.params.get_angry_limit = limit;
-        const BenchResult run = run_newbench(LockKind::HboGtSd, swept);
-        points.push_back(
-            {limit, static_cast<double>(run.total_time) /
-                        static_cast<double>(reference.total_time)});
-    }
-    return points;
+    return sweep_normalized(config, LockKind::HboGt, limits, jobs,
+                            [](NewBenchConfig* swept, std::uint32_t limit) {
+                                swept->params.get_angry_limit = limit;
+                            });
 }
 
 } // namespace nucalock::harness

@@ -23,19 +23,24 @@ struct SensitivityPoint
 
 /**
  * Fig 9: sweep HBO_GT_SD's REMOTE_BACKOFF_CAP over @p caps; times are
- * normalized to MCS under the same configuration.
+ * normalized to MCS under the same configuration. @p jobs fans the
+ * independent runs out over exec::Executor host threads (1 = sequential,
+ * 0 = executor default); the points are identical at every level.
  */
 std::vector<SensitivityPoint>
 sweep_remote_backoff_cap(const NewBenchConfig& config,
-                         const std::vector<std::uint32_t>& caps);
+                         const std::vector<std::uint32_t>& caps,
+                         int jobs = 1);
 
 /**
  * Fig 10: sweep HBO_GT_SD's GET_ANGRY_LIMIT over @p limits; times are
- * normalized to HBO_GT under the same configuration.
+ * normalized to HBO_GT under the same configuration. @p jobs as in
+ * sweep_remote_backoff_cap().
  */
 std::vector<SensitivityPoint>
 sweep_get_angry_limit(const NewBenchConfig& config,
-                      const std::vector<std::uint32_t>& limits);
+                      const std::vector<std::uint32_t>& limits,
+                      int jobs = 1);
 
 } // namespace nucalock::harness
 

@@ -79,6 +79,8 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
         result.finish_times.push_back(machine.finish_time(t));
     result.fairness_spread_pct = fairness_spread_pct(result.finish_times);
     result.acquisition_order_hash = order_hash;
+    result.sim_memory_accesses = machine.memory().num_accesses();
+    result.sim_fiber_switches = machine.fiber_switches();
     NUCA_ASSERT(acquires == static_cast<std::uint64_t>(config.threads) *
                                 config.iterations_per_thread);
     return result;

@@ -62,6 +62,8 @@ write_result(JsonWriter& w, const harness::BenchResult& r)
     w.kv("node_handoff_ratio", r.node_handoff_ratio);
     w.kv("fairness_spread_pct", r.fairness_spread_pct);
     w.kv("acquisition_order_hash", hex64(r.acquisition_order_hash));
+    w.kv("sim_memory_accesses", r.sim_memory_accesses);
+    w.kv("sim_fiber_switches", r.sim_fiber_switches);
     w.key("traffic");
     write_traffic(w, r.traffic);
     w.kv("faults_injected", r.faults_injected);
@@ -196,6 +198,17 @@ write_report(std::ostream& os, const ReportConfig& config,
             write_metrics(w, *run.metrics);
         else
             w.null();
+        if (run.host.valid) {
+            // Host wall-clock fields: the only nondeterministic part of a
+            // report. Determinism comparisons must strip this object.
+            w.key("host");
+            w.begin_object();
+            w.kv("wall_ns", run.host.wall_ns);
+            w.kv("events_per_sec", run.host.events_per_sec);
+            w.kv("switches_per_sec", run.host.switches_per_sec);
+            w.kv("jobs", run.host.jobs);
+            w.end_object();
+        }
         w.end_object();
     }
     w.end_array();
@@ -273,7 +286,8 @@ validate_result(const JsonValue& r, std::string* error,
         return fail(error, where + " must be an object");
     for (const char* field :
          {"total_time_ns", "total_acquires", "avg_iteration_ns",
-          "node_handoff_ratio", "fairness_spread_pct"})
+          "node_handoff_ratio", "fairness_spread_pct", "sim_memory_accesses",
+          "sim_fiber_switches"})
         if (!require_number(r, field, error, where))
             return false;
     if (!require_string(r, "acquisition_order_hash", error, where))
@@ -436,6 +450,16 @@ validate_report(const JsonValue& document, std::string* error)
         if (metrics->type != JsonValue::Type::Null &&
             !validate_metrics(*metrics, error, where + ".metrics"))
             return false;
+        // "host" is optional (bench_sim_throughput emits it); when present
+        // it must carry the wall-clock fields.
+        if (const JsonValue* host = run.find("host"); host != nullptr) {
+            if (!host->is_object())
+                return fail(error, where + ": 'host' must be an object");
+            for (const char* field : {"wall_ns", "events_per_sec",
+                                      "switches_per_sec", "jobs"})
+                if (!require_number(*host, field, error, where + ".host"))
+                    return false;
+        }
     }
     return true;
 }

@@ -40,13 +40,43 @@ struct ReportConfig
     std::uint64_t seed = 0;
 };
 
+/**
+ * Host-side (wall-clock) measurements of a run. Everything else in a report
+ * is a deterministic function of the simulated run; these fields are the
+ * one exception — they measure the *host machine executing the simulator*
+ * (bench/bench_sim_throughput.cpp), so they differ between hosts and
+ * repetitions. Consumers comparing reports for determinism must ignore the
+ * "host" object (it is emitted only when @ref valid is set).
+ */
+struct HostStats
+{
+    bool valid = false;
+    /** Host wall-clock time of the run(s), nanoseconds. */
+    double wall_ns = 0.0;
+    /** Simulated memory operations executed per host second. */
+    double events_per_sec = 0.0;
+    /** Fiber context switches executed per host second. */
+    double switches_per_sec = 0.0;
+    /** Worker count the run used (1 = sequential). */
+    int jobs = 1;
+};
+
 /** One benchmark run (one lock) inside a report. */
 struct ReportRun
 {
+    ReportRun() = default;
+    ReportRun(std::string name, harness::BenchResult res,
+              const MetricsRegistry* reg)
+        : lock_name(std::move(name)), result(res), metrics(reg)
+    {
+    }
+
     std::string lock_name;
     harness::BenchResult result;
     /** Finalized registry for this run, or nullptr (nucabench --json). */
     const MetricsRegistry* metrics = nullptr;
+    /** Host wall-clock measurements; omitted from the JSON unless valid. */
+    HostStats host;
 };
 
 /** Write the whole report document to @p os (pretty-printed JSON). */

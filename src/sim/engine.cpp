@@ -201,8 +201,10 @@ SimMachine::node_gate(int node)
 {
     NUCA_ASSERT(node >= 0 && node < topo_.num_nodes(), "node=", node);
     auto& gate = node_gates_[static_cast<std::size_t>(node)];
-    if (!gate.valid())
+    if (!gate.valid()) {
         gate = memory_.alloc(kGateDummy, node);
+        memory_.mark_node_gate(gate);
+    }
     return gate;
 }
 
@@ -300,6 +302,7 @@ SimMachine::block_until(SimContext& ctx, SimTime t)
     NUCA_ASSERT(thr.tid == current_tid_, "block from non-current thread");
     thr.wake = disturb_wake(thr, t);
     thr.state = ThreadState::Runnable;
+    ready_.push_or_update(thr.tid, thr.wake);
     thr.fiber->yield();
 }
 
@@ -313,13 +316,16 @@ SimMachine::wait_on(SimContext& ctx, MemRef ref, std::uint64_t v)
     thr.state = ThreadState::Waiting;
     thr.wake = kTimeInfinity;
     thr.waiting_line = ref.line;
+    if (scheduler_ == nullptr)
+        ready_.remove(thr.tid);
     thr.fiber->yield();
 }
 
 void
 SimMachine::wake_watchers(MemRef ref, SimTime t)
 {
-    for (int tid : memory_.take_watchers(ref)) {
+    memory_.take_watchers(ref, watcher_scratch_);
+    for (int tid : watcher_scratch_) {
         SimThread& thr = *threads_[static_cast<std::size_t>(tid)];
         if (thr.state == ThreadState::Done)
             continue; // died (injected fault) while spin-waiting
@@ -327,10 +333,15 @@ SimMachine::wake_watchers(MemRef ref, SimTime t)
         thr.state = ThreadState::Runnable;
         thr.wake = disturb_wake(thr, t);
         thr.waiting_line = MemRef::kInvalid;
-        // The wakeup itself is a local step: when scheduled, the thread
-        // returns from wait_on and advertises its re-poll as the next
-        // decision point.
-        thr.pending = PendingOp{SchedOp::Wakeup, ref.line};
+        if (scheduler_ != nullptr) {
+            // The wakeup itself is a local step: when scheduled, the thread
+            // returns from wait_on and advertises its re-poll as the next
+            // decision point. Only controlled mode reads pending; the timed
+            // loop instead needs the thread back in the ready queue.
+            thr.pending = PendingOp{SchedOp::Wakeup, ref.line};
+        } else {
+            ready_.push_or_update(tid, thr.wake);
+        }
     }
 }
 
@@ -404,15 +415,6 @@ SimMachine::install_scheduler(Scheduler* scheduler)
     scheduler_ = scheduler;
 }
 
-bool
-SimMachine::is_node_gate(MemRef ref) const
-{
-    for (const MemRef& gate : node_gates_)
-        if (gate.valid() && gate == ref)
-            return true;
-    return false;
-}
-
 void
 SimMachine::sweep_deaths(std::size_t& done)
 {
@@ -427,6 +429,8 @@ SimMachine::sweep_deaths(std::size_t& done)
             continue;
         thr->state = ThreadState::Done;
         thr->finish = next_run == kTimeInfinity ? now_ : next_run;
+        if (scheduler_ == nullptr)
+            ready_.remove(thr->tid);
         ++done;
         if (checker_ != nullptr)
             checker_->on_thread_death(thr->tid, now_);
@@ -451,22 +455,23 @@ void
 SimMachine::run_timed()
 {
     std::size_t done = 0;
+    // Seed the ready queue: every thread starts Runnable at wake time 0.
+    ready_.reset(threads_.size());
+    for (const auto& thr : threads_)
+        ready_.push_or_update(thr->tid, thr->wake);
     while (done < threads_.size()) {
         if (injector_ != nullptr)
             sweep_deaths(done);
         if (done >= threads_.size())
             break;
-        // Pick the runnable thread with the earliest wake time
-        // (ties broken by thread id — determinism).
-        SimThread* next = nullptr;
-        for (auto& thr : threads_) {
-            if (thr->state == ThreadState::Done || thr->wake == kTimeInfinity)
-                continue;
-            if (next == nullptr || thr->wake < next->wake)
-                next = thr.get();
-        }
-        if (next == nullptr)
+        // The runnable thread with the earliest wake time, ties broken by
+        // thread id (determinism): the ready queue's top. Waiting threads
+        // (wake == infinity) are not in the queue; wake_watchers reinserts
+        // them. The queue is maintained at every state change, so the pick
+        // is O(1) instead of the old per-event scan over all threads.
+        if (ready_.empty())
             panic_with_diagnosis("deadlock: no runnable thread");
+        SimThread* next = threads_[static_cast<std::size_t>(ready_.top_tid())].get();
         NUCA_ASSERT(next->wake >= now_, "time went backwards");
         now_ = next->wake;
         if (checker_ != nullptr && checker_->watchdog_expired(now_))
@@ -486,6 +491,7 @@ SimMachine::run_timed()
         if (next->fiber->finished()) {
             next->state = ThreadState::Done;
             next->finish = now_;
+            ready_.remove(next->tid);
             ++done;
         }
     }

@@ -16,6 +16,7 @@
 #include "sim/fiber.hpp"
 #include "sim/latency.hpp"
 #include "sim/memory.hpp"
+#include "sim/ready_queue.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 #include "topology/mapping.hpp"
@@ -272,7 +273,7 @@ class SimMachine
     std::uint64_t sched_steps() const { return sched_steps_; }
 
     /** Whether @p ref is one of the per-node is_spinning gate words. */
-    bool is_node_gate(MemRef ref) const;
+    bool is_node_gate(MemRef ref) const { return memory_.is_node_gate(ref); }
 
     /**
      * Human-readable end-of-run report: simulated time, traffic totals,
@@ -353,6 +354,10 @@ class SimMachine
     SimConfig cfg_;
     SimMemory memory_;
     std::vector<std::unique_ptr<SimThread>> threads_;
+    /** Runnable threads by (wake, tid); maintained only in timed mode. */
+    ReadyQueue ready_;
+    /** Reused by wake_watchers (see SimMemory::take_watchers). */
+    std::vector<int> watcher_scratch_;
     std::vector<MemRef> node_gates_;
     std::vector<bool> cpu_used_;
     SimTime now_ = 0;

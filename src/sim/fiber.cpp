@@ -3,18 +3,124 @@
 #include <cstdint>
 
 #include "common/logging.hpp"
+#include "sim/stack_pool.hpp"
+
+// ThreadSanitizer has to be told about manual context switches, or it sees
+// one host thread's shadow stack teleporting between fiber stacks and
+// reports bogus races. Annotations are compiled in only under TSan; the
+// normal build pays nothing.
+#if defined(__SANITIZE_THREAD__)
+#define NUCALOCK_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NUCALOCK_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef NUCALOCK_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+
+/**
+ * Save the SysV callee-saved GPRs on the current stack, park the stack
+ * pointer in *save_sp, switch to restore_sp and pop the same registers.
+ * The xmm registers are caller-saved, and nothing in the simulator changes
+ * mxcsr/x87 control modes or the signal mask, so none of those are touched
+ * — that omission (vs swapcontext) is the entire speedup.
+ */
+extern "C" void nucalock_fiber_swap(void** save_sp, void* restore_sp);
+
+// clang-format off
+asm(R"(
+        .text
+        .align  16
+        .globl  nucalock_fiber_swap
+        .hidden nucalock_fiber_swap
+        .type   nucalock_fiber_swap, @function
+nucalock_fiber_swap:
+        endbr64
+        pushq   %rbp
+        pushq   %rbx
+        pushq   %r12
+        pushq   %r13
+        pushq   %r14
+        pushq   %r15
+        movq    %rsp, (%rdi)
+        movq    %rsi, %rsp
+        popq    %r15
+        popq    %r14
+        popq    %r13
+        popq    %r12
+        popq    %rbx
+        popq    %rbp
+        ret
+        .size   nucalock_fiber_swap, . - nucalock_fiber_swap
+
+        /* First activation of a fiber "returns" here (the constructor
+           plants this address as the return address on the fresh stack,
+           and the Fiber* in the r12 slot). */
+        .align  16
+        .globl  nucalock_fiber_thunk
+        .hidden nucalock_fiber_thunk
+        .type   nucalock_fiber_thunk, @function
+nucalock_fiber_thunk:
+        endbr64
+        movq    %r12, %rdi
+        callq   nucalock_fiber_entry
+        ud2
+        .size   nucalock_fiber_thunk, . - nucalock_fiber_thunk
+)");
+// clang-format on
+
+extern "C" void nucalock_fiber_thunk();
+
+extern "C" void
+nucalock_fiber_entry(void* fiber)
+{
+    static_cast<nucalock::sim::Fiber*>(fiber)->run();
+    __builtin_trap(); // run() never returns on this path
+}
+
+#endif // NUCALOCK_FIBER_FAST_SWITCH
 
 namespace nucalock::sim {
 
 Fiber::Fiber(Entry entry, std::size_t stack_bytes)
-    : entry_(std::move(entry)), stack_(new char[stack_bytes])
+    : entry_(std::move(entry)), stack_(StackPool::acquire(stack_bytes)),
+      stack_bytes_(stack_bytes)
 {
     NUCA_ASSERT(entry_ != nullptr);
     NUCA_ASSERT(stack_bytes >= 16 * 1024, "fiber stack too small");
 
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+    // Build the stack image nucalock_fiber_swap will "return" into: six
+    // callee-saved register slots (r12 carries `this` to the thunk) below
+    // the thunk's address. The return-address slot sits at B-8 for a
+    // 16-aligned B, so the thunk starts with rsp % 16 == 0 — the state the
+    // ABI prescribes immediately before a call instruction.
+    std::uintptr_t top =
+        (reinterpret_cast<std::uintptr_t>(stack_) + stack_bytes) &
+        ~std::uintptr_t{15};
+    auto* sp = reinterpret_cast<std::uint64_t*>(top);
+    *--sp = reinterpret_cast<std::uint64_t>(&nucalock_fiber_thunk);
+    *--sp = 0;                                      // rbp
+    *--sp = 0;                                      // rbx
+    *--sp = reinterpret_cast<std::uint64_t>(this);  // r12
+    *--sp = 0;                                      // r13
+    *--sp = 0;                                      // r14
+    *--sp = 0;                                      // r15
+    switch_sp_ = sp;
+#else
     if (getcontext(&context_) != 0)
         NUCA_PANIC("getcontext failed");
-    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_sp = stack_;
     context_.uc_stack.ss_size = stack_bytes;
     context_.uc_link = &caller_;
 
@@ -24,8 +130,23 @@ Fiber::Fiber(Entry entry, std::size_t stack_bytes)
     const auto lo = static_cast<unsigned int>(self & 0xffffffffu);
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
                 hi, lo);
+#endif
+
+#ifdef NUCALOCK_TSAN_FIBERS
+    tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 }
 
+Fiber::~Fiber()
+{
+#ifdef NUCALOCK_TSAN_FIBERS
+    if (tsan_fiber_ != nullptr)
+        __tsan_destroy_fiber(tsan_fiber_);
+#endif
+    StackPool::release(stack_, stack_bytes_);
+}
+
+#ifndef NUCALOCK_FIBER_FAST_SWITCH
 void
 Fiber::trampoline(unsigned int hi, unsigned int lo)
 {
@@ -33,13 +154,23 @@ Fiber::trampoline(unsigned int hi, unsigned int lo)
                       static_cast<std::uintptr_t>(lo);
     reinterpret_cast<Fiber*>(self)->run();
 }
+#endif
 
 void
 Fiber::run()
 {
     entry_();
     finished_ = true;
-    // Falling off the end returns to uc_link (== caller_).
+#ifdef NUCALOCK_TSAN_FIBERS
+    // The switch below bypasses yield(), so announce it here.
+    __tsan_switch_to_fiber(tsan_caller_, 0);
+#endif
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+    // Final switch back to the resumer; the fiber is never entered again
+    // (resume() asserts !finished_), so the saved sp is write-only.
+    nucalock_fiber_swap(&switch_sp_, caller_sp_);
+#endif
+    // ucontext path: falling off the end returns to uc_link (== caller_).
 }
 
 void
@@ -49,8 +180,16 @@ Fiber::resume()
     NUCA_ASSERT(!inside_, "recursive resume");
     started_ = true;
     inside_ = true;
+#ifdef NUCALOCK_TSAN_FIBERS
+    tsan_caller_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+    nucalock_fiber_swap(&caller_sp_, switch_sp_);
+#else
     if (swapcontext(&caller_, &context_) != 0)
         NUCA_PANIC("swapcontext into fiber failed");
+#endif
     inside_ = false;
 }
 
@@ -58,8 +197,15 @@ void
 Fiber::yield()
 {
     NUCA_ASSERT(inside_, "yield outside of fiber");
+#ifdef NUCALOCK_TSAN_FIBERS
+    __tsan_switch_to_fiber(tsan_caller_, 0);
+#endif
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+    nucalock_fiber_swap(&switch_sp_, caller_sp_);
+#else
     if (swapcontext(&context_, &caller_) != 0)
         NUCA_PANIC("swapcontext out of fiber failed");
+#endif
 }
 
 } // namespace nucalock::sim

@@ -263,13 +263,28 @@ SimMemory::watch(MemRef ref, int tid, std::uint64_t watched)
     return true;
 }
 
+void
+SimMemory::take_watchers(MemRef ref, std::vector<int>& out)
+{
+    Line& line = line_of(ref);
+    out.clear();
+    // Swap rather than copy: the line inherits out's empty-but-reserved
+    // buffer, so repeated wake processing reuses two buffers forever.
+    std::swap(out, line.watchers);
+}
+
 std::vector<int>
 SimMemory::take_watchers(MemRef ref)
 {
-    Line& line = line_of(ref);
     std::vector<int> out;
-    out.swap(line.watchers);
+    take_watchers(ref, out);
     return out;
+}
+
+void
+SimMemory::mark_node_gate(MemRef ref)
+{
+    line_of(ref).is_gate = true;
 }
 
 int

@@ -109,8 +109,31 @@ class SimMemory
      */
     bool watch(MemRef ref, int tid, std::uint64_t watched);
 
-    /** Remove and return the watcher tids of @p ref (wake processing). */
+    /**
+     * Move the watcher tids of @p ref into @p out (cleared first), leaving
+     * the line with out's old (empty) buffer. The engine ping-pongs one
+     * scratch vector through this, so steady-state wake processing does not
+     * allocate.
+     */
+    void take_watchers(MemRef ref, std::vector<int>& out);
+
+    /** Convenience overload returning a fresh vector (tests). */
     std::vector<int> take_watchers(MemRef ref);
+
+    /**
+     * Flag @p ref as a per-node is_spinning gate word so the fault
+     * injector's gate-store check (SimMachine::is_node_gate) is one flag
+     * load instead of a scan over every node's gate ref.
+     */
+    void mark_node_gate(MemRef ref);
+
+    /** Whether @p ref was flagged by mark_node_gate(). O(1). */
+    bool
+    is_node_gate(MemRef ref) const
+    {
+        return ref.valid() && ref.line < lines_.size() &&
+               lines_[ref.line].is_gate;
+    }
 
     std::uint32_t num_lines() const { return static_cast<std::uint32_t>(lines_.size()); }
     std::uint64_t num_accesses() const { return accesses_; }
@@ -157,6 +180,7 @@ class SimMemory
         std::uint64_t sharers = 0; // bit per cpu, includes owner when cached
         std::int16_t owner_cpu = -1;
         std::int16_t home_node = 0;
+        bool is_gate = false; // a node_gate() word (fault-injection check)
         std::vector<int> watchers;
     };
 

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Indexed min-heap of runnable simulated threads, keyed (wake, tid).
+ *
+ * run_timed() used to pick the next thread with a linear scan over every
+ * thread per event — O(T) per event, the engine's hottest loop. The
+ * ReadyQueue replaces that with a binary heap plus a tid->heap-slot index so
+ * membership updates (block, wake, death) are O(log T) and the pick is O(1).
+ *
+ * The ordering is exactly the scan's: earliest wake first, ties broken by
+ * lowest tid. That tie-break is part of the determinism contract — changing
+ * it changes acquisition order hashes (pinned in tests/harness_test.cpp and
+ * tests/exec_test.cpp).
+ */
+#ifndef NUCALOCK_SIM_READY_QUEUE_HPP
+#define NUCALOCK_SIM_READY_QUEUE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "sim/time.hpp"
+
+namespace nucalock::sim {
+
+class ReadyQueue
+{
+  public:
+    /** Empty the queue and size the tid index for @p num_threads. */
+    void
+    reset(std::size_t num_threads)
+    {
+        heap_.clear();
+        heap_.reserve(num_threads);
+        pos_.assign(num_threads, kAbsent);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    bool
+    contains(int tid) const
+    {
+        return pos_[static_cast<std::size_t>(tid)] != kAbsent;
+    }
+
+    /** Thread id with the smallest (wake, tid). Queue must be non-empty. */
+    int
+    top_tid() const
+    {
+        NUCA_ASSERT(!heap_.empty(), "top of empty ReadyQueue");
+        return heap_[0].tid;
+    }
+
+    /** Wake time of top_tid(). Queue must be non-empty. */
+    SimTime
+    top_wake() const
+    {
+        NUCA_ASSERT(!heap_.empty(), "top of empty ReadyQueue");
+        return heap_[0].wake;
+    }
+
+    /** Insert @p tid with key @p wake, or re-key it if already present. */
+    void
+    push_or_update(int tid, SimTime wake)
+    {
+        std::size_t& slot = pos_[static_cast<std::size_t>(tid)];
+        if (slot == kAbsent) {
+            slot = heap_.size();
+            heap_.push_back(Entry{wake, tid});
+            sift_up(heap_.size() - 1);
+            return;
+        }
+        const SimTime old = heap_[slot].wake;
+        heap_[slot].wake = wake;
+        if (wake < old)
+            sift_up(slot);
+        else if (wake > old)
+            sift_down(slot);
+    }
+
+    /** Remove @p tid if present; no-op otherwise. */
+    void
+    remove(int tid)
+    {
+        const std::size_t slot = pos_[static_cast<std::size_t>(tid)];
+        if (slot == kAbsent)
+            return;
+        pos_[static_cast<std::size_t>(tid)] = kAbsent;
+        const std::size_t last = heap_.size() - 1;
+        if (slot != last) {
+            heap_[slot] = heap_[last];
+            pos_[static_cast<std::size_t>(heap_[slot].tid)] = slot;
+        }
+        heap_.pop_back();
+        if (slot < heap_.size()) {
+            // The moved-in entry may need to go either direction. If
+            // sift_up moves it, whatever lands on @p slot is a former
+            // ancestor whose subtree is already ordered, so the following
+            // sift_down is a no-op; otherwise sift_down fixes the subtree.
+            sift_up(slot);
+            sift_down(slot);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        SimTime wake;
+        int tid;
+    };
+
+    static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+    static bool
+    before(const Entry& a, const Entry& b)
+    {
+        return a.wake < b.wake || (a.wake == b.wake && a.tid < b.tid);
+    }
+
+    void
+    sift_up(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(heap_[i], heap_[parent]))
+                break;
+            swap_slots(i, parent);
+            i = parent;
+        }
+    }
+
+    void
+    sift_down(std::size_t i)
+    {
+        while (true) {
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = 2 * i + 2;
+            std::size_t best = i;
+            if (l < heap_.size() && before(heap_[l], heap_[best]))
+                best = l;
+            if (r < heap_.size() && before(heap_[r], heap_[best]))
+                best = r;
+            if (best == i)
+                return;
+            swap_slots(i, best);
+            i = best;
+        }
+    }
+
+    void
+    swap_slots(std::size_t a, std::size_t b)
+    {
+        std::swap(heap_[a], heap_[b]);
+        pos_[static_cast<std::size_t>(heap_[a].tid)] = a;
+        pos_[static_cast<std::size_t>(heap_[b].tid)] = b;
+    }
+
+    std::vector<Entry> heap_;
+    std::vector<std::size_t> pos_; // tid -> heap slot, kAbsent when out
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_READY_QUEUE_HPP

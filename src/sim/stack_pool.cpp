@@ -1,0 +1,91 @@
+#include "sim/stack_pool.hpp"
+
+#include <vector>
+
+namespace nucalock::sim {
+
+namespace {
+
+struct Block
+{
+    char* stack;
+    std::size_t bytes;
+};
+
+/**
+ * Free list, most-recently-released last so acquire() reuses warm stacks.
+ * Bounded: SimMemory::kMaxCpus caps simulated threads per machine at 64 and
+ * a host thread runs one machine at a time, so anything past a small
+ * multiple of that is a leak-shaped workload we'd rather give back.
+ */
+struct Cache
+{
+    static constexpr std::size_t kMaxPooled = 128;
+
+    std::vector<Block> free;
+
+    ~Cache()
+    {
+        for (const Block& b : free)
+            delete[] b.stack;
+    }
+};
+
+Cache&
+cache()
+{
+    thread_local Cache c;
+    return c;
+}
+
+} // namespace
+
+char*
+StackPool::acquire(std::size_t bytes)
+{
+    std::vector<Block>& free = cache().free;
+    // Scan newest-first: runs use one stack size, so this is hit [0].
+    for (std::size_t i = free.size(); i > 0; --i) {
+        if (free[i - 1].bytes == bytes) {
+            char* stack = free[i - 1].stack;
+            free.erase(free.begin() +
+                       static_cast<std::ptrdiff_t>(i - 1));
+            return stack;
+        }
+    }
+    return new char[bytes];
+}
+
+void
+StackPool::release(char* stack, std::size_t bytes) noexcept
+{
+    if (stack == nullptr)
+        return;
+    std::vector<Block>& free = cache().free;
+    if (free.size() >= Cache::kMaxPooled) {
+        delete[] stack;
+        return;
+    }
+    try {
+        free.push_back(Block{stack, bytes});
+    } catch (...) {
+        delete[] stack;
+    }
+}
+
+std::size_t
+StackPool::pooled_count()
+{
+    return cache().free.size();
+}
+
+void
+StackPool::trim() noexcept
+{
+    std::vector<Block>& free = cache().free;
+    for (const Block& b : free)
+        delete[] b.stack;
+    free.clear();
+}
+
+} // namespace nucalock::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-host-thread pool of fiber stacks.
+ *
+ * A benchmark sweep constructs thousands of SimMachines, each of which
+ * allocates one 256 KiB stack per simulated thread. Those allocations are
+ * big enough that the allocator serves them with mmap/munmap, and the page
+ * faults + TLB shootdowns dominated system time in full sweeps (~1/3 of
+ * wall time on the fig5 bench before pooling). The pool keeps released
+ * stacks on a thread-local free list and hands them back to the next Fiber
+ * of the same size, so a sweep touches the kernel once per (host thread,
+ * stack slot) instead of once per simulated thread.
+ *
+ * Thread-local on purpose: Executor workers each run whole SimMachines, so
+ * stacks never migrate between host threads and the pool needs no locks.
+ * The list is freed when the host thread exits.
+ */
+#ifndef NUCALOCK_SIM_STACK_POOL_HPP
+#define NUCALOCK_SIM_STACK_POOL_HPP
+
+#include <cstddef>
+
+namespace nucalock::sim {
+
+class StackPool
+{
+  public:
+    /** Get a stack of exactly @p bytes (pooled if available, else new). */
+    static char* acquire(std::size_t bytes);
+
+    /** Return a stack obtained from acquire(). Never throws. */
+    static void release(char* stack, std::size_t bytes) noexcept;
+
+    /** Stacks currently pooled on this host thread (tests). */
+    static std::size_t pooled_count();
+
+    /** Free every pooled stack on this host thread (tests). */
+    static void trim() noexcept;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_STACK_POOL_HPP

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The host-parallel executor (exec/executor.hpp) and its determinism
+ * contract: fanning independent simulator runs across host threads must
+ * never change a single simulated bit. The acquisition-order hashes below
+ * are pinned literals — if an engine change alters them, that is a
+ * determinism regression, not a number to update casually (see
+ * docs/performance.md).
+ */
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "harness/newbench.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace nucalock;
+using exec::Executor;
+using harness::BenchResult;
+using harness::NewBenchConfig;
+using locks::LockKind;
+
+TEST(Executor, ReportsRequestedJobs)
+{
+    EXPECT_EQ(Executor(1).jobs(), 1);
+    EXPECT_EQ(Executor(3).jobs(), 3);
+    EXPECT_GE(Executor(0).jobs(), 1); // default resolves to something sane
+    EXPECT_GE(exec::hardware_jobs(), 1);
+    EXPECT_GE(exec::default_jobs(), 1);
+}
+
+TEST(Executor, MapPreservesSubmissionOrder)
+{
+    Executor executor(4);
+    const std::vector<int> out =
+        executor.map<int>(100, [](std::size_t i) {
+            return static_cast<int>(i) * 3;
+        });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(Executor, RunsEveryJobExactlyOnce)
+{
+    Executor executor(4);
+    std::vector<std::atomic<int>> counts(257);
+    executor.run_batch(counts.size(), [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const std::atomic<int>& c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Executor, EmptyBatchIsANoOp)
+{
+    Executor executor(4);
+    executor.run_batch(0, [](std::size_t) { FAIL() << "ran a job"; });
+}
+
+TEST(Executor, PropagatesLowestFailingIndex)
+{
+    Executor executor(4);
+    // 12 always executes: cancellation only skips indexes at or above the
+    // lowest failure seen so far, and nothing below 12 fails.
+    EXPECT_THROW(
+        {
+            try {
+                executor.run_batch(64, [](std::size_t i) {
+                    if (i == 12 || i == 40 || i == 63)
+                        throw std::runtime_error(std::to_string(i));
+                });
+            } catch (const std::runtime_error& e) {
+                EXPECT_STREQ(e.what(), "12");
+                throw;
+            }
+        },
+        std::runtime_error);
+
+    // The executor survives a failed batch and runs the next one.
+    const std::vector<int> out =
+        executor.map<int>(8, [](std::size_t i) { return static_cast<int>(i); });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 28);
+}
+
+TEST(Executor, CleanShutdownUnderChurn)
+{
+    for (int round = 0; round < 20; ++round) {
+        Executor executor(3);
+        if (round % 2 == 0)
+            executor.run_batch(5, [](std::size_t) {});
+        // Destructor joins the workers whether or not a batch ran.
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: bit-identical simulated results at every --jobs
+// level, including repeated runs at the same level.
+
+std::uint64_t
+hash_of(LockKind kind)
+{
+    // NewBenchConfig defaults are the headline shape: 2-node 28-cpu
+    // WildFire, critical_work 1500, private_work 4000, 60 iterations,
+    // seed 1 — the same shape `nucabench --bench=new` runs.
+    const NewBenchConfig config;
+    return run_newbench(kind, config).acquisition_order_hash;
+}
+
+TEST(ExecutorDeterminism, PinnedHashesAtEveryJobsLevel)
+{
+    const struct
+    {
+        LockKind kind;
+        std::uint64_t hash;
+    } expected[] = {
+        {LockKind::Tatas, 0x6f392b82b13a3bfdULL},
+        {LockKind::Mcs, 0x6e567f0c44ef1325ULL},
+        {LockKind::HboGtSd, 0xe023187211b29907ULL},
+    };
+    // jobs=1 (sequential baseline), jobs=4, and jobs=4 again: parallel
+    // runs must equal the sequential run and each other.
+    for (const int jobs : {1, 4, 4}) {
+        Executor executor(jobs);
+        const std::vector<std::uint64_t> hashes =
+            executor.map<std::uint64_t>(std::size(expected), [&](std::size_t i) {
+                return hash_of(expected[i].kind);
+            });
+        for (std::size_t i = 0; i < std::size(expected); ++i)
+            EXPECT_EQ(hashes[i], expected[i].hash)
+                << locks::lock_name(expected[i].kind) << " at --jobs=" << jobs;
+    }
+}
+
+TEST(ExecutorDeterminism, ReportBytesIdenticalAcrossJobsLevels)
+{
+    // Render the full machine-readable report from runs fanned out at a
+    // given jobs level. Everything in it is simulated state (no HostStats
+    // attached), so the bytes must match exactly.
+    const auto render = [](int jobs) {
+        const std::vector<LockKind> kinds = {LockKind::Tatas, LockKind::Mcs,
+                                             LockKind::HboGtSd};
+        NewBenchConfig config;
+        config.topology = Topology::symmetric(2, 4);
+        config.threads = 8;
+        config.iterations_per_thread = 30;
+        config.seed = 7;
+
+        Executor executor(jobs);
+        const std::vector<BenchResult> results =
+            executor.map<BenchResult>(kinds.size(), [&](std::size_t i) {
+                return run_newbench(kinds[i], config);
+            });
+
+        obs::ReportConfig rc;
+        rc.tool = "exec_test";
+        rc.bench = "new";
+        rc.nodes = 2;
+        rc.cpus_per_node = 4;
+        rc.threads = 8;
+        rc.critical_work = config.critical_work;
+        rc.private_work = config.private_work;
+        rc.iterations = 30;
+        rc.seed = 7;
+        std::vector<obs::ReportRun> runs;
+        for (std::size_t i = 0; i < kinds.size(); ++i)
+            runs.push_back(obs::ReportRun{locks::lock_name(kinds[i]),
+                                          results[i], nullptr});
+        std::ostringstream out;
+        obs::write_report(out, rc, runs);
+        return out.str();
+    };
+
+    const std::string sequential = render(1);
+    const std::string parallel = render(4);
+    const std::string parallel_again = render(4);
+    EXPECT_EQ(sequential, parallel);
+    EXPECT_EQ(parallel, parallel_again);
+    // And the report is valid against its schema.
+    std::string error;
+    EXPECT_TRUE(obs::validate_report_text(sequential, &error)) << error;
+}
+
+} // namespace

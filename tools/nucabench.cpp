@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "harness/newbench.hpp"
 #include "harness/options.hpp"
 #include "harness/traditional.hpp"
@@ -96,33 +97,43 @@ run_contended(const CliOptions& opts)
         csv = std::make_unique<stats::CsvWriter>(std::cout, headers);
     std::vector<obs::ReportRun> runs;
 
-    for (LockKind kind : selected_locks(opts)) {
-        BenchResult r;
-        if (opts.bench == CliBench::New) {
-            NewBenchConfig config;
-            config.topology = topo;
-            config.latency = latency_of(opts);
-            config.threads = opts.threads;
-            config.critical_work = opts.critical_work;
-            config.private_work = opts.private_work;
-            config.iterations_per_thread = opts.iterations;
-            config.seed = opts.seed;
-            config.preemption = opts.preemption;
-            if (faulty) {
-                // Spec already validated by parse_cli.
-                config.fault_plan = *sim::FaultPlan::parse(
-                    opts.faults, opts.seed, opts.threads);
+    // Per-lock runs are independent deterministic simulations: fan them out
+    // across host threads, then emit tables/CSV/JSON sequentially in lock
+    // order so the output is byte-identical at every --jobs level.
+    const std::vector<LockKind> kinds = selected_locks(opts);
+    exec::Executor executor(opts.jobs);
+    const std::vector<BenchResult> results =
+        executor.map<BenchResult>(kinds.size(), [&](std::size_t i) {
+            const LockKind kind = kinds[i];
+            if (opts.bench == CliBench::New) {
+                NewBenchConfig config;
+                config.topology = topo;
+                config.latency = latency_of(opts);
+                config.threads = opts.threads;
+                config.critical_work = opts.critical_work;
+                config.private_work = opts.private_work;
+                config.iterations_per_thread = opts.iterations;
+                config.seed = opts.seed;
+                config.preemption = opts.preemption;
+                if (faulty) {
+                    // Spec already validated by parse_cli.
+                    config.fault_plan = *sim::FaultPlan::parse(
+                        opts.faults, opts.seed, opts.threads);
+                }
+                return run_newbench(kind, config);
             }
-            r = run_newbench(kind, config);
-        } else {
             TraditionalConfig config;
             config.topology = topo;
             config.latency = latency_of(opts);
             config.threads = opts.threads;
             config.iterations_per_thread = opts.iterations;
             config.seed = opts.seed;
-            r = run_traditional(kind, config);
-        }
+            return run_traditional(kind, config);
+        });
+
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const LockKind kind = kinds[i];
+        const BenchResult& r = results[i];
         if (!opts.json.empty())
             runs.push_back(obs::ReportRun{lock_name(kind), r, nullptr});
         if (csv) {
@@ -175,8 +186,16 @@ run_uncontested_cli(const CliOptions& opts)
     config.iterations = opts.iterations;
     config.seed = opts.seed;
 
-    for (LockKind kind : selected_locks(opts)) {
-        const UncontestedResult r = run_uncontested(kind, config);
+    const std::vector<LockKind> kinds = selected_locks(opts);
+    exec::Executor executor(opts.jobs);
+    const std::vector<UncontestedResult> results =
+        executor.map<UncontestedResult>(kinds.size(), [&](std::size_t i) {
+            return run_uncontested(kinds[i], config);
+        });
+
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const LockKind kind = kinds[i];
+        const UncontestedResult& r = results[i];
         if (csv) {
             csv->cell(lock_name(kind))
                 .cell(r.same_processor_ns)

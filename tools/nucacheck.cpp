@@ -32,6 +32,7 @@
 #include "check/harness.hpp"
 #include "check/pct.hpp"
 #include "check/schedule.hpp"
+#include "exec/executor.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -59,6 +60,9 @@ struct Options
     bool expect_fail = false;
     bool minimize = true;
     std::string replay;
+    /** Host worker threads (exec::Executor); 0 = NUCALOCK_JOBS, else
+     *  hardware concurrency. Verdicts are identical at every level. */
+    int jobs = 0;
 };
 
 int
@@ -68,7 +72,7 @@ usage(std::ostream& os)
           "                 [--cpus=NxM|TOTAL] [--iters=K] [--seed=S]\n"
           "                 [--schedules=N] [--steps=N] [--preemptions=P]\n"
           "                 [--pct-runs=N] [--pct-depth=D] [--bounded]\n"
-          "                 [--timeout-ns=T] [--bypass-bound=B]\n"
+          "                 [--timeout-ns=T] [--bypass-bound=B] [--jobs=N]\n"
           "                 [--replay=TRACE] [--expect-fail] [--no-minimize]\n";
     return 2;
 }
@@ -165,6 +169,10 @@ parse_args(int argc, char** argv, Options& opts)
                 return false;
         } else if (key == "--bypass-bound") {
             if (!parse_u64(value, opts.bypass_bound))
+                return false;
+        } else if (key == "--jobs") {
+            if (!parse_int(value, opts.jobs) || opts.jobs < 1 ||
+                opts.jobs > 1024)
                 return false;
         } else if (key == "--replay") {
             opts.replay = std::string(value);
@@ -339,21 +347,32 @@ run_check(const Options& opts)
                                               "streak", "verdict"};
     stats::Table table(headers);
 
-    std::uint64_t failing_locks = 0;
-    bool failure_handling_ok = true;
-    for (const CheckSetup& setup : sel.setups) {
-        std::uint64_t failures = 0;
-        RunReport first_failure;
-        if (exhaustive) {
-            ExploreConfig cfg;
-            cfg.max_schedules = opts.schedules;
-            cfg.max_steps = opts.steps != 0 ? opts.steps : 5000;
-            cfg.preemption_bound = opts.preemptions;
-            const ExploreResult r = explore(setup, cfg);
-            failures = r.failures;
-            first_failure = r.first_failure;
+    // Per-lock verdicts are independent deterministic checks: shard them
+    // across host threads, then emit rows and failure handling sequentially
+    // in lock order so the output is byte-identical at every --jobs level.
+    // Exhaustive DFS is inherently sequential per lock (one shared schedule
+    // stack), so only the lock level shards there; a single-lock PCT run
+    // shards its randomized executions instead (PctConfig::jobs).
+    const bool pct_single = !exhaustive && sel.setups.size() == 1;
+    exec::Executor executor(pct_single ? 1 : opts.jobs);
+
+    std::vector<std::uint64_t> failures(sel.setups.size(), 0);
+    std::vector<RunReport> first_failures(sel.setups.size());
+    if (exhaustive) {
+        ExploreConfig cfg;
+        cfg.max_schedules = opts.schedules;
+        cfg.max_steps = opts.steps != 0 ? opts.steps : 5000;
+        cfg.preemption_bound = opts.preemptions;
+        const std::vector<ExploreResult> results =
+            executor.map<ExploreResult>(sel.setups.size(), [&](std::size_t i) {
+                return explore(sel.setups[i], cfg);
+            });
+        for (std::size_t i = 0; i < sel.setups.size(); ++i) {
+            const ExploreResult& r = results[i];
+            failures[i] = r.failures;
+            first_failures[i] = r.first_failure;
             table.row()
-                .cell(setup_name(setup))
+                .cell(setup_name(sel.setups[i]))
                 .cell(r.executions)
                 .cell(r.pruned)
                 .cell(r.truncated)
@@ -361,31 +380,43 @@ run_check(const Options& opts)
                 .cell(r.max_steps_seen)
                 .cell(r.max_bypasses)
                 .cell(r.max_node_streak)
-                .cell(failures != 0 ? "FAIL" : "ok");
-        } else {
-            PctConfig cfg;
-            cfg.executions = opts.pct_runs;
-            cfg.depth = opts.pct_depth;
-            cfg.max_steps = opts.steps != 0 ? opts.steps : 20000;
-            cfg.seed = opts.seed;
-            const PctResult r = pct_check(setup, cfg);
-            failures = r.failures;
-            first_failure = r.first_failure;
+                .cell(r.failures != 0 ? "FAIL" : "ok");
+        }
+    } else {
+        PctConfig cfg;
+        cfg.executions = opts.pct_runs;
+        cfg.depth = opts.pct_depth;
+        cfg.max_steps = opts.steps != 0 ? opts.steps : 20000;
+        cfg.seed = opts.seed;
+        cfg.jobs = pct_single ? opts.jobs : 1;
+        const std::vector<PctResult> results =
+            executor.map<PctResult>(sel.setups.size(), [&](std::size_t i) {
+                return pct_check(sel.setups[i], cfg);
+            });
+        for (std::size_t i = 0; i < sel.setups.size(); ++i) {
+            const PctResult& r = results[i];
+            failures[i] = r.failures;
+            first_failures[i] = r.first_failure;
             table.row()
-                .cell(setup_name(setup))
+                .cell(setup_name(sel.setups[i]))
                 .cell(r.executions)
                 .cell(r.truncated)
                 .cell(r.max_steps_seen)
                 .cell(r.max_bypasses)
                 .cell(r.max_node_streak)
-                .cell(failures != 0 ? "FAIL" : "ok");
+                .cell(r.failures != 0 ? "FAIL" : "ok");
         }
-        if (failures != 0) {
-            ++failing_locks;
-            std::cout << setup_name(setup) << ":\n";
-            if (!handle_failure(setup, first_failure, opts.minimize))
-                failure_handling_ok = false;
-        }
+    }
+
+    std::uint64_t failing_locks = 0;
+    bool failure_handling_ok = true;
+    for (std::size_t i = 0; i < sel.setups.size(); ++i) {
+        if (failures[i] == 0)
+            continue;
+        ++failing_locks;
+        std::cout << setup_name(sel.setups[i]) << ":\n";
+        if (!handle_failure(sel.setups[i], first_failures[i], opts.minimize))
+            failure_handling_ok = false;
     }
     table.print(std::cout);
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "exec/executor.hpp"
 #include "harness/newbench.hpp"
 #include "harness/options.hpp"
 #include "harness/traditional.hpp"
@@ -53,7 +54,7 @@ prof_usage()
            "                [--nodes=N] [--cpus-per-node=N] [--threads=N]\n"
            "                [--critical-work=INTS] [--private-work=ITERS]\n"
            "                [--iterations=N] [--nuca-ratio=R] [--seed=S]\n"
-           "                [--json=PATH] [--trace=PATH]\n"
+           "                [--json=PATH] [--trace=PATH] [--jobs=N]\n"
            "       nucaprof --check-schema=REPORT.json\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
@@ -188,33 +189,38 @@ main(int argc, char** argv)
     const std::vector<LockKind> kinds = selected_locks(opts);
     const bool want_trace = !opts.trace.empty();
 
-    std::vector<ProfiledRun> runs;
+    // Each lock profiles into its own MetricsRegistry, so the per-lock runs
+    // shard across host threads; the summary/report below walks them in
+    // lock order, keeping output byte-identical at every --jobs level. The
+    // shared TimelineBuilder is only attached under --trace, which
+    // parse_cli restricts to a single lock (a one-job batch runs inline).
+    std::vector<ProfiledRun> runs(kinds.size());
     obs::TimelineBuilder timeline; // only fed when --trace is set
-    for (LockKind kind : kinds) {
-        ProfiledRun run;
-        run.kind = kind;
+    exec::Executor executor(opts.jobs);
+    executor.run_batch(kinds.size(), [&](std::size_t i) {
+        ProfiledRun& run = runs[i];
+        run.kind = kinds[i];
         run.metrics = std::make_unique<obs::MetricsRegistry>();
         obs::MultiSink sink;
         sink.add(run.metrics.get());
         if (want_trace)
             sink.add(&timeline); // single lock: parse_cli enforced it
-        run.result = run_bench(kind, opts, topo, &sink);
+        run.result = run_bench(run.kind, opts, topo, &sink);
         run.metrics->finalize();
 
 #ifndef NDEBUG
         // Observer-effect tripwire (debug builds only, doubles the work):
         // the identical run without a sink must produce the identical
         // simulated history. tests/obs_test.cpp pins the same property.
-        const BenchResult bare = run_bench(kind, opts, topo, nullptr);
+        const BenchResult bare = run_bench(run.kind, opts, topo, nullptr);
         NUCA_ASSERT(bare.acquisition_order_hash ==
                         run.result.acquisition_order_hash,
                     "probes changed the acquisition order of ",
-                    lock_name(kind));
+                    lock_name(run.kind));
         NUCA_ASSERT(bare.total_time == run.result.total_time,
-                    "probes changed the run time of ", lock_name(kind));
+                    "probes changed the run time of ", lock_name(run.kind));
 #endif
-        runs.push_back(std::move(run));
-    }
+    });
     if (want_trace)
         timeline.finalize();
 
