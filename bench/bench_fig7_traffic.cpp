@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 7: the coherence-traffic story of the new
+ * microbenchmark under full contention (28 cpus, 2-node WildFire,
+ * critical_work = 1500). Where Table 2 reports only the local/global
+ * totals, Figure 7 explains *where* the global transactions come from —
+ * so this bench prints, per lock, the global transactions per acquisition
+ * split by operation phase (acquire spin, handover, critical section,
+ * release, gate maintenance), using the simulator's traffic-attribution
+ * layer (sim/traffic.hpp).
+ *
+ * The paper's claim reproduced here: the HBO_GT family pays measurably
+ * fewer global transactions per lock handover than TATAS or the queue
+ * locks, because spinners throttled by a closed gate stop hammering the
+ * remote lock word.
+ */
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exec/executor.hpp"
+#include "harness/newbench.hpp"
+#include "obs/metrics.hpp"
+#include "stats/table.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace nucalock;
+    using namespace nucalock::harness;
+    using namespace nucalock::locks;
+
+    bench::banner(
+        "Figure 7",
+        "Coherence traffic by lock-operation phase; new microbenchmark at\n"
+        "full contention (28 cpus, critical_work=1500), all locks. Global\n"
+        "transactions per acquisition, normalized to TATAS_EXP: the HBO_GT\n"
+        "family spends far fewer global transactions per handover than\n"
+        "TATAS or the queue locks.");
+
+    const auto iters = static_cast<std::uint32_t>(scaled_iters(60, 10));
+
+    // Every lock the repo implements (RH is fine: two nodes).
+    const auto all = all_lock_kinds();
+    const std::vector<LockKind> kinds(all.begin(), all.end());
+
+    // Independent deterministic runs; byte-identical output at every
+    // --jobs level (the table is filled in lock order afterwards).
+    exec::Executor executor(bench::bench_jobs(argc, argv));
+    const std::vector<BenchResult> results =
+        executor.map<BenchResult>(kinds.size(), [&](std::size_t i) {
+            NewBenchConfig config;
+            config.threads = 28;
+            config.iterations_per_thread = iters;
+            config.critical_work = 1500;
+            return run_newbench(kinds[i], config);
+        });
+
+    const auto fold = [](const BenchResult& r) {
+        return obs::fold_traffic(r.traffic, r.traffic_attribution,
+                                 r.contention, r.total_acquires, nullptr);
+    };
+
+    // Normalization base, as in Table 2.
+    double base_global = 0.0;
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+        if (kinds[i] == LockKind::TatasExp)
+            base_global = fold(results[i]).global_tx_per_acquisition();
+
+    stats::Table table({"Lock", "local/acq", "global/acq", "vs TATAS_EXP",
+                        "g spin", "g handover", "g critical", "g release",
+                        "g gate", "link util %"});
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const obs::TrafficMetrics tm = fold(results[i]);
+        const double acq = tm.acquisitions == 0
+                               ? 1.0
+                               : static_cast<double>(tm.acquisitions);
+        const auto phase_global = [&](sim::TxPhase p) {
+            std::uint64_t g = 0;
+            for (const obs::LockTrafficView& lock : tm.locks)
+                g += lock.tx.phase(p).global_tx;
+            return static_cast<double>(g) / acq;
+        };
+        table.row()
+            .cell(lock_name(kinds[i]))
+            .cell(tm.local_tx_per_acquisition(), 2)
+            .cell(tm.global_tx_per_acquisition(), 2)
+            .cell(base_global == 0.0
+                      ? 0.0
+                      : tm.global_tx_per_acquisition() / base_global,
+                  2)
+            .cell(phase_global(sim::TxPhase::AcquireSpin), 2)
+            .cell(phase_global(sim::TxPhase::Handover), 2)
+            .cell(phase_global(sim::TxPhase::Critical), 2)
+            .cell(phase_global(sim::TxPhase::Release), 2)
+            .cell(phase_global(sim::TxPhase::GatePublish), 2)
+            .cell(100.0 * tm.link_utilization, 1);
+    }
+    std::cout << "Global coherence transactions per acquisition, by phase\n"
+                 "(g columns are global tx/acquisition spent in that "
+                 "phase):\n";
+    table.print(std::cout);
+
+    obs::ReportConfig rc;
+    rc.tool = "bench_fig7_traffic";
+    rc.bench = "new";
+    rc.nodes = 2;
+    rc.cpus_per_node = 14;
+    rc.threads = 28;
+    rc.critical_work = 1500;
+    rc.private_work = 4000;
+    rc.iterations = iters;
+    rc.seed = 1;
+    std::vector<obs::ReportRun> runs;
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+        runs.push_back(
+            obs::ReportRun{lock_name(kinds[i]), results[i], nullptr});
+    bench::maybe_write_json(rc, runs);
+    return 0;
+}

@@ -31,6 +31,10 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     sim::InvariantChecker checker(inv_cfg);
     machine.install_invariants(&checker);
     machine.install_probe(config.probe);
+    if (config.contention_bin_ns != 0)
+        machine.memory().enable_contention_series(config.contention_bin_ns);
+    if (config.memory_trace != nullptr)
+        machine.memory().set_trace_hook(config.memory_trace->hook());
 
     // The shared vector the critical section walks (Fig 4's cs_work[]),
     // one simulated line per `ints_per_line` ints, homed in node 0.
@@ -104,6 +108,8 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
                            static_cast<double>(acquires - 1)
                      : 0.0;
     result.traffic = machine.traffic();
+    result.traffic_attribution = machine.traffic_attribution();
+    result.contention = machine.contention();
     result.finish_times.reserve(static_cast<std::size_t>(config.threads));
     for (int t = 0; t < config.threads; ++t)
         result.finish_times.push_back(machine.finish_time(t));
@@ -111,6 +117,10 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
     result.acquisition_order_hash = order_hash;
     result.sim_memory_accesses = machine.memory().num_accesses();
     result.sim_fiber_switches = machine.fiber_switches();
+    if (config.memory_trace != nullptr) {
+        result.memtrace_events = config.memory_trace->events().size();
+        result.memtrace_dropped = config.memory_trace->dropped();
+    }
     result.faults_injected = injector.injected();
     result.fault_log = injector.log();
     result.mutex_violations = checker.mutual_exclusion_violations();

@@ -18,6 +18,7 @@
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
 #include "sim/invariants.hpp"
+#include "sim/trace.hpp"
 #include "topology/mapping.hpp"
 
 namespace nucalock::harness {
@@ -63,6 +64,21 @@ struct NewBenchConfig
      * acquisition_order_hash is bit-identical either way.
      */
     obs::ProbeSink* probe = nullptr;
+
+    /**
+     * Bin width for the time-binned bus/link utilisation series
+     * (SimMemory::enable_contention_series), landing in
+     * BenchResult::contention; 0 = occupancy totals and queue-delay
+     * histograms only (always collected).
+     */
+    sim::SimTime contention_bin_ns = 0;
+
+    /**
+     * Memory-access recorder attached for the run (sim/trace.hpp).
+     * Non-owning; nullptr = off. Event/drop counts land in
+     * BenchResult::memtrace_events / memtrace_dropped.
+     */
+    sim::TraceRecorder* memory_trace = nullptr;
 };
 
 /** Run the new microbenchmark for @p kind. */

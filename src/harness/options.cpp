@@ -149,6 +149,12 @@ parse_cli(const std::vector<std::string>& args)
             if (value.empty())
                 return fail("--trace needs a path");
             opts.trace = value;
+        } else if (key == "traffic") {
+            opts.traffic = true;
+        } else if (key == "memtrace") {
+            if (value.empty())
+                return fail("--memtrace needs a path");
+            opts.memtrace = value;
         } else if (key == "check-schema") {
             if (value.empty())
                 return fail("--check-schema needs a report file");
@@ -164,6 +170,8 @@ parse_cli(const std::vector<std::string>& args)
 
     if (!opts.trace.empty() && opts.lock == "ALL")
         return fail("--trace needs a single --lock (not ALL)");
+    if (!opts.memtrace.empty() && opts.lock == "ALL")
+        return fail("--memtrace needs a single --lock (not ALL)");
     if (!threads_given)
         opts.threads = opts.nodes * opts.cpus_per_node; // full machine
     if (opts.threads > opts.nodes * opts.cpus_per_node)

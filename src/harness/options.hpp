@@ -52,6 +52,12 @@ struct CliOptions
     /** nucaprof only: write a Chrome/Perfetto trace to this path (requires
      *  a single --lock, not ALL). Empty = off. */
     std::string trace;
+    /** nucaprof only: print the traffic-attribution tables (per-lock
+     *  per-phase local/global transactions, link contention). */
+    bool traffic = false;
+    /** nucaprof only: record the memory-access trace to this CSV path
+     *  (requires a single --lock, not ALL). Empty = off. */
+    std::string memtrace;
     /** nucaprof only: validate an existing report file against the schema
      *  and exit; no benchmark runs. */
     std::string check_schema;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/resource.hpp"
 #include "sim/time.hpp"
 #include "sim/traffic.hpp"
 
@@ -28,6 +29,19 @@ struct BenchResult
     double node_handoff_ratio = 0.0;
     /** Coherence traffic generated during the run. */
     sim::TrafficStats traffic;
+    /**
+     * Who generated the traffic: per-lock/per-phase and per-node tables
+     * (sim/traffic.hpp). The per-lock rows come from probe-set op-contexts,
+     * so they are empty under -DNUCALOCK_NO_PROBES; the per-node rows and
+     * the totals above never vanish.
+     */
+    sim::TrafficAttribution traffic_attribution;
+    /**
+     * Where the traffic queued: per-resource occupancy, queue-delay
+     * histograms and (when NewBenchConfig/TraditionalConfig::
+     * contention_bin_ns is set) time-binned utilisation series.
+     */
+    sim::ContentionStats contention;
     /** Per-thread completion times (fairness study). */
     std::vector<sim::SimTime> finish_times;
     /** (last - first finisher) / last, in percent (paper's Fig. 8 metric). */
@@ -62,6 +76,13 @@ struct BenchResult
     std::uint64_t max_node_streak = 0;
     /** Bounded-wait acquisitions that timed out (lock abandonment). */
     std::uint64_t lock_timeouts = 0;
+
+    // ----- memory trace (zero unless a TraceRecorder was attached) --------
+
+    /** Trace events actually recorded (TraceRecorder::events().size()). */
+    std::uint64_t memtrace_events = 0;
+    /** Trace events dropped by the recorder's set_max_events cap. */
+    std::uint64_t memtrace_dropped = 0;
 };
 
 /** The paper's fairness metric over a set of finish times. */

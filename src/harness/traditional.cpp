@@ -22,6 +22,10 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
                        sim::SimConfig{.seed = config.seed});
     AnyLock<SimContext> lock(machine, kind, config.params);
     machine.install_probe(config.probe);
+    if (config.contention_bin_ns != 0)
+        machine.memory().enable_contention_series(config.contention_bin_ns);
+    if (config.memory_trace != nullptr)
+        machine.memory().set_trace_hook(config.memory_trace->hook());
 
     // Shared benchmark state. `owner` and `active` live in simulated memory
     // because observing them is part of the benchmark; the handoff counters
@@ -74,6 +78,8 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
                            static_cast<double>(acquires - 1)
                      : 0.0;
     result.traffic = machine.traffic();
+    result.traffic_attribution = machine.traffic_attribution();
+    result.contention = machine.contention();
     result.finish_times.reserve(static_cast<std::size_t>(config.threads));
     for (int t = 0; t < config.threads; ++t)
         result.finish_times.push_back(machine.finish_time(t));
@@ -81,6 +87,10 @@ run_traditional(LockKind kind, const TraditionalConfig& config)
     result.acquisition_order_hash = order_hash;
     result.sim_memory_accesses = machine.memory().num_accesses();
     result.sim_fiber_switches = machine.fiber_switches();
+    if (config.memory_trace != nullptr) {
+        result.memtrace_events = config.memory_trace->events().size();
+        result.memtrace_dropped = config.memory_trace->dropped();
+    }
     NUCA_ASSERT(acquires == static_cast<std::uint64_t>(config.threads) *
                                 config.iterations_per_thread);
     return result;

@@ -15,6 +15,7 @@
 #include "locks/params.hpp"
 #include "obs/probe.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 #include "topology/mapping.hpp"
 
 namespace nucalock::harness {
@@ -30,6 +31,10 @@ struct TraditionalConfig
     std::uint64_t seed = 1;
     /** Lock-event probe sink (src/obs/); non-owning, nullptr = off. */
     obs::ProbeSink* probe = nullptr;
+    /** Bin width for the contention utilisation series; 0 = totals only. */
+    sim::SimTime contention_bin_ns = 0;
+    /** Memory-access recorder (sim/trace.hpp); non-owning, nullptr = off. */
+    sim::TraceRecorder* memory_trace = nullptr;
 };
 
 /** Run the traditional microbenchmark for @p kind. */

@@ -216,4 +216,47 @@ MetricsRegistry::finalize()
         close_batch(lock_mut(lock_id), hs);
 }
 
+TrafficMetrics
+fold_traffic(const sim::TrafficStats& totals,
+             const sim::TrafficAttribution& attribution,
+             const sim::ContentionStats& contention,
+             std::uint64_t acquisitions, const MetricsRegistry* registry)
+{
+    TrafficMetrics tm;
+    tm.totals = totals;
+    tm.acquisitions = acquisitions;
+
+    tm.locks.reserve(attribution.per_lock.size());
+    for (const sim::LockTrafficStats& row : attribution.per_lock) {
+        LockTrafficView view;
+        view.lock_id = row.lock_id;
+        view.tx = row;
+        if (registry != nullptr) {
+            const auto it = registry->locks().find(row.lock_id);
+            if (it != registry->locks().end())
+                view.acquisitions = it->second.acquisitions;
+        }
+        // Single-tier benches: the only attributed lock owns every harness
+        // acquisition even without a registry.
+        if (view.acquisitions == 0 && attribution.per_lock.size() == 1)
+            view.acquisitions = acquisitions;
+        tm.locks.push_back(std::move(view));
+    }
+
+    tm.attributed = attribution.attributed_totals();
+    tm.unattributed.local_tx = totals.local_tx - tm.attributed.local_tx;
+    tm.unattributed.global_tx = totals.global_tx - tm.attributed.global_tx;
+
+    if (const sim::ResourceUsage* link = contention.global_link()) {
+        tm.has_link = true;
+        tm.link_utilization =
+            contention.sim_time_ns == 0
+                ? 0.0
+                : static_cast<double>(link->busy_ns) /
+                      static_cast<double>(contention.sim_time_ns);
+        tm.link_queue_delay_ns = link->queue_delay_ns;
+    }
+    return tm;
+}
+
 } // namespace nucalock::obs

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "obs/probe.hpp"
+#include "sim/resource.hpp"
+#include "sim/traffic.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
 
@@ -184,6 +186,88 @@ class MetricsRegistry final : public ProbeSink
     std::uint64_t events_seen_ = 0;
     bool finalized_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Traffic metrics: attribution + contention folded to per-acquisition rates
+// ---------------------------------------------------------------------------
+
+/** One lock's traffic, normalised by its acquisition count. */
+struct LockTrafficView
+{
+    std::uint64_t lock_id = 0;
+    /** From the MetricsRegistry; 0 when no registry was supplied. */
+    std::uint64_t acquisitions = 0;
+    sim::LockTrafficStats tx;
+
+    double
+    local_per_acquisition() const
+    {
+        return acquisitions == 0 ? 0.0
+                                 : static_cast<double>(tx.totals().local_tx) /
+                                       static_cast<double>(acquisitions);
+    }
+
+    double
+    global_per_acquisition() const
+    {
+        return acquisitions == 0 ? 0.0
+                                 : static_cast<double>(tx.totals().global_tx) /
+                                       static_cast<double>(acquisitions);
+    }
+};
+
+/**
+ * The traffic story of one run, in the shape the paper's Tables 2/6 and
+ * Figure 7 report it: totals per acquisition, a per-lock/per-phase split,
+ * the unattributed remainder (critical-section data, harness bookkeeping,
+ * or everything when probes are compiled out), and the global-link
+ * contention headline numbers.
+ */
+struct TrafficMetrics
+{
+    sim::TrafficStats totals;
+    /** The harness's critical-section entry count (BenchResult). */
+    std::uint64_t acquisitions = 0;
+    /** Locks in attribution order (sorted by lock_id). */
+    std::vector<LockTrafficView> locks;
+    /** Sum over every attributed (lock, phase) cell. */
+    sim::TxCount attributed;
+    /** totals minus attributed (never negative by construction). */
+    sim::TxCount unattributed;
+
+    /** Global-link contention (zeroed when the run had no link entry). */
+    bool has_link = false;
+    double link_utilization = 0.0; ///< busy_ns / sim_time_ns
+    stats::LogHistogram link_queue_delay_ns;
+
+    double
+    local_tx_per_acquisition() const
+    {
+        return acquisitions == 0 ? 0.0
+                                 : static_cast<double>(totals.local_tx) /
+                                       static_cast<double>(acquisitions);
+    }
+
+    double
+    global_tx_per_acquisition() const
+    {
+        return acquisitions == 0 ? 0.0
+                                 : static_cast<double>(totals.global_tx) /
+                                       static_cast<double>(acquisitions);
+    }
+};
+
+/**
+ * Fold a run's traffic totals, attribution tables and contention snapshot
+ * into per-acquisition rates. @p registry (optional) supplies per-lock
+ * acquisition counts so nested tiers normalise by their own acquisitions
+ * rather than the harness total.
+ */
+TrafficMetrics fold_traffic(const sim::TrafficStats& totals,
+                            const sim::TrafficAttribution& attribution,
+                            const sim::ContentionStats& contention,
+                            std::uint64_t acquisitions,
+                            const MetricsRegistry* registry = nullptr);
 
 } // namespace nucalock::obs
 

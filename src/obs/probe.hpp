@@ -26,6 +26,8 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/traffic.hpp"
+
 namespace nucalock::obs {
 
 /** Everything a lock can tell the observability layer. */
@@ -129,6 +131,47 @@ probe_clock_ns(Ctx& ctx)
     }
 }
 
+/**
+ * Update the context's traffic-attribution op-context from a probe site.
+ * On contexts that expose set_op_phase() (the sim backend), the lock-event
+ * stream doubles as the source of truth for which lock and operation phase
+ * subsequent coherence transactions belong to (sim/traffic.hpp). This runs
+ * whether or not a sink is installed, so attribution is identical with
+ * probes observed or merely compiled in; it writes two plain fields on the
+ * per-thread context — never simulated memory — so it cannot perturb the
+ * run. -DNUCALOCK_NO_PROBES removes it along with the probe sites.
+ */
+template <typename Ctx>
+inline void
+note_op_phase(Ctx& ctx, LockEvent event, std::uint64_t lock_id)
+{
+    if constexpr (requires { ctx.set_op_phase(lock_id, sim::TxPhase::None); }) {
+        switch (event) {
+          case LockEvent::AcquireAttempt:
+            ctx.set_op_phase(lock_id, sim::TxPhase::AcquireSpin);
+            break;
+          case LockEvent::Acquired:
+            ctx.set_op_phase(lock_id, sim::TxPhase::Critical);
+            break;
+          case LockEvent::Released:
+            ctx.set_op_phase(lock_id, sim::TxPhase::Release);
+            break;
+          case LockEvent::GatePublish:
+          case LockEvent::GateOpen:
+            // Both probes sit immediately before exactly one gate store
+            // (locks/hbo_gt.hpp); tag just that access.
+            ctx.set_transient_phase(sim::TxPhase::GatePublish);
+            break;
+          default:
+            break;
+        }
+    } else {
+        (void)ctx;
+        (void)event;
+        (void)lock_id;
+    }
+}
+
 } // namespace detail
 
 /** The installed sink, or nullptr — contexts without probe_sink() (and all
@@ -153,6 +196,9 @@ inline void
 probe(Ctx& ctx, LockEvent event, std::uint64_t lock_id, std::uint64_t a0 = 0,
       std::uint64_t a1 = 0)
 {
+#ifndef NUCALOCK_NO_PROBES
+    detail::note_op_phase(ctx, event, lock_id);
+#endif
     ProbeSink* sink = probe_sink_of(ctx);
     if (sink == nullptr) [[likely]]
         return;

@@ -69,6 +69,106 @@ write_result(JsonWriter& w, const harness::BenchResult& r)
     w.kv("faults_injected", r.faults_injected);
     w.kv("mutex_violations", r.mutex_violations);
     w.kv("lock_timeouts", r.lock_timeouts);
+    w.kv("memtrace_events", r.memtrace_events);
+    w.kv("memtrace_dropped", r.memtrace_dropped);
+    w.end_object();
+}
+
+void
+write_tx_count(JsonWriter& w, const sim::TxCount& c)
+{
+    w.begin_object();
+    w.kv("local_tx", c.local_tx);
+    w.kv("global_tx", c.global_tx);
+    w.end_object();
+}
+
+/** The v2 per-run "traffic" object (attribution + per-acquisition rates). */
+void
+write_run_traffic(JsonWriter& w, const harness::BenchResult& r,
+                  const MetricsRegistry* registry)
+{
+    const TrafficMetrics tm =
+        fold_traffic(r.traffic, r.traffic_attribution, r.contention,
+                     r.total_acquires, registry);
+    w.begin_object();
+    w.kv("local_tx_per_acquisition", tm.local_tx_per_acquisition());
+    w.kv("global_tx_per_acquisition", tm.global_tx_per_acquisition());
+    w.key("per_lock");
+    w.begin_array();
+    for (const LockTrafficView& lock : tm.locks) {
+        w.begin_object();
+        w.kv("lock_id", hex64(lock.lock_id));
+        w.kv("acquisitions", lock.acquisitions);
+        w.kv("local_tx", lock.tx.totals().local_tx);
+        w.kv("global_tx", lock.tx.totals().global_tx);
+        w.kv("local_tx_per_acquisition", lock.local_per_acquisition());
+        w.kv("global_tx_per_acquisition", lock.global_per_acquisition());
+        w.key("phases");
+        w.begin_object();
+        for (int p = 0; p < sim::kNumTxPhases; ++p) {
+            w.key(sim::tx_phase_name(static_cast<sim::TxPhase>(p)));
+            write_tx_count(w, lock.tx.by_phase[static_cast<std::size_t>(p)]);
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("per_node");
+    w.begin_array();
+    for (std::size_t node = 0; node < r.traffic_attribution.per_node.size();
+         ++node) {
+        w.begin_object();
+        w.kv("node", static_cast<std::uint64_t>(node));
+        w.kv("local_tx", r.traffic_attribution.per_node[node].local_tx);
+        w.kv("global_tx", r.traffic_attribution.per_node[node].global_tx);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("attributed");
+    write_tx_count(w, tm.attributed);
+    w.key("unattributed");
+    write_tx_count(w, tm.unattributed);
+    w.end_object();
+}
+
+/** The v2 per-run "contention" object (per-resource queueing). */
+void
+write_run_contention(JsonWriter& w, const sim::ContentionStats& c)
+{
+    w.begin_object();
+    w.kv("sim_time_ns", static_cast<std::uint64_t>(c.sim_time_ns));
+    w.kv("series_bin_ns", static_cast<std::uint64_t>(c.series_bin_ns));
+    w.key("resources");
+    w.begin_array();
+    for (const sim::ResourceUsage& r : c.resources) {
+        w.begin_object();
+        w.kv("name", r.name);
+        w.kv("node", static_cast<std::int64_t>(r.node));
+        w.kv("transactions", r.transactions);
+        w.kv("busy_ns", static_cast<std::uint64_t>(r.busy_ns));
+        w.kv("queue_ns", static_cast<std::uint64_t>(r.queue_ns));
+        w.kv("utilization",
+             c.sim_time_ns == 0 ? 0.0
+                                : static_cast<double>(r.busy_ns) /
+                                      static_cast<double>(c.sim_time_ns));
+        w.key("queue_delay_ns");
+        write_histogram(w, r.queue_delay_ns);
+        if (r.series_bin_ns != 0) {
+            w.key("busy_ns_bins");
+            w.begin_array();
+            for (const std::uint64_t b : r.busy_ns_bins)
+                w.value(b);
+            w.end_array();
+            w.key("tx_bins");
+            w.begin_array();
+            for (const std::uint64_t b : r.tx_bins)
+                w.value(b);
+            w.end_array();
+        }
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
 }
 
@@ -193,6 +293,10 @@ write_report(std::ostream& os, const ReportConfig& config,
         w.kv("lock", run.lock_name);
         w.key("result");
         write_result(w, run.result);
+        w.key("traffic");
+        write_run_traffic(w, run.result, run.metrics);
+        w.key("contention");
+        write_run_contention(w, run.result.contention);
         w.key("metrics");
         if (run.metrics != nullptr)
             write_metrics(w, *run.metrics);
@@ -287,7 +391,7 @@ validate_result(const JsonValue& r, std::string* error,
     for (const char* field :
          {"total_time_ns", "total_acquires", "avg_iteration_ns",
           "node_handoff_ratio", "fairness_spread_pct", "sim_memory_accesses",
-          "sim_fiber_switches"})
+          "sim_fiber_switches", "memtrace_events", "memtrace_dropped"})
         if (!require_number(r, field, error, where))
             return false;
     if (!require_string(r, "acquisition_order_hash", error, where))
@@ -299,6 +403,114 @@ validate_result(const JsonValue& r, std::string* error,
                               "invalidation_tx", "atomic_tx"})
         if (!require_number(*traffic, field, error, where + ".traffic"))
             return false;
+    return true;
+}
+
+bool
+validate_tx_count(const JsonValue& c, std::string* error,
+                  const std::string& where)
+{
+    if (!c.is_object())
+        return fail(error, where + " must be an object");
+    for (const char* field : {"local_tx", "global_tx"})
+        if (!require_number(c, field, error, where))
+            return false;
+    return true;
+}
+
+bool
+validate_run_traffic(const JsonValue& t, std::string* error,
+                     const std::string& where)
+{
+    if (!t.is_object())
+        return fail(error, where + " must be an object");
+    for (const char* field :
+         {"local_tx_per_acquisition", "global_tx_per_acquisition"})
+        if (!require_number(t, field, error, where))
+            return false;
+    const JsonValue* per_lock = t.find("per_lock");
+    if (per_lock == nullptr || !per_lock->is_array())
+        return fail(error, where + ": 'per_lock' must be an array");
+    for (std::size_t i = 0; i < per_lock->array.size(); ++i) {
+        const std::string lw = where + ".per_lock[" + std::to_string(i) + "]";
+        const JsonValue& lock = per_lock->array[i];
+        if (!lock.is_object())
+            return fail(error, lw + " must be an object");
+        if (!require_string(lock, "lock_id", error, lw))
+            return false;
+        for (const char* field :
+             {"acquisitions", "local_tx", "global_tx",
+              "local_tx_per_acquisition", "global_tx_per_acquisition"})
+            if (!require_number(lock, field, error, lw))
+                return false;
+        const JsonValue* phases = lock.find("phases");
+        if (phases == nullptr || !phases->is_object())
+            return fail(error, lw + ": 'phases' must be an object");
+        for (const char* phase : {"none", "acquire_spin", "handover",
+                                  "critical", "release", "gate_publish"}) {
+            const JsonValue* p = phases->find(phase);
+            if (p == nullptr ||
+                !validate_tx_count(*p, error,
+                                   lw + ".phases." + phase))
+                return false;
+        }
+    }
+    const JsonValue* per_node = t.find("per_node");
+    if (per_node == nullptr || !per_node->is_array())
+        return fail(error, where + ": 'per_node' must be an array");
+    for (std::size_t i = 0; i < per_node->array.size(); ++i) {
+        const std::string nw = where + ".per_node[" + std::to_string(i) + "]";
+        const JsonValue& nm = per_node->array[i];
+        if (!nm.is_object())
+            return fail(error, nw + " must be an object");
+        for (const char* field : {"node", "local_tx", "global_tx"})
+            if (!require_number(nm, field, error, nw))
+                return false;
+    }
+    for (const char* object : {"attributed", "unattributed"}) {
+        const JsonValue* c = t.find(object);
+        if (c == nullptr ||
+            !validate_tx_count(*c, error, where + "." + object))
+            return false;
+    }
+    return true;
+}
+
+bool
+validate_run_contention(const JsonValue& c, std::string* error,
+                        const std::string& where)
+{
+    if (!c.is_object())
+        return fail(error, where + " must be an object");
+    for (const char* field : {"sim_time_ns", "series_bin_ns"})
+        if (!require_number(c, field, error, where))
+            return false;
+    const JsonValue* resources = c.find("resources");
+    if (resources == nullptr || !resources->is_array())
+        return fail(error, where + ": 'resources' must be an array");
+    for (std::size_t i = 0; i < resources->array.size(); ++i) {
+        const std::string rw =
+            where + ".resources[" + std::to_string(i) + "]";
+        const JsonValue& r = resources->array[i];
+        if (!r.is_object())
+            return fail(error, rw + " must be an object");
+        if (!require_string(r, "name", error, rw))
+            return false;
+        for (const char* field : {"node", "transactions", "busy_ns",
+                                  "queue_ns", "utilization"})
+            if (!require_number(r, field, error, rw))
+                return false;
+        const JsonValue* h = r.find("queue_delay_ns");
+        if (h == nullptr ||
+            !validate_histogram(*h, error, rw + ".queue_delay_ns"))
+            return false;
+        // The series arrays are optional (present only when a bin width
+        // was configured); when present they must be arrays.
+        for (const char* bins : {"busy_ns_bins", "tx_bins"})
+            if (const JsonValue* b = r.find(bins);
+                b != nullptr && !b->is_array())
+                return fail(error, rw + ": '" + bins + "' must be an array");
+    }
     return true;
 }
 
@@ -412,10 +624,11 @@ validate_report(const JsonValue& document, std::string* error)
     if (version == nullptr || !version->is_number())
         return fail(error, "'schema_version' must be a number");
     if (static_cast<int>(version->number) != kReportSchemaVersion)
-        return fail(error, "unsupported schema_version " +
-                               std::to_string(version->number) +
-                               " (expected " +
-                               std::to_string(kReportSchemaVersion) + ")");
+        return fail(error,
+                    "report is v" +
+                        std::to_string(static_cast<int>(version->number)) +
+                        ", tool understands v" +
+                        std::to_string(kReportSchemaVersion));
     if (!require_string(document, "tool", error, "report"))
         return false;
 
@@ -443,6 +656,15 @@ validate_report(const JsonValue& document, std::string* error)
         const JsonValue* result = run.find("result");
         if (result == nullptr ||
             !validate_result(*result, error, where + ".result"))
+            return false;
+        const JsonValue* traffic = run.find("traffic");
+        if (traffic == nullptr ||
+            !validate_run_traffic(*traffic, error, where + ".traffic"))
+            return false;
+        const JsonValue* contention = run.find("contention");
+        if (contention == nullptr ||
+            !validate_run_contention(*contention, error,
+                                     where + ".contention"))
             return false;
         const JsonValue* metrics = run.find("metrics");
         if (metrics == nullptr)

@@ -1,6 +1,12 @@
 /**
  * @file
- * Machine-readable benchmark report: schema "nucalock-bench-report" v1.
+ * Machine-readable benchmark report: schema "nucalock-bench-report" v2.
+ *
+ * v2 adds, per run, a "traffic" object (per-lock/per-phase local/global
+ * transaction attribution and per-acquisition rates) and a "contention"
+ * object (per-resource occupancy, queue-delay percentiles, optional
+ * time-binned utilisation series), plus memtrace_events/memtrace_dropped
+ * in "result".
  *
  * Shared by tools/nucaprof (full metrics) and tools/nucabench --json
  * (results only). The schema is documented in docs/observability.md; bump
@@ -23,7 +29,7 @@
 namespace nucalock::obs {
 
 inline constexpr const char* kReportSchemaName = "nucalock-bench-report";
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /** Benchmark configuration echoed into the report. */
 struct ReportConfig
@@ -84,8 +90,10 @@ void write_report(std::ostream& os, const ReportConfig& config,
                   const std::vector<ReportRun>& runs);
 
 /**
- * Validate a parsed report against the v1 schema. Returns true when the
- * document conforms; otherwise false with a description in *error.
+ * Validate a parsed report against the v2 schema. Returns true when the
+ * document conforms; otherwise false with a description in *error. A
+ * version mismatch fails with "report is vN, tool understands vM" so a
+ * reader paired with the wrong tool build is diagnosed immediately.
  */
 bool validate_report(const JsonValue& document, std::string* error);
 

@@ -132,9 +132,44 @@ TimelineBuilder::finalize()
         close_interval(track, cpu, last_ns_);
 }
 
+std::vector<CounterTrack>
+contention_counter_tracks(const sim::ContentionStats& contention)
+{
+    std::vector<CounterTrack> tracks;
+    if (contention.series_bin_ns == 0)
+        return tracks;
+    const double bin = static_cast<double>(contention.series_bin_ns);
+    for (const sim::ResourceUsage& r : contention.resources) {
+        if (r.series_bin_ns == 0)
+            continue;
+        CounterTrack track;
+        const bool link = r.node < 0;
+        track.name = link ? "global-link utilisation %" : r.name + " tx/µs";
+        const std::size_t bins =
+            link ? r.busy_ns_bins.size() : r.tx_bins.size();
+        track.points.reserve(bins + 1);
+        for (std::size_t i = 0; i < bins; ++i) {
+            const auto ts =
+                static_cast<std::uint64_t>(i) * contention.series_bin_ns;
+            const double value =
+                link ? 100.0 * static_cast<double>(r.busy_ns_bins[i]) / bin
+                     : 1000.0 * static_cast<double>(r.tx_bins[i]) / bin;
+            track.points.emplace_back(ts, value);
+        }
+        // Close the track at the end of the run so the last bin's level
+        // does not visually extend forever.
+        track.points.emplace_back(
+            static_cast<std::uint64_t>(bins) * contention.series_bin_ns, 0.0);
+        tracks.push_back(std::move(track));
+    }
+    return tracks;
+}
+
 void
 TimelineBuilder::write_chrome_trace(std::ostream& os,
-                                    const std::string& process_name) const
+                                    const std::string& process_name,
+                                    const std::vector<CounterTrack>& counters)
+    const
 {
     JsonWriter w(os, /*pretty=*/false);
     w.begin_object();
@@ -175,6 +210,23 @@ TimelineBuilder::write_chrome_trace(std::ostream& os,
             w.kv("lock_id", iv.lock_id);
             w.kv("thread", static_cast<std::int64_t>(iv.thread));
             w.kv("node", static_cast<std::int64_t>(iv.node));
+            w.end_object();
+            w.end_object();
+        }
+    }
+
+    // Counter ("C") events: utilisation / rate tracks from the contention
+    // snapshot, rendered by Perfetto as per-name area charts.
+    for (const CounterTrack& track : counters) {
+        for (const auto& [ts_ns, value] : track.points) {
+            w.begin_object();
+            w.kv("name", track.name);
+            w.kv("cat", "contention");
+            w.kv("ph", "C");
+            w.kv("pid", 1);
+            w.kv("ts", static_cast<double>(ts_ns) / 1000.0);
+            w.key("args").begin_object();
+            w.kv("value", value);
             w.end_object();
             w.end_object();
         }

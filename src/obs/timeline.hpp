@@ -5,6 +5,11 @@
  * spinning on a remote holder, backing off, or inside the critical section
  * — and exports them as Chrome/Perfetto trace_event JSON ("X" complete
  * events; load the file directly in ui.perfetto.dev or chrome://tracing).
+ *
+ * Alongside the per-CPU state tracks, a trace can carry counter tracks
+ * ("C" events) built from the simulator's contention snapshot: global-link
+ * utilisation and per-node bus transaction rates over time
+ * (contention_counter_tracks).
  */
 #ifndef NUCALOCK_OBS_TIMELINE_HPP
 #define NUCALOCK_OBS_TIMELINE_HPP
@@ -16,8 +21,25 @@
 #include <vector>
 
 #include "obs/probe.hpp"
+#include "sim/resource.hpp"
 
 namespace nucalock::obs {
+
+/** One Perfetto counter track: (time, value) samples in time order. */
+struct CounterTrack
+{
+    std::string name;
+    std::vector<std::pair<std::uint64_t, double>> points; ///< (ts ns, value)
+};
+
+/**
+ * Build counter tracks from a contention snapshot recorded with
+ * SimMemory::enable_contention_series(): "global-link utilisation %" (busy
+ * fraction per bin) and one "node-bus-N tx/µs" rate track per node bus.
+ * Returns an empty vector when no series was recorded.
+ */
+std::vector<CounterTrack>
+contention_counter_tracks(const sim::ContentionStats& contention);
 
 /** What a CPU was doing during an interval. */
 enum class CpuState : std::uint8_t
@@ -65,9 +87,12 @@ class TimelineBuilder final : public ProbeSink
      * Write the Chrome trace_event JSON (ts/dur in microseconds as the
      * format requires; sub-microsecond intervals keep fractional ts).
      * @p process_name labels the single emitted pid (e.g. the lock name).
+     * @p counters (optional) adds Perfetto counter tracks ("C" events) —
+     * see contention_counter_tracks().
      */
-    void write_chrome_trace(std::ostream& os,
-                            const std::string& process_name) const;
+    void write_chrome_trace(std::ostream& os, const std::string& process_name,
+                            const std::vector<CounterTrack>& counters =
+                                {}) const;
 
   private:
     struct CpuTrack

@@ -333,6 +333,10 @@ SimMachine::wake_watchers(MemRef ref, SimTime t)
         thr.state = ThreadState::Runnable;
         thr.wake = disturb_wake(thr, t);
         thr.waiting_line = MemRef::kInvalid;
+        // The woken thread's next access is the refill after the writer's
+        // invalidation — under a lock's acquire spin that is the handover
+        // burst, which the attribution layer tags as TxPhase::Handover.
+        thr.ctx.handover_pending_ = true;
         if (scheduler_ != nullptr) {
             // The wakeup itself is a local step: when scheduled, the thread
             // returns from wait_on and advertises its re-poll as the next
@@ -351,6 +355,18 @@ SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
 {
     if (scheduler_ != nullptr)
         decision_point(ctx, PendingOp{sched_op_of(op), ref.line});
+    // Resolve the attribution phase for this access: a one-shot transient
+    // (gate publish store) wins, else a pending wakeup upgrades an acquire
+    // spin to the handover burst. Pure labelling — no timing effect.
+    TxPhase phase = ctx.op_phase_;
+    if (ctx.op_transient_ != TxPhase::None) {
+        phase = ctx.op_transient_;
+        ctx.op_transient_ = TxPhase::None;
+    } else if (ctx.handover_pending_ && phase == TxPhase::AcquireSpin) {
+        phase = TxPhase::Handover;
+    }
+    ctx.handover_pending_ = false;
+    memory_.set_tx_context(ctx.op_lock_, phase);
     const AccessOutcome out = memory_.access(op, ctx.cpu_, now_, ref, a, b);
     if (out.wakes_watchers)
         wake_watchers(ref, out.complete);
@@ -668,7 +684,8 @@ SimMachine::print_stats(std::ostream& os) const
                    ? 0.0
                    : static_cast<double>(bus.queue_time()) /
                          static_cast<double>(bus.transactions()))
-           << " ns avg queue\n";
+           << " ns avg queue (p99 " << bus.queue_delay().percentile(99.0)
+           << " ns)\n";
     }
     const Resource& link = memory_.global_link();
     os << "  " << link.name() << ": " << link.transactions() << " tx, "
@@ -677,7 +694,8 @@ SimMachine::print_stats(std::ostream& os) const
                ? 0.0
                : static_cast<double>(link.queue_time()) /
                      static_cast<double>(link.transactions()))
-       << " ns avg queue\n";
+       << " ns avg queue (p99 " << link.queue_delay().percentile(99.0)
+       << " ns)\n";
 }
 
 SimTime

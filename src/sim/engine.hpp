@@ -125,6 +125,24 @@ class SimContext
     void touch_array(Ref first, std::uint32_t count, bool write);
 
     /**
+     * Traffic-attribution op-context (observability only; see
+     * sim/traffic.hpp). The probe layer calls set_op_phase() on lock
+     * events so every subsequent coherence transaction is attributed to
+     * @p lock_id in @p phase; set_transient_phase() overrides the phase
+     * for the next single access (a GT gate publish/reopen store).
+     * Labelling never changes timing or values — with probes compiled out
+     * these are simply never called and traffic stays unattributed.
+     */
+    void
+    set_op_phase(std::uint64_t lock_id, TxPhase phase)
+    {
+        op_lock_ = lock_id;
+        op_phase_ = phase;
+    }
+
+    void set_transient_phase(TxPhase phase) { op_transient_ = phase; }
+
+    /**
      * Critical-section markers for the robustness subsystem (all no-ops
      * unless an InvariantChecker or FaultInjector is installed; they never
      * consume simulated time by themselves). Call cs_wait_begin() before
@@ -147,6 +165,14 @@ class SimContext
     int node_ = -1;
     int chip_ = -1;
     Xoshiro256 rng_{0};
+
+    // Traffic-attribution op-context (see set_op_phase above).
+    std::uint64_t op_lock_ = 0;
+    TxPhase op_phase_ = TxPhase::None;
+    TxPhase op_transient_ = TxPhase::None;
+    /** Set by wake_watchers: the next access is the post-release re-fetch
+     *  (attributed Handover when the thread was in its acquire spin). */
+    bool handover_pending_ = false;
 };
 
 /**
@@ -230,6 +256,10 @@ class SimMachine
     int num_threads() const { return static_cast<int>(threads_.size()); }
 
     TrafficStats traffic() const { return memory_.traffic(); }
+    /** Per-lock/per-phase and per-node traffic attribution snapshot. */
+    TrafficAttribution traffic_attribution() const { return memory_.attribution(); }
+    /** Per-resource (node buses + global link) contention snapshot. */
+    ContentionStats contention() const { return memory_.contention(now_); }
     SimMemory& memory() { return memory_; }
     const SimMemory& memory() const { return memory_; }
 

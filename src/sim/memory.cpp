@@ -24,6 +24,7 @@ SimMemory::SimMemory(const Topology& topo, const LatencyModel& lat)
     node_buses_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
     for (int n = 0; n < topo_.num_nodes(); ++n)
         node_buses_.emplace_back("node-bus-" + std::to_string(n));
+    node_tx_.resize(static_cast<std::size_t>(topo_.num_nodes()));
 }
 
 MemRef
@@ -77,6 +78,22 @@ SimMemory::node_bus(int node) const
 }
 
 void
+SimMemory::set_tx_context(std::uint64_t lock_id, TxPhase phase)
+{
+    tx_phase_ = phase;
+    if (lock_id != tx_lock_) {
+        tx_lock_ = lock_id;
+        if (lock_id == 0) {
+            tx_lock_row_ = nullptr;
+        } else {
+            LockTrafficStats& row = lock_tx_[lock_id];
+            row.lock_id = lock_id;
+            tx_lock_row_ = &row;
+        }
+    }
+}
+
+void
 SimMemory::count_tx(bool global, std::uint64_t TrafficStats::* kind)
 {
     if (global)
@@ -84,6 +101,53 @@ SimMemory::count_tx(bool global, std::uint64_t TrafficStats::* kind)
     else
         ++traffic_.local_tx;
     ++(traffic_.*kind);
+
+    TxCount& node_row = node_tx_[static_cast<std::size_t>(requester_node_)];
+    if (global)
+        ++node_row.global_tx;
+    else
+        ++node_row.local_tx;
+
+    if (tx_lock_row_ != nullptr) {
+        TxCount& cell =
+            tx_lock_row_->by_phase[static_cast<std::size_t>(tx_phase_)];
+        if (global)
+            ++cell.global_tx;
+        else
+            ++cell.local_tx;
+    }
+}
+
+TrafficAttribution
+SimMemory::attribution() const
+{
+    TrafficAttribution a;
+    a.per_lock.reserve(lock_tx_.size());
+    for (const auto& [lock_id, row] : lock_tx_)
+        a.per_lock.push_back(row); // std::map: already sorted by lock_id
+    a.per_node = node_tx_;
+    return a;
+}
+
+void
+SimMemory::enable_contention_series(SimTime bin_ns)
+{
+    for (Resource& bus : node_buses_)
+        bus.enable_series(bin_ns);
+    global_link_.enable_series(bin_ns);
+}
+
+ContentionStats
+SimMemory::contention(SimTime now) const
+{
+    ContentionStats c;
+    c.sim_time_ns = now;
+    c.series_bin_ns = global_link_.series_bin_ns();
+    c.resources.reserve(node_buses_.size() + 1);
+    for (int n = 0; n < topo_.num_nodes(); ++n)
+        c.resources.push_back(node_buses_[static_cast<std::size_t>(n)].usage(n));
+    c.resources.push_back(global_link_.usage(-1));
+    return c;
 }
 
 SimTime
@@ -101,7 +165,8 @@ SimMemory::route(SimTime t, int from_node, int to_node)
 }
 
 SimTime
-SimMemory::fetch(const Line& line, int cpu, SimTime t)
+SimMemory::fetch(const Line& line, int cpu, SimTime t,
+                 std::uint64_t TrafficStats::* kind)
 {
     const int rnode = topo_.node_of_cpu(cpu);
     SimTime wire = 0;
@@ -123,7 +188,7 @@ SimMemory::fetch(const Line& line, int cpu, SimTime t)
         source_node = line.home_node;
         wire = source_node == rnode ? lat_.local_mem : lat_.remote_mem;
     }
-    count_tx(source_node != rnode, &TrafficStats::data_fetch_tx);
+    count_tx(source_node != rnode, kind);
     t = route(t, rnode, source_node);
     return t + wire;
 }
@@ -165,6 +230,7 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
     NUCA_ASSERT(cpu >= 0 && cpu < topo_.num_cpus(), "cpu=", cpu);
     Line& line = line_of(ref);
     ++accesses_;
+    requester_node_ = topo_.node_of_cpu(cpu);
 
     const std::uint64_t self_bit = std::uint64_t{1} << cpu;
     const bool holds_copy = line.owner_cpu == cpu || (line.sharers & self_bit) != 0;
@@ -175,7 +241,7 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
 
     if (op == MemOp::Load) {
         if (!holds_copy) {
-            t = fetch(line, cpu, t);
+            t = fetch(line, cpu, t, &TrafficStats::data_fetch_tx);
             line.sharers |= self_bit;
         } else {
             t += lat_.cache_hit;
@@ -188,22 +254,25 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
         return out;
     }
 
-    // Writes and atomics need the line exclusively.
+    // Writes and atomics need the line exclusively. The ownership-acquiring
+    // transaction (data fetch or shared-copy upgrade) is kinded atomic_tx
+    // when the op is an atomic read-modify-write, so the by-cause breakdown
+    // partitions the local/global totals exactly.
+    std::uint64_t TrafficStats::* const own_kind =
+        is_atomic(op) ? &TrafficStats::atomic_tx : &TrafficStats::data_fetch_tx;
     const bool exclusive_already =
         line.owner_cpu == cpu && (line.sharers & ~self_bit) == 0;
     if (exclusive_already) {
         t += is_atomic(op) ? lat_.own_atomic : lat_.own_store;
     } else {
         if (!holds_copy)
-            t = fetch(line, cpu, t);
+            t = fetch(line, cpu, t, own_kind);
         t = invalidate_others(line, cpu, t);
-        if (is_atomic(op))
-            ++traffic_.atomic_tx;
         if (holds_copy && line.owner_cpu != cpu) {
             // Upgrade of a shared copy: ownership request, no data moved.
             count_tx(line.owner_cpu >= 0 &&
                          topo_.node_of_cpu(line.owner_cpu) != topo_.node_of_cpu(cpu),
-                     &TrafficStats::data_fetch_tx);
+                     own_kind);
         }
         line.owner_cpu = static_cast<std::int16_t>(cpu);
         line.sharers = self_bit;

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "sim/latency.hpp"
@@ -161,6 +162,27 @@ class SimMemory
 
     const TrafficStats& traffic() const { return traffic_; }
 
+    /**
+     * Label the transactions of subsequent access() calls with the lock and
+     * operation phase they belong to (set by the engine from the per-thread
+     * op-context before every access). lock_id 0 / TxPhase::None leaves
+     * them unattributed. Labelling is accounting only: it never changes
+     * values, timing, or the TrafficStats totals.
+     */
+    void set_tx_context(std::uint64_t lock_id, TxPhase phase);
+
+    /** Attribution snapshot: per-lock/per-phase and per-node tables. */
+    TrafficAttribution attribution() const;
+
+    /**
+     * Record time-binned busy/transaction series on every node bus and the
+     * global link (Resource::enable_series). Call before the run.
+     */
+    void enable_contention_series(SimTime bin_ns);
+
+    /** Per-resource contention snapshot (buses in node order, then link). */
+    ContentionStats contention(SimTime now) const;
+
     Resource& node_bus(int node);
     const Resource& node_bus(int node) const;
     Resource& global_link() { return global_link_; }
@@ -190,11 +212,20 @@ class SimMemory
     /** Queue one transaction from @p from_node to @p to_node at @p t. */
     SimTime route(SimTime t, int from_node, int to_node);
 
-    /** Count one transaction (local or global) of the given kind. */
+    /**
+     * Count one transaction (local or global) of the given kind, also
+     * crediting the current per-node and per-lock/per-phase attribution
+     * rows (requester_node_ and the tx context).
+     */
     void count_tx(bool global, std::uint64_t TrafficStats::* kind);
 
-    /** Fetch latency+queuing for @p cpu reading the line; counts traffic. */
-    SimTime fetch(const Line& line, int cpu, SimTime t);
+    /**
+     * Fetch latency+queuing for @p cpu reading the line; counts one
+     * transaction of @p kind (data_fetch_tx for plain loads/stores,
+     * atomic_tx when the fetch serves an atomic read-modify-write).
+     */
+    SimTime fetch(const Line& line, int cpu, SimTime t,
+                  std::uint64_t TrafficStats::* kind);
 
     /** Invalidate all other holders; returns completion; counts traffic. */
     SimTime invalidate_others(Line& line, int cpu, SimTime t);
@@ -208,6 +239,19 @@ class SimMemory
     std::uint64_t accesses_ = 0;
     std::function<void(const struct TraceEvent&)> trace_hook_;
     std::function<SimTime(SimTime)> link_hook_;
+
+    // ----- traffic attribution (accounting only, never affects timing) ----
+    /** Initiating node of the access in flight (set by access()). */
+    int requester_node_ = 0;
+    /** Per-initiating-node counts; indexed by node. */
+    std::vector<TxCount> node_tx_;
+    /** Per-lock/per-phase tables, keyed by probe lock id. */
+    std::map<std::uint64_t, LockTrafficStats> lock_tx_;
+    /** The op-context of the access in flight (set_tx_context). */
+    std::uint64_t tx_lock_ = 0;
+    TxPhase tx_phase_ = TxPhase::None;
+    /** Cached row for tx_lock_ (std::map nodes are pointer-stable). */
+    LockTrafficStats* tx_lock_row_ = nullptr;
 };
 
 } // namespace nucalock::sim

@@ -1,12 +1,16 @@
 /**
  * @file
  * Coherence traffic accounting, matching the paper's local / global
- * transaction counts (Tables 2 and 6).
+ * transaction counts (Tables 2 and 6), plus the attribution layer that
+ * tags each transaction with the lock and lock-operation phase that
+ * generated it (the Figure 7 traffic story).
  */
 #ifndef NUCALOCK_SIM_TRAFFIC_HPP
 #define NUCALOCK_SIM_TRAFFIC_HPP
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 namespace nucalock::sim {
 
@@ -15,6 +19,11 @@ namespace nucalock::sim {
  * global; one contained within a node (node-local cache-to-cache transfer,
  * local memory fetch, intra-node invalidation) is local. Cache hits are not
  * transactions.
+ *
+ * The by-cause breakdown partitions the same transactions: every counted
+ * transaction is exactly one of data_fetch_tx / invalidation_tx /
+ * atomic_tx, so data_fetch_tx + invalidation_tx + atomic_tx ==
+ * local_tx + global_tx always holds (pinned by tests/traffic_test.cpp).
  */
 struct TrafficStats
 {
@@ -38,6 +47,110 @@ struct TrafficStats
         d.invalidation_tx = invalidation_tx - rhs.invalidation_tx;
         d.atomic_tx = atomic_tx - rhs.atomic_tx;
         return d;
+    }
+};
+
+/**
+ * The lock-operation phase a coherence transaction is attributed to. Set
+ * through the per-thread op-context by the probe layer (obs/probe.hpp maps
+ * lock events to phases); None when no phase information is available
+ * (probes compiled out, or traffic outside any lock operation, e.g. the
+ * harness's own bookkeeping words).
+ *
+ * Attribution is labelling only: it never feeds back into timing or lock
+ * behaviour, so the TrafficStats totals are bit-identical whether phases
+ * are tracked or not (-DNUCALOCK_NO_PROBES drops the attribution, never
+ * the counts).
+ */
+enum class TxPhase : std::uint8_t
+{
+    None = 0,    ///< no op-context available
+    AcquireSpin, ///< between an acquire attempt and the acquisition
+    Handover,    ///< first access after a releaser's store woke the spinner
+    Critical,    ///< lock held: critical-section data traffic
+    Release,     ///< from the release until the next acquire attempt
+    GatePublish, ///< GT throttle gate maintenance (publish / reopen store)
+};
+
+inline constexpr int kNumTxPhases = 6;
+
+/** Printable phase mnemonic (stable — used in reports and tests). */
+inline const char*
+tx_phase_name(TxPhase phase)
+{
+    switch (phase) {
+      case TxPhase::None: return "none";
+      case TxPhase::AcquireSpin: return "acquire_spin";
+      case TxPhase::Handover: return "handover";
+      case TxPhase::Critical: return "critical";
+      case TxPhase::Release: return "release";
+      case TxPhase::GatePublish: return "gate_publish";
+    }
+    return "?";
+}
+
+/** A local/global transaction pair (one cell of an attribution table). */
+struct TxCount
+{
+    std::uint64_t local_tx = 0;
+    std::uint64_t global_tx = 0;
+
+    std::uint64_t total() const { return local_tx + global_tx; }
+
+    TxCount&
+    operator+=(const TxCount& rhs)
+    {
+        local_tx += rhs.local_tx;
+        global_tx += rhs.global_tx;
+        return *this;
+    }
+};
+
+/** Traffic attributed to one lock, split by operation phase. */
+struct LockTrafficStats
+{
+    /** The lock's probe identity (its primary word's Ref token). */
+    std::uint64_t lock_id = 0;
+    /** Indexed by TxPhase (None slot stays empty for attributed locks). */
+    std::array<TxCount, kNumTxPhases> by_phase{};
+
+    const TxCount&
+    phase(TxPhase p) const
+    {
+        return by_phase[static_cast<std::size_t>(p)];
+    }
+
+    TxCount
+    totals() const
+    {
+        TxCount t;
+        for (const TxCount& c : by_phase)
+            t += c;
+        return t;
+    }
+};
+
+/**
+ * The full attribution snapshot of a run: per-lock/per-phase tables (only
+ * populated while an op-context is set, i.e. with probes compiled in) and
+ * per-node initiator counts (always populated — they are part of the
+ * determinism contract and never vanish under -DNUCALOCK_NO_PROBES).
+ */
+struct TrafficAttribution
+{
+    /** Sorted by lock_id. Empty when no transaction carried a lock id. */
+    std::vector<LockTrafficStats> per_lock;
+    /** Indexed by initiating node. */
+    std::vector<TxCount> per_node;
+
+    /** Sum over every attributed (lock, phase) cell. */
+    TxCount
+    attributed_totals() const
+    {
+        TxCount t;
+        for (const LockTrafficStats& lock : per_lock)
+            t += lock.totals();
+        return t;
     }
 };
 

@@ -159,4 +159,24 @@ TEST(Options, TraceRequiresSingleLock)
         parse_cli({"--lock=TATAS", "--trace=t.json"}).options.has_value());
 }
 
+TEST(Options, TrafficFlag)
+{
+    EXPECT_FALSE(parse_cli({}).options->traffic);
+    const CliParse parsed = parse_cli({"--traffic"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    EXPECT_TRUE(parsed.options->traffic);
+}
+
+TEST(Options, MemtraceRequiresSingleLockAndPath)
+{
+    const CliParse parsed =
+        parse_cli({"--lock=MCS", "--memtrace=mem.csv"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.options->memtrace, "mem.csv");
+    EXPECT_FALSE(parse_cli({"--memtrace="}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--memtrace=mem.csv"}).options.has_value());
+    EXPECT_FALSE(
+        parse_cli({"--lock=ALL", "--memtrace=mem.csv"}).options.has_value());
+}
+
 } // namespace

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the coherence-traffic attribution layer (sim/traffic.hpp):
+ * TrafficStats arithmetic and the breakdown-partitions-totals invariant,
+ * pinned per-acquisition local/global counts for TATAS vs MCS vs HBO_GT
+ * (the paper's Figure 7 story in miniature), attribution's independence
+ * from installed probe sinks, the per-resource contention snapshot, the
+ * report v2 traffic/contention objects, and the memtrace drop accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/newbench.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/timeline.hpp"
+#include "sim/trace.hpp"
+#include "sim/traffic.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::harness;
+using nucalock::locks::LockKind;
+
+/** The 2x4-cpu contended run every attribution test here uses. */
+NewBenchConfig
+small_config()
+{
+    NewBenchConfig config;
+    config.topology = Topology::symmetric(2, 4);
+    config.threads = 8;
+    config.iterations_per_thread = 20;
+    config.critical_work = 200;
+    config.private_work = 500;
+    return config;
+}
+
+bool
+same_attribution(const sim::TrafficAttribution& a,
+                 const sim::TrafficAttribution& b)
+{
+    if (a.per_lock.size() != b.per_lock.size() ||
+        a.per_node.size() != b.per_node.size())
+        return false;
+    for (std::size_t i = 0; i < a.per_lock.size(); ++i) {
+        if (a.per_lock[i].lock_id != b.per_lock[i].lock_id)
+            return false;
+        for (std::size_t p = 0; p < sim::kNumTxPhases; ++p) {
+            const auto& ca = a.per_lock[i].by_phase[p];
+            const auto& cb = b.per_lock[i].by_phase[p];
+            if (ca.local_tx != cb.local_tx || ca.global_tx != cb.global_tx)
+                return false;
+        }
+    }
+    for (std::size_t n = 0; n < a.per_node.size(); ++n)
+        if (a.per_node[n].local_tx != b.per_node[n].local_tx ||
+            a.per_node[n].global_tx != b.per_node[n].global_tx)
+            return false;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// TrafficStats arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(TrafficStats, OperatorMinusRoundTrips)
+{
+    sim::TrafficStats a;
+    a.local_tx = 100;
+    a.global_tx = 40;
+    a.data_fetch_tx = 90;
+    a.invalidation_tx = 30;
+    a.atomic_tx = 20;
+    sim::TrafficStats b;
+    b.local_tx = 60;
+    b.global_tx = 10;
+    b.data_fetch_tx = 50;
+    b.invalidation_tx = 12;
+    b.atomic_tx = 8;
+
+    const sim::TrafficStats d = a - b;
+    EXPECT_EQ(d.local_tx, 40u);
+    EXPECT_EQ(d.global_tx, 30u);
+    EXPECT_EQ(d.data_fetch_tx, 40u);
+    EXPECT_EQ(d.invalidation_tx, 18u);
+    EXPECT_EQ(d.atomic_tx, 12u);
+    EXPECT_EQ(d.total(), 70u);
+    // (a - b) recombined with b gives back a, field by field.
+    EXPECT_EQ(d.local_tx + b.local_tx, a.local_tx);
+    EXPECT_EQ(d.global_tx + b.global_tx, a.global_tx);
+    EXPECT_EQ(d.data_fetch_tx + b.data_fetch_tx, a.data_fetch_tx);
+    EXPECT_EQ(d.invalidation_tx + b.invalidation_tx, a.invalidation_tx);
+    EXPECT_EQ(d.atomic_tx + b.atomic_tx, a.atomic_tx);
+}
+
+TEST(TrafficStats, TxCountAccumulates)
+{
+    sim::TxCount a{3, 4};
+    const sim::TxCount b{10, 20};
+    a += b;
+    EXPECT_EQ(a.local_tx, 13u);
+    EXPECT_EQ(a.global_tx, 24u);
+    EXPECT_EQ(a.total(), 37u);
+}
+
+TEST(TrafficStats, PhaseNamesAreStable)
+{
+    EXPECT_STREQ(sim::tx_phase_name(sim::TxPhase::None), "none");
+    EXPECT_STREQ(sim::tx_phase_name(sim::TxPhase::AcquireSpin),
+                 "acquire_spin");
+    EXPECT_STREQ(sim::tx_phase_name(sim::TxPhase::Handover), "handover");
+    EXPECT_STREQ(sim::tx_phase_name(sim::TxPhase::Critical), "critical");
+    EXPECT_STREQ(sim::tx_phase_name(sim::TxPhase::Release), "release");
+    EXPECT_STREQ(sim::tx_phase_name(sim::TxPhase::GatePublish),
+                 "gate_publish");
+}
+
+// The by-cause breakdown must partition the local/global totals exactly:
+// every counted transaction is exactly one of fetch/invalidation/atomic.
+TEST(TrafficStats, BreakdownPartitionsTotalsOnContendedRuns)
+{
+    for (LockKind kind : {LockKind::Tatas, LockKind::TatasExp, LockKind::Mcs,
+                          LockKind::Clh, LockKind::HboGt, LockKind::HboGtSd,
+                          LockKind::Cohort}) {
+        const BenchResult r = run_newbench(kind, small_config());
+        const sim::TrafficStats& t = r.traffic;
+        EXPECT_EQ(t.data_fetch_tx + t.invalidation_tx + t.atomic_tx,
+                  t.local_tx + t.global_tx)
+            << "breakdown does not partition totals for "
+            << locks::lock_name(kind);
+        EXPECT_GT(t.total(), 0u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribution: pinned counts and phase split (the Figure 7 story)
+// ---------------------------------------------------------------------------
+
+// Exact counters for the canonical 2x4 run, seed 1. These pin the whole
+// attribution pipeline: any change to the simulator's coherence
+// accounting, the probe->phase mapping, or the handover detection shows
+// up here. The headline: HBO_GT pays ~1/3 the global traffic of TATAS
+// and ~1/10 that of MCS per acquisition, and its handover phase crosses
+// the link *zero* times where TATAS spends 321 global transactions.
+TEST(TrafficAttribution, PinnedCountsTatasMcsHboGt)
+{
+    struct Expect
+    {
+        LockKind kind;
+        std::uint64_t local_tx, global_tx;
+        std::uint64_t handover_local, handover_global;
+    };
+    const Expect expects[] = {
+        {LockKind::Tatas, 8276, 1223, 407, 321},
+        {LockKind::Mcs, 4107, 4015, 80, 79},
+        {LockKind::HboGt, 7435, 411, 5, 0},
+    };
+    for (const Expect& e : expects) {
+        const BenchResult r = run_newbench(e.kind, small_config());
+        EXPECT_EQ(r.total_acquires, 160u);
+        EXPECT_EQ(r.traffic.local_tx, e.local_tx)
+            << locks::lock_name(e.kind);
+        EXPECT_EQ(r.traffic.global_tx, e.global_tx)
+            << locks::lock_name(e.kind);
+
+        // One attributed lock (the benchmark lock), carrying everything.
+        ASSERT_EQ(r.traffic_attribution.per_lock.size(), 1u)
+            << locks::lock_name(e.kind);
+        const sim::LockTrafficStats& lock = r.traffic_attribution.per_lock[0];
+        const sim::TxCount handover = lock.phase(sim::TxPhase::Handover);
+        EXPECT_EQ(handover.local_tx, e.handover_local)
+            << locks::lock_name(e.kind);
+        EXPECT_EQ(handover.global_tx, e.handover_global)
+            << locks::lock_name(e.kind);
+        // Nothing lands in the None phase once the lock is attributed.
+        EXPECT_EQ(lock.phase(sim::TxPhase::None).total(), 0u);
+    }
+}
+
+TEST(TrafficAttribution, HboGtBeatsTatasAndMcsOnGlobalTraffic)
+{
+    const BenchResult tatas = run_newbench(LockKind::Tatas, small_config());
+    const BenchResult mcs = run_newbench(LockKind::Mcs, small_config());
+    const BenchResult hbo = run_newbench(LockKind::HboGt, small_config());
+    // Global transactions per acquisition (equal acquire counts).
+    EXPECT_LT(hbo.traffic.global_tx * 2, tatas.traffic.global_tx);
+    EXPECT_LT(hbo.traffic.global_tx * 2, mcs.traffic.global_tx);
+    // And per handover: the throttled spinners stop hammering the remote
+    // lock word, so the handover phase crosses the link less.
+    const auto handover_global = [](const BenchResult& r) {
+        sim::TxCount t;
+        for (const auto& lock : r.traffic_attribution.per_lock)
+            t += lock.phase(sim::TxPhase::Handover);
+        return t.global_tx;
+    };
+    EXPECT_LT(handover_global(hbo), handover_global(tatas));
+    EXPECT_LT(handover_global(hbo), handover_global(mcs));
+}
+
+// Attribution must cover exactly what was counted: the per-lock cells and
+// the per-node rows each sum to at most (per-lock) / exactly (per-node)
+// the totals.
+TEST(TrafficAttribution, TablesAreConsistentWithTotals)
+{
+    const BenchResult r = run_newbench(LockKind::HboGtSd, small_config());
+    const sim::TxCount attributed =
+        r.traffic_attribution.attributed_totals();
+    EXPECT_LE(attributed.local_tx, r.traffic.local_tx);
+    EXPECT_LE(attributed.global_tx, r.traffic.global_tx);
+
+    sim::TxCount by_node;
+    for (const sim::TxCount& n : r.traffic_attribution.per_node)
+        by_node += n;
+    // Per-node counts are probe-independent and must cover every
+    // transaction exactly.
+    EXPECT_EQ(by_node.local_tx, r.traffic.local_tx);
+    EXPECT_EQ(by_node.global_tx, r.traffic.global_tx);
+    EXPECT_EQ(r.traffic_attribution.per_node.size(), 2u);
+}
+
+// The phase attribution is driven by the probe *sites*, not by any
+// installed sink: a run observed through a MetricsRegistry and an
+// unobserved run produce bit-identical attribution tables (and identical
+// runs, pinned elsewhere by obs_test).
+TEST(TrafficAttribution, IndependentOfInstalledSinks)
+{
+    const BenchResult bare = run_newbench(LockKind::HboGt, small_config());
+
+    obs::MetricsRegistry registry;
+    NewBenchConfig config = small_config();
+    config.probe = &registry;
+    const BenchResult observed = run_newbench(LockKind::HboGt, config);
+
+    EXPECT_EQ(bare.acquisition_order_hash, observed.acquisition_order_hash);
+    EXPECT_EQ(bare.traffic.local_tx, observed.traffic.local_tx);
+    EXPECT_EQ(bare.traffic.global_tx, observed.traffic.global_tx);
+    EXPECT_TRUE(same_attribution(bare.traffic_attribution,
+                                 observed.traffic_attribution));
+}
+
+TEST(TrafficAttribution, DeterministicAcrossRepeatedRuns)
+{
+    const BenchResult a = run_newbench(LockKind::Mcs, small_config());
+    const BenchResult b = run_newbench(LockKind::Mcs, small_config());
+    EXPECT_TRUE(same_attribution(a.traffic_attribution,
+                                 b.traffic_attribution));
+    EXPECT_EQ(a.contention.sim_time_ns, b.contention.sim_time_ns);
+    ASSERT_EQ(a.contention.resources.size(), b.contention.resources.size());
+    for (std::size_t i = 0; i < a.contention.resources.size(); ++i) {
+        EXPECT_EQ(a.contention.resources[i].transactions,
+                  b.contention.resources[i].transactions);
+        EXPECT_EQ(a.contention.resources[i].busy_ns,
+                  b.contention.resources[i].busy_ns);
+        EXPECT_EQ(a.contention.resources[i].queue_ns,
+                  b.contention.resources[i].queue_ns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contention snapshot
+// ---------------------------------------------------------------------------
+
+TEST(Contention, SnapshotCoversBusesAndLink)
+{
+    const BenchResult r = run_newbench(LockKind::Tatas, small_config());
+    // Two node buses (in node order) + the global link.
+    ASSERT_EQ(r.contention.resources.size(), 3u);
+    EXPECT_EQ(r.contention.resources[0].node, 0);
+    EXPECT_EQ(r.contention.resources[1].node, 1);
+    EXPECT_EQ(r.contention.resources[2].node, -1);
+    const sim::ResourceUsage* link = r.contention.global_link();
+    ASSERT_NE(link, nullptr);
+    EXPECT_EQ(link->name, "global-link");
+    // Every served transaction contributed one queue-delay sample.
+    for (const sim::ResourceUsage& res : r.contention.resources)
+        EXPECT_EQ(res.queue_delay_ns.count(), res.transactions);
+    // Every link crossing is a global transaction; the remainder are
+    // ownership upgrades of shared copies, which move no data.
+    EXPECT_GT(link->transactions, 0u);
+    EXPECT_LE(link->transactions, r.traffic.global_tx);
+    EXPECT_GT(link->busy_ns, 0u);
+}
+
+TEST(Contention, SeriesBinsSumToTotals)
+{
+    NewBenchConfig config = small_config();
+    config.contention_bin_ns = 10'000;
+    const BenchResult r = run_newbench(LockKind::Mcs, config);
+    EXPECT_EQ(r.contention.series_bin_ns, 10'000u);
+    for (const sim::ResourceUsage& res : r.contention.resources) {
+        ASSERT_EQ(res.series_bin_ns, 10'000u);
+        std::uint64_t busy = 0;
+        std::uint64_t tx = 0;
+        for (std::uint64_t b : res.busy_ns_bins)
+            busy += b;
+        for (std::uint64_t b : res.tx_bins)
+            tx += b;
+        EXPECT_EQ(busy, res.busy_ns) << res.name;
+        EXPECT_EQ(tx, res.transactions) << res.name;
+    }
+    // Recording the series is pure accounting: the run is unchanged.
+    const BenchResult bare = run_newbench(LockKind::Mcs, small_config());
+    EXPECT_EQ(bare.acquisition_order_hash, r.acquisition_order_hash);
+    EXPECT_EQ(bare.total_time, r.total_time);
+    EXPECT_TRUE(bare.contention.resources[0].busy_ns_bins.empty());
+}
+
+TEST(Contention, CounterTracksFollowTheSeries)
+{
+    NewBenchConfig config = small_config();
+    config.contention_bin_ns = 10'000;
+    const BenchResult r = run_newbench(LockKind::Tatas, config);
+    const std::vector<obs::CounterTrack> tracks =
+        obs::contention_counter_tracks(r.contention);
+    ASSERT_EQ(tracks.size(), 3u); // two buses + the link
+    bool saw_link = false;
+    for (const obs::CounterTrack& track : tracks) {
+        ASSERT_GE(track.points.size(), 2u);
+        // Tracks close at zero so the last level does not extend forever.
+        EXPECT_EQ(track.points.back().second, 0.0);
+        if (track.name == "global-link utilisation %") {
+            saw_link = true;
+            for (const auto& [ts, value] : track.points) {
+                EXPECT_GE(value, 0.0);
+                EXPECT_LE(value, 100.0);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_link);
+    // No series recorded -> no tracks.
+    const BenchResult bare = run_newbench(LockKind::Tatas, small_config());
+    EXPECT_TRUE(obs::contention_counter_tracks(bare.contention).empty());
+}
+
+// ---------------------------------------------------------------------------
+// fold_traffic
+// ---------------------------------------------------------------------------
+
+TEST(FoldTraffic, PerAcquisitionRatesAndRemainder)
+{
+    obs::MetricsRegistry registry;
+    NewBenchConfig config = small_config();
+    config.probe = &registry;
+    const BenchResult r = run_newbench(LockKind::HboGt, config);
+    registry.finalize();
+
+    const obs::TrafficMetrics tm =
+        obs::fold_traffic(r.traffic, r.traffic_attribution, r.contention,
+                          r.total_acquires, &registry);
+    EXPECT_EQ(tm.acquisitions, 160u);
+    EXPECT_DOUBLE_EQ(tm.local_tx_per_acquisition(),
+                     static_cast<double>(r.traffic.local_tx) / 160.0);
+    EXPECT_DOUBLE_EQ(tm.global_tx_per_acquisition(),
+                     static_cast<double>(r.traffic.global_tx) / 160.0);
+    ASSERT_EQ(tm.locks.size(), 1u);
+    EXPECT_EQ(tm.locks[0].acquisitions, 160u);
+    EXPECT_EQ(tm.attributed.local_tx + tm.unattributed.local_tx,
+              r.traffic.local_tx);
+    EXPECT_EQ(tm.attributed.global_tx + tm.unattributed.global_tx,
+              r.traffic.global_tx);
+    EXPECT_TRUE(tm.has_link);
+    EXPECT_GT(tm.link_utilization, 0.0);
+    EXPECT_LT(tm.link_utilization, 1.0);
+    EXPECT_GT(tm.link_queue_delay_ns.count(), 0u);
+    EXPECT_LE(tm.link_queue_delay_ns.count(), r.traffic.global_tx);
+}
+
+// ---------------------------------------------------------------------------
+// Report v2
+// ---------------------------------------------------------------------------
+
+obs::ReportConfig
+report_config()
+{
+    obs::ReportConfig rc;
+    rc.tool = "traffic_test";
+    rc.bench = "new";
+    rc.nodes = 2;
+    rc.cpus_per_node = 4;
+    rc.threads = 8;
+    rc.critical_work = 200;
+    rc.private_work = 500;
+    rc.iterations = 20;
+    rc.seed = 1;
+    return rc;
+}
+
+TEST(ReportV2, EmittedReportValidates)
+{
+    obs::MetricsRegistry registry;
+    NewBenchConfig config = small_config();
+    config.probe = &registry;
+    config.contention_bin_ns = 10'000;
+    const BenchResult r = run_newbench(LockKind::HboGt, config);
+    registry.finalize();
+
+    std::ostringstream out;
+    obs::write_report(out, report_config(),
+                      {obs::ReportRun{"HBO_GT", r, &registry}});
+    std::string error;
+    EXPECT_TRUE(obs::validate_report_text(out.str(), &error)) << error;
+    // The v2 objects are actually present (not just tolerated).
+    EXPECT_NE(out.str().find("\"traffic\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"contention\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"acquire_spin\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"queue_delay_ns\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"busy_ns_bins\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"memtrace_dropped\""), std::string::npos);
+}
+
+TEST(ReportV2, SchemaVersionIsTwo)
+{
+    EXPECT_EQ(obs::kReportSchemaVersion, 2);
+}
+
+TEST(ReportV2, UnknownVersionIsRejectedWithClearMessage)
+{
+    const BenchResult r = run_newbench(LockKind::Tatas, small_config());
+    std::ostringstream out;
+    obs::write_report(out, report_config(),
+                      {obs::ReportRun{"TATAS", r, nullptr}});
+    std::string doc = out.str();
+    const std::string needle =
+        "\"schema_version\": " + std::to_string(obs::kReportSchemaVersion);
+    const std::size_t pos = doc.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, needle.size(), "\"schema_version\": 99");
+    std::string error;
+    EXPECT_FALSE(obs::validate_report_text(doc, &error));
+    EXPECT_EQ(error, "report is v99, tool understands v" +
+                         std::to_string(obs::kReportSchemaVersion));
+}
+
+// ---------------------------------------------------------------------------
+// Memory-trace plumbing (drop accounting surfaces in results)
+// ---------------------------------------------------------------------------
+
+TEST(Memtrace, DropCountSurfacesInResult)
+{
+    sim::TraceRecorder recorder;
+    recorder.set_max_events(100); // far below what the run generates
+    NewBenchConfig config = small_config();
+    config.memory_trace = &recorder;
+    const BenchResult r = run_newbench(LockKind::Tatas, config);
+    EXPECT_EQ(r.memtrace_events, 100u);
+    EXPECT_GT(r.memtrace_dropped, 0u);
+    EXPECT_EQ(recorder.dropped(), r.memtrace_dropped);
+    // And the recorder did not perturb the run.
+    const BenchResult bare = run_newbench(LockKind::Tatas, small_config());
+    EXPECT_EQ(bare.acquisition_order_hash, r.acquisition_order_hash);
+    EXPECT_EQ(bare.memtrace_events, 0u);
+    EXPECT_EQ(bare.memtrace_dropped, 0u);
+}
+
+} // namespace

@@ -6,10 +6,16 @@
  *
  *  - a human-readable table (local vs remote handover split, node batch
  *    lengths, backoff time breakdown, GT gate traffic, SD anger),
+ *  - `--traffic`: the coherence-traffic attribution tables (per-lock
+ *    per-phase local/global transactions per acquisition, global-link
+ *    utilisation and queue-delay p99 — the paper's Table 2/6 shape),
  *  - `--json=PATH`: the versioned machine-readable report
- *    (schema nucalock-bench-report v1, obs/report.hpp),
+ *    (schema nucalock-bench-report v2, obs/report.hpp),
  *  - `--trace=PATH`: a Chrome/Perfetto trace_event JSON of per-CPU lock
- *    states (single --lock runs only; open in ui.perfetto.dev),
+ *    states plus link-utilisation / bus-rate counter tracks (single
+ *    --lock runs only; open in ui.perfetto.dev),
+ *  - `--memtrace=PATH`: the raw memory-access trace as CSV (single --lock,
+ *    capped at 1M events; the drop count is reported and in the JSON),
  *  - `--check-schema=FILE`: validate an existing report and exit (what
  *    the CI perf-smoke job runs on its own artifact).
  *
@@ -22,6 +28,7 @@
  *   nucaprof --lock=HBO_GT_SD --trace=hbo.trace.json --json=hbo.json
  *   nucaprof --check-schema=hbo.json
  */
+#include <array>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -54,17 +61,22 @@ prof_usage()
            "                [--nodes=N] [--cpus-per-node=N] [--threads=N]\n"
            "                [--critical-work=INTS] [--private-work=ITERS]\n"
            "                [--iterations=N] [--nuca-ratio=R] [--seed=S]\n"
-           "                [--json=PATH] [--trace=PATH] [--jobs=N]\n"
+           "                [--traffic] [--json=PATH] [--trace=PATH]\n"
+           "                [--memtrace=PATH] [--jobs=N]\n"
            "       nucaprof --check-schema=REPORT.json\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: "
            "--nodes<=2)\n"
            "\n"
-           "--json writes the nucalock-bench-report v1 document (- = "
+           "--traffic prints the coherence-traffic attribution tables\n"
+           "(per-phase local/global transactions per acquisition);\n"
+           "--json writes the nucalock-bench-report v2 document (- = "
            "stdout);\n"
            "--trace needs a single --lock and writes Chrome trace_event "
-           "JSON.\n";
+           "JSON\nwith link-utilisation counter tracks; --memtrace needs a "
+           "single\n--lock and writes the raw access trace CSV (1M-event "
+           "cap).\n";
 }
 
 std::vector<LockKind>
@@ -96,10 +108,19 @@ struct ProfiledRun
     std::unique_ptr<obs::MetricsRegistry> metrics;
 };
 
+/** Utilisation-series bin width for --trace counter tracks (10 µs). */
+constexpr sim::SimTime kCounterBinNs = 10'000;
+
+/** --memtrace recording cap; drops past this are counted, not stored. */
+constexpr std::size_t kMemtraceCap = 1'000'000;
+
 BenchResult
 run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
-          obs::ProbeSink* probe)
+          obs::ProbeSink* probe, sim::TraceRecorder* memtrace = nullptr)
 {
+    // Record the utilisation series whenever a Perfetto trace was asked
+    // for; it is pure accounting (never perturbs the run).
+    const sim::SimTime bin = opts.trace.empty() ? 0 : kCounterBinNs;
     if (opts.bench == CliBench::Traditional) {
         TraditionalConfig config;
         config.topology = topo;
@@ -108,6 +129,8 @@ run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
         config.iterations_per_thread = opts.iterations;
         config.seed = opts.seed;
         config.probe = probe;
+        config.contention_bin_ns = bin;
+        config.memory_trace = memtrace;
         return run_traditional(kind, config);
     }
     NewBenchConfig config;
@@ -120,6 +143,8 @@ run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
     config.seed = opts.seed;
     config.preemption = opts.preemption;
     config.probe = probe;
+    config.contention_bin_ns = bin;
+    config.memory_trace = memtrace;
     return run_newbench(kind, config);
 }
 
@@ -152,8 +177,56 @@ write_trace(const ProfiledRun& run, const obs::TimelineBuilder& timeline,
         std::cerr << "error: cannot write --trace file '" << path << "'\n";
         return 1;
     }
-    timeline.write_chrome_trace(out, lock_name(run.kind));
+    timeline.write_chrome_trace(
+        out, lock_name(run.kind),
+        obs::contention_counter_tracks(run.result.contention));
     return 0;
+}
+
+/** The --traffic tables: per-acquisition attribution + link contention. */
+void
+print_traffic(const std::vector<ProfiledRun>& runs)
+{
+    // Per-acquisition rates in the paper's Table 2/6 shape, with the
+    // global column split by the phase the transactions served.
+    stats::Table table({"Lock", "acquires", "local/acq", "global/acq",
+                        "g spin", "g handover", "g critical", "g release",
+                        "g gate", "g unattr", "link util %", "link p99 ns"});
+    for (const ProfiledRun& run : runs) {
+        const obs::TrafficMetrics tm = obs::fold_traffic(
+            run.result.traffic, run.result.traffic_attribution,
+            run.result.contention, run.result.total_acquires,
+            run.metrics.get());
+        const double acq =
+            tm.acquisitions == 0 ? 1.0 : static_cast<double>(tm.acquisitions);
+        // Phase split summed over every attributed lock tier of the run.
+        std::array<std::uint64_t, sim::kNumTxPhases> phase_global{};
+        for (const obs::LockTrafficView& lock : tm.locks)
+            for (int p = 0; p < sim::kNumTxPhases; ++p)
+                phase_global[static_cast<std::size_t>(p)] +=
+                    lock.tx.by_phase[static_cast<std::size_t>(p)].global_tx;
+        const auto per_acq = [&](sim::TxPhase p) {
+            return static_cast<double>(
+                       phase_global[static_cast<std::size_t>(p)]) /
+                   acq;
+        };
+        table.row()
+            .cell(lock_name(run.kind))
+            .cell(tm.acquisitions)
+            .cell(tm.local_tx_per_acquisition(), 2)
+            .cell(tm.global_tx_per_acquisition(), 2)
+            .cell(per_acq(sim::TxPhase::AcquireSpin), 2)
+            .cell(per_acq(sim::TxPhase::Handover), 2)
+            .cell(per_acq(sim::TxPhase::Critical), 2)
+            .cell(per_acq(sim::TxPhase::Release), 2)
+            .cell(per_acq(sim::TxPhase::GatePublish), 2)
+            .cell(static_cast<double>(tm.unattributed.global_tx) / acq, 2)
+            .cell(100.0 * tm.link_utilization, 1)
+            .cell(tm.link_queue_delay_ns.percentile(99.0), 0);
+    }
+    std::cout << "\nCoherence traffic per acquisition (global split by "
+                 "phase):\n";
+    table.print(std::cout);
 }
 
 } // namespace
@@ -194,8 +267,11 @@ main(int argc, char** argv)
     // lock order, keeping output byte-identical at every --jobs level. The
     // shared TimelineBuilder is only attached under --trace, which
     // parse_cli restricts to a single lock (a one-job batch runs inline).
+    const bool want_memtrace = !opts.memtrace.empty();
     std::vector<ProfiledRun> runs(kinds.size());
-    obs::TimelineBuilder timeline; // only fed when --trace is set
+    obs::TimelineBuilder timeline;     // only fed when --trace is set
+    sim::TraceRecorder memtrace;       // only attached under --memtrace
+    memtrace.set_max_events(kMemtraceCap);
     exec::Executor executor(opts.jobs);
     executor.run_batch(kinds.size(), [&](std::size_t i) {
         ProfiledRun& run = runs[i];
@@ -205,7 +281,8 @@ main(int argc, char** argv)
         sink.add(run.metrics.get());
         if (want_trace)
             sink.add(&timeline); // single lock: parse_cli enforced it
-        run.result = run_bench(run.kind, opts, topo, &sink);
+        run.result = run_bench(run.kind, opts, topo, &sink,
+                               want_memtrace ? &memtrace : nullptr);
         run.metrics->finalize();
 
 #ifndef NDEBUG
@@ -254,9 +331,28 @@ main(int argc, char** argv)
     }
     table.print(std::cout);
 
+    if (opts.traffic)
+        print_traffic(runs);
+
     int rc = 0;
     if (want_trace)
         rc = write_trace(runs.front(), timeline, opts.trace);
+
+    if (want_memtrace) {
+        std::ofstream out(opts.memtrace);
+        if (!out) {
+            std::cerr << "error: cannot write --memtrace file '"
+                      << opts.memtrace << "'\n";
+            return 1;
+        }
+        memtrace.dump_csv(out);
+        std::cout << "memtrace: " << memtrace.events().size()
+                  << " events written to " << opts.memtrace;
+        if (memtrace.dropped() != 0)
+            std::cout << " (" << memtrace.dropped()
+                      << " dropped at the " << kMemtraceCap << "-event cap)";
+        std::cout << "\n";
+    }
 
     if (!opts.json.empty()) {
         obs::ReportConfig rc_cfg;
