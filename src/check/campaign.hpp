@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Fault-campaign soak runner: a deterministic sweep of fault presets x
+ * abandonment-capable locks x machine shapes x seeds, each cell one
+ * bounded (acquire_for) run of the checker workload under fault injection,
+ * audited against the recovery invariants the timed-abandonment protocols
+ * promise (docs/robustness.md):
+ *
+ *  - zero mutual-exclusion violations (a survivor must never enter a CS a
+ *    dead or preempted holder still owns),
+ *  - survivors complete: the run reaches StopReason::Completed even when a
+ *    holder is killed (bounded waiters give up instead of wedging),
+ *  - abandonment latency is bounded: a failed acquire_for returns within
+ *    its deadline plus a documented overshoot (one backoff period + a
+ *    constant number of operations, stretched by any fault-injected
+ *    suspension of the departing thread),
+ *  - no leaked queue nodes: for MCS, every node parked by a timed-out
+ *    waiter is reclaimed by a releaser's handover walk or rejoined by its
+ *    owner before the run ends (unless a death fault removed the releaser
+ *    that would have walked past it).
+ *
+ * Every cell runs under the DefaultScheduler in controlled mode, so a
+ * failing cell serializes to an nc1 trace (carrying the fault spec and
+ * timeout) that nucacheck --replay reproduces bit-identically. Cells are
+ * independent and deterministic; run_campaign shards them across host
+ * threads (exec::Executor) and the result is identical at every job count.
+ */
+#ifndef NUCALOCK_CHECK_CAMPAIGN_HPP
+#define NUCALOCK_CHECK_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/harness.hpp"
+
+namespace nucalock::check {
+
+/** One machine shape in the sweep. */
+struct CampaignShape
+{
+    int nodes = 2;
+    int cpus_per_node = 2;
+};
+
+/** The sweep: presets x kinds x shapes x seeds (cells in that nesting). */
+struct CampaignConfig
+{
+    /** Fault-plan specs (FaultPlan::parse), one campaign axis entry each.
+     *  "none" is a real cell: the no-fault baseline must also pass. */
+    std::vector<std::string> presets;
+
+    /** Locks to sweep; default: every abandonment-capable queue/hybrid
+     *  lock (lock_supports_native_timeout). */
+    std::vector<locks::LockKind> kinds;
+
+    std::vector<CampaignShape> shapes;
+
+    /** Consecutive seeds starting here. */
+    std::uint64_t first_seed = 1;
+    int num_seeds = 2;
+
+    std::uint32_t iterations = 3;
+
+    /**
+     * acquire_for bound per workload iteration. Short on purpose: the
+     * preset preemptions and deaths (ms scale, sim/faults.cpp) must push
+     * waiters past it so the abandonment paths actually run. Carried in
+     * failing traces via the `timeout=` key.
+     */
+    std::uint64_t timeout_ns = 500'000;
+
+    /**
+     * Base abandonment-overshoot budget (ns) before fault suspensions are
+     * added: one capped backoff period plus poll quanta and a constant
+     * number of memory operations. The per-cell bound is
+     * base + 4 x (sum of the preset's event durations) — a departing
+     * waiter can be descheduled by structural faults a small number of
+     * times between its deadline and its return.
+     */
+    std::uint64_t overshoot_base_ns = 100'000;
+
+    /** Shrink scheduler-dependent failures (replay + ddmin) for the
+     *  report. Audit-only failures (overshoot / leak) are properties of
+     *  the whole run and are recorded unshrunk. */
+    bool shrink = true;
+
+    /** Host worker threads (exec::Executor semantics; 0 = default). */
+    int jobs = 0;
+
+    /** Fill presets/kinds/shapes with the standard sweep when empty. */
+    void apply_defaults();
+};
+
+/** One audited cell of the sweep. */
+struct CampaignCell
+{
+    std::string lock;   // lock_name(kind)
+    std::string preset; // fault spec ("none" for the baseline)
+    int nodes = 0;
+    int cpus_per_node = 0;
+    std::uint64_t seed = 0;
+
+    bool failed = false;
+    std::string what; // first failed audit (or run_one's own verdict)
+
+    // Run observability (RunReport, minus the schedule for passing cells).
+    std::string stop; // sim::stop_reason_name
+    std::uint64_t steps = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t mutex_violations = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t max_overshoot_ns = 0;
+    std::uint64_t overshoot_bound_ns = 0; // the bound this cell was held to
+    locks::AbandonStats abandon;
+    std::uint64_t leaked_nodes = 0; // linked_abandoned(), audited locks only
+
+    /** Replayable trace (failed cells only; empty otherwise). */
+    std::string trace;
+    /** Shrunk trace (failed + shrinkable + cfg.shrink; empty otherwise). */
+    std::string minimal_trace;
+};
+
+/** Per-lock aggregation across every cell of that lock. */
+struct CampaignLockSummary
+{
+    std::string lock;
+    std::uint64_t cells = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t parked = 0;
+    std::uint64_t grant_races = 0;
+    std::uint64_t reclaims = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t unparks = 0;
+    std::uint64_t leaked_nodes = 0;
+    std::uint64_t max_overshoot_ns = 0;
+};
+
+struct CampaignResult
+{
+    std::vector<CampaignCell> cells; // sweep order (deterministic)
+    std::vector<CampaignLockSummary> per_lock; // cfg.kinds order
+    std::uint64_t failures = 0;
+};
+
+/** Run the sweep. cfg is taken by value: defaults are applied first. */
+CampaignResult run_campaign(CampaignConfig cfg);
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_CAMPAIGN_HPP

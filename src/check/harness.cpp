@@ -1,10 +1,13 @@
 #include "check/harness.hpp"
 
+#include <algorithm>
 #include <functional>
 
 #include "check/broken.hpp"
 #include "common/logging.hpp"
+#include "locks/instrumented.hpp" // detail::lock_clock_ns
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 #include "sim/invariants.hpp"
 
 namespace nucalock::check {
@@ -61,26 +64,58 @@ run_one(const CheckSetup& setup, sim::Scheduler& scheduler)
     RecordingScheduler recorder(scheduler);
     machine.install_scheduler(&recorder);
 
+    // Fault injection: the plan derives deterministically from the spec,
+    // seed and thread count, so a trace carrying the spec replays the same
+    // disturbances. Death events bound how many counter updates may be lost
+    // (a thread killed between cs_enter and its store loses exactly one).
+    std::optional<sim::FaultInjector> injector;
+    std::uint64_t deaths = 0;
+    if (!setup.faults.empty()) {
+        auto plan = sim::FaultPlan::parse(setup.faults, setup.seed,
+                                          threads_of(setup));
+        NUCA_ASSERT(plan.has_value(),
+                    "unknown fault spec (validate via setup_from_trace)");
+        for (const sim::FaultEvent& e : plan->events)
+            if (e.kind == sim::FaultKind::ThreadDeath ||
+                e.kind == sim::FaultKind::HolderDeath)
+                ++deaths;
+        injector.emplace(std::move(*plan));
+        machine.install_faults(&*injector);
+    }
+    if (setup.probe != nullptr)
+        machine.install_probe(setup.probe);
+
     const sim::MemRef counter = machine.alloc(0, 0);
     std::uint64_t timeouts = 0;
+    std::uint64_t max_overshoot = 0;
 
-    machine.add_threads(threads_of(setup), Placement::RoundRobinNodes,
-                        [&](SimContext& ctx, int) {
-                            for (std::uint32_t i = 0; i < setup.iterations;
-                                 ++i) {
-                                ctx.cs_wait_begin();
-                                if (!acquire_ok(ctx)) {
-                                    ctx.cs_wait_abort();
-                                    ++timeouts;
-                                    continue;
-                                }
-                                ctx.cs_enter();
-                                const std::uint64_t v = ctx.load(counter);
-                                ctx.store(counter, v + 1);
-                                ctx.cs_exit();
-                                release(ctx);
-                            }
-                        });
+    machine.add_threads(
+        threads_of(setup), Placement::RoundRobinNodes,
+        [&](SimContext& ctx, int) {
+            for (std::uint32_t i = 0; i < setup.iterations; ++i) {
+                ctx.cs_wait_begin();
+                const std::uint64_t t0 =
+                    setup.bounded ? locks::detail::lock_clock_ns(ctx) : 0;
+                if (!acquire_ok(ctx)) {
+                    // Abandonment-latency audit: a failed acquire_for must
+                    // return close to its deadline; the excess is the
+                    // lock's documented recovery overshoot.
+                    const std::uint64_t taken =
+                        locks::detail::lock_clock_ns(ctx) - t0;
+                    if (taken > setup.timeout_ns)
+                        max_overshoot =
+                            std::max(max_overshoot, taken - setup.timeout_ns);
+                    ctx.cs_wait_abort();
+                    ++timeouts;
+                    continue;
+                }
+                ctx.cs_enter();
+                const std::uint64_t v = ctx.load(counter);
+                ctx.store(counter, v + 1);
+                ctx.cs_exit();
+                release(ctx);
+            }
+        });
     machine.run();
 
     RunReport report;
@@ -93,6 +128,13 @@ run_one(const CheckSetup& setup, sim::Scheduler& scheduler)
     report.max_node_streak = checker.max_node_streak();
     report.counter = machine.memory().peek(counter);
     report.timeouts = timeouts;
+    report.max_overshoot_ns = max_overshoot;
+    if (injector) {
+        report.faults_injected = injector->injected();
+        report.fault_log = injector->log();
+    }
+    if (real)
+        report.abandon = real->abandon_stats();
 
     if (report.mutex_violations != 0) {
         report.failed = true;
@@ -114,9 +156,12 @@ run_one(const CheckSetup& setup, sim::Scheduler& scheduler)
                       std::to_string(checker.max_bypasses()) + " times (bound " +
                       std::to_string(setup.bypass_bound) + ")";
     } else if (report.stop == sim::StopReason::Completed &&
-               report.counter != report.acquisitions) {
+               (report.counter > report.acquisitions ||
+                report.counter + deaths < report.acquisitions)) {
         // Belt and braces: the checker flags the double-entry itself, but a
         // lost update on the protected counter is the user-visible symptom.
+        // Each ThreadDeath event may legitimately strand one entered-but-
+        // not-stored update, so death plans get exactly that much slack.
         report.failed = true;
         report.what = "lost update: counter=" + std::to_string(report.counter) +
                       " after " + std::to_string(report.acquisitions) +
@@ -136,6 +181,8 @@ make_trace(const CheckSetup& setup, const Schedule& schedule)
     trace.iterations = setup.iterations;
     trace.seed = setup.seed;
     trace.bounded = setup.bounded;
+    trace.timeout_ns = setup.timeout_ns;
+    trace.faults = setup.faults;
     trace.schedule = schedule;
     return trace;
 }
@@ -157,6 +204,15 @@ setup_from_trace(const Trace& trace)
     setup.iterations = trace.iterations;
     setup.seed = trace.seed;
     setup.bounded = trace.bounded;
+    setup.timeout_ns = trace.timeout_ns;
+    if (!trace.faults.empty()) {
+        // Validate the spec here (the decoder only checks syntax) so
+        // run_one can assert instead of crashing on a corrupt trace.
+        const int threads = trace.nodes * trace.cpus_per_node;
+        if (!sim::FaultPlan::parse(trace.faults, trace.seed, threads))
+            return std::nullopt;
+        setup.faults = trace.faults;
+    }
     return setup;
 }
 

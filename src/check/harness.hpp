@@ -22,6 +22,7 @@
 
 #include "check/schedule.hpp"
 #include "locks/any_lock.hpp"
+#include "obs/probe.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -46,13 +47,28 @@ struct CheckSetup
     /** Use acquire_for(timeout_ns) instead of acquire: exercises the
      *  timeout/abort paths; a timed-out iteration is skipped, not retried. */
     bool bounded = false;
-    sim::SimTime timeout_ns = 2'000'000'000;
+    sim::SimTime timeout_ns = kDefaultCheckTimeoutNs;
 
     /**
      * Starvation bound: fail the run when any single wait is bypassed more
      * than this many times (HBO_GT_SD's get-angry guarantee). 0 disables.
      */
     std::uint64_t bypass_bound = 0;
+
+    /**
+     * Fault-injection spec (sim::FaultPlan::parse, e.g. "death" or
+     * "holder+spike"), applied against this setup's seed and thread count.
+     * Empty = no injection. Serialized in traces (the `faults=` key) so a
+     * failing faulty run replays bit-identically.
+     */
+    std::string faults;
+
+    /**
+     * Optional probe sink installed on the machine for the run (abandon /
+     * reclaim events feed the campaign's recovery audit). Not part of the
+     * serialized trace — replay does not need it to reproduce a verdict.
+     */
+    obs::ProbeSink* probe = nullptr;
 };
 
 inline int
@@ -78,6 +94,18 @@ struct RunReport
     std::uint64_t counter = 0;  // final shared-counter value
     std::uint64_t timeouts = 0; // bounded-mode acquire_for expiries
 
+    // ----- fault-injection observability (zeroes when faults == "") ------
+    /** Faults the injector actually applied during the run. */
+    std::uint64_t faults_injected = 0;
+    /** The injector's deterministic applied-fault log (one line each). */
+    std::string fault_log;
+    /** Lock-side abandonment accounting; linked_abandoned() == 0 means no
+     *  queue node was left linked behind a departed waiter (leak audit). */
+    locks::AbandonStats abandon;
+    /** Bounded mode: worst observed (wait latency - timeout) over failed
+     *  acquire_for calls, in sim ns — the abandonment-overshoot bound. */
+    std::uint64_t max_overshoot_ns = 0;
+
     /** Truncated by the scheduler's step budget: no verdict either way. */
     bool
     truncated() const
@@ -96,10 +124,12 @@ RunReport run_one(const CheckSetup& setup, sim::Scheduler& scheduler);
 /** Package a recorded failing schedule as a replayable trace. */
 Trace make_trace(const CheckSetup& setup, const Schedule& schedule);
 
-/** Rebuild the setup a trace describes; nullopt for an unknown lock name.
- *  (bypass_bound and timeout_ns take their defaults: they are checker
- *  parameters, not machine shape, and default replay re-judges everything
- *  the trace could have failed on.) */
+/** Rebuild the setup a trace describes; nullopt for an unknown lock name
+ *  or a fault spec FaultPlan::parse rejects. (bypass_bound takes its
+ *  default: it is a checker parameter, not machine shape, and default
+ *  replay re-judges everything the trace could have failed on. timeout_ns
+ *  IS machine shape under bounded — it changes when waiters give up — so
+ *  it round-trips through the trace.) */
 std::optional<CheckSetup> setup_from_trace(const Trace& trace);
 
 } // namespace nucalock::check

@@ -116,6 +116,10 @@ encode_trace(const Trace& trace)
     out += ";iters=" + std::to_string(trace.iterations);
     out += ";seed=" + std::to_string(trace.seed);
     out += ";bounded=" + std::to_string(trace.bounded ? 1 : 0);
+    if (trace.bounded && trace.timeout_ns != kDefaultCheckTimeoutNs)
+        out += ";timeout=" + std::to_string(trace.timeout_ns);
+    if (!trace.faults.empty())
+        out += ";faults=" + trace.faults;
     out += ";sched=" + encode_choices(trace.schedule.choices);
     return out;
 }
@@ -158,6 +162,16 @@ decode_trace(std::string_view text)
             if (!parse_number(value, flag) || (flag != 0 && flag != 1))
                 return std::nullopt;
             trace.bounded = flag == 1;
+        } else if (key == "timeout") {
+            if (!parse_number(value, trace.timeout_ns) ||
+                trace.timeout_ns == 0)
+                return std::nullopt;
+        } else if (key == "faults") {
+            // Spec strings never contain ';' or '='; validity against the
+            // preset list is checked at replay time (FaultPlan::parse).
+            if (value.empty())
+                return std::nullopt;
+            trace.faults = std::string(value);
         } else if (key == "sched") {
             auto choices = decode_choices(value);
             if (!choices)

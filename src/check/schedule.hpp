@@ -44,8 +44,18 @@ std::optional<std::vector<int>> decode_choices(std::string_view text);
  *   nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x3,1x5
  *
  * where `cpus` is cpus per node and `sched` is the run-length-encoded tid
- * sequence ("nc1" names version 1 of the format).
+ * sequence ("nc1" names version 1 of the format). Runs under fault
+ * injection add an optional `faults=<spec>` key (a FaultPlan::parse spec,
+ * e.g. "death" or "holder+spike"); it is omitted — not emitted empty —
+ * when no faults were active, so fault-free traces are byte-identical to
+ * those produced before the key existed. Bounded runs with a non-default
+ * timeout likewise add an optional `timeout=<ns>` key (the campaign runs
+ * at a short timeout; replay must rebuild the identical machine history).
  */
+
+/** CheckSetup's / the trace format's default acquire_for timeout. */
+inline constexpr std::uint64_t kDefaultCheckTimeoutNs = 2'000'000'000;
+
 struct Trace
 {
     std::string lock;       // lock_name(), or "TATAS_BROKEN"
@@ -54,6 +64,8 @@ struct Trace
     std::uint32_t iterations = 2;
     std::uint64_t seed = 1;
     bool bounded = false;   // workload used acquire_for instead of acquire
+    std::uint64_t timeout_ns = kDefaultCheckTimeoutNs; // acquire_for bound
+    std::string faults;     // FaultPlan::parse spec; "" = no injection
     Schedule schedule;
 };
 

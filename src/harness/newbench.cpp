@@ -57,7 +57,7 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
 
     // A plan with thread death can abandon a held lock; survivors then use
     // bounded waits and stop iterating on a timeout so the run terminates.
-    const bool deaths = config.fault_plan.has(sim::FaultKind::ThreadDeath);
+    const bool deaths = config.fault_plan.has_death();
 
     machine.add_threads(
         config.threads, config.placement, [&](SimContext& ctx, int) {
@@ -132,7 +132,7 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
                           config.iterations_per_thread;
     // Injected deaths/timeouts legitimately lose iterations; everything
     // else must still complete the exact count.
-    if (config.fault_plan.has(sim::FaultKind::ThreadDeath))
+    if (config.fault_plan.has_death())
         NUCA_ASSERT(acquires <= expected);
     else
         NUCA_ASSERT(acquires == expected);

@@ -76,8 +76,8 @@ cli_usage()
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n"
            "\n"
            "--faults takes '+'-separated presets (new bench only): holder,\n"
-           "publish, spinner, spike, stall, death, chaos, none. Victims and\n"
-           "times derive deterministically from --seed.\n";
+           "publish, spinner, spike, stall, death, holderdeath, chaos,\n"
+           "none. Victims and times derive deterministically from --seed.\n";
 }
 
 CliParse
@@ -159,6 +159,16 @@ parse_cli(const std::vector<std::string>& args)
             if (value.empty())
                 return fail("--check-schema needs a report file");
             opts.check_schema = value;
+        } else if (key == "robustness") {
+            if (value.empty())
+                return fail("--robustness needs a report file");
+            opts.robustness = value;
+        } else if (key == "diff") {
+            const std::size_t comma = value.find(',');
+            if (comma == std::string::npos || comma == 0 ||
+                comma + 1 == value.size())
+                return fail("--diff needs two report files: --diff=A,B");
+            opts.diff = value;
         } else if (key == "jobs") {
             if (!parse_number(value, &opts.jobs) || opts.jobs < 1 ||
                 opts.jobs > 1024)

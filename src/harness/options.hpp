@@ -61,6 +61,13 @@ struct CliOptions
     /** nucaprof only: validate an existing report file against the schema
      *  and exit; no benchmark runs. */
     std::string check_schema;
+    /** nucaprof only: render the "robustness" object of an existing report
+     *  (nucacheck --campaign output) and exit; no benchmark runs. */
+    std::string robustness;
+    /** nucaprof only: "A,B" — diff two report files over their
+     *  deterministic fields (the "host" objects are stripped) and exit;
+     *  no benchmark runs. */
+    std::string diff;
     /**
      * Host worker threads for independent runs (exec::Executor). 0 = the
      * default: the NUCALOCK_JOBS environment variable when set, otherwise

@@ -121,6 +121,36 @@ is_nuca_aware(LockKind kind)
 }
 
 /**
+ * True when the algorithm implements native timed abandonment
+ * (try_acquire_for) rather than relying on the generic try/backoff
+ * fallback of locks::acquire_for. See docs/robustness.md for what each
+ * family's abandonment leaves behind and who cleans it up.
+ */
+inline bool
+lock_supports_native_timeout(LockKind kind)
+{
+    switch (kind) {
+      case LockKind::Mcs:
+      case LockKind::HboGt:
+      case LockKind::HboGtSd:
+      case LockKind::HboHier:
+      case LockKind::Cohort:
+      case LockKind::ClhTry:
+        return true;
+      case LockKind::Tatas:
+      case LockKind::TatasExp:
+      case LockKind::Ticket:
+      case LockKind::Clh:
+      case LockKind::Rh:
+      case LockKind::Hbo:
+      case LockKind::Reactive:
+      case LockKind::Anderson:
+        return false;
+    }
+    NUCA_PANIC("unknown LockKind");
+}
+
+/**
  * Type-erased lock over a given context type. Virtual dispatch per
  * operation — fine for the harness; performance-sensitive users
  * instantiate the concrete templates directly.
@@ -148,14 +178,21 @@ class AnyLock
 
     /**
      * Bounded-wait acquisition: native try_acquire_for when the algorithm
-     * has one (CLH_TRY), otherwise the generic try/backoff loop of
-     * locks::acquire_for.
+     * has one (lock_supports_native_timeout), otherwise the generic
+     * try/backoff loop of locks::acquire_for.
      */
     bool
     acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
     {
         return impl_->acquire_for(ctx, timeout_ns);
     }
+
+    /**
+     * Host-side abandonment accounting for locks with native timeout;
+     * all-zero for the rest (and for CLH_TRY's pre-counter redirect
+     * protocol, which tracks nothing beyond its probes).
+     */
+    AbandonStats abandon_stats() const { return impl_->abandon_stats(); }
 
     LockKind kind() const { return kind_; }
     const char* name() const { return lock_name(kind_); }
@@ -168,6 +205,7 @@ class AnyLock
         virtual void release(Ctx&) = 0;
         virtual bool try_acquire(Ctx&) = 0;
         virtual bool acquire_for(Ctx&, std::uint64_t timeout_ns) = 0;
+        virtual AbandonStats abandon_stats() const = 0;
     };
 
     template <typename L>
@@ -189,6 +227,15 @@ class AnyLock
                 return lock.try_acquire_for(ctx, timeout_ns);
             else
                 return locks::acquire_for(lock, ctx, timeout_ns);
+        }
+
+        AbandonStats
+        abandon_stats() const override
+        {
+            if constexpr (requires { lock.abandon_stats(); })
+                return lock.abandon_stats();
+            else
+                return AbandonStats{};
         }
 
         L lock;

@@ -34,6 +34,7 @@
 #include "locks/context.hpp"
 #include "locks/instrumented.hpp" // detail::lock_clock_ns
 #include "locks/params.hpp"
+#include "locks/timed.hpp"
 #include "obs/probe.hpp"
 
 namespace nucalock::locks {
@@ -60,7 +61,8 @@ class ClhTryLock
     acquire(Ctx& ctx)
     {
         obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token());
-        const bool ok = acquire_deadline(ctx, /*has_deadline=*/false, 0);
+        const bool ok =
+            acquire_deadline(ctx, /*has_deadline=*/false, 0, /*timed=*/false);
         NUCA_ASSERT(ok, "untimed acquire cannot fail");
         obs::probe(ctx, obs::LockEvent::Acquired, tail_.token());
     }
@@ -75,7 +77,8 @@ class ClhTryLock
     {
         obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token(), 1);
         if (!acquire_deadline(ctx, /*has_deadline=*/true,
-                              detail::lock_clock_ns(ctx) + timeout_ns))
+                              detail::deadline_after(ctx, timeout_ns),
+                              /*timed=*/true))
             return false;
         obs::probe(ctx, obs::LockEvent::Acquired, tail_.token(), 1);
         return true;
@@ -92,7 +95,7 @@ class ClhTryLock
     {
         obs::probe(ctx, obs::LockEvent::AcquireAttempt, tail_.token(), 1);
         if (!acquire_deadline(ctx, /*has_deadline=*/true,
-                              detail::lock_clock_ns(ctx)))
+                              detail::lock_clock_ns(ctx), /*timed=*/false))
             return false;
         obs::probe(ctx, obs::LockEvent::Acquired, tail_.token(), 1);
         return true;
@@ -108,6 +111,12 @@ class ClhTryLock
         ctx.store(mine, kAvailable);
     }
 
+    /** Host-side abandonment accounting (see locks/timed.hpp). "Parked"
+     *  counts redirect markers left behind (timed and bounded-abort
+     *  departures); "reclaims" counts redirects consumed by a successor's
+     *  chain walk. */
+    AbandonStats abandon_stats() const { return counters_.snapshot(); }
+
   private:
     static constexpr std::uint64_t kAvailable = 1;
     static constexpr std::uint64_t kWaiting = 2;
@@ -115,7 +124,8 @@ class ClhTryLock
     static constexpr std::uint64_t kPtrBase = 16;
 
     bool
-    acquire_deadline(Ctx& ctx, bool has_deadline, std::uint64_t deadline)
+    acquire_deadline(Ctx& ctx, bool has_deadline, std::uint64_t deadline,
+                     bool timed)
     {
         // Fresh node every time: no recycling, no reclamation races.
         const Ref mine = machine_->alloc(kWaiting, ctx.node());
@@ -129,6 +139,10 @@ class ClhTryLock
             }
             if (v >= kPtrBase) {
                 // Predecessor abandoned its slot; inherit its predecessor.
+                counters_.on_reclaim();
+                obs::probe(ctx, obs::LockEvent::QueueReclaim, tail_.token(),
+                           static_cast<std::uint64_t>(
+                               obs::ReclaimKind::Unlinked));
                 pred = Machine::ref_from_token(v - kPtrBase);
                 continue;
             }
@@ -136,11 +150,21 @@ class ClhTryLock
                 // Leave: redirect our successor (present or future) past
                 // us. A grant that lands in pred afterwards is picked up
                 // by whoever inherits pred through this redirect.
+                if (timed) {
+                    counters_.on_abandon();
+                    obs::probe(ctx, obs::LockEvent::AbandonStart,
+                               tail_.token());
+                }
+                counters_.on_park();
                 ctx.store(mine, kPtrBase + pred.token());
+                if (timed)
+                    obs::probe(ctx, obs::LockEvent::AbandonDone, tail_.token(),
+                               static_cast<std::uint64_t>(
+                                   obs::AbandonOutcome::Parked));
                 return false;
             }
             if (has_deadline)
-                ctx.delay(64); // bounded poll so the deadline is honored
+                ctx.delay(kTimedPollQuantum); // bounded poll for the deadline
             else
                 ctx.spin_while_equal(pred, kWaiting);
         }
@@ -149,6 +173,7 @@ class ClhTryLock
     Machine* machine_;
     Ref tail_;
     std::vector<Ref> held_; // node to mark available at release, per thread
+    AbandonCounters counters_;
 };
 
 } // namespace nucalock::locks

@@ -26,6 +26,7 @@
 #include "locks/context.hpp"
 #include "locks/params.hpp"
 #include "locks/ticket.hpp"
+#include "locks/timed.hpp"
 #include "obs/probe.hpp"
 
 namespace nucalock::locks {
@@ -103,6 +104,70 @@ class CohortLock
         return false;
     }
 
+    /**
+     * Timed acquisition. A timed waiter must be able to walk away without
+     * wedging the node, so it differs from acquire() in two deliberate
+     * ways: the local spin never marks the word "contended" (a departed
+     * timed waiter's marker could make release() detour the global lock
+     * to an empty node and strand every other node), and the global tier
+     * is entered by polling try_acquire rather than taking a FIFO ticket
+     * (a taken ticket cannot be abandoned). On timeout the local word is
+     * re-opened — the abandonment obligation — and false is returned.
+     * Overshoot is bounded by one local backoff period plus one global
+     * attempt. A timed waiter that wins the local word on a node that
+     * already owns the global lock takes the lock even at the deadline
+     * edge (inheritance is instantaneous, like MCS's grant race).
+     */
+    bool
+    try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        const std::uint64_t deadline = detail::deadline_after(ctx, timeout_ns);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, lock_id(), 1);
+        NodeState& node = local_[static_cast<std::size_t>(ctx.node())];
+
+        // 1. Local word, deadline-bounded, never marking contended.
+        if (!spin_lock_until(ctx, node.word, params_.hbo_local, deadline)) {
+            counters_.on_abandon();
+            obs::probe(ctx, obs::LockEvent::AbandonStart, lock_id());
+            obs::probe(
+                ctx, obs::LockEvent::AbandonDone, lock_id(),
+                static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+            return false;
+        }
+
+        // 2. Global tier: inherit, or poll the ticket tier's try path.
+        if (node.global_owned) {
+            ++node.streak;
+            obs::probe(ctx, obs::LockEvent::Acquired, lock_id(), 1);
+            return true;
+        }
+        std::uint32_t b = params_.hbo_remote_base;
+        while (true) {
+            if (global_.try_acquire(ctx)) {
+                node.global_owned = true;
+                node.streak = 0;
+                obs::probe(ctx, obs::LockEvent::Acquired, lock_id(), 1);
+                return true;
+            }
+            if (detail::lock_clock_ns(ctx) >= deadline) {
+                // Abandon: re-open the local word we hold, or the node
+                // wedges. Nothing else to undo — no ticket was taken.
+                counters_.on_abandon();
+                obs::probe(ctx, obs::LockEvent::AbandonStart, lock_id());
+                ctx.store(node.word, kFree);
+                obs::probe(
+                    ctx, obs::LockEvent::AbandonDone, lock_id(),
+                    static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+                return false;
+            }
+            backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                    obs::BackoffClass::Remote);
+        }
+    }
+
+    /** Host-side abandonment accounting (see locks/timed.hpp). */
+    AbandonStats abandon_stats() const { return counters_.snapshot(); }
+
     void
     release(Ctx& ctx)
     {
@@ -176,9 +241,33 @@ class CohortLock
         }
     }
 
+    /**
+     * Deadline-bounded TATAS on @p word for the timed path. Unlike
+     * spin_lock it never publishes the contended marker: a marker left by
+     * a waiter who then abandons would turn the release-time detour into
+     * a handoff to nobody. The cost is that timed waiting is invisible to
+     * the detour heuristic; the win is that abandonment needs no undo
+     * here at all.
+     */
+    bool
+    spin_lock_until(Ctx& ctx, Ref word, const BackoffParams& bp,
+                    std::uint64_t deadline)
+    {
+        std::uint32_t b = bp.base;
+        while (true) {
+            if (ctx.cas(word, kFree, kLocked) == kFree)
+                return true;
+            if (detail::lock_clock_ns(ctx) >= deadline)
+                return false;
+            backoff(ctx, &b, bp.factor, bp.cap, params_.jitter,
+                    obs::BackoffClass::Local);
+        }
+    }
+
     LockParams params_;
     TicketLock<Ctx> global_; // FIFO between node winners
     std::vector<NodeState> local_;
+    AbandonCounters counters_;
 };
 
 } // namespace nucalock::locks

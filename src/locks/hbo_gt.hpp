@@ -19,6 +19,7 @@
 #include "locks/context.hpp"
 #include "locks/hbo.hpp"
 #include "locks/params.hpp"
+#include "locks/timed.hpp"
 #include "obs/probe.hpp"
 
 namespace nucalock::locks {
@@ -71,6 +72,77 @@ class HboGtLock
         return true;
     }
 
+    /**
+     * Timed acquisition (the HMCS-T discipline applied to gates): every
+     * wait — the entry gate, both slowpath backoff loops, the restart
+     * gate — is deadline-bounded, and a thread that times out after
+     * *closing* its node's gate must re-open it before leaving or the
+     * node wedges behind a gate nobody will clear (exactly the window
+     * the `spinner` fault preset targets). Timeouts in the local branch
+     * or while gate-blocked have nothing to undo: a blocked gate was
+     * closed by some other, still-active waiter of this node.
+     * Overshoot is bounded by one backoff period (remote cap at worst)
+     * plus one poll.
+     */
+    bool
+    try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        const std::uint64_t deadline = detail::deadline_after(ctx, timeout_ns);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        const std::uint64_t mine = hbo_node_token(ctx.node());
+        if (!gate_wait_until(ctx, deadline))
+            return abandon_clean(ctx);
+        std::uint64_t tmp = ctx.cas(word_, kHboFree, mine);
+        while (tmp != kHboFree) {
+            if (tmp == mine) {
+                // Local holder: small backoff, gate untouched.
+                std::uint32_t b = params_.hbo_local.base;
+                bool migrated = false;
+                while (!migrated && tmp != kHboFree) {
+                    if (detail::lock_clock_ns(ctx) >= deadline)
+                        return abandon_clean(ctx);
+                    backoff(ctx, &b, params_.hbo_local.factor,
+                            params_.hbo_local.cap, params_.jitter,
+                            obs::BackoffClass::Local);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp != kHboFree && tmp != mine)
+                        migrated = true;
+                }
+            } else {
+                // Remote holder: close the gate — and own the obligation
+                // to re-open it on every exit from this loop.
+                std::uint32_t b = params_.hbo_remote_base;
+                obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                           static_cast<std::uint64_t>(ctx.node()));
+                ctx.store(my_gate(ctx), gate_token_);
+                while (true) {
+                    if (detail::lock_clock_ns(ctx) >= deadline)
+                        return abandon_reopening_gate(ctx);
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                            obs::BackoffClass::Remote);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree || tmp == mine) {
+                        obs::probe(ctx, obs::LockEvent::GateOpen,
+                                   word_.token(), 1);
+                        ctx.store(my_gate(ctx), kGateDummyValue);
+                        break;
+                    }
+                }
+            }
+            if (tmp == kHboFree)
+                break;
+            // Restart: re-gate (bounded), retry, re-dispatch.
+            if (!gate_wait_until(ctx, deadline))
+                return abandon_clean(ctx);
+            tmp = hbo_poll(ctx, word_, mine);
+        }
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
+    }
+
+    /** Host-side abandonment accounting (see locks/timed.hpp). */
+    AbandonStats abandon_stats() const { return counters_.snapshot(); }
+
     void
     release(Ctx& ctx)
     {
@@ -83,6 +155,43 @@ class HboGtLock
     my_gate(Ctx& ctx) const
     {
         return gates_[static_cast<std::size_t>(ctx.node())];
+    }
+
+    /** Deadline-bounded version of the entry/restart gate wait. */
+    bool
+    gate_wait_until(Ctx& ctx, std::uint64_t deadline)
+    {
+        obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
+        while (ctx.load(my_gate(ctx)) == gate_token_) {
+            if (detail::lock_clock_ns(ctx) >= deadline)
+                return false;
+            ctx.delay(kTimedPollQuantum);
+        }
+        return true;
+    }
+
+    /** Timed-out with no gate closed by us: nothing to undo. */
+    bool
+    abandon_clean(Ctx& ctx)
+    {
+        counters_.on_abandon();
+        obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+        obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                   static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+        return false;
+    }
+
+    /** Timed-out while our gate closure is published: re-open it. */
+    bool
+    abandon_reopening_gate(Ctx& ctx)
+    {
+        counters_.on_abandon();
+        obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(), 1);
+        ctx.store(my_gate(ctx), kGateDummyValue);
+        obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                   static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+        return false;
     }
 
     void
@@ -144,6 +253,7 @@ class HboGtLock
     std::vector<Ref> gates_;
     std::uint64_t gate_token_ = 0;
     LockParams params_;
+    AbandonCounters counters_;
 
   public:
     /** The paper's "dummy value": the gate is open. */

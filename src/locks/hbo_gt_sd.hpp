@@ -26,6 +26,7 @@
 #include "locks/hbo.hpp"
 #include "locks/hbo_gt.hpp"
 #include "locks/params.hpp"
+#include "locks/timed.hpp"
 #include "obs/probe.hpp"
 
 namespace nucalock::locks {
@@ -80,6 +81,62 @@ class HboGtSdLock
         return true;
     }
 
+    /**
+     * Timed acquisition. Same gate obligations as HboGtLock plus the
+     * anger set: a timed-out angry waiter has closed up to kMaxNodes
+     * *other* nodes' gates and must re-open every one of them (via the
+     * same open_gates path the success exits use) or those nodes wedge.
+     * Overshoot is bounded by one backoff period plus one poll.
+     */
+    bool
+    try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        const std::uint64_t deadline = detail::deadline_after(ctx, timeout_ns);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        const std::uint64_t mine = hbo_node_token(ctx.node());
+        if (!gate_wait_until(ctx, deadline))
+            return abandon_clean(ctx);
+        std::uint64_t tmp = ctx.cas(word_, kHboFree, mine);
+        while (tmp != kHboFree) {
+            if (tmp == mine) {
+                std::uint32_t b = params_.hbo_local.base;
+                bool migrated = false;
+                while (!migrated && tmp != kHboFree) {
+                    if (detail::lock_clock_ns(ctx) >= deadline)
+                        return abandon_clean(ctx);
+                    backoff(ctx, &b, params_.hbo_local.factor,
+                            params_.hbo_local.cap, params_.jitter,
+                            obs::BackoffClass::Local);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp != kHboFree && tmp != mine)
+                        migrated = true;
+                }
+            } else {
+                const RemoteSpinOutcome outcome =
+                    remote_spin_until(ctx, mine, deadline);
+                if (outcome == RemoteSpinOutcome::TimedOut) {
+                    counters_.on_abandon();
+                    obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                               static_cast<std::uint64_t>(
+                                   obs::AbandonOutcome::Clean));
+                    return false;
+                }
+                tmp = outcome == RemoteSpinOutcome::Acquired ? kHboFree
+                                                             : mine;
+            }
+            if (tmp == kHboFree)
+                break;
+            if (!gate_wait_until(ctx, deadline))
+                return abandon_clean(ctx);
+            tmp = hbo_poll(ctx, word_, mine);
+        }
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
+    }
+
+    /** Host-side abandonment accounting (see locks/timed.hpp). */
+    AbandonStats abandon_stats() const { return counters_.snapshot(); }
+
     void
     release(Ctx& ctx)
     {
@@ -88,10 +145,41 @@ class HboGtSdLock
     }
 
   private:
+    enum class RemoteSpinOutcome
+    {
+        Acquired,
+        MigratedHome,
+        TimedOut,
+    };
+
     Ref
     my_gate(Ctx& ctx) const
     {
         return gates_[static_cast<std::size_t>(ctx.node())];
+    }
+
+    /** Deadline-bounded version of the entry/restart gate wait. */
+    bool
+    gate_wait_until(Ctx& ctx, std::uint64_t deadline)
+    {
+        obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
+        while (ctx.load(my_gate(ctx)) == gate_token_) {
+            if (detail::lock_clock_ns(ctx) >= deadline)
+                return false;
+            ctx.delay(kTimedPollQuantum);
+        }
+        return true;
+    }
+
+    /** Timed-out with no gate closed by us: nothing to undo. */
+    bool
+    abandon_clean(Ctx& ctx)
+    {
+        counters_.on_abandon();
+        obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+        obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                   static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+        return false;
     }
 
     void
@@ -193,6 +281,75 @@ class HboGtSdLock
         }
     }
 
+    /**
+     * Deadline-bounded remote_spin. Anger works exactly as in the
+     * untimed path; every exit — acquired, migrated home, or timed out —
+     * re-opens our gate and the whole anger set. The timeout exit emits
+     * AbandonStart before the gate stores so the abandon-latency metric
+     * covers the re-open work.
+     */
+    RemoteSpinOutcome
+    remote_spin_until(Ctx& ctx, std::uint64_t mine, std::uint64_t deadline)
+    {
+        std::uint32_t b = params_.hbo_remote_base;
+        std::uint32_t get_angry = 0;
+        bool angry = false;
+        std::array<bool, kMaxNodes> stopped{};
+        int stopped_count = 0;
+
+        obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                   static_cast<std::uint64_t>(ctx.node()));
+        ctx.store(my_gate(ctx), gate_token_);
+        while (true) {
+            if (detail::lock_clock_ns(ctx) >= deadline) {
+                obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+                if (angry)
+                    obs::probe(ctx, obs::LockEvent::AngryExit, word_.token());
+                open_gates(ctx, stopped, stopped_count);
+                return RemoteSpinOutcome::TimedOut;
+            }
+            if (angry) {
+                // Measure (1): spin more frequently.
+                std::uint32_t fast = params_.hbo_local.base;
+                backoff(ctx, &fast, params_.hbo_local.factor,
+                        params_.hbo_local.cap, params_.jitter,
+                        obs::BackoffClass::Local);
+            } else {
+                backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                        obs::BackoffClass::Remote);
+            }
+
+            const std::uint64_t tmp = hbo_poll(ctx, word_, mine);
+            if (tmp == kHboFree || tmp == mine) {
+                if (angry)
+                    obs::probe(ctx, obs::LockEvent::AngryExit, word_.token());
+                open_gates(ctx, stopped, stopped_count);
+                return tmp == kHboFree ? RemoteSpinOutcome::Acquired
+                                       : RemoteSpinOutcome::MigratedHome;
+            }
+
+            // The lock is still in some remote node.
+            ++get_angry;
+            if (get_angry >= params_.get_angry_limit) {
+                if (!angry)
+                    obs::probe(ctx, obs::LockEvent::AngryEnter, word_.token(),
+                               tmp - 1);
+                angry = true;
+                // Measure (2): stop the holding node's threads.
+                const int holder = static_cast<int>(tmp) - 1;
+                if (holder >= 0 && holder < static_cast<int>(gates_.size()) &&
+                    !stopped[static_cast<std::size_t>(holder)]) {
+                    stopped[static_cast<std::size_t>(holder)] = true;
+                    ++stopped_count;
+                    obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                               static_cast<std::uint64_t>(holder), 1);
+                    ctx.store(gates_[static_cast<std::size_t>(holder)],
+                              gate_token_);
+                }
+            }
+        }
+    }
+
     /** Release our own node's gate and every gate we closed in anger. */
     void
     open_gates(Ctx& ctx, const std::array<bool, kMaxNodes>& stopped,
@@ -212,6 +369,7 @@ class HboGtSdLock
     std::vector<Ref> gates_;
     std::uint64_t gate_token_ = 0;
     LockParams params_;
+    AbandonCounters counters_;
 };
 
 } // namespace nucalock::locks

@@ -19,6 +19,7 @@
 #include "locks/hbo.hpp"
 #include "locks/hbo_gt.hpp"
 #include "locks/params.hpp"
+#include "locks/timed.hpp"
 #include "obs/probe.hpp"
 
 namespace nucalock::locks {
@@ -70,6 +71,73 @@ class HboHierLock
         return true;
     }
 
+    /**
+     * Timed acquisition, same obligations as HboGtLock::try_acquire_for:
+     * every wait is deadline-bounded and a timeout inside the remote
+     * branch re-opens the gate this thread closed. The chip/node/remote
+     * dispatch is unchanged; only the remote branch touches the gate, so
+     * chip- and node-level timeouts have nothing to undo.
+     */
+    bool
+    try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        const std::uint64_t deadline = detail::deadline_after(ctx, timeout_ns);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        const std::uint64_t mine = chip_token(ctx);
+        if (!gate_wait_until(ctx, deadline))
+            return abandon_clean(ctx);
+        std::uint64_t tmp = ctx.cas(word_, kHboFree, mine);
+        while (tmp != kHboFree) {
+            const Level level = level_of(ctx, tmp);
+            if (level == Level::Remote) {
+                std::uint32_t b = params_.hbo_remote_base;
+                obs::probe(ctx, obs::LockEvent::GatePublish, word_.token(),
+                           static_cast<std::uint64_t>(ctx.node()));
+                ctx.store(my_gate(ctx), gate_token_);
+                while (true) {
+                    if (detail::lock_clock_ns(ctx) >= deadline)
+                        return abandon_reopening_gate(ctx);
+                    backoff(ctx, &b, 2, params_.hbo_remote_cap, params_.jitter,
+                            obs::BackoffClass::Remote);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp == kHboFree ||
+                        level_of(ctx, tmp) != Level::Remote) {
+                        obs::probe(ctx, obs::LockEvent::GateOpen,
+                                   word_.token(), 1);
+                        ctx.store(my_gate(ctx),
+                                  HboGtLock<Ctx>::kGateDummyValue);
+                        break;
+                    }
+                }
+            } else {
+                const BackoffParams& bp = level == Level::SameChip
+                                              ? params_.hier_chip
+                                              : params_.hbo_local;
+                std::uint32_t b = bp.base;
+                bool moved = false;
+                while (!moved && tmp != kHboFree) {
+                    if (detail::lock_clock_ns(ctx) >= deadline)
+                        return abandon_clean(ctx);
+                    backoff(ctx, &b, bp.factor, bp.cap, params_.jitter,
+                            obs::BackoffClass::Local);
+                    tmp = hbo_poll(ctx, word_, mine);
+                    if (tmp != kHboFree && level_of(ctx, tmp) != level)
+                        moved = true; // holder distance changed; re-dispatch
+                }
+            }
+            if (tmp == kHboFree)
+                break;
+            if (!gate_wait_until(ctx, deadline))
+                return abandon_clean(ctx);
+            tmp = hbo_poll(ctx, word_, mine);
+        }
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
+    }
+
+    /** Host-side abandonment accounting (see locks/timed.hpp). */
+    AbandonStats abandon_stats() const { return counters_.snapshot(); }
+
     void
     release(Ctx& ctx)
     {
@@ -95,6 +163,43 @@ class HboHierLock
     my_gate(Ctx& ctx) const
     {
         return gates_[static_cast<std::size_t>(ctx.node())];
+    }
+
+    /** Deadline-bounded version of the entry/restart gate wait. */
+    bool
+    gate_wait_until(Ctx& ctx, std::uint64_t deadline)
+    {
+        obs::probe_gate(ctx, my_gate(ctx), gate_token_, word_.token());
+        while (ctx.load(my_gate(ctx)) == gate_token_) {
+            if (detail::lock_clock_ns(ctx) >= deadline)
+                return false;
+            ctx.delay(kTimedPollQuantum);
+        }
+        return true;
+    }
+
+    /** Timed-out with no gate closed by us: nothing to undo. */
+    bool
+    abandon_clean(Ctx& ctx)
+    {
+        counters_.on_abandon();
+        obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+        obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                   static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+        return false;
+    }
+
+    /** Timed-out while our gate closure is published: re-open it. */
+    bool
+    abandon_reopening_gate(Ctx& ctx)
+    {
+        counters_.on_abandon();
+        obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+        obs::probe(ctx, obs::LockEvent::GateOpen, word_.token(), 1);
+        ctx.store(my_gate(ctx), HboGtLock<Ctx>::kGateDummyValue);
+        obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                   static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+        return false;
     }
 
     Level
@@ -164,6 +269,7 @@ class HboHierLock
     std::vector<Ref> gates_;
     std::uint64_t gate_token_ = 0;
     LockParams params_;
+    AbandonCounters counters_;
 };
 
 } // namespace nucalock::locks

@@ -203,6 +203,49 @@ MetricsRegistry::on_event(const ProbeRecord& r)
           break;
       case LockEvent::AngryExit:
           break;
+      case LockEvent::AbandonStart: {
+          ts.abandon_start_ns = r.time_ns;
+          ts.abandon_open = true;
+          break;
+      }
+      case LockEvent::AbandonDone: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          const auto outcome = static_cast<AbandonOutcome>(r.a0);
+          if (outcome == AbandonOutcome::GrantRaced) {
+              // The lock was accepted past the deadline; the Acquired
+              // event that follows closes the open attempt normally.
+              ++lm.abandon_grant_races;
+          } else {
+              ++lm.abandons;
+              if (outcome == AbandonOutcome::Parked)
+                  ++lm.abandons_parked;
+              // The acquire failed: close this thread's open attempt on
+              // the lock so no later acquisition inherits its wait time.
+              for (auto it = ts.attempt_stack.rbegin();
+                   it != ts.attempt_stack.rend(); ++it) {
+                  if (it->first == r.lock_id) {
+                      ts.attempt_stack.erase(std::next(it).base());
+                      break;
+                  }
+              }
+          }
+          if (ts.abandon_open) {
+              ts.abandon_open = false;
+              lm.abandon_latency_ns.add(r.time_ns >= ts.abandon_start_ns
+                                            ? r.time_ns - ts.abandon_start_ns
+                                            : 0);
+          }
+          break;
+      }
+      case LockEvent::QueueReclaim: {
+          LockMetrics& lm = lock_mut(r.lock_id);
+          switch (static_cast<ReclaimKind>(r.a0)) {
+            case ReclaimKind::Unlinked: ++lm.reclaims; break;
+            case ReclaimKind::Rejoined: ++lm.rejoins; break;
+            case ReclaimKind::Unparked: ++lm.unparks; break;
+          }
+          break;
+      }
     }
 }
 

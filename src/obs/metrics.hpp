@@ -83,6 +83,23 @@ struct LockMetrics
     std::uint64_t angry_transitions = 0;
     std::uint64_t gates_closed_in_anger = 0;
 
+    // ----- timed abandonment (locks with native try_acquire_for) ---------
+    /** Timed acquisitions that returned false at their deadline. */
+    std::uint64_t abandons = 0;
+    /** Of those, abandonments that parked a node in the queue. */
+    std::uint64_t abandons_parked = 0;
+    /** Deadline hit but the handover won the race; lock accepted. */
+    std::uint64_t abandon_grant_races = 0;
+    /** Abandoned queue nodes unlinked by a releaser. */
+    std::uint64_t reclaims = 0;
+    /** Abandoned queue nodes resumed in place by their owner. */
+    std::uint64_t rejoins = 0;
+    /** Reclaimed nodes found and reused by their returning owner. */
+    std::uint64_t unparks = 0;
+    /** AbandonStart -> AbandonDone: the cost of leaving (recovery latency
+     *  of the abandonment path itself, gate re-opens included). */
+    stats::LogHistogram abandon_latency_ns;
+
     std::vector<NodeMetrics> per_node;
 
     /** Remote handovers / all handovers (0 when no handover happened). */
@@ -161,6 +178,9 @@ class MetricsRegistry final : public ProbeSink
         std::uint64_t backoff_start_ns = 0;
         BackoffClass backoff_class = BackoffClass::Generic;
         bool backoff_open = false;
+        /** Open abandonment (AbandonStart seen, Done pending). */
+        std::uint64_t abandon_start_ns = 0;
+        bool abandon_open = false;
     };
 
     struct HolderState

@@ -44,6 +44,26 @@ enum class LockEvent : std::uint8_t
     GateOpen,       ///< gates re-opened; a0 = number of gates opened
     AngryEnter,     ///< SD starvation detection tripped; a0 = holder node
     AngryExit,      ///< the angry episode ended (acquired or migrated home)
+    AbandonStart,   ///< deadline hit inside a timed acquire; cleanup begins
+    AbandonDone,    ///< abandonment finished; a0 = AbandonOutcome
+    QueueReclaim,   ///< an abandoned queue node was recovered; a0 =
+                    ///< ReclaimKind, a1 = node owner's thread id
+};
+
+/** AbandonDone payload (a0): what the timed-out thread left behind. */
+enum class AbandonOutcome : std::uint8_t
+{
+    Parked = 0,    ///< node stays in the queue marked abandoned (MCS)
+    Clean = 1,     ///< nothing left behind (cohort local tier, HBO gates)
+    GrantRaced = 2 ///< the grant won the abandon race; lock was accepted
+};
+
+/** QueueReclaim payload (a0): who recovered the abandoned node. */
+enum class ReclaimKind : std::uint8_t
+{
+    Unlinked = 0, ///< a releaser unlinked the node from the queue
+    Rejoined = 1, ///< the owner came back and resumed its old position
+    Unparked = 2  ///< the owner found its node already reclaimed and reused it
 };
 
 /** Printable event mnemonic (stable — used in traces and tests). */
@@ -62,6 +82,9 @@ lock_event_name(LockEvent event)
       case LockEvent::GateOpen: return "gate_open";
       case LockEvent::AngryEnter: return "angry_enter";
       case LockEvent::AngryExit: return "angry_exit";
+      case LockEvent::AbandonStart: return "abandon_start";
+      case LockEvent::AbandonDone: return "abandon_done";
+      case LockEvent::QueueReclaim: return "queue_reclaim";
     }
     return "?";
 }

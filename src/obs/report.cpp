@@ -263,11 +263,88 @@ write_metrics(JsonWriter& w, const MetricsRegistry& registry)
     w.end_object();
 }
 
+/** The v3 optional top-level "robustness" object. */
+void
+write_robustness(JsonWriter& w, const RobustnessReport& r)
+{
+    w.begin_object();
+    w.key("campaign");
+    w.begin_object();
+    w.key("presets");
+    w.begin_array();
+    for (const std::string& preset : r.presets)
+        w.value(preset);
+    w.end_array();
+    w.kv("timeout_ns", r.timeout_ns);
+    w.kv("iterations", static_cast<std::uint64_t>(r.iterations));
+    w.kv("first_seed", r.first_seed);
+    w.kv("num_seeds", r.num_seeds);
+    w.end_object();
+    w.key("cells");
+    w.begin_array();
+    for (const RobustnessCell& c : r.cells) {
+        w.begin_object();
+        w.kv("lock", c.lock);
+        w.kv("preset", c.preset);
+        w.kv("nodes", c.nodes);
+        w.kv("cpus_per_node", c.cpus_per_node);
+        w.kv("seed", c.seed);
+        w.kv("verdict", c.failed ? "FAIL" : "ok");
+        if (c.failed)
+            w.kv("what", c.what);
+        w.kv("stop", c.stop);
+        w.kv("steps", c.steps);
+        w.kv("acquisitions", c.acquisitions);
+        w.kv("timeouts", c.timeouts);
+        w.kv("mutex_violations", c.mutex_violations);
+        w.kv("faults_injected", c.faults_injected);
+        w.kv("max_overshoot_ns", c.max_overshoot_ns);
+        w.kv("overshoot_bound_ns", c.overshoot_bound_ns);
+        w.kv("abandons", c.abandons);
+        w.kv("parked", c.parked);
+        w.kv("grant_races", c.grant_races);
+        w.kv("reclaims", c.reclaims);
+        w.kv("rejoins", c.rejoins);
+        w.kv("unparks", c.unparks);
+        w.kv("leaked_nodes", c.leaked_nodes);
+        if (!c.trace.empty())
+            w.kv("trace", c.trace);
+        if (!c.minimal_trace.empty())
+            w.kv("minimal_trace", c.minimal_trace);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("per_lock");
+    w.begin_array();
+    for (const RobustnessLockRow& row : r.per_lock) {
+        w.begin_object();
+        w.kv("lock", row.lock);
+        w.kv("cells", row.cells);
+        w.kv("failures", row.failures);
+        w.kv("acquisitions", row.acquisitions);
+        w.kv("timeouts", row.timeouts);
+        w.kv("abandons", row.abandons);
+        w.kv("parked", row.parked);
+        w.kv("grant_races", row.grant_races);
+        w.kv("reclaims", row.reclaims);
+        w.kv("rejoins", row.rejoins);
+        w.kv("unparks", row.unparks);
+        w.kv("leaked_nodes", row.leaked_nodes);
+        w.kv("max_overshoot_ns", row.max_overshoot_ns);
+        w.end_object();
+    }
+    w.end_array();
+    w.kv("failures", r.failures);
+    w.kv("verdict", r.failures == 0 ? "ok" : "FAIL");
+    w.end_object();
+}
+
 } // namespace
 
 void
 write_report(std::ostream& os, const ReportConfig& config,
-             const std::vector<ReportRun>& runs)
+             const std::vector<ReportRun>& runs,
+             const RobustnessReport* robustness)
 {
     JsonWriter w(os, /*pretty=*/true);
     w.begin_object();
@@ -316,6 +393,10 @@ write_report(std::ostream& os, const ReportConfig& config,
         w.end_object();
     }
     w.end_array();
+    if (robustness != nullptr) {
+        w.key("robustness");
+        write_robustness(w, *robustness);
+    }
     w.end_object();
     os << '\n';
 }
@@ -608,6 +689,76 @@ validate_metrics(const JsonValue& m, std::string* error,
     return true;
 }
 
+bool
+validate_robustness(const JsonValue& r, std::string* error,
+                    const std::string& where)
+{
+    if (!r.is_object())
+        return fail(error, where + " must be an object");
+    const JsonValue* campaign = r.find("campaign");
+    if (campaign == nullptr || !campaign->is_object())
+        return fail(error, where + ": 'campaign' must be an object");
+    const JsonValue* presets = campaign->find("presets");
+    if (presets == nullptr || !presets->is_array())
+        return fail(error, where + ".campaign: 'presets' must be an array");
+    for (const JsonValue& p : presets->array)
+        if (!p.is_string())
+            return fail(error,
+                        where + ".campaign.presets entries must be strings");
+    for (const char* field :
+         {"timeout_ns", "iterations", "first_seed", "num_seeds"})
+        if (!require_number(*campaign, field, error, where + ".campaign"))
+            return false;
+    const JsonValue* cells = r.find("cells");
+    if (cells == nullptr || !cells->is_array())
+        return fail(error, where + ": 'cells' must be an array");
+    for (std::size_t i = 0; i < cells->array.size(); ++i) {
+        const std::string cw = where + ".cells[" + std::to_string(i) + "]";
+        const JsonValue& c = cells->array[i];
+        if (!c.is_object())
+            return fail(error, cw + " must be an object");
+        for (const char* field : {"lock", "preset", "verdict", "stop"})
+            if (!require_string(c, field, error, cw))
+                return false;
+        for (const char* field :
+             {"nodes", "cpus_per_node", "seed", "steps", "acquisitions",
+              "timeouts", "mutex_violations", "faults_injected",
+              "max_overshoot_ns", "overshoot_bound_ns", "abandons", "parked",
+              "grant_races", "reclaims", "rejoins", "unparks",
+              "leaked_nodes"})
+            if (!require_number(c, field, error, cw))
+                return false;
+        // "what"/"trace"/"minimal_trace" are optional (failed cells only).
+        for (const char* field : {"what", "trace", "minimal_trace"})
+            if (const JsonValue* v = c.find(field);
+                v != nullptr && !v->is_string())
+                return fail(error,
+                            cw + ": '" + field + "' must be a string");
+    }
+    const JsonValue* per_lock = r.find("per_lock");
+    if (per_lock == nullptr || !per_lock->is_array())
+        return fail(error, where + ": 'per_lock' must be an array");
+    for (std::size_t i = 0; i < per_lock->array.size(); ++i) {
+        const std::string lw = where + ".per_lock[" + std::to_string(i) + "]";
+        const JsonValue& row = per_lock->array[i];
+        if (!row.is_object())
+            return fail(error, lw + " must be an object");
+        if (!require_string(row, "lock", error, lw))
+            return false;
+        for (const char* field :
+             {"cells", "failures", "acquisitions", "timeouts", "abandons",
+              "parked", "grant_races", "reclaims", "rejoins", "unparks",
+              "leaked_nodes", "max_overshoot_ns"})
+            if (!require_number(row, field, error, lw))
+                return false;
+    }
+    if (!require_number(r, "failures", error, where))
+        return false;
+    if (!require_string(r, "verdict", error, where))
+        return false;
+    return true;
+}
+
 } // namespace
 
 bool
@@ -683,6 +834,12 @@ validate_report(const JsonValue& document, std::string* error)
                     return false;
         }
     }
+    // v3: "robustness" is optional (fault-campaign reports only); when
+    // present it must carry the full campaign/cells/per_lock shape.
+    if (const JsonValue* robustness = document.find("robustness");
+        robustness != nullptr &&
+        !validate_robustness(*robustness, error, "robustness"))
+        return false;
     return true;
 }
 

@@ -1,12 +1,19 @@
 /**
  * @file
- * Machine-readable benchmark report: schema "nucalock-bench-report" v2.
+ * Machine-readable benchmark report: schema "nucalock-bench-report" v3.
  *
- * v2 adds, per run, a "traffic" object (per-lock/per-phase local/global
+ * v2 added, per run, a "traffic" object (per-lock/per-phase local/global
  * transaction attribution and per-acquisition rates) and a "contention"
  * object (per-resource occupancy, queue-delay percentiles, optional
  * time-binned utilisation series), plus memtrace_events/memtrace_dropped
  * in "result".
+ *
+ * v3 adds an optional top-level "robustness" object — the fault-campaign
+ * soak runner's audited verdict (nucacheck --campaign): per-cell recovery
+ * results (preset x lock x shape x seed, with abandonment/reclaim counters,
+ * overshoot bounds and replay traces for failures) plus per-lock summary
+ * rows. Reports without the object remain valid v3 documents; nucaprof
+ * renders it with --robustness.
  *
  * Shared by tools/nucaprof (full metrics) and tools/nucabench --json
  * (results only). The schema is documented in docs/observability.md; bump
@@ -29,7 +36,7 @@
 namespace nucalock::obs {
 
 inline constexpr const char* kReportSchemaName = "nucalock-bench-report";
-inline constexpr int kReportSchemaVersion = 2;
+inline constexpr int kReportSchemaVersion = 3;
 
 /** Benchmark configuration echoed into the report. */
 struct ReportConfig
@@ -85,12 +92,80 @@ struct ReportRun
     HostStats host;
 };
 
-/** Write the whole report document to @p os (pretty-printed JSON). */
+// ---------------------------------------------------------------------------
+// v3 "robustness" object: the fault campaign's audited verdict, as plain
+// data so the checker layer can fill it without depending on this library.
+// ---------------------------------------------------------------------------
+
+/** One campaign cell (preset x lock x shape x seed). */
+struct RobustnessCell
+{
+    std::string lock;
+    std::string preset;
+    int nodes = 0;
+    int cpus_per_node = 0;
+    std::uint64_t seed = 0;
+    bool failed = false;
+    std::string what; ///< empty unless failed
+    std::string stop; ///< sim::stop_reason_name
+    std::uint64_t steps = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t mutex_violations = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t max_overshoot_ns = 0;
+    std::uint64_t overshoot_bound_ns = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t parked = 0;
+    std::uint64_t grant_races = 0;
+    std::uint64_t reclaims = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t unparks = 0;
+    std::uint64_t leaked_nodes = 0;
+    std::string trace;         ///< nc1 replay trace (failed cells only)
+    std::string minimal_trace; ///< shrunk trace, when available
+};
+
+/** Per-lock aggregation row. */
+struct RobustnessLockRow
+{
+    std::string lock;
+    std::uint64_t cells = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t parked = 0;
+    std::uint64_t grant_races = 0;
+    std::uint64_t reclaims = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t unparks = 0;
+    std::uint64_t leaked_nodes = 0;
+    std::uint64_t max_overshoot_ns = 0;
+};
+
+/** The whole robustness object (campaign parameters echoed for replay). */
+struct RobustnessReport
+{
+    std::vector<std::string> presets;
+    std::uint64_t timeout_ns = 0;
+    std::uint32_t iterations = 0;
+    std::uint64_t first_seed = 0;
+    int num_seeds = 0;
+    std::vector<RobustnessCell> cells;
+    std::vector<RobustnessLockRow> per_lock;
+    std::uint64_t failures = 0;
+};
+
+/** Write the whole report document to @p os (pretty-printed JSON).
+ *  @p robustness, when non-null, is emitted as the optional top-level
+ *  "robustness" object (the fault campaign's verdict). */
 void write_report(std::ostream& os, const ReportConfig& config,
-                  const std::vector<ReportRun>& runs);
+                  const std::vector<ReportRun>& runs,
+                  const RobustnessReport* robustness = nullptr);
 
 /**
- * Validate a parsed report against the v2 schema. Returns true when the
+ * Validate a parsed report against the v3 schema. Returns true when the
  * document conforms; otherwise false with a description in *error. A
  * version mismatch fails with "report is vN, tool understands vM" so a
  * reader paired with the wrong tool build is diagnosed immediately.

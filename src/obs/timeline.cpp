@@ -117,10 +117,23 @@ TimelineBuilder::on_event(const ProbeRecord& r)
           }
           break;
       }
+      case LockEvent::AbandonDone: {
+          // A timed wait that ends without the lock leaves the CPU idle
+          // until its next attempt. The grant-race accept keeps waiting:
+          // the Acquired event that follows closes its interval.
+          if (static_cast<AbandonOutcome>(r.a0) != AbandonOutcome::GrantRaced) {
+              close_interval(track, r.cpu, r.time_ns);
+              track.waiting = false;
+              track.angry = false;
+          }
+          break;
+      }
       case LockEvent::GateBlocked:
       case LockEvent::GatePassed:
       case LockEvent::GatePublish:
       case LockEvent::GateOpen:
+      case LockEvent::AbandonStart:
+      case LockEvent::QueueReclaim:
           break; // instantaneous; they don't change the CPU's state
     }
 }

@@ -17,6 +17,7 @@ fault_kind_name(FaultKind kind)
       case FaultKind::LinkSpike: return "spike";
       case FaultKind::ThreadStall: return "stall";
       case FaultKind::ThreadDeath: return "death";
+      case FaultKind::HolderDeath: return "holderdeath";
     }
     NUCA_PANIC("unknown FaultKind");
 }
@@ -89,6 +90,13 @@ FaultPlan::thread_death(int tid, SimTime at)
                      FaultEvent{FaultKind::ThreadDeath, tid, at, 0, 1, 0});
 }
 
+FaultPlan
+FaultPlan::holder_death(std::uint64_t nth, SimTime from)
+{
+    return one_event("holderdeath", FaultEvent{FaultKind::HolderDeath, -1,
+                                               from, 0, nth, 0});
+}
+
 FaultPlan&
 FaultPlan::operator+=(const FaultPlan& other)
 {
@@ -139,6 +147,10 @@ FaultPlan::parse(std::string_view spec, std::uint64_t seed, int threads)
             const int tid = pick_tid();
             const SimTime at = 100'000 + rng.next() % 900'000;
             plan += thread_death(tid, at);
+        } else if (part == "holderdeath") {
+            // Victim selection is structural (the Nth CS entry), so the
+            // preset works at any run length; the seed varies which entry.
+            plan += holder_death(2 + rng.next() % 4);
         } else if (part == "chaos") {
             plan += holder_preempt(1'000'000, 11, 0);
             plan += publish_preempt(1'000'000, 13, 0);
@@ -168,6 +180,8 @@ FaultPlan::describe() const
             e.kind == FaultKind::PublishPreempt ||
             e.kind == FaultKind::SpinnerPreempt)
             oss << " every=" << e.every;
+        if (e.kind == FaultKind::HolderDeath)
+            oss << " nth=" << e.every;
         if (e.kind == FaultKind::LinkSpike)
             oss << " extra=" << e.extra_link_ns << "ns";
     }
@@ -216,6 +230,19 @@ FaultInjector::structural_penalty(FaultKind kind, int tid, SimTime now,
 SimTime
 FaultInjector::on_cs_enter(int tid, SimTime now)
 {
+    // Arm any HolderDeath event whose Nth CS entry this is: the victim is
+    // killed by the next sweep_deaths pass, i.e. before it executes another
+    // operation — still inside its critical section.
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent& e = plan_.events[i];
+        if (e.kind != FaultKind::HolderDeath || e.every == 0 || now < e.at)
+            continue;
+        EventState& s = state_[i];
+        if (s.fired || ++s.triggers != e.every)
+            continue;
+        s.fired = true;
+        s.victim = tid;
+    }
     return structural_penalty(FaultKind::HolderPreempt, tid, now,
                               "holder-preempt");
 }
@@ -268,9 +295,14 @@ FaultInjector::should_die(int tid, SimTime next_run)
 {
     for (std::size_t i = 0; i < plan_.events.size(); ++i) {
         const FaultEvent& e = plan_.events[i];
+        EventState& s = state_[i];
+        if (e.kind == FaultKind::HolderDeath && s.victim == tid) {
+            s.victim = -1; // record the kill exactly once
+            record(next_run, "holder-death", tid, 0);
+            return true;
+        }
         if (e.kind != FaultKind::ThreadDeath || e.tid != tid)
             continue;
-        EventState& s = state_[i];
         if (s.fired || next_run < e.at)
             continue;
         s.fired = true;

@@ -23,6 +23,12 @@
  *  - ThreadDeath:    a thread never runs again past a given time; if it
  *    held a lock, the lock is abandoned and survivors must recover through
  *    try_acquire / acquire_for.
+ *  - HolderDeath:    kill the thread performing the Nth critical-section
+ *    entry, at its next scheduling point — i.e. while it still holds the
+ *    lock. ThreadDeath fires on the victim's own clock, so whether it lands
+ *    inside a critical section depends on the schedule; HolderDeath is the
+ *    deterministic version of "the holder dies" that the recovery audits
+ *    (nucacheck --campaign) rely on.
  *
  * Everything is deterministic: the same plan against the same machine and
  * seed produces a byte-identical applied-fault log (see log()), which the
@@ -51,6 +57,7 @@ enum class FaultKind
     LinkSpike,
     ThreadStall,
     ThreadDeath,
+    HolderDeath,
 };
 
 /** Printable name ("holder", "publish", ...), matching the CLI spec. */
@@ -94,6 +101,14 @@ struct FaultPlan
         return false;
     }
 
+    /** True when any event can kill a thread (either death kind). Plans
+     *  with deaths legitimately lose iterations and abandon held locks. */
+    bool
+    has_death() const
+    {
+        return has(FaultKind::ThreadDeath) || has(FaultKind::HolderDeath);
+    }
+
     /** No faults (the default). */
     static FaultPlan none();
     /** Preempt the holder for @p duration at every @p every CS entry. */
@@ -112,13 +127,17 @@ struct FaultPlan
     static FaultPlan thread_stall(int tid, SimTime at, SimTime duration);
     /** Kill @p tid at its first scheduling point at or after @p at. */
     static FaultPlan thread_death(int tid, SimTime at);
+    /** Kill whichever thread performs the @p nth CS entry at or after
+     *  @p from — it dies inside its critical section. */
+    static FaultPlan holder_death(std::uint64_t nth, SimTime from = 0);
 
     /** Concatenate another plan's events (builds combined plans). */
     FaultPlan& operator+=(const FaultPlan& other);
 
     /**
      * Parse a CLI spec: '+'-separated preset names out of {none, holder,
-     * publish, spinner, spike, stall, death, chaos}. Event parameters
+     * publish, spinner, spike, stall, death, holderdeath, chaos}. Event
+     * parameters
      * (victims, times, durations) are derived deterministically from
      * @p seed and @p threads, so the same spec/seed/thread-count always
      * yields the same plan. Returns nullopt on an unknown name.
@@ -186,6 +205,7 @@ class FaultInjector
     {
         std::uint64_t triggers = 0; // structural trigger points seen
         bool fired = false;         // one-shot events (stall, death)
+        int victim = -1;            // HolderDeath: tid armed to die
     };
 
     SimTime structural_penalty(FaultKind kind, int tid, SimTime now,

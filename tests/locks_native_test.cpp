@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "locks/any_lock.hpp"
@@ -97,6 +99,8 @@ TEST_P(NativeLockTest, AcquireForExpiresWhileHeld)
     std::atomic<bool> held{false};
     std::atomic<bool> expired{false};
     std::atomic<bool> got_it{true};
+    constexpr std::uint64_t kTimeoutNs = 5'000'000; // 5 ms
+    std::uint64_t waited_ns = 0;
 
     machine.run_threads(2, Placement::RoundRobinNodes,
                         [&](NativeContext& ctx, int i) {
@@ -113,12 +117,30 @@ TEST_P(NativeLockTest, AcquireForExpiresWhileHeld)
                             } else {
                                 while (!held.load())
                                     std::this_thread::yield();
+                                const auto t0 =
+                                    std::chrono::steady_clock::now();
                                 got_it.store(
-                                    lock.acquire_for(ctx, 5'000'000)); // 5 ms
+                                    lock.acquire_for(ctx, kTimeoutNs));
+                                waited_ns = static_cast<std::uint64_t>(
+                                    std::chrono::duration_cast<
+                                        std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
                                 expired.store(true);
                             }
                         });
     EXPECT_FALSE(got_it.load());
+    // The failure must come from the deadline, not from a wrapped or
+    // instantly-expired one: the waiter waited at least the timeout...
+    EXPECT_GE(waited_ns, kTimeoutNs);
+    // ...and returned with bounded overshoot. The bound is deliberately
+    // loose (CI boxes get descheduled), but tight enough to catch an
+    // abandonment path that spins a whole extra backoff ladder.
+    EXPECT_LT(waited_ns, kTimeoutNs + 2'000'000'000u);
+    // Locks with native abandonment must account the expiry.
+    if (lock_supports_native_timeout(GetParam())) {
+        EXPECT_GE(lock.abandon_stats().abandons, 1u);
+    }
 }
 
 TEST_P(NativeLockTest, AcquireForSucceedsUncontended)

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Timed-abandonment robustness tests: the trace keys that carry fault
+ * campaigns, the saturating deadline arithmetic, MCS park / reclaim /
+ * rejoin / unpark recovery on the simulator, holder-death recovery for
+ * every abandonment-capable lock under the checker harness, campaign
+ * determinism plus failing-cell trace replay, and the metrics fold of the
+ * abandonment probe events.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "check/campaign.hpp"
+#include "common/rng.hpp"
+#include "check/harness.hpp"
+#include "check/schedule.hpp"
+#include "locks/any_lock.hpp"
+#include "locks/timed.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::check;
+using namespace nucalock::locks;
+using namespace nucalock::sim;
+
+// ------------------------------------------------------- trace format --
+
+TEST(RobustTrace, TimeoutAndFaultKeysRoundTrip)
+{
+    Trace trace;
+    trace.lock = "MCS";
+    trace.nodes = 2;
+    trace.cpus_per_node = 4;
+    trace.iterations = 3;
+    trace.seed = 7;
+    trace.bounded = true;
+    trace.timeout_ns = 500'000;
+    trace.faults = "holderdeath";
+    trace.schedule.choices = {0, 0, 1, 2, 1};
+
+    const std::string text = encode_trace(trace);
+    EXPECT_NE(text.find(";timeout=500000"), std::string::npos);
+    EXPECT_NE(text.find(";faults=holderdeath"), std::string::npos);
+
+    const auto back = decode_trace(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->lock, trace.lock);
+    EXPECT_EQ(back->bounded, true);
+    EXPECT_EQ(back->timeout_ns, trace.timeout_ns);
+    EXPECT_EQ(back->faults, trace.faults);
+    EXPECT_EQ(back->schedule, trace.schedule);
+
+    const auto setup = setup_from_trace(*back);
+    ASSERT_TRUE(setup.has_value());
+    EXPECT_EQ(setup->kind, LockKind::Mcs);
+    EXPECT_TRUE(setup->bounded);
+    EXPECT_EQ(setup->timeout_ns, 500'000u);
+    EXPECT_EQ(setup->faults, "holderdeath");
+}
+
+TEST(RobustTrace, FaultFreeTraceOmitsNewKeysByteForByte)
+{
+    // Traces recorded before the timeout=/faults= keys existed must still
+    // be produced byte-identically for fault-free default-timeout runs.
+    Trace trace;
+    trace.lock = "TATAS";
+    trace.schedule.choices = {0, 0, 1};
+    EXPECT_EQ(encode_trace(trace),
+              "nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;"
+              "sched=0x2,1x1");
+
+    // A bounded run at the default timeout also omits the timeout key.
+    trace.bounded = true;
+    trace.timeout_ns = kDefaultCheckTimeoutNs;
+    EXPECT_EQ(encode_trace(trace),
+              "nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=1;"
+              "sched=0x2,1x1");
+
+    // And the legacy string (no new keys) still decodes.
+    const auto legacy = decode_trace(
+        "nc1;lock=MCS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x3");
+    ASSERT_TRUE(legacy.has_value());
+    EXPECT_EQ(legacy->timeout_ns, kDefaultCheckTimeoutNs);
+    EXPECT_TRUE(legacy->faults.empty());
+}
+
+TEST(RobustTrace, DecodeRejectsBadTimeoutAndFaults)
+{
+    // timeout must be a positive number.
+    EXPECT_FALSE(decode_trace("nc1;lock=MCS;nodes=2;cpus=2;iters=2;seed=1;"
+                              "bounded=1;timeout=0;sched=0x3")
+                     .has_value());
+    EXPECT_FALSE(decode_trace("nc1;lock=MCS;nodes=2;cpus=2;iters=2;seed=1;"
+                              "bounded=1;timeout=soon;sched=0x3")
+                     .has_value());
+    // An unknown fault spec decodes as a string but must be rejected when
+    // the setup is rebuilt (FaultPlan::parse is the authority).
+    const auto bad = decode_trace("nc1;lock=MCS;nodes=2;cpus=2;iters=2;"
+                                  "seed=1;bounded=1;faults=bogus;sched=0x3");
+    ASSERT_TRUE(bad.has_value());
+    EXPECT_FALSE(setup_from_trace(*bad).has_value());
+}
+
+// ------------------------------------------- saturating deadline (fix) --
+
+TEST(SaturatingDeadline, SentinelTimeoutsClampInsteadOfWrapping)
+{
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(locks::detail::saturating_deadline(12'345, kMax), kMax);
+    EXPECT_EQ(locks::detail::saturating_deadline(kMax - 5, 10), kMax);
+    EXPECT_EQ(locks::detail::saturating_deadline(kMax, kMax), kMax);
+    EXPECT_EQ(locks::detail::saturating_deadline(0, kMax), kMax);
+    EXPECT_EQ(locks::detail::saturating_deadline(100, 50), 150u);
+}
+
+TEST(SaturatingDeadline, InfiniteAcquireForSucceedsOnEveryTimedLock)
+{
+    // Before the saturation fix, now + UINT64_MAX wrapped to a deadline in
+    // the past and every uncontended acquire_for failed instantly.
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    for (LockKind kind : all_lock_kinds()) {
+        SimMachine machine(Topology::symmetric(2, 2));
+        AnyLock<SimContext> lock(machine, kind);
+        bool ok = false;
+        machine.add_threads(1, Placement::RoundRobinNodes,
+                            [&](SimContext& ctx, int) {
+                                ok = lock.acquire_for(ctx, kMax);
+                                if (ok)
+                                    lock.release(ctx);
+                            });
+        machine.run();
+        EXPECT_TRUE(ok) << lock_name(kind);
+    }
+}
+
+// ------------------------------------------- MCS abandonment recovery --
+
+/** Timings (sim ns) for the three-thread park/reclaim scenarios below. */
+constexpr std::uint64_t kHold = 20'000;     // how long T0 keeps the lock
+constexpr std::uint64_t kShortWait = 2'000; // T1's doomed acquire_for bound
+
+TEST(McsAbandonment, ReleaserReclaimsParkedNodeAndOwnerUnparks)
+{
+    // T0 holds past T1's deadline; T1 parks its node and leaves. T0's
+    // release walks the queue, reclaims T1's node, and grants T2. T1 comes
+    // back long after and must find its node reclaimed (unpark path).
+    SimMachine machine(Topology::symmetric(2, 2));
+    AnyLock<SimContext> lock(machine, LockKind::Mcs);
+    const MemRef counter = machine.alloc(0, 0);
+    bool t1_first = true;
+    bool t2_got = false;
+
+    machine.add_threads(3, Placement::RoundRobinNodes,
+                        [&](SimContext& ctx, int i) {
+                            if (i == 0) {
+                                lock.acquire(ctx);
+                                ctx.delay(kHold);
+                                ctx.store(counter, ctx.load(counter) + 1);
+                                lock.release(ctx);
+                            } else if (i == 1) {
+                                ctx.delay(100);
+                                t1_first = lock.acquire_for(ctx, kShortWait);
+                                if (t1_first)
+                                    lock.release(ctx);
+                                ctx.delay(kHold * 4);
+                                lock.acquire(ctx);
+                                ctx.store(counter, ctx.load(counter) + 1);
+                                lock.release(ctx);
+                            } else {
+                                ctx.delay(200);
+                                t2_got = lock.acquire_for(ctx, kHold * 8);
+                                if (t2_got) {
+                                    ctx.store(counter,
+                                              ctx.load(counter) + 1);
+                                    lock.release(ctx);
+                                }
+                            }
+                        });
+    machine.run();
+
+    EXPECT_FALSE(t1_first); // the short bound expired while T0 held
+    EXPECT_TRUE(t2_got);    // the grant walked past the parked node
+    EXPECT_EQ(machine.memory().peek(counter), 3u);
+
+    const AbandonStats stats = lock.abandon_stats();
+    EXPECT_EQ(stats.abandons, 1u);
+    EXPECT_EQ(stats.parked, 1u);
+    EXPECT_EQ(stats.reclaims, 1u);
+    EXPECT_EQ(stats.unparks, 1u);
+    EXPECT_EQ(stats.rejoins, 0u);
+    EXPECT_EQ(stats.linked_abandoned(), 0u); // nothing left in the queue
+}
+
+TEST(McsAbandonment, ReturningOwnerRejoinsItsParkedNode)
+{
+    // T1 parks, then retries while T0 still holds — before any release
+    // walk could reclaim the node — so it must resume its old queue
+    // position (rejoin), preserving FIFO order ahead of no one.
+    SimMachine machine(Topology::symmetric(2, 2));
+    AnyLock<SimContext> lock(machine, LockKind::Mcs);
+    const MemRef counter = machine.alloc(0, 0);
+    bool t1_first = true;
+
+    machine.add_threads(2, Placement::RoundRobinNodes,
+                        [&](SimContext& ctx, int i) {
+                            if (i == 0) {
+                                lock.acquire(ctx);
+                                ctx.delay(kHold);
+                                ctx.store(counter, ctx.load(counter) + 1);
+                                lock.release(ctx);
+                            } else {
+                                ctx.delay(100);
+                                t1_first = lock.acquire_for(ctx, kShortWait);
+                                if (t1_first)
+                                    lock.release(ctx);
+                                // Deadline ~2.1us, T0 releases at ~20us:
+                                // retry at ~5us is well before the walk.
+                                ctx.delay(3'000);
+                                lock.acquire(ctx);
+                                ctx.store(counter, ctx.load(counter) + 1);
+                                lock.release(ctx);
+                            }
+                        });
+    machine.run();
+
+    EXPECT_FALSE(t1_first);
+    EXPECT_EQ(machine.memory().peek(counter), 2u);
+
+    const AbandonStats stats = lock.abandon_stats();
+    EXPECT_EQ(stats.abandons, 1u);
+    EXPECT_EQ(stats.parked, 1u);
+    EXPECT_EQ(stats.rejoins, 1u);
+    EXPECT_EQ(stats.reclaims, 0u);
+    EXPECT_EQ(stats.unparks, 0u);
+    EXPECT_EQ(stats.linked_abandoned(), 0u);
+}
+
+/**
+ * Seeded uniform-random controlled scheduler: every memory operation is a
+ * decision point, so it can interleave a releaser's grant between a timed
+ * waiter's deadline check and its park CAS — the window the wall-clock
+ * runs above cannot hit. A step cap truncates schedules that wander.
+ */
+class RandomScheduler final : public Scheduler
+{
+  public:
+    explicit RandomScheduler(std::uint64_t seed, std::uint64_t max_steps)
+        : rng_(seed), max_steps_(max_steps)
+    {
+    }
+
+    int
+    pick(SimTime, const std::vector<SchedChoice>& runnable) override
+    {
+        if (++steps_ > max_steps_)
+            return kStopRun;
+        return runnable[rng_.next() % runnable.size()].tid;
+    }
+
+  private:
+    Xoshiro256 rng_;
+    std::uint64_t steps_ = 0;
+    std::uint64_t max_steps_ = 0;
+};
+
+TEST(McsAbandonment, GrantCanWinTheAbandonRace)
+{
+    // The handover-vs-abandon race: the releaser's grant lands between a
+    // waiter's deadline check and its park CAS, and the abandoning thread
+    // must accept the lock (grant_races) rather than strand a granted
+    // node. Search random schedules of a short-timeout bounded run until
+    // one hits the window; the search is deterministic in the seed
+    // sequence, so the hit (and this test) is stable.
+    std::uint64_t races = 0;
+    std::uint64_t abandons = 0;
+    for (std::uint64_t seed = 1; seed <= 400 && races == 0; ++seed) {
+        CheckSetup setup;
+        setup.kind = LockKind::Mcs;
+        setup.nodes = 2;
+        setup.cpus_per_node = 2;
+        setup.iterations = 2;
+        setup.seed = seed;
+        setup.bounded = true;
+        setup.timeout_ns = 3'000; // short: expiries and handovers overlap
+
+        RandomScheduler scheduler(seed * 7919, 200'000);
+        const RunReport report = run_one(setup, scheduler);
+        if (report.truncated())
+            continue;
+        // Random schedules must never manufacture a correctness failure.
+        EXPECT_FALSE(report.failed) << report.what << " seed=" << seed;
+        EXPECT_EQ(report.abandon.linked_abandoned(), 0u) << "seed=" << seed;
+        races += report.abandon.grant_races;
+        abandons += report.abandon.abandons;
+    }
+    EXPECT_GT(races, 0u);    // some schedule hit the window
+    EXPECT_GT(abandons, 0u); // and plenty simply timed out and parked
+}
+
+// --------------------------------------- holder-death recovery (run_one) --
+
+class HolderDeathRecoveryTest : public testing::TestWithParam<LockKind>
+{
+};
+
+TEST_P(HolderDeathRecoveryTest, SurvivorsCompleteWithinBounds)
+{
+    // The campaign's core acceptance property as a unit test: kill the
+    // holder inside its critical section; every abandonment-capable lock
+    // must keep mutual exclusion, let the survivors run to completion, and
+    // return failed acquire_for calls near their deadlines.
+    for (std::uint64_t seed : {1u, 2u}) {
+        CheckSetup setup;
+        setup.kind = GetParam();
+        setup.nodes = 2;
+        setup.cpus_per_node = 2;
+        setup.iterations = 3;
+        setup.seed = seed;
+        setup.bounded = true;
+        setup.timeout_ns = 500'000;
+        setup.faults = "holderdeath";
+
+        DefaultScheduler scheduler;
+        const RunReport report = run_one(setup, scheduler);
+
+        EXPECT_FALSE(report.failed) << report.what << " seed=" << seed;
+        EXPECT_EQ(report.mutex_violations, 0u) << "seed=" << seed;
+        EXPECT_EQ(report.stop, StopReason::Completed) << "seed=" << seed;
+        EXPECT_GE(report.faults_injected, 1u) << "seed=" << seed;
+        // The dead holder forces the waiters past their 500us bound; at
+        // least one timed acquisition must have expired over the two
+        // seeds' schedules (checked per seed-pair below, not per seed,
+        // because a lucky queue order can spare one seed's waiters).
+    }
+}
+
+TEST_P(HolderDeathRecoveryTest, DeathActuallyExercisesTimeouts)
+{
+    std::uint64_t timeouts = 0;
+    for (std::uint64_t seed : {1u, 2u}) {
+        CheckSetup setup;
+        setup.kind = GetParam();
+        setup.nodes = 2;
+        setup.cpus_per_node = 4;
+        setup.iterations = 3;
+        setup.seed = seed;
+        setup.bounded = true;
+        setup.timeout_ns = 500'000;
+        setup.faults = "holderdeath";
+
+        DefaultScheduler scheduler;
+        const RunReport report = run_one(setup, scheduler);
+        EXPECT_FALSE(report.failed) << report.what << " seed=" << seed;
+        timeouts += report.timeouts;
+    }
+    EXPECT_GT(timeouts, 0u) << "holder death never pushed a waiter past "
+                               "its deadline: the fault is not firing";
+}
+
+std::vector<LockKind>
+abandonment_capable_kinds()
+{
+    std::vector<LockKind> kinds;
+    for (LockKind kind : all_lock_kinds())
+        if (lock_supports_native_timeout(kind))
+            kinds.push_back(kind);
+    return kinds;
+}
+
+std::string
+robust_kind_name(const testing::TestParamInfo<LockKind>& info)
+{
+    return lock_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(TimedLocks, HolderDeathRecoveryTest,
+                         testing::ValuesIn(abandonment_capable_kinds()),
+                         robust_kind_name);
+
+// ------------------------------------------------------------ campaign --
+
+bool
+cells_equal(const CampaignCell& a, const CampaignCell& b)
+{
+    return a.lock == b.lock && a.preset == b.preset && a.seed == b.seed &&
+           a.failed == b.failed && a.what == b.what && a.stop == b.stop &&
+           a.steps == b.steps && a.acquisitions == b.acquisitions &&
+           a.timeouts == b.timeouts &&
+           a.mutex_violations == b.mutex_violations &&
+           a.faults_injected == b.faults_injected &&
+           a.max_overshoot_ns == b.max_overshoot_ns &&
+           a.abandon.abandons == b.abandon.abandons &&
+           a.abandon.parked == b.abandon.parked &&
+           a.abandon.reclaims == b.abandon.reclaims &&
+           a.leaked_nodes == b.leaked_nodes && a.trace == b.trace &&
+           a.minimal_trace == b.minimal_trace;
+}
+
+CampaignConfig
+small_campaign()
+{
+    CampaignConfig cfg;
+    cfg.presets = {"none", "holderdeath"};
+    cfg.kinds = {LockKind::Mcs, LockKind::HboGt};
+    cfg.shapes = {CampaignShape{2, 2}, CampaignShape{2, 4}};
+    cfg.num_seeds = 2;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+TEST(Campaign, DeterministicAcrossRunsAndJobCounts)
+{
+    const CampaignResult first = run_campaign(small_campaign());
+    const CampaignResult again = run_campaign(small_campaign());
+    CampaignConfig wide = small_campaign();
+    wide.jobs = 4;
+    const CampaignResult sharded = run_campaign(wide);
+
+    ASSERT_EQ(first.cells.size(), 16u); // 2 presets x 2 locks x 2x2 shapes
+    ASSERT_EQ(again.cells.size(), first.cells.size());
+    ASSERT_EQ(sharded.cells.size(), first.cells.size());
+    for (std::size_t i = 0; i < first.cells.size(); ++i) {
+        EXPECT_TRUE(cells_equal(first.cells[i], again.cells[i])) << i;
+        EXPECT_TRUE(cells_equal(first.cells[i], sharded.cells[i])) << i;
+    }
+    EXPECT_EQ(first.failures, 0u);
+    EXPECT_EQ(sharded.failures, 0u);
+}
+
+TEST(Campaign, StandardSweepPassesItsRecoveryAudit)
+{
+    CampaignConfig cfg;
+    cfg.jobs = 0; // default executor sharding
+    const CampaignResult result = run_campaign(cfg);
+    EXPECT_GT(result.cells.size(), 100u);
+    EXPECT_EQ(result.failures, 0u);
+
+    // The sweep must really exercise the abandonment paths, not just pass
+    // vacuously: every audited lock family sees timed expiries.
+    for (const CampaignLockSummary& row : result.per_lock) {
+        EXPECT_GT(row.acquisitions, 0u) << row.lock;
+        EXPECT_GT(row.timeouts, 0u) << row.lock;
+    }
+}
+
+TEST(Campaign, FailingCellCarriesAReplayableTrace)
+{
+    // Force a failure through the overshoot audit: with a zero budget any
+    // expiry that returns even one poll quantum late trips the bound.
+    CampaignConfig cfg;
+    cfg.presets = {"holderdeath"};
+    cfg.kinds = {LockKind::Mcs};
+    cfg.shapes = {CampaignShape{2, 2}, CampaignShape{2, 4}};
+    cfg.num_seeds = 2;
+    cfg.overshoot_base_ns = 0;
+    cfg.jobs = 1;
+
+    const CampaignResult result = run_campaign(cfg);
+    ASSERT_GT(result.failures, 0u);
+
+    const CampaignCell* failed = nullptr;
+    for (const CampaignCell& cell : result.cells)
+        if (cell.failed) {
+            failed = &cell;
+            break;
+        }
+    ASSERT_NE(failed, nullptr);
+    EXPECT_NE(failed->what.find("overshoot"), std::string::npos)
+        << failed->what;
+    ASSERT_FALSE(failed->trace.empty());
+
+    // The trace replays bit-identically: same machine history, same
+    // overshoot measurement the audit tripped on.
+    const auto trace = decode_trace(failed->trace);
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_EQ(trace->faults, "holderdeath");
+    EXPECT_EQ(trace->timeout_ns, cfg.timeout_ns);
+    const auto setup = setup_from_trace(*trace);
+    ASSERT_TRUE(setup.has_value());
+    ReplayScheduler replay(trace->schedule);
+    const RunReport report = run_one(*setup, replay);
+    EXPECT_FALSE(replay.diverged());
+    EXPECT_EQ(report.acquisitions, failed->acquisitions);
+    EXPECT_EQ(report.timeouts, failed->timeouts);
+    EXPECT_EQ(report.max_overshoot_ns, failed->max_overshoot_ns);
+}
+
+// ---------------------------------------------- abandonment metrics fold --
+
+obs::ProbeRecord
+rec(obs::LockEvent event, std::uint64_t t, int thread, std::uint64_t a0 = 0,
+    std::uint64_t a1 = 0)
+{
+    return obs::ProbeRecord{event, t, /*lock_id=*/42, thread,
+                            /*cpu=*/thread,  /*node=*/0, a0, a1};
+}
+
+TEST(AbandonMetrics, RegistryFoldsTheAbandonEventStream)
+{
+    using obs::AbandonOutcome;
+    using obs::LockEvent;
+    using obs::ReclaimKind;
+
+    obs::MetricsRegistry reg;
+    // T0 times out and parks; its node is later reclaimed by a releaser
+    // and T0 unparks on return. T1's deadline loses the grant race.
+    reg.on_event(rec(LockEvent::AbandonStart, 100, 0));
+    reg.on_event(rec(LockEvent::AbandonDone, 160, 0,
+                     static_cast<std::uint64_t>(AbandonOutcome::Parked)));
+    reg.on_event(rec(LockEvent::QueueReclaim, 400, 2,
+                     static_cast<std::uint64_t>(ReclaimKind::Unlinked), 0));
+    reg.on_event(rec(LockEvent::QueueReclaim, 900, 0,
+                     static_cast<std::uint64_t>(ReclaimKind::Unparked), 0));
+    reg.on_event(rec(LockEvent::AbandonStart, 1'000, 1));
+    reg.on_event(
+        rec(LockEvent::AbandonDone, 1'080, 1,
+            static_cast<std::uint64_t>(AbandonOutcome::GrantRaced)));
+    reg.on_event(rec(LockEvent::QueueReclaim, 1'200, 3,
+                     static_cast<std::uint64_t>(ReclaimKind::Rejoined), 3));
+    reg.finalize();
+
+    const obs::LockMetrics& m = reg.lock(42);
+    // A grant-raced deadline is NOT an abandon: the lock was accepted, so
+    // only the parked expiry counts (matching locks::AbandonCounters).
+    EXPECT_EQ(m.abandons, 1u);
+    EXPECT_EQ(m.abandons_parked, 1u);
+    EXPECT_EQ(m.abandon_grant_races, 1u);
+    EXPECT_EQ(m.reclaims, 1u);
+    EXPECT_EQ(m.unparks, 1u);
+    EXPECT_EQ(m.rejoins, 1u);
+    EXPECT_EQ(m.abandon_latency_ns.count(), 2u);
+    EXPECT_DOUBLE_EQ(m.abandon_latency_ns.mean(), (60.0 + 80.0) / 2);
+}
+
+TEST(AbandonMetrics, ProbeStreamMatchesHarnessCounters)
+{
+    // End to end: the probe-fed registry and the lock's own host-side
+    // counters must tell the same abandonment story for a faulty run.
+    obs::MetricsRegistry reg;
+    CheckSetup setup;
+    setup.kind = LockKind::Mcs;
+    setup.nodes = 2;
+    setup.cpus_per_node = 4;
+    setup.iterations = 3;
+    setup.seed = 1;
+    setup.bounded = true;
+    setup.timeout_ns = 500'000;
+    setup.faults = "holderdeath";
+    setup.probe = &reg;
+
+    DefaultScheduler scheduler;
+    const RunReport report = run_one(setup, scheduler);
+    EXPECT_FALSE(report.failed) << report.what;
+    reg.finalize();
+
+    ASSERT_NE(reg.primary(), nullptr);
+    const obs::LockMetrics& m = *reg.primary();
+    EXPECT_EQ(m.abandons, report.abandon.abandons);
+    EXPECT_EQ(m.abandons_parked, report.abandon.parked);
+    EXPECT_EQ(m.abandon_grant_races, report.abandon.grant_races);
+    EXPECT_EQ(m.reclaims, report.abandon.reclaims);
+    EXPECT_EQ(m.rejoins, report.abandon.rejoins);
+    EXPECT_EQ(m.unparks, report.abandon.unparks);
+    EXPECT_GT(m.abandons, 0u); // the scenario really abandoned
+}
+
+} // namespace

@@ -410,9 +410,11 @@ TEST(ReportV2, EmittedReportValidates)
     EXPECT_NE(out.str().find("\"memtrace_dropped\""), std::string::npos);
 }
 
-TEST(ReportV2, SchemaVersionIsTwo)
+TEST(ReportV2, SchemaVersionIsThree)
 {
-    EXPECT_EQ(obs::kReportSchemaVersion, 2);
+    // v3 added the optional top-level "robustness" object (fault-campaign
+    // verdicts, nucacheck --campaign).
+    EXPECT_EQ(obs::kReportSchemaVersion, 3);
 }
 
 TEST(ReportV2, UnknownVersionIsRejectedWithClearMessage)

@@ -11,28 +11,40 @@
  *   --mode=exhaustive  bounded DFS with sleep sets + preemption bound
  *   --mode=pct         randomized priority scheduling (PCT)
  *   --replay=TRACE     re-run one recorded trace string
+ *   --campaign[=SPECS] deterministic fault-campaign soak over the
+ *                      abandonment-capable locks (check/campaign.hpp):
+ *                      presets x locks x shapes x seeds, each cell a
+ *                      bounded run under fault injection audited for the
+ *                      recovery invariants (docs/robustness.md); failures
+ *                      shrink to minimal replay traces and --report writes
+ *                      the v3 "robustness" report object
  *
  * Examples:
  *   nucacheck --mode=exhaustive --cpus=4
  *   nucacheck --mode=pct --cpus=2x4 --pct-runs=100 --pct-depth=3
  *   nucacheck --lock=TATAS_BROKEN --expect-fail
  *   nucacheck --replay='nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x12,1x3' --expect-fail
+ *   nucacheck --campaign --seeds=2 --report=campaign.json
+ *   nucacheck --campaign=death --lock=MCS --shapes=2x2
  *
  * Exit status: 0 = expectation met (all pass, or --expect-fail and the bug
  * was caught, replayed, and minimized), 1 = expectation not met, 2 = usage.
  */
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "check/broken.hpp"
+#include "check/campaign.hpp"
 #include "check/explore.hpp"
 #include "check/harness.hpp"
 #include "check/pct.hpp"
 #include "check/schedule.hpp"
 #include "exec/executor.hpp"
+#include "obs/report.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -60,6 +72,24 @@ struct Options
     bool expect_fail = false;
     bool minimize = true;
     std::string replay;
+    /** --campaign mode: run the fault-campaign soak. */
+    bool campaign = false;
+    /** Preset override ("death" or "holder,spike,..."); empty = defaults. */
+    std::string campaign_presets;
+    /** Shape override ("2x2,2x4"); empty = campaign defaults. */
+    std::string shapes;
+    /** Consecutive seeds starting at --seed. */
+    int seeds = 2;
+    /** --iters was given explicitly (campaign has its own default). */
+    bool iters_set = false;
+    /** Campaign report JSON path ("-" = stdout); empty = off. */
+    std::string report;
+    /** --timeout-ns was given explicitly (campaign has its own default). */
+    bool timeout_set = false;
+    /** Campaign overshoot budget base override (ns); campaign default
+     *  when unset. 0 is meaningful: any late return fails its cell. */
+    std::uint64_t overshoot_base_ns = 0;
+    bool overshoot_set = false;
     /** Host worker threads (exec::Executor); 0 = NUCALOCK_JOBS, else
      *  hardware concurrency. Verdicts are identical at every level. */
     int jobs = 0;
@@ -73,7 +103,10 @@ usage(std::ostream& os)
           "                 [--schedules=N] [--steps=N] [--preemptions=P]\n"
           "                 [--pct-runs=N] [--pct-depth=D] [--bounded]\n"
           "                 [--timeout-ns=T] [--bypass-bound=B] [--jobs=N]\n"
-          "                 [--replay=TRACE] [--expect-fail] [--no-minimize]\n";
+          "                 [--replay=TRACE] [--expect-fail] [--no-minimize]\n"
+          "                 [--campaign[=PRESETS]] [--shapes=NxM[,NxM...]]\n"
+          "                 [--seeds=K] [--overshoot-base-ns=T]\n"
+          "                 [--report=PATH|-]\n";
     return 2;
 }
 
@@ -144,6 +177,7 @@ parse_args(int argc, char** argv, Options& opts)
             if (!parse_u64(value, v) || v == 0 || v > 1'000'000)
                 return false;
             opts.iterations = static_cast<std::uint32_t>(v);
+            opts.iters_set = true;
         } else if (key == "--seed") {
             if (!parse_u64(value, opts.seed))
                 return false;
@@ -166,6 +200,26 @@ parse_args(int argc, char** argv, Options& opts)
             opts.bounded = true;
         } else if (key == "--timeout-ns") {
             if (!parse_u64(value, opts.timeout_ns) || opts.timeout_ns == 0)
+                return false;
+            opts.timeout_set = true;
+        } else if (key == "--campaign") {
+            opts.campaign = true;
+            opts.campaign_presets = std::string(value); // empty = defaults
+        } else if (key == "--shapes") {
+            opts.shapes = std::string(value);
+            if (opts.shapes.empty())
+                return false;
+        } else if (key == "--seeds") {
+            if (!parse_int(value, opts.seeds) || opts.seeds < 1 ||
+                opts.seeds > 1024)
+                return false;
+        } else if (key == "--overshoot-base-ns") {
+            if (!parse_u64(value, opts.overshoot_base_ns))
+                return false;
+            opts.overshoot_set = true;
+        } else if (key == "--report") {
+            opts.report = std::string(value);
+            if (opts.report.empty())
                 return false;
         } else if (key == "--bypass-bound") {
             if (!parse_u64(value, opts.bypass_bound))
@@ -327,6 +381,204 @@ run_replay(const Options& opts)
     return expectation_met ? 0 : 1;
 }
 
+/** Split @p text on ',' or '+' into non-empty pieces. */
+std::vector<std::string>
+split_list(std::string_view text)
+{
+    std::vector<std::string> out;
+    std::string piece;
+    for (char c : text) {
+        if (c == ',' || c == '+') {
+            if (!piece.empty())
+                out.push_back(piece);
+            piece.clear();
+        } else {
+            piece += c;
+        }
+    }
+    if (!piece.empty())
+        out.push_back(piece);
+    return out;
+}
+
+/** "--shapes=NxM[,NxM...]" into campaign shapes; false on any bad piece. */
+bool
+parse_shapes(std::string_view text, std::vector<CampaignShape>& out)
+{
+    for (const std::string& piece : split_list(text)) {
+        const std::size_t x = piece.find('x');
+        CampaignShape shape;
+        if (x == std::string::npos ||
+            !parse_int(std::string_view(piece).substr(0, x), shape.nodes) ||
+            !parse_int(std::string_view(piece).substr(x + 1),
+                       shape.cpus_per_node) ||
+            shape.nodes < 1 || shape.cpus_per_node < 1)
+            return false;
+        out.push_back(shape);
+    }
+    return !out.empty();
+}
+
+obs::RobustnessReport
+robustness_from_campaign(const CampaignConfig& cfg,
+                         const CampaignResult& result)
+{
+    obs::RobustnessReport rob;
+    rob.presets = cfg.presets;
+    rob.timeout_ns = cfg.timeout_ns;
+    rob.iterations = cfg.iterations;
+    rob.first_seed = cfg.first_seed;
+    rob.num_seeds = cfg.num_seeds;
+    rob.failures = result.failures;
+    for (const CampaignCell& cell : result.cells) {
+        obs::RobustnessCell c;
+        c.lock = cell.lock;
+        c.preset = cell.preset;
+        c.nodes = cell.nodes;
+        c.cpus_per_node = cell.cpus_per_node;
+        c.seed = cell.seed;
+        c.failed = cell.failed;
+        c.what = cell.what;
+        c.stop = cell.stop;
+        c.steps = cell.steps;
+        c.acquisitions = cell.acquisitions;
+        c.timeouts = cell.timeouts;
+        c.mutex_violations = cell.mutex_violations;
+        c.faults_injected = cell.faults_injected;
+        c.max_overshoot_ns = cell.max_overshoot_ns;
+        c.overshoot_bound_ns = cell.overshoot_bound_ns;
+        c.abandons = cell.abandon.abandons;
+        c.parked = cell.abandon.parked;
+        c.grant_races = cell.abandon.grant_races;
+        c.reclaims = cell.abandon.reclaims;
+        c.rejoins = cell.abandon.rejoins;
+        c.unparks = cell.abandon.unparks;
+        c.leaked_nodes = cell.leaked_nodes;
+        c.trace = cell.trace;
+        c.minimal_trace = cell.minimal_trace;
+        rob.cells.push_back(std::move(c));
+    }
+    for (const CampaignLockSummary& row : result.per_lock) {
+        obs::RobustnessLockRow r;
+        r.lock = row.lock;
+        r.cells = row.cells;
+        r.failures = row.failures;
+        r.acquisitions = row.acquisitions;
+        r.timeouts = row.timeouts;
+        r.abandons = row.abandons;
+        r.parked = row.parked;
+        r.grant_races = row.grant_races;
+        r.reclaims = row.reclaims;
+        r.rejoins = row.rejoins;
+        r.unparks = row.unparks;
+        r.leaked_nodes = row.leaked_nodes;
+        r.max_overshoot_ns = row.max_overshoot_ns;
+        rob.per_lock.push_back(std::move(r));
+    }
+    return rob;
+}
+
+int
+run_campaign_mode(const Options& opts)
+{
+    CampaignConfig cfg;
+    cfg.presets = split_list(opts.campaign_presets);
+    if (opts.lock != "ALL") {
+        const auto kind = locks::parse_lock_name(opts.lock);
+        if (!kind) {
+            std::cerr << "nucacheck: unknown lock \"" << opts.lock << "\"\n";
+            return 2;
+        }
+        if (!locks::lock_supports_native_timeout(*kind)) {
+            std::cerr << "nucacheck: lock \"" << opts.lock
+                      << "\" has no native timeout path; the campaign "
+                         "audits abandonment-capable locks only\n";
+            return 2;
+        }
+        cfg.kinds.push_back(*kind);
+    }
+    if (!opts.shapes.empty() && !parse_shapes(opts.shapes, cfg.shapes)) {
+        std::cerr << "nucacheck: bad --shapes \"" << opts.shapes << "\"\n";
+        return 2;
+    }
+    cfg.first_seed = opts.seed;
+    cfg.num_seeds = opts.seeds;
+    if (opts.iters_set)
+        cfg.iterations = opts.iterations;
+    if (opts.timeout_set)
+        cfg.timeout_ns = opts.timeout_ns;
+    if (opts.overshoot_set)
+        cfg.overshoot_base_ns = opts.overshoot_base_ns;
+    cfg.shrink = opts.minimize;
+    cfg.jobs = opts.jobs;
+    cfg.apply_defaults(); // fix presets/kinds/shapes before echoing them
+
+    const CampaignResult result = run_campaign(cfg);
+
+    stats::Table table({"Lock", "cells", "fail", "acq", "timeouts",
+                        "abandons", "parked", "races", "reclaims", "rejoins",
+                        "unparks", "leaked", "overshoot", "verdict"});
+    for (const CampaignLockSummary& row : result.per_lock)
+        table.row()
+            .cell(row.lock)
+            .cell(row.cells)
+            .cell(row.failures)
+            .cell(row.acquisitions)
+            .cell(row.timeouts)
+            .cell(row.abandons)
+            .cell(row.parked)
+            .cell(row.grant_races)
+            .cell(row.reclaims)
+            .cell(row.rejoins)
+            .cell(row.unparks)
+            .cell(row.leaked_nodes)
+            .cell(row.max_overshoot_ns)
+            .cell(row.failures != 0 ? "FAIL" : "ok");
+
+    for (const CampaignCell& cell : result.cells) {
+        if (!cell.failed)
+            continue;
+        std::cout << cell.lock << " preset=" << cell.preset << " "
+                  << cell.nodes << "x" << cell.cpus_per_node
+                  << " seed=" << cell.seed << ":\n"
+                  << "  failure: " << cell.what << "\n";
+        if (!cell.trace.empty())
+            std::cout << "  trace:   " << cell.trace << "\n";
+        if (!cell.minimal_trace.empty())
+            std::cout << "  minimal: " << cell.minimal_trace << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "campaign: " << result.cells.size() << " cells, "
+              << result.failures << " failure"
+              << (result.failures == 1 ? "" : "s") << " ("
+              << (result.failures == 0 ? "ok" : "FAIL") << ")\n";
+
+    if (!opts.report.empty()) {
+        const obs::RobustnessReport rob =
+            robustness_from_campaign(cfg, result);
+        obs::ReportConfig report_cfg;
+        report_cfg.tool = "nucacheck";
+        report_cfg.bench = "campaign";
+        report_cfg.iterations = cfg.iterations;
+        report_cfg.seed = cfg.first_seed;
+        if (opts.report == "-") {
+            obs::write_report(std::cout, report_cfg, {}, &rob);
+        } else {
+            std::ofstream out(opts.report);
+            if (!out) {
+                std::cerr << "nucacheck: cannot write " << opts.report
+                          << "\n";
+                return 2;
+            }
+            obs::write_report(out, report_cfg, {}, &rob);
+        }
+    }
+
+    if (opts.expect_fail)
+        return result.failures != 0 ? 0 : 1;
+    return result.failures == 0 ? 0 : 1;
+}
+
 int
 run_check(const Options& opts)
 {
@@ -435,5 +687,7 @@ main(int argc, char** argv)
         return usage(std::cerr);
     if (!opts.replay.empty())
         return run_replay(opts);
+    if (opts.campaign)
+        return run_campaign_mode(opts);
     return run_check(opts);
 }

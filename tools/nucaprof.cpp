@@ -17,7 +17,14 @@
  *  - `--memtrace=PATH`: the raw memory-access trace as CSV (single --lock,
  *    capped at 1M events; the drop count is reported and in the JSON),
  *  - `--check-schema=FILE`: validate an existing report and exit (what
- *    the CI perf-smoke job runs on its own artifact).
+ *    the CI perf-smoke job runs on its own artifact),
+ *  - `--robustness=FILE`: render the "robustness" object of a report
+ *    written by `nucacheck --campaign --report=...` (per-lock recovery
+ *    tables, failing cells with replay traces),
+ *  - `--diff=A,B`: compare two reports over their deterministic fields
+ *    (the nondeterministic "host" objects are stripped first) and list
+ *    every differing path — what the CI determinism jobs run instead of
+ *    raw byte comparison.
  *
  * Everything is deterministic per --seed, and — pinned by a debug-build
  * assertion here and by tests/obs_test.cpp — observing a run never
@@ -32,6 +39,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -64,6 +72,8 @@ prof_usage()
            "                [--traffic] [--json=PATH] [--trace=PATH]\n"
            "                [--memtrace=PATH] [--jobs=N]\n"
            "       nucaprof --check-schema=REPORT.json\n"
+           "       nucaprof --robustness=REPORT.json\n"
+           "       nucaprof --diff=A.json,B.json\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: "
@@ -168,6 +178,217 @@ check_schema(const std::string& path)
     return 0;
 }
 
+/** Read + parse a report file; nullopt (with a message) on failure. */
+std::optional<obs::JsonValue>
+load_report(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot read '" << path << "'\n";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    auto document = obs::json_parse(text.str(), &error);
+    if (!document) {
+        std::cerr << path << ": JSON parse error: " << error << "\n";
+        return std::nullopt;
+    }
+    return document;
+}
+
+std::uint64_t
+num_of(const obs::JsonValue& parent, const char* name)
+{
+    const obs::JsonValue* v = parent.find(name);
+    return v == nullptr ? 0 : static_cast<std::uint64_t>(v->number);
+}
+
+std::string
+str_of(const obs::JsonValue& parent, const char* name)
+{
+    const obs::JsonValue* v = parent.find(name);
+    return v == nullptr ? std::string{} : v->string;
+}
+
+/** --robustness: render a campaign report's recovery verdict. */
+int
+show_robustness(const std::string& path)
+{
+    const auto document = load_report(path);
+    if (!document)
+        return 1;
+    std::string error;
+    if (!obs::validate_report(*document, &error)) {
+        std::cerr << path << ": schema validation FAILED: " << error << "\n";
+        return 1;
+    }
+    const obs::JsonValue* rob = document->find("robustness");
+    if (rob == nullptr) {
+        std::cerr << path << ": no \"robustness\" object (write one with "
+                     "nucacheck --campaign --report=...)\n";
+        return 1;
+    }
+
+    const obs::JsonValue* campaign = rob->find("campaign");
+    std::cout << "campaign:";
+    if (const obs::JsonValue* presets = campaign->find("presets"))
+        for (const obs::JsonValue& p : presets->array)
+            std::cout << " " << p.string;
+    std::cout << "\n  timeout_ns=" << num_of(*campaign, "timeout_ns")
+              << " iterations=" << num_of(*campaign, "iterations")
+              << " first_seed=" << num_of(*campaign, "first_seed")
+              << " num_seeds=" << num_of(*campaign, "num_seeds") << "\n\n";
+
+    stats::Table table({"Lock", "cells", "fail", "acq", "timeouts",
+                        "abandons", "parked", "races", "reclaims", "rejoins",
+                        "unparks", "leaked", "overshoot", "verdict"});
+    for (const obs::JsonValue& row : rob->find("per_lock")->array)
+        table.row()
+            .cell(str_of(row, "lock"))
+            .cell(num_of(row, "cells"))
+            .cell(num_of(row, "failures"))
+            .cell(num_of(row, "acquisitions"))
+            .cell(num_of(row, "timeouts"))
+            .cell(num_of(row, "abandons"))
+            .cell(num_of(row, "parked"))
+            .cell(num_of(row, "grant_races"))
+            .cell(num_of(row, "reclaims"))
+            .cell(num_of(row, "rejoins"))
+            .cell(num_of(row, "unparks"))
+            .cell(num_of(row, "leaked_nodes"))
+            .cell(num_of(row, "max_overshoot_ns"))
+            .cell(num_of(row, "failures") != 0 ? "FAIL" : "ok");
+    table.print(std::cout);
+
+    const obs::JsonValue* cells = rob->find("cells");
+    for (const obs::JsonValue& cell : cells->array) {
+        if (str_of(cell, "verdict") != "FAIL")
+            continue;
+        std::cout << "\n"
+                  << str_of(cell, "lock") << " preset="
+                  << str_of(cell, "preset") << " " << num_of(cell, "nodes")
+                  << "x" << num_of(cell, "cpus_per_node")
+                  << " seed=" << num_of(cell, "seed") << ":\n"
+                  << "  failure: " << str_of(cell, "what") << "\n";
+        if (const obs::JsonValue* t = cell.find("trace"))
+            std::cout << "  trace:   " << t->string << "\n";
+        if (const obs::JsonValue* t = cell.find("minimal_trace"))
+            std::cout << "  minimal: " << t->string << "\n";
+    }
+    const std::uint64_t failures = num_of(*rob, "failures");
+    std::cout << "\nrobustness: " << cells->array.size() << " cells, "
+              << failures << " failure" << (failures == 1 ? "" : "s") << " ("
+              << str_of(*rob, "verdict") << ")\n";
+    return failures == 0 ? 0 : 1;
+}
+
+/** Drop every "host" object (the one nondeterministic report field). */
+void
+strip_host(obs::JsonValue& v)
+{
+    if (v.type == obs::JsonValue::Type::Object) {
+        v.object.erase("host");
+        for (auto& [key, child] : v.object)
+            strip_host(child);
+    } else if (v.type == obs::JsonValue::Type::Array) {
+        for (obs::JsonValue& child : v.array)
+            strip_host(child);
+    }
+}
+
+/** Append every path where @p a and @p b differ (caps at 32 entries). */
+void
+diff_values(const obs::JsonValue& a, const obs::JsonValue& b,
+            const std::string& path, std::vector<std::string>& out)
+{
+    constexpr std::size_t kMaxDiffs = 32;
+    if (out.size() >= kMaxDiffs)
+        return;
+    if (a.type != b.type) {
+        out.push_back(path + ": type differs");
+        return;
+    }
+    switch (a.type) {
+      case obs::JsonValue::Type::Object: {
+        for (const auto& [key, av] : a.object) {
+            const obs::JsonValue* bv = b.find(key);
+            if (bv == nullptr)
+                out.push_back(path + "." + key + ": only in first");
+            else
+                diff_values(av, *bv, path + "." + key, out);
+            if (out.size() >= kMaxDiffs)
+                return;
+        }
+        for (const auto& [key, bv] : b.object)
+            if (a.find(key) == nullptr) {
+                out.push_back(path + "." + key + ": only in second");
+                if (out.size() >= kMaxDiffs)
+                    return;
+            }
+        break;
+      }
+      case obs::JsonValue::Type::Array: {
+        if (a.array.size() != b.array.size()) {
+            out.push_back(path + ": array length " +
+                          std::to_string(a.array.size()) + " vs " +
+                          std::to_string(b.array.size()));
+            return;
+        }
+        for (std::size_t i = 0; i < a.array.size(); ++i) {
+            diff_values(a.array[i], b.array[i],
+                        path + "[" + std::to_string(i) + "]", out);
+            if (out.size() >= kMaxDiffs)
+                return;
+        }
+        break;
+      }
+      case obs::JsonValue::Type::String:
+        if (a.string != b.string)
+            out.push_back(path + ": \"" + a.string + "\" vs \"" + b.string +
+                          "\"");
+        break;
+      case obs::JsonValue::Type::Number:
+        if (a.number != b.number)
+            out.push_back(path + ": " + std::to_string(a.number) + " vs " +
+                          std::to_string(b.number));
+        break;
+      case obs::JsonValue::Type::Bool:
+        if (a.boolean != b.boolean)
+            out.push_back(path + ": boolean differs");
+        break;
+      case obs::JsonValue::Type::Null:
+        break;
+    }
+}
+
+/** --diff=A,B: deterministic-field comparison of two reports. */
+int
+diff_reports(const std::string& spec)
+{
+    const std::size_t comma = spec.find(',');
+    const std::string path_a = spec.substr(0, comma);
+    const std::string path_b = spec.substr(comma + 1);
+    auto a = load_report(path_a);
+    auto b = load_report(path_b);
+    if (!a || !b)
+        return 2;
+    strip_host(*a);
+    strip_host(*b);
+    std::vector<std::string> diffs;
+    diff_values(*a, *b, "$", diffs);
+    if (diffs.empty()) {
+        std::cout << path_a << " and " << path_b
+                  << ": identical over deterministic fields\n";
+        return 0;
+    }
+    std::cout << path_a << " and " << path_b << " DIFFER:\n";
+    for (const std::string& d : diffs)
+        std::cout << "  " << d << "\n";
+    return 1;
+}
+
 int
 write_trace(const ProfiledRun& run, const obs::TimelineBuilder& timeline,
             const std::string& path)
@@ -247,6 +468,10 @@ main(int argc, char** argv)
     }
     if (!opts.check_schema.empty())
         return check_schema(opts.check_schema);
+    if (!opts.robustness.empty())
+        return show_robustness(opts.robustness);
+    if (!opts.diff.empty())
+        return diff_reports(opts.diff);
     if (opts.bench == CliBench::Uncontested) {
         std::cerr << "error: nucaprof profiles contended runs; use "
                      "--bench=new or --bench=traditional\n";
