@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ADAPTIVE contention ramp: the online-adaptive lock against an oracle
+ * that picks the best static gear at every contention level.
+ *
+ * The ramp sweeps critical-section length (longer holds => more waiters
+ * piled on the lock word => more contention) on the 2-node 28-cpu
+ * WildFire, running each static gear candidate — TATAS_EXP (the low-
+ * contention gear), HBO_GT (the NUCA-contended gear) and MCS (the queue
+ * gear) — plus ADAPTIVE at each level. The oracle column is the best
+ * static ns/acquire at that level; the headline is ADAPTIVE's ratio to
+ * it, with a "> +15%" marker where the adaptive lock leaves the target
+ * envelope (docs/adaptive.md).
+ *
+ * Everything here is simulated, so results are bit-identical run to run
+ * and at every --jobs level; the acquisition-order hash chain printed at
+ * the bottom pins that. With NUCALOCK_BENCH_JSON set, writes a
+ * nucalock-bench-report v4 document whose ADAPTIVE runs carry the
+ * "adaptive" gear-telemetry object; the report contains no host object,
+ * so the file is byte-identical at every --jobs level too.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/executor.hpp"
+#include "harness/newbench.hpp"
+#include "obs/metrics.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::harness;
+using namespace nucalock::locks;
+
+/** The static gear candidates the oracle may pick, then ADAPTIVE. */
+const std::vector<LockKind> kKinds = {LockKind::TatasExp, LockKind::HboGt,
+                                      LockKind::Mcs, LockKind::Adaptive};
+
+/** Contention ramp: critical-section work per acquisition. */
+const std::vector<std::uint32_t> kLevels = {0, 250, 1000, 2500};
+
+struct CellRun
+{
+    BenchResult result;
+    /** Finalized registry (ADAPTIVE cells only; nullptr otherwise). */
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+};
+
+NewBenchConfig
+level_config(std::uint32_t critical_work, std::uint32_t iters)
+{
+    NewBenchConfig config;
+    config.threads = 28;
+    config.critical_work = critical_work;
+    config.iterations_per_thread = iters;
+    return config;
+}
+
+std::string
+hash_hex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner(
+        "ADAPTIVE contention ramp",
+        "ns/acquire across a critical-work ramp (2-node, 28-cpu WildFire)\n"
+        "for the static gears TATAS_EXP / HBO_GT / MCS and the online-\n"
+        "adaptive ADAPTIVE lock. 'oracle' is the best static lock at each\n"
+        "level; ADAPTIVE should stay within 15% of it everywhere. All\n"
+        "numbers are simulated: bit-identical at every --jobs level.");
+
+    const auto iters = static_cast<std::uint32_t>(scaled_iters(60, 10));
+    const int jobs = bench::bench_jobs(argc, argv);
+
+    // One cell per (level, lock), levels outermost so the report reads as
+    // the ramp. ADAPTIVE cells carry a metrics registry so the report's
+    // "adaptive" object (and the gear summary below) can be emitted.
+    const std::size_t nk = kKinds.size();
+    std::vector<CellRun> cells(kLevels.size() * nk);
+    exec::Executor executor(jobs);
+    executor.run_batch(cells.size(), [&](std::size_t idx) {
+        CellRun& cell = cells[idx];
+        const LockKind kind = kKinds[idx % nk];
+        NewBenchConfig config =
+            level_config(kLevels[idx / nk], iters);
+        if (kind == LockKind::Adaptive) {
+            cell.metrics = std::make_unique<obs::MetricsRegistry>();
+            config.probe = cell.metrics.get();
+        }
+        cell.result = run_newbench(kind, config);
+        if (cell.metrics)
+            cell.metrics->finalize();
+    });
+
+    stats::Table table({"crit work", "TATAS_EXP", "HBO_GT", "MCS", "oracle",
+                        "ADAPTIVE", "vs oracle", "envelope"});
+    bool all_within = true;
+    for (std::size_t l = 0; l < kLevels.size(); ++l) {
+        const double tatas = cells[l * nk + 0].result.avg_iteration_ns;
+        const double hbo = cells[l * nk + 1].result.avg_iteration_ns;
+        const double mcs = cells[l * nk + 2].result.avg_iteration_ns;
+        const double adaptive = cells[l * nk + 3].result.avg_iteration_ns;
+        const double oracle = std::min(tatas, std::min(hbo, mcs));
+        const double ratio = oracle == 0.0 ? 1.0 : adaptive / oracle;
+        const bool within = ratio <= 1.15;
+        all_within = all_within && within;
+        table.row()
+            .cell(static_cast<std::uint64_t>(kLevels[l]))
+            .cell(tatas, 0)
+            .cell(hbo, 0)
+            .cell(mcs, 0)
+            .cell(oracle, 0)
+            .cell(adaptive, 0)
+            .cell(ratio, 3)
+            .cell(within ? "ok" : "> +15%");
+    }
+    table.print(std::cout);
+    std::cout << (all_within
+                      ? "ADAPTIVE within 15% of the oracle at every level\n"
+                      : "ADAPTIVE left the 15% envelope (see markers)\n");
+
+    // ADAPTIVE gear telemetry per level, from the AdaptSwitch fold.
+    for (std::size_t l = 0; l < kLevels.size(); ++l) {
+        const obs::LockMetrics* m = cells[l * nk + 3].metrics->primary();
+        if (m == nullptr || !m->adapt_seen)
+            continue;
+        const double total =
+            static_cast<double>(m->gear_residency_ns[0] +
+                                m->gear_residency_ns[1] +
+                                m->gear_residency_ns[2]);
+        std::printf("cw=%u: %llu gear switch(es); residency tatas %d%%, "
+                    "hbo %d%%, queue %d%%\n",
+                    kLevels[l],
+                    static_cast<unsigned long long>(m->adapt_switches),
+                    total == 0.0 ? 0
+                                 : static_cast<int>(
+                                       100.0 *
+                                           static_cast<double>(
+                                               m->gear_residency_ns[0]) /
+                                           total +
+                                       0.5),
+                    total == 0.0 ? 0
+                                 : static_cast<int>(
+                                       100.0 *
+                                           static_cast<double>(
+                                               m->gear_residency_ns[1]) /
+                                           total +
+                                       0.5),
+                    total == 0.0 ? 0
+                                 : static_cast<int>(
+                                       100.0 *
+                                           static_cast<double>(
+                                               m->gear_residency_ns[2]) /
+                                           total +
+                                       0.5));
+    }
+
+    // Determinism pin: chain every cell's acquisition-order hash in cell
+    // order. The chain is identical at every --jobs level.
+    std::uint64_t hash = 1469598103934665603ULL; // FNV-1a offset basis
+    for (const CellRun& cell : cells)
+        for (int shift = 0; shift < 64; shift += 8) {
+            hash ^= (cell.result.acquisition_order_hash >> shift) & 0xffu;
+            hash *= 1099511628211ULL;
+        }
+    std::cout << "acq hash chain: 0x" << hash_hex(hash) << "\n";
+
+    obs::ReportConfig rc;
+    rc.tool = "bench_adaptive_ramp";
+    rc.bench = "new";
+    rc.nodes = 2;
+    rc.cpus_per_node = 14;
+    rc.threads = 28;
+    rc.critical_work = kLevels.back();
+    rc.private_work = 4000;
+    rc.iterations = iters;
+    rc.seed = 1;
+    std::vector<obs::ReportRun> runs;
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        const std::string name =
+            std::string(lock_name(kKinds[idx % nk])) + "@cw=" +
+            std::to_string(kLevels[idx / nk]);
+        runs.push_back(obs::ReportRun{name, cells[idx].result,
+                                      cells[idx].metrics.get()});
+    }
+    bench::maybe_write_json(rc, runs);
+    return 0;
+}

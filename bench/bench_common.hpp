@@ -69,7 +69,9 @@ maybe_write_json(const obs::ReportConfig& config,
         return false;
     }
     obs::write_report(out, config, runs);
-    std::printf("(wrote %s)\n", path);
+    // Status note, not benchmark output: stderr keeps stdout byte-diffable
+    // across runs that write their reports to different paths.
+    std::fprintf(stderr, "(wrote %s)\n", path);
     return true;
 }
 

@@ -76,6 +76,88 @@ class BrokenTatasLock
     Ref word_;
 };
 
+/** Trace/CLI name of BrokenAdaptiveLock (deliberately not a LockKind). */
+inline constexpr const char* kBrokenAdaptiveName = "ADAPTIVE_BROKEN";
+
+/**
+ * A composite lock with a seeded gear-switch bug: acquisition itself is a
+ * correct CAS on the word, but every second holder "migrates" the lock
+ * word mid-hold the way a naive adaptive gear switch would — store 0, then
+ * re-claim with its own token — instead of keeping ownership in one atomic
+ * word throughout (the always-safe rule AdaptiveLock follows). Between the
+ * two stores the lock is observably free, so a waiter whose CAS lands in
+ * that window enters the critical section alongside the holder. The window
+ * is two scheduling decisions wide, just like BrokenTatasLock's, so the
+ * same bounded search and PCT depths catch it and minimized repros stay
+ * short.
+ */
+template <locks::LockContext Ctx>
+class BrokenAdaptiveLock
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    static constexpr const char* kName = "ADAPTIVE_BROKEN";
+
+    explicit BrokenAdaptiveLock(Machine& machine,
+                                const locks::LockParams& = locks::LockParams{},
+                                int home_node = 0)
+        : word_(machine.alloc(0, home_node))
+    {
+    }
+
+    void
+    acquire(Ctx& ctx)
+    {
+        const std::uint64_t mine = token_of(ctx);
+        while (true) {
+            const std::uint64_t seen = ctx.cas(word_, 0, mine);
+            if (seen == 0)
+                break;
+            ctx.spin_while_equal(word_, seen);
+        }
+        blip_if_due(ctx, mine);
+    }
+
+    bool
+    try_acquire(Ctx& ctx)
+    {
+        const std::uint64_t mine = token_of(ctx);
+        if (ctx.cas(word_, 0, mine) != 0)
+            return false;
+        blip_if_due(ctx, mine);
+        return true;
+    }
+
+    void
+    release(Ctx& ctx)
+    {
+        ctx.store(word_, 0);
+    }
+
+  private:
+    static std::uint64_t
+    token_of(Ctx& ctx)
+    {
+        return static_cast<std::uint64_t>(ctx.node()) + 1;
+    }
+
+    /** The planted bug: every second acquisition drops and re-takes the
+     *  word while inside the critical section. */
+    void
+    blip_if_due(Ctx& ctx, std::uint64_t mine)
+    {
+        if (++holds_ % 2 != 0)
+            return;
+        ctx.store(word_, 0);    // BUG: lock observably free mid-hold
+        ctx.store(word_, mine); // blind re-claim; a sneaked-in CAS is lost
+    }
+
+    Ref word_;
+    std::uint64_t holds_ = 0; // host-side; ordered by the lock when correct
+};
+
 } // namespace nucalock::check
 
 #endif // NUCALOCK_CHECK_BROKEN_HPP

@@ -5,11 +5,41 @@
 #include "check/explore.hpp"
 #include "common/logging.hpp"
 #include "exec/executor.hpp"
+#include "locks/adaptive_policy.hpp"
+#include "obs/probe.hpp"
 #include "sim/faults.hpp"
 
 namespace nucalock::check {
 
 namespace {
+
+/**
+ * Witness for the ADAPTIVE demote-on-death audit: counts AdaptSwitch
+ * probes whose target gear is the queue and remembers the final gear, so
+ * the cell can verify that a timeout storm actually demoted the lock. A
+ * failed demotion CAS means another thread already switched — then the
+ * final gear is the queue and the audit is still satisfied.
+ */
+class AdaptSwitchCounter final : public obs::ProbeSink
+{
+  public:
+    void
+    on_event(const obs::ProbeRecord& r) override
+    {
+        if (r.event != obs::LockEvent::AdaptSwitch)
+            return;
+        final_gear_ = static_cast<int>((r.a0 >> 8) & 0xff);
+        if (final_gear_ == static_cast<int>(locks::AdaptGear::Queue))
+            ++demotes_;
+    }
+
+    std::uint64_t demotes() const { return demotes_; }
+    int final_gear() const { return final_gear_; }
+
+  private:
+    std::uint64_t demotes_ = 0;
+    int final_gear_ = -1;
+};
 
 /** The per-cell overshoot budget: base + 4x every fault suspension the
  *  preset can inflict on the departing waiter (see CampaignConfig). */
@@ -52,6 +82,10 @@ run_cell(const CampaignConfig& cfg, locks::LockKind kind,
     NUCA_ASSERT(plan.has_value(), "campaign preset failed to parse: ",
                 preset);
     cell.overshoot_bound_ns = overshoot_bound(cfg, *plan);
+
+    AdaptSwitchCounter adapt_probe;
+    if (kind == locks::LockKind::Adaptive)
+        setup.probe = &adapt_probe;
 
     DefaultScheduler scheduler;
     RunReport report = run_one(setup, scheduler);
@@ -97,6 +131,25 @@ run_cell(const CampaignConfig& cfg, locks::LockKind kind,
                     std::to_string(cell.leaked_nodes) +
                     " abandoned node(s) still linked at run end";
     }
+#ifndef NUCALOCK_NO_PROBES
+    // Graceful-degradation audit: an ADAPTIVE cell whose faults killed a
+    // thread and whose abandonments reached the storm threshold must have
+    // demoted to the queue gear (every abandonment path feeds the storm
+    // detector, and the counter is monotonic across voluntary switches).
+    // Probe-dependent, so it is compiled out with the probe sites.
+    else if (kind == locks::LockKind::Adaptive && plan->has_death() &&
+             report.abandon.abandons >=
+                 locks::LockParams{}.adaptive.storm_abandons &&
+             adapt_probe.demotes() == 0 &&
+             adapt_probe.final_gear() !=
+                 static_cast<int>(locks::AdaptGear::Queue)) {
+        cell.failed = true;
+        cell.what = "graceful degradation missed: " +
+                    std::to_string(report.abandon.abandons) +
+                    " abandonment(s) under a death plan with no demotion "
+                    "to the queue gear";
+    }
+#endif
 
     if (!cell.failed)
         return cell;

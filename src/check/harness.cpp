@@ -31,6 +31,7 @@ run_one(const CheckSetup& setup, sim::Scheduler& scheduler)
     // three calls the workload makes.
     std::optional<AnyLock<SimContext>> real;
     std::optional<BrokenTatasLock<SimContext>> broken;
+    std::optional<BrokenAdaptiveLock<SimContext>> broken_adaptive;
     std::function<bool(SimContext&)> acquire_ok;
     std::function<void(SimContext&)> release;
     if (setup.use_broken_tatas) {
@@ -45,6 +46,19 @@ run_one(const CheckSetup& setup, sim::Scheduler& scheduler)
                 return true;
             };
         release = [&](SimContext& ctx) { broken->release(ctx); };
+    } else if (setup.use_broken_adaptive) {
+        broken_adaptive.emplace(machine);
+        if (setup.bounded)
+            acquire_ok = [&](SimContext& ctx) {
+                return locks::acquire_for(*broken_adaptive, ctx,
+                                          setup.timeout_ns);
+            };
+        else
+            acquire_ok = [&](SimContext& ctx) {
+                broken_adaptive->acquire(ctx);
+                return true;
+            };
+        release = [&](SimContext& ctx) { broken_adaptive->release(ctx); };
     } else {
         real.emplace(machine, setup.kind);
         if (setup.bounded)
@@ -174,8 +188,9 @@ Trace
 make_trace(const CheckSetup& setup, const Schedule& schedule)
 {
     Trace trace;
-    trace.lock =
-        setup.use_broken_tatas ? kBrokenTatasName : locks::lock_name(setup.kind);
+    trace.lock = setup.use_broken_tatas      ? kBrokenTatasName
+                 : setup.use_broken_adaptive ? kBrokenAdaptiveName
+                                             : locks::lock_name(setup.kind);
     trace.nodes = setup.nodes;
     trace.cpus_per_node = setup.cpus_per_node;
     trace.iterations = setup.iterations;
@@ -193,6 +208,8 @@ setup_from_trace(const Trace& trace)
     CheckSetup setup;
     if (trace.lock == kBrokenTatasName) {
         setup.use_broken_tatas = true;
+    } else if (trace.lock == kBrokenAdaptiveName) {
+        setup.use_broken_adaptive = true;
     } else {
         const auto kind = locks::parse_lock_name(trace.lock);
         if (!kind)

@@ -35,6 +35,8 @@ struct CheckSetup
 
     /** Substitute BrokenTatasLock (check/broken.hpp) for the lock. */
     bool use_broken_tatas = false;
+    /** Substitute BrokenAdaptiveLock (seeded gear-switch bug) instead. */
+    bool use_broken_adaptive = false;
 
     int nodes = 2;
     int cpus_per_node = 2;

@@ -66,14 +66,20 @@ cli_usage()
            "                 [--private-work=ITERS] [--iterations=N]\n"
            "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
            "                 [--faults=SPEC] [--csv] [--json=PATH]\n"
-           "                 [--jobs=N] [--help]\n"
+           "                 [--jobs=N] [--reactive-slow=N] [--reactive-fast=N]\n"
+           "                 [--adaptive-epoch=N] [--adaptive-spin-up=N]\n"
+           "                 [--adaptive-spin-down=N] [--adaptive-remote-frac=P]\n"
+           "                 [--adaptive-link-util=P] [--adaptive-storm=N]\n"
+           "                 [--adaptive-quiet=N] [--adaptive-cooldown=N]\n"
+           "                 [--help]\n"
            "\n"
            "--jobs=N runs independent benchmark runs on N host threads\n"
            "(default: $NUCALOCK_JOBS, else hardware concurrency). Results\n"
            "and reports are bit-identical at every --jobs level.\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
-           "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: --nodes<=2)\n"
+           "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY ADAPTIVE\n"
+           "       (RH: --nodes<=2)\n"
            "\n"
            "--faults takes '+'-separated presets (new bench only): holder,\n"
            "publish, spinner, spike, stall, death, holderdeath, chaos,\n"
@@ -173,6 +179,45 @@ parse_cli(const std::vector<std::string>& args)
             if (!parse_number(value, &opts.jobs) || opts.jobs < 1 ||
                 opts.jobs > 1024)
                 return fail("bad --jobs '" + value + "' (want 1..1024)");
+        } else if (key == "reactive-slow") {
+            if (!parse_number(value, &opts.params.reactive_slow_threshold) ||
+                opts.params.reactive_slow_threshold == 0)
+                return fail("bad --reactive-slow '" + value + "'");
+        } else if (key == "reactive-fast") {
+            if (!parse_number(value, &opts.params.reactive_fast_threshold) ||
+                opts.params.reactive_fast_threshold == 0)
+                return fail("bad --reactive-fast '" + value + "'");
+        } else if (key == "adaptive-epoch") {
+            if (!parse_number(value, &opts.params.adaptive.epoch) ||
+                opts.params.adaptive.epoch == 0)
+                return fail("bad --adaptive-epoch '" + value + "'");
+        } else if (key == "adaptive-spin-up") {
+            if (!parse_number(value, &opts.params.adaptive.spin_up))
+                return fail("bad --adaptive-spin-up '" + value + "'");
+        } else if (key == "adaptive-spin-down") {
+            if (!parse_number(value, &opts.params.adaptive.spin_down))
+                return fail("bad --adaptive-spin-down '" + value + "'");
+        } else if (key == "adaptive-remote-frac") {
+            if (!parse_number(value, &opts.params.adaptive.remote_frac_pct) ||
+                opts.params.adaptive.remote_frac_pct > 100)
+                return fail("bad --adaptive-remote-frac '" + value +
+                            "' (want 0..100)");
+        } else if (key == "adaptive-link-util") {
+            if (!parse_number(value, &opts.params.adaptive.link_util_pct) ||
+                opts.params.adaptive.link_util_pct > 100)
+                return fail("bad --adaptive-link-util '" + value +
+                            "' (want 0..100)");
+        } else if (key == "adaptive-storm") {
+            if (!parse_number(value, &opts.params.adaptive.storm_abandons) ||
+                opts.params.adaptive.storm_abandons == 0)
+                return fail("bad --adaptive-storm '" + value + "'");
+        } else if (key == "adaptive-quiet") {
+            if (!parse_number(value, &opts.params.adaptive.quiet_epochs) ||
+                opts.params.adaptive.quiet_epochs == 0)
+                return fail("bad --adaptive-quiet '" + value + "'");
+        } else if (key == "adaptive-cooldown") {
+            if (!parse_number(value, &opts.params.adaptive.cooldown_acquires))
+                return fail("bad --adaptive-cooldown '" + value + "'");
         } else {
             return fail("unknown option '--" + key + "'");
         }

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "locks/params.hpp"
+
 namespace nucalock::harness {
 
 /** Which benchmark nucabench runs. */
@@ -74,6 +76,14 @@ struct CliOptions
      * hardware concurrency. Results are bit-identical at every level.
      */
     int jobs = 0;
+    /**
+     * Lock tuning knobs forwarded into every run's LockParams. The CLI
+     * exposes the REACTIVE mode-switch thresholds (--reactive-slow /
+     * --reactive-fast) and the ADAPTIVE policy knobs (--adaptive-*) so
+     * fig9/fig10-style sensitivity sweeps can tune both from the command
+     * line; everything else keeps its params.hpp default.
+     */
+    locks::LockParams params;
     bool help = false;
 };
 

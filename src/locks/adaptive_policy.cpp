@@ -1,0 +1,163 @@
+#include "locks/adaptive_policy.hpp"
+
+namespace nucalock::locks {
+
+const char*
+adapt_gear_name(AdaptGear gear)
+{
+    switch (gear) {
+      case AdaptGear::Tatas: return "tatas";
+      case AdaptGear::Hbo: return "hbo";
+      case AdaptGear::Queue: return "queue";
+    }
+    return "?";
+}
+
+const char*
+adapt_reason_name(AdaptReason reason)
+{
+    switch (reason) {
+      case AdaptReason::Contention: return "contention";
+      case AdaptReason::NucaTraffic: return "nuca_traffic";
+      case AdaptReason::Quiet: return "quiet";
+      case AdaptReason::TimeoutStorm: return "timeout_storm";
+      case AdaptReason::Recovery: return "recovery";
+    }
+    return "?";
+}
+
+AdaptivePolicy::AdaptivePolicy(const AdaptiveParams& params) : params_(params)
+{
+}
+
+std::optional<AdaptDecision>
+AdaptivePolicy::on_acquire(AdaptGear gear, bool contended, bool remote,
+                           int link_util_pct)
+{
+    const auto relaxed = std::memory_order_relaxed;
+    const std::uint32_t cd = cooldown_.load(relaxed);
+    if (cd > 0)
+        cooldown_.store(cd - 1, relaxed);
+
+    epoch_contended_.store(epoch_contended_.load(relaxed) +
+                               (contended ? 1u : 0u),
+                           relaxed);
+    epoch_remote_.store(epoch_remote_.load(relaxed) + (remote ? 1u : 0u),
+                        relaxed);
+    const std::uint32_t len = epoch_len_.load(relaxed) + 1;
+    if (len < params_.epoch || params_.epoch == 0) {
+        epoch_len_.store(len, relaxed);
+        return std::nullopt;
+    }
+
+    // Epoch boundary: evaluate, then reset the window.
+    const std::uint32_t cont = epoch_contended_.load(relaxed);
+    const std::uint32_t rem = epoch_remote_.load(relaxed);
+    epoch_len_.store(0, relaxed);
+    epoch_contended_.store(0, relaxed);
+    epoch_remote_.store(0, relaxed);
+
+    const bool hot = cont >= params_.spin_up;
+    const bool quiet = cont <= params_.spin_down;
+    const bool nuca =
+        rem * 100 >= static_cast<std::uint64_t>(params_.remote_frac_pct) * len ||
+        (link_util_pct >= 0 &&
+         static_cast<std::uint32_t>(link_util_pct) >= params_.link_util_pct);
+
+    if (degraded_.load(relaxed)) {
+        // Promotion ladder: quiet_epochs consecutive quiet epochs, then
+        // leave the queue gear toward whatever the traffic shape suggests.
+        if (!quiet) {
+            quiet_streak_.store(0, relaxed);
+            return std::nullopt;
+        }
+        const std::uint32_t streak = quiet_streak_.load(relaxed) + 1;
+        if (streak < params_.quiet_epochs) {
+            quiet_streak_.store(streak, relaxed);
+            return std::nullopt;
+        }
+        quiet_streak_.store(0, relaxed);
+        const AdaptGear to = nuca ? AdaptGear::Hbo : AdaptGear::Tatas;
+        if (to == gear) {
+            // Already where recovery would put us (storm tripped while in
+            // a fast gear without a losing CAS): just clear the flag.
+            degraded_.store(false, relaxed);
+            return std::nullopt;
+        }
+        return AdaptDecision{to, AdaptReason::Recovery};
+    }
+
+    if (cooldown_.load(relaxed) > 0)
+        return std::nullopt;
+
+    switch (gear) {
+      case AdaptGear::Tatas:
+        if (hot)
+            return AdaptDecision{nuca ? AdaptGear::Hbo : AdaptGear::Queue,
+                                 nuca ? AdaptReason::NucaTraffic
+                                      : AdaptReason::Contention};
+        break;
+      case AdaptGear::Hbo:
+        // Only quiet leaves this gear voluntarily. A working HBO gear
+        // *creates* locality (remote handovers collapse to batch
+        // boundaries), so a low remote fraction here is the gear's
+        // success signal, not evidence the gates are overhead — reading
+        // it as node-local contention would demote the lock out of the
+        // gear precisely because the gear is winning.
+        if (quiet)
+            return AdaptDecision{AdaptGear::Tatas, AdaptReason::Quiet};
+        break;
+      case AdaptGear::Queue:
+        if (quiet)
+            return AdaptDecision{AdaptGear::Tatas, AdaptReason::Quiet};
+        if (hot && nuca)
+            return AdaptDecision{AdaptGear::Hbo, AdaptReason::NucaTraffic};
+        break;
+    }
+    return std::nullopt;
+}
+
+std::optional<AdaptDecision>
+AdaptivePolicy::on_abandon(AdaptGear gear)
+{
+    const auto relaxed = std::memory_order_relaxed;
+    const std::uint32_t storm = storm_.load(relaxed) + 1;
+    storm_.store(storm, relaxed);
+    if (storm < params_.storm_abandons)
+        return std::nullopt;
+    if (gear == AdaptGear::Queue) {
+        // Already in the bounded-handoff gear — mark the episode so
+        // promotion requires a quiet period, but there is nothing to
+        // switch.
+        storm_.store(0, relaxed);
+        degraded_.store(true, relaxed);
+        quiet_streak_.store(0, relaxed);
+        return std::nullopt;
+    }
+    return AdaptDecision{AdaptGear::Queue, AdaptReason::TimeoutStorm};
+}
+
+void
+AdaptivePolicy::on_switch(AdaptGear to, AdaptReason reason)
+{
+    const auto relaxed = std::memory_order_relaxed;
+    switches_.store(switches_.load(relaxed) + 1, relaxed);
+    epoch_len_.store(0, relaxed);
+    epoch_contended_.store(0, relaxed);
+    epoch_remote_.store(0, relaxed);
+    quiet_streak_.store(0, relaxed);
+    cooldown_.store(params_.cooldown_acquires, relaxed);
+    if (reason == AdaptReason::TimeoutStorm) {
+        storm_.store(0, relaxed);
+        degraded_.store(true, relaxed);
+    } else if (reason == AdaptReason::Recovery) {
+        storm_.store(0, relaxed);
+        degraded_.store(false, relaxed);
+    }
+    // Voluntary switches leave the storm window alone: scattered abandons
+    // still accumulate toward degradation no matter how often the traffic
+    // shape changes underneath them.
+    (void)to;
+}
+
+} // namespace nucalock::locks

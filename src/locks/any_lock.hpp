@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "locks/adaptive.hpp"
 #include "locks/anderson.hpp"
 #include "locks/clh.hpp"
 #include "locks/clh_try.hpp"
@@ -51,6 +52,7 @@ enum class LockKind
     Anderson,
     Cohort,
     ClhTry,
+    Adaptive,
 };
 
 /** Display name matching the paper's tables (e.g. "HBO_GT_SD"). */
@@ -72,6 +74,7 @@ lock_name(LockKind kind)
       case LockKind::Anderson: return "ANDERSON";
       case LockKind::Cohort: return "COHORT";
       case LockKind::ClhTry: return "CLH_TRY";
+      case LockKind::Adaptive: return "ADAPTIVE";
     }
     NUCA_PANIC("unknown LockKind");
 }
@@ -84,7 +87,8 @@ parse_lock_name(std::string_view name)
          {LockKind::Tatas, LockKind::TatasExp, LockKind::Ticket, LockKind::Mcs,
           LockKind::Clh, LockKind::Rh, LockKind::Hbo, LockKind::HboGt,
           LockKind::HboGtSd, LockKind::HboHier, LockKind::Reactive,
-          LockKind::Anderson, LockKind::Cohort, LockKind::ClhTry}) {
+          LockKind::Anderson, LockKind::Cohort, LockKind::ClhTry,
+          LockKind::Adaptive}) {
         if (name == lock_name(kind))
             return kind;
     }
@@ -108,7 +112,7 @@ all_lock_kinds()
             LockKind::Anderson, LockKind::Mcs,      LockKind::Clh,
             LockKind::Rh,       LockKind::Hbo,      LockKind::HboGt,
             LockKind::HboGtSd,  LockKind::HboHier,  LockKind::Reactive,
-            LockKind::Cohort,   LockKind::ClhTry};
+            LockKind::Cohort,   LockKind::ClhTry,   LockKind::Adaptive};
 }
 
 /** True for the NUCA-aware algorithms (RH and the HBO family). */
@@ -117,7 +121,8 @@ is_nuca_aware(LockKind kind)
 {
     return kind == LockKind::Rh || kind == LockKind::Hbo ||
            kind == LockKind::HboGt || kind == LockKind::HboGtSd ||
-           kind == LockKind::HboHier || kind == LockKind::Cohort;
+           kind == LockKind::HboHier || kind == LockKind::Cohort ||
+           kind == LockKind::Adaptive;
 }
 
 /**
@@ -136,6 +141,8 @@ lock_supports_native_timeout(LockKind kind)
       case LockKind::HboHier:
       case LockKind::Cohort:
       case LockKind::ClhTry:
+      case LockKind::Reactive:
+      case LockKind::Adaptive:
         return true;
       case LockKind::Tatas:
       case LockKind::TatasExp:
@@ -143,7 +150,6 @@ lock_supports_native_timeout(LockKind kind)
       case LockKind::Clh:
       case LockKind::Rh:
       case LockKind::Hbo:
-      case LockKind::Reactive:
       case LockKind::Anderson:
         return false;
     }
@@ -288,6 +294,9 @@ class AnyLock
           case LockKind::ClhTry:
             return std::make_unique<Impl<ClhTryLock<Ctx>>>(machine, params,
                                                            home_node);
+          case LockKind::Adaptive:
+            return std::make_unique<Impl<AdaptiveLock<Ctx>>>(machine, params,
+                                                             home_node);
         }
         NUCA_PANIC("unknown LockKind");
     }

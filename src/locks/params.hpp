@@ -22,6 +22,43 @@ struct BackoffParams
     std::uint32_t cap = 4096;
 };
 
+/**
+ * AdaptiveLock policy knobs (locks/adaptive_policy.hpp). The policy samples
+ * epoch-bucketed counters on the holder's side and switches gears with
+ * hysteresis (distinct up/down thresholds) plus a post-switch cooldown, so
+ * a borderline workload does not oscillate.
+ */
+struct AdaptiveParams
+{
+    /** Acquisitions per policy epoch (the holder-side sampling window). */
+    std::uint32_t epoch = 16;
+    /** Contended acquisitions in an epoch at/above which the TATAS gear
+     *  escalates (to HBO_GT or the queue, depending on traffic shape). */
+    std::uint32_t spin_up = 12;
+    /** Contended acquisitions in an epoch at/below which a higher gear
+     *  counts the epoch as quiet and may relax back toward TATAS. */
+    std::uint32_t spin_down = 4;
+    /** Remote-handover percentage at/above which epoch contention is
+     *  classified as cross-node (prefer the HBO_GT gear). Deliberately
+     *  low: NUCA's natural local bias suppresses remote handovers even
+     *  under heavy cross-node contention (the paper's own observation),
+     *  so single-node contention reads ~0% while 2-node TATAS contention
+     *  reads ~15%. */
+    std::uint32_t remote_frac_pct = 10;
+    /** Global-link utilisation percentage at/above which the interconnect
+     *  counts as saturated (simulator backend only; prefer HBO_GT). */
+    std::uint32_t link_util_pct = 40;
+    /** Abandonments since the last degradation-relevant switch that count
+     *  as a timeout storm and demote to the queue gear immediately. */
+    std::uint32_t storm_abandons = 3;
+    /** Consecutive quiet epochs a degraded lock must see before it
+     *  promotes back out of the queue gear. */
+    std::uint32_t quiet_epochs = 2;
+    /** Acquisitions after a voluntary switch during which further
+     *  voluntary switches are suppressed (degradation bypasses this). */
+    std::uint32_t cooldown_acquires = 32;
+};
+
 /** All knobs in one place so benches can sweep them. */
 struct LockParams
 {
@@ -50,6 +87,16 @@ struct LockParams
 
     /** Ticket lock: delay per waiter ahead (proportional backoff). */
     std::uint32_t ticket_delay_per_waiter = 96;
+
+    /** REACTIVE: consecutive slow (contended) acquires before switching to
+     *  queue mode (reactive.hpp). */
+    std::uint64_t reactive_slow_threshold = 4;
+    /** REACTIVE: consecutive fast acquires in queue mode before switching
+     *  back to spin mode. */
+    std::uint64_t reactive_fast_threshold = 16;
+
+    /** ADAPTIVE gear-switch policy (locks/adaptive_policy.hpp). */
+    AdaptiveParams adaptive;
 
     /**
      * Add +/-25% deterministic jitter to backoff delays. On by default:

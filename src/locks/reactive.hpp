@@ -20,6 +20,7 @@
 #include "locks/context.hpp"
 #include "locks/mcs.hpp"
 #include "locks/params.hpp"
+#include "locks/timed.hpp"
 #include "obs/probe.hpp"
 
 namespace nucalock::locks {
@@ -33,10 +34,9 @@ class ReactiveLock
 
     static constexpr const char* kName = "REACTIVE";
 
-    /** Consecutive slow (contended) acquires before switching to queueing. */
-    static constexpr std::uint64_t kSlowThreshold = 4;
-    /** Consecutive fast acquires in queue mode before switching back. */
-    static constexpr std::uint64_t kFastThreshold = 16;
+    // Mode-switch thresholds live in LockParams (reactive_slow_threshold /
+    // reactive_fast_threshold) so sensitivity sweeps can tune them from
+    // the CLI alongside the backoff constants.
 
     explicit ReactiveLock(Machine& machine,
                           const LockParams& params = LockParams{},
@@ -66,6 +66,61 @@ class ReactiveLock
         return true;
     }
 
+    /**
+     * Timed acquisition. Spin mode is a deadline-bounded TATAS_EXP on the
+     * word; queue mode bounds the MCS wait (the queue's own abandonment
+     * protocol) and then the word take — a timeout after winning queue
+     * headship hands the grant to the successor before abandoning, so the
+     * queue keeps draining behind a wedged (or dead) word holder. Timed
+     * acquires do not participate in mode adaptation: the streak counter
+     * is driven by the plain acquire path's cost signal only.
+     */
+    bool
+    try_acquire_for(Ctx& ctx, std::uint64_t timeout_ns)
+    {
+        const std::uint64_t deadline = detail::deadline_after(ctx, timeout_ns);
+        obs::probe(ctx, obs::LockEvent::AcquireAttempt, word_.token(), 1);
+        if (ctx.load(mode_) == kSpinMode) {
+            if (!spin_acquire_until(ctx, deadline))
+                return abandon(ctx);
+            queued_ = false;
+            obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+            return true;
+        }
+        const std::uint64_t now = detail::lock_clock_ns(ctx);
+        if (!queue_.try_acquire_for(ctx, deadline > now ? deadline - now : 0)) {
+            // The queue accounted its own abandonment (its counters, its
+            // lock id); close this lock's attempt without double-counting.
+            obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+            obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                       static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+            return false;
+        }
+        if (!spin_acquire_until(ctx, deadline)) {
+            queue_.release(ctx);
+            return abandon(ctx);
+        }
+        queued_ = true;
+        obs::probe(ctx, obs::LockEvent::Acquired, word_.token(), 1);
+        return true;
+    }
+
+    /** Host-side abandonment accounting: this lock's own word-take
+     *  timeouts plus the embedded queue's (see locks/timed.hpp). */
+    AbandonStats
+    abandon_stats() const
+    {
+        AbandonStats s = counters_.snapshot();
+        const AbandonStats q = queue_.abandon_stats();
+        s.abandons += q.abandons;
+        s.parked += q.parked;
+        s.grant_races += q.grant_races;
+        s.reclaims += q.reclaims;
+        s.rejoins += q.rejoins;
+        s.unparks += q.unparks;
+        return s;
+    }
+
     void
     release(Ctx& ctx)
     {
@@ -85,7 +140,7 @@ class ReactiveLock
             // Holder-side adaptation: repeated contended acquires flip the
             // lock into queue mode (we hold the lock, so the write is safe).
             streak_ = attempts > 1 ? streak_ + 1 : 0;
-            if (streak_ >= kSlowThreshold) {
+            if (streak_ >= params_.reactive_slow_threshold) {
                 ctx.store(mode_, kQueueMode);
                 streak_ = 0;
             }
@@ -101,7 +156,7 @@ class ReactiveLock
         // Flip back once arrivals repeatedly find the queue empty — the
         // contention that justified queueing is gone.
         streak_ = waited ? 0 : streak_ + 1;
-        if (streak_ >= kFastThreshold) {
+        if (streak_ >= params_.reactive_fast_threshold) {
             ctx.store(mode_, kSpinMode);
             streak_ = 0;
         }
@@ -130,10 +185,42 @@ class ReactiveLock
         }
     }
 
+    /** Deadline-bounded TATAS_EXP on the word. Overshoot is bounded by
+     *  one capped backoff plus one poll. */
+    bool
+    spin_acquire_until(Ctx& ctx, std::uint64_t deadline)
+    {
+        if (ctx.tas(word_) == 0)
+            return true;
+        std::uint32_t b = params_.tatas.base;
+        while (true) {
+            if (detail::lock_clock_ns(ctx) >= deadline)
+                return false;
+            backoff(ctx, &b, params_.tatas.factor, params_.tatas.cap,
+                    params_.jitter, obs::BackoffClass::Generic);
+            if (ctx.load(word_) != 0)
+                continue;
+            if (ctx.tas(word_) == 0)
+                return true;
+        }
+    }
+
+    /** Timed out with nothing left behind: account and probe. */
+    bool
+    abandon(Ctx& ctx)
+    {
+        counters_.on_abandon();
+        obs::probe(ctx, obs::LockEvent::AbandonStart, word_.token());
+        obs::probe(ctx, obs::LockEvent::AbandonDone, word_.token(),
+                   static_cast<std::uint64_t>(obs::AbandonOutcome::Clean));
+        return false;
+    }
+
     Ref word_;
     Ref mode_;
     McsLock<Ctx> queue_;
     LockParams params_;
+    AbandonCounters counters_;
     // Holder-only adaptation state, protected by the lock itself.
     std::uint64_t streak_ = 0;
     bool queued_ = false;

@@ -72,6 +72,18 @@ MetricsRegistry::on_event(const ProbeRecord& r)
 
     ThreadState& ts = thread_of(r.thread);
 
+    // Gear residency is event-time bounded: every event of a lock extends
+    // its observation window (non-adaptive locks simply accrue everything
+    // in gear 0 and never set adapt_seen, so nothing is emitted for them).
+    if (r.lock_id != 0) {
+        GearState& gs = gears_[r.lock_id];
+        if (!gs.started) {
+            gs.started = true;
+            gs.since_ns = r.time_ns;
+        }
+        gs.last_ns = r.time_ns;
+    }
+
     switch (r.event) {
       case LockEvent::AcquireAttempt: {
           LockMetrics& lm = lock_mut(r.lock_id);
@@ -235,6 +247,15 @@ MetricsRegistry::on_event(const ProbeRecord& r)
                                             ? r.time_ns - ts.abandon_start_ns
                                             : 0);
           }
+          if (outcome != AbandonOutcome::GrantRaced) {
+              // Demotion latency anchor: the first abandonment since the
+              // last gear switch opens the storm window.
+              GearState& gs = gears_[r.lock_id];
+              if (!gs.abandon_pending) {
+                  gs.abandon_pending = true;
+                  gs.first_abandon_ns = r.time_ns;
+              }
+          }
           break;
       }
       case LockEvent::QueueReclaim: {
@@ -244,6 +265,28 @@ MetricsRegistry::on_event(const ProbeRecord& r)
             case ReclaimKind::Rejoined: ++lm.rejoins; break;
             case ReclaimKind::Unparked: ++lm.unparks; break;
           }
+          break;
+      }
+      case LockEvent::AdaptSwitch: {
+          // a0 = from | (to << 8) (AdaptGear), a1 = AdaptReason — the
+          // payload encoding documented at the LockEvent declaration.
+          constexpr std::uint64_t kReasonTimeoutStorm = 3;
+          LockMetrics& lm = lock_mut(r.lock_id);
+          lm.adapt_seen = true;
+          ++lm.adapt_switches;
+          if (r.a1 < 5)
+              ++lm.adapt_reasons[r.a1];
+          GearState& gs = gears_[r.lock_id];
+          lm.gear_residency_ns[gs.gear] +=
+              r.time_ns >= gs.since_ns ? r.time_ns - gs.since_ns : 0;
+          const int to = static_cast<int>((r.a0 >> 8) & 0xff);
+          gs.gear = to < 3 ? to : 2;
+          gs.since_ns = r.time_ns;
+          if (r.a1 == kReasonTimeoutStorm && gs.abandon_pending)
+              lm.demote_latency_ns.add(r.time_ns >= gs.first_abandon_ns
+                                           ? r.time_ns - gs.first_abandon_ns
+                                           : 0);
+          gs.abandon_pending = false;
           break;
       }
     }
@@ -257,6 +300,13 @@ MetricsRegistry::finalize()
     finalized_ = true;
     for (auto& [lock_id, hs] : holders_)
         close_batch(lock_mut(lock_id), hs);
+    for (auto& [lock_id, gs] : gears_) {
+        if (!gs.started)
+            continue;
+        lock_mut(lock_id).gear_residency_ns[gs.gear] +=
+            gs.last_ns >= gs.since_ns ? gs.last_ns - gs.since_ns : 0;
+        gs.since_ns = gs.last_ns; // keeps repeated finalize() idempotent
+    }
 }
 
 TrafficMetrics

@@ -100,6 +100,19 @@ struct LockMetrics
      *  of the abandonment path itself, gate re-opens included). */
     stats::LogHistogram abandon_latency_ns;
 
+    // ----- adaptive gear tracking (LockEvent::AdaptSwitch) ----------------
+    /** At least one AdaptSwitch was seen (gates report emission). */
+    bool adapt_seen = false;
+    /** Gear switches, total and by AdaptReason (adaptive_policy.hpp). */
+    std::uint64_t adapt_switches = 0;
+    std::uint64_t adapt_reasons[5] = {0, 0, 0, 0, 0};
+    /** Event-time residency per gear (tatas, hbo, queue), measured from
+     *  the lock's first event to its last. */
+    std::uint64_t gear_residency_ns[3] = {0, 0, 0};
+    /** First storm abandonment -> the TimeoutStorm demotion that answered
+     *  it: how long degradation took to engage. */
+    stats::LogHistogram demote_latency_ns;
+
     std::vector<NodeMetrics> per_node;
 
     /** Remote handovers / all handovers (0 when no handover happened). */
@@ -191,6 +204,18 @@ class MetricsRegistry final : public ProbeSink
         std::uint64_t batch_length = 0;
     };
 
+    /** Per-lock gear tracking for the adaptive metrics. */
+    struct GearState
+    {
+        int gear = 0; ///< AdaptGear value; locks start in Tatas (0)
+        std::uint64_t since_ns = 0;
+        std::uint64_t last_ns = 0;
+        bool started = false;
+        /** First abandonment since the last switch (demotion latency). */
+        std::uint64_t first_abandon_ns = 0;
+        bool abandon_pending = false;
+    };
+
     LockMetrics& lock_mut(std::uint64_t lock_id);
     NodeMetrics& node_of(LockMetrics& lm, int node);
     CpuMetrics& cpu_of(int cpu);
@@ -200,6 +225,7 @@ class MetricsRegistry final : public ProbeSink
 
     std::map<std::uint64_t, LockMetrics> locks_;
     std::map<std::uint64_t, HolderState> holders_;
+    std::map<std::uint64_t, GearState> gears_;
     std::vector<CpuMetrics> cpus_;
     std::map<int, ThreadState> threads_;
     std::uint64_t primary_lock_id_ = 0;

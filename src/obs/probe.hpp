@@ -48,6 +48,9 @@ enum class LockEvent : std::uint8_t
     AbandonDone,    ///< abandonment finished; a0 = AbandonOutcome
     QueueReclaim,   ///< an abandoned queue node was recovered; a0 =
                     ///< ReclaimKind, a1 = node owner's thread id
+    AdaptSwitch,    ///< ADAPTIVE changed gear; a0 = from | (to << 8)
+                    ///< (locks/adaptive_policy.hpp AdaptGear values),
+                    ///< a1 = AdaptReason
 };
 
 /** AbandonDone payload (a0): what the timed-out thread left behind. */
@@ -85,6 +88,7 @@ lock_event_name(LockEvent event)
       case LockEvent::AbandonStart: return "abandon_start";
       case LockEvent::AbandonDone: return "abandon_done";
       case LockEvent::QueueReclaim: return "queue_reclaim";
+      case LockEvent::AdaptSwitch: return "adapt_switch";
     }
     return "?";
 }

@@ -263,6 +263,36 @@ write_metrics(JsonWriter& w, const MetricsRegistry& registry)
     w.end_object();
 }
 
+/**
+ * The v4 optional per-run "adaptive" object: ADAPTIVE's gear telemetry,
+ * folded from the primary lock's AdaptSwitch events. Gear and reason names
+ * mirror locks::adapt_gear_name / adapt_reason_name (spelled out here —
+ * obs cannot depend on the locks library without a cycle).
+ */
+void
+write_adaptive(JsonWriter& w, const LockMetrics& lm)
+{
+    static constexpr const char* kGears[3] = {"tatas", "hbo", "queue"};
+    static constexpr const char* kReasons[5] = {"contention", "nuca_traffic",
+                                                "quiet", "timeout_storm",
+                                                "recovery"};
+    w.begin_object();
+    w.kv("switches", lm.adapt_switches);
+    w.key("reasons");
+    w.begin_object();
+    for (std::size_t i = 0; i < 5; ++i)
+        w.kv(kReasons[i], lm.adapt_reasons[i]);
+    w.end_object();
+    w.key("gear_residency_ns");
+    w.begin_object();
+    for (std::size_t i = 0; i < 3; ++i)
+        w.kv(kGears[i], lm.gear_residency_ns[i]);
+    w.end_object();
+    w.key("demote_latency_ns");
+    write_histogram(w, lm.demote_latency_ns);
+    w.end_object();
+}
+
 /** The v3 optional top-level "robustness" object. */
 void
 write_robustness(JsonWriter& w, const RobustnessReport& r)
@@ -389,6 +419,12 @@ write_report(std::ostream& os, const ReportConfig& config,
             w.kv("switches_per_sec", run.host.switches_per_sec);
             w.kv("jobs", run.host.jobs);
             w.end_object();
+        }
+        if (const LockMetrics* primary =
+                run.metrics != nullptr ? run.metrics->primary() : nullptr;
+            primary != nullptr && primary->adapt_seen) {
+            w.key("adaptive");
+            write_adaptive(w, *primary);
         }
         w.end_object();
     }
@@ -832,6 +868,35 @@ validate_report(const JsonValue& document, std::string* error)
                                       "switches_per_sec", "jobs"})
                 if (!require_number(*host, field, error, where + ".host"))
                     return false;
+        }
+        // "adaptive" is optional (v4; runs whose primary lock switched
+        // gears); when present it must carry the full telemetry shape.
+        if (const JsonValue* adaptive = run.find("adaptive");
+            adaptive != nullptr) {
+            const std::string aw = where + ".adaptive";
+            if (!adaptive->is_object())
+                return fail(error, aw + " must be an object");
+            if (!require_number(*adaptive, "switches", error, aw))
+                return false;
+            const JsonValue* reasons = adaptive->find("reasons");
+            if (reasons == nullptr || !reasons->is_object())
+                return fail(error, aw + ": 'reasons' must be an object");
+            for (const char* field : {"contention", "nuca_traffic", "quiet",
+                                      "timeout_storm", "recovery"})
+                if (!require_number(*reasons, field, error, aw + ".reasons"))
+                    return false;
+            const JsonValue* residency = adaptive->find("gear_residency_ns");
+            if (residency == nullptr || !residency->is_object())
+                return fail(error,
+                            aw + ": 'gear_residency_ns' must be an object");
+            for (const char* field : {"tatas", "hbo", "queue"})
+                if (!require_number(*residency, field, error,
+                                    aw + ".gear_residency_ns"))
+                    return false;
+            const JsonValue* h = adaptive->find("demote_latency_ns");
+            if (h == nullptr ||
+                !validate_histogram(*h, error, aw + ".demote_latency_ns"))
+                return false;
         }
     }
     // v3: "robustness" is optional (fault-campaign reports only); when

@@ -1,6 +1,6 @@
 /**
  * @file
- * Machine-readable benchmark report: schema "nucalock-bench-report" v3.
+ * Machine-readable benchmark report: schema "nucalock-bench-report" v4.
  *
  * v2 added, per run, a "traffic" object (per-lock/per-phase local/global
  * transaction attribution and per-acquisition rates) and a "contention"
@@ -12,8 +12,14 @@
  * soak runner's audited verdict (nucacheck --campaign): per-cell recovery
  * results (preset x lock x shape x seed, with abandonment/reclaim counters,
  * overshoot bounds and replay traces for failures) plus per-lock summary
- * rows. Reports without the object remain valid v3 documents; nucaprof
+ * rows. Reports without the object remain valid documents; nucaprof
  * renders it with --robustness.
+ *
+ * v4 adds an optional per-run "adaptive" object — ADAPTIVE's gear
+ * telemetry folded from LockEvent::AdaptSwitch (obs/metrics.hpp): switch
+ * totals by reason, per-gear residency, and the demotion-latency
+ * histogram. Emitted only when the run's primary lock saw a gear switch;
+ * reports without it remain valid v4 documents.
  *
  * Shared by tools/nucaprof (full metrics) and tools/nucabench --json
  * (results only). The schema is documented in docs/observability.md; bump
@@ -36,7 +42,7 @@
 namespace nucalock::obs {
 
 inline constexpr const char* kReportSchemaName = "nucalock-bench-report";
-inline constexpr int kReportSchemaVersion = 3;
+inline constexpr int kReportSchemaVersion = 4;
 
 /** Benchmark configuration echoed into the report. */
 struct ReportConfig
@@ -165,7 +171,7 @@ void write_report(std::ostream& os, const ReportConfig& config,
                   const RobustnessReport* robustness = nullptr);
 
 /**
- * Validate a parsed report against the v3 schema. Returns true when the
+ * Validate a parsed report against the v4 schema. Returns true when the
  * document conforms; otherwise false with a description in *error. A
  * version mismatch fails with "report is vN, tool understands vM" so a
  * reader paired with the wrong tool build is diagnosed immediately.

@@ -134,6 +134,7 @@ TimelineBuilder::on_event(const ProbeRecord& r)
       case LockEvent::GateOpen:
       case LockEvent::AbandonStart:
       case LockEvent::QueueReclaim:
+      case LockEvent::AdaptSwitch:
           break; // instantaneous; they don't change the CPU's state
     }
 }

@@ -48,7 +48,7 @@ TEST(LockKinds, AllSetIsSupersetOfPaperSet)
     const auto all = all_lock_kinds();
     for (LockKind kind : paper_lock_kinds())
         EXPECT_NE(std::find(all.begin(), all.end(), kind), all.end());
-    EXPECT_EQ(all.size(), 14u);
+    EXPECT_EQ(all.size(), 15u);
 }
 
 TEST(LockKinds, NucaAwareClassification)

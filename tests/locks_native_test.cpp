@@ -143,6 +143,67 @@ TEST_P(NativeLockTest, AcquireForExpiresWhileHeld)
     }
 }
 
+TEST_P(NativeLockTest, AbandonSoakLeavesNoLinkedNodes)
+{
+    // The leak audit from docs/robustness.md, as a live soak: hammer the
+    // timed path until plenty of deadlines expire, then require that every
+    // abandoned queue node was recovered (reclaimed by a releaser's walk
+    // or rejoined/unparked by its owner). Only meaningful for locks with
+    // native timed abandonment; the polling fallback never parks nodes.
+    if (!lock_supports_native_timeout(GetParam()))
+        GTEST_SKIP() << "no native timed-abandonment path to soak";
+
+    NativeMachine machine(Topology::symmetric(2, 2));
+    AnyLock<NativeContext> lock(machine, GetParam());
+    const NativeRef counter = machine.alloc(0);
+    std::atomic<std::uint64_t> successes{0};
+    constexpr int kThreads = 4;
+    constexpr int kIters = 300;
+    // Holds are longer than the timeout, so contenders expire constantly.
+    constexpr std::uint64_t kTimeoutNs = 20'000;
+    constexpr std::uint64_t kHoldNs = 40'000;
+
+    machine.run_threads(
+        kThreads, Placement::RoundRobinNodes,
+        [&](NativeContext& ctx, int t) {
+            for (int i = 0; i < kIters; ++i) {
+                // Alternate timed and plain acquisitions so abandoned
+                // nodes always meet live traffic that can recover them.
+                if ((i + t) % 2 == 0) {
+                    if (!lock.acquire_for(ctx, kTimeoutNs))
+                        continue;
+                } else {
+                    lock.acquire(ctx);
+                }
+                const std::uint64_t v = ctx.load(counter);
+                ctx.delay_ns(kHoldNs);
+                ctx.store(counter, v + 1);
+                lock.release(ctx);
+                successes.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+
+    // Drain: quiescent acquire/release cycles walk any markers parked by
+    // threads whose final act was an abandonment.
+    NativeContext ctx = machine.make_context(0, 0);
+    for (int i = 0; i < 4; ++i) {
+        lock.acquire(ctx);
+        lock.release(ctx);
+    }
+
+    // Mutual exclusion held throughout the storm...
+    EXPECT_EQ(ctx.load(counter), successes.load());
+    const AbandonStats stats = lock.abandon_stats();
+    // ...the soak actually exercised the abandonment path...
+    EXPECT_GE(stats.abandons, 1u);
+    // ...and at quiescence nothing abandoned is still linked: every parked
+    // node was reclaimed, rejoined, or unparked (a leak here would grow
+    // the queue without bound under repeated timeout storms).
+    EXPECT_EQ(stats.linked_abandoned(), 0u)
+        << "parked=" << stats.parked << " reclaims=" << stats.reclaims
+        << " rejoins=" << stats.rejoins << " unparks=" << stats.unparks;
+}
+
 TEST_P(NativeLockTest, AcquireForSucceedsUncontended)
 {
     NativeMachine machine(Topology::symmetric(2, 2));

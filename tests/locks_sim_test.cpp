@@ -30,8 +30,12 @@ scenario_name(const testing::TestParamInfo<Scenario>& info)
 {
     const Scenario& s = info.param;
     std::string name = lock_name(s.kind);
-    name += "_" + std::to_string(s.nodes) + "x" +
-            std::to_string(s.cpus_per_node) + "_t" + std::to_string(s.threads);
+    name += '_';
+    name += std::to_string(s.nodes);
+    name += 'x';
+    name += std::to_string(s.cpus_per_node);
+    name += "_t";
+    name += std::to_string(s.threads);
     name += s.placement == Placement::Packed ? "_packed" : "_rr";
     return name;
 }

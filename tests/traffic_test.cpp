@@ -410,11 +410,12 @@ TEST(ReportV2, EmittedReportValidates)
     EXPECT_NE(out.str().find("\"memtrace_dropped\""), std::string::npos);
 }
 
-TEST(ReportV2, SchemaVersionIsThree)
+TEST(ReportV2, SchemaVersionIsFour)
 {
     // v3 added the optional top-level "robustness" object (fault-campaign
-    // verdicts, nucacheck --campaign).
-    EXPECT_EQ(obs::kReportSchemaVersion, 3);
+    // verdicts, nucacheck --campaign); v4 the optional per-run "adaptive"
+    // object (ADAPTIVE gear telemetry).
+    EXPECT_EQ(obs::kReportSchemaVersion, 4);
 }
 
 TEST(ReportV2, UnknownVersionIsRejectedWithClearMessage)

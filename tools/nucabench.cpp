@@ -109,6 +109,7 @@ run_contended(const CliOptions& opts)
                 NewBenchConfig config;
                 config.topology = topo;
                 config.latency = latency_of(opts);
+                config.params = opts.params;
                 config.threads = opts.threads;
                 config.critical_work = opts.critical_work;
                 config.private_work = opts.private_work;
@@ -125,6 +126,7 @@ run_contended(const CliOptions& opts)
             TraditionalConfig config;
             config.topology = topo;
             config.latency = latency_of(opts);
+            config.params = opts.params;
             config.threads = opts.threads;
             config.iterations_per_thread = opts.iterations;
             config.seed = opts.seed;
@@ -183,6 +185,7 @@ run_uncontested_cli(const CliOptions& opts)
     UncontestedConfig config;
     config.topology = Topology::symmetric(opts.nodes, opts.cpus_per_node);
     config.latency = latency_of(opts);
+    config.params = opts.params;
     config.iterations = opts.iterations;
     config.seed = opts.seed;
 

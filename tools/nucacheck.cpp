@@ -17,12 +17,13 @@
  *                      bounded run under fault injection audited for the
  *                      recovery invariants (docs/robustness.md); failures
  *                      shrink to minimal replay traces and --report writes
- *                      the v3 "robustness" report object
+ *                      the schema-v4 "robustness" report object
  *
  * Examples:
  *   nucacheck --mode=exhaustive --cpus=4
  *   nucacheck --mode=pct --cpus=2x4 --pct-runs=100 --pct-depth=3
  *   nucacheck --lock=TATAS_BROKEN --expect-fail
+ *   nucacheck --lock=ADAPTIVE_BROKEN --expect-fail
  *   nucacheck --replay='nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x12,1x3' --expect-fail
  *   nucacheck --campaign --seeds=2 --report=campaign.json
  *   nucacheck --campaign=death --lock=MCS --shapes=2x2
@@ -283,6 +284,13 @@ select_locks(const Options& opts)
         sel.ok = true;
         return sel;
     }
+    if (opts.lock == kBrokenAdaptiveName) {
+        CheckSetup setup = base;
+        setup.use_broken_adaptive = true;
+        sel.setups.push_back(setup);
+        sel.ok = true;
+        return sel;
+    }
 #endif
     const auto kind = locks::parse_lock_name(opts.lock);
     if (!kind)
@@ -297,8 +305,9 @@ select_locks(const Options& opts)
 const char*
 setup_name(const CheckSetup& setup)
 {
-    return setup.use_broken_tatas ? kBrokenTatasName
-                                  : locks::lock_name(setup.kind);
+    return setup.use_broken_tatas      ? kBrokenTatasName
+           : setup.use_broken_adaptive ? kBrokenAdaptiveName
+                                       : locks::lock_name(setup.kind);
 }
 
 /**
@@ -358,7 +367,7 @@ run_replay(const Options& opts)
         return 2;
     }
 #ifndef NUCALOCK_ENABLE_BROKEN_LOCKS
-    if (trace->lock == kBrokenTatasName) {
+    if (trace->lock == kBrokenTatasName || trace->lock == kBrokenAdaptiveName) {
         std::cerr << "nucacheck: built without NUCALOCK_BROKEN_LOCKS\n";
         return 2;
     }

@@ -48,6 +48,7 @@
 #include "harness/newbench.hpp"
 #include "harness/options.hpp"
 #include "harness/traditional.hpp"
+#include "locks/adaptive_policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
@@ -135,6 +136,7 @@ run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
         TraditionalConfig config;
         config.topology = topo;
         config.latency = latency_of(opts);
+        config.params = opts.params;
         config.threads = opts.threads;
         config.iterations_per_thread = opts.iterations;
         config.seed = opts.seed;
@@ -146,6 +148,7 @@ run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
     NewBenchConfig config;
     config.topology = topo;
     config.latency = latency_of(opts);
+    config.params = opts.params;
     config.threads = opts.threads;
     config.critical_work = opts.critical_work;
     config.private_work = opts.private_work;
@@ -555,6 +558,54 @@ main(int argc, char** argv)
             .cell(angry);
     }
     table.print(std::cout);
+
+    // ADAPTIVE gear telemetry: shown only for runs whose primary lock
+    // actually switched gears (LockEvent::AdaptSwitch folded by the
+    // registry; the same numbers land in the report's "adaptive" object).
+    for (const ProfiledRun& run : runs) {
+        const obs::LockMetrics* m = run.metrics->primary();
+        if (m == nullptr || !m->adapt_seen)
+            continue;
+        std::cout << "\n"
+                  << lock_name(run.kind) << " gears: " << m->adapt_switches
+                  << " switch" << (m->adapt_switches == 1 ? "" : "es")
+                  << " (";
+        bool first = true;
+        for (int r = 0; r < locks::kAdaptReasonCount; ++r) {
+            if (m->adapt_reasons[r] == 0)
+                continue;
+            if (!first)
+                std::cout << ", ";
+            first = false;
+            std::cout << locks::adapt_reason_name(
+                             static_cast<locks::AdaptReason>(r))
+                      << " " << m->adapt_reasons[r];
+        }
+        std::cout << "); residency";
+        const double total =
+            static_cast<double>(m->gear_residency_ns[0] +
+                                m->gear_residency_ns[1] +
+                                m->gear_residency_ns[2]);
+        for (int g = 0; g < locks::kAdaptGearCount; ++g) {
+            const double pct =
+                total == 0.0
+                    ? 0.0
+                    : 100.0 *
+                          static_cast<double>(
+                              m->gear_residency_ns[g]) /
+                          total;
+            std::cout << (g == 0 ? " " : ", ")
+                      << locks::adapt_gear_name(
+                             static_cast<locks::AdaptGear>(g))
+                      << " " << static_cast<int>(pct + 0.5) << "%";
+        }
+        if (m->demote_latency_ns.count() != 0)
+            std::cout << "; demote p50 "
+                      << static_cast<std::uint64_t>(
+                             m->demote_latency_ns.percentile(50.0))
+                      << " ns";
+        std::cout << "\n";
+    }
 
     if (opts.traffic)
         print_traffic(runs);
