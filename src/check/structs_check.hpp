@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Controlled-schedule checking for the lock-backed structures
+ * (src/structs/): a striped-map workload — concurrent puts sized to force
+ * cooperative resize — run under the simulator's controlled scheduler and
+ * audited for structural integrity instead of the counter harness's
+ * mutual-exclusion verdict.
+ *
+ * The audit leans on the map's design (structs/striped_map.hpp): each
+ * stripe's authoritative item count is a *simulated* word updated by a
+ * load/store pair inside the stripe's critical section. Under a correct
+ * lock no schedule can interleave two of those pairs; under a broken one
+ * (the `plant_skip_lock` knob, exposed to nucacheck as MAP_UNSYNC) two
+ * concurrent puts both read n and both store n+1 — the classic lost
+ * update — which the audit catches as meta != host size. Key presence is
+ * audited independently: every key each thread inserted must be readable
+ * back, across however many resize epochs the schedule provoked.
+ *
+ * Exploration is randomized-walk over schedules (a seeded uniform pick at
+ * every decision point), which for this workload's shallow bugs finds a
+ * planted violation within a handful of executions while staying fully
+ * deterministic in (setup.seed, execution index) — same contract as
+ * check/pct.hpp.
+ */
+#ifndef NUCALOCK_CHECK_STRUCTS_CHECK_HPP
+#define NUCALOCK_CHECK_STRUCTS_CHECK_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "locks/any_lock.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nucalock::check {
+
+/** The machine + striped-map workload a structs checking run is built from. */
+struct StructsCheckSetup
+{
+    locks::LockKind kind = locks::LockKind::Tatas;
+
+    /** Planted bug: writes skip the stripe lock (nucacheck MAP_UNSYNC). */
+    bool unsynchronized = false;
+
+    int nodes = 2;
+    int cpus_per_node = 2;
+
+    /** Map shape: small enough that puts_per_thread forces >=1 resize. */
+    std::uint64_t stripes = 2;
+    std::uint64_t initial_buckets = 2;
+
+    /** Fresh keys each thread inserts (thread t inserts t*K..t*K+K-1). */
+    std::uint32_t puts_per_thread = 12;
+
+    std::uint64_t seed = 1;
+};
+
+inline int
+threads_of(const StructsCheckSetup& setup)
+{
+    return setup.nodes * setup.cpus_per_node;
+}
+
+/** Verdict of one controlled structs run. */
+struct StructsRunReport
+{
+    bool failed = false;
+    std::string what;
+
+    sim::StopReason stop = sim::StopReason::Completed;
+    std::uint64_t steps = 0;
+
+    std::uint64_t inserts = 0;
+    std::uint64_t resize_epochs = 0;
+    std::uint64_t migrated_keys = 0;
+    /** Sum of the stripes' simulated count words after the run. */
+    std::uint64_t meta_total = 0;
+    /** Items actually present host-side after the run. */
+    std::uint64_t host_total = 0;
+    /** Inserted keys that could not be read back (migration loss). */
+    std::uint64_t missing_keys = 0;
+};
+
+/**
+ * Build the machine + striped map described by @p setup and run the
+ * insert workload under @p scheduler, then audit: every inserted key
+ * readable, host size == inserts, and every stripe's simulated count word
+ * == its host-side item count (lost-update detector).
+ */
+StructsRunReport run_structs_one(const StructsCheckSetup& setup,
+                                 sim::Scheduler& scheduler);
+
+/** Aggregate verdict of a randomized-walk sweep. */
+struct StructsCheckResult
+{
+    std::uint64_t executions = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t max_steps_seen = 0;
+    std::uint64_t total_resize_epochs = 0;
+    std::uint64_t total_migrated_keys = 0;
+    /** Valid when failures != 0 (the sweep stops at the first failure). */
+    StructsRunReport first_failure;
+};
+
+struct StructsCheckConfig
+{
+    std::uint64_t executions = 50;
+    /** Per-execution decision budget (truncation, not failure). */
+    std::uint64_t max_steps = 200000;
+    std::uint64_t seed = 1;
+    /** Host workers (exec::Executor); verdict identical at every level. */
+    int jobs = 1;
+};
+
+/**
+ * Run @p cfg.executions random-walk schedules of @p setup, stopping at the
+ * first failure. Execution i's schedule is a pure function of
+ * (setup.seed, cfg.seed, i): deterministic at every jobs level.
+ */
+StructsCheckResult structs_check(const StructsCheckSetup& setup,
+                                 const StructsCheckConfig& cfg);
+
+} // namespace nucalock::check
+
+#endif // NUCALOCK_CHECK_STRUCTS_CHECK_HPP

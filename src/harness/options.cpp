@@ -60,12 +60,16 @@ cli_usage()
     return "nucabench — run the paper's lock microbenchmarks on the NUCA "
            "simulator\n"
            "\n"
-           "usage: nucabench [--bench=new|traditional|uncontested]\n"
+           "usage: nucabench [--bench=new|traditional|uncontested|app]\n"
            "                 [--lock=NAME|ALL] [--nodes=N] [--cpus-per-node=N]\n"
            "                 [--threads=N] [--critical-work=INTS]\n"
            "                 [--private-work=ITERS] [--iterations=N]\n"
            "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
            "                 [--faults=SPEC] [--csv] [--json=PATH]\n"
+           "                 [--app=kv|SPLASH2_NAME] [--kv-keys=N]\n"
+           "                 [--kv-stripes=N] [--kv-read-pct=P]\n"
+           "                 [--kv-write-pct=P] [--kv-scan-len=N]\n"
+           "                 [--kv-skew=S] [--kv-ops=N] [--kv-storms=N]\n"
            "                 [--jobs=N] [--reactive-slow=N] [--reactive-fast=N]\n"
            "                 [--adaptive-epoch=N] [--adaptive-spin-up=N]\n"
            "                 [--adaptive-spin-down=N] [--adaptive-remote-frac=P]\n"
@@ -83,7 +87,13 @@ cli_usage()
            "\n"
            "--faults takes '+'-separated presets (new bench only): holder,\n"
            "publish, spinner, spike, stall, death, holderdeath, chaos,\n"
-           "none. Victims and times derive deterministically from --seed.\n";
+           "none. Victims and times derive deterministically from --seed.\n"
+           "\n"
+           "--bench=app drives an application model; --app=kv (default) is\n"
+           "the sharded KV service over the striped hash map, tunable with\n"
+           "the --kv-* knobs (keys, stripes, read/write mix, Zipf skew,\n"
+           "ops per thread, resize storms). Any SPLASH-2 descriptor name\n"
+           "(e.g. --app=Raytrace) runs that model instead.\n";
 }
 
 CliParse
@@ -107,6 +117,8 @@ parse_cli(const std::vector<std::string>& args)
                 opts.bench = CliBench::Traditional;
             else if (value == "uncontested")
                 opts.bench = CliBench::Uncontested;
+            else if (value == "app")
+                opts.bench = CliBench::App;
             else
                 return fail("unknown bench '" + value + "'");
         } else if (key == "lock") {
@@ -138,6 +150,37 @@ parse_cli(const std::vector<std::string>& args)
                 return fail("bad --nuca-ratio '" + value + "'");
             if (opts.nuca_ratio != 0.0 && opts.nuca_ratio < 1.0)
                 return fail("--nuca-ratio must be >= 1 (or 0 for default)");
+        } else if (key == "app") {
+            if (value.empty())
+                return fail("--app needs a name (kv or a SPLASH-2 app)");
+            opts.app = value;
+        } else if (key == "kv-keys") {
+            if (!parse_number(value, &opts.kv_keys) || opts.kv_keys == 0)
+                return fail("bad --kv-keys '" + value + "'");
+        } else if (key == "kv-stripes") {
+            if (!parse_number(value, &opts.kv_stripes) || opts.kv_stripes == 0)
+                return fail("bad --kv-stripes '" + value + "'");
+        } else if (key == "kv-read-pct") {
+            if (!parse_number(value, &opts.kv_read_pct) ||
+                opts.kv_read_pct > 100)
+                return fail("bad --kv-read-pct '" + value + "' (want 0..100)");
+        } else if (key == "kv-write-pct") {
+            if (!parse_number(value, &opts.kv_write_pct) ||
+                opts.kv_write_pct > 100)
+                return fail("bad --kv-write-pct '" + value + "' (want 0..100)");
+        } else if (key == "kv-scan-len") {
+            if (!parse_number(value, &opts.kv_scan_len) ||
+                opts.kv_scan_len == 0)
+                return fail("bad --kv-scan-len '" + value + "'");
+        } else if (key == "kv-skew") {
+            if (!parse_double(value, &opts.kv_skew) || opts.kv_skew < 0.0)
+                return fail("bad --kv-skew '" + value + "' (want >= 0)");
+        } else if (key == "kv-ops") {
+            if (!parse_number(value, &opts.kv_ops) || opts.kv_ops == 0)
+                return fail("bad --kv-ops '" + value + "'");
+        } else if (key == "kv-storms") {
+            if (!parse_number(value, &opts.kv_storms))
+                return fail("bad --kv-storms '" + value + "'");
         } else if (key == "seed") {
             if (!parse_number(value, &opts.seed))
                 return fail("bad --seed '" + value + "'");
@@ -233,6 +276,8 @@ parse_cli(const std::vector<std::string>& args)
         return fail("--threads exceeds nodes*cpus-per-node");
     if (opts.lock == "RH" && opts.nodes > 2)
         return fail("RH supports at most two nodes");
+    if (opts.kv_read_pct + opts.kv_write_pct > 100)
+        return fail("--kv-read-pct + --kv-write-pct must be <= 100");
     if (!opts.faults.empty()) {
         if (opts.bench != CliBench::New)
             return fail("--faults is only supported with --bench=new");

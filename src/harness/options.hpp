@@ -21,6 +21,7 @@ enum class CliBench
     New,         // the paper's new microbenchmark (default)
     Traditional, // the traditional microbenchmark
     Uncontested, // Table 1 style latency probes
+    App,         // application models (kv_service / SPLASH-2 descriptors)
 };
 
 /** Parsed command line. */
@@ -70,6 +71,22 @@ struct CliOptions
      *  deterministic fields (the "host" objects are stripped) and exit;
      *  no benchmark runs. */
     std::string diff;
+    /**
+     * --bench=app only: which application model to drive — "kv" (the
+     * sharded KV-service model, apps/kv_service.hpp) or a SPLASH-2
+     * descriptor name (apps/workload.hpp). Name existence is checked by
+     * the tool, which owns the app registry.
+     */
+    std::string app = "kv";
+    /** --app=kv knobs; defaults mirror apps::KvServiceConfig. */
+    std::uint64_t kv_keys = 4096;
+    std::uint64_t kv_stripes = 16;
+    std::uint32_t kv_read_pct = 80;
+    std::uint32_t kv_write_pct = 15;
+    std::uint32_t kv_scan_len = 16;
+    double kv_skew = 0.9;
+    std::uint32_t kv_ops = 1000;
+    std::uint32_t kv_storms = 1;
     /**
      * Host worker threads for independent runs (exec::Executor). 0 = the
      * default: the NUCALOCK_JOBS environment variable when set, otherwise

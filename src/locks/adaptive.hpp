@@ -207,6 +207,10 @@ class AdaptiveLock
 
     const AdaptivePolicy& policy() const { return policy_; }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return word_.token(); }
+
   private:
     static std::uint64_t
     gear_word(AdaptGear gear)

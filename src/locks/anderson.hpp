@@ -107,6 +107,10 @@ class AndersonLock
         ctx.store(grants_, ++grants_value_);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return ticket_.token(); }
+
   private:
     static constexpr std::uint64_t kMustWait = 0;
     static constexpr std::uint64_t kHasLock = 1;

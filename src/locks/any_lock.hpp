@@ -200,6 +200,15 @@ class AnyLock
      */
     AbandonStats abandon_stats() const { return impl_->abandon_stats(); }
 
+    /**
+     * The lock's probe identity: the token of its primary word, which is
+     * the id sim/traffic.hpp attribution and the metrics registry key its
+     * transactions by. Stable for the lock's lifetime. Lets multi-lock
+     * structures (src/structs/) label attribution rows — stripe k of a
+     * striped map is the row whose lock_id matches stripe k's lock.
+     */
+    std::uint64_t lock_id() const { return impl_->lock_id(); }
+
     LockKind kind() const { return kind_; }
     const char* name() const { return lock_name(kind_); }
 
@@ -212,6 +221,7 @@ class AnyLock
         virtual bool try_acquire(Ctx&) = 0;
         virtual bool acquire_for(Ctx&, std::uint64_t timeout_ns) = 0;
         virtual AbandonStats abandon_stats() const = 0;
+        virtual std::uint64_t lock_id() const = 0;
     };
 
     template <typename L>
@@ -243,6 +253,8 @@ class AnyLock
             else
                 return AbandonStats{};
         }
+
+        std::uint64_t lock_id() const override { return lock.lock_id(); }
 
         L lock;
     };

@@ -86,6 +86,10 @@ class ClhLock
         slot.mine = slot.pred;
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return tail_.token(); }
+
   private:
     static constexpr std::uint64_t kFree = 0;
     static constexpr std::uint64_t kBusy = 1;

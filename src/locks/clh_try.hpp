@@ -117,6 +117,10 @@ class ClhTryLock
      *  chain walk. */
     AbandonStats abandon_stats() const { return counters_.snapshot(); }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return tail_.token(); }
+
   private:
     static constexpr std::uint64_t kAvailable = 1;
     static constexpr std::uint64_t kWaiting = 2;

@@ -188,13 +188,14 @@ class CohortLock
         ctx.store(node.word, kFree);
     }
 
+    /** Identity for probes and traffic attribution: node 0's local word
+     *  (stable for the lock's life). */
+    std::uint64_t lock_id() const { return local_[0].word.token(); }
+
   private:
     static constexpr std::uint64_t kFree = 0;
     static constexpr std::uint64_t kLocked = 1;
     static constexpr std::uint64_t kLockedContended = 2;
-
-    /** Identity for probes: node 0's local word (stable for the lock's life). */
-    std::uint64_t lock_id() const { return local_[0].word.token(); }
 
     struct NodeState
     {

@@ -103,6 +103,10 @@ class HboLock
         ctx.store(word_, kHboFree);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return word_.token(); }
+
   private:
     void
     acquire_slowpath(Ctx& ctx, std::uint64_t tmp)

@@ -144,6 +144,10 @@ class HboGtSdLock
         ctx.store(word_, kHboFree);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return word_.token(); }
+
   private:
     enum class RemoteSpinOutcome
     {

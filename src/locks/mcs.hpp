@@ -209,6 +209,10 @@ class McsLock
     /** Host-side abandonment accounting (see locks/timed.hpp). */
     AbandonStats abandon_stats() const { return counters_.snapshot(); }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return tail_.token(); }
+
   private:
     static constexpr std::uint64_t kEmpty = 0;
 

@@ -131,6 +131,10 @@ class ReactiveLock
             queue_.release(ctx);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return word_.token(); }
+
   private:
     void
     acquire_impl(Ctx& ctx)

@@ -115,6 +115,10 @@ class RhLock
                   global ? kFreeValue : kLocalFree);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return flag_[0].token(); }
+
   private:
     static constexpr std::uint64_t kFreeValue = 0;
     static constexpr std::uint64_t kLocalFree = 1;

@@ -65,6 +65,10 @@ class TatasLock
         ctx.store(word_, 0);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return word_.token(); }
+
   private:
     void
     acquire_slowpath(Ctx& ctx)

@@ -53,6 +53,10 @@ class TatasExpLock
         ctx.store(word_, 0);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return word_.token(); }
+
   private:
     // Paper section 3: delay, grow the backoff, re-test with a load, and
     // only attempt tas when the lock looked free.

@@ -79,6 +79,10 @@ class TicketLock
         ctx.store(serving_, ctx.load(serving_) + 1);
     }
 
+    /** Identity for probes and traffic attribution: the primary word's
+     *  token, the id sim/traffic.hpp keys this lock's transactions by. */
+    std::uint64_t lock_id() const { return next_.token(); }
+
   private:
     Ref next_;
     Ref serving_;

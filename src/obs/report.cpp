@@ -293,6 +293,59 @@ write_adaptive(JsonWriter& w, const LockMetrics& lm)
     w.end_object();
 }
 
+/**
+ * The v5 optional per-run "structs" object: the KV-service run's
+ * data-structure telemetry. Each per_stripe row carries the stripe lock's
+ * id so consumers can join it against the per-lock traffic attribution
+ * rows in the run's "traffic" object.
+ */
+void
+write_structs(JsonWriter& w, const structs::KvStructsStats& s)
+{
+    w.begin_object();
+    w.kv("stripes", static_cast<std::uint64_t>(s.per_stripe.size()));
+    w.kv("reads", s.reads);
+    w.kv("writes", s.writes);
+    w.kv("scans", s.scans);
+    w.kv("inserts", s.inserts);
+    w.kv("hits", s.hits);
+    w.kv("misses", s.misses);
+    w.kv("local_handover_fraction", s.local_handover_fraction());
+    w.key("resize");
+    w.begin_object();
+    w.kv("epochs", s.resize_epochs);
+    w.kv("migrated_keys", s.resize_migrated_keys);
+    w.kv("stalls", s.resize_stalls);
+    w.key("stall_ns");
+    write_histogram(w, s.resize_stall_ns);
+    w.end_object();
+    w.key("op_latency_ns");
+    w.begin_object();
+    w.key("read");
+    write_histogram(w, s.read_ns);
+    w.key("write");
+    write_histogram(w, s.write_ns);
+    w.key("scan");
+    write_histogram(w, s.scan_ns);
+    w.end_object();
+    w.key("per_stripe");
+    w.begin_array();
+    for (std::size_t i = 0; i < s.per_stripe.size(); ++i) {
+        const structs::StripeStats& st = s.per_stripe[i];
+        w.begin_object();
+        w.kv("stripe", static_cast<std::uint64_t>(i));
+        w.kv("lock_id", hex64(st.lock_id));
+        w.kv("acquisitions", st.acquisitions);
+        w.kv("handovers_local", st.handovers_local);
+        w.kv("handovers_remote", st.handovers_remote);
+        w.kv("local_handover_fraction", st.local_handover_fraction());
+        w.kv("migrations", st.migrations);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
 /** The v3 optional top-level "robustness" object. */
 void
 write_robustness(JsonWriter& w, const RobustnessReport& r)
@@ -425,6 +478,10 @@ write_report(std::ostream& os, const ReportConfig& config,
             primary != nullptr && primary->adapt_seen) {
             w.key("adaptive");
             write_adaptive(w, *primary);
+        }
+        if (run.structs != nullptr) {
+            w.key("structs");
+            write_structs(w, *run.structs);
         }
         w.end_object();
     }
@@ -897,6 +954,58 @@ validate_report(const JsonValue& document, std::string* error)
             if (h == nullptr ||
                 !validate_histogram(*h, error, aw + ".demote_latency_ns"))
                 return false;
+        }
+        // "structs" is optional (v5; KV-service runs); when present it
+        // must carry the full data-structure telemetry shape.
+        if (const JsonValue* structs = run.find("structs");
+            structs != nullptr) {
+            const std::string sw = where + ".structs";
+            if (!structs->is_object())
+                return fail(error, sw + " must be an object");
+            for (const char* field :
+                 {"stripes", "reads", "writes", "scans", "inserts", "hits",
+                  "misses", "local_handover_fraction"})
+                if (!require_number(*structs, field, error, sw))
+                    return false;
+            const JsonValue* resize = structs->find("resize");
+            if (resize == nullptr || !resize->is_object())
+                return fail(error, sw + ": 'resize' must be an object");
+            for (const char* field : {"epochs", "migrated_keys", "stalls"})
+                if (!require_number(*resize, field, error, sw + ".resize"))
+                    return false;
+            const JsonValue* stall = resize->find("stall_ns");
+            if (stall == nullptr ||
+                !validate_histogram(*stall, error, sw + ".resize.stall_ns"))
+                return false;
+            const JsonValue* latency = structs->find("op_latency_ns");
+            if (latency == nullptr || !latency->is_object())
+                return fail(error,
+                            sw + ": 'op_latency_ns' must be an object");
+            for (const char* op : {"read", "write", "scan"}) {
+                const JsonValue* h = latency->find(op);
+                if (h == nullptr ||
+                    !validate_histogram(*h, error,
+                                        sw + ".op_latency_ns." + op))
+                    return false;
+            }
+            const JsonValue* per_stripe = structs->find("per_stripe");
+            if (per_stripe == nullptr || !per_stripe->is_array())
+                return fail(error, sw + ": 'per_stripe' must be an array");
+            for (std::size_t s = 0; s < per_stripe->array.size(); ++s) {
+                const std::string pw =
+                    sw + ".per_stripe[" + std::to_string(s) + "]";
+                const JsonValue& row = per_stripe->array[s];
+                if (!row.is_object())
+                    return fail(error, pw + " must be an object");
+                if (!require_string(row, "lock_id", error, pw))
+                    return false;
+                for (const char* field :
+                     {"stripe", "acquisitions", "handovers_local",
+                      "handovers_remote", "local_handover_fraction",
+                      "migrations"})
+                    if (!require_number(row, field, error, pw))
+                        return false;
+            }
         }
     }
     // v3: "robustness" is optional (fault-campaign reports only); when

@@ -1,6 +1,6 @@
 /**
  * @file
- * Machine-readable benchmark report: schema "nucalock-bench-report" v4.
+ * Machine-readable benchmark report: schema "nucalock-bench-report" v5.
  *
  * v2 added, per run, a "traffic" object (per-lock/per-phase local/global
  * transaction attribution and per-acquisition rates) and a "contention"
@@ -19,7 +19,15 @@
  * telemetry folded from LockEvent::AdaptSwitch (obs/metrics.hpp): switch
  * totals by reason, per-gear residency, and the demotion-latency
  * histogram. Emitted only when the run's primary lock saw a gear switch;
- * reports without it remain valid v4 documents.
+ * reports without it remain valid documents.
+ *
+ * v5 adds an optional per-run "structs" object — the KV-service workload's
+ * data-structure telemetry (structs/stats.hpp): op mix and hit rates,
+ * cooperative-resize accounting (epochs, migrated keys, per-op stall
+ * histogram), service op-latency histograms, and a per-stripe table
+ * (acquisitions, local/remote custody handovers, lock_id linking each
+ * stripe to its per-lock traffic-attribution row). Emitted only for KV
+ * runs; reports without it remain valid v5 documents.
  *
  * Shared by tools/nucaprof (full metrics) and tools/nucabench --json
  * (results only). The schema is documented in docs/observability.md; bump
@@ -38,11 +46,12 @@
 #include "harness/results.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "structs/stats.hpp"
 
 namespace nucalock::obs {
 
 inline constexpr const char* kReportSchemaName = "nucalock-bench-report";
-inline constexpr int kReportSchemaVersion = 4;
+inline constexpr int kReportSchemaVersion = 5;
 
 /** Benchmark configuration echoed into the report. */
 struct ReportConfig
@@ -96,6 +105,9 @@ struct ReportRun
     const MetricsRegistry* metrics = nullptr;
     /** Host wall-clock measurements; omitted from the JSON unless valid. */
     HostStats host;
+    /** KV-service structs telemetry, or nullptr (v5 optional per-run
+     *  "structs" object; the pointee must outlive write_report). */
+    const structs::KvStructsStats* structs = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -171,7 +183,7 @@ void write_report(std::ostream& os, const ReportConfig& config,
                   const RobustnessReport* robustness = nullptr);
 
 /**
- * Validate a parsed report against the v4 schema. Returns true when the
+ * Validate a parsed report against the v5 schema. Returns true when the
  * document conforms; otherwise false with a description in *error. A
  * version mismatch fails with "report is vN, tool understands vM" so a
  * reader paired with the wrong tool build is diagnosed immediately.

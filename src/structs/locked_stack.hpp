@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Treiber-shaped locked stack: a single top cursor guarded by one AnyLock.
+ * Where the lock-free Treiber stack CASes a top pointer, this one owns the
+ * top word through a lock-protected load/store pair — the simplest consumer
+ * of the lock library, and the worst case for contention (every op, push or
+ * pop, serializes on one lock word + one top line). Useful as the
+ * single-hot-spot contrast to the striped map in the structs tier.
+ */
+#ifndef NUCALOCK_STRUCTS_LOCKED_STACK_HPP
+#define NUCALOCK_STRUCTS_LOCKED_STACK_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "locks/any_lock.hpp"
+#include "locks/context.hpp"
+
+namespace nucalock::structs {
+
+template <locks::LockContext Ctx>
+class LockedStack
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    struct Config
+    {
+        /** Lines touched per pushed/popped node (payload size model). */
+        std::uint32_t value_lines = 1;
+        locks::LockParams params;
+        int home_node = 0;
+    };
+
+    LockedStack(Machine& machine, locks::LockKind kind, const Config& cfg = {})
+        : cfg_(cfg),
+          lock_(machine, kind, cfg.params, cfg.home_node),
+          top_(machine.alloc(0, cfg.home_node)),
+          data_(machine.alloc_array(cfg.value_lines, 0, cfg.home_node))
+    {
+    }
+
+    void
+    push(Ctx& ctx, std::uint64_t value)
+    {
+        lock_.acquire(ctx);
+        const std::uint64_t depth = ctx.load(top_);
+        items_.push_back(value);
+        ctx.touch_array(data_, cfg_.value_lines, true);
+        ctx.store(top_, depth + 1);
+        lock_.release(ctx);
+    }
+
+    std::optional<std::uint64_t>
+    pop(Ctx& ctx)
+    {
+        lock_.acquire(ctx);
+        const std::uint64_t depth = ctx.load(top_);
+        if (depth == 0 || items_.empty()) {
+            lock_.release(ctx);
+            return std::nullopt;
+        }
+        const std::uint64_t value = items_.back();
+        items_.pop_back();
+        ctx.touch_array(data_, cfg_.value_lines, false);
+        ctx.store(top_, depth - 1);
+        lock_.release(ctx);
+        return value;
+    }
+
+    std::uint64_t lock_id() const { return lock_.lock_id(); }
+
+    /** Quiesced-only: current depth as the host side sees it. */
+    std::size_t host_size() const { return items_.size(); }
+
+  private:
+    Config cfg_;
+    locks::AnyLock<Ctx> lock_;
+    Ref top_;
+    Ref data_;
+    std::vector<std::uint64_t> items_;
+};
+
+} // namespace nucalock::structs
+
+#endif // NUCALOCK_STRUCTS_LOCKED_STACK_HPP

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bounded MPMC FIFO after the splinterdb two-lock shape (SNIPPETS.md):
+ * producers serialize on a tail lock, consumers on a head lock, so an
+ * enqueue and a dequeue never contend with each other — only with their
+ * own kind. The ring payload lives host-side; the head and tail cursors
+ * are simulated words read/written through the owning critical section,
+ * which both models the two cache lines the real structure bounces and
+ * makes a locking bug observable (a lost cursor update duplicates or
+ * drops an item — what the native soak test asserts never happens).
+ *
+ * Cursor protocol: head_ and tail_ are monotonically increasing op counts
+ * (never wrapped); index = count % capacity. enqueue holds the tail lock
+ * and may read a stale head_ (it only grows), so a full check errs
+ * conservative — it can report full spuriously, never corrupt. dequeue
+ * holds the head lock and may read a stale tail_, so it can report empty
+ * spuriously, never read an unwritten slot.
+ */
+#ifndef NUCALOCK_STRUCTS_MPMC_QUEUE_HPP
+#define NUCALOCK_STRUCTS_MPMC_QUEUE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "locks/any_lock.hpp"
+#include "locks/context.hpp"
+
+namespace nucalock::structs {
+
+template <locks::LockContext Ctx>
+class MpmcQueue
+{
+  public:
+    using Machine = typename Ctx::Machine;
+    using Ref = typename Ctx::Ref;
+
+    struct Config
+    {
+        std::size_t capacity = 256;
+        /** Lines touched per transferred item (payload size model). */
+        std::uint32_t value_lines = 1;
+        locks::LockParams params;
+        /** Home nodes for the two ends; -1 = 0 and last node (the two
+         *  ends deliberately live apart, like splinterdb's two lines). */
+        int head_node = -1;
+        int tail_node = -1;
+    };
+
+    MpmcQueue(Machine& machine, locks::LockKind kind, const Config& cfg = {})
+        : cfg_(cfg), ring_(cfg.capacity, 0)
+    {
+        NUCA_ASSERT(cfg_.capacity > 0);
+        const int nodes = machine.topology().num_nodes();
+        const int head_home = cfg_.head_node >= 0 ? cfg_.head_node : 0;
+        const int tail_home = cfg_.tail_node >= 0 ? cfg_.tail_node : nodes - 1;
+        head_lock_.emplace(machine, kind, cfg_.params, head_home);
+        tail_lock_.emplace(machine, kind, cfg_.params, tail_home);
+        head_ = machine.alloc(0, head_home);
+        tail_ = machine.alloc(0, tail_home);
+        head_data_ = machine.alloc_array(cfg_.value_lines, 0, head_home);
+        tail_data_ = machine.alloc_array(cfg_.value_lines, 0, tail_home);
+    }
+
+    /** False when the queue is full (caller backs off and retries). */
+    bool
+    enqueue(Ctx& ctx, std::uint64_t value)
+    {
+        tail_lock_->acquire(ctx);
+        const std::uint64_t t = ctx.load(tail_);
+        const std::uint64_t h = ctx.load(head_); // may be stale: conservative
+        if (t - h >= cfg_.capacity) {
+            tail_lock_->release(ctx);
+            return false;
+        }
+        ring_[t % cfg_.capacity] = value;
+        ctx.touch_array(tail_data_, cfg_.value_lines, true);
+        ctx.store(tail_, t + 1);
+        tail_lock_->release(ctx);
+        return true;
+    }
+
+    /** Empty -> nullopt (possibly spuriously under a racing enqueue). */
+    std::optional<std::uint64_t>
+    dequeue(Ctx& ctx)
+    {
+        head_lock_->acquire(ctx);
+        const std::uint64_t h = ctx.load(head_);
+        const std::uint64_t t = ctx.load(tail_); // may be stale: conservative
+        if (h == t) {
+            head_lock_->release(ctx);
+            return std::nullopt;
+        }
+        const std::uint64_t value = ring_[h % cfg_.capacity];
+        ctx.touch_array(head_data_, cfg_.value_lines, false);
+        ctx.store(head_, h + 1);
+        head_lock_->release(ctx);
+        return value;
+    }
+
+    std::size_t capacity() const { return cfg_.capacity; }
+    std::uint64_t head_lock_id() const { return head_lock_->lock_id(); }
+    std::uint64_t tail_lock_id() const { return tail_lock_->lock_id(); }
+
+  private:
+    Config cfg_;
+    std::optional<locks::AnyLock<Ctx>> head_lock_;
+    std::optional<locks::AnyLock<Ctx>> tail_lock_;
+    Ref head_{};
+    Ref tail_{};
+    Ref head_data_{};
+    Ref tail_data_{};
+    std::vector<std::uint64_t> ring_;
+};
+
+} // namespace nucalock::structs
+
+#endif // NUCALOCK_STRUCTS_MPMC_QUEUE_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Plain-data statistics the lock-backed structures (src/structs/) and the
+ * KV-service app tier (src/apps/kv_service.hpp) accumulate, in the shape
+ * the schema-v5 per-run "structs" report object serializes: per-stripe
+ * handover locality, cooperative-resize accounting, and op-latency
+ * histograms. Header-only and dependency-light so obs/report.hpp can
+ * include it without a cycle.
+ */
+#ifndef NUCALOCK_STRUCTS_STATS_HPP
+#define NUCALOCK_STRUCTS_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace nucalock::structs {
+
+/**
+ * One stripe's view of its lock: who took it, from which node, and how much
+ * cooperative-resize work it absorbed. Handover locality is tracked by the
+ * structure itself (inside the stripe's critical section, so deterministic
+ * on the simulator) rather than via probes — probes attribute *traffic*,
+ * this attributes *custody*.
+ */
+struct StripeStats
+{
+    /** The stripe lock's probe id (AnyLock::lock_id): joins this row to
+     *  the per-lock traffic-attribution row of the same run. */
+    std::uint64_t lock_id = 0;
+    std::uint64_t acquisitions = 0;
+    /** Previous holder was a different thread on the same node. */
+    std::uint64_t handovers_local = 0;
+    /** Previous holder lived on another node. */
+    std::uint64_t handovers_remote = 0;
+    /** Keys this stripe migrated while catching up to the global epoch. */
+    std::uint64_t migrations = 0;
+
+    /** Local handovers / all handovers (0 when no handover happened). */
+    double
+    local_handover_fraction() const
+    {
+        const std::uint64_t h = handovers_local + handovers_remote;
+        return h == 0 ? 0.0
+                      : static_cast<double>(handovers_local) /
+                            static_cast<double>(h);
+    }
+};
+
+/**
+ * Everything a KV-service run learned about its striped map: the op mix it
+ * actually executed, hit rates, cooperative-resize behaviour (epochs, keys
+ * migrated, ops that stalled to migrate and for how long), and service-level
+ * op-latency histograms split by op class.
+ */
+struct KvStructsStats
+{
+    std::vector<StripeStats> per_stripe;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t scans = 0;
+    /** Fresh-key inserts, including resize-storm bursts. */
+    std::uint64_t inserts = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** Global resize epochs the map went through (0 = never resized). */
+    std::uint64_t resize_epochs = 0;
+    /** Keys rehashed across all cooperative catch-up migrations. */
+    std::uint64_t resize_migrated_keys = 0;
+    /** Ops that paid a migration before doing their own work. */
+    std::uint64_t resize_stalls = 0;
+
+    stats::LogHistogram read_ns;
+    stats::LogHistogram write_ns;
+    stats::LogHistogram scan_ns;
+    /** Latency of the migration work itself, per stalled op. */
+    stats::LogHistogram resize_stall_ns;
+
+    std::uint64_t
+    ops_total() const
+    {
+        return reads + writes + scans + inserts;
+    }
+
+    /** Custody-level locality over every stripe (the paper's headline). */
+    double
+    local_handover_fraction() const
+    {
+        std::uint64_t local = 0;
+        std::uint64_t remote = 0;
+        for (const StripeStats& s : per_stripe) {
+            local += s.handovers_local;
+            remote += s.handovers_remote;
+        }
+        const std::uint64_t h = local + remote;
+        return h == 0 ? 0.0
+                      : static_cast<double>(local) / static_cast<double>(h);
+    }
+
+    std::uint64_t
+    stripe_acquisitions_total() const
+    {
+        std::uint64_t total = 0;
+        for (const StripeStats& s : per_stripe)
+            total += s.acquisitions;
+        return total;
+    }
+};
+
+} // namespace nucalock::structs
+
+#endif // NUCALOCK_STRUCTS_STATS_HPP

@@ -167,6 +167,49 @@ TEST(Options, TrafficFlag)
     EXPECT_TRUE(parsed.options->traffic);
 }
 
+TEST(Options, AppBenchAndKvKnobs)
+{
+    const CliParse parsed = parse_cli(
+        {"--bench=app", "--app=kv", "--kv-keys=2048", "--kv-stripes=8",
+         "--kv-read-pct=70", "--kv-write-pct=20", "--kv-scan-len=32",
+         "--kv-skew=1.1", "--kv-ops=500", "--kv-storms=2"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.options->bench, CliBench::App);
+    EXPECT_EQ(parsed.options->app, "kv");
+    EXPECT_EQ(parsed.options->kv_keys, 2048u);
+    EXPECT_EQ(parsed.options->kv_stripes, 8u);
+    EXPECT_EQ(parsed.options->kv_read_pct, 70u);
+    EXPECT_EQ(parsed.options->kv_write_pct, 20u);
+    EXPECT_EQ(parsed.options->kv_scan_len, 32u);
+    EXPECT_DOUBLE_EQ(parsed.options->kv_skew, 1.1);
+    EXPECT_EQ(parsed.options->kv_ops, 500u);
+    EXPECT_EQ(parsed.options->kv_storms, 2u);
+}
+
+TEST(Options, KvDefaultsAndValidation)
+{
+    const CliParse defaults = parse_cli({"--bench=app"});
+    ASSERT_TRUE(defaults.options.has_value()) << defaults.error;
+    EXPECT_EQ(defaults.options->app, "kv");
+    EXPECT_EQ(defaults.options->kv_read_pct, 80u);
+    EXPECT_EQ(defaults.options->kv_write_pct, 15u);
+
+    // The mix must leave a non-negative scan remainder.
+    EXPECT_FALSE(parse_cli({"--bench=app", "--kv-read-pct=80",
+                            "--kv-write-pct=30"})
+                     .options.has_value());
+    EXPECT_FALSE(parse_cli({"--kv-read-pct=101"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--kv-keys=0"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--kv-stripes=0"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--kv-skew=-1"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--kv-ops=0"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--app="}).options.has_value());
+    // Name existence is the tool's job (it owns the app registry); the
+    // parser accepts any non-empty name.
+    EXPECT_TRUE(parse_cli({"--bench=app", "--app=Raytrace"})
+                    .options.has_value());
+}
+
 TEST(Options, MemtraceRequiresSingleLockAndPath)
 {
     const CliParse parsed =

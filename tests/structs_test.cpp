@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the lock-backed structures tier (src/structs/) on the
+ * simulator backend, the KV-service app model on top of it, and the
+ * structs checker (check/structs_check.hpp): a pinned Zipf-sampler
+ * distribution, striped-map semantics and cooperative resize under
+ * contention, per-stripe lock identity for traffic attribution, and the
+ * random-walk checker passing for real locks while catching the planted
+ * unsynchronized-map bug.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "apps/kv_service.hpp"
+#include "apps/workload.hpp"
+#include "check/structs_check.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "structs/locked_stack.hpp"
+#include "structs/mpmc_queue.hpp"
+#include "structs/striped_map.hpp"
+
+namespace {
+
+using namespace nucalock;
+using namespace nucalock::locks;
+using sim::SimContext;
+using sim::SimMachine;
+
+// ---------------------------------------------------------------------------
+// Zipf sampler: pinned distribution + determinism (the KV mix's key
+// popularity must be reproducible bit-for-bit across runs and hosts).
+// ---------------------------------------------------------------------------
+
+TEST(Zipf, PinnedSkewedDistribution)
+{
+    const std::size_t kRanks = 16;
+    apps::ZipfSampler zipf(kRanks, 0.9);
+    Xoshiro256 rng(42);
+    std::vector<std::uint64_t> counts(kRanks, 0);
+    const int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.sample(rng)];
+
+    // Rank 0 is the hottest key and the tail decays monotonically in
+    // expectation; with 100k samples the head ordering is deterministic.
+    EXPECT_EQ(std::max_element(counts.begin(), counts.end()),
+              counts.begin());
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[3]);
+    EXPECT_GT(counts[3], counts[8]);
+    // s=0.9 over 16 ranks puts roughly a quarter of the mass on rank 0
+    // (1/H_16(0.9) ~ 0.24); pin a generous bracket around it.
+    EXPECT_GT(counts[0], kSamples / 5);
+    EXPECT_LT(counts[0], kSamples / 3);
+}
+
+TEST(Zipf, UniformAtZeroSkew)
+{
+    const std::size_t kRanks = 8;
+    apps::ZipfSampler zipf(kRanks, 0.0);
+    Xoshiro256 rng(7);
+    std::vector<std::uint64_t> counts(kRanks, 0);
+    const int kSamples = 80'000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::uint64_t c : counts) {
+        EXPECT_GT(c, static_cast<std::uint64_t>(kSamples) / kRanks * 8 / 10);
+        EXPECT_LT(c, static_cast<std::uint64_t>(kSamples) / kRanks * 12 / 10);
+    }
+}
+
+TEST(Zipf, DeterministicPerSeed)
+{
+    apps::ZipfSampler zipf(64, 1.1);
+    Xoshiro256 a(123);
+    Xoshiro256 b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(zipf.sample(a), zipf.sample(b)) << "diverged at " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Striped map on the simulator.
+// ---------------------------------------------------------------------------
+
+TEST(StripedMap, SingleThreadSemantics)
+{
+    SimMachine machine(Topology::symmetric(2, 2));
+    structs::StripedMap<SimContext>::Config cfg;
+    cfg.stripes = 4;
+    cfg.initial_buckets = 4;
+    structs::StripedMap<SimContext> map(machine, LockKind::Tatas, cfg);
+
+    machine.add_threads(1, Placement::RoundRobinNodes,
+                        [&](SimContext& ctx, int) {
+                            EXPECT_TRUE(map.put(ctx, 1, 10));
+                            EXPECT_TRUE(map.put(ctx, 2, 20));
+                            EXPECT_FALSE(map.put(ctx, 1, 11)); // overwrite
+                            EXPECT_EQ(map.get(ctx, 1), 11u);
+                            EXPECT_EQ(map.get(ctx, 2), 20u);
+                            EXPECT_FALSE(map.get(ctx, 3).has_value());
+                            EXPECT_TRUE(map.erase(ctx, 2));
+                            EXPECT_FALSE(map.erase(ctx, 2));
+                            EXPECT_FALSE(map.get(ctx, 2).has_value());
+                            std::uint64_t sum = 0;
+                            EXPECT_EQ(map.scan(ctx, 1, 8, &sum), 1u);
+                            EXPECT_EQ(sum, 11u);
+                        });
+    machine.run();
+    EXPECT_EQ(map.host_size(), 1u);
+}
+
+TEST(StripedMap, ResizeUnderContentionKeepsEveryKey)
+{
+    SimMachine machine(Topology::symmetric(2, 2));
+    structs::StripedMap<SimContext>::Config cfg;
+    cfg.stripes = 2;
+    cfg.initial_buckets = 2;
+    cfg.max_load_factor = 1.5;
+    structs::StripedMap<SimContext> map(machine, LockKind::Mcs, cfg);
+
+    const int kThreads = 4;
+    const std::uint64_t kPerThread = 40;
+    std::uint64_t missing = 0;
+    machine.add_threads(
+        kThreads, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+            const auto tid = static_cast<std::uint64_t>(ctx.thread_id());
+            for (std::uint64_t j = 0; j < kPerThread; ++j)
+                map.put(ctx, tid * 1'000'000 + j, tid);
+            for (std::uint64_t j = 0; j < kPerThread; ++j)
+                if (!map.get(ctx, tid * 1'000'000 + j).has_value())
+                    ++missing;
+        });
+    machine.run();
+
+    EXPECT_EQ(missing, 0u);
+    EXPECT_EQ(map.host_size(), kThreads * kPerThread);
+    EXPECT_GE(map.resize_epochs(), 1u);
+    EXPECT_GT(map.resize_migrated_keys(), 0u);
+
+    // Lost-update oracle: the simulated per-stripe count words must agree
+    // with the host-side contents when the stripe locks are correct.
+    std::uint64_t meta_total = 0;
+    for (std::size_t s = 0; s < map.num_stripes(); ++s)
+        meta_total += machine.memory().peek(map.stripe_meta(s));
+    EXPECT_EQ(meta_total, map.host_size());
+}
+
+TEST(StripedMap, PerStripeLockIdsAreDistinctAndStable)
+{
+    SimMachine machine(Topology::symmetric(2, 2));
+    structs::StripedMap<SimContext>::Config cfg;
+    cfg.stripes = 8;
+    structs::StripedMap<SimContext> map(machine, LockKind::HboGt, cfg);
+
+    std::set<std::uint64_t> ids;
+    for (std::size_t s = 0; s < map.num_stripes(); ++s) {
+        ids.insert(map.stripe_lock_id(s));
+        // The id the traffic-attribution rows key on is carried into the
+        // stripe's stats so reports can join the two.
+        EXPECT_EQ(map.stripe_lock_id(s), map.stripe_stats(s).lock_id);
+    }
+    EXPECT_EQ(ids.size(), map.num_stripes());
+}
+
+TEST(StripedMap, ContendedRunIsDeterministic)
+{
+    const auto run_once = [] {
+        SimMachine machine(Topology::symmetric(2, 2));
+        structs::StripedMap<SimContext>::Config cfg;
+        cfg.stripes = 2;
+        cfg.initial_buckets = 2;
+        cfg.max_load_factor = 2.0;
+        structs::StripedMap<SimContext> map(machine, LockKind::Clh, cfg);
+        machine.add_threads(4, Placement::RoundRobinNodes,
+                            [&](SimContext& ctx, int) {
+                                const auto tid = static_cast<std::uint64_t>(
+                                    ctx.thread_id());
+                                for (std::uint64_t j = 0; j < 24; ++j) {
+                                    map.put(ctx, tid * 100 + j, j);
+                                    (void)map.get(ctx, (tid * 7 + j) % 96);
+                                }
+                            });
+        machine.run();
+        return std::pair<sim::SimTime, std::uint64_t>(machine.now(),
+                                                      map.resize_epochs());
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+// ---------------------------------------------------------------------------
+// MPMC queue and locked stack on the simulator (the native soak lives in
+// structs_native_test.cpp).
+// ---------------------------------------------------------------------------
+
+TEST(MpmcQueue, FifoAndConservativeBounds)
+{
+    SimMachine machine(Topology::symmetric(2, 2));
+    structs::MpmcQueue<SimContext>::Config cfg;
+    cfg.capacity = 4;
+    structs::MpmcQueue<SimContext> queue(machine, LockKind::Ticket, cfg);
+    EXPECT_NE(queue.head_lock_id(), queue.tail_lock_id());
+
+    machine.add_threads(1, Placement::RoundRobinNodes,
+                        [&](SimContext& ctx, int) {
+                            for (std::uint64_t v = 1; v <= 4; ++v)
+                                EXPECT_TRUE(queue.enqueue(ctx, v));
+                            EXPECT_FALSE(queue.enqueue(ctx, 5)); // full
+                            for (std::uint64_t v = 1; v <= 4; ++v)
+                                EXPECT_EQ(queue.dequeue(ctx), v);
+                            EXPECT_FALSE(queue.dequeue(ctx).has_value());
+                        });
+    machine.run();
+}
+
+TEST(MpmcQueue, SimulatedProducersAndConsumersLoseNothing)
+{
+    SimMachine machine(Topology::symmetric(2, 2));
+    structs::MpmcQueue<SimContext>::Config cfg;
+    cfg.capacity = 8;
+    structs::MpmcQueue<SimContext> queue(machine, LockKind::Mcs, cfg);
+
+    const std::uint64_t kPerProducer = 50;
+    std::vector<std::uint64_t> consumed;
+    int producers_done = 0;
+    machine.add_threads(
+        4, Placement::RoundRobinNodes, [&](SimContext& ctx, int) {
+            const int tid = ctx.thread_id();
+            if (tid < 2) { // producers
+                for (std::uint64_t j = 0; j < kPerProducer; ++j) {
+                    const std::uint64_t v =
+                        static_cast<std::uint64_t>(tid) * 1'000 + j;
+                    while (!queue.enqueue(ctx, v))
+                        ctx.delay(50);
+                }
+                ++producers_done;
+            } else { // consumers
+                while (true) {
+                    if (auto v = queue.dequeue(ctx)) {
+                        consumed.push_back(*v);
+                    } else if (producers_done == 2) {
+                        if (!queue.dequeue(ctx).has_value())
+                            break;
+                    } else {
+                        ctx.delay(50);
+                    }
+                }
+            }
+        });
+    machine.run();
+
+    ASSERT_EQ(consumed.size(), 2 * kPerProducer);
+    std::sort(consumed.begin(), consumed.end());
+    EXPECT_EQ(std::adjacent_find(consumed.begin(), consumed.end()),
+              consumed.end())
+        << "duplicate item dequeued";
+}
+
+TEST(LockedStack, LifoOnTheSimulator)
+{
+    SimMachine machine(Topology::symmetric(2, 2));
+    structs::LockedStack<SimContext> stack(machine, LockKind::TatasExp);
+    EXPECT_NE(stack.lock_id(), 0u);
+    machine.add_threads(1, Placement::RoundRobinNodes,
+                        [&](SimContext& ctx, int) {
+                            stack.push(ctx, 1);
+                            stack.push(ctx, 2);
+                            EXPECT_EQ(stack.pop(ctx), 2u);
+                            EXPECT_EQ(stack.pop(ctx), 1u);
+                            EXPECT_FALSE(stack.pop(ctx).has_value());
+                        });
+    machine.run();
+}
+
+// ---------------------------------------------------------------------------
+// KV-service app model.
+// ---------------------------------------------------------------------------
+
+apps::KvServiceConfig
+small_kv_config()
+{
+    apps::KvServiceConfig config;
+    config.topology = Topology::symmetric(2, 2);
+    config.threads = 4;
+    config.keys = 128;
+    config.stripes = 4;
+    config.buckets_per_stripe = 8;
+    config.ops_per_thread = 50;
+    config.think_iters = 100;
+    config.storm_inserts_per_thread = 16;
+    return config;
+}
+
+TEST(KvService, OpCountsAddUp)
+{
+    const apps::KvServiceConfig config = small_kv_config();
+    const apps::KvOutcome out =
+        apps::run_kv_service(LockKind::Tatas, config);
+
+    // ops_per_thread is split evenly across the storm-delimited phases.
+    const std::uint64_t threads = 4;
+    const auto phases =
+        static_cast<std::uint64_t>(config.resize_storms + 1);
+    EXPECT_EQ(out.structs.reads + out.structs.writes + out.structs.scans,
+              threads * (config.ops_per_thread / phases) * phases);
+    // Preload inserts the key population once; each storm adds fresh keys.
+    EXPECT_GE(out.structs.inserts,
+              config.keys + threads * config.storm_inserts_per_thread);
+    EXPECT_EQ(out.bench.total_acquires, out.structs.ops_total());
+    EXPECT_GT(out.bench.total_time, 0u);
+    EXPECT_GT(out.structs.read_ns.count(), 0u);
+    EXPECT_EQ(out.structs.per_stripe.size(), config.stripes);
+}
+
+TEST(KvService, DeterministicPerSeed)
+{
+    const apps::KvServiceConfig config = small_kv_config();
+    const apps::KvOutcome a = apps::run_kv_service(LockKind::HboGt, config);
+    const apps::KvOutcome b = apps::run_kv_service(LockKind::HboGt, config);
+    EXPECT_EQ(a.bench.acquisition_order_hash, b.bench.acquisition_order_hash);
+    EXPECT_EQ(a.bench.total_time, b.bench.total_time);
+    EXPECT_EQ(a.structs.resize_epochs, b.structs.resize_epochs);
+
+    apps::KvServiceConfig other = config;
+    other.seed = 2;
+    const apps::KvOutcome c = apps::run_kv_service(LockKind::HboGt, other);
+    EXPECT_NE(a.bench.acquisition_order_hash,
+              c.bench.acquisition_order_hash);
+}
+
+TEST(KvService, StormsProvokeResizeEpochs)
+{
+    apps::KvServiceConfig config = small_kv_config();
+    config.resize_storms = 2;
+    config.storm_inserts_per_thread = 64;
+    const apps::KvOutcome out = apps::run_kv_service(LockKind::Mcs, config);
+    EXPECT_GE(out.structs.resize_epochs, 1u);
+    EXPECT_GT(out.structs.resize_migrated_keys, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Structs checker: real locks pass, the planted bug is caught.
+// ---------------------------------------------------------------------------
+
+TEST(StructsCheck, RealLocksSurviveRandomWalks)
+{
+    check::StructsCheckConfig cfg;
+    cfg.executions = 8;
+    for (const LockKind kind : {LockKind::Tatas, LockKind::Mcs,
+                                LockKind::Adaptive}) {
+        check::StructsCheckSetup setup;
+        setup.kind = kind;
+        const check::StructsCheckResult res = check::structs_check(setup, cfg);
+        EXPECT_EQ(res.failures, 0u) << lock_name(kind) << ": "
+                                    << res.first_failure.what;
+        EXPECT_EQ(res.executions, cfg.executions);
+        EXPECT_GT(res.total_resize_epochs, 0u) << lock_name(kind);
+    }
+}
+
+TEST(StructsCheck, CatchesThePlantedUnsynchronizedMap)
+{
+    check::StructsCheckSetup setup;
+    setup.unsynchronized = true;
+    check::StructsCheckConfig cfg;
+    cfg.executions = 30;
+    const check::StructsCheckResult res = check::structs_check(setup, cfg);
+    ASSERT_GE(res.failures, 1u);
+    EXPECT_FALSE(res.first_failure.what.empty());
+}
+
+TEST(StructsCheck, VerdictIdenticalAcrossJobs)
+{
+    check::StructsCheckSetup setup;
+    setup.kind = LockKind::Clh;
+    check::StructsCheckConfig cfg;
+    cfg.executions = 6;
+    cfg.jobs = 1;
+    const check::StructsCheckResult one = check::structs_check(setup, cfg);
+    cfg.jobs = 4;
+    const check::StructsCheckResult four = check::structs_check(setup, cfg);
+    EXPECT_EQ(one.failures, four.failures);
+    EXPECT_EQ(one.total_resize_epochs, four.total_resize_epochs);
+    EXPECT_EQ(one.total_migrated_keys, four.total_migrated_keys);
+    EXPECT_EQ(one.max_steps_seen, four.max_steps_seen);
+}
+
+} // namespace

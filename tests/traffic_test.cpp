@@ -410,12 +410,13 @@ TEST(ReportV2, EmittedReportValidates)
     EXPECT_NE(out.str().find("\"memtrace_dropped\""), std::string::npos);
 }
 
-TEST(ReportV2, SchemaVersionIsFour)
+TEST(ReportV2, SchemaVersionIsFive)
 {
     // v3 added the optional top-level "robustness" object (fault-campaign
     // verdicts, nucacheck --campaign); v4 the optional per-run "adaptive"
-    // object (ADAPTIVE gear telemetry).
-    EXPECT_EQ(obs::kReportSchemaVersion, 4);
+    // object (ADAPTIVE gear telemetry); v5 the optional per-run "structs"
+    // object (KV-service data-structure telemetry).
+    EXPECT_EQ(obs::kReportSchemaVersion, 5);
 }
 
 TEST(ReportV2, UnknownVersionIsRejectedWithClearMessage)

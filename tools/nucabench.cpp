@@ -13,6 +13,9 @@
 #include <iostream>
 #include <vector>
 
+#include "apps/app_runner.hpp"
+#include "apps/kv_service.hpp"
+#include "apps/workload.hpp"
 #include "exec/executor.hpp"
 #include "harness/newbench.hpp"
 #include "harness/options.hpp"
@@ -172,6 +175,154 @@ run_contended(const CliOptions& opts)
     return 0;
 }
 
+/** Build the KV-service config a --bench=app --app=kv run uses. */
+apps::KvServiceConfig
+kv_config_of(const CliOptions& opts)
+{
+    apps::KvServiceConfig config;
+    config.topology = Topology::symmetric(opts.nodes, opts.cpus_per_node);
+    config.latency = latency_of(opts);
+    config.params = opts.params;
+    config.threads = opts.threads;
+    config.keys = opts.kv_keys;
+    config.stripes = opts.kv_stripes;
+    config.zipf_skew = opts.kv_skew;
+    config.read_pct = static_cast<int>(opts.kv_read_pct);
+    config.write_pct = static_cast<int>(opts.kv_write_pct);
+    config.scan_len = opts.kv_scan_len;
+    config.ops_per_thread = opts.kv_ops;
+    config.resize_storms = static_cast<int>(opts.kv_storms);
+    config.seed = opts.seed;
+    return config;
+}
+
+int
+run_app_kv(const CliOptions& opts)
+{
+    const std::vector<std::string> headers = {
+        "Lock",      "ns/op",      "handoff ratio", "local tx",
+        "global tx", "fairness %", "resizes",       "local handover %"};
+    stats::Table table(headers);
+    std::unique_ptr<stats::CsvWriter> csv;
+    if (opts.csv)
+        csv = std::make_unique<stats::CsvWriter>(std::cout, headers);
+
+    const apps::KvServiceConfig config = kv_config_of(opts);
+    const std::vector<LockKind> kinds = selected_locks(opts);
+    exec::Executor executor(opts.jobs);
+    const std::vector<apps::KvOutcome> outcomes =
+        executor.map<apps::KvOutcome>(kinds.size(), [&](std::size_t i) {
+            return apps::run_kv_service(kinds[i], config);
+        });
+
+    std::vector<obs::ReportRun> runs;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const LockKind kind = kinds[i];
+        const apps::KvOutcome& o = outcomes[i];
+        const BenchResult& r = o.bench;
+        const double local_pct = o.structs.local_handover_fraction() * 100.0;
+        if (!opts.json.empty()) {
+            obs::ReportRun run(lock_name(kind), r, nullptr);
+            run.structs = &outcomes[i].structs;
+            runs.push_back(run);
+        }
+        if (csv) {
+            csv->cell(lock_name(kind))
+                .cell(r.avg_iteration_ns)
+                .cell(r.node_handoff_ratio)
+                .cell(r.traffic.local_tx)
+                .cell(r.traffic.global_tx)
+                .cell(r.fairness_spread_pct)
+                .cell(o.structs.resize_epochs)
+                .cell(local_pct);
+            csv->end_row();
+        } else {
+            table.row()
+                .cell(lock_name(kind))
+                .cell(r.avg_iteration_ns, 0)
+                .cell(r.node_handoff_ratio, 3)
+                .cell(r.traffic.local_tx)
+                .cell(r.traffic.global_tx)
+                .cell(r.fairness_spread_pct, 1)
+                .cell(o.structs.resize_epochs)
+                .cell(local_pct, 1);
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+    if (!opts.json.empty())
+        return write_json_report(opts, "app-kv", runs);
+    return 0;
+}
+
+int
+run_app_cli(const CliOptions& opts)
+{
+    if (opts.app == "kv")
+        return run_app_kv(opts);
+
+    // A SPLASH-2 descriptor by name: validate without app_by_name's fatal.
+    const std::vector<apps::AppWorkload> suite = apps::splash2_suite();
+    const apps::AppWorkload* app = nullptr;
+    for (const apps::AppWorkload& candidate : suite)
+        if (candidate.name == opts.app)
+            app = &candidate;
+    if (app == nullptr) {
+        std::cerr << "error: unknown --app '" << opts.app
+                  << "' (want kv or a SPLASH-2 name, e.g. Raytrace)\n";
+        return 2;
+    }
+    if (!opts.json.empty()) {
+        std::cerr << "error: --json with --bench=app needs --app=kv\n";
+        return 2;
+    }
+
+    const std::vector<std::string> headers = {"Lock", "time ms", "local tx",
+                                              "global tx", "lock calls"};
+    stats::Table table(headers);
+    std::unique_ptr<stats::CsvWriter> csv;
+    if (opts.csv)
+        csv = std::make_unique<stats::CsvWriter>(std::cout, headers);
+
+    apps::AppRunConfig config;
+    config.topology = Topology::symmetric(opts.nodes, opts.cpus_per_node);
+    config.latency = latency_of(opts);
+    config.params = opts.params;
+    config.threads = opts.threads;
+    config.seed = opts.seed;
+    config.preemption = opts.preemption;
+
+    const std::vector<LockKind> kinds = selected_locks(opts);
+    exec::Executor executor(opts.jobs);
+    const std::vector<apps::AppOutcome> outcomes =
+        executor.map<apps::AppOutcome>(kinds.size(), [&](std::size_t i) {
+            return apps::run_app_once(*app, kinds[i], config);
+        });
+
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const apps::AppOutcome& o = outcomes[i];
+        const double ms = static_cast<double>(o.time) / 1e6;
+        if (csv) {
+            csv->cell(lock_name(kinds[i]))
+                .cell(ms)
+                .cell(o.traffic.local_tx)
+                .cell(o.traffic.global_tx)
+                .cell(o.lock_calls);
+            csv->end_row();
+        } else {
+            table.row()
+                .cell(lock_name(kinds[i]))
+                .cell(ms, 2)
+                .cell(o.traffic.local_tx)
+                .cell(o.traffic.global_tx)
+                .cell(o.lock_calls);
+        }
+    }
+    if (!csv)
+        table.print(std::cout);
+    return 0;
+}
+
 int
 run_uncontested_cli(const CliOptions& opts)
 {
@@ -238,6 +389,8 @@ main(int argc, char** argv)
         std::cerr << "error: --trace/--check-schema belong to nucaprof\n";
         return 2;
     }
+    if (opts.bench == CliBench::App)
+        return run_app_cli(opts);
     if (opts.bench == CliBench::Uncontested) {
         if (!opts.json.empty()) {
             std::cerr << "error: --json is not supported with "

@@ -10,6 +10,11 @@
  * Modes:
  *   --mode=exhaustive  bounded DFS with sleep sets + preemption bound
  *   --mode=pct         randomized priority scheduling (PCT)
+ *   --structs          random-walk schedules over the striped hash map
+ *                      (src/structs/) with resize-forcing inserts, audited
+ *                      for lost updates and migration loss
+ *                      (check/structs_check.hpp); --lock=MAP_UNSYNC is the
+ *                      planted unsynchronized variant for --expect-fail
  *   --replay=TRACE     re-run one recorded trace string
  *   --campaign[=SPECS] deterministic fault-campaign soak over the
  *                      abandonment-capable locks (check/campaign.hpp):
@@ -24,6 +29,8 @@
  *   nucacheck --mode=pct --cpus=2x4 --pct-runs=100 --pct-depth=3
  *   nucacheck --lock=TATAS_BROKEN --expect-fail
  *   nucacheck --lock=ADAPTIVE_BROKEN --expect-fail
+ *   nucacheck --structs --lock=MCS --schedules=40
+ *   nucacheck --structs --lock=MAP_UNSYNC --expect-fail
  *   nucacheck --replay='nc1;lock=TATAS;nodes=2;cpus=2;iters=2;seed=1;bounded=0;sched=0x12,1x3' --expect-fail
  *   nucacheck --campaign --seeds=2 --report=campaign.json
  *   nucacheck --campaign=death --lock=MCS --shapes=2x2
@@ -44,6 +51,7 @@
 #include "check/harness.hpp"
 #include "check/pct.hpp"
 #include "check/schedule.hpp"
+#include "check/structs_check.hpp"
 #include "exec/executor.hpp"
 #include "obs/report.hpp"
 #include "stats/table.hpp"
@@ -63,6 +71,7 @@ struct Options
     std::uint32_t iterations = 2;
     std::uint64_t seed = 1;
     std::uint64_t schedules = 1000;
+    bool schedules_set = false;
     std::uint64_t steps = 0; // 0 = per-mode default
     int preemptions = 3;
     std::uint64_t pct_runs = 50;
@@ -75,6 +84,8 @@ struct Options
     std::string replay;
     /** --campaign mode: run the fault-campaign soak. */
     bool campaign = false;
+    /** --structs mode: random-walk check of the striped map. */
+    bool structs = false;
     /** Preset override ("death" or "holder,spike,..."); empty = defaults. */
     std::string campaign_presets;
     /** Shape override ("2x2,2x4"); empty = campaign defaults. */
@@ -107,7 +118,9 @@ usage(std::ostream& os)
           "                 [--replay=TRACE] [--expect-fail] [--no-minimize]\n"
           "                 [--campaign[=PRESETS]] [--shapes=NxM[,NxM...]]\n"
           "                 [--seeds=K] [--overshoot-base-ns=T]\n"
-          "                 [--report=PATH|-]\n";
+          "                 [--report=PATH|-]\n"
+          "                 [--structs]  (striped-map random-walk check;\n"
+          "                  --lock=MAP_UNSYNC is the planted-bug variant)\n";
     return 2;
 }
 
@@ -185,6 +198,9 @@ parse_args(int argc, char** argv, Options& opts)
         } else if (key == "--schedules") {
             if (!parse_u64(value, opts.schedules) || opts.schedules == 0)
                 return false;
+            opts.schedules_set = true;
+        } else if (key == "--structs") {
+            opts.structs = true;
         } else if (key == "--steps") {
             if (!parse_u64(value, opts.steps))
                 return false;
@@ -588,6 +604,98 @@ run_campaign_mode(const Options& opts)
     return result.failures == 0 ? 0 : 1;
 }
 
+/** --structs planted-bug lock name: map writes skip the stripe lock. */
+constexpr const char* kMapUnsyncName = "MAP_UNSYNC";
+
+int
+run_structs_mode(const Options& opts)
+{
+    // Setups: every lock kind (RH only on <=2 nodes), one named lock, or
+    // the planted unsynchronized-map variant.
+    std::vector<StructsCheckSetup> setups;
+    StructsCheckSetup base;
+    base.nodes = opts.nodes;
+    base.cpus_per_node = opts.cpus_per_node;
+    base.seed = opts.seed;
+    if (opts.lock == "ALL") {
+        for (LockKind kind : locks::all_lock_kinds()) {
+            if (kind == LockKind::Rh && opts.nodes > 2)
+                continue;
+            StructsCheckSetup setup = base;
+            setup.kind = kind;
+            setups.push_back(setup);
+        }
+    } else if (opts.lock == kMapUnsyncName) {
+#ifdef NUCALOCK_ENABLE_BROKEN_LOCKS
+        StructsCheckSetup setup = base;
+        setup.unsynchronized = true;
+        setups.push_back(setup);
+#else
+        std::cerr << "nucacheck: built without NUCALOCK_BROKEN_LOCKS\n";
+        return 2;
+#endif
+    } else {
+        const auto kind = locks::parse_lock_name(opts.lock);
+        if (!kind) {
+            std::cerr << "nucacheck: unknown lock \"" << opts.lock << "\"\n";
+            return 2;
+        }
+        StructsCheckSetup setup = base;
+        setup.kind = *kind;
+        setups.push_back(setup);
+    }
+
+    StructsCheckConfig cfg;
+    cfg.executions = opts.schedules_set ? opts.schedules : 40;
+    cfg.max_steps = opts.steps != 0 ? opts.steps : 200000;
+    cfg.seed = opts.seed;
+    // One setup shards its executions across host threads; a multi-lock
+    // selection shards at the lock level instead (same idiom as PCT).
+    const bool single = setups.size() == 1;
+    cfg.jobs = single ? opts.jobs : 1;
+    exec::Executor executor(single ? 1 : opts.jobs);
+    const std::vector<StructsCheckResult> results =
+        executor.map<StructsCheckResult>(setups.size(), [&](std::size_t i) {
+            return structs_check(setups[i], cfg);
+        });
+
+    stats::Table table({"Lock", "runs", "fail", "truncated", "max steps",
+                        "resizes", "migrated", "verdict"});
+    std::uint64_t failing = 0;
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+        const StructsCheckResult& r = results[i];
+        const char* name = setups[i].unsynchronized
+                               ? kMapUnsyncName
+                               : locks::lock_name(setups[i].kind);
+        if (r.failures != 0) {
+            ++failing;
+            std::cout << name << ":\n  failure: " << r.first_failure.what
+                      << "\n  (" << sim::stop_reason_name(r.first_failure.stop)
+                      << ", " << r.first_failure.steps << " steps, "
+                      << r.first_failure.resize_epochs << " resize epoch"
+                      << (r.first_failure.resize_epochs == 1 ? "" : "s")
+                      << ")\n";
+        }
+        table.row()
+            .cell(name)
+            .cell(r.executions)
+            .cell(r.failures)
+            .cell(r.truncated)
+            .cell(r.max_steps_seen)
+            .cell(r.total_resize_epochs)
+            .cell(r.total_migrated_keys)
+            .cell(r.failures != 0 ? "FAIL" : "ok");
+    }
+    table.print(std::cout);
+    std::cout << "structs: " << setups.size() << " lock"
+              << (setups.size() == 1 ? "" : "s") << ", " << failing
+              << " failing (" << (failing == 0 ? "ok" : "FAIL") << ")\n";
+
+    if (opts.expect_fail)
+        return failing != 0 ? 0 : 1;
+    return failing == 0 ? 0 : 1;
+}
+
 int
 run_check(const Options& opts)
 {
@@ -698,5 +806,7 @@ main(int argc, char** argv)
         return run_replay(opts);
     if (opts.campaign)
         return run_campaign_mode(opts);
+    if (opts.structs)
+        return run_structs_mode(opts);
     return run_check(opts);
 }

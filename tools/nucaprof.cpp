@@ -43,6 +43,7 @@
 #include <sstream>
 #include <vector>
 
+#include "apps/kv_service.hpp"
 #include "common/logging.hpp"
 #include "exec/executor.hpp"
 #include "harness/newbench.hpp"
@@ -66,12 +67,16 @@ prof_usage()
     return "nucaprof — profile a lock microbenchmark run through the "
            "observability probes\n"
            "\n"
-           "usage: nucaprof [--bench=new|traditional] [--lock=NAME|ALL]\n"
+           "usage: nucaprof [--bench=new|traditional|app] [--lock=NAME|ALL]\n"
            "                [--nodes=N] [--cpus-per-node=N] [--threads=N]\n"
            "                [--critical-work=INTS] [--private-work=ITERS]\n"
            "                [--iterations=N] [--nuca-ratio=R] [--seed=S]\n"
            "                [--traffic] [--json=PATH] [--trace=PATH]\n"
            "                [--memtrace=PATH] [--jobs=N]\n"
+           "                [--app=kv] [--kv-keys=N] [--kv-stripes=N]\n"
+           "                [--kv-read-pct=P] [--kv-write-pct=P]\n"
+           "                [--kv-scan-len=N] [--kv-skew=S] [--kv-ops=N]\n"
+           "                [--kv-storms=N]\n"
            "       nucaprof --check-schema=REPORT.json\n"
            "       nucaprof --robustness=REPORT.json\n"
            "       nucaprof --diff=A.json,B.json\n"
@@ -87,7 +92,12 @@ prof_usage()
            "--trace needs a single --lock and writes Chrome trace_event "
            "JSON\nwith link-utilisation counter tracks; --memtrace needs a "
            "single\n--lock and writes the raw access trace CSV (1M-event "
-           "cap).\n";
+           "cap).\n"
+           "\n"
+           "--bench=app profiles the KV-service application model (the\n"
+           "sharded striped-map store; only --app=kv) through the same\n"
+           "probes: per-stripe locks show up as separate attribution rows\n"
+           "in --traffic, and --json adds the v5 per-run structs object.\n";
 }
 
 std::vector<LockKind>
@@ -117,6 +127,8 @@ struct ProfiledRun
     LockKind kind;
     BenchResult result;
     std::unique_ptr<obs::MetricsRegistry> metrics;
+    /** --bench=app only: the run's structs telemetry (v5 report object). */
+    std::unique_ptr<structs::KvStructsStats> structs;
 };
 
 /** Utilisation-series bin width for --trace counter tracks (10 µs). */
@@ -127,11 +139,34 @@ constexpr std::size_t kMemtraceCap = 1'000'000;
 
 BenchResult
 run_bench(LockKind kind, const CliOptions& opts, const Topology& topo,
-          obs::ProbeSink* probe, sim::TraceRecorder* memtrace = nullptr)
+          obs::ProbeSink* probe, sim::TraceRecorder* memtrace = nullptr,
+          structs::KvStructsStats* structs_out = nullptr)
 {
     // Record the utilisation series whenever a Perfetto trace was asked
     // for; it is pure accounting (never perturbs the run).
     const sim::SimTime bin = opts.trace.empty() ? 0 : kCounterBinNs;
+    if (opts.bench == CliBench::App) {
+        apps::KvServiceConfig config;
+        config.topology = topo;
+        config.latency = latency_of(opts);
+        config.params = opts.params;
+        config.threads = opts.threads;
+        config.keys = opts.kv_keys;
+        config.stripes = opts.kv_stripes;
+        config.zipf_skew = opts.kv_skew;
+        config.read_pct = static_cast<int>(opts.kv_read_pct);
+        config.write_pct = static_cast<int>(opts.kv_write_pct);
+        config.scan_len = opts.kv_scan_len;
+        config.ops_per_thread = opts.kv_ops;
+        config.resize_storms = static_cast<int>(opts.kv_storms);
+        config.seed = opts.seed;
+        config.probe = probe;
+        config.contention_bin_ns = bin;
+        apps::KvOutcome outcome = apps::run_kv_service(kind, config);
+        if (structs_out != nullptr)
+            *structs_out = outcome.structs;
+        return outcome.bench;
+    }
     if (opts.bench == CliBench::Traditional) {
         TraditionalConfig config;
         config.topology = topo;
@@ -485,6 +520,19 @@ main(int argc, char** argv)
                      "nucabench\n";
         return 2;
     }
+    if (opts.bench == CliBench::App) {
+        if (opts.app != "kv") {
+            std::cerr << "error: nucaprof --bench=app profiles the KV "
+                         "service only (--app=kv); SPLASH-2 models run "
+                         "under nucabench\n";
+            return 2;
+        }
+        if (!opts.memtrace.empty()) {
+            std::cerr << "error: --memtrace is not supported with "
+                         "--bench=app\n";
+            return 2;
+        }
+    }
 
     const Topology topo = Topology::symmetric(opts.nodes, opts.cpus_per_node);
     const std::vector<LockKind> kinds = selected_locks(opts);
@@ -509,8 +557,11 @@ main(int argc, char** argv)
         sink.add(run.metrics.get());
         if (want_trace)
             sink.add(&timeline); // single lock: parse_cli enforced it
+        if (opts.bench == CliBench::App)
+            run.structs = std::make_unique<structs::KvStructsStats>();
         run.result = run_bench(run.kind, opts, topo, &sink,
-                               want_memtrace ? &memtrace : nullptr);
+                               want_memtrace ? &memtrace : nullptr,
+                               run.structs.get());
         run.metrics->finalize();
 
 #ifndef NDEBUG
@@ -633,7 +684,10 @@ main(int argc, char** argv)
     if (!opts.json.empty()) {
         obs::ReportConfig rc_cfg;
         rc_cfg.tool = "nucaprof";
-        rc_cfg.bench = opts.bench == CliBench::New ? "new" : "traditional";
+        rc_cfg.bench = opts.bench == CliBench::App
+                           ? "app-kv"
+                           : (opts.bench == CliBench::New ? "new"
+                                                          : "traditional");
         rc_cfg.nodes = opts.nodes;
         rc_cfg.cpus_per_node = opts.cpus_per_node;
         rc_cfg.threads = opts.threads;
@@ -644,9 +698,12 @@ main(int argc, char** argv)
         rc_cfg.seed = opts.seed;
         std::vector<obs::ReportRun> report_runs;
         report_runs.reserve(runs.size());
-        for (const ProfiledRun& run : runs)
-            report_runs.push_back(obs::ReportRun{
-                lock_name(run.kind), run.result, run.metrics.get()});
+        for (const ProfiledRun& run : runs) {
+            obs::ReportRun rr(lock_name(run.kind), run.result,
+                              run.metrics.get());
+            rr.structs = run.structs.get();
+            report_runs.push_back(rr);
+        }
         if (opts.json == "-") {
             obs::write_report(std::cout, rc_cfg, report_runs);
         } else {
