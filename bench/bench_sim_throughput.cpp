@@ -3,7 +3,7 @@
  * Tracked simulator-throughput benchmark: how fast the discrete-event
  * engine itself runs on this host, independent of any paper figure.
  *
- * Three shapes, all on the 2-node 28-cpu WildFire:
+ * Three probes on the 2-node 28-cpu WildFire:
  *
  *  - TATAS  — spin-heavy: dominated by memory-event processing and the
  *             run_timed() ready queue (the hot paths of the engine
@@ -14,21 +14,29 @@
  *             exec::Executor (--jobs=N / NUCALOCK_JOBS), the shape the
  *             host-parallel executor exists for.
  *
+ * Plus the big-topology scaling table (--shape=NxC[,NxC...], default
+ * 2x14,4x32,16x64,64x16): one MCS run per shape with equal total work,
+ * tracking whether per-event cost stays flat as simulated CPUs go
+ * 28 -> 1024 (docs/performance.md, "big-topology engine").
+ *
  * Reported metrics are simulated memory operations and fiber switches per
  * host second. The simulated results stay bit-identical run to run (the
  * acquisition-order hashes are printed so a trajectory diff catches any
  * drift); only the host wall-clock numbers vary. With NUCALOCK_BENCH_JSON
- * set, writes a nucalock-bench-report v1 document whose per-run "host"
+ * set, writes a nucalock-bench-report document whose per-run "host"
  * object carries the throughput numbers (the only nondeterministic part of
  * the report).
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "exec/executor.hpp"
 #include "harness/newbench.hpp"
+#include "harness/options.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -89,6 +97,76 @@ measure_single(LockKind kind, std::uint32_t critical_work,
     return m;
 }
 
+/**
+ * One scaling-table run: MCS on an NxC symmetric machine, every cpu
+ * occupied, with the iteration count scaled so every shape performs the
+ * same TOTAL number of acquisitions (the per-thread count of the 1024-cpu
+ * shape times 1024/cpus). Equal totals mean equal sampling windows: a
+ * fixed per-thread count would give the 28-cpu row a ~1 ms run whose
+ * events/sec is dominated by warm caches and setup amortization rather
+ * than the steady-state per-event cost the table exists to compare. MCS
+ * is the shape-sensitive pick: every blocked thread parks a watcher on
+ * its own queue-node line, so big shapes exercise exactly the structures
+ * the big-topology engine reworked (watcher lists, ready-queue storms,
+ * per-thread hot state) rather than serializing on one test-and-set word.
+ *
+ * The workload is the paper's Figure 4 microbenchmark at its default
+ * critical/private work, so the event mix matches what real runs hosted
+ * by this engine look like. A handover-dominated stress variant (tiny
+ * critical sections, every few events a switch to a cold thread) pays a
+ * further ~10% per event at 1024 threads from host cache misses that
+ * prefetching cannot fully hide; docs/performance.md quantifies it.
+ *
+ * Each shape runs three times and reports the fastest wall time: the
+ * simulated result is bit-identical every repetition (asserted), so the
+ * repetitions only shrink host-scheduling noise.
+ *
+ * The wall time used is BenchResult::host_run_ns — the engine's run loop
+ * alone. Whole-process timing would fold machine construction (1024
+ * fibers, a quarter gigabyte of stacks, a 64-node memory arena) into the
+ * big shapes' per-event cost; that is allocator throughput, not the
+ * scaling property this table tracks.
+ */
+Measured
+measure_scale(const ShapeSpec& shape, std::uint32_t iters)
+{
+    constexpr int kReps = 3;
+    constexpr int kReferenceCpus = 1024;
+    NewBenchConfig config;
+    config.topology =
+        Topology::symmetric(shape.nodes, shape.cpus_per_node);
+    config.threads = shape.total_cpus();
+    config.iterations_per_thread = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(iters) *
+        static_cast<std::uint64_t>(kReferenceCpus) /
+        static_cast<std::uint64_t>(
+            std::max(shape.total_cpus(), 1)));
+    if (config.iterations_per_thread < iters)
+        config.iterations_per_thread = iters;
+    Measured m;
+    double best_ns = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        BenchResult result = run_newbench(LockKind::Mcs, config);
+        if (rep == 0) {
+            m.result = result;
+            best_ns = result.host_run_ns;
+        } else {
+            if (result.acquisition_order_hash !=
+                m.result.acquisition_order_hash) {
+                std::fprintf(stderr,
+                             "SCALE %dx%d: nondeterministic rerun\n",
+                             shape.nodes, shape.cpus_per_node);
+                std::exit(1);
+            }
+            best_ns = std::min(best_ns, result.host_run_ns);
+        }
+    }
+    m.host = rates_of(
+        m.result,
+        std::chrono::nanoseconds(static_cast<std::int64_t>(best_ns)), 1);
+    return m;
+}
+
 /** The Figure 5 grid through the executor — the "does --jobs scale" probe.
  *  The aggregate result sums the per-run engine counters; the hash chains
  *  the per-run hashes in grid order so drift in any cell shows up. */
@@ -133,7 +211,7 @@ measure_sweep(std::uint32_t iters, int jobs)
 }
 
 void
-print_row(stats::Table& table, const char* name, const Measured& m)
+print_row(stats::Table& table, const std::string& name, const Measured& m)
 {
     table.row()
         .cell(name)
@@ -149,6 +227,36 @@ print_row(stats::Table& table, const char* name, const Measured& m)
         }(m.result.acquisition_order_hash));
 }
 
+/** --shape=NxC[,NxC...] from argv; exits on a malformed value. */
+std::vector<ShapeSpec>
+scale_shapes(int argc, char** argv)
+{
+    std::string spec = "2x14,4x32,16x64,64x16";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--shape=", 0) == 0)
+            spec = arg.substr(8);
+    }
+    const auto shapes = parse_shape_list(spec);
+    if (!shapes) {
+        std::fprintf(stderr, "bad --shape '%s' (want NxC[,NxC...])\n",
+                     spec.c_str());
+        std::exit(2);
+    }
+    for (const ShapeSpec& s : *shapes) {
+        if (s.nodes > sim::SimMemory::kMaxNodes ||
+            s.total_cpus() > sim::SimMemory::kMaxCpus) {
+            std::fprintf(stderr,
+                         "shape %dx%d exceeds the simulator's limits "
+                         "(%d nodes, %d cpus)\n",
+                         s.nodes, s.cpus_per_node, sim::SimMemory::kMaxNodes,
+                         sim::SimMemory::kMaxCpus);
+            std::exit(2);
+        }
+    }
+    return *shapes;
+}
+
 } // namespace
 
 int
@@ -156,26 +264,41 @@ main(int argc, char** argv)
 {
     bench::banner(
         "Simulator throughput",
-        "Engine events and fiber switches per host second (2-node, 28-cpu\n"
-        "WildFire). TATAS/MCS run sequentially and track the engine hot\n"
-        "paths; SWEEP fans the Figure 5 grid out over --jobs host threads\n"
-        "(default: NUCALOCK_JOBS, else hardware concurrency). Hashes are\n"
-        "bit-identical at every --jobs level.");
+        "Engine events and fiber switches per host second. TATAS/MCS run\n"
+        "sequentially on the 2-node 28-cpu WildFire and track the engine\n"
+        "hot paths; SWEEP fans the Figure 5 grid out over --jobs host\n"
+        "threads (default: NUCALOCK_JOBS, else hardware concurrency); the\n"
+        "SCALE rows run MCS with equal total work at each\n"
+        "--shape=NxC[,NxC...] (default 2x14,4x32,16x64,64x16) — flat-to-\n"
+        "rising Mevents/s down the rows is the big-topology engine's\n"
+        "success metric. Hashes are bit-identical at every --jobs level.");
 
     const auto iters = static_cast<std::uint32_t>(scaled_iters(60, 10));
+    const auto scale_iters = static_cast<std::uint32_t>(scaled_iters(20, 4));
     const int jobs = bench::bench_jobs(argc, argv);
+    const std::vector<ShapeSpec> shapes = scale_shapes(argc, argv);
 
     // TATAS at cw=0 maximizes spinning (ready-queue + memory-event load);
     // MCS at cw=1500 maximizes blocking handovers (watcher + switch load).
     const Measured tatas = measure_single(LockKind::Tatas, 0, iters);
     const Measured mcs = measure_single(LockKind::Mcs, 1500, iters);
     const Measured sweep = measure_sweep(iters, jobs);
+    std::vector<Measured> scaled;
+    scaled.reserve(shapes.size());
+    for (const ShapeSpec& shape : shapes)
+        scaled.push_back(measure_scale(shape, scale_iters));
 
     stats::Table table({"Shape", "jobs", "wall ms", "Mevents/s",
                         "Mswitches/s", "acq hash"});
     print_row(table, "TATAS cw=0", tatas);
     print_row(table, "MCS cw=1500", mcs);
     print_row(table, "SWEEP fig5", sweep);
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        const std::string name = "SCALE " + std::to_string(shapes[i].nodes) +
+                                 "x" +
+                                 std::to_string(shapes[i].cpus_per_node);
+        print_row(table, name, scaled[i]);
+    }
     table.print(std::cout);
 
     obs::ReportConfig rc;
@@ -195,6 +318,13 @@ main(int argc, char** argv)
     runs.back().host = mcs.host;
     runs.push_back(obs::ReportRun{"SWEEP", sweep.result, nullptr});
     runs.back().host = sweep.host;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        const std::string name = "SCALE " + std::to_string(shapes[i].nodes) +
+                                 "x" +
+                                 std::to_string(shapes[i].cpus_per_node);
+        runs.push_back(obs::ReportRun{name, scaled[i].result, nullptr});
+        runs.back().host = scaled[i].host;
+    }
     bench::maybe_write_json(rc, runs);
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "harness/newbench.hpp"
 
+#include <chrono>
+
 #include "common/logging.hpp"
 
 namespace nucalock::harness {
@@ -96,9 +98,15 @@ run_newbench(LockKind kind, const NewBenchConfig& config)
                     ctx.delay(ctx.rng().next_below(config.private_work));
             }
         });
+    const auto host_t0 = std::chrono::steady_clock::now();
     machine.run();
+    const auto host_t1 = std::chrono::steady_clock::now();
 
     BenchResult result;
+    result.host_run_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(host_t1 -
+                                                             host_t0)
+            .count());
     result.total_time = machine.now();
     result.total_acquires = acquires;
     result.avg_iteration_ns =

@@ -54,6 +54,40 @@ fail(const std::string& message)
 
 } // namespace
 
+std::optional<ShapeSpec>
+parse_shape(const std::string& text)
+{
+    const std::size_t x = text.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 == text.size())
+        return std::nullopt;
+    ShapeSpec shape;
+    if (!parse_number(text.substr(0, x), &shape.nodes) ||
+        !parse_number(text.substr(x + 1), &shape.cpus_per_node) ||
+        shape.nodes < 1 || shape.cpus_per_node < 1)
+        return std::nullopt;
+    return shape;
+}
+
+std::optional<std::vector<ShapeSpec>>
+parse_shape_list(const std::string& text)
+{
+    std::vector<ShapeSpec> shapes;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const auto shape = parse_shape(text.substr(start, comma - start));
+        if (!shape)
+            return std::nullopt;
+        shapes.push_back(*shape);
+        start = comma + 1;
+    }
+    if (shapes.empty())
+        return std::nullopt;
+    return shapes;
+}
+
 std::string
 cli_usage()
 {
@@ -62,7 +96,7 @@ cli_usage()
            "\n"
            "usage: nucabench [--bench=new|traditional|uncontested|app]\n"
            "                 [--lock=NAME|ALL] [--nodes=N] [--cpus-per-node=N]\n"
-           "                 [--threads=N] [--critical-work=INTS]\n"
+           "                 [--shape=NxC] [--threads=N] [--critical-work=INTS]\n"
            "                 [--private-work=ITERS] [--iterations=N]\n"
            "                 [--nuca-ratio=R] [--seed=S] [--preemption]\n"
            "                 [--faults=SPEC] [--csv] [--json=PATH]\n"
@@ -80,6 +114,9 @@ cli_usage()
            "--jobs=N runs independent benchmark runs on N host threads\n"
            "(default: $NUCALOCK_JOBS, else hardware concurrency). Results\n"
            "and reports are bit-identical at every --jobs level.\n"
+           "\n"
+           "--shape=NxC is shorthand for --nodes=N --cpus-per-node=C; the\n"
+           "simulator scales to 64x16 = 1024 simulated cpus.\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY ADAPTIVE\n"
@@ -132,6 +169,13 @@ parse_cli(const std::vector<std::string>& args)
             if (!parse_number(value, &opts.cpus_per_node) ||
                 opts.cpus_per_node < 1)
                 return fail("bad --cpus-per-node '" + value + "'");
+        } else if (key == "shape") {
+            // --shape=NxC is shorthand for --nodes=N --cpus-per-node=C.
+            const auto shape = parse_shape(value);
+            if (!shape)
+                return fail("bad --shape '" + value + "' (want NxC, e.g. 2x14)");
+            opts.nodes = shape->nodes;
+            opts.cpus_per_node = shape->cpus_per_node;
         } else if (key == "threads") {
             if (!parse_number(value, &opts.threads) || opts.threads < 1)
                 return fail("bad --threads '" + value + "'");

@@ -111,6 +111,31 @@ struct CliParse
     std::string error;
 };
 
+/** One simulated machine shape: `NxC` = N nodes × C cpus per node. */
+struct ShapeSpec
+{
+    int nodes = 0;
+    int cpus_per_node = 0;
+
+    int total_cpus() const { return nodes * cpus_per_node; }
+
+    friend bool operator==(const ShapeSpec&, const ShapeSpec&) = default;
+};
+
+/**
+ * Parse one "NxC" shape (e.g. "2x14", "64x16"); both components must be
+ * positive integers. Returns nullopt on malformed input.
+ */
+std::optional<ShapeSpec> parse_shape(const std::string& text);
+
+/**
+ * Parse a comma-separated shape list "NxC[,NxC...]" (the throughput
+ * bench's --shape flag). Returns nullopt when the list is empty or any
+ * element is malformed.
+ */
+std::optional<std::vector<ShapeSpec>>
+parse_shape_list(const std::string& text);
+
 /**
  * Parse `--key=value` style arguments (and `--help`). Unknown keys, bad
  * values, or out-of-range combinations produce an error message.

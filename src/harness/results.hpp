@@ -61,6 +61,16 @@ struct BenchResult
     std::uint64_t sim_memory_accesses = 0;
     /** Fiber context switches the engine performed for this run. */
     std::uint64_t sim_fiber_switches = 0;
+    /**
+     * Host wall-clock nanoseconds spent inside SimMachine::run() alone —
+     * the event-processing loop, excluding machine construction, fiber
+     * and stack allocation, and result extraction. The only host-varying
+     * field in this struct; the throughput bench reads it so its
+     * events/sec compares per-event cost across shapes rather than how
+     * long it takes to allocate a 1024-thread machine. Never serialized
+     * into deterministic reports.
+     */
+    double host_run_ns = 0.0;
 
     // ----- robustness subsystem (zero unless a fault plan ran) ------------
 

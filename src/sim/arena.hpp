@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chunked arena for simulator objects that are allocated incrementally and
+ * addressed by dense index.
+ *
+ * `std::vector<Line>` storage for the memory model had two costs at big
+ * topologies: every growth realloc copies all existing lines (the structs
+ * workloads allocate lines mid-run, so this happens while the simulation is
+ * hot), and the copy invalidates any reference held across an alloc. The
+ * arena allocates fixed-size chunks and never moves an element once placed:
+ * growth is one chunk allocation, references are stable for the arena's
+ * lifetime, and indexing is a shift/mask plus two dependent loads (the
+ * chunk-pointer array is a few cache lines even at a million elements).
+ */
+#ifndef NUCALOCK_SIM_ARENA_HPP
+#define NUCALOCK_SIM_ARENA_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace nucalock::sim {
+
+/**
+ * Index-addressed chunked arena. Elements are value-initialized per chunk
+ * and never move; @p kChunkPow is the log2 of the chunk size in elements.
+ */
+template <typename T, std::size_t kChunkPow = 12>
+class ChunkArena
+{
+  public:
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkPow;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T&
+    operator[](std::size_t i)
+    {
+        NUCA_ASSERT(i < size_, "arena index ", i, " of ", size_);
+        return chunks_[i >> kChunkPow][i & (kChunkSize - 1)];
+    }
+
+    const T&
+    operator[](std::size_t i) const
+    {
+        NUCA_ASSERT(i < size_, "arena index ", i, " of ", size_);
+        return chunks_[i >> kChunkPow][i & (kChunkSize - 1)];
+    }
+
+    /** Append a copy of @p value; the returned reference never moves. */
+    T&
+    push_back(const T& value)
+    {
+        if (size_ == chunks_.size() * kChunkSize)
+            chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+        T& slot = chunks_[size_ >> kChunkPow][size_ & (kChunkSize - 1)];
+        slot = value;
+        ++size_;
+        return slot;
+    }
+
+    /** Chunks currently allocated (tests). */
+    std::size_t num_chunks() const { return chunks_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::size_t size_ = 0;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_ARENA_HPP

@@ -240,6 +240,9 @@ SimMachine::add_thread(int cpu, std::function<void(SimContext&)> body)
     SimThread* raw = thr.get();
     thr->fiber = std::make_unique<Fiber>([raw] { raw->body(raw->ctx); },
                                          cfg_.fiber_stack_bytes);
+    ThreadHot hot;
+    hot.fiber = thr->fiber.get();
+    hot_.push_back(hot);
     threads_.push_back(std::move(thr));
     return tid;
 }
@@ -298,55 +301,76 @@ SimMachine::block_until(SimContext& ctx, SimTime t)
         now_ = std::max(now_, t);
         return;
     }
-    SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
-    NUCA_ASSERT(thr.tid == current_tid_, "block from non-current thread");
-    thr.wake = disturb_wake(thr, t);
-    thr.state = ThreadState::Runnable;
-    ready_.push_or_update(thr.tid, thr.wake);
-    thr.fiber->yield();
+    NUCA_ASSERT(ctx.tid_ == current_tid_, "block from non-current thread");
+    ThreadHot& hot = hot_[static_cast<std::size_t>(ctx.tid_)];
+    // Skip the cold-struct deref unless preemption/faults can disturb the
+    // wake time (disturb_wake is the identity otherwise).
+    hot.wake = cfg_.preemption || injector_ != nullptr
+                   ? disturb_wake(
+                         *threads_[static_cast<std::size_t>(ctx.tid_)], t)
+                   : t;
+    hot.state = ThreadState::Runnable;
+    ready_.push_or_update(ctx.tid_, hot.wake);
+    hot.fiber->yield();
 }
 
 void
 SimMachine::wait_on(SimContext& ctx, MemRef ref, std::uint64_t v)
 {
-    SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
-    NUCA_ASSERT(thr.tid == current_tid_, "wait from non-current thread");
-    if (!memory_.watch(ref, thr.tid, v))
+    NUCA_ASSERT(ctx.tid_ == current_tid_, "wait from non-current thread");
+    if (!memory_.watch(ref, ctx.tid_, v))
         return; // value already changed; caller re-loads
-    thr.state = ThreadState::Waiting;
-    thr.wake = kTimeInfinity;
-    thr.waiting_line = ref.line;
+    ThreadHot& hot = hot_[static_cast<std::size_t>(ctx.tid_)];
+    hot.state = ThreadState::Waiting;
+    hot.wake = kTimeInfinity;
+    hot.waiting_line = ref.line;
     if (scheduler_ == nullptr)
-        ready_.remove(thr.tid);
-    thr.fiber->yield();
+        ready_.remove(ctx.tid_);
+    hot.fiber->yield();
 }
 
 void
 SimMachine::wake_watchers(MemRef ref, SimTime t)
 {
     memory_.take_watchers(ref, watcher_scratch_);
+    if (watcher_scratch_.empty())
+        return;
+    const bool disturb = cfg_.preemption || injector_ != nullptr;
+    wake_batch_.clear();
     for (int tid : watcher_scratch_) {
-        SimThread& thr = *threads_[static_cast<std::size_t>(tid)];
-        if (thr.state == ThreadState::Done)
+        ThreadHot& hot = hot_[static_cast<std::size_t>(tid)];
+        if (hot.state == ThreadState::Done)
             continue; // died (injected fault) while spin-waiting
-        NUCA_ASSERT(thr.state == ThreadState::Waiting, "woken thread not waiting");
-        thr.state = ThreadState::Runnable;
-        thr.wake = disturb_wake(thr, t);
-        thr.waiting_line = MemRef::kInvalid;
+        NUCA_ASSERT(hot.state == ThreadState::Waiting, "woken thread not waiting");
+        hot.state = ThreadState::Runnable;
+        hot.wake = disturb
+                       ? disturb_wake(*threads_[static_cast<std::size_t>(tid)], t)
+                       : t;
+        hot.waiting_line = MemRef::kInvalid;
         // The woken thread's next access is the refill after the writer's
         // invalidation — under a lock's acquire spin that is the handover
         // burst, which the attribution layer tags as TxPhase::Handover.
-        thr.ctx.handover_pending_ = true;
+        hot.handover_pending = true;
         if (scheduler_ != nullptr) {
             // The wakeup itself is a local step: when scheduled, the thread
             // returns from wait_on and advertises its re-poll as the next
             // decision point. Only controlled mode reads pending; the timed
             // loop instead needs the thread back in the ready queue.
-            thr.pending = PendingOp{SchedOp::Wakeup, ref.line};
+            threads_[static_cast<std::size_t>(tid)]->pending =
+                PendingOp{SchedOp::Wakeup, ref.line};
         } else {
-            ready_.push_or_update(tid, thr.wake);
+            // The woken thread typically runs as soon as the waker blocks;
+            // starting its cold-stack fetch here gives the prefetch the
+            // whole remainder of the waker's event to land.
+            prefetch_resume_state(tid);
+            wake_batch_.push_back(ReadyQueue::Entry{hot.wake, tid});
         }
     }
+    // A release wakes every spinner of the line at once (the refill storm);
+    // one bulk insert restores the heap in a single pass instead of one
+    // sift per woken thread.
+    if (scheduler_ == nullptr)
+        ready_.push_bulk(wake_batch_.data(), wake_batch_.size());
 }
 
 AccessOutcome
@@ -358,14 +382,26 @@ SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
     // Resolve the attribution phase for this access: a one-shot transient
     // (gate publish store) wins, else a pending wakeup upgrades an acquire
     // spin to the handover burst. Pure labelling — no timing effect.
+    ThreadHot& hot = hot_[static_cast<std::size_t>(ctx.tid_)];
     TxPhase phase = ctx.op_phase_;
     if (ctx.op_transient_ != TxPhase::None) {
         phase = ctx.op_transient_;
         ctx.op_transient_ = TxPhase::None;
-    } else if (ctx.handover_pending_ && phase == TxPhase::AcquireSpin) {
+    } else if (hot.handover_pending && phase == TxPhase::AcquireSpin) {
         phase = TxPhase::Handover;
     }
-    ctx.handover_pending_ = false;
+    hot.handover_pending = false;
+    // A write that will wake a spin-waiter: start the waiter's cold state
+    // (ThreadHot line, fiber, stack) on its way into cache now, so the
+    // whole route/serve/invalidate sequence below overlaps the misses.
+    // The dependent loads here are off every critical path — nothing in
+    // access() consumes them. Timed mode only: controlled runs are tiny
+    // and their wakes go through `pending`, not the ready queue.
+    if (op != MemOp::Load && scheduler_ == nullptr) {
+        const int w = memory_.first_watcher(ref);
+        if (w >= 0)
+            prefetch_resume_state(w);
+    }
     memory_.set_tx_context(ctx.op_lock_, phase);
     const AccessOutcome out = memory_.access(op, ctx.cpu_, now_, ref, a, b);
     if (out.wakes_watchers)
@@ -397,12 +433,12 @@ SimMachine::do_access(SimContext& ctx, MemOp op, MemRef ref, std::uint64_t a,
 void
 SimMachine::decision_point(SimContext& ctx, PendingOp op)
 {
-    SimThread& thr = *threads_[static_cast<std::size_t>(ctx.tid_)];
-    NUCA_ASSERT(thr.tid == current_tid_, "decision from non-current thread");
-    thr.pending = op;
-    thr.state = ThreadState::Runnable;
-    thr.wake = now_;
-    thr.fiber->yield();
+    NUCA_ASSERT(ctx.tid_ == current_tid_, "decision from non-current thread");
+    threads_[static_cast<std::size_t>(ctx.tid_)]->pending = op;
+    ThreadHot& hot = hot_[static_cast<std::size_t>(ctx.tid_)];
+    hot.state = ThreadState::Runnable;
+    hot.wake = now_;
+    hot.fiber->yield();
 }
 
 void
@@ -434,22 +470,24 @@ SimMachine::install_scheduler(Scheduler* scheduler)
 void
 SimMachine::sweep_deaths(std::size_t& done)
 {
-    for (auto& thr : threads_) {
-        if (thr->state == ThreadState::Done)
+    for (std::size_t i = 0; i < hot_.size(); ++i) {
+        ThreadHot& hot = hot_[i];
+        if (hot.state == ThreadState::Done)
             continue;
+        const int tid = static_cast<int>(i);
         // Earliest time the thread could possibly run again: its wake time
         // when scheduled, or "now" when blocked on a line watcher.
         const SimTime next_run =
-            thr->state == ThreadState::Waiting ? now_ : thr->wake;
-        if (!injector_->should_die(thr->tid, next_run))
+            hot.state == ThreadState::Waiting ? now_ : hot.wake;
+        if (!injector_->should_die(tid, next_run))
             continue;
-        thr->state = ThreadState::Done;
-        thr->finish = next_run == kTimeInfinity ? now_ : next_run;
+        hot.state = ThreadState::Done;
+        threads_[i]->finish = next_run == kTimeInfinity ? now_ : next_run;
         if (scheduler_ == nullptr)
-            ready_.remove(thr->tid);
+            ready_.remove(tid);
         ++done;
         if (checker_ != nullptr)
-            checker_->on_thread_death(thr->tid, now_);
+            checker_->on_thread_death(tid, now_);
     }
 }
 
@@ -472,9 +510,14 @@ SimMachine::run_timed()
 {
     std::size_t done = 0;
     // Seed the ready queue: every thread starts Runnable at wake time 0.
+    // Also seed resume_sp — before the first resume it is the entry frame
+    // the Fiber constructor prepared.
     ready_.reset(threads_.size());
-    for (const auto& thr : threads_)
-        ready_.push_or_update(thr->tid, thr->wake);
+    for (const auto& thr : threads_) {
+        ThreadHot& hot = hot_[static_cast<std::size_t>(thr->tid)];
+        hot.resume_sp = thr->fiber->suspended_sp();
+        ready_.push_or_update(thr->tid, hot.wake);
+    }
     while (done < threads_.size()) {
         if (injector_ != nullptr)
             sweep_deaths(done);
@@ -487,9 +530,19 @@ SimMachine::run_timed()
         // is O(1) instead of the old per-event scan over all threads.
         if (ready_.empty())
             panic_with_diagnosis("deadlock: no runnable thread");
-        SimThread* next = threads_[static_cast<std::size_t>(ready_.top_tid())].get();
-        NUCA_ASSERT(next->wake >= now_, "time went backwards");
-        now_ = next->wake;
+        const int next_tid = ready_.top_tid();
+        ThreadHot& next = hot_[static_cast<std::size_t>(next_tid)];
+        // Overlap the picked fiber's cold-stack misses with the watchdog
+        // and time-limit bookkeeping below (see prefetch_resume_state).
+        prefetch_resume_state(next_tid);
+        // Also start on the likely pick after this one: timer wakes
+        // (backoff/pause expiries) never pass through wake_watchers, so
+        // this peek is the only chance to give them a whole event's worth
+        // of prefetch distance.
+        if (const int follow = ready_.runner_up_tid(); follow >= 0)
+            prefetch_resume_state(follow);
+        NUCA_ASSERT(next.wake >= now_, "time went backwards");
+        now_ = next.wake;
         if (checker_ != nullptr && checker_->watchdog_expired(now_))
             panic_with_diagnosis(
                 "progress watchdog expired: threads are waiting but no "
@@ -499,15 +552,18 @@ SimMachine::run_timed()
             panic_with_diagnosis(
                 "simulated time exceeded max_sim_time (livelock?)");
 
-        current_tid_ = next->tid;
+        current_tid_ = next_tid;
         ++fiber_switches_;
-        next->fiber->resume();
+        next.fiber->resume();
         current_tid_ = -1;
+        // Freshly yielded: remember where, so the next wake of this thread
+        // can prefetch its stack without first missing on the Fiber object.
+        next.resume_sp = next.fiber->suspended_sp();
 
-        if (next->fiber->finished()) {
-            next->state = ThreadState::Done;
-            next->finish = now_;
-            ready_.remove(next->tid);
+        if (next.fiber->finished()) {
+            next.state = ThreadState::Done;
+            threads_[static_cast<std::size_t>(next_tid)]->finish = now_;
+            ready_.remove(next_tid);
             ++done;
         }
     }
@@ -525,9 +581,10 @@ SimMachine::run_controlled()
         if (done >= threads_.size())
             break;
         runnable.clear();
-        for (auto& thr : threads_)
-            if (thr->state == ThreadState::Runnable)
-                runnable.push_back(SchedChoice{thr->tid, thr->pending});
+        for (std::size_t i = 0; i < hot_.size(); ++i)
+            if (hot_[i].state == ThreadState::Runnable)
+                runnable.push_back(
+                    SchedChoice{static_cast<int>(i), threads_[i]->pending});
         if (runnable.empty()) {
             // Every remaining thread is parked on a line watcher: a real
             // deadlock under this schedule. A verdict, not a crash.
@@ -543,7 +600,7 @@ SimMachine::run_controlled()
             stop_ = StopReason::SchedulerStop;
             return;
         }
-        SimThread& next = *threads_[static_cast<std::size_t>(tid)];
+        ThreadHot& next = hot_[static_cast<std::size_t>(tid)];
         NUCA_ASSERT(next.state == ThreadState::Runnable,
                     "scheduler picked non-runnable thread ", tid);
         ++sched_steps_;
@@ -554,7 +611,7 @@ SimMachine::run_controlled()
 
         if (next.fiber->finished()) {
             next.state = ThreadState::Done;
-            next.finish = now_;
+            threads_[static_cast<std::size_t>(tid)]->finish = now_;
             ++done;
         }
     }
@@ -596,13 +653,14 @@ SimMachine::panic_with_diagnosis(const std::string& what) const
     std::ostringstream oss;
     oss << what << " at t=" << now_ << " ns\n";
     for (const auto& thr : threads_) {
+        const ThreadHot& hot = hot_[static_cast<std::size_t>(thr->tid)];
         oss << "  t" << thr->tid << " cpu=" << thr->cpu << " ";
-        switch (thr->state) {
+        switch (hot.state) {
           case ThreadState::Runnable:
-            oss << "runnable, wake=" << thr->wake << " ns";
+            oss << "runnable, wake=" << hot.wake << " ns";
             break;
           case ThreadState::Waiting:
-            oss << "waiting on line " << thr->waiting_line;
+            oss << "waiting on line " << hot.waiting_line;
             break;
           case ThreadState::Done:
             oss << "done at " << thr->finish << " ns";
@@ -644,10 +702,10 @@ SimMachine::panic_with_diagnosis(const std::string& what) const
         json << "  \"threads\": [\n";
         for (std::size_t i = 0; i < threads_.size(); ++i) {
             const SimThread& thr = *threads_[i];
-            const char* state = thr.state == ThreadState::Runnable ? "runnable"
-                                : thr.state == ThreadState::Waiting
-                                    ? "waiting"
-                                    : "done";
+            const ThreadState st = hot_[i].state;
+            const char* state = st == ThreadState::Runnable ? "runnable"
+                                : st == ThreadState::Waiting ? "waiting"
+                                                             : "done";
             json << "    {\"tid\": " << thr.tid << ", \"cpu\": " << thr.cpu
                  << ", \"state\": \"" << state << "\"}"
                  << (i + 1 < threads_.size() ? "," : "") << "\n";
@@ -702,9 +760,9 @@ SimTime
 SimMachine::finish_time(int tid) const
 {
     NUCA_ASSERT(tid >= 0 && tid < num_threads(), "tid=", tid);
-    const SimThread& thr = *threads_[static_cast<std::size_t>(tid)];
-    NUCA_ASSERT(thr.state == ThreadState::Done, "thread ", tid, " not finished");
-    return thr.finish;
+    NUCA_ASSERT(hot_[static_cast<std::size_t>(tid)].state == ThreadState::Done,
+                "thread ", tid, " not finished");
+    return threads_[static_cast<std::size_t>(tid)]->finish;
 }
 
 } // namespace nucalock::sim

@@ -170,9 +170,6 @@ class SimContext
     std::uint64_t op_lock_ = 0;
     TxPhase op_phase_ = TxPhase::None;
     TxPhase op_transient_ = TxPhase::None;
-    /** Set by wake_watchers: the next access is the post-release re-fetch
-     *  (attributed Handover when the thread was in its acquire spin). */
-    bool handover_pending_ = false;
 };
 
 /**
@@ -314,24 +311,85 @@ class SimMachine
   private:
     friend class SimContext;
 
-    enum class ThreadState
+    enum class ThreadState : std::uint8_t
     {
         Runnable,
         Waiting, // blocked on a line watcher
         Done,
     };
 
+    /**
+     * Hot per-thread scheduling state, packed into a dense array indexed by
+     * tid. Every event touches (wake, state, fiber); keeping those in a
+     * 32-byte record — 2 threads per cache line — instead of scattered
+     * heap-allocated SimThread objects is what keeps the scheduler's
+     * per-event cost flat as thread counts grow into the hundreds
+     * (docs/performance.md, "big-topology engine").
+     */
+    struct ThreadHot
+    {
+        SimTime wake = 0;
+        Fiber* fiber = nullptr; // owned by the cold SimThread
+        /** Where the fiber's stack is suspended (timed mode; mirrors
+         *  Fiber::suspended_sp after every yield). Lets the resume-path
+         *  prefetches below read this record only, instead of chasing a
+         *  dependent load through the cold Fiber object first. */
+        const void* resume_sp = nullptr;
+        std::uint32_t waiting_line = MemRef::kInvalid; // diagnostics only
+        ThreadState state = ThreadState::Runnable;
+        /** Set by wake_watchers: the thread's next access is the
+         *  post-release re-fetch (attributed Handover when the thread was
+         *  in its acquire spin). */
+        bool handover_pending = false;
+    };
+
+    /**
+     * Start pulling a suspended thread's host-side resume state into cache
+     * ahead of an imminent Fiber::resume(). At 1024 simulated threads
+     * (big-topology runs) the per-thread state cannot all stay resident,
+     * so every switch otherwise begins with serial demand misses on the
+     * Fiber object, the thread's SimContext, the saved register frame and
+     * the lines the resumed call chain reads right above it; issuing
+     * prefetches while the waker's event finishes overlaps those misses.
+     * Pure host-side hint — no effect on simulated results.
+     */
+    void prefetch_resume_state(int tid) const
+    {
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+        const ThreadHot& hot = hot_[static_cast<std::size_t>(tid)];
+        // The Fiber object itself: resume() reads and writes its switch
+        // state before touching the stack.
+        __builtin_prefetch(hot.fiber);
+        // The SimContext the resumed lock code immediately returns into
+        // (it lives in the cold heap-allocated SimThread).
+        __builtin_prefetch(&threads_[static_cast<std::size_t>(tid)]->ctx);
+        const char* sp = static_cast<const char*>(hot.resume_sp);
+        if (sp == nullptr)
+            return; // running, or a platform without fast switches
+        // Cover the saved register frame plus the first frames of the
+        // suspended call chain (yield -> engine -> lock code) that
+        // resume() pops straight through. Eight lines: enough to hide the
+        // switch-path misses, few enough not to saturate the core's fill
+        // buffers and stall the caller. Prefetches that hit in cache cost
+        // ~a cycle, so the small shapes don't pay for this.
+        for (int line = 0; line < 8; ++line)
+            __builtin_prefetch(sp + line * 64);
+#else
+        (void)tid;
+#endif
+    }
+
+    /** Cold per-thread state: identity, diagnostics, and everything the
+     *  per-event loop does not read. Heap-allocated so the fiber entry
+     *  lambda's captured pointer stays valid as threads_ grows. */
     struct SimThread
     {
         int tid = -1;
         int cpu = -1;
         std::unique_ptr<Fiber> fiber;
-        ThreadState state = ThreadState::Runnable;
-        SimTime wake = 0;
         SimTime finish = 0;
         SimTime next_preempt = kTimeInfinity;
-        std::uint32_t waiting_line = MemRef::kInvalid; // diagnostics only
-        PendingOp pending;                             // controlled mode only
+        PendingOp pending; // controlled mode only
         std::function<void(SimContext&)> body;
         SimContext ctx;
     };
@@ -384,10 +442,14 @@ class SimMachine
     SimConfig cfg_;
     SimMemory memory_;
     std::vector<std::unique_ptr<SimThread>> threads_;
+    /** Hot scheduling state by tid (see ThreadHot). */
+    std::vector<ThreadHot> hot_;
     /** Runnable threads by (wake, tid); maintained only in timed mode. */
     ReadyQueue ready_;
     /** Reused by wake_watchers (see SimMemory::take_watchers). */
     std::vector<int> watcher_scratch_;
+    /** Reused by wake_watchers for the ReadyQueue::push_bulk batch. */
+    std::vector<ReadyQueue::Entry> wake_batch_;
     std::vector<MemRef> node_gates_;
     std::vector<bool> cpu_used_;
     SimTime now_ = 0;

@@ -105,9 +105,22 @@ Fiber::Fiber(Entry entry, std::size_t stack_bytes)
     // the thunk's address. The return-address slot sits at B-8 for a
     // 16-aligned B, so the thunk starts with rsp % 16 == 0 — the state the
     // ABI prescribes immediately before a call instruction.
+    //
+    // The top is slid down by a per-stack color (0..63 cache lines, hashed
+    // from the base address): equal-size stacks otherwise put every
+    // fiber's active frames at the same address modulo the cache-set
+    // stride, and at 1024 fibers (big-topology runs) the stack tops all
+    // collide on a handful of L1/L2 sets — the coloring spreads them. It
+    // changes host addresses only; simulated results don't see it.
+    const std::uintptr_t color =
+        ((reinterpret_cast<std::uintptr_t>(stack_) *
+          std::uintptr_t{0x9E3779B97F4A7C15ull}) >>
+         58)
+        << 6;
     std::uintptr_t top =
-        (reinterpret_cast<std::uintptr_t>(stack_) + stack_bytes) &
-        ~std::uintptr_t{15};
+        ((reinterpret_cast<std::uintptr_t>(stack_) + stack_bytes) &
+         ~std::uintptr_t{15}) -
+        color;
     auto* sp = reinterpret_cast<std::uint64_t*>(top);
     *--sp = reinterpret_cast<std::uint64_t>(&nucalock_fiber_thunk);
     *--sp = 0;                                      // rbp

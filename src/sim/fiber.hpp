@@ -65,6 +65,22 @@ class Fiber
     /** True once the entry function has returned. */
     bool finished() const { return finished_; }
 
+    /**
+     * Host stack pointer the fiber is suspended at (fast-switch builds;
+     * nullptr elsewhere or while the fiber is running). The engine caches
+     * this in its hot per-thread record right after each yield so that its
+     * resume-path prefetches read one flat array instead of chasing
+     * ThreadHot -> Fiber -> stack through two dependent cold misses.
+     */
+    const void* suspended_sp() const
+    {
+#ifdef NUCALOCK_FIBER_FAST_SWITCH
+        return inside_ ? nullptr : switch_sp_;
+#else
+        return nullptr;
+#endif
+    }
+
     static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
 
   private:

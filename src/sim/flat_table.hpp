@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Open-addressing table for per-lock traffic attribution rows.
+ *
+ * The attribution hot path (SimMemory::count_tx) needs "the row for lock L"
+ * on every counted transaction. A `std::map` put a red-black-tree walk plus
+ * pointer-chasing node layout on that path; this table is a power-of-two
+ * array of (key, row-index) slots probed linearly, with the rows themselves
+ * in one contiguous vector. Row indices are stable across growth (only the
+ * slot array rehashes), so the caller may cache the index of the current
+ * lock and hit the row with a single vector load.
+ */
+#ifndef NUCALOCK_SIM_FLAT_TABLE_HPP
+#define NUCALOCK_SIM_FLAT_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "sim/traffic.hpp"
+
+namespace nucalock::sim {
+
+class FlatTrafficTable
+{
+  public:
+    /** @p initial_slots is rounded up to a power of two (tests use small
+     *  values to force probing and growth; the default fits most runs). */
+    explicit FlatTrafficTable(std::uint32_t initial_slots = 64)
+    {
+        std::uint32_t cap = 8;
+        while (cap < initial_slots)
+            cap *= 2;
+        slots_.assign(cap, Slot{});
+    }
+
+    /**
+     * Index of the row for @p lock_id (nonzero), inserting a fresh row when
+     * absent. The index is stable for the table's lifetime — growth rehashes
+     * only the slot array, never moves or renumbers rows.
+     */
+    std::uint32_t
+    index_of(std::uint64_t lock_id)
+    {
+        NUCA_ASSERT(lock_id != 0, "lock id 0 is the unattributed sentinel");
+        if ((rows_.size() + 1) * 4 > slots_.size() * 3)
+            grow();
+        const std::uint32_t mask =
+            static_cast<std::uint32_t>(slots_.size()) - 1;
+        std::uint32_t i = static_cast<std::uint32_t>(mix(lock_id)) & mask;
+        while (true) {
+            Slot& slot = slots_[i];
+            if (slot.key == lock_id)
+                return slot.index;
+            if (slot.key == 0) {
+                slot.key = lock_id;
+                slot.index = static_cast<std::uint32_t>(rows_.size());
+                LockTrafficStats row;
+                row.lock_id = lock_id;
+                rows_.push_back(row);
+                return slot.index;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    LockTrafficStats& row(std::uint32_t index) { return rows_[index]; }
+
+    /** All rows, in insertion order (attribution snapshots sort a copy). */
+    const std::vector<LockTrafficStats>& rows() const { return rows_; }
+
+    std::size_t size() const { return rows_.size(); }
+    /** Current slot-array capacity (tests pin the growth path). */
+    std::size_t slot_capacity() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0; // 0 = empty (lock id 0 is never stored)
+        std::uint32_t index = 0;
+    };
+
+    /** splitmix64 finalizer: avalanches the line-token keys, which are
+     *  small consecutive integers, across the whole word. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return x;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        const std::uint32_t mask =
+            static_cast<std::uint32_t>(slots_.size()) - 1;
+        for (const Slot& slot : old) {
+            if (slot.key == 0)
+                continue;
+            std::uint32_t i = static_cast<std::uint32_t>(mix(slot.key)) & mask;
+            while (slots_[i].key != 0)
+                i = (i + 1) & mask;
+            slots_[i] = slot;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<LockTrafficStats> rows_;
+};
+
+} // namespace nucalock::sim
+
+#endif // NUCALOCK_SIM_FLAT_TABLE_HPP

@@ -47,16 +47,46 @@ InvariantChecker::violation(SimTime now, const std::string& what)
         NUCA_PANIC("invariant violation: ", violation_log_.back());
 }
 
+std::uint64_t
+InvariantChecker::live_bypasses(const ThreadState& t) const
+{
+    return t.waiting ? acquisitions_ - t.wait_epoch : t.bypasses;
+}
+
+void
+InvariantChecker::settle_wait(ThreadState& t)
+{
+    t.bypasses = acquisitions_ - t.wait_epoch;
+    t.max_bypasses = std::max(t.max_bypasses, t.bypasses);
+    if (cfg_.fairness_window != 0 && t.bypasses >= cfg_.fairness_window + 1)
+        ++fairness_violations_;
+}
+
+int&
+InvariantChecker::node_waiting(int node)
+{
+    NUCA_ASSERT(node >= 0, "node=", node);
+    if (static_cast<std::size_t>(node) >= waiting_by_node_.size())
+        waiting_by_node_.resize(static_cast<std::size_t>(node) + 1, 0);
+    return waiting_by_node_[static_cast<std::size_t>(node)];
+}
+
 void
 InvariantChecker::on_wait_begin(int tid, int node, SimTime now)
 {
     ThreadState& t = state_of(tid);
+    if (t.waiting && t.node != node) {
+        --node_waiting(t.node);
+        ++node_waiting(node);
+    }
     t.node = node;
     if (!t.waiting) {
         t.waiting = true;
         t.wait_since = now;
+        t.wait_epoch = acquisitions_;
         t.bypasses = 0;
         ++waiting_count_;
+        ++node_waiting(node);
     }
     last_activity_ = now;
     armed_ = true;
@@ -68,8 +98,10 @@ InvariantChecker::on_wait_abort(int tid, int node, SimTime now)
 {
     ThreadState& t = state_of(tid);
     if (t.waiting) {
+        settle_wait(t);
         t.waiting = false;
         --waiting_count_;
+        --node_waiting(t.node);
     }
     last_activity_ = now;
     push_event(now, tid, node, CsEventKind::WaitAbort);
@@ -79,6 +111,10 @@ void
 InvariantChecker::on_enter(int tid, int node, SimTime now)
 {
     ThreadState& t = state_of(tid);
+    if (t.waiting && t.node != node) {
+        --node_waiting(t.node);
+        ++node_waiting(node);
+    }
     t.node = node;
 
     if (!holders_.empty()) {
@@ -91,24 +127,15 @@ InvariantChecker::on_enter(int tid, int node, SimTime now)
     }
     holders_.push_back(tid);
 
-    // Everyone still waiting was bypassed by this acquisition.
-    for (std::size_t i = 0; i < threads_.size(); ++i) {
-        ThreadState& w = threads_[i];
-        if (static_cast<int>(i) == tid || !w.waiting)
-            continue;
-        ++w.bypasses;
-        w.max_bypasses = std::max(w.max_bypasses, w.bypasses);
-        if (cfg_.fairness_window != 0 && w.bypasses == cfg_.fairness_window + 1)
-            ++fairness_violations_;
-    }
+    // Everyone still waiting was bypassed by this acquisition: implicit in
+    // the acquisition epoch (a waiter's bypass count is acquisitions_ -
+    // wait_epoch), so no per-waiter work happens here.
 
     // Same-node handover streak, counted only while a thread of another
-    // node is waiting (an uncontested phase is not unfair).
-    bool remote_waiter = false;
-    for (std::size_t i = 0; i < threads_.size(); ++i)
-        if (threads_[i].waiting && static_cast<int>(i) != tid &&
-            threads_[i].node != node)
-            remote_waiter = true;
+    // node is waiting (an uncontested phase is not unfair). The enterer
+    // itself is still counted under its own node, so the subtraction
+    // excludes it exactly like the old scan's i != tid test.
+    const bool remote_waiter = waiting_count_ > node_waiting(node);
     if (node == last_holder_node_ && remote_waiter)
         ++node_streak_;
     else
@@ -117,8 +144,10 @@ InvariantChecker::on_enter(int tid, int node, SimTime now)
     last_holder_node_ = node;
 
     if (t.waiting) {
+        settle_wait(t); // before ++acquisitions_: no self-bypass
         t.waiting = false;
         --waiting_count_;
+        --node_waiting(t.node);
     }
     t.in_cs = true;
     ++t.acquisitions;
@@ -151,8 +180,10 @@ InvariantChecker::on_thread_death(int tid, SimTime now)
     ThreadState& t = state_of(tid);
     t.dead = true;
     if (t.waiting) {
+        settle_wait(t);
         t.waiting = false;
         --waiting_count_;
+        --node_waiting(t.node);
     }
     push_event(now, tid, t.node, CsEventKind::Died);
     // A dead holder stays in holders_ on purpose: report() names it as the
@@ -180,7 +211,22 @@ InvariantChecker::max_bypasses(int tid) const
     if (tid < 0 || static_cast<std::size_t>(tid) >= threads_.size())
         return 0;
     const ThreadState& t = threads_[static_cast<std::size_t>(tid)];
-    return std::max(t.max_bypasses, t.bypasses);
+    return std::max(t.max_bypasses, live_bypasses(t));
+}
+
+std::uint64_t
+InvariantChecker::fairness_violations() const
+{
+    // Settled waits are counted in fairness_violations_; waits still in
+    // flight that have already crossed the window are added here so the
+    // value matches the old eager-crossing accounting at any query point.
+    std::uint64_t v = fairness_violations_;
+    if (cfg_.fairness_window != 0 && waiting_count_ > 0)
+        for (const ThreadState& t : threads_)
+            if (t.waiting &&
+                acquisitions_ - t.wait_epoch >= cfg_.fairness_window + 1)
+                ++v;
+    return v;
 }
 
 std::uint64_t
@@ -214,7 +260,7 @@ InvariantChecker::dump(std::ostream& os) const
 {
     os << "invariant checker: " << acquisitions_ << " acquisitions, "
        << me_violations_ << " mutual-exclusion violations, "
-       << fairness_violations_ << " fairness violations, max node streak "
+       << fairness_violations() << " fairness violations, max node streak "
        << max_node_streak_ << ", max bypasses " << max_bypasses() << "\n";
     if (holders_.empty()) {
         os << "  critical section: free\n";
@@ -234,7 +280,8 @@ InvariantChecker::dump(std::ostream& os) const
            << (t.dead ? " dead" : t.in_cs ? " in-cs" : t.waiting ? " waiting"
                                                                  : " running");
         if (t.waiting)
-            os << " since=" << t.wait_since << "ns bypassed=" << t.bypasses;
+            os << " since=" << t.wait_since
+               << "ns bypassed=" << live_bypasses(t);
         os << "\n";
     }
     for (const std::string& v : violation_log_)

@@ -20,6 +20,14 @@
  * The checker is passive bookkeeping: it adds no simulated time and does
  * not perturb lock behavior, so instrumented runs remain byte-identical to
  * uninstrumented ones.
+ *
+ * Every hook is O(1) in the thread count (big-topology engine, see
+ * docs/performance.md): a waiting thread's bypass count is the number of
+ * acquisitions since its wait began, so it is derived from one global
+ * acquisition epoch instead of incrementing every waiter per enter, and
+ * the "is a remote thread waiting" test reads per-node waiting counters
+ * instead of scanning all threads. Only the end-of-run accessors
+ * (max_bypasses(), fairness_violations()) walk the thread table.
  */
 #ifndef NUCALOCK_SIM_INVARIANTS_HPP
 #define NUCALOCK_SIM_INVARIANTS_HPP
@@ -113,7 +121,7 @@ class InvariantChecker
     std::uint64_t max_bypasses() const;
 
     /** Number of waits that exceeded the fairness window. */
-    std::uint64_t fairness_violations() const { return fairness_violations_; }
+    std::uint64_t fairness_violations() const;
 
     /** Longest run of consecutive same-node acquisitions made while a
      *  thread of another node was waiting. */
@@ -137,7 +145,12 @@ class InvariantChecker
         bool in_cs = false;
         bool dead = false;
         SimTime wait_since = 0;
-        std::uint64_t bypasses = 0;     // during the current wait
+        /** acquisitions_ when the current wait began; a waiting thread's
+         *  bypass count is acquisitions_ - wait_epoch (every acquisition
+         *  during a wait is by someone else), so on_enter never walks the
+         *  waiter set. */
+        std::uint64_t wait_epoch = 0;
+        std::uint64_t bypasses = 0;     // settled at wait end
         std::uint64_t max_bypasses = 0; // worst wait ever
         std::uint64_t acquisitions = 0;
         int node = -1;
@@ -146,6 +159,15 @@ class InvariantChecker
     ThreadState& state_of(int tid);
     void push_event(SimTime at, int tid, int node, CsEventKind kind);
     void violation(SimTime now, const std::string& what);
+    /** Bypass count right now: live (epoch-derived) while waiting,
+     *  settled otherwise. */
+    std::uint64_t live_bypasses(const ThreadState& t) const;
+    /** Close the current wait: settle bypasses/max_bypasses and count a
+     *  fairness violation if the wait crossed the window. The caller
+     *  clears t.waiting and the waiting counters. */
+    void settle_wait(ThreadState& t);
+    /** waiting_by_node_[node], grown on demand. */
+    int& node_waiting(int node);
 
     InvariantConfig cfg_;
     std::vector<ThreadState> threads_;
@@ -157,6 +179,9 @@ class InvariantChecker
     std::uint64_t fairness_violations_ = 0;
     std::vector<std::string> violation_log_;
     int waiting_count_ = 0;
+    /** Waiting threads per node (indexed by node, grown on demand): the
+     *  remote-waiter test is waiting_count_ vs this, not a thread scan. */
+    std::vector<int> waiting_by_node_;
     int last_holder_node_ = -1;
     std::uint64_t node_streak_ = 0;
     std::uint64_t max_node_streak_ = 0;

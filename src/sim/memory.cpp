@@ -1,6 +1,7 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hpp"
 #include "sim/trace.hpp"
@@ -21,10 +22,39 @@ SimMemory::SimMemory(const Topology& topo, const LatencyModel& lat)
 {
     NUCA_ASSERT(topo_.num_cpus() <= kMaxCpus, "simulator supports at most ",
                 kMaxCpus, " cpus, topology has ", topo_.num_cpus());
+    NUCA_ASSERT(topo_.num_nodes() <= kMaxNodes, "simulator supports at most ",
+                kMaxNodes, " nodes, topology has ", topo_.num_nodes());
     node_buses_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
     for (int n = 0; n < topo_.num_nodes(); ++n)
         node_buses_.emplace_back("node-bus-" + std::to_string(n));
     node_tx_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+
+    words_per_line_ = static_cast<std::uint32_t>(topo_.num_cpus() + 63) / 64;
+
+    // Dense cpu -> node/chip lookups: Topology answers these with binary
+    // searches, which is fine for setup but not for the per-access path.
+    cpu_node_.resize(static_cast<std::size_t>(topo_.num_cpus()));
+    cpu_chip_.resize(static_cast<std::size_t>(topo_.num_cpus()));
+    for (int c = 0; c < topo_.num_cpus(); ++c) {
+        cpu_node_[static_cast<std::size_t>(c)] =
+            static_cast<std::int16_t>(topo_.node_of_cpu(c));
+        cpu_chip_[static_cast<std::size_t>(c)] =
+            static_cast<std::int16_t>(topo_.chip_of_cpu(c));
+    }
+
+    // Each node's cpus are a contiguous bit range of the sharer bitset;
+    // precompute the word span and edge masks so per-node holder checks
+    // touch only that node's words.
+    node_spans_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+    for (int n = 0; n < topo_.num_nodes(); ++n) {
+        const int first = topo_.first_cpu_of_node(n);
+        const int last = first + topo_.cpus_in_node(n) - 1;
+        NodeSpan& span = node_spans_[static_cast<std::size_t>(n)];
+        span.first_word = first >> 6;
+        span.last_word = last >> 6;
+        span.first_mask = ~std::uint64_t{0} << (first & 63);
+        span.last_mask = ~std::uint64_t{0} >> (63 - (last & 63));
+    }
 }
 
 MemRef
@@ -40,12 +70,12 @@ SimMemory::alloc_array(std::uint32_t count, std::uint64_t init, int home_node)
     NUCA_ASSERT(home_node >= 0 && home_node < topo_.num_nodes(),
                 "home_node=", home_node);
     const auto first = static_cast<std::uint32_t>(lines_.size());
-    for (std::uint32_t i = 0; i < count; ++i) {
-        Line line;
-        line.value = init;
-        line.home_node = static_cast<std::int16_t>(home_node);
-        lines_.push_back(std::move(line));
-    }
+    Line line;
+    line.value = init;
+    line.home_node = static_cast<std::int16_t>(home_node);
+    for (std::uint32_t i = 0; i < count; ++i)
+        lines_.push_back(line);
+    sharer_words_.resize(lines_.size() * words_per_line_, 0);
     return MemRef{first};
 }
 
@@ -83,13 +113,7 @@ SimMemory::set_tx_context(std::uint64_t lock_id, TxPhase phase)
     tx_phase_ = phase;
     if (lock_id != tx_lock_) {
         tx_lock_ = lock_id;
-        if (lock_id == 0) {
-            tx_lock_row_ = nullptr;
-        } else {
-            LockTrafficStats& row = lock_tx_[lock_id];
-            row.lock_id = lock_id;
-            tx_lock_row_ = &row;
-        }
+        tx_lock_row_ = lock_id == 0 ? kNoRow : lock_tx_.index_of(lock_id);
     }
 }
 
@@ -108,9 +132,9 @@ SimMemory::count_tx(bool global, std::uint64_t TrafficStats::* kind)
     else
         ++node_row.local_tx;
 
-    if (tx_lock_row_ != nullptr) {
-        TxCount& cell =
-            tx_lock_row_->by_phase[static_cast<std::size_t>(tx_phase_)];
+    if (tx_lock_row_ != kNoRow) {
+        TxCount& cell = lock_tx_.row(tx_lock_row_)
+                            .by_phase[static_cast<std::size_t>(tx_phase_)];
         if (global)
             ++cell.global_tx;
         else
@@ -122,9 +146,11 @@ TrafficAttribution
 SimMemory::attribution() const
 {
     TrafficAttribution a;
-    a.per_lock.reserve(lock_tx_.size());
-    for (const auto& [lock_id, row] : lock_tx_)
-        a.per_lock.push_back(row); // std::map: already sorted by lock_id
+    a.per_lock = lock_tx_.rows();
+    std::sort(a.per_lock.begin(), a.per_lock.end(),
+              [](const LockTrafficStats& x, const LockTrafficStats& y) {
+                  return x.lock_id < y.lock_id;
+              });
     a.per_node = node_tx_;
     return a;
 }
@@ -168,16 +194,17 @@ SimTime
 SimMemory::fetch(const Line& line, int cpu, SimTime t,
                  std::uint64_t TrafficStats::* kind)
 {
-    const int rnode = topo_.node_of_cpu(cpu);
+    const int rnode = cpu_node_[static_cast<std::size_t>(cpu)];
     SimTime wire = 0;
     int source_node = 0;
     if (line.owner_cpu >= 0) {
         // Cache-to-cache transfer from the current owner.
-        const int onode = topo_.node_of_cpu(line.owner_cpu);
+        const int onode = cpu_node_[static_cast<std::size_t>(line.owner_cpu)];
         source_node = onode;
         if (onode != rnode) {
             wire = lat_.remote_c2c;
-        } else if (topo_.chip_of_cpu(line.owner_cpu) == topo_.chip_of_cpu(cpu) &&
+        } else if (cpu_chip_[static_cast<std::size_t>(line.owner_cpu)] ==
+                       cpu_chip_[static_cast<std::size_t>(cpu)] &&
                    !topo_.flat_chips()) {
             wire = lat_.same_chip_c2c;
         } else {
@@ -193,27 +220,54 @@ SimMemory::fetch(const Line& line, int cpu, SimTime t,
     return t + wire;
 }
 
-SimTime
-SimMemory::invalidate_others(Line& line, int cpu, SimTime t)
+bool
+SimMemory::node_has_sharer_other_than(const std::uint64_t* sw, int node,
+                                      int cpu) const
 {
-    const int rnode = topo_.node_of_cpu(cpu);
-    const std::uint64_t self_bit = std::uint64_t{1} << cpu;
-    std::uint64_t holders = line.sharers;
-    if (line.owner_cpu >= 0)
-        holders |= std::uint64_t{1} << line.owner_cpu;
-    holders &= ~self_bit;
-    if (holders == 0)
-        return t;
+    const NodeSpan& span = node_spans_[static_cast<std::size_t>(node)];
+    const auto self_word = static_cast<std::int32_t>(cpu >> 6);
+    const std::uint64_t self_bit = std::uint64_t{1} << (cpu & 63);
+    for (std::int32_t w = span.first_word; w <= span.last_word; ++w) {
+        std::uint64_t word = sw[w];
+        if (w == span.first_word)
+            word &= span.first_mask;
+        if (w == span.last_word)
+            word &= span.last_mask;
+        if (w == self_word)
+            word &= ~self_bit;
+        if (word != 0)
+            return true;
+    }
+    return false;
+}
+
+SimTime
+SimMemory::invalidate_others(Line& line, const std::uint64_t* sw, int cpu,
+                             SimTime t)
+{
+    const int rnode = cpu_node_[static_cast<std::size_t>(cpu)];
+
+    // Nodes that might hold a copy: the per-line summary plus (defensively)
+    // the owner's node. Bits are visited in ascending node order, matching
+    // the full node scan this replaces, so transaction counts and the
+    // farthest-acknowledgement time are bit-identical.
+    std::uint64_t candidates = line.sharer_nodes;
+    if (line.owner_cpu >= 0) {
+        candidates |= std::uint64_t{1}
+                      << cpu_node_[static_cast<std::size_t>(line.owner_cpu)];
+    }
 
     // One invalidation transaction per node holding a copy; the requester
     // waits for the farthest acknowledgement, the buses see each one.
     SimTime done = t;
-    for (int n = 0; n < topo_.num_nodes(); ++n) {
-        std::uint64_t node_mask = 0;
-        const int first = topo_.first_cpu_of_node(n);
-        for (int c = first; c < first + topo_.cpus_in_node(n); ++c)
-            node_mask |= std::uint64_t{1} << c;
-        if ((holders & node_mask) == 0)
+    while (candidates != 0) {
+        const int n = std::countr_zero(candidates);
+        candidates &= candidates - 1;
+        const bool holds =
+            node_has_sharer_other_than(sw, n, cpu) ||
+            (line.owner_cpu >= 0 && line.owner_cpu != cpu &&
+             cpu_node_[static_cast<std::size_t>(line.owner_cpu)] == n);
+        if (!holds)
             continue;
         const bool global = n != rnode;
         count_tx(global, &TrafficStats::invalidation_tx);
@@ -229,11 +283,14 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
 {
     NUCA_ASSERT(cpu >= 0 && cpu < topo_.num_cpus(), "cpu=", cpu);
     Line& line = line_of(ref);
+    std::uint64_t* const sw = sharers_of(ref.line);
     ++accesses_;
-    requester_node_ = topo_.node_of_cpu(cpu);
+    requester_node_ = cpu_node_[static_cast<std::size_t>(cpu)];
 
-    const std::uint64_t self_bit = std::uint64_t{1} << cpu;
-    const bool holds_copy = line.owner_cpu == cpu || (line.sharers & self_bit) != 0;
+    const auto self_word = static_cast<std::uint32_t>(cpu >> 6);
+    const std::uint64_t self_bit = std::uint64_t{1} << (cpu & 63);
+    const bool holds_copy =
+        line.owner_cpu == cpu || (sw[self_word] & self_bit) != 0;
 
     AccessOutcome out;
     out.old_value = line.value;
@@ -242,7 +299,8 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
     if (op == MemOp::Load) {
         if (!holds_copy) {
             t = fetch(line, cpu, t, &TrafficStats::data_fetch_tx);
-            line.sharers |= self_bit;
+            sw[self_word] |= self_bit;
+            line.sharer_nodes |= std::uint64_t{1} << requester_node_;
         } else {
             t += lat_.cache_hit;
         }
@@ -260,22 +318,43 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
     // partitions the local/global totals exactly.
     std::uint64_t TrafficStats::* const own_kind =
         is_atomic(op) ? &TrafficStats::atomic_tx : &TrafficStats::data_fetch_tx;
+    // "No sharer besides self" via the exact node summary: another node's
+    // bit set means a foreign sharer exists; otherwise only this node's
+    // span (a word or two) needs scanning — O(1) regardless of machine
+    // size, where a raw bitset scan would touch words_per_line_ words on
+    // every repeat write.
+    const std::uint64_t self_node_bit = std::uint64_t{1} << requester_node_;
     const bool exclusive_already =
-        line.owner_cpu == cpu && (line.sharers & ~self_bit) == 0;
+        line.owner_cpu == cpu &&
+        (line.sharer_nodes & ~self_node_bit) == 0 &&
+        !node_has_sharer_other_than(sw, requester_node_, cpu);
     if (exclusive_already) {
         t += is_atomic(op) ? lat_.own_atomic : lat_.own_store;
     } else {
         if (!holds_copy)
             t = fetch(line, cpu, t, own_kind);
-        t = invalidate_others(line, cpu, t);
+        t = invalidate_others(line, sw, cpu, t);
         if (holds_copy && line.owner_cpu != cpu) {
             // Upgrade of a shared copy: ownership request, no data moved.
             count_tx(line.owner_cpu >= 0 &&
-                         topo_.node_of_cpu(line.owner_cpu) != topo_.node_of_cpu(cpu),
+                         cpu_node_[static_cast<std::size_t>(line.owner_cpu)] !=
+                             requester_node_,
                      own_kind);
         }
         line.owner_cpu = static_cast<std::int16_t>(cpu);
-        line.sharers = self_bit;
+        // Clear only the spans of nodes that actually hold sharer bits
+        // (every set bit's node is in sharer_nodes, which is exact), not
+        // the whole multi-word bitset.
+        std::uint64_t clear_nodes = line.sharer_nodes;
+        while (clear_nodes != 0) {
+            const int n = std::countr_zero(clear_nodes);
+            clear_nodes &= clear_nodes - 1;
+            const NodeSpan& span = node_spans_[static_cast<std::size_t>(n)];
+            for (std::int32_t w = span.first_word; w <= span.last_word; ++w)
+                sw[w] = 0;
+        }
+        sw[self_word] = self_bit;
+        line.sharer_nodes = self_node_bit;
     }
 
     switch (op) {
@@ -298,7 +377,7 @@ SimMemory::access(MemOp op, int cpu, SimTime now, MemRef ref, std::uint64_t a,
 
     // Any write/atomic by this cpu invalidated every other spinner's copy;
     // they must be woken to re-fetch (models the refill burst).
-    out.wakes_watchers = !line.watchers.empty();
+    out.wakes_watchers = line.watcher_head != -1;
     out.complete = t;
     if (trace_hook_) {
         trace_hook_(TraceEvent{now, out.complete, cpu, op, ref.line,
@@ -325,10 +404,25 @@ SimMemory::watch(MemRef ref, int tid, std::uint64_t watched)
     Line& line = line_of(ref);
     if (line.value != watched)
         return false;
-    NUCA_ASSERT(std::find(line.watchers.begin(), line.watchers.end(), tid) ==
-                    line.watchers.end(),
-                "thread ", tid, " already watching line ", ref.line);
-    line.watchers.push_back(tid);
+    NUCA_ASSERT(tid >= 0, "tid=", tid);
+    if (static_cast<std::size_t>(tid) >= watcher_next_.size()) {
+        watcher_next_.resize(static_cast<std::size_t>(tid) + 1, -1);
+        watcher_line_.resize(static_cast<std::size_t>(tid) + 1,
+                             MemRef::kInvalid);
+    }
+    NUCA_ASSERT(watcher_line_[static_cast<std::size_t>(tid)] ==
+                    MemRef::kInvalid,
+                "thread ", tid, " already watching line ",
+                watcher_line_[static_cast<std::size_t>(tid)]);
+    // FIFO append onto the line's intrusive list: wake order matches the
+    // old vector's push_back order exactly.
+    watcher_next_[static_cast<std::size_t>(tid)] = -1;
+    watcher_line_[static_cast<std::size_t>(tid)] = ref.line;
+    if (line.watcher_head == -1)
+        line.watcher_head = tid;
+    else
+        watcher_next_[static_cast<std::size_t>(line.watcher_tail)] = tid;
+    line.watcher_tail = tid;
     return true;
 }
 
@@ -337,17 +431,15 @@ SimMemory::take_watchers(MemRef ref, std::vector<int>& out)
 {
     Line& line = line_of(ref);
     out.clear();
-    // Swap rather than copy: the line inherits out's empty-but-reserved
-    // buffer, so repeated wake processing reuses two buffers forever.
-    std::swap(out, line.watchers);
-}
-
-std::vector<int>
-SimMemory::take_watchers(MemRef ref)
-{
-    std::vector<int> out;
-    take_watchers(ref, out);
-    return out;
+    for (std::int32_t tid = line.watcher_head; tid != -1;) {
+        out.push_back(tid);
+        watcher_line_[static_cast<std::size_t>(tid)] = MemRef::kInvalid;
+        const std::int32_t next = watcher_next_[static_cast<std::size_t>(tid)];
+        watcher_next_[static_cast<std::size_t>(tid)] = -1;
+        tid = next;
+    }
+    line.watcher_head = -1;
+    line.watcher_tail = -1;
 }
 
 void
@@ -372,8 +464,11 @@ bool
 SimMemory::caches(MemRef ref, int cpu) const
 {
     const Line& line = line_of(ref);
-    return line.owner_cpu == cpu ||
-           (line.sharers & (std::uint64_t{1} << cpu)) != 0;
+    if (line.owner_cpu == cpu)
+        return true;
+    const std::uint64_t* sw = sharers_of(ref.line);
+    return (sw[static_cast<std::uint32_t>(cpu >> 6)] &
+            (std::uint64_t{1} << (cpu & 63))) != 0;
 }
 
 } // namespace nucalock::sim

@@ -17,15 +17,24 @@
  *    atomic by another cpu wakes them (their cached copy was invalidated),
  *    and the re-fetch they then perform models the refill burst after a
  *    lock release.
+ *
+ * Big-topology engineering (docs/performance.md, "big-topology engine"):
+ * the per-line state is a 32-byte POD in a chunked arena; sharer sets are
+ * multi-word bitsets in one slab (kMaxCpus is 1024, not the historical 64)
+ * with a per-line node-summary mask so invalidation walks only nodes that
+ * hold a copy; watcher lists are intrusive per-thread links (registration
+ * and wake are allocation-free); and traffic attribution rows live in an
+ * open-addressing flat table instead of a std::map.
  */
 #ifndef NUCALOCK_SIM_MEMORY_HPP
 #define NUCALOCK_SIM_MEMORY_HPP
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
+#include "sim/arena.hpp"
+#include "sim/flat_table.hpp"
 #include "sim/latency.hpp"
 #include "sim/resource.hpp"
 #include "sim/time.hpp"
@@ -73,11 +82,16 @@ struct AccessOutcome
     bool wakes_watchers = false;
 };
 
-/** The simulated coherent memory. At most 64 cpus (sharer set is a word). */
+/**
+ * The simulated coherent memory. Sharer sets are multi-word bitsets sized
+ * to the topology, so up to kMaxCpus cpus are supported; the per-line node
+ * summary is a single word, capping nodes at kMaxNodes.
+ */
 class SimMemory
 {
   public:
-    static constexpr int kMaxCpus = 64;
+    static constexpr int kMaxCpus = 1024;
+    static constexpr int kMaxNodes = 64;
 
     SimMemory(const Topology& topo, const LatencyModel& lat);
 
@@ -111,15 +125,29 @@ class SimMemory
     bool watch(MemRef ref, int tid, std::uint64_t watched);
 
     /**
-     * Move the watcher tids of @p ref into @p out (cleared first), leaving
-     * the line with out's old (empty) buffer. The engine ping-pongs one
-     * scratch vector through this, so steady-state wake processing does not
-     * allocate.
+     * Move the watcher tids of @p ref into @p out (cleared first), in
+     * registration order. Watchers are intrusive per-thread links, so both
+     * registration and take are allocation-free; @p out is the engine's
+     * reusable scratch buffer. (The old vector-returning overload is gone
+     * on purpose — it reintroduced a per-wake allocation.)
      */
     void take_watchers(MemRef ref, std::vector<int>& out);
 
-    /** Convenience overload returning a fresh vector (tests). */
-    std::vector<int> take_watchers(MemRef ref);
+    /**
+     * First watcher tid of @p ref, or -1 when nobody watches it. Pure
+     * read, used by the engine to start prefetching the would-be-woken
+     * thread's host-side state (ThreadHot, fiber, stack) before the
+     * access itself is simulated — by wake time the prefetches have had
+     * the whole route/serve/invalidate sequence to land. At 1024
+     * simulated threads that state is cold on every lock handover.
+     */
+    int
+    first_watcher(MemRef ref) const
+    {
+        return ref.valid() && ref.line < lines_.size()
+                   ? lines_[ref.line].watcher_head
+                   : -1;
+    }
 
     /**
      * Flag @p ref as a per-node is_spinning gate word so the fault
@@ -196,18 +224,55 @@ class SimMemory
     bool caches(MemRef ref, int cpu) const;
 
   private:
+    /**
+     * Per-line directory entry: a 32-byte trivially-copyable record. The
+     * variable-size parts live outside the line — sharer bits in the
+     * sharer_words_ slab, watcher links in watcher_next_ — so lines pack
+     * densely in the arena and copying/growing never allocates per line.
+     */
     struct Line
     {
         std::uint64_t value = 0;
-        std::uint64_t sharers = 0; // bit per cpu, includes owner when cached
+        /** Bit per node holding a copy (owner included): the invalidation
+         *  walk visits only these nodes instead of scanning all cpus. */
+        std::uint64_t sharer_nodes = 0;
+        std::int32_t watcher_head = -1; ///< first watcher tid, -1 = none
+        std::int32_t watcher_tail = -1; ///< last watcher tid (FIFO append)
         std::int16_t owner_cpu = -1;
         std::int16_t home_node = 0;
         bool is_gate = false; // a node_gate() word (fault-injection check)
-        std::vector<int> watchers;
+    };
+
+    /** Bit range of one node's cpus inside a line's sharer words. */
+    struct NodeSpan
+    {
+        std::int32_t first_word = 0;
+        std::int32_t last_word = 0;
+        std::uint64_t first_mask = 0; ///< valid bits in first_word
+        std::uint64_t last_mask = 0;  ///< valid bits in last_word
     };
 
     Line& line_of(MemRef ref);
     const Line& line_of(MemRef ref) const;
+
+    /** The sharer bitset of line @p line (words_per_line_ words). */
+    std::uint64_t*
+    sharers_of(std::uint32_t line)
+    {
+        return &sharer_words_[static_cast<std::size_t>(line) *
+                              words_per_line_];
+    }
+
+    const std::uint64_t*
+    sharers_of(std::uint32_t line) const
+    {
+        return &sharer_words_[static_cast<std::size_t>(line) *
+                              words_per_line_];
+    }
+
+    /** Whether node @p node has a sharer bit besides @p cpu's in @p sw. */
+    bool node_has_sharer_other_than(const std::uint64_t* sw, int node,
+                                    int cpu) const;
 
     /** Queue one transaction from @p from_node to @p to_node at @p t. */
     SimTime route(SimTime t, int from_node, int to_node);
@@ -228,11 +293,27 @@ class SimMemory
                   std::uint64_t TrafficStats::* kind);
 
     /** Invalidate all other holders; returns completion; counts traffic. */
-    SimTime invalidate_others(Line& line, int cpu, SimTime t);
+    SimTime invalidate_others(Line& line, const std::uint64_t* sw, int cpu,
+                              SimTime t);
 
     const Topology& topo_;
     LatencyModel lat_;
-    std::vector<Line> lines_;
+    /** Per-line directory entries; chunked so mid-run allocation (structs
+     *  resize) never copies or moves existing lines. */
+    ChunkArena<Line> lines_;
+    /** Sharer bitsets, words_per_line_ words per line, one slab. */
+    std::vector<std::uint64_t> sharer_words_;
+    std::uint32_t words_per_line_ = 1;
+    /** Intrusive watcher links: watcher_next_[tid] chains the FIFO list of
+     *  the line tid watches; watcher_line_[tid] is that line (kInvalid when
+     *  not watching — also the double-watch assert). */
+    std::vector<std::int32_t> watcher_next_;
+    std::vector<std::uint32_t> watcher_line_;
+    /** Dense cpu -> node/chip lookups (Topology's are binary searches). */
+    std::vector<std::int16_t> cpu_node_;
+    std::vector<std::int16_t> cpu_chip_;
+    /** Per-node bit ranges inside a sharer bitset. */
+    std::vector<NodeSpan> node_spans_;
     std::vector<Resource> node_buses_;
     Resource global_link_;
     TrafficStats traffic_;
@@ -245,13 +326,15 @@ class SimMemory
     int requester_node_ = 0;
     /** Per-initiating-node counts; indexed by node. */
     std::vector<TxCount> node_tx_;
-    /** Per-lock/per-phase tables, keyed by probe lock id. */
-    std::map<std::uint64_t, LockTrafficStats> lock_tx_;
+    /** Per-lock/per-phase rows, keyed by probe lock id (open addressing;
+     *  row indices are stable so the hot path caches one). */
+    FlatTrafficTable lock_tx_;
     /** The op-context of the access in flight (set_tx_context). */
     std::uint64_t tx_lock_ = 0;
     TxPhase tx_phase_ = TxPhase::None;
-    /** Cached row for tx_lock_ (std::map nodes are pointer-stable). */
-    LockTrafficStats* tx_lock_row_ = nullptr;
+    /** Cached row index for tx_lock_ (kNoRow when unattributed). */
+    static constexpr std::uint32_t kNoRow = 0xffffffffu;
+    std::uint32_t tx_lock_row_ = kNoRow;
 };
 
 } // namespace nucalock::sim

@@ -4,17 +4,23 @@
  *
  * run_timed() used to pick the next thread with a linear scan over every
  * thread per event — O(T) per event, the engine's hottest loop. The
- * ReadyQueue replaces that with a binary heap plus a tid->heap-slot index so
+ * ReadyQueue replaces that with a 4-ary heap plus a tid->heap-slot index so
  * membership updates (block, wake, death) are O(log T) and the pick is O(1).
+ * The heap is 4-ary rather than binary for the big-topology shapes: at 1024
+ * runnable threads a sift walks 5 levels instead of 10, and the four
+ * children of a node share a cache line (16-byte entries).
  *
  * The ordering is exactly the scan's: earliest wake first, ties broken by
  * lowest tid. That tie-break is part of the determinism contract — changing
  * it changes acquisition order hashes (pinned in tests/harness_test.cpp and
- * tests/exec_test.cpp).
+ * tests/exec_test.cpp). Heap *shape* is not part of the contract: the pick
+ * is always the global minimum key, so arity and insertion strategy are
+ * free to change without moving a single extraction.
  */
 #ifndef NUCALOCK_SIM_READY_QUEUE_HPP
 #define NUCALOCK_SIM_READY_QUEUE_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -26,6 +32,13 @@ namespace nucalock::sim {
 class ReadyQueue
 {
   public:
+    /** One (wake, tid) key, exposed for push_bulk() batches. */
+    struct Entry
+    {
+        SimTime wake;
+        int tid;
+    };
+
     /** Empty the queue and size the tid index for @p num_threads. */
     void
     reset(std::size_t num_threads)
@@ -60,6 +73,28 @@ class ReadyQueue
         return heap_[0].wake;
     }
 
+    /**
+     * Thread id of the likely next pick after top_tid(): the least of the
+     * root's children, which is exactly the entry that surfaces if the top
+     * leaves or moves later. The engine uses it purely as a prefetch hint
+     * one event ahead (timer wakes get no watcher-wake prefetch, so this
+     * is their only early notice); being a hint, staleness is harmless.
+     * Returns -1 when fewer than two entries are queued.
+     */
+    int
+    runner_up_tid() const
+    {
+        const std::size_t n = heap_.size();
+        if (n < 2)
+            return -1;
+        const std::size_t last = std::min(std::size_t{1} + kArity, n);
+        std::size_t best = 1;
+        for (std::size_t c = 2; c < last; ++c)
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        return heap_[best].tid;
+    }
+
     /** Insert @p tid with key @p wake, or re-key it if already present. */
     void
     push_or_update(int tid, SimTime wake)
@@ -77,6 +112,52 @@ class ReadyQueue
             sift_up(slot);
         else if (wake > old)
             sift_down(slot);
+    }
+
+    /**
+     * Insert (or re-key) a whole batch at once — the watcher-wake-storm
+     * path, where a single release readies every spinner of a line.
+     *
+     * Extraction order is unaffected by how the batch is inserted: a heap's
+     * pop sequence depends only on the set of (wake, tid) keys, and the
+     * tie-break on tid makes every key distinct, so any valid heap of the
+     * same keys pops identically. That frees this path to append all new
+     * entries first and restore the heap property once — O(k + log-sum)
+     * sift-ups for small batches, one O(n) Floyd build when the batch
+     * rivals the heap size — instead of k full push calls.
+     */
+    void
+    push_bulk(const Entry* entries, std::size_t count)
+    {
+        // Re-key entries already queued first (rare — a woken thread that
+        // was preempted rather than blocked), while the heap invariant
+        // still holds everywhere.
+        for (std::size_t i = 0; i < count; ++i) {
+            if (pos_[static_cast<std::size_t>(entries[i].tid)] != kAbsent)
+                push_or_update(entries[i].tid, entries[i].wake);
+        }
+        const std::size_t old_size = heap_.size();
+        for (std::size_t i = 0; i < count; ++i) {
+            const Entry& e = entries[i];
+            std::size_t& slot = pos_[static_cast<std::size_t>(e.tid)];
+            if (slot != kAbsent)
+                continue;
+            slot = heap_.size();
+            heap_.push_back(e);
+        }
+        const std::size_t appended = heap_.size() - old_size;
+        if (appended == 0)
+            return;
+        if (appended >= old_size) {
+            // Batch dominates: rebuild bottom-up in linear time. The last
+            // internal node is the parent of the last slot.
+            for (std::size_t i = (heap_.size() + kArity - 2) / kArity;
+                 i-- > 0;)
+                sift_down(i);
+        } else {
+            for (std::size_t i = old_size; i < heap_.size(); ++i)
+                sift_up(i);
+        }
     }
 
     /** Remove @p tid if present; no-op otherwise. */
@@ -104,13 +185,8 @@ class ReadyQueue
     }
 
   private:
-    struct Entry
-    {
-        SimTime wake;
-        int tid;
-    };
-
     static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+    static constexpr std::size_t kArity = 4;
 
     static bool
     before(const Entry& a, const Entry& b)
@@ -122,7 +198,7 @@ class ReadyQueue
     sift_up(std::size_t i)
     {
         while (i > 0) {
-            const std::size_t parent = (i - 1) / 2;
+            const std::size_t parent = (i - 1) / kArity;
             if (!before(heap_[i], heap_[parent]))
                 break;
             swap_slots(i, parent);
@@ -133,14 +209,16 @@ class ReadyQueue
     void
     sift_down(std::size_t i)
     {
+        const std::size_t n = heap_.size();
         while (true) {
-            const std::size_t l = 2 * i + 1;
-            const std::size_t r = 2 * i + 2;
+            const std::size_t first = kArity * i + 1;
+            if (first >= n)
+                return;
+            const std::size_t last = std::min(first + kArity, n);
             std::size_t best = i;
-            if (l < heap_.size() && before(heap_[l], heap_[best]))
-                best = l;
-            if (r < heap_.size() && before(heap_[r], heap_[best]))
-                best = r;
+            for (std::size_t c = first; c < last; ++c)
+                if (before(heap_[c], heap_[best]))
+                    best = c;
             if (best == i)
                 return;
             swap_slots(i, best);

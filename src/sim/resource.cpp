@@ -1,7 +1,5 @@
 #include "sim/resource.hpp"
 
-#include <algorithm>
-
 #include "common/logging.hpp"
 
 namespace nucalock::sim {
@@ -11,28 +9,19 @@ Resource::Resource(std::string name) : name_(std::move(name))
     NUCA_ASSERT(!name_.empty());
 }
 
-SimTime
-Resource::serve(SimTime arrival, SimTime occupancy)
+void
+Resource::record_series_bin(SimTime start, SimTime occupancy)
 {
-    const SimTime start = std::max(arrival, next_free_);
-    queued_ += start - arrival;
-    queue_delay_.add(start - arrival);
-    next_free_ = start + occupancy;
-    busy_ += occupancy;
-    ++transactions_;
-    if (series_bin_ns_ != 0) {
-        // The whole occupancy is attributed to the bin service starts in;
-        // occupancies are tens of ns against bins of tens of µs, so the
-        // spill error is negligible for a utilisation timeline.
-        const std::size_t bin = static_cast<std::size_t>(start / series_bin_ns_);
-        if (bin >= busy_bins_.size()) {
-            busy_bins_.resize(bin + 1, 0);
-            tx_bins_.resize(bin + 1, 0);
-        }
-        busy_bins_[bin] += occupancy;
-        ++tx_bins_[bin];
+    // The whole occupancy is attributed to the bin service starts in;
+    // occupancies are tens of ns against bins of tens of µs, so the
+    // spill error is negligible for a utilisation timeline.
+    const std::size_t bin = static_cast<std::size_t>(start / series_bin_ns_);
+    if (bin >= busy_bins_.size()) {
+        busy_bins_.resize(bin + 1, 0);
+        tx_bins_.resize(bin + 1, 0);
     }
-    return next_free_;
+    busy_bins_[bin] += occupancy;
+    ++tx_bins_[bin];
 }
 
 void

@@ -14,6 +14,12 @@
  * Thread-local on purpose: Executor workers each run whole SimMachines, so
  * stacks never migrate between host threads and the pool needs no locks.
  * The list is freed when the host thread exits.
+ *
+ * On Linux, big stacks are carved from 16 MiB huge-page-aligned slabs
+ * (madvise(MADV_HUGEPAGE)) rather than allocated individually — a
+ * big-topology run holds 1024 stacks, whose 4 KiB dTLB entries would
+ * otherwise outnumber the TLB and turn every fiber handover into a page
+ * walk. See the comment in stack_pool.cpp.
  */
 #ifndef NUCALOCK_SIM_STACK_POOL_HPP
 #define NUCALOCK_SIM_STACK_POOL_HPP

@@ -190,8 +190,11 @@ TEST_F(MemoryTest, WatchersRegisterAndWake)
 
     const AccessOutcome out = mem_.access(MemOp::Store, 0, 0, ref, 1);
     EXPECT_TRUE(out.wakes_watchers);
-    EXPECT_EQ(mem_.take_watchers(ref), (std::vector<int>{7}));
-    EXPECT_TRUE(mem_.take_watchers(ref).empty()); // cleared
+    std::vector<int> got;
+    mem_.take_watchers(ref, got);
+    EXPECT_EQ(got, (std::vector<int>{7}));
+    mem_.take_watchers(ref, got);
+    EXPECT_TRUE(got.empty()); // cleared
 }
 
 TEST_F(MemoryTest, LoadDoesNotWakeWatchers)
@@ -233,7 +236,14 @@ TEST_F(MemoryTest, AccessCountTracks)
 
 TEST(MemoryLimits, RejectsTooManyCpus)
 {
-    const Topology big = Topology::symmetric(2, 64);
+    const Topology big = Topology::symmetric(2, 520); // 1040 > kMaxCpus
+    const LatencyModel lat;
+    EXPECT_DEATH(SimMemory(big, lat), "at most");
+}
+
+TEST(MemoryLimits, RejectsTooManyNodes)
+{
+    const Topology big = Topology::symmetric(65, 1); // 65 > kMaxNodes
     const LatencyModel lat;
     EXPECT_DEATH(SimMemory(big, lat), "at most");
 }
@@ -299,7 +309,9 @@ TEST_F(MemoryTest, WatchersWakeInRegistrationOrder)
     EXPECT_TRUE(mem_.watch(ref, 1, 0));
     EXPECT_TRUE(mem_.watch(ref, 2, 0));
     mem_.access(MemOp::Store, 0, 0, ref, 1);
-    EXPECT_EQ(mem_.take_watchers(ref), (std::vector<int>{3, 1, 2}));
+    std::vector<int> got;
+    mem_.take_watchers(ref, got);
+    EXPECT_EQ(got, (std::vector<int>{3, 1, 2}));
 }
 
 TEST_F(MemoryTest, FailedCasWakesWatchersToo)

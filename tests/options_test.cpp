@@ -222,4 +222,58 @@ TEST(Options, MemtraceRequiresSingleLockAndPath)
         parse_cli({"--lock=ALL", "--memtrace=mem.csv"}).options.has_value());
 }
 
+TEST(Options, ParseShapeAcceptsNxC)
+{
+    EXPECT_EQ(parse_shape("2x14"), (ShapeSpec{2, 14}));
+    EXPECT_EQ(parse_shape("64x16"), (ShapeSpec{64, 16}));
+    EXPECT_EQ(parse_shape("1x1"), (ShapeSpec{1, 1}));
+    EXPECT_EQ(parse_shape("64x16")->total_cpus(), 1024);
+}
+
+TEST(Options, ParseShapeRejectsMalformedInput)
+{
+    EXPECT_FALSE(parse_shape("").has_value());
+    EXPECT_FALSE(parse_shape("2").has_value());
+    EXPECT_FALSE(parse_shape("x14").has_value());
+    EXPECT_FALSE(parse_shape("2x").has_value());
+    EXPECT_FALSE(parse_shape("2y14").has_value());
+    EXPECT_FALSE(parse_shape("0x14").has_value());
+    EXPECT_FALSE(parse_shape("2x0").has_value());
+    EXPECT_FALSE(parse_shape("-2x14").has_value());
+    EXPECT_FALSE(parse_shape("2x14x3").has_value());
+    EXPECT_FALSE(parse_shape("2 x 14").has_value());
+}
+
+TEST(Options, ParseShapeListSplitsOnCommas)
+{
+    const auto shapes = parse_shape_list("2x14,4x32,16x64,64x16");
+    ASSERT_TRUE(shapes.has_value());
+    ASSERT_EQ(shapes->size(), 4u);
+    EXPECT_EQ((*shapes)[0], (ShapeSpec{2, 14}));
+    EXPECT_EQ((*shapes)[3], (ShapeSpec{64, 16}));
+
+    const auto single = parse_shape_list("8x8");
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(single->size(), 1u);
+
+    EXPECT_FALSE(parse_shape_list("").has_value());
+    EXPECT_FALSE(parse_shape_list("2x14,").has_value());
+    EXPECT_FALSE(parse_shape_list(",2x14").has_value());
+    EXPECT_FALSE(parse_shape_list("2x14,,4x32").has_value());
+    EXPECT_FALSE(parse_shape_list("2x14,bogus").has_value());
+}
+
+TEST(Options, ShapeFlagSetsNodesAndCpus)
+{
+    const CliParse parsed = parse_cli({"--shape=4x32"});
+    ASSERT_TRUE(parsed.options.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.options->nodes, 4);
+    EXPECT_EQ(parsed.options->cpus_per_node, 32);
+    // Like --nodes/--cpus-per-node, threads defaults to the full machine.
+    EXPECT_EQ(parsed.options->threads, 128);
+
+    EXPECT_FALSE(parse_cli({"--shape=bogus"}).options.has_value());
+    EXPECT_FALSE(parse_cli({"--shape="}).options.has_value());
+}
+
 } // namespace
