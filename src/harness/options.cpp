@@ -262,6 +262,8 @@ parse_cli(const std::vector<std::string>& args)
                 comma + 1 == value.size())
                 return fail("--diff needs two report files: --diff=A,B");
             opts.diff = value;
+        } else if (key == "counters") {
+            opts.counters = true;
         } else if (key == "jobs") {
             if (!parse_number(value, &opts.jobs) || opts.jobs < 1 ||
                 opts.jobs > 1024)

@@ -68,9 +68,14 @@ struct CliOptions
      *  (nucacheck --campaign output) and exit; no benchmark runs. */
     std::string robustness;
     /** nucaprof only: "A,B" — diff two report files over their
-     *  deterministic fields (the "host" objects are stripped) and exit;
-     *  no benchmark runs. */
+     *  deterministic fields (the nondeterministic "host" and
+     *  "native_traffic" objects are stripped) and exit; no benchmark
+     *  runs. */
     std::string diff;
+    /** nucaprof only: probe hardware-counter availability (one line per
+     *  perf event: available / multiplexed / denied / unsupported) and
+     *  exit; no benchmark runs. */
+    bool counters = false;
     /**
      * --bench=app only: which application model to drive — "kv" (the
      * sharded KV-service model, apps/kv_service.hpp) or a SPLASH-2

@@ -123,6 +123,8 @@ NativeMachine::make_context(int tid, int cpu)
     ctx.chip_ = topo_.chip_of_cpu(cpu);
     ctx.yield_every_ = cfg_.yield_every;
     ctx.probe_ = probe_;
+    ctx.phase_ = phase_hooks_ != nullptr ? phase_hooks_->bind_thread(tid, cpu)
+                                         : nullptr;
     ctx.rng_ = Xoshiro256(cfg_.seed * std::uint64_t{0x9e3779b97f4a7c15} +
                           static_cast<std::uint64_t>(tid));
     return ctx;

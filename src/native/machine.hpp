@@ -16,6 +16,7 @@
 
 #include "common/compiler.hpp"
 #include "common/rng.hpp"
+#include "native/phase_hooks.hpp"
 #include "topology/mapping.hpp"
 #include "topology/topology.hpp"
 
@@ -128,6 +129,28 @@ class NativeContext
      */
     obs::ProbeSink* probe_sink() const { return probe_; }
 
+    /**
+     * Phase-transition hooks (see obs/probe.hpp: note_op_phase routes
+     * lock events here). No-ops unless the machine has PhaseHooks
+     * installed and bind_thread returned a recorder for this thread —
+     * then every transition lands a (lock, phase) boundary on it, which
+     * the hardware-counter observatory turns into per-phase deltas.
+     */
+    void
+    set_op_phase(std::uint64_t lock_id, sim::TxPhase phase)
+    {
+        if (phase_ != nullptr) [[unlikely]]
+            phase_->on_phase(lock_id, phase);
+    }
+
+    /** One-off phase marker (GT gate publish); see PhaseRecorder. */
+    void
+    set_transient_phase(sim::TxPhase phase)
+    {
+        if (phase_ != nullptr) [[unlikely]]
+            phase_->on_transient_phase(phase);
+    }
+
     /** Poll until the word differs from @p value; returns what it saw. */
     std::uint64_t spin_while_equal(Ref ref, std::uint64_t value);
 
@@ -163,7 +186,8 @@ class NativeContext
     int node_ = -1;
     int chip_ = -1;
     std::uint32_t yield_every_ = 64;
-    obs::ProbeSink* probe_ = nullptr; // non-owning, copied from the machine
+    obs::ProbeSink* probe_ = nullptr;    // non-owning, copied from the machine
+    PhaseRecorder* phase_ = nullptr;     // non-owning, bound in make_context
     Xoshiro256 rng_{0};
 };
 
@@ -227,6 +251,16 @@ class NativeMachine
     void install_probe(obs::ProbeSink* sink) { probe_ = sink; }
     obs::ProbeSink* probe() const { return probe_; }
 
+    /**
+     * Install phase-transition hooks (non-owning; nullptr uninstalls).
+     * Contexts created after this call — make_context runs on the
+     * context's own OS thread under run_threads — bind a per-thread
+     * PhaseRecorder via hooks->bind_thread(tid, cpu), so a perf-counter
+     * session opens its counter group on the thread it will count.
+     */
+    void install_phase_hooks(PhaseHooks* hooks) { phase_hooks_ = hooks; }
+    PhaseHooks* phase_hooks() const { return phase_hooks_; }
+
   private:
     using Chunk = std::unique_ptr<std::atomic<std::uint64_t>[]>;
 
@@ -235,8 +269,8 @@ class NativeMachine
     std::mutex alloc_mutex_;
     std::vector<Chunk> chunks_;
     std::vector<NativeRef> node_gates_;
-    obs::ProbeSink* probe_ = nullptr; // non-owning
-
+    obs::ProbeSink* probe_ = nullptr;      // non-owning
+    PhaseHooks* phase_hooks_ = nullptr;    // non-owning
 };
 
 } // namespace nucalock::native

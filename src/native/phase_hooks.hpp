@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The native backend's phase-transition hook: a tiny abstract interface
+ * through which NativeContext reports lock-operation phase changes
+ * (obs/probe.hpp maps lock events to sim::TxPhase transitions on any
+ * context exposing set_op_phase) without the native library depending on
+ * the observability library. obs/perf_counters.hpp implements it to read
+ * hardware counters at every transition and attribute the deltas per lock
+ * and per phase — the real-hardware analogue of the simulator's traffic
+ * attribution.
+ */
+#ifndef NUCALOCK_NATIVE_PHASE_HOOKS_HPP
+#define NUCALOCK_NATIVE_PHASE_HOOKS_HPP
+
+#include <cstdint>
+
+#include "sim/traffic.hpp"
+
+namespace nucalock::native {
+
+/**
+ * Per-thread listener. on_phase is called from the owning thread only, at
+ * every probe-driven phase transition (acquire attempt, acquisition,
+ * release, gate maintenance); implementations may block briefly (a counter
+ * read) but must never touch the lock words they observe.
+ */
+class PhaseRecorder
+{
+  public:
+    virtual ~PhaseRecorder() = default;
+
+    /** Subsequent work belongs to (lock_id, phase) until the next call. */
+    virtual void on_phase(std::uint64_t lock_id, sim::TxPhase phase) = 0;
+
+    /**
+     * A one-off phase marker (GT gate publish/reopen). The simulator tags
+     * exactly the next memory access; natively the marker lasts until the
+     * next on_phase transition — a documented over-attribution, since the
+     * window holds only the gate store and the loop edge back to the spin.
+     */
+    virtual void on_transient_phase(sim::TxPhase phase) = 0;
+};
+
+/**
+ * Session factory installed on a NativeMachine. bind_thread is called once
+ * per created context, on the context's own OS thread (perf counter groups
+ * count the opening thread), and may return nullptr to leave that thread
+ * unobserved. The returned recorder must stay valid until the session owner
+ * collects it — the machine never deletes recorders.
+ */
+class PhaseHooks
+{
+  public:
+    virtual ~PhaseHooks() = default;
+    virtual PhaseRecorder* bind_thread(int tid, int cpu) = 0;
+};
+
+} // namespace nucalock::native
+
+#endif // NUCALOCK_NATIVE_PHASE_HOOKS_HPP

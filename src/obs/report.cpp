@@ -346,6 +346,76 @@ write_structs(JsonWriter& w, const structs::KvStructsStats& s)
     w.end_object();
 }
 
+/**
+ * The v6 optional per-run "native_traffic" object: the hardware-counter
+ * observatory's per-lock/per-phase deltas, per-event verdicts, and the
+ * proxy-mapped per-acquisition rates. Always carries the availability
+ * marker; when counters were denied or absent the counts are empty and
+ * unavailable_reason says why — the run itself still succeeded.
+ */
+void
+write_native_traffic(JsonWriter& w, const NativeTrafficStats& nt,
+                     std::uint64_t total_acquires)
+{
+    w.begin_object();
+    w.kv("available", nt.available);
+    w.kv("source", nt.source);
+    w.key("perf_event_paranoid");
+    if (nt.paranoid_level == kParanoidUnknown)
+        w.null();
+    else
+        w.value(nt.paranoid_level);
+    if (!nt.available)
+        w.kv("unavailable_reason", nt.unavailable_reason);
+    w.kv("samples", nt.samples);
+    w.kv("threads", nt.threads);
+    w.kv("time_enabled_ns", nt.time_enabled_ns);
+    w.kv("time_running_ns", nt.time_running_ns);
+    w.kv("multiplexed", nt.multiplexed());
+    const sim::TrafficStats totals = nt.totals();
+    const double acquires =
+        total_acquires == 0 ? 0.0 : static_cast<double>(total_acquires);
+    w.kv("local_tx_per_acquisition",
+         acquires == 0.0 ? 0.0
+                         : static_cast<double>(totals.local_tx) / acquires);
+    w.kv("global_tx_per_acquisition",
+         acquires == 0.0 ? 0.0
+                         : static_cast<double>(totals.global_tx) / acquires);
+    w.key("events");
+    w.begin_array();
+    for (const CounterEventStatus& e : nt.events) {
+        w.begin_object();
+        w.kv("event", counter_event_name(e.event));
+        w.kv("status", counter_state_name(e.state));
+        if (!e.detail.empty())
+            w.kv("detail", e.detail);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("per_lock");
+    w.begin_array();
+    for (const NativeLockTraffic& lock : nt.per_lock) {
+        w.begin_object();
+        w.kv("lock_id", hex64(lock.lock_id));
+        w.key("phases");
+        w.begin_object();
+        for (int p = 0; p < sim::kNumTxPhases; ++p) {
+            const PhaseCounters& cell =
+                lock.by_phase[static_cast<std::size_t>(p)];
+            w.key(sim::tx_phase_name(static_cast<sim::TxPhase>(p)));
+            w.begin_object();
+            for (int e = 0; e < kNumCounterEvents; ++e)
+                w.kv(counter_event_name(static_cast<CounterEvent>(e)),
+                     cell.value[static_cast<std::size_t>(e)]);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
 /** The v3 optional top-level "robustness" object. */
 void
 write_robustness(JsonWriter& w, const RobustnessReport& r)
@@ -482,6 +552,13 @@ write_report(std::ostream& os, const ReportConfig& config,
         if (run.structs != nullptr) {
             w.key("structs");
             write_structs(w, *run.structs);
+        }
+        if (run.native_traffic != nullptr) {
+            // Hardware counters are nondeterministic like "host":
+            // determinism comparisons must strip this object too.
+            w.key("native_traffic");
+            write_native_traffic(w, *run.native_traffic,
+                                 run.result.total_acquires);
         }
         w.end_object();
     }
@@ -783,6 +860,77 @@ validate_metrics(const JsonValue& m, std::string* error,
 }
 
 bool
+validate_native_traffic(const JsonValue& nt, std::string* error,
+                        const std::string& where)
+{
+    if (!nt.is_object())
+        return fail(error, where + " must be an object");
+    const JsonValue* available = nt.find("available");
+    if (available == nullptr || available->type != JsonValue::Type::Bool)
+        return fail(error, where + ": 'available' must be a boolean");
+    if (!require_string(nt, "source", error, where))
+        return false;
+    const JsonValue* paranoid = nt.find("perf_event_paranoid");
+    if (paranoid == nullptr ||
+        (paranoid->type != JsonValue::Type::Null && !paranoid->is_number()))
+        return fail(error,
+                    where + ": 'perf_event_paranoid' must be number or null");
+    if (!available->boolean &&
+        !require_string(nt, "unavailable_reason", error, where))
+        return false;
+    for (const char* field :
+         {"samples", "threads", "time_enabled_ns", "time_running_ns",
+          "local_tx_per_acquisition", "global_tx_per_acquisition"})
+        if (!require_number(nt, field, error, where))
+            return false;
+    const JsonValue* multiplexed = nt.find("multiplexed");
+    if (multiplexed == nullptr ||
+        multiplexed->type != JsonValue::Type::Bool)
+        return fail(error, where + ": 'multiplexed' must be a boolean");
+    const JsonValue* events = nt.find("events");
+    if (events == nullptr || !events->is_array())
+        return fail(error, where + ": 'events' must be an array");
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const std::string ew = where + ".events[" + std::to_string(i) + "]";
+        const JsonValue& e = events->array[i];
+        if (!e.is_object())
+            return fail(error, ew + " must be an object");
+        for (const char* field : {"event", "status"})
+            if (!require_string(e, field, error, ew))
+                return false;
+        if (const JsonValue* detail = e.find("detail");
+            detail != nullptr && !detail->is_string())
+            return fail(error, ew + ": 'detail' must be a string");
+    }
+    const JsonValue* per_lock = nt.find("per_lock");
+    if (per_lock == nullptr || !per_lock->is_array())
+        return fail(error, where + ": 'per_lock' must be an array");
+    for (std::size_t i = 0; i < per_lock->array.size(); ++i) {
+        const std::string lw = where + ".per_lock[" + std::to_string(i) + "]";
+        const JsonValue& lock = per_lock->array[i];
+        if (!lock.is_object())
+            return fail(error, lw + " must be an object");
+        if (!require_string(lock, "lock_id", error, lw))
+            return false;
+        const JsonValue* phases = lock.find("phases");
+        if (phases == nullptr || !phases->is_object())
+            return fail(error, lw + ": 'phases' must be an object");
+        for (const char* phase : {"none", "acquire_spin", "handover",
+                                  "critical", "release", "gate_publish"}) {
+            const JsonValue* p = phases->find(phase);
+            const std::string pw = lw + ".phases." + phase;
+            if (p == nullptr || !p->is_object())
+                return fail(error, pw + " must be an object");
+            for (const char* field : {"cycles", "instructions",
+                                      "llc_load_misses", "remote_accesses"})
+                if (!require_number(*p, field, error, pw))
+                    return false;
+        }
+    }
+    return true;
+}
+
+bool
 validate_robustness(const JsonValue& r, std::string* error,
                     const std::string& where)
 {
@@ -1007,6 +1155,13 @@ validate_report(const JsonValue& document, std::string* error)
                         return false;
             }
         }
+        // "native_traffic" is optional (v6; native-backend runs); when
+        // present it must carry the availability marker and the counter
+        // tables — empty tables with a reason when perf was denied.
+        if (const JsonValue* nt = run.find("native_traffic");
+            nt != nullptr &&
+            !validate_native_traffic(*nt, error, where + ".native_traffic"))
+            return false;
     }
     // v3: "robustness" is optional (fault-campaign reports only); when
     // present it must carry the full campaign/cells/per_lock shape.

@@ -1,6 +1,6 @@
 /**
  * @file
- * Machine-readable benchmark report: schema "nucalock-bench-report" v5.
+ * Machine-readable benchmark report: schema "nucalock-bench-report" v6.
  *
  * v2 added, per run, a "traffic" object (per-lock/per-phase local/global
  * transaction attribution and per-acquisition rates) and a "contention"
@@ -29,6 +29,15 @@
  * stripe to its per-lock traffic-attribution row). Emitted only for KV
  * runs; reports without it remain valid v5 documents.
  *
+ * v6 adds an optional per-run "native_traffic" object — the hardware-
+ * counter observatory (obs/perf_counters.hpp): per-lock, per-phase counter
+ * deltas (cycles, instructions, LLC load misses, node/remote accesses)
+ * read at probe phase transitions on the native backend, with per-event
+ * availability verdicts, multiplex detection, the proxy-mapped local/
+ * global per-acquisition rates, and — when perf is denied or absent — a
+ * machine-readable unavailable marker instead of counts. Like "host" it is
+ * inherently nondeterministic, so `nucaprof --diff` strips it.
+ *
  * Shared by tools/nucaprof (full metrics) and tools/nucabench --json
  * (results only). The schema is documented in docs/observability.md; bump
  * kReportSchemaVersion on any breaking change to the emitted shape.
@@ -46,12 +55,13 @@
 #include "harness/results.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "structs/stats.hpp"
 
 namespace nucalock::obs {
 
 inline constexpr const char* kReportSchemaName = "nucalock-bench-report";
-inline constexpr int kReportSchemaVersion = 5;
+inline constexpr int kReportSchemaVersion = 6;
 
 /** Benchmark configuration echoed into the report. */
 struct ReportConfig
@@ -108,6 +118,9 @@ struct ReportRun
     /** KV-service structs telemetry, or nullptr (v5 optional per-run
      *  "structs" object; the pointee must outlive write_report). */
     const structs::KvStructsStats* structs = nullptr;
+    /** Hardware-counter traffic, or nullptr (v6 optional per-run
+     *  "native_traffic" object; the pointee must outlive write_report). */
+    const NativeTrafficStats* native_traffic = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -183,7 +196,7 @@ void write_report(std::ostream& os, const ReportConfig& config,
                   const RobustnessReport* robustness = nullptr);
 
 /**
- * Validate a parsed report against the v5 schema. Returns true when the
+ * Validate a parsed report against the v6 schema. Returns true when the
  * document conforms; otherwise false with a description in *error. A
  * version mismatch fails with "report is vN, tool understands vM" so a
  * reader paired with the wrong tool build is diagnosed immediately.

@@ -456,7 +456,7 @@ TEST(AdaptiveReport, V4EmitsAndValidatesTheAdaptiveObject)
 
     const auto parsed = obs::json_parse(oss.str());
     ASSERT_TRUE(parsed.has_value());
-    EXPECT_DOUBLE_EQ(parsed->find("schema_version")->number, 5.0);
+    EXPECT_DOUBLE_EQ(parsed->find("schema_version")->number, 6.0);
     const obs::JsonValue* runs = parsed->find("runs");
     ASSERT_NE(runs, nullptr);
     ASSERT_EQ(runs->array.size(), 2u);

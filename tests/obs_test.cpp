@@ -404,6 +404,31 @@ TEST(Report, ValidationCatchesCorruption)
     EXPECT_FALSE(error.empty());
 }
 
+TEST(Report, VersionMismatchNamesBothVersions)
+{
+    ReportConfig config;
+    config.tool = "nucaprof";
+    config.bench = "new";
+    std::ostringstream oss;
+    write_report(oss, config, {ReportRun{"TATAS", BenchResult{}, nullptr}});
+    std::string text = oss.str();
+
+    // A report written by an older tool build must be rejected with a
+    // message naming both versions, so a reader paired with the wrong
+    // build is diagnosed immediately.
+    const std::string current =
+        "\"schema_version\": " + std::to_string(kReportSchemaVersion);
+    const std::size_t pos = text.find(current);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, current.size(), "\"schema_version\": 5");
+
+    std::string error;
+    EXPECT_FALSE(validate_report_text(text, &error));
+    const std::string expected = "report is v5, tool understands v" +
+                                 std::to_string(kReportSchemaVersion);
+    EXPECT_NE(error.find(expected), std::string::npos) << error;
+}
+
 // --------------------------------------- probes do not perturb the run --
 
 NewBenchConfig

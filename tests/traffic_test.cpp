@@ -410,13 +410,14 @@ TEST(ReportV2, EmittedReportValidates)
     EXPECT_NE(out.str().find("\"memtrace_dropped\""), std::string::npos);
 }
 
-TEST(ReportV2, SchemaVersionIsFive)
+TEST(ReportV2, SchemaVersionIsSix)
 {
     // v3 added the optional top-level "robustness" object (fault-campaign
     // verdicts, nucacheck --campaign); v4 the optional per-run "adaptive"
     // object (ADAPTIVE gear telemetry); v5 the optional per-run "structs"
-    // object (KV-service data-structure telemetry).
-    EXPECT_EQ(obs::kReportSchemaVersion, 5);
+    // object (KV-service data-structure telemetry); v6 the optional
+    // per-run "native_traffic" object (the hardware-counter observatory).
+    EXPECT_EQ(obs::kReportSchemaVersion, 6);
 }
 
 TEST(ReportV2, UnknownVersionIsRejectedWithClearMessage)

@@ -10,7 +10,7 @@
  *    per-phase local/global transactions per acquisition, global-link
  *    utilisation and queue-delay p99 — the paper's Table 2/6 shape),
  *  - `--json=PATH`: the versioned machine-readable report
- *    (schema nucalock-bench-report v2, obs/report.hpp),
+ *    (schema nucalock-bench-report v6, obs/report.hpp),
  *  - `--trace=PATH`: a Chrome/Perfetto trace_event JSON of per-CPU lock
  *    states plus link-utilisation / bus-rate counter tracks (single
  *    --lock runs only; open in ui.perfetto.dev),
@@ -22,9 +22,12 @@
  *    written by `nucacheck --campaign --report=...` (per-lock recovery
  *    tables, failing cells with replay traces),
  *  - `--diff=A,B`: compare two reports over their deterministic fields
- *    (the nondeterministic "host" objects are stripped first) and list
- *    every differing path — what the CI determinism jobs run instead of
- *    raw byte comparison.
+ *    (the nondeterministic "host" and "native_traffic" objects are
+ *    stripped first) and list every differing path — what the CI
+ *    determinism jobs run instead of raw byte comparison,
+ *  - `--counters`: probe hardware-counter availability on this host (one
+ *    line per perf event: available / multiplexed / denied with the
+ *    perf_event_paranoid level / unsupported) and exit.
  *
  * Everything is deterministic per --seed, and — pinned by a debug-build
  * assertion here and by tests/obs_test.cpp — observing a run never
@@ -51,6 +54,7 @@
 #include "harness/traditional.hpp"
 #include "locks/adaptive_policy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/report.hpp"
 #include "obs/timeline.hpp"
 #include "stats/table.hpp"
@@ -80,6 +84,7 @@ prof_usage()
            "       nucaprof --check-schema=REPORT.json\n"
            "       nucaprof --robustness=REPORT.json\n"
            "       nucaprof --diff=A.json,B.json\n"
+           "       nucaprof --counters\n"
            "\n"
            "locks: TATAS TATAS_EXP TICKET ANDERSON MCS CLH RH HBO HBO_GT\n"
            "       HBO_GT_SD HBO_HIER REACTIVE COHORT CLH_TRY (RH: "
@@ -87,7 +92,7 @@ prof_usage()
            "\n"
            "--traffic prints the coherence-traffic attribution tables\n"
            "(per-phase local/global transactions per acquisition);\n"
-           "--json writes the nucalock-bench-report v2 document (- = "
+           "--json writes the nucalock-bench-report v6 document (- = "
            "stdout);\n"
            "--trace needs a single --lock and writes Chrome trace_event "
            "JSON\nwith link-utilisation counter tracks; --memtrace needs a "
@@ -97,7 +102,14 @@ prof_usage()
            "--bench=app profiles the KV-service application model (the\n"
            "sharded striped-map store; only --app=kv) through the same\n"
            "probes: per-stripe locks show up as separate attribution rows\n"
-           "in --traffic, and --json adds the v5 per-run structs object.\n";
+           "in --traffic, and --json adds the v6 per-run structs object.\n"
+           "\n"
+           "--counters probes perf_event availability on this host: one\n"
+           "line per hardware event (available / multiplexed / denied with\n"
+           "the perf_event_paranoid level / unsupported). Exit 0 when at\n"
+           "least one event counts, 1 when none do. --diff strips the\n"
+           "nondeterministic host and native_traffic objects before\n"
+           "comparing.\n";
 }
 
 std::vector<LockKind>
@@ -322,17 +334,20 @@ show_robustness(const std::string& path)
     return failures == 0 ? 0 : 1;
 }
 
-/** Drop every "host" object (the one nondeterministic report field). */
+/** Drop every nondeterministic report object: "host" (wall-clock host
+ *  measurements) and "native_traffic" (hardware-counter readings vary
+ *  between hosts and repetitions). */
 void
-strip_host(obs::JsonValue& v)
+strip_nondeterministic(obs::JsonValue& v)
 {
     if (v.type == obs::JsonValue::Type::Object) {
         v.object.erase("host");
+        v.object.erase("native_traffic");
         for (auto& [key, child] : v.object)
-            strip_host(child);
+            strip_nondeterministic(child);
     } else if (v.type == obs::JsonValue::Type::Array) {
         for (obs::JsonValue& child : v.array)
-            strip_host(child);
+            strip_nondeterministic(child);
     }
 }
 
@@ -412,8 +427,8 @@ diff_reports(const std::string& spec)
     auto b = load_report(path_b);
     if (!a || !b)
         return 2;
-    strip_host(*a);
-    strip_host(*b);
+    strip_nondeterministic(*a);
+    strip_nondeterministic(*b);
     std::vector<std::string> diffs;
     diff_values(*a, *b, "$", diffs);
     if (diffs.empty()) {
@@ -510,6 +525,13 @@ main(int argc, char** argv)
         return show_robustness(opts.robustness);
     if (!opts.diff.empty())
         return diff_reports(opts.diff);
+    if (opts.counters) {
+        // Informational probe: report per-event availability on this host.
+        // Exit 0 when at least one event counts, 1 when none do — the CI
+        // perf-smoke job treats both as "probe ran"; only a crash fails it.
+        obs::PerfCounterSource source;
+        return obs::print_counter_capabilities(source, stdout);
+    }
     if (opts.bench == CliBench::Uncontested) {
         std::cerr << "error: nucaprof profiles contended runs; use "
                      "--bench=new or --bench=traditional\n";

@@ -6,7 +6,10 @@ written by ``nucabench --json``, ``nucaprof --json`` or any bench binary
 run with ``NUCALOCK_BENCH_JSON``) and renders:
 
   fig5   ns/acquire per lock (bar chart; the new-benchmark headline)
-  fig7   coherence traffic per acquisition, local vs global (grouped bars)
+  fig7   coherence traffic per acquisition, local vs global (grouped
+         bars); when runs carry an available v6 ``native_traffic``
+         object, the hardware-counter proxy rates are overlaid as
+         markers on the same axis (simulated vs measured)
   fig8   fairness spread per lock (bar chart)
   kv     ns/op per lock per contention level for app-kv / bench_table_kv
          reports whose run names look like ``LOCK@level`` (grouped bars)
@@ -49,13 +52,19 @@ def load_report(path):
 
 
 def run_rows(doc):
-    """(name, result, traffic, structs) per run, skipping malformed rows."""
+    """(name, result, traffic, structs, native) per run, skipping
+    malformed rows. `native` is the v6 native_traffic object, or None
+    when absent or carrying the unavailable marker."""
     for run in doc.get("runs", []):
         name = run.get("lock")
         result = run.get("result")
         if not name or not isinstance(result, dict):
             continue
-        yield name, result, run.get("traffic") or {}, run.get("structs")
+        native = run.get("native_traffic")
+        if not isinstance(native, dict) or not native.get("available"):
+            native = None
+        yield name, result, run.get("traffic") or {}, run.get("structs"), \
+            native
 
 
 def bar_chart(path, title, ylabel, labels, values, color="#4477aa"):
@@ -72,7 +81,7 @@ def bar_chart(path, title, ylabel, labels, values, color="#4477aa"):
 
 
 def plot_fig5(doc, out_dir, stem):
-    rows = [(n, r["avg_iteration_ns"]) for n, r, _, _ in run_rows(doc)]
+    rows = [(n, r["avg_iteration_ns"]) for n, r, _, _, _ in run_rows(doc)]
     if not rows:
         return False
     bar_chart(
@@ -92,13 +101,14 @@ def plot_fig7(doc, out_dir, stem):
             n,
             t.get("local_tx_per_acquisition", 0.0),
             t.get("global_tx_per_acquisition", 0.0),
+            native,
         )
-        for n, _, t, _ in run_rows(doc)
+        for n, _, t, _, native in run_rows(doc)
     ]
-    rows = [r for r in rows if r[1] or r[2]]
+    rows = [r for r in rows if r[1] or r[2] or r[3]]
     if not rows:
         return False
-    labels = [n for n, _, _ in rows]
+    labels = [n for n, _, _, _ in rows]
     xs = range(len(labels))
     width = 0.4
     fig, ax = plt.subplots(figsize=(max(6, 0.6 * len(labels)), 4))
@@ -106,10 +116,26 @@ def plot_fig7(doc, out_dir, stem):
            label="local", color="#4477aa")
     ax.bar([x + width / 2 for x in xs], [r[2] for r in rows], width,
            label="global", color="#ee6677")
+    # Overlay the hardware-counter proxy rates (v6 native_traffic) as
+    # markers over the corresponding bars, so simulated and measured
+    # per-acquisition traffic read off the same axis.
+    native_pts = [
+        (x, r[3]) for x, r in zip(xs, rows) if r[3] is not None
+    ]
+    if native_pts:
+        ax.scatter(
+            [x - width / 2 for x, nt in native_pts],
+            [nt.get("local_tx_per_acquisition", 0.0) for _, nt in native_pts],
+            marker="D", color="#222255", zorder=3, label="local (native)")
+        ax.scatter(
+            [x + width / 2 for x, nt in native_pts],
+            [nt.get("global_tx_per_acquisition", 0.0) for _, nt in native_pts],
+            marker="D", color="#882222", zorder=3, label="global (native)")
     ax.set_xticks(list(xs))
     ax.set_xticklabels(labels, rotation=60, ha="right", fontsize=8)
     ax.set_ylabel("coherence tx / acquisition")
-    ax.set_title("Coherence traffic per acquisition (local vs global)")
+    ax.set_title("Coherence traffic per acquisition (local vs global)"
+                 + (" — markers: hardware counters" if native_pts else ""))
     ax.legend()
     fig.tight_layout()
     path = os.path.join(out_dir, f"{stem}_fig7_traffic.png")
@@ -120,7 +146,7 @@ def plot_fig7(doc, out_dir, stem):
 
 
 def plot_fig8(doc, out_dir, stem):
-    rows = [(n, r["fairness_spread_pct"]) for n, r, _, _ in run_rows(doc)]
+    rows = [(n, r["fairness_spread_pct"]) for n, r, _, _, _ in run_rows(doc)]
     if not rows:
         return False
     bar_chart(
@@ -138,7 +164,7 @@ def plot_kv(doc, out_dir, stem):
     """bench_table_kv shape: run names LOCK@level -> grouped bars."""
     by_lock = {}
     levels = []
-    for name, result, _, _ in run_rows(doc):
+    for name, result, _, _, _ in run_rows(doc):
         if "@" not in name:
             continue
         lock, level = name.split("@", 1)
